@@ -1,0 +1,89 @@
+//! Exhibits for Proposition 5.1: top-(1, f_sum) is NP-hard.
+//!
+//! The proposition's reduction: with `imp(t) = 1` for all tuples, the
+//! highest-f_sum tuple set has `n` members **iff** the natural join of
+//! the relations is non-empty — and join non-emptiness is NP-complete.
+//! So any exact top-1 algorithm for `f_sum` does the work of a join
+//! emptiness test. [`exhaustive_top1_fsum`] is the honest exponential
+//! search; the NP-hardness benchmark (experiment E7) contrasts its blowup
+//! with the polynomial top-1 for the 1-determined `f_max`.
+
+use crate::brute::oracle_fd;
+use fd_core::{FSum, ImpScores, RankingFunction, TupleSet};
+use fd_relational::join::natural_join_all;
+use fd_relational::{Database, RelId};
+
+/// The exact top-1 answer under `f_sum`, by exhaustive enumeration of all
+/// maximal JCC sets. Exponential in the worst case — that is the point.
+pub fn exhaustive_top1_fsum(db: &Database, imp: &ImpScores) -> Option<(TupleSet, f64)> {
+    let f = FSum::new(imp);
+    oracle_fd(db)
+        .into_iter()
+        .map(|s| {
+            let r = f.rank(db, &s);
+            (s, r)
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+}
+
+/// Proposition 5.1's reduction, run forward: decides natural-join
+/// non-emptiness through the top-(1, f_sum) problem with unit
+/// importances.
+pub fn join_nonempty_via_fsum(db: &Database) -> bool {
+    let imp = ImpScores::uniform(db, 1.0);
+    match exhaustive_top1_fsum(db, &imp) {
+        Some((_, best)) => best as usize == db.num_relations(),
+        None => false,
+    }
+}
+
+/// Direct join non-emptiness (the NP-complete side of the reduction),
+/// used to validate the reduction in tests.
+pub fn join_nonempty_direct(db: &Database) -> bool {
+    let rels: Vec<RelId> = (0..db.num_relations() as u16).map(RelId).collect();
+    if rels.is_empty() {
+        return false;
+    }
+    !natural_join_all(db, &rels).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_relational::{tourist_database, DatabaseBuilder};
+
+    #[test]
+    fn reduction_agrees_with_direct_join_on_joinable_database() {
+        let mut b = DatabaseBuilder::new();
+        b.relation("R", &["A", "B"]).row([1, 2]);
+        b.relation("S", &["B", "C"]).row([2, 3]);
+        b.relation("T", &["C", "D"]).row([3, 4]);
+        let db = b.build().unwrap();
+        assert!(join_nonempty_direct(&db));
+        assert!(join_nonempty_via_fsum(&db));
+    }
+
+    #[test]
+    fn reduction_agrees_on_non_joinable_database() {
+        let mut b = DatabaseBuilder::new();
+        b.relation("R", &["A", "B"]).row([1, 2]);
+        b.relation("S", &["B", "C"]).row([9, 3]); // B mismatch
+        b.relation("T", &["C", "D"]).row([3, 4]);
+        let db = b.build().unwrap();
+        assert!(!join_nonempty_direct(&db));
+        assert!(!join_nonempty_via_fsum(&db));
+    }
+
+    #[test]
+    fn tourist_database_join_is_nonempty() {
+        // The paper notes the natural join of Table 1 is the single tuple
+        // (Canada, London, diverse, Ramada, 3, Air Show).
+        let db = tourist_database();
+        assert!(join_nonempty_direct(&db));
+        assert!(join_nonempty_via_fsum(&db));
+        let imp = ImpScores::uniform(&db, 1.0);
+        let (best, score) = exhaustive_top1_fsum(&db, &imp).unwrap();
+        assert_eq!(score, 3.0);
+        assert_eq!(best.label(&db), "{c1, a2, s1}");
+    }
+}

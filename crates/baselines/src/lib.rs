@@ -1,0 +1,31 @@
+//! # fd-baselines
+//!
+//! The comparison algorithms for the paper's evaluation:
+//!
+//! * [`brute`] — exponential oracles defining ground truth for `FD`,
+//!   `AFD` and top-k on small inputs;
+//! * [`outerjoin_fd()`] — the Rajaraman–Ullman (1996) outerjoin-sequence
+//!   algorithm, valid exactly on connected γ-acyclic null-free schemas
+//!   (reference \[2\] of the paper);
+//! * [`pio_fd()`] — a Kanza–Sagiv (2003) style batch algorithm: correct
+//!   and polynomial in input+output, but returns nothing until the whole
+//!   result is computed and scans globally (reference \[3\]);
+//! * [`exhaustive`] — the NP-hardness exhibits for top-(1, f_sum)
+//!   (Proposition 5.1);
+//! * [`naive_topk`] — compute-all-then-sort, the comparator for
+//!   `PRIORITYINCREMENTALFD`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod brute;
+pub mod exhaustive;
+pub mod naive_topk;
+pub mod outerjoin_fd;
+pub mod pio_fd;
+
+pub use brute::{all_jcc_sets, keep_maximal, oracle_afd, oracle_fd, oracle_top_k};
+pub use exhaustive::{exhaustive_top1_fsum, join_nonempty_direct, join_nonempty_via_fsum};
+pub use naive_topk::naive_top_k;
+pub use outerjoin_fd::{outerjoin_fd, outerjoin_sequence, OuterjoinFdError};
+pub use pio_fd::pio_fd;

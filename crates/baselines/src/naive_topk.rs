@@ -1,0 +1,47 @@
+//! The "compute everything, then sort" top-k baseline.
+//!
+//! The natural comparator for `PRIORITYINCREMENTALFD` (experiment E6):
+//! materialize the entire full disjunction with the plain incremental
+//! algorithm, rank every result, sort, truncate. Polynomial in the
+//! *whole* output even when `k` is tiny — the ranked algorithm's
+//! advantage is precisely not paying `f` when `k ≪ f`.
+
+use fd_core::{full_disjunction, RankingFunction, TupleSet};
+use fd_relational::Database;
+
+/// Top-k by full materialization and sorting.
+pub fn naive_top_k<F: RankingFunction>(
+    db: &Database,
+    f: &F,
+    k: usize,
+) -> Vec<(TupleSet, f64)> {
+    let mut ranked: Vec<(TupleSet, f64)> = full_disjunction(db)
+        .into_iter()
+        .map(|s| {
+            let r = f.rank(db, &s);
+            (s, r)
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{top_k, FMax, ImpScores};
+    use fd_relational::tourist_database;
+
+    #[test]
+    fn naive_and_ranked_agree_on_rank_sequences() {
+        let db = tourist_database();
+        let imp = ImpScores::from_fn(&db, |t| (t.0 % 4) as f64);
+        let f = FMax::new(&imp);
+        for k in [1, 3, 6, 10] {
+            let naive: Vec<f64> = naive_top_k(&db, &f, k).into_iter().map(|x| x.1).collect();
+            let ranked: Vec<f64> = top_k(&db, &f, k).into_iter().map(|x| x.1).collect();
+            assert_eq!(naive, ranked, "k = {k}");
+        }
+    }
+}

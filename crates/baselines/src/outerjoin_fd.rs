@@ -1,0 +1,149 @@
+//! The Rajaraman–Ullman (1996) baseline: full disjunctions by a sequence
+//! of binary full outerjoins.
+//!
+//! Reference \[2\] of the paper showed this works **exactly** for γ-acyclic
+//! schemas (and null-free sources — their model has no source nulls). The
+//! paper's `INCREMENTALFD` removes both restrictions; this module
+//! implements the restricted baseline so benchmarks can compare the two
+//! on their common ground, and so tests can document the restriction
+//! boundary.
+
+use fd_relational::hypergraph::{connected_ordering, Hypergraph};
+use fd_relational::join::DerivedRelation;
+use fd_relational::outerjoin::{full_outerjoin, remove_subsumed};
+use fd_relational::Database;
+use std::fmt;
+
+/// Why the outerjoin baseline refuses a database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OuterjoinFdError {
+    /// The schema hypergraph is not γ-acyclic; outerjoin sequences cannot
+    /// express the full disjunction (Rajaraman–Ullman 1996).
+    NotGammaAcyclic,
+    /// The relations do not form a connected graph; no outerjoin ordering
+    /// exists.
+    Disconnected,
+    /// A source relation contains nulls, which \[2\]'s model does not
+    /// allow (the paper's Definition 2.1 extension).
+    NullsInSource,
+}
+
+impl fmt::Display for OuterjoinFdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OuterjoinFdError::NotGammaAcyclic => {
+                write!(f, "schema is not γ-acyclic: outerjoins cannot compute the full disjunction")
+            }
+            OuterjoinFdError::Disconnected => write!(f, "relations are not connected"),
+            OuterjoinFdError::NullsInSource => {
+                write!(f, "source relations contain nulls, unsupported by the outerjoin baseline")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OuterjoinFdError {}
+
+/// Computes the full disjunction as padded tuples via a connected
+/// sequence of binary full outerjoins followed by subsumption removal.
+/// Valid exactly on connected, γ-acyclic, null-free databases.
+pub fn outerjoin_fd(db: &Database) -> Result<DerivedRelation, OuterjoinFdError> {
+    let has_nulls = db
+        .relations()
+        .iter()
+        .any(|r| r.rows().any(|row| row.iter().any(|v| v.is_null())));
+    if has_nulls {
+        return Err(OuterjoinFdError::NullsInSource);
+    }
+    if !Hypergraph::of_database(db).is_gamma_acyclic() {
+        return Err(OuterjoinFdError::NotGammaAcyclic);
+    }
+    let order = connected_ordering(db).ok_or(OuterjoinFdError::Disconnected)?;
+    Ok(outerjoin_sequence(db, &order.iter().map(|r| r.index()).collect::<Vec<_>>()))
+}
+
+/// The raw outerjoin sequence without the γ-acyclicity/null guards —
+/// exposed so tests and benchmarks can demonstrate *why* the guards exist
+/// (on γ-cyclic schemas the result diverges from the full disjunction).
+pub fn outerjoin_sequence(db: &Database, order: &[usize]) -> DerivedRelation {
+    assert!(!order.is_empty(), "need at least one relation");
+    let mut acc = DerivedRelation::from_relation(db, fd_relational::RelId(order[0] as u16));
+    for &idx in &order[1..] {
+        let next = DerivedRelation::from_relation(db, fd_relational::RelId(idx as u16));
+        acc = full_outerjoin(&acc, &next);
+    }
+    remove_subsumed(&mut acc);
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{full_disjunction, padded_relation};
+    use fd_relational::{DatabaseBuilder, Value};
+
+    /// A null-free γ-acyclic chain for baseline agreement tests.
+    fn chain_db() -> Database {
+        let mut b = DatabaseBuilder::new();
+        b.relation("R", &["A", "B"]).row([1, 10]).row([2, 20]).row([3, 30]);
+        b.relation("S", &["B", "C"]).row([10, 100]).row([10, 101]).row([40, 400]);
+        b.relation("T", &["C", "D"]).row([100, 1000]).row([500, 5000]);
+        b.build().unwrap()
+    }
+
+    fn sorted_rows(mut rows: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn outerjoin_matches_incremental_on_gamma_acyclic_chain() {
+        let db = chain_db();
+        let oj = outerjoin_fd(&db).unwrap();
+        let fd = full_disjunction(&db);
+        let fd_rows = sorted_rows(padded_relation(&db, &fd));
+        let oj_rows = sorted_rows(oj.rows.iter().map(|r| r.to_vec()).collect());
+        assert_eq!(fd_rows, oj_rows);
+    }
+
+    #[test]
+    fn outerjoin_matches_incremental_on_star() {
+        let mut b = DatabaseBuilder::new();
+        b.relation("Hub", &["K", "X"]).row([1, 7]).row([2, 8]);
+        b.relation("SpokeA", &["K", "A"]).row([1, 70]).row([3, 90]);
+        b.relation("SpokeB", &["K", "B"]).row([1, 700]).row([2, 800]);
+        let db = b.build().unwrap();
+        let oj = outerjoin_fd(&db).unwrap();
+        let fd = full_disjunction(&db);
+        assert_eq!(
+            sorted_rows(padded_relation(&db, &fd)),
+            sorted_rows(oj.rows.iter().map(|r| r.to_vec()).collect())
+        );
+    }
+
+    #[test]
+    fn refuses_gamma_cyclic_schemas() {
+        // {AB, BC, ABC} is α-acyclic but γ-cyclic.
+        let mut b = DatabaseBuilder::new();
+        b.relation("R", &["A", "B"]).row([1, 2]);
+        b.relation("S", &["B", "C"]).row([2, 3]);
+        b.relation("U", &["A", "B", "C"]).row([1, 2, 3]);
+        let db = b.build().unwrap();
+        assert_eq!(outerjoin_fd(&db), Err(OuterjoinFdError::NotGammaAcyclic));
+    }
+
+    #[test]
+    fn refuses_null_sources() {
+        let db = fd_relational::tourist_database();
+        assert_eq!(outerjoin_fd(&db), Err(OuterjoinFdError::NullsInSource));
+    }
+
+    #[test]
+    fn refuses_disconnected_databases() {
+        let mut b = DatabaseBuilder::new();
+        b.relation("P", &["A"]).row([1]);
+        b.relation("Q", &["B"]).row([2]);
+        let db = b.build().unwrap();
+        assert_eq!(outerjoin_fd(&db), Err(OuterjoinFdError::Disconnected));
+    }
+}

@@ -1,0 +1,31 @@
+//! E12 — Section 7: block-based execution. Wall-clock across block sizes
+//! (page-fetch counts are reported by the `paper_tables` binary; in a
+//! disk-backed system they, not CPU time, dominate). Expected shape:
+//! identical results at every block size, page fetches shrinking
+//! proportionally to the block size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_bench::bench_chain;
+use fd_core::{full_disjunction_with, FdConfig};
+use std::hint::black_box;
+
+fn ablation_block(c: &mut Criterion) {
+    let db = bench_chain(3, 60);
+    let mut group = c.benchmark_group("e12_block_size");
+    group.sample_size(10);
+    group.bench_function("tuple_at_a_time", |b| {
+        b.iter(|| black_box(full_disjunction_with(&db, FdConfig::default())))
+    });
+    for page_size in [1usize, 8, 64, 512] {
+        let cfg = FdConfig { page_size: Some(page_size), ..FdConfig::default() };
+        group.bench_with_input(
+            BenchmarkId::new("paged", page_size),
+            &cfg,
+            |b, cfg| b.iter(|| black_box(full_disjunction_with(&db, *cfg))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_block);
+criterion_main!(benches);

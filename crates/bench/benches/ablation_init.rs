@@ -1,0 +1,33 @@
+//! E11 — Section 7 ablation: the three `Incomplete` initialization
+//! strategies for computing the full FD over all `i`. Expected shape:
+//! the reuse strategies cut candidate scanning (restricted loops), with
+//! trim-extend doing the most preprocessing per run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_bench::bench_chain;
+use fd_core::{full_disjunction_with, FdConfig, InitStrategy};
+use std::hint::black_box;
+
+fn ablation_init(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_init_strategy");
+    group.sample_size(10);
+    for rows in [16usize, 24] {
+        let db = bench_chain(4, rows);
+        for init in [
+            InitStrategy::Singletons,
+            InitStrategy::ReuseResults,
+            InitStrategy::TrimExtend,
+        ] {
+            let cfg = FdConfig { init, ..FdConfig::default() };
+            group.bench_with_input(
+                BenchmarkId::new(format!("{init:?}"), rows),
+                &db,
+                |b, db| b.iter(|| black_box(full_disjunction_with(db, cfg))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_init);
+criterion_main!(benches);

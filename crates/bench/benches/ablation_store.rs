@@ -1,0 +1,29 @@
+//! E10 — Section 7 ablation: linked-list scans vs hash indexing of
+//! `Complete`/`Incomplete` by the `Ri`-tuple. Expected shape: the
+//! indexed engine's advantage grows with the output size (the scans are
+//! the `f²` term of Theorem 4.8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_bench::bench_chain;
+use fd_core::{full_disjunction_with, FdConfig, StoreEngine};
+use std::hint::black_box;
+
+fn ablation_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_store_engine");
+    group.sample_size(10);
+    for rows in [10usize, 15, 20] {
+        let db = bench_chain(4, rows);
+        for engine in [StoreEngine::Scan, StoreEngine::Indexed] {
+            let cfg = FdConfig { engine, ..FdConfig::default() };
+            group.bench_with_input(
+                BenchmarkId::new(format!("{engine:?}"), rows),
+                &db,
+                |b, db| b.iter(|| black_box(full_disjunction_with(db, cfg))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation_store);
+criterion_main!(benches);

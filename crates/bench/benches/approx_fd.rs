@@ -1,0 +1,33 @@
+//! E9 — approximate full disjunctions (Theorem 6.6): `A_min` over
+//! edit-distance similarity across thresholds, `A_prod`, and the exact
+//! algorithm as the reference point. Expected shape: cost grows as τ
+//! drops (more acceptable sets to manage), with `A_min` comfortably
+//! polynomial throughout.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_bench::bench_noisy_chain;
+use fd_core::{approx_full_disjunction, full_disjunction, AMin, AProd, EditDistanceSim, ProbScores};
+use std::hint::black_box;
+
+fn approx(c: &mut Criterion) {
+    let db = bench_noisy_chain(3, 24, 0.3);
+    let amin = AMin::new(EditDistanceSim, ProbScores::uniform(&db, 1.0));
+    let aprod = AProd::new(EditDistanceSim);
+    let mut group = c.benchmark_group("e9_approx_fd");
+    group.sample_size(10);
+    group.bench_function("exact_fd", |b| b.iter(|| black_box(full_disjunction(&db))));
+    for tau in [0.95f64, 0.85, 0.75] {
+        group.bench_with_input(
+            BenchmarkId::new("amin", format!("tau{tau}")),
+            &tau,
+            |b, &tau| b.iter(|| black_box(approx_full_disjunction(&db, &amin, tau))),
+        );
+    }
+    group.bench_function("aprod/tau0.8", |b| {
+        b.iter(|| black_box(approx_full_disjunction(&db, &aprod, 0.8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, approx);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E4 — time to the first k answers (Theorem 4.10 / PINC). The
+//! incremental iterator delivers k answers in time polynomial in the
+//! input and k; the batch baseline's first answer costs the entire
+//! computation regardless of k. Expected shape: near-flat small cost for
+//! the iterator as k grows, one large constant for the batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_baselines::pio_fd;
+use fd_bench::bench_chain;
+use fd_core::FdIter;
+use std::hint::black_box;
+
+fn first_k(c: &mut Criterion) {
+    let db = bench_chain(5, 16);
+    let mut group = c.benchmark_group("e4_first_k");
+    group.sample_size(10);
+    for k in [1usize, 10, 100] {
+        group.bench_with_input(BenchmarkId::new("incremental_take", k), &k, |b, &k| {
+            b.iter(|| black_box(FdIter::new(&db).take(k).count()))
+        });
+    }
+    group.bench_function("batch_first_answer", |b| {
+        b.iter(|| black_box(pio_fd(&db).0.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, first_k);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E7 — Proposition 5.1: the top-(1, f_sum) problem is NP-hard, so the
+//! exact exhaustive search blows up exponentially with the number of
+//! relations, while top-(1, f_max) — monotonically 1-determined — stays
+//! polynomial. Expected shape: the f_sum series roughly multiplies per
+//! added relation; the f_max series grows gently.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_baselines::exhaustive_top1_fsum;
+use fd_core::{top_k, FMax, ImpScores};
+use fd_workloads::{chain, DataSpec};
+use std::hint::black_box;
+
+fn nphard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_nphard_fsum");
+    group.sample_size(10);
+    for n in [2usize, 3, 4, 5] {
+        let db = chain(n, &DataSpec::new(8, 2).seed(0xFD));
+        let imp = ImpScores::uniform(&db, 1.0);
+        group.bench_with_input(BenchmarkId::new("fsum_exhaustive", n), &db, |b, db| {
+            b.iter(|| black_box(exhaustive_top1_fsum(db, &imp)))
+        });
+        let fmax = FMax::new(&imp);
+        group.bench_with_input(BenchmarkId::new("fmax_ranked_top1", n), &db, |b, db| {
+            b.iter(|| black_box(top_k(db, &fmax, 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, nphard);
+criterion_main!(benches);

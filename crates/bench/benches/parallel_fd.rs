@@ -1,0 +1,24 @@
+//! E13 — parallel full disjunction: the `n` `INCREMENTALFD` runs are
+//! independent (extension, Section 7 spirit). Expected shape: useful
+//! speedup up to roughly `n` workers on schemas whose `FDi` runs have
+//! comparable cost (stars), flattening beyond.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_bench::bench_star;
+use fd_core::{parallel_full_disjunction, FdConfig};
+use std::hint::black_box;
+
+fn parallel(c: &mut Criterion) {
+    let db = bench_star(5, 12);
+    let mut group = c.benchmark_group("e13_parallel");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| black_box(parallel_full_disjunction(&db, FdConfig::default(), t)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parallel);
+criterion_main!(benches);

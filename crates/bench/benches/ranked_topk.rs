@@ -1,0 +1,31 @@
+//! E6 — ranked top-k (Theorem 5.5): `PRIORITYINCREMENTALFD` vs
+//! materialize-everything-then-sort. Expected shape: the ranked
+//! algorithm wins decisively for small k and converges toward the naive
+//! cost as k approaches |FD|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_baselines::naive_top_k;
+use fd_bench::bench_chain;
+use fd_core::{top_k, FMax};
+use fd_workloads::random_importance;
+use std::hint::black_box;
+
+fn ranked_topk(c: &mut Criterion) {
+    let db = bench_chain(4, 24);
+    let imp = random_importance(&db, 7);
+    let f = FMax::new(&imp);
+    let mut group = c.benchmark_group("e6_ranked_topk");
+    group.sample_size(10);
+    for k in [1usize, 10, 50] {
+        group.bench_with_input(BenchmarkId::new("priority_fd", k), &k, |b, &k| {
+            b.iter(|| black_box(top_k(&db, &f, k)))
+        });
+        group.bench_with_input(BenchmarkId::new("full_then_sort", k), &k, |b, &k| {
+            b.iter(|| black_box(naive_top_k(&db, &f, k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ranked_topk);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E5 — runtime as a function of the output size f (Theorem 4.8's
+//! `O(s·n²·f²)`): fixed input size, join domain shrinks ⇒ selectivity
+//! and output grow. Expected shape: super-linear growth in f, bounded by
+//! the quadratic envelope.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_core::full_disjunction;
+use fd_workloads::{chain, DataSpec};
+use std::hint::black_box;
+
+fn scaling(c: &mut Criterion) {
+    let rows = 60usize;
+    let mut group = c.benchmark_group("e5_scaling_output");
+    group.sample_size(10);
+    for domain in [60usize, 30, 15, 8] {
+        let db = chain(3, &DataSpec::new(rows, domain).seed(0xFD));
+        let f = full_disjunction(&db).len();
+        group.bench_with_input(
+            BenchmarkId::new("incremental", format!("domain{domain}_f{f}")),
+            &db,
+            |b, db| b.iter(|| black_box(full_disjunction(db))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E3 — total runtime of the full disjunction (Corollary 4.9):
+//! `INCREMENTALFD` vs the batch baseline \[3\] vs the outerjoin baseline
+//! \[2\] on chain and star workloads of growing size. Expected shape:
+//! incremental wins against the batch reconstruction at every size, with
+//! the gap widening as the output grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_baselines::{outerjoin_fd, pio_fd};
+use fd_bench::{bench_chain, bench_star};
+use fd_core::{full_disjunction, full_disjunction_with, FdConfig, InitStrategy};
+use std::hint::black_box;
+
+fn total_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_total_runtime");
+    group.sample_size(10);
+    let sec7 = FdConfig { init: InitStrategy::TrimExtend, ..FdConfig::default() };
+    for rows in [12usize, 20, 32] {
+        let db = bench_chain(4, rows);
+        group.bench_with_input(BenchmarkId::new("incremental/chain4", rows), &db, |b, db| {
+            b.iter(|| black_box(full_disjunction(db)))
+        });
+        group.bench_with_input(BenchmarkId::new("incremental_sec7/chain4", rows), &db, |b, db| {
+            b.iter(|| black_box(full_disjunction_with(db, sec7)))
+        });
+        group.bench_with_input(BenchmarkId::new("batch_ks03/chain4", rows), &db, |b, db| {
+            b.iter(|| black_box(pio_fd(db)))
+        });
+        group.bench_with_input(BenchmarkId::new("outerjoin_ru96/chain4", rows), &db, |b, db| {
+            b.iter(|| black_box(outerjoin_fd(db).expect("chain is γ-acyclic")))
+        });
+    }
+    for rows in [12usize, 20] {
+        let db = bench_star(4, rows);
+        group.bench_with_input(BenchmarkId::new("incremental/star4", rows), &db, |b, db| {
+            b.iter(|| black_box(full_disjunction(db)))
+        });
+        group.bench_with_input(BenchmarkId::new("incremental_sec7/star4", rows), &db, |b, db| {
+            b.iter(|| black_box(full_disjunction_with(db, sec7)))
+        });
+        group.bench_with_input(BenchmarkId::new("batch_ks03/star4", rows), &db, |b, db| {
+            b.iter(|| black_box(pio_fd(db)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, total_runtime);
+criterion_main!(benches);

@@ -1,0 +1,236 @@
+//! `GETNEXTRESULT` (Fig. 2 of the paper).
+//!
+//! Given the relations, the index `i`, and the `Incomplete`/`Complete`
+//! lists, produce the next result of `FDi(R)`:
+//!
+//! ```text
+//!  1  remove the first tuple set T from Incomplete
+//!  2  while there is a tuple tg ∉ T with JCC(T ∪ {tg})
+//!  4      add tg to T                            (maximal extension)
+//!  7  foreach tuple tb ∈ Tuples(R), tb ∉ T
+//!  8      T′ := the maximal subset of T ∪ {tb} containing tb with JCC(T′)
+//! 10      if T′ contains a tuple from Ri
+//! 11          if T′ is contained in a tuple set of Complete: skip
+//! 14          else if ∃ S ∈ Incomplete with JCC(S ∪ T′): S := S ∪ T′
+//! 18          else append T′ to Incomplete
+//! 19  return T
+//! ```
+//!
+//! The same routine serves the plain, ranked and restricted (Section 7)
+//! executions; a [`ScanScope`] carries the run-dependent knobs.
+
+use crate::jcc::{extend_to_maximal_from, maximal_subset_with};
+use crate::stats::Stats;
+use crate::store::{CompleteStore, IncompleteQueue};
+use crate::tupleset::TupleSet;
+use fd_relational::storage::Pager;
+use fd_relational::{Database, RelId, TupleId};
+
+/// Run-dependent scan configuration for one `INCREMENTALFD(R, i)` run.
+pub(crate) struct ScanScope<'db, 'p> {
+    /// The database.
+    pub db: &'db Database,
+    /// The run's relation `Ri`: results must contain one of its tuples.
+    pub ri: RelId,
+    /// First relation index included in the extension and candidate scans
+    /// (0 for the standalone algorithm; `i + 1` under Section 7's
+    /// repeated-work optimization, which relies on a global `Complete`).
+    pub rel_min: usize,
+    /// Block-based execution (Section 7): scan through a pager, counting
+    /// page fetches, instead of tuple at a time.
+    pub pager: Option<&'p Pager<'db>>,
+}
+
+impl ScanScope<'_, '_> {
+    /// Applies `f` to every candidate tuple in scan scope, honoring
+    /// block-based execution when a pager is configured.
+    fn for_each_candidate(&self, stats: &mut Stats, mut f: impl FnMut(TupleId, &mut Stats)) {
+        match self.pager {
+            None => {
+                for rel_idx in self.rel_min..self.db.num_relations() {
+                    for raw in self.db.tuples_of(RelId(rel_idx as u16)) {
+                        stats.candidate_scans += 1;
+                        f(TupleId(raw), stats);
+                    }
+                }
+            }
+            Some(pager) => {
+                for rel_idx in self.rel_min..self.db.num_relations() {
+                    for block in pager.scan(RelId(rel_idx as u16)) {
+                        for t in block {
+                            stats.candidate_scans += 1;
+                            f(t, stats);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One call of `GETNEXTRESULT`. Returns the maximally-extended tuple set
+/// removed from `Incomplete` (Fig. 2 returns it for printing; the caller
+/// is responsible for appending it to `Complete`). Returns `None` when
+/// `Incomplete` is empty.
+pub(crate) fn get_next_result(
+    scope: &ScanScope<'_, '_>,
+    incomplete: &mut IncompleteQueue,
+    complete: &CompleteStore,
+    stats: &mut Stats,
+) -> Option<(TupleId, TupleSet)> {
+    let db = scope.db;
+    // Line 1: remove the first tuple set.
+    let (root, set) = incomplete.pop()?;
+    // Lines 2–6: maximal extension.
+    let set = extend_to_maximal_from(db, set, scope.rel_min, stats);
+
+    // Lines 7–18: derive successor tuple sets.
+    scope.for_each_candidate(stats, |tb, stats| {
+        if set.contains(tb) {
+            return;
+        }
+        // Line 8 (footnote 3): unique maximal JCC subset containing tb.
+        let t_prime = maximal_subset_with(db, &set, tb, stats);
+        // Line 10: must contain a tuple from Ri.
+        let Some(new_root) = t_prime.tuple_from(db, scope.ri) else {
+            return;
+        };
+        // Line 11: already represented in Complete?
+        if complete.contains_superset(&t_prime, new_root, stats) {
+            return;
+        }
+        // Lines 14–15: merge into an Incomplete entry sharing the root.
+        if incomplete.try_merge(db, new_root, &t_prime, stats) {
+            return;
+        }
+        // Line 18: genuinely new — append.
+        incomplete.push(new_root, t_prime, stats);
+    });
+
+    stats.results += 1;
+    Some((root, set))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreEngine;
+    use fd_relational::tourist_database;
+
+    const C1: TupleId = TupleId(0);
+    const C2: TupleId = TupleId(1);
+    const C3: TupleId = TupleId(2);
+    const A1: TupleId = TupleId(3);
+    const A2: TupleId = TupleId(4);
+    const S1: TupleId = TupleId(6);
+    const S2: TupleId = TupleId(7);
+
+    /// Drives the first `GETNEXTRESULT` call of Example 4.1 and checks the
+    /// exact list contents of Table 3's "Iteration 1" column.
+    #[test]
+    fn first_iteration_of_example_4_1() {
+        let db = tourist_database();
+        let mut stats = Stats::new();
+        let mut incomplete = IncompleteQueue::new(StoreEngine::Scan);
+        let complete = CompleteStore::new(StoreEngine::Scan);
+        for t in db.tuples_of(RelId(0)) {
+            let t = TupleId(t);
+            incomplete.push(t, TupleSet::singleton(&db, t), &mut stats);
+        }
+        let scope = ScanScope { db: &db, ri: RelId(0), rel_min: 0, pager: None };
+        let (root, result) =
+            get_next_result(&scope, &mut incomplete, &complete, &mut stats).unwrap();
+        assert_eq!(root, C1);
+        assert_eq!(result.tuples(), &[C1, A1]);
+
+        let pending: Vec<Vec<TupleId>> =
+            incomplete.iter().map(|s| s.tuples().to_vec()).collect();
+        // Table 3, Iteration 1 — exact list contents and order:
+        // {c1,a2,s1}, {c1,s2}, {c2}, {c3}.
+        assert_eq!(
+            pending,
+            vec![vec![C1, A2, S1], vec![C1, S2], vec![C2], vec![C3]]
+        );
+    }
+
+    /// Iteration 2 of Example 4.1: extending {c1, a2, s1} adds nothing new.
+    #[test]
+    fn second_iteration_adds_nothing() {
+        let db = tourist_database();
+        let mut stats = Stats::new();
+        let mut incomplete = IncompleteQueue::new(StoreEngine::Scan);
+        let mut complete = CompleteStore::new(StoreEngine::Scan);
+        for t in db.tuples_of(RelId(0)) {
+            let t = TupleId(t);
+            incomplete.push(t, TupleSet::singleton(&db, t), &mut stats);
+        }
+        let scope = ScanScope { db: &db, ri: RelId(0), rel_min: 0, pager: None };
+        let (_, r1) = get_next_result(&scope, &mut incomplete, &complete, &mut stats).unwrap();
+        complete.insert(r1, &[C1]);
+
+        let before: Vec<Vec<TupleId>> =
+            incomplete.iter().map(|s| s.tuples().to_vec()).collect();
+        let (_, r2) = get_next_result(&scope, &mut incomplete, &complete, &mut stats).unwrap();
+        assert_eq!(r2.tuples(), &[C1, A2, S1]);
+        let after: Vec<Vec<TupleId>> =
+            incomplete.iter().map(|s| s.tuples().to_vec()).collect();
+        // {c1,a2,s1} was consumed; no new set appeared.
+        assert_eq!(after.len(), before.len() - 1);
+        assert!(after.contains(&vec![C1, S2]));
+        assert!(after.contains(&vec![C2]));
+        assert!(after.contains(&vec![C3]));
+    }
+
+    #[test]
+    fn exhausts_to_none() {
+        let db = tourist_database();
+        let mut stats = Stats::new();
+        let mut incomplete = IncompleteQueue::new(StoreEngine::Indexed);
+        let mut complete = CompleteStore::new(StoreEngine::Indexed);
+        incomplete.push(C3, TupleSet::singleton(&db, C3), &mut stats);
+        let scope = ScanScope { db: &db, ri: RelId(0), rel_min: 0, pager: None };
+        let mut count = 0;
+        while let Some((root, set)) =
+            get_next_result(&scope, &mut incomplete, &complete, &mut stats)
+        {
+            complete.insert(set, &[root]);
+            count += 1;
+        }
+        // Starting from {c3} alone: {c3,a3} is the only reachable result
+        // rooted at c3... plus any sets derived via the candidate loop that
+        // contain a Climates tuple reachable from it.
+        assert!(count >= 1);
+        assert!(complete.sets().iter().any(|s| s.tuples() == [C3, TupleId(5)]));
+    }
+
+    #[test]
+    fn block_based_scan_counts_pages_and_matches_tuple_based() {
+        let db = tourist_database();
+        let run = |pager: Option<&Pager<'_>>| {
+            let mut stats = Stats::new();
+            let mut incomplete = IncompleteQueue::new(StoreEngine::Indexed);
+            let mut complete = CompleteStore::new(StoreEngine::Indexed);
+            for t in db.tuples_of(RelId(0)) {
+                let t = TupleId(t);
+                incomplete.push(t, TupleSet::singleton(&db, t), &mut stats);
+            }
+            let scope = ScanScope { db: &db, ri: RelId(0), rel_min: 0, pager };
+            let mut out = Vec::new();
+            while let Some((root, set)) =
+                get_next_result(&scope, &mut incomplete, &complete, &mut stats)
+            {
+                complete.insert(set.clone(), &[root]);
+                out.push(set);
+            }
+            out
+        };
+        let tuple_based = run(None);
+        let pager = Pager::new(&db, 4);
+        let block_based = run(Some(&pager));
+        assert_eq!(
+            tuple_based.iter().map(|s| s.tuples().to_vec()).collect::<Vec<_>>(),
+            block_based.iter().map(|s| s.tuples().to_vec()).collect::<Vec<_>>()
+        );
+        assert!(pager.stats().pages_read() > 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! # fd-core
+//!
+//! The algorithms of **Cohen & Sagiv, "An incremental algorithm for
+//! computing ranked full disjunctions"** (PODS 2005 / JCSS 2007):
+//!
+//! * [`FdiIter`] / [`FdIter`] — `INCREMENTALFD` (Fig. 1–2): the full
+//!   disjunction with incremental polynomial delay (Theorems 4.2–4.10);
+//! * [`RankedFdIter`] — `PRIORITYINCREMENTALFD` (Fig. 3): answers in
+//!   ranking order for monotonically c-determined ranking functions
+//!   (Theorem 5.5) and the threshold variant (Remark 5.6);
+//! * [`ApproxFdIter`] — `APPROXINCREMENTALFD` (Fig. 5–6): `(A, τ)`-
+//!   approximate full disjunctions for acceptable, efficiently computable
+//!   approximate join functions (Theorem 6.6);
+//! * Section 7's optimizations: hash-indexed stores, block-based
+//!   execution, alternative `Incomplete` initializations, plus a parallel
+//!   full-FD driver.
+//!
+//! ## Example
+//!
+//! ```
+//! use fd_core::{full_disjunction, FdIter};
+//! use fd_relational::tourist_database;
+//!
+//! let db = tourist_database();
+//! // Table 2 of the paper: six maximal join-consistent connected sets.
+//! assert_eq!(full_disjunction(&db).len(), 6);
+//! // Streaming: first answer after one GETNEXTRESULT call.
+//! let first = FdIter::new(&db).next().unwrap();
+//! assert_eq!(first.label(&db), "{c1, a1}");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod getnext;
+mod incremental;
+mod init;
+mod padded;
+mod stats;
+mod store;
+mod tupleset;
+
+pub mod approx;
+pub mod jcc;
+pub mod parallel;
+pub mod priority;
+pub mod ranked_approx;
+pub mod ranking;
+pub mod sim;
+
+pub use approx::{
+    approx_full_disjunction, AMin, AProd, ApproxFdIter, ApproxJoin, ProbScores,
+};
+pub use incremental::{
+    canonicalize, fdi, full_disjunction, full_disjunction_with, FdConfig, FdIter, FdiIter,
+};
+pub use init::InitStrategy;
+pub use padded::{format_results, padded_relation, padded_tuple, padded_tuple_over};
+pub use parallel::parallel_full_disjunction;
+pub use priority::{threshold, top_k, RankedFdIter};
+pub use ranked_approx::{approx_top_k, RankedApproxFdIter};
+pub use ranking::{FMax, FPairSum, FSum, FTriple, ImpScores, MonotoneCDetermined, RankingFunction};
+pub use sim::{EditDistanceSim, ExactSim, Similarity, TableSim};
+pub use stats::Stats;
+pub use store::{CompleteStore, IncompleteQueue, StoreEngine};
+pub use tupleset::TupleSet;

@@ -1,0 +1,114 @@
+//! The padded-tuple view of results (Table 2's last columns).
+//!
+//! Previous work (\[2\] in the paper) defines the full disjunction as a set
+//! of *tuples* over the universal schema: the natural join of each tuple
+//! set's members, padded with `⊥` on the remaining attributes. This module
+//! converts between the paper's tuple-set representation and that view,
+//! and renders results the way Table 2 prints them.
+
+use crate::tupleset::TupleSet;
+use fd_relational::textio::format_table;
+use fd_relational::{universal_schema, AttrId, Database, Value};
+
+/// Joins the members of `set` and pads missing attributes with `⊥`,
+/// producing a row over [`universal_schema`] order.
+pub fn padded_tuple(db: &Database, set: &TupleSet) -> Vec<Value> {
+    let attrs = universal_schema(db);
+    padded_tuple_over(set, &attrs)
+}
+
+/// Same as [`padded_tuple`] but over a caller-supplied attribute order.
+pub fn padded_tuple_over(set: &TupleSet, attrs: &[AttrId]) -> Vec<Value> {
+    attrs
+        .iter()
+        .map(|&a| set.binding(a).cloned().unwrap_or(Value::Null))
+        .collect()
+}
+
+/// Converts a whole result to padded rows (universal schema order).
+pub fn padded_relation(db: &Database, sets: &[TupleSet]) -> Vec<Vec<Value>> {
+    let attrs = universal_schema(db);
+    sets.iter().map(|s| padded_tuple_over(s, &attrs)).collect()
+}
+
+/// Renders results the way the paper's Table 2 does: a first column with
+/// the tuple-set labels, then the padded natural join of its members.
+pub fn format_results(db: &Database, title: &str, sets: &[TupleSet]) -> String {
+    let attrs = universal_schema(db);
+    let mut headers: Vec<&str> = vec!["Tuple set"];
+    headers.extend(attrs.iter().map(|&a| db.attr_name(a)));
+    let rows: Vec<Vec<String>> = sets
+        .iter()
+        .map(|s| {
+            let mut row = vec![s.label(db)];
+            row.extend(
+                padded_tuple_over(s, &attrs)
+                    .iter()
+                    .map(|v| v.display().into_owned()),
+            );
+            row
+        })
+        .collect();
+    format_table(title, &headers, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incremental::{canonicalize, full_disjunction};
+    use fd_relational::tourist_database;
+
+    #[test]
+    fn padded_view_of_table_2() {
+        let db = tourist_database();
+        let fd = canonicalize(full_disjunction(&db));
+        let rows = padded_relation(&db, &fd);
+        assert_eq!(rows.len(), 6);
+        // {c1, a1} row: Canada, Toronto, diverse, Plaza, 4, ⊥ in some
+        // universal order — check by attribute name.
+        let attrs = fd_relational::universal_schema(&db);
+        let idx = |name: &str| {
+            let id = db.attr_id(name).unwrap();
+            attrs.iter().position(|&a| a == id).unwrap()
+        };
+        let row0 = &rows[0];
+        assert_eq!(row0[idx("Country")], Value::str("Canada"));
+        assert_eq!(row0[idx("City")], Value::str("Toronto"));
+        assert_eq!(row0[idx("Hotel")], Value::str("Plaza"));
+        assert_eq!(row0[idx("Stars")], Value::Int(4));
+        assert!(row0[idx("Site")].is_null());
+
+        // {c1, s2} row: City is ⊥ (s2's null carries through).
+        let row2 = &rows[2];
+        assert!(row2[idx("City")].is_null());
+        assert_eq!(row2[idx("Site")], Value::str("Mount Logan"));
+    }
+
+    #[test]
+    fn no_padded_row_subsumes_another() {
+        let db = tourist_database();
+        let fd = full_disjunction(&db);
+        let rows = padded_relation(&db, &fd);
+        for (i, a) in rows.iter().enumerate() {
+            for (j, b) in rows.iter().enumerate() {
+                if i != j {
+                    let subsumed = a
+                        .iter()
+                        .zip(b.iter())
+                        .all(|(x, y)| x.is_null() || x == y);
+                    assert!(!subsumed, "row {i} subsumed by row {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn format_results_contains_labels_and_values() {
+        let db = tourist_database();
+        let fd = canonicalize(full_disjunction(&db));
+        let txt = format_results(&db, "FD", &fd);
+        assert!(txt.contains("{c1, a2, s1}"));
+        assert!(txt.contains("Air Show"));
+        assert!(txt.contains("⊥"));
+    }
+}

@@ -1,0 +1,507 @@
+//! Ranked approximate full disjunctions — the combination the paper
+//! sketches at the end of Section 6: *"the algorithm
+//! `APPROXINCREMENTALFD` can also be adapted to return tuples in ranking
+//! order, for a monotonically c-determined ranking function. This can be
+//! achieved by adapting `APPROXINCREMENTALFD` in the spirit of
+//! `PRIORITYINCREMENTALFD`."*
+//!
+//! The construction mirrors Fig. 3 with the `JCC` tests replaced by
+//! `A(…) ≥ τ`:
+//!
+//! * `n` priority queues seeded with every *acceptable* tuple set of size
+//!   ≤ c containing a tuple of `Ri`, merged to a fixpoint;
+//! * pop the globally highest-ranked entry, extend it A-maximally, run
+//!   the candidate loop through `A`'s maximal subsets, print unless
+//!   already printed.
+//!
+//! Both ingredients keep their own requirement: `f` must be
+//! monotonically c-determined (Lemma 5.4's argument) and `A` acceptable
+//! and efficiently computable (Theorem 6.6's).
+
+use crate::approx::ApproxJoin;
+use crate::ranking::MonotoneCDetermined;
+use crate::stats::Stats;
+use crate::tupleset::TupleSet;
+use fd_relational::fxhash::{FxHashMap, FxHashSet};
+use fd_relational::{Database, RelId, TupleId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Rank(f64);
+
+impl Eq for Rank {}
+
+impl PartialOrd for Rank {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rank {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct HeapItem {
+    rank: Rank,
+    gen: u32,
+    slot: u32,
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.rank
+            .cmp(&other.rank)
+            .then(self.gen.cmp(&other.gen))
+            .then(other.slot.cmp(&self.slot))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    root: TupleId,
+    set: TupleSet,
+    gen: u32,
+}
+
+#[derive(Debug, Default)]
+struct Queue {
+    slots: Vec<Option<Entry>>,
+    heap: BinaryHeap<HeapItem>,
+    by_root: FxHashMap<TupleId, Vec<u32>>,
+}
+
+impl Queue {
+    fn push(&mut self, root: TupleId, set: TupleSet, rank: f64, stats: &mut Stats) {
+        stats.heap_pushes += 1;
+        let slot = self.slots.len() as u32;
+        self.slots.push(Some(Entry { root, set, gen: 0 }));
+        self.by_root.entry(root).or_default().push(slot);
+        self.heap.push(HeapItem { rank: Rank(rank), gen: 0, slot });
+    }
+
+    fn item_valid(&self, item: &HeapItem) -> bool {
+        matches!(&self.slots[item.slot as usize], Some(e) if e.gen == item.gen)
+    }
+
+    fn peek_rank(&mut self, stats: &mut Stats) -> Option<f64> {
+        while let Some(top) = self.heap.peek() {
+            if self.item_valid(top) {
+                return Some(top.rank.0);
+            }
+            self.heap.pop();
+            stats.heap_pops += 1;
+        }
+        None
+    }
+
+    fn pop(&mut self, stats: &mut Stats) -> Option<(TupleId, TupleSet)> {
+        while let Some(item) = self.heap.pop() {
+            stats.heap_pops += 1;
+            if self.item_valid(&item) {
+                let e = self.slots[item.slot as usize].take().expect("valid");
+                return Some((e.root, e.set));
+            }
+        }
+        None
+    }
+}
+
+/// Streaming ranked `AFD(R, A, τ)`: yields `(tuple set, rank)` in
+/// non-increasing rank order; every yielded set satisfies `A(T) ≥ τ` and
+/// together they form exactly the approximate full disjunction.
+pub struct RankedApproxFdIter<'db, 'x, A: ApproxJoin, F: MonotoneCDetermined> {
+    db: &'db Database,
+    a: &'x A,
+    f: &'x F,
+    tau: f64,
+    queues: Vec<Queue>,
+    printed: FxHashSet<Box<[TupleId]>>,
+    complete: Vec<TupleSet>,
+    complete_by_tuple: FxHashMap<TupleId, Vec<u32>>,
+    stats: Stats,
+}
+
+impl<'db, 'x, A: ApproxJoin, F: MonotoneCDetermined> RankedApproxFdIter<'db, 'x, A, F> {
+    /// Builds the iterator: enumerates the acceptable sets of size ≤ c
+    /// per relation, merges mergeable pairs, seeds the queues.
+    pub fn new(db: &'db Database, a: &'x A, tau: f64, f: &'x F) -> Self {
+        let mut stats = Stats::new();
+        let c = f.c().max(1);
+        let mut queues = Vec::with_capacity(db.num_relations());
+        for rel_idx in 0..db.num_relations() {
+            let ri = RelId(rel_idx as u16);
+            let seeds = enumerate_acceptable(db, ri, c, a, tau, &mut stats);
+            let merged = merge_acceptable(db, seeds, a, tau, &mut stats);
+            let mut q = Queue::default();
+            for (root, set) in merged {
+                stats.rank_evals += 1;
+                let rank = f.rank(db, &set);
+                q.push(root, set, rank, &mut stats);
+            }
+            queues.push(q);
+        }
+        RankedApproxFdIter {
+            db,
+            a,
+            f,
+            tau,
+            queues,
+            printed: FxHashSet::default(),
+            complete: Vec::new(),
+            complete_by_tuple: FxHashMap::default(),
+            stats,
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    fn complete_contains_superset(&mut self, t: &TupleSet, root: TupleId) -> bool {
+        match self.complete_by_tuple.get(&root) {
+            Some(idxs) => idxs.iter().any(|&i| {
+                self.stats.complete_scans += 1;
+                t.is_subset_of(&self.complete[i as usize])
+            }),
+            None => false,
+        }
+    }
+
+    /// A-maximal greedy extension (Fig. 6 lines 2–6).
+    fn extend_maximal(&mut self, mut set: TupleSet) -> TupleSet {
+        loop {
+            self.stats.extension_passes += 1;
+            let mut grew = false;
+            for rel_idx in 0..self.db.num_relations() {
+                let rel = RelId(rel_idx as u16);
+                if set.tuple_from(self.db, rel).is_some() {
+                    continue;
+                }
+                if !set
+                    .tuples()
+                    .iter()
+                    .any(|&m| self.db.rels_connected(self.db.rel_of(m), rel))
+                {
+                    continue;
+                }
+                for raw in self.db.tuples_of(rel) {
+                    let tg = TupleId(raw);
+                    self.stats.extension_scans += 1;
+                    let mut members = set.tuples().to_vec();
+                    let pos = members.partition_point(|&x| x < tg);
+                    members.insert(pos, tg);
+                    self.stats.approx_evals += 1;
+                    if self.a.score(self.db, &members) >= self.tau {
+                        set = crate::jcc::rebuild(self.db, members);
+                        grew = true;
+                        break;
+                    }
+                }
+            }
+            if !grew {
+                return set;
+            }
+        }
+    }
+
+    fn step(&mut self) -> Option<(TupleSet, f64)> {
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for qi in 0..self.queues.len() {
+                if let Some(r) = self.queues[qi].peek_rank(&mut self.stats) {
+                    best = Some(match best {
+                        Some((bi, br)) if br >= r => (bi, br),
+                        _ => (qi, r),
+                    });
+                }
+            }
+            let (qi, _) = best?;
+            let ri = RelId(qi as u16);
+            let (_, set) = self.queues[qi].pop(&mut self.stats)?;
+            let set = self.extend_maximal(set);
+
+            for raw in 0..self.db.num_tuples() as u32 {
+                let tb = TupleId(raw);
+                self.stats.candidate_scans += 1;
+                if set.contains(tb) {
+                    continue;
+                }
+                let subsets =
+                    self.a
+                        .maximal_subsets(self.db, &set, tb, self.tau, &mut self.stats);
+                for t_prime in subsets {
+                    let Some(new_root) = t_prime.tuple_from(self.db, ri) else { continue };
+                    if self.complete_contains_superset(&t_prime, new_root) {
+                        continue;
+                    }
+                    // Merge into a queue entry sharing the root when the
+                    // union stays acceptable.
+                    let mut merged = false;
+                    let candidates: Vec<u32> = self.queues[qi]
+                        .by_root
+                        .get(&new_root)
+                        .cloned()
+                        .unwrap_or_default();
+                    for slot in candidates {
+                        let Some(entry) = &self.queues[qi].slots[slot as usize] else {
+                            continue;
+                        };
+                        self.stats.incomplete_scans += 1;
+                        let mut members: Vec<TupleId> = entry
+                            .set
+                            .tuples()
+                            .iter()
+                            .chain(t_prime.tuples().iter())
+                            .copied()
+                            .collect();
+                        members.sort_unstable();
+                        members.dedup();
+                        let rel_ok = members
+                            .windows(2)
+                            .all(|w| self.db.rel_of(w[0]) != self.db.rel_of(w[1]));
+                        if !rel_ok {
+                            continue;
+                        }
+                        self.stats.approx_evals += 1;
+                        if self.a.score(self.db, &members) >= self.tau {
+                            self.stats.merges += 1;
+                            let union = crate::jcc::rebuild(self.db, members);
+                            let gen = entry.gen + 1;
+                            self.stats.rank_evals += 1;
+                            let rank = self.f.rank(self.db, &union);
+                            self.queues[qi].slots[slot as usize] =
+                                Some(Entry { root: new_root, set: union, gen });
+                            self.queues[qi].heap.push(HeapItem {
+                                rank: Rank(rank),
+                                gen,
+                                slot,
+                            });
+                            self.stats.heap_pushes += 1;
+                            merged = true;
+                            break;
+                        }
+                    }
+                    if merged {
+                        continue;
+                    }
+                    self.stats.rank_evals += 1;
+                    let rank = self.f.rank(self.db, &t_prime);
+                    self.queues[qi].push(new_root, t_prime, rank, &mut self.stats);
+                }
+            }
+
+            if !self.printed.insert(set.tuples().into()) {
+                continue;
+            }
+            let idx = self.complete.len() as u32;
+            for &t in set.tuples() {
+                self.complete_by_tuple.entry(t).or_default().push(idx);
+            }
+            self.complete.push(set.clone());
+            self.stats.results += 1;
+            self.stats.rank_evals += 1;
+            let rank = self.f.rank(self.db, &set);
+            return Some((set, rank));
+        }
+    }
+}
+
+impl<A: ApproxJoin, F: MonotoneCDetermined> Iterator for RankedApproxFdIter<'_, '_, A, F> {
+    type Item = (TupleSet, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.step()
+    }
+}
+
+/// The top-(k, f) problem over the approximate full disjunction.
+pub fn approx_top_k<A: ApproxJoin, F: MonotoneCDetermined>(
+    db: &Database,
+    a: &A,
+    tau: f64,
+    f: &F,
+    k: usize,
+) -> Vec<(TupleSet, f64)> {
+    RankedApproxFdIter::new(db, a, tau, f).take(k).collect()
+}
+
+/// All acceptable connected sets of size ≤ c containing a tuple of `ri`,
+/// by acceptable connectivity-preserving growth (antitone `A` guarantees
+/// coverage).
+fn enumerate_acceptable<A: ApproxJoin>(
+    db: &Database,
+    ri: RelId,
+    c: usize,
+    a: &A,
+    tau: f64,
+    stats: &mut Stats,
+) -> Vec<(TupleId, TupleSet)> {
+    let mut out = Vec::new();
+    let mut seen: FxHashSet<Box<[TupleId]>> = FxHashSet::default();
+    let mut stack: Vec<(TupleId, TupleSet)> = Vec::new();
+    for raw in db.tuples_of(ri) {
+        let root = TupleId(raw);
+        stats.approx_evals += 1;
+        if a.score(db, &[root]) >= tau {
+            stack.push((root, TupleSet::singleton(db, root)));
+        }
+    }
+    while let Some((root, set)) = stack.pop() {
+        if !seen.insert(set.tuples().into()) {
+            continue;
+        }
+        out.push((root, set.clone()));
+        if set.len() >= c {
+            continue;
+        }
+        for raw in 0..db.num_tuples() as u32 {
+            let t = TupleId(raw);
+            if set.contains(t) || set.tuple_from(db, db.rel_of(t)).is_some() {
+                continue;
+            }
+            if !set
+                .tuples()
+                .iter()
+                .any(|&m| db.rels_connected(db.rel_of(m), db.rel_of(t)))
+            {
+                continue;
+            }
+            let mut members = set.tuples().to_vec();
+            let pos = members.partition_point(|&x| x < t);
+            members.insert(pos, t);
+            stats.approx_evals += 1;
+            if a.score(db, &members) >= tau {
+                stack.push((root, crate::jcc::rebuild(db, members)));
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 3 lines 5–8 with `A`-acceptance: merge same-root pairs whose
+/// union stays acceptable, to a fixpoint.
+fn merge_acceptable<A: ApproxJoin>(
+    db: &Database,
+    seeds: Vec<(TupleId, TupleSet)>,
+    a: &A,
+    tau: f64,
+    stats: &mut Stats,
+) -> Vec<(TupleId, TupleSet)> {
+    let mut buckets: FxHashMap<TupleId, Vec<TupleSet>> = FxHashMap::default();
+    let mut order: Vec<TupleId> = Vec::new();
+    for (root, set) in seeds {
+        let b = buckets.entry(root).or_default();
+        if b.is_empty() {
+            order.push(root);
+        }
+        b.push(set);
+    }
+    let mut out = Vec::new();
+    for root in order {
+        let mut sets = buckets.remove(&root).expect("bucket");
+        'fixpoint: loop {
+            for i in 0..sets.len() {
+                for j in (i + 1)..sets.len() {
+                    let mut members: Vec<TupleId> = sets[i]
+                        .tuples()
+                        .iter()
+                        .chain(sets[j].tuples().iter())
+                        .copied()
+                        .collect();
+                    members.sort_unstable();
+                    members.dedup();
+                    let rel_ok = members
+                        .windows(2)
+                        .all(|w| db.rel_of(w[0]) != db.rel_of(w[1]));
+                    if !rel_ok {
+                        continue;
+                    }
+                    stats.approx_evals += 1;
+                    if a.score(db, &members) >= tau {
+                        stats.merges += 1;
+                        sets[i] = crate::jcc::rebuild(db, members);
+                        sets.swap_remove(j);
+                        continue 'fixpoint;
+                    }
+                }
+            }
+            break;
+        }
+        for set in sets {
+            out.push((root, set));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::{approx_full_disjunction, AMin, ProbScores};
+    use crate::ranking::{FMax, ImpScores};
+    use crate::sim::{EditDistanceSim, ExactSim};
+    use fd_relational::tourist_database;
+
+    #[test]
+    fn ranked_approx_covers_afd_in_order() {
+        let db = tourist_database();
+        let a = AMin::new(ExactSim, ProbScores::uniform(&db, 1.0));
+        let imp = ImpScores::from_fn(&db, |t| (t.0 % 5) as f64);
+        let f = FMax::new(&imp);
+        let tau = 0.9;
+        let ranked: Vec<(TupleSet, f64)> =
+            RankedApproxFdIter::new(&db, &a, tau, &f).collect();
+        // Order.
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // Coverage = AFD.
+        let mut got: Vec<TupleSet> = ranked.into_iter().map(|x| x.0).collect();
+        got.sort();
+        let mut want = approx_full_disjunction(&db, &a, tau);
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn approx_top_k_is_prefix() {
+        let db = tourist_database();
+        let a = AMin::new(EditDistanceSim, ProbScores::uniform(&db, 1.0));
+        let imp = ImpScores::from_fn(&db, |t| t.0 as f64);
+        let f = FMax::new(&imp);
+        let all: Vec<_> = RankedApproxFdIter::new(&db, &a, 0.8, &f).collect();
+        for k in 0..=all.len() {
+            let got = approx_top_k(&db, &a, 0.8, &f, k);
+            assert_eq!(got.len(), k);
+            for (g, w) in got.iter().zip(all.iter()) {
+                assert_eq!(g.1, w.1);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_similarity_reduces_to_plain_ranked_fd() {
+        let db = tourist_database();
+        let a = AMin::new(ExactSim, ProbScores::uniform(&db, 1.0));
+        let imp = ImpScores::from_fn(&db, |t| (10 - t.0) as f64);
+        let f = FMax::new(&imp);
+        let approx_ranks: Vec<f64> = RankedApproxFdIter::new(&db, &a, 1.0, &f)
+            .map(|x| x.1)
+            .collect();
+        let exact_ranks: Vec<f64> = crate::priority::RankedFdIter::new(&db, &f)
+            .map(|x| x.1)
+            .collect();
+        assert_eq!(approx_ranks, exact_ranks);
+    }
+}

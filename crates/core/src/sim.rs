@@ -1,0 +1,217 @@
+//! Tuple-pair similarity functions — the `sim(t, t′)` ingredient of
+//! approximate join functions (Section 6).
+//!
+//! The paper assumes a symmetric `sim` and notes that "the values
+//! `sim(t, t′)` can be defined in many different ways, e.g., using edit
+//! distance, tf-idf, etc." (footnote 7). We provide:
+//!
+//! * [`ExactSim`] — 1.0 iff the pair is join consistent in the exact
+//!   sense; turns approximate algorithms back into exact ones;
+//! * [`EditDistanceSim`] — per-shared-attribute normalized Levenshtein
+//!   similarity for strings, relative closeness for numbers, combined by
+//!   the minimum over shared attributes;
+//! * [`TableSim`] — explicit per-pair overrides on top of a fallback,
+//!   used to reproduce Fig. 4 of the paper verbatim.
+
+use crate::jcc::tuples_join_consistent;
+use fd_relational::fxhash::FxHashMap;
+use fd_relational::{Database, TupleId, Value};
+
+/// A symmetric tuple-pair similarity in `[0, 1]`.
+pub trait Similarity {
+    /// `sim(t1, t2)`. Implementations must be symmetric; tuples of the
+    /// same relation are never combinable, and callers never ask about
+    /// them.
+    fn sim(&self, db: &Database, t1: TupleId, t2: TupleId) -> f64;
+}
+
+/// Exact-match similarity: 1.0 iff every shared attribute is equal and
+/// non-null. With `τ > 0` this reduces approximate full disjunctions to
+/// exact ones — a key cross-check between the algorithms.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactSim;
+
+impl Similarity for ExactSim {
+    fn sim(&self, db: &Database, t1: TupleId, t2: TupleId) -> f64 {
+        if tuples_join_consistent(db, t1, t2) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Levenshtein distance with the classic two-row dynamic program.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Normalized string similarity: `1 − lev(a,b) / max(|a|,|b|)`.
+pub fn string_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// Value-level similarity: exact types compare structurally; strings via
+/// normalized edit distance; numbers via relative closeness
+/// `1 − |x−y| / max(|x|,|y|,1)`; nulls and mismatched types score 0.
+pub fn value_similarity(a: &Value, b: &Value) -> f64 {
+    match (a, b) {
+        (Value::Null, _) | (_, Value::Null) => 0.0,
+        (Value::Str(x), Value::Str(y)) => string_similarity(x, y),
+        (Value::Int(x), Value::Int(y)) => numeric_similarity(*x as f64, *y as f64),
+        (Value::Float(x), Value::Float(y)) => numeric_similarity(*x, *y),
+        (Value::Int(x), Value::Float(y)) | (Value::Float(y), Value::Int(x)) => {
+            numeric_similarity(*x as f64, *y)
+        }
+        (Value::Bool(x), Value::Bool(y)) if x == y => 1.0,
+        (Value::Bool(_), Value::Bool(_)) => 0.0,
+        _ => 0.0,
+    }
+}
+
+fn numeric_similarity(x: f64, y: f64) -> f64 {
+    let scale = x.abs().max(y.abs()).max(1.0);
+    (1.0 - (x - y).abs() / scale).max(0.0)
+}
+
+/// Attribute-wise similarity: the minimum of [`value_similarity`] over
+/// the shared attributes of the pair's schemas (0 when the relations
+/// share no attribute — such pairs are not connected).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EditDistanceSim;
+
+impl Similarity for EditDistanceSim {
+    fn sim(&self, db: &Database, t1: TupleId, t2: TupleId) -> f64 {
+        let (r1, r2) = (db.rel_of(t1), db.rel_of(t2));
+        let shared = db.shared_attrs(r1, r2);
+        if shared.is_empty() {
+            return 0.0;
+        }
+        shared
+            .iter()
+            .map(|&a| {
+                let v1 = db.tuple_value(t1, a).expect("shared attr");
+                let v2 = db.tuple_value(t2, a).expect("shared attr");
+                value_similarity(v1, v2)
+            })
+            .fold(1.0, f64::min)
+    }
+}
+
+/// Similarity with explicit per-pair values over a fallback — reproduces
+/// the paper's Fig. 4 edge annotations exactly.
+#[derive(Debug, Clone)]
+pub struct TableSim<S> {
+    overrides: FxHashMap<(TupleId, TupleId), f64>,
+    fallback: S,
+}
+
+impl<S: Similarity> TableSim<S> {
+    /// Builds over a fallback similarity.
+    pub fn new(fallback: S) -> Self {
+        TableSim { overrides: FxHashMap::default(), fallback }
+    }
+
+    /// Sets `sim(a, b) = sim(b, a) = value`.
+    pub fn set(&mut self, a: TupleId, b: TupleId, value: f64) -> &mut Self {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.overrides.insert(key, value);
+        self
+    }
+}
+
+impl<S: Similarity> Similarity for TableSim<S> {
+    fn sim(&self, db: &Database, t1: TupleId, t2: TupleId) -> f64 {
+        let key = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        match self.overrides.get(&key) {
+            Some(&v) => v,
+            None => self.fallback.sim(db, t1, t2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_relational::tourist_database;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("Canada", "Cannada"), 1);
+    }
+
+    #[test]
+    fn string_similarity_normalizes() {
+        assert_eq!(string_similarity("", ""), 1.0);
+        assert!((string_similarity("Canada", "Cannada") - (1.0 - 1.0 / 7.0)).abs() < 1e-12);
+        assert_eq!(string_similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn value_similarity_cases() {
+        assert_eq!(value_similarity(&Value::Null, &Value::Int(1)), 0.0);
+        assert_eq!(value_similarity(&Value::Int(10), &Value::Int(10)), 1.0);
+        assert!(value_similarity(&Value::Int(10), &Value::Int(9)) > 0.8);
+        assert_eq!(value_similarity(&Value::str("a"), &Value::Int(1)), 0.0);
+        assert_eq!(value_similarity(&Value::Bool(true), &Value::Bool(false)), 0.0);
+    }
+
+    #[test]
+    fn exact_sim_matches_join_consistency() {
+        let db = tourist_database();
+        let s = ExactSim;
+        assert_eq!(s.sim(&db, TupleId(0), TupleId(3)), 1.0); // c1-a1
+        assert_eq!(s.sim(&db, TupleId(3), TupleId(6)), 0.0); // a1-s1 (city)
+    }
+
+    #[test]
+    fn edit_distance_sim_is_min_over_shared_attrs() {
+        let db = tourist_database();
+        let s = EditDistanceSim;
+        // a2 (Canada, London, …) vs s1 (Canada, London, Air Show): both
+        // shared attrs identical ⇒ 1.0.
+        assert_eq!(s.sim(&db, TupleId(4), TupleId(6)), 1.0);
+        // a1 (Toronto) vs s1 (London): City similarity is low; Country is
+        // 1.0 ⇒ min < 0.5.
+        assert!(s.sim(&db, TupleId(3), TupleId(6)) < 0.5);
+        // s2 has a null City: against a1 the City similarity is 0.
+        assert_eq!(s.sim(&db, TupleId(3), TupleId(7)), 0.0);
+    }
+
+    #[test]
+    fn table_sim_is_symmetric() {
+        let db = tourist_database();
+        let mut s = TableSim::new(ExactSim);
+        s.set(TupleId(0), TupleId(3), 0.8);
+        assert_eq!(s.sim(&db, TupleId(0), TupleId(3)), 0.8);
+        assert_eq!(s.sim(&db, TupleId(3), TupleId(0)), 0.8);
+        // Fallback for unlisted pairs.
+        assert_eq!(s.sim(&db, TupleId(0), TupleId(4)), 1.0);
+    }
+}

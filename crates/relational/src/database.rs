@@ -1,0 +1,611 @@
+//! The database catalog: interned attributes, relations, the global tuple
+//! id space `Tuples(R)`, and the relation connectivity graph.
+
+use crate::error::{RelationalError, Result};
+use crate::fxhash::FxHashMap;
+use crate::ids::{AttrId, RelId, TupleId};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// A set of relations `R = {R1, …, Rn}` plus every derived index the
+/// paper's algorithms need:
+///
+/// * a global tuple id space (`Tuples(R)`),
+/// * the *relation graph* — vertices are relations, edges connect relations
+///   whose schemas share an attribute (Section 2),
+/// * per-pair shared-attribute lists, used by the `O(n²)` connected-
+///   component step of `GETNEXTRESULT` (Theorem 4.8),
+/// * an attribute → relations index.
+///
+/// Databases are immutable once built (see [`DatabaseBuilder`]), so all
+/// algorithms can borrow them freely, including across threads.
+#[derive(Debug, Clone)]
+pub struct Database {
+    attr_names: Vec<String>,
+    attr_ids: HashMap<String, AttrId>,
+    relations: Vec<Relation>,
+    rel_ids: HashMap<String, RelId>,
+    /// `tuple_start[r]` = first global tuple id of relation `r`;
+    /// `tuple_start[n]` = total tuple count (sentinel).
+    tuple_start: Vec<u32>,
+    /// Adjacency lists of the relation graph, ascending.
+    adjacency: Vec<Vec<RelId>>,
+    /// Shared attributes per relation pair, flattened `n × n` row-major.
+    shared: Vec<Vec<AttrId>>,
+    /// Relations containing each attribute, ascending.
+    attr_rels: Vec<Vec<RelId>>,
+}
+
+impl Database {
+    /// Number of relations (`n` in the paper).
+    #[inline]
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Total number of tuples across all relations (`|Tuples(R)|`).
+    #[inline]
+    pub fn num_tuples(&self) -> usize {
+        *self.tuple_start.last().expect("sentinel") as usize
+    }
+
+    /// Number of distinct attributes.
+    #[inline]
+    pub fn num_attrs(&self) -> usize {
+        self.attr_names.len()
+    }
+
+    /// Total size `s` as the paper measures it: the number of
+    /// (tuple, attribute, value) entries over all relations.
+    pub fn total_size(&self) -> usize {
+        self.relations.iter().map(Relation::total_size).sum()
+    }
+
+    /// All relations in `R1..Rn` order.
+    #[inline]
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// The relation with the given id.
+    #[inline]
+    pub fn relation(&self, id: RelId) -> &Relation {
+        &self.relations[id.index()]
+    }
+
+    /// Looks a relation up by name.
+    pub fn relation_by_name(&self, name: &str) -> Result<&Relation> {
+        let id = self
+            .rel_ids
+            .get(name)
+            .ok_or_else(|| RelationalError::UnknownRelation { relation: name.to_owned() })?;
+        Ok(&self.relations[id.index()])
+    }
+
+    /// The interned id of an attribute name.
+    pub fn attr_id(&self, name: &str) -> Result<AttrId> {
+        self.attr_ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| RelationalError::UnknownAttribute { attribute: name.to_owned() })
+    }
+
+    /// The name of an interned attribute.
+    #[inline]
+    pub fn attr_name(&self, attr: AttrId) -> &str {
+        &self.attr_names[attr.index()]
+    }
+
+    /// All attribute ids, ascending.
+    pub fn attrs(&self) -> impl ExactSizeIterator<Item = AttrId> {
+        (0..self.attr_names.len() as u32).map(AttrId)
+    }
+
+    /// Global ids of the tuples of relation `rel` (dense range).
+    #[inline]
+    pub fn tuples_of(&self, rel: RelId) -> Range<u32> {
+        self.tuple_start[rel.index()]..self.tuple_start[rel.index() + 1]
+    }
+
+    /// All global tuple ids, in `R1..Rn` then row order — the scan order of
+    /// the paper's `foreach` loops.
+    pub fn all_tuples(&self) -> impl ExactSizeIterator<Item = TupleId> {
+        (0..self.num_tuples() as u32).map(TupleId)
+    }
+
+    /// The relation a tuple belongs to.
+    #[inline]
+    pub fn rel_of(&self, t: TupleId) -> RelId {
+        // partition_point returns the count of starts <= t, so the owning
+        // relation is one before that.
+        let idx = self.tuple_start.partition_point(|&s| s <= t.0) - 1;
+        RelId(idx as u16)
+    }
+
+    /// The row index of a tuple within its relation.
+    #[inline]
+    pub fn row_of(&self, t: TupleId) -> usize {
+        let rel = self.rel_of(t);
+        (t.0 - self.tuple_start[rel.index()]) as usize
+    }
+
+    /// Splits a tuple id into (relation, row).
+    #[inline]
+    pub fn locate(&self, t: TupleId) -> (RelId, usize) {
+        let rel = self.rel_of(t);
+        (rel, (t.0 - self.tuple_start[rel.index()]) as usize)
+    }
+
+    /// `t[A]`: the value of attribute `attr` in tuple `t`, or `None` when
+    /// `attr` is not in `Schema(t)`.
+    #[inline]
+    pub fn tuple_value(&self, t: TupleId, attr: AttrId) -> Option<&Value> {
+        let (rel, row) = self.locate(t);
+        self.relations[rel.index()].value(row, attr)
+    }
+
+    /// The values of tuple `t` in column order.
+    #[inline]
+    pub fn tuple_values(&self, t: TupleId) -> &[Value] {
+        let (rel, row) = self.locate(t);
+        self.relations[rel.index()].row(row)
+    }
+
+    /// `Schema(t)`: the schema of the relation tuple `t` belongs to.
+    #[inline]
+    pub fn tuple_schema(&self, t: TupleId) -> &Schema {
+        self.relations[self.rel_of(t).index()].schema()
+    }
+
+    /// A short, human-readable label like the paper's `c1`, `a2`, `s3`:
+    /// first letter of the relation name (lowercased) plus the 1-based row.
+    pub fn tuple_label(&self, t: TupleId) -> String {
+        let (rel, row) = self.locate(t);
+        let initial = self.relations[rel.index()]
+            .name()
+            .chars()
+            .next()
+            .map(|c| c.to_ascii_lowercase())
+            .unwrap_or('t');
+        format!("{initial}{}", row + 1)
+    }
+
+    /// Relations adjacent to `rel` in the relation graph.
+    #[inline]
+    pub fn neighbors(&self, rel: RelId) -> &[RelId] {
+        &self.adjacency[rel.index()]
+    }
+
+    /// Attributes shared by two relations' schemas (empty ⇔ not connected).
+    #[inline]
+    pub fn shared_attrs(&self, a: RelId, b: RelId) -> &[AttrId] {
+        &self.shared[a.index() * self.relations.len() + b.index()]
+    }
+
+    /// Are two relations connected (do their schemas share an attribute)?
+    #[inline]
+    pub fn rels_connected(&self, a: RelId, b: RelId) -> bool {
+        !self.shared_attrs(a, b).is_empty()
+    }
+
+    /// Relations whose schemas contain `attr`.
+    #[inline]
+    pub fn relations_with_attr(&self, attr: AttrId) -> &[RelId] {
+        &self.attr_rels[attr.index()]
+    }
+
+    /// Is the whole set of relations connected, in the paper's sense of the
+    /// relation graph forming one connected component?
+    pub fn is_connected(&self) -> bool {
+        let n = self.relations.len();
+        if n <= 1 {
+            return true;
+        }
+        self.component_of(RelId(0)).len() == n
+    }
+
+    /// The connected component of the relation graph containing `start`.
+    pub fn component_of(&self, start: RelId) -> Vec<RelId> {
+        let n = self.relations.len();
+        let mut seen = vec![false; n];
+        let mut stack = vec![start];
+        let mut out = Vec::new();
+        seen[start.index()] = true;
+        while let Some(r) = stack.pop() {
+            out.push(r);
+            for &nb in self.neighbors(r) {
+                if !seen[nb.index()] {
+                    seen[nb.index()] = true;
+                    stack.push(nb);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Checks whether a *subset* of relations is connected via shared
+    /// attributes **within the subset**. Used for tuple-set connectivity:
+    /// a tuple set is connected iff the relations of its members are.
+    ///
+    /// Runs in `O(n²)` like the auxiliary-graph search in Theorem 4.8.
+    pub fn subset_connected(&self, rels: &[RelId]) -> bool {
+        match rels.len() {
+            0 | 1 => true,
+            _ => {
+                let mut seen = vec![false; rels.len()];
+                let mut stack = vec![0usize];
+                seen[0] = true;
+                let mut count = 1;
+                while let Some(i) = stack.pop() {
+                    for (j, &rj) in rels.iter().enumerate() {
+                        if !seen[j] && self.rels_connected(rels[i], rj) {
+                            seen[j] = true;
+                            count += 1;
+                            stack.push(j);
+                        }
+                    }
+                }
+                count == rels.len()
+            }
+        }
+    }
+
+    /// The members of `rels` in the same connected component as `anchor`,
+    /// where connectivity only uses edges between members of `rels`
+    /// (plus `anchor`). This is the second step of the paper's footnote-3
+    /// procedure for computing the maximal subset `T′`.
+    pub fn subset_component(&self, rels: &[RelId], anchor: RelId) -> Vec<RelId> {
+        let mut all: Vec<RelId> = Vec::with_capacity(rels.len() + 1);
+        all.extend_from_slice(rels);
+        if !all.contains(&anchor) {
+            all.push(anchor);
+        }
+        let mut seen = vec![false; all.len()];
+        let anchor_idx = all.iter().position(|&r| r == anchor).expect("anchor present");
+        seen[anchor_idx] = true;
+        let mut stack = vec![anchor_idx];
+        let mut out = vec![anchor];
+        while let Some(i) = stack.pop() {
+            for (j, &rj) in all.iter().enumerate() {
+                if !seen[j] && self.rels_connected(all[i], rj) {
+                    seen[j] = true;
+                    stack.push(j);
+                    out.push(rj);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Fluent builder for [`Database`].
+///
+/// ```
+/// use fd_relational::{DatabaseBuilder, Value};
+///
+/// let mut b = DatabaseBuilder::new();
+/// b.relation("Climates", &["Country", "Climate"])
+///     .row(["Canada", "diverse"])
+///     .row(["UK", "temperate"]);
+/// b.relation("Sites", &["Country", "Site"])
+///     .row(["Canada", "Air Show"]);
+/// let db = b.build().unwrap();
+/// assert_eq!(db.num_relations(), 2);
+/// assert_eq!(db.num_tuples(), 3);
+/// assert!(db.is_connected());
+/// ```
+#[derive(Debug, Default)]
+pub struct DatabaseBuilder {
+    attr_names: Vec<String>,
+    attr_ids: HashMap<String, AttrId>,
+    relations: Vec<PendingRelation>,
+    errors: Vec<RelationalError>,
+}
+
+#[derive(Debug)]
+struct PendingRelation {
+    name: String,
+    attrs: Vec<AttrId>,
+    rows: Vec<Vec<Value>>,
+}
+
+/// Handle for appending rows to a relation under construction.
+#[derive(Debug)]
+pub struct RelationBuilder<'a> {
+    builder: &'a mut DatabaseBuilder,
+    rel: usize,
+}
+
+impl DatabaseBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern(&mut self, name: &str) -> AttrId {
+        if let Some(&id) = self.attr_ids.get(name) {
+            return id;
+        }
+        let id = AttrId(self.attr_names.len() as u32);
+        self.attr_names.push(name.to_owned());
+        self.attr_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Declares a relation with the given attribute names and returns a
+    /// handle for adding its rows. Duplicate attribute or relation names
+    /// are reported when [`build`](Self::build) runs.
+    pub fn relation(&mut self, name: &str, attrs: &[&str]) -> RelationBuilder<'_> {
+        if self.relations.iter().any(|r| r.name == name) {
+            self.errors
+                .push(RelationalError::DuplicateRelation { relation: name.to_owned() });
+        }
+        let mut ids = Vec::with_capacity(attrs.len());
+        for &a in attrs {
+            let id = self.intern(a);
+            if ids.contains(&id) {
+                self.errors.push(RelationalError::DuplicateAttribute {
+                    relation: name.to_owned(),
+                    attribute: a.to_owned(),
+                });
+            }
+            ids.push(id);
+        }
+        self.relations.push(PendingRelation {
+            name: name.to_owned(),
+            attrs: ids,
+            rows: Vec::new(),
+        });
+        let rel = self.relations.len() - 1;
+        RelationBuilder { builder: self, rel }
+    }
+
+    /// Finishes construction, computing the relation graph and indexes.
+    pub fn build(self) -> Result<Database> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        if self.relations.len() > u16::MAX as usize {
+            return Err(RelationalError::CapacityExceeded { what: "relations" });
+        }
+
+        let mut relations = Vec::with_capacity(self.relations.len());
+        let mut rel_ids = HashMap::new();
+        let mut tuple_start = Vec::with_capacity(self.relations.len() + 1);
+        let mut next_tuple: u64 = 0;
+        for (i, pending) in self.relations.into_iter().enumerate() {
+            let id = RelId(i as u16);
+            rel_ids.insert(pending.name.clone(), id);
+            tuple_start.push(next_tuple as u32);
+            next_tuple += pending.rows.len() as u64;
+            if next_tuple > u32::MAX as u64 {
+                return Err(RelationalError::CapacityExceeded { what: "tuples" });
+            }
+            let mut rel = Relation::new(pending.name, id, Schema::new(pending.attrs));
+            for row in pending.rows {
+                rel.push_row(row)?;
+            }
+            relations.push(rel);
+        }
+        tuple_start.push(next_tuple as u32);
+
+        let n = relations.len();
+        let mut shared = vec![Vec::new(); n * n];
+        let mut adjacency = vec![Vec::new(); n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let s = relations[a].schema().shared_attrs(relations[b].schema());
+                if !s.is_empty() {
+                    adjacency[a].push(RelId(b as u16));
+                    adjacency[b].push(RelId(a as u16));
+                }
+                shared[a * n + b] = s.clone();
+                shared[b * n + a] = s;
+            }
+        }
+
+        let mut attr_rels: Vec<Vec<RelId>> = vec![Vec::new(); self.attr_names.len()];
+        for rel in &relations {
+            for &a in rel.schema().attrs() {
+                attr_rels[a.index()].push(rel.id());
+            }
+        }
+        for v in &mut attr_rels {
+            v.sort_unstable();
+            v.dedup();
+        }
+
+        Ok(Database {
+            attr_names: self.attr_names,
+            attr_ids: self.attr_ids,
+            relations,
+            rel_ids,
+            tuple_start,
+            adjacency,
+            shared,
+            attr_rels,
+        })
+    }
+}
+
+impl RelationBuilder<'_> {
+    /// Appends a row given anything convertible to [`Value`]s.
+    pub fn row<V, I>(&mut self, values: I) -> &mut Self
+    where
+        V: Into<Value>,
+        I: IntoIterator<Item = V>,
+    {
+        let row: Vec<Value> = values.into_iter().map(Into::into).collect();
+        self.builder.relations[self.rel].rows.push(row);
+        self
+    }
+
+    /// Appends a row of explicit [`Value`]s (convenient when mixing nulls
+    /// with typed values).
+    pub fn row_values(&mut self, values: Vec<Value>) -> &mut Self {
+        self.builder.relations[self.rel].rows.push(values);
+        self
+    }
+}
+
+/// Returns the canonical map `attribute → index` over the union of all
+/// schemas, in ascending attribute order. This is the universal schema used
+/// for the padded-tuple view of results (Table 2's last columns).
+pub fn universal_schema(db: &Database) -> Vec<AttrId> {
+    let mut attrs: Vec<AttrId> = db.attrs().collect();
+    attrs.retain(|&a| !db.relations_with_attr(a).is_empty());
+    attrs
+}
+
+/// Maps each attribute to its position in [`universal_schema`].
+pub fn universal_positions(db: &Database) -> FxHashMap<AttrId, usize> {
+    universal_schema(db)
+        .into_iter()
+        .enumerate()
+        .map(|(i, a)| (a, i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::NULL;
+
+    /// Table 1 of the paper.
+    pub(crate) fn tourist_db() -> Database {
+        let mut b = DatabaseBuilder::new();
+        b.relation("Climates", &["Country", "Climate"])
+            .row(["Canada", "diverse"])
+            .row(["UK", "temperate"])
+            .row(["Bahamas", "tropical"]);
+        b.relation("Accommodations", &["Country", "City", "Hotel", "Stars"])
+            .row_values(vec!["Canada".into(), "Toronto".into(), "Plaza".into(), 4.into()])
+            .row_values(vec!["Canada".into(), "London".into(), "Ramada".into(), 3.into()])
+            .row_values(vec!["Bahamas".into(), "Nassau".into(), "Hilton".into(), NULL]);
+        b.relation("Sites", &["Country", "City", "Site"])
+            .row_values(vec!["Canada".into(), "London".into(), "Air Show".into()])
+            .row_values(vec!["Canada".into(), NULL, "Mount Logan".into()])
+            .row_values(vec!["UK".into(), "London".into(), "Buckingham".into()])
+            .row_values(vec!["UK".into(), "London".into(), "Hyde Park".into()]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn tourist_catalog_shape() {
+        let db = tourist_db();
+        assert_eq!(db.num_relations(), 3);
+        assert_eq!(db.num_tuples(), 10);
+        assert_eq!(db.num_attrs(), 6); // Country City Climate Hotel Stars Site
+        assert!(db.is_connected());
+        // s = 3*2 + 3*4 + 4*3 = 30 entries
+        assert_eq!(db.total_size(), 30);
+    }
+
+    #[test]
+    fn tuple_id_mapping_is_dense_and_invertible() {
+        let db = tourist_db();
+        assert_eq!(db.tuples_of(RelId(0)), 0..3);
+        assert_eq!(db.tuples_of(RelId(1)), 3..6);
+        assert_eq!(db.tuples_of(RelId(2)), 6..10);
+        for t in db.all_tuples() {
+            let (rel, row) = db.locate(t);
+            assert_eq!(db.tuples_of(rel).start + row as u32, t.0);
+        }
+    }
+
+    #[test]
+    fn tuple_labels_match_paper() {
+        let db = tourist_db();
+        assert_eq!(db.tuple_label(TupleId(0)), "c1");
+        assert_eq!(db.tuple_label(TupleId(4)), "a2");
+        assert_eq!(db.tuple_label(TupleId(7)), "s2");
+    }
+
+    #[test]
+    fn tuple_value_access() {
+        let db = tourist_db();
+        let country = db.attr_id("Country").unwrap();
+        let stars = db.attr_id("Stars").unwrap();
+        assert_eq!(db.tuple_value(TupleId(0), country), Some(&Value::str("Canada")));
+        assert_eq!(db.tuple_value(TupleId(5), stars), Some(&NULL)); // Hilton's missing rating
+        assert_eq!(db.tuple_value(TupleId(0), stars), None); // Climates has no Stars
+    }
+
+    #[test]
+    fn relation_graph_edges() {
+        let db = tourist_db();
+        let (c, a, s) = (RelId(0), RelId(1), RelId(2));
+        assert!(db.rels_connected(c, a)); // share Country
+        assert!(db.rels_connected(a, s)); // share Country, City
+        assert_eq!(db.shared_attrs(a, s).len(), 2);
+        assert_eq!(db.neighbors(c), &[a, s]);
+    }
+
+    #[test]
+    fn subset_connectivity() {
+        let mut b = DatabaseBuilder::new();
+        b.relation("A", &["x"]).row([1]);
+        b.relation("B", &["x", "y"]).row([1, 2]);
+        b.relation("C", &["y"]).row([2]);
+        b.relation("D", &["z"]).row([3]);
+        let db = b.build().unwrap();
+        assert!(!db.is_connected());
+        assert!(db.subset_connected(&[RelId(0), RelId(1), RelId(2)]));
+        assert!(!db.subset_connected(&[RelId(0), RelId(2)])); // A–C only via B
+        assert!(!db.subset_connected(&[RelId(0), RelId(3)]));
+        assert_eq!(db.component_of(RelId(3)), vec![RelId(3)]);
+        assert_eq!(db.component_of(RelId(0)), vec![RelId(0), RelId(1), RelId(2)]);
+    }
+
+    #[test]
+    fn subset_component_anchored() {
+        let mut b = DatabaseBuilder::new();
+        b.relation("A", &["x"]).row([1]);
+        b.relation("B", &["x", "y"]).row([1, 2]);
+        b.relation("C", &["y"]).row([2]);
+        b.relation("D", &["z"]).row([3]);
+        let db = b.build().unwrap();
+        // Among {A, C, D} anchored at A: only A (C not directly connected).
+        assert_eq!(
+            db.subset_component(&[RelId(0), RelId(2), RelId(3)], RelId(0)),
+            vec![RelId(0)]
+        );
+        // Among {A, B, C} anchored at C: all three.
+        assert_eq!(
+            db.subset_component(&[RelId(0), RelId(1), RelId(2)], RelId(2)),
+            vec![RelId(0), RelId(1), RelId(2)]
+        );
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut b = DatabaseBuilder::new();
+        b.relation("A", &["x", "x"]);
+        assert!(matches!(
+            b.build(),
+            Err(RelationalError::DuplicateAttribute { .. })
+        ));
+
+        let mut b = DatabaseBuilder::new();
+        b.relation("A", &["x"]);
+        b.relation("A", &["y"]);
+        assert!(matches!(b.build(), Err(RelationalError::DuplicateRelation { .. })));
+    }
+
+    #[test]
+    fn universal_schema_covers_all_attrs() {
+        let db = tourist_db();
+        let uni = universal_schema(&db);
+        assert_eq!(uni.len(), 6);
+        let pos = universal_positions(&db);
+        assert_eq!(pos.len(), 6);
+        for (i, a) in uni.iter().enumerate() {
+            assert_eq!(pos[a], i);
+        }
+    }
+}

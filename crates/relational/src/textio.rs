@@ -1,0 +1,240 @@
+//! Plain-text loading and pretty-printing of databases.
+//!
+//! A tiny self-contained format (no external parser dependencies) used by
+//! the examples:
+//!
+//! ```text
+//! relation Climates(Country, Climate)
+//! Canada   | diverse
+//! UK       | temperate
+//!
+//! relation Sites(Country, City, Site)
+//! Canada   | London | Air Show
+//! Canada   | ⊥      | Mount Logan
+//! ```
+//!
+//! Values: `⊥`, `null`, `NULL` or `_` parse as the null value; otherwise a
+//! value is tried as integer, float, boolean, and finally kept as a string.
+//! Comment lines start with `#`.
+
+use crate::database::{Database, DatabaseBuilder};
+use crate::error::{RelationalError, Result};
+use crate::ids::RelId;
+use crate::value::Value;
+use std::fmt::Write as _;
+
+/// Parses a value token.
+pub fn parse_value(tok: &str) -> Value {
+    let t = tok.trim();
+    match t {
+        "⊥" | "null" | "NULL" | "_" => Value::Null,
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        _ => {
+            if let Ok(i) = t.parse::<i64>() {
+                Value::Int(i)
+            } else if let Ok(f) = t.parse::<f64>() {
+                if f.is_nan() {
+                    Value::str(t)
+                } else {
+                    Value::float(f)
+                }
+            } else {
+                Value::str(t)
+            }
+        }
+    }
+}
+
+/// Parses a whole database from the textual format above.
+pub fn parse_database(text: &str) -> Result<Database> {
+    let mut builder = DatabaseBuilder::new();
+    let mut current: Option<(String, Vec<String>)> = None;
+    let mut pending_rows: Vec<Vec<Value>> = Vec::new();
+
+    fn flush(
+        builder: &mut DatabaseBuilder,
+        current: &mut Option<(String, Vec<String>)>,
+        rows: &mut Vec<Vec<Value>>,
+    ) {
+        if let Some((name, attrs)) = current.take() {
+            let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            let mut rb = builder.relation(&name, &attr_refs);
+            for row in rows.drain(..) {
+                rb.row_values(row);
+            }
+        }
+    }
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("relation ") {
+            flush(&mut builder, &mut current, &mut pending_rows);
+            let open = rest.find('(').ok_or_else(|| RelationalError::Parse {
+                line: lineno + 1,
+                message: "expected '(' after relation name".into(),
+            })?;
+            let close = rest.rfind(')').ok_or_else(|| RelationalError::Parse {
+                line: lineno + 1,
+                message: "expected closing ')'".into(),
+            })?;
+            let name = rest[..open].trim().to_owned();
+            if name.is_empty() {
+                return Err(RelationalError::Parse {
+                    line: lineno + 1,
+                    message: "empty relation name".into(),
+                });
+            }
+            let attrs: Vec<String> = rest[open + 1..close]
+                .split(',')
+                .map(|a| a.trim().to_owned())
+                .filter(|a| !a.is_empty())
+                .collect();
+            if attrs.is_empty() {
+                return Err(RelationalError::Parse {
+                    line: lineno + 1,
+                    message: "relation needs at least one attribute".into(),
+                });
+            }
+            current = Some((name, attrs));
+        } else {
+            let Some((_, attrs)) = &current else {
+                return Err(RelationalError::Parse {
+                    line: lineno + 1,
+                    message: "row before any 'relation' header".into(),
+                });
+            };
+            let values: Vec<Value> = line.split('|').map(parse_value).collect();
+            if values.len() != attrs.len() {
+                return Err(RelationalError::Parse {
+                    line: lineno + 1,
+                    message: format!(
+                        "row has {} values, schema has {} attributes",
+                        values.len(),
+                        attrs.len()
+                    ),
+                });
+            }
+            pending_rows.push(values);
+        }
+    }
+    flush(&mut builder, &mut current, &mut pending_rows);
+    builder.build()
+}
+
+/// Pretty-prints one relation as an aligned text table (paper Table 1
+/// style).
+pub fn format_relation(db: &Database, rel: RelId) -> String {
+    let r = db.relation(rel);
+    let headers: Vec<&str> = r.schema().attrs().iter().map(|&a| db.attr_name(a)).collect();
+    let rows: Vec<Vec<String>> = r
+        .rows()
+        .map(|row| row.iter().map(|v| v.display().into_owned()).collect())
+        .collect();
+    format_table(r.name(), &headers, &rows)
+}
+
+/// Pretty-prints an aligned table with a title row.
+pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:<w$}  ");
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    let dash: String = widths
+        .iter()
+        .map(|w| "-".repeat(*w))
+        .collect::<Vec<_>>()
+        .join("  ");
+    let _ = writeln!(out, "{dash}");
+    for row in rows {
+        let mut line = String::new();
+        for (c, w) in row.iter().zip(&widths) {
+            let pad = w.saturating_sub(c.chars().count());
+            let _ = write!(line, "{c}{}  ", " ".repeat(pad));
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\n\
+        # tourist subset\n\
+        relation Climates(Country, Climate)\n\
+        Canada | diverse\n\
+        UK | temperate\n\
+        \n\
+        relation Sites(Country, City, Site)\n\
+        Canada | London | Air Show\n\
+        Canada | ⊥ | Mount Logan\n";
+
+    #[test]
+    fn parse_round_trip() {
+        let db = parse_database(SAMPLE).unwrap();
+        assert_eq!(db.num_relations(), 2);
+        assert_eq!(db.num_tuples(), 4);
+        let sites = db.relation_by_name("Sites").unwrap();
+        assert_eq!(sites.len(), 2);
+        assert!(sites.row(1)[1].is_null());
+        assert_eq!(sites.row(0)[2], Value::str("Air Show"));
+    }
+
+    #[test]
+    fn value_parsing_types() {
+        assert_eq!(parse_value("42"), Value::Int(42));
+        assert_eq!(parse_value("4.5"), Value::float(4.5));
+        assert_eq!(parse_value("true"), Value::Bool(true));
+        assert_eq!(parse_value("⊥"), Value::Null);
+        assert_eq!(parse_value("_"), Value::Null);
+        assert_eq!(parse_value("Plaza"), Value::str("Plaza"));
+        assert_eq!(parse_value(" padded "), Value::str("padded"));
+    }
+
+    #[test]
+    fn arity_errors_are_reported_with_line_numbers() {
+        let bad = "relation R(A, B)\n1 | 2 | 3\n";
+        let err = parse_database(bad).unwrap_err();
+        assert!(matches!(err, RelationalError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn row_before_header_is_an_error() {
+        let bad = "1 | 2\n";
+        assert!(matches!(
+            parse_database(bad),
+            Err(RelationalError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn missing_paren_is_an_error() {
+        assert!(parse_database("relation R A, B)\n").is_err());
+        assert!(parse_database("relation R(A, B\n").is_err());
+    }
+
+    #[test]
+    fn format_relation_aligns_columns() {
+        let db = parse_database(SAMPLE).unwrap();
+        let txt = format_relation(&db, RelId(0));
+        assert!(txt.contains("Climates"));
+        assert!(txt.contains("Country"));
+        assert!(txt.lines().count() >= 4);
+    }
+}

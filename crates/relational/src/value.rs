@@ -1,0 +1,243 @@
+//! The attribute value domain, including the null value `⊥`.
+//!
+//! The paper's relations range over atomic values and allow nulls in the
+//! *source* relations (an extension over Rajaraman–Ullman 1996). Join
+//! consistency requires shared attributes to be **equal and non-null**, so
+//! `Value` needs total equality, ordering and hashing — including for
+//! floating-point values, which we canonicalize at construction time.
+
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// An atomic attribute value.
+///
+/// `Null` is the paper's `⊥`. Strings are reference counted so that tuples,
+/// tuple sets and padded output rows can share them without copying.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// The null value `⊥`: missing or unknown information.
+    Null,
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A finite 64-bit float. NaN is rejected at construction; `-0.0` is
+    /// canonicalized to `0.0` so `Eq`/`Hash` are consistent.
+    Float(f64),
+    /// An interned UTF-8 string.
+    Str(Arc<str>),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Builds a float value, canonicalizing `-0.0` and rejecting NaN.
+    ///
+    /// # Panics
+    /// Panics if `f` is NaN — NaN has no consistent equality and would break
+    /// join semantics.
+    pub fn float(f: f64) -> Self {
+        assert!(!f.is_nan(), "NaN is not a valid attribute value");
+        Value::Float(if f == 0.0 { 0.0 } else { f })
+    }
+
+    /// Is this the null value `⊥`?
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The paper's join-consistency test on a single shared attribute:
+    /// both values must be equal **and** non-null (`t1[A] = t2[A] ≠ ⊥`).
+    #[inline]
+    pub fn join_consistent_with(&self, other: &Value) -> bool {
+        !self.is_null() && !other.is_null() && self == other
+    }
+
+    /// A small integer tag used for cross-variant ordering.
+    fn tag(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+
+    /// Renders the value the way the paper prints it (`⊥` for null).
+    pub fn display(&self) -> Cow<'_, str> {
+        match self {
+            Value::Null => Cow::Borrowed("⊥"),
+            Value::Int(i) => Cow::Owned(i.to_string()),
+            Value::Float(f) => Cow::Owned(format!("{f}")),
+            Value::Str(s) => Cow::Borrowed(s),
+            Value::Bool(b) => Cow::Borrowed(if *b { "true" } else { "false" }),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u8(self.tag());
+        match self {
+            Value::Null => {}
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => f.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Bool(b) => b.hash(state),
+        }
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            // Floats are finite by construction, so partial_cmp never fails.
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b).expect("finite floats"),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            _ => self.tag().cmp(&other.tag()),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::float(v)
+    }
+}
+
+/// Shorthand for `Value::Null`, mirroring the paper's `⊥` notation.
+pub const NULL: Value = Value::Null;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_is_not_join_consistent_with_anything() {
+        assert!(!NULL.join_consistent_with(&NULL));
+        assert!(!NULL.join_consistent_with(&Value::Int(1)));
+        assert!(!Value::Int(1).join_consistent_with(&NULL));
+    }
+
+    #[test]
+    fn equal_non_null_values_are_join_consistent() {
+        assert!(Value::Int(3).join_consistent_with(&Value::Int(3)));
+        assert!(Value::str("x").join_consistent_with(&Value::str("x")));
+        assert!(!Value::Int(3).join_consistent_with(&Value::Int(4)));
+        assert!(!Value::str("x").join_consistent_with(&Value::str("y")));
+    }
+
+    #[test]
+    fn cross_type_values_are_unequal_but_ordered() {
+        assert_ne!(Value::Int(1), Value::str("1"));
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Int(5) < Value::str(""));
+    }
+
+    #[test]
+    fn negative_zero_is_canonicalized() {
+        assert_eq!(Value::float(-0.0), Value::float(0.0));
+        assert_eq!(hash_of(&Value::float(-0.0)), hash_of(&Value::float(0.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        let _ = Value::float(f64::NAN);
+    }
+
+    #[test]
+    fn float_ordering_is_total_over_finite_values() {
+        assert!(Value::float(-1.5) < Value::float(0.0));
+        assert!(Value::float(0.0) < Value::float(2.25));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(NULL.to_string(), "⊥");
+        assert_eq!(Value::Int(4).to_string(), "4");
+        assert_eq!(Value::str("Plaza").to_string(), "Plaza");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from("a"), Value::str("a"));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(1.5f64), Value::float(1.5));
+    }
+}

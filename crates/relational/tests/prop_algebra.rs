@@ -1,0 +1,145 @@
+//! Property tests for the relational substrate: join/outerjoin algebra,
+//! subsumption removal, and the acyclicity hierarchy.
+
+use fd_relational::hypergraph::Hypergraph;
+use fd_relational::join::{natural_join, DerivedRelation};
+use fd_relational::outerjoin::{full_outerjoin, remove_subsumed, subsumes};
+use fd_relational::{AttrId, Value};
+use proptest::prelude::*;
+
+/// A derived relation over attributes {0: shared, 1 or 2: own}, with
+/// small integer values and nulls.
+fn arb_side(own_attr: u32) -> impl Strategy<Value = DerivedRelation> {
+    proptest::collection::vec(
+        (proptest::option::of(0i64..4), proptest::option::of(0i64..4)),
+        0..6,
+    )
+    .prop_map(move |rows| {
+        let mut rel = DerivedRelation::empty(vec![AttrId(0), AttrId(own_attr)]);
+        for (a, b) in rows {
+            let v = |x: Option<i64>| x.map(Value::Int).unwrap_or(Value::Null);
+            rel.rows.push(Box::new([v(a), v(b)]));
+        }
+        rel
+    })
+}
+
+/// Random small hypergraphs: up to 5 edges over 6 vertices.
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    proptest::collection::vec(proptest::collection::btree_set(0u32..6, 1..4), 1..6)
+        .prop_map(|edges| {
+            Hypergraph::new(
+                edges
+                    .into_iter()
+                    .map(|e| e.into_iter().map(AttrId).collect())
+                    .collect(),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Inner join ⊆ full outerjoin, and the outerjoin preserves both
+    /// sides: every input row is subsumed by some output row.
+    #[test]
+    fn outerjoin_contains_join_and_preserves_inputs(
+        a in arb_side(1),
+        b in arb_side(2),
+    ) {
+        let join = natural_join(&a, &b);
+        let outer = full_outerjoin(&a, &b);
+        prop_assert!(join.len() <= outer.len());
+        for row in &join.rows {
+            prop_assert!(outer.rows.contains(row));
+        }
+        // Left preservation: pad each a-row and find a subsuming output.
+        for arow in &a.rows {
+            let padded: Vec<Value> = outer
+                .attrs
+                .iter()
+                .map(|attr| match a.column_of(*attr) {
+                    Some(c) => arow[c].clone(),
+                    None => Value::Null,
+                })
+                .collect();
+            prop_assert!(
+                outer.rows.iter().any(|orow| subsumes(orow, &padded)),
+                "left row lost"
+            );
+        }
+        for brow in &b.rows {
+            let padded: Vec<Value> = outer
+                .attrs
+                .iter()
+                .map(|attr| match b.column_of(*attr) {
+                    Some(c) => brow[c].clone(),
+                    None => Value::Null,
+                })
+                .collect();
+            prop_assert!(
+                outer.rows.iter().any(|orow| subsumes(orow, &padded)),
+                "right row lost"
+            );
+        }
+    }
+
+    /// Join is commutative up to row order.
+    #[test]
+    fn join_is_commutative(a in arb_side(1), b in arb_side(2)) {
+        let mut ab = natural_join(&a, &b);
+        let mut ba = natural_join(&b, &a);
+        ab.sort_dedup();
+        ba.sort_dedup();
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Subsumption removal is idempotent and leaves an antichain.
+    #[test]
+    fn remove_subsumed_is_idempotent(a in arb_side(1)) {
+        let mut once = a.clone();
+        remove_subsumed(&mut once);
+        let mut twice = once.clone();
+        remove_subsumed(&mut twice);
+        prop_assert_eq!(&once, &twice);
+        for (i, x) in once.rows.iter().enumerate() {
+            for (j, y) in once.rows.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!subsumes(y, x), "row {i} subsumed by {j}");
+                }
+            }
+        }
+    }
+
+    /// Every row surviving subsumption removal was an input row, and
+    /// every input row is subsumed by some survivor.
+    #[test]
+    fn remove_subsumed_is_a_covering_subset(a in arb_side(1)) {
+        let mut cleaned = a.clone();
+        remove_subsumed(&mut cleaned);
+        for row in &cleaned.rows {
+            prop_assert!(a.rows.contains(row));
+        }
+        for row in &a.rows {
+            prop_assert!(cleaned.rows.iter().any(|c| subsumes(c, row)));
+        }
+    }
+
+    /// Fagin's hierarchy: γ-acyclic ⇒ α-acyclic.
+    #[test]
+    fn gamma_acyclic_implies_alpha_acyclic(h in arb_hypergraph()) {
+        if h.is_gamma_acyclic() {
+            prop_assert!(h.is_alpha_acyclic());
+        }
+    }
+
+    /// Acyclicity tests are deterministic and edge-order independent.
+    #[test]
+    fn acyclicity_is_edge_order_independent(h in arb_hypergraph()) {
+        let mut reversed = h.edges.clone();
+        reversed.reverse();
+        let hr = Hypergraph::new(reversed);
+        prop_assert_eq!(h.is_alpha_acyclic(), hr.is_alpha_acyclic());
+        prop_assert_eq!(h.is_gamma_acyclic(), hr.is_gamma_acyclic());
+    }
+}

@@ -1,0 +1,21 @@
+//! # fd-workloads
+//!
+//! Synthetic workload generators for the full-disjunction experiments:
+//! schema families ([`chain`], [`star`], [`cycle`], [`random_connected`],
+//! [`travel`]) with controllable size, join selectivity, Zipf skew, null
+//! density and typo noise, plus importance/probability assignments for
+//! the ranked and approximate variants. Everything is deterministic in
+//! the seed so benchmark runs are reproducible.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod scoring;
+pub mod snowflake;
+pub mod synthetic;
+pub mod zipf;
+
+pub use scoring::{positional_importance, random_importance, random_probability};
+pub use snowflake::snowflake;
+pub use synthetic::{chain, cycle, random_connected, scrambled_name, star, travel, DataSpec};
+pub use zipf::Zipf;

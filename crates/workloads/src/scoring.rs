@@ -1,0 +1,67 @@
+//! Importance and probability assignments for ranked / approximate
+//! workloads.
+
+use fd_core::{ImpScores, ProbScores};
+use fd_relational::Database;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform-random importances in `[0, 1)`, deterministic in the seed.
+pub fn random_importance(db: &Database, seed: u64) -> ImpScores {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ImpScores::from_fn(db, |_| rng.gen::<f64>())
+}
+
+/// Importances proportional to the tuple's position within its relation —
+/// a stand-in for "later rows rank higher" source orderings; useful when
+/// a deterministic non-constant ranking is needed.
+pub fn positional_importance(db: &Database) -> ImpScores {
+    ImpScores::from_fn(db, |t| {
+        let (rel, row) = db.locate(t);
+        let len = db.relation(rel).len().max(1);
+        (row + 1) as f64 / len as f64
+    })
+}
+
+/// Uniform-random per-tuple probabilities in `[lo, 1]`, deterministic in
+/// the seed. Models extraction confidence.
+pub fn random_probability(db: &Database, lo: f64, seed: u64) -> ProbScores {
+    assert!((0.0..=1.0).contains(&lo));
+    let mut rng = StdRng::seed_from_u64(seed);
+    ProbScores::from_fn(db, |_| lo + rng.gen::<f64>() * (1.0 - lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_relational::tourist_database;
+
+    #[test]
+    fn random_importance_is_deterministic_per_seed() {
+        let db = tourist_database();
+        let a = random_importance(&db, 9);
+        let b = random_importance(&db, 9);
+        let c = random_importance(&db, 10);
+        let ta = fd_relational::TupleId(3);
+        assert_eq!(a.imp(ta), b.imp(ta));
+        assert!(db.all_tuples().any(|t| a.imp(t) != c.imp(t)));
+    }
+
+    #[test]
+    fn positional_importance_increases_within_relation() {
+        let db = tourist_database();
+        let imp = positional_importance(&db);
+        assert!(imp.imp(fd_relational::TupleId(0)) < imp.imp(fd_relational::TupleId(2)));
+        assert!((imp.imp(fd_relational::TupleId(2)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_probability_respects_bounds() {
+        let db = tourist_database();
+        let prob = random_probability(&db, 0.6, 5);
+        for t in db.all_tuples() {
+            let p = prob.prob(t);
+            assert!((0.6..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! Synthetic schema and data generators.
+//!
+//! The paper evaluates an algorithm, not a dataset — its motivating
+//! workloads are web-integration tables (Table 1). These generators
+//! produce families of databases whose *shape* stresses the quantities
+//! the complexity results depend on: number of relations `n`, input size
+//! `s`, output size `f` (steered by join selectivity through the join-
+//! value domain), skew, null density and (for the approximate variant)
+//! spelling noise.
+//!
+//! Every generator is deterministic in its seed.
+
+use crate::zipf::Zipf;
+use fd_relational::{Database, DatabaseBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Data-generation knobs shared by all schema shapes.
+#[derive(Debug, Clone)]
+pub struct DataSpec {
+    /// Rows per relation.
+    pub rows: usize,
+    /// Join values are drawn from `{0, …, domain−1}`: smaller domains ⇒
+    /// higher selectivity ⇒ larger full disjunctions.
+    pub domain: usize,
+    /// Zipf exponent for join values (`0.0` = uniform).
+    pub skew: f64,
+    /// Probability that a join value is replaced by `⊥`.
+    pub null_rate: f64,
+    /// Render join values as strings `v<k>` (needed for typo injection
+    /// and approximate-join workloads).
+    pub string_values: bool,
+    /// Probability that a string join value receives a one-character typo
+    /// (ignored unless `string_values`).
+    pub typo_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DataSpec {
+    fn default() -> Self {
+        DataSpec {
+            rows: 32,
+            domain: 16,
+            skew: 0.0,
+            null_rate: 0.0,
+            string_values: false,
+            typo_rate: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+impl DataSpec {
+    /// A spec with the given rows/domain and defaults elsewhere.
+    pub fn new(rows: usize, domain: usize) -> Self {
+        DataSpec { rows, domain, ..Default::default() }
+    }
+
+    /// Sets the seed (builder style).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the Zipf exponent.
+    pub fn skew(mut self, s: f64) -> Self {
+        self.skew = s;
+        self
+    }
+
+    /// Sets the null-injection rate.
+    pub fn null_rate(mut self, r: f64) -> Self {
+        self.null_rate = r;
+        self
+    }
+
+    /// Switches join values to strings with the given typo rate.
+    pub fn typos(mut self, rate: f64) -> Self {
+        self.string_values = true;
+        self.typo_rate = rate;
+        self
+    }
+
+    fn join_value(&self, rng: &mut StdRng, zipf: &Zipf) -> Value {
+        if self.null_rate > 0.0 && rng.gen_bool(self.null_rate.min(1.0)) {
+            return Value::Null;
+        }
+        let k = zipf.sample(rng);
+        if self.string_values {
+            let mut s = scrambled_name(k);
+            if self.typo_rate > 0.0 && rng.gen_bool(self.typo_rate.min(1.0)) {
+                inject_typo(&mut s, rng);
+            }
+            Value::str(s)
+        } else {
+            Value::Int(k as i64)
+        }
+    }
+}
+
+/// Deterministic 8-letter name for domain value `k`. Distinct values get
+/// unrelated spellings (normalized edit similarity ≈ 0.15), so a single
+/// injected typo (similarity ≈ 0.88) stays clearly separated from a
+/// genuinely different value — the regime approximate joins assume.
+pub fn scrambled_name(k: usize) -> String {
+    let mut x = (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut s = String::with_capacity(8);
+    for _ in 0..8 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.push(char::from(b'a' + (x % 26) as u8));
+    }
+    s
+}
+
+/// Mutates one character of `s` (substitution, duplication or deletion),
+/// mimicking wrapper extraction noise.
+fn inject_typo(s: &mut String, rng: &mut StdRng) {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.is_empty() {
+        return;
+    }
+    let pos = rng.gen_range(0..chars.len());
+    let mut out: Vec<char> = chars.clone();
+    match rng.gen_range(0..3u8) {
+        0 => out[pos] = char::from(b'a' + rng.gen_range(0..26u8)), // substitute
+        1 => out.insert(pos, chars[pos]),                          // duplicate
+        _ => {
+            if out.len() > 1 {
+                out.remove(pos); // delete
+            } else {
+                out[pos] = 'x';
+            }
+        }
+    }
+    *s = out.into_iter().collect();
+}
+
+/// A chain schema `R0(J0,J1,P0), R1(J1,J2,P1), …`: every relation shares
+/// one join attribute with each neighbor. γ-acyclic, so all baselines
+/// apply. Each relation also carries a unique payload column.
+pub fn chain(n: usize, spec: &DataSpec) -> Database {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let zipf = Zipf::new(spec.domain.max(1), spec.skew);
+    let mut b = DatabaseBuilder::new();
+    for i in 0..n {
+        let name = format!("C{i}");
+        let j0 = format!("J{i}");
+        let j1 = format!("J{}", i + 1);
+        let payload = format!("P{i}");
+        let mut rel = b.relation(&name, &[&j0, &j1, &payload]);
+        for row in 0..spec.rows {
+            rel.row_values(vec![
+                spec.join_value(&mut rng, &zipf),
+                spec.join_value(&mut rng, &zipf),
+                Value::Int((i * 1_000_000 + row) as i64),
+            ]);
+        }
+    }
+    b.build().expect("chain schema is well-formed")
+}
+
+/// A star schema: hub `H(K0..K_{m-1}, PH)` with `m = n−1` spokes
+/// `S_i(K_i, P_i)`. γ-acyclic.
+pub fn star(n: usize, spec: &DataSpec) -> Database {
+    assert!(n >= 2, "star needs a hub and at least one spoke");
+    let spokes = n - 1;
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let zipf = Zipf::new(spec.domain.max(1), spec.skew);
+    let mut b = DatabaseBuilder::new();
+    {
+        let key_names: Vec<String> = (0..spokes).map(|i| format!("K{i}")).collect();
+        let mut attrs: Vec<&str> = key_names.iter().map(String::as_str).collect();
+        attrs.push("PH");
+        let mut hub = b.relation("Hub", &attrs);
+        for row in 0..spec.rows {
+            let mut values: Vec<Value> = (0..spokes)
+                .map(|_| spec.join_value(&mut rng, &zipf))
+                .collect();
+            values.push(Value::Int(row as i64));
+            hub.row_values(values);
+        }
+    }
+    for i in 0..spokes {
+        let name = format!("S{i}");
+        let key = format!("K{i}");
+        let payload = format!("P{i}");
+        let mut rel = b.relation(&name, &[&key, &payload]);
+        for row in 0..spec.rows {
+            rel.row_values(vec![
+                spec.join_value(&mut rng, &zipf),
+                Value::Int(((i + 1) * 1_000_000 + row) as i64),
+            ]);
+        }
+    }
+    b.build().expect("star schema is well-formed")
+}
+
+/// A cycle schema: like [`chain`] but the last relation closes the loop
+/// by sharing `J0` with the first. γ-cyclic for `n ≥ 3` — the outerjoin
+/// baseline must refuse it while `INCREMENTALFD` handles it unchanged.
+pub fn cycle(n: usize, spec: &DataSpec) -> Database {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let zipf = Zipf::new(spec.domain.max(1), spec.skew);
+    let mut b = DatabaseBuilder::new();
+    for i in 0..n {
+        let name = format!("Y{i}");
+        let j0 = format!("J{i}");
+        let j1 = format!("J{}", (i + 1) % n);
+        let payload = format!("P{i}");
+        let mut rel = b.relation(&name, &[&j0, &j1, &payload]);
+        for row in 0..spec.rows {
+            rel.row_values(vec![
+                spec.join_value(&mut rng, &zipf),
+                spec.join_value(&mut rng, &zipf),
+                Value::Int((i * 1_000_000 + row) as i64),
+            ]);
+        }
+    }
+    b.build().expect("cycle schema is well-formed")
+}
+
+/// A random connected schema: a chain backbone plus `extra_edges`
+/// additional shared attributes between random relation pairs. Arbitrary
+/// acyclicity class; exercises the general algorithm.
+pub fn random_connected(n: usize, extra_edges: usize, spec: &DataSpec) -> Database {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x9e37_79b9);
+    // Attribute layout: backbone J0..Jn as in `chain`; extras X0..Xk each
+    // shared by a random pair.
+    let mut rel_attrs: Vec<Vec<String>> = (0..n)
+        .map(|i| vec![format!("J{i}"), format!("J{}", i + 1)])
+        .collect();
+    for e in 0..extra_edges {
+        if n < 2 {
+            break;
+        }
+        let a = rng.gen_range(0..n);
+        let mut bb = rng.gen_range(0..n);
+        while bb == a {
+            bb = rng.gen_range(0..n);
+        }
+        rel_attrs[a].push(format!("X{e}"));
+        rel_attrs[bb].push(format!("X{e}"));
+    }
+    for (i, attrs) in rel_attrs.iter_mut().enumerate() {
+        attrs.push(format!("P{i}"));
+    }
+
+    let mut data_rng = StdRng::seed_from_u64(spec.seed);
+    let zipf = Zipf::new(spec.domain.max(1), spec.skew);
+    let mut b = DatabaseBuilder::new();
+    for (i, attrs) in rel_attrs.iter().enumerate() {
+        let name = format!("N{i}");
+        let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let mut rel = b.relation(&name, &refs);
+        for row in 0..spec.rows {
+            let mut values: Vec<Value> = (0..attrs.len() - 1)
+                .map(|_| spec.join_value(&mut data_rng, &zipf))
+                .collect();
+            values.push(Value::Int((i * 1_000_000 + row) as i64));
+            rel.row_values(values);
+        }
+    }
+    b.build().expect("random schema is well-formed")
+}
+
+/// A larger tourist-flavored database in the spirit of Table 1:
+/// `Climates(Country, Climate)`, `Accommodations(Country, City, Hotel,
+/// Stars)`, `Sites(Country, City, Site)`, with `countries` countries,
+/// `rows` rows in the two big relations, optional nulls and typos.
+pub fn travel(countries: usize, rows: usize, spec: &DataSpec) -> Database {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let country = |k: usize| format!("Country{k:03}");
+    let city = |c: usize, k: usize| format!("City{c:03}x{k:02}");
+    let climates = ["tropical", "temperate", "diverse", "arid", "polar"];
+    let mut b = DatabaseBuilder::new();
+    {
+        let mut rel = b.relation("Climates", &["Country", "Climate"]);
+        for k in 0..countries {
+            let mut name = country(k);
+            if spec.typo_rate > 0.0 && rng.gen_bool(spec.typo_rate.min(1.0)) {
+                inject_typo(&mut name, &mut rng);
+            }
+            rel.row_values(vec![
+                Value::str(name),
+                Value::str(climates[k % climates.len()]),
+            ]);
+        }
+    }
+    {
+        let mut rel = b.relation("Accommodations", &["Country", "City", "Hotel", "Stars"]);
+        for row in 0..rows {
+            let c = rng.gen_range(0..countries);
+            let city_val = if spec.null_rate > 0.0 && rng.gen_bool(spec.null_rate.min(1.0)) {
+                Value::Null
+            } else {
+                Value::str(city(c, rng.gen_range(0..4)))
+            };
+            let stars = if rng.gen_bool(0.15) {
+                Value::Null
+            } else {
+                Value::Int(rng.gen_range(1..=5))
+            };
+            rel.row_values(vec![
+                Value::str(country(c)),
+                city_val,
+                Value::str(format!("Hotel{row:04}")),
+                stars,
+            ]);
+        }
+    }
+    {
+        let mut rel = b.relation("Sites", &["Country", "City", "Site"]);
+        for row in 0..rows {
+            let c = rng.gen_range(0..countries);
+            let city_val = if spec.null_rate > 0.0 && rng.gen_bool(spec.null_rate.min(1.0)) {
+                Value::Null
+            } else {
+                Value::str(city(c, rng.gen_range(0..4)))
+            };
+            rel.row_values(vec![
+                Value::str(country(c)),
+                city_val,
+                Value::str(format!("Site{row:04}")),
+            ]);
+        }
+    }
+    b.build().expect("travel schema is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_relational::hypergraph::Hypergraph;
+
+    #[test]
+    fn chain_shape_and_determinism() {
+        let spec = DataSpec::new(10, 5).seed(7);
+        let db1 = chain(4, &spec);
+        let db2 = chain(4, &spec);
+        assert_eq!(db1.num_relations(), 4);
+        assert_eq!(db1.num_tuples(), 40);
+        assert!(db1.is_connected());
+        assert!(Hypergraph::of_database(&db1).is_gamma_acyclic());
+        // Determinism: same seed, same data.
+        for t in db1.all_tuples() {
+            assert_eq!(db1.tuple_values(t), db2.tuple_values(t));
+        }
+        // Different seed, different data somewhere.
+        let db3 = chain(4, &DataSpec::new(10, 5).seed(8));
+        assert!(db1.all_tuples().any(|t| db1.tuple_values(t) != db3.tuple_values(t)));
+    }
+
+    #[test]
+    fn star_is_connected_and_gamma_acyclic() {
+        let db = star(4, &DataSpec::new(6, 4));
+        assert_eq!(db.num_relations(), 4);
+        assert!(db.is_connected());
+        assert!(Hypergraph::of_database(&db).is_gamma_acyclic());
+    }
+
+    #[test]
+    fn cycle_is_gamma_cyclic() {
+        let db = cycle(4, &DataSpec::new(4, 4));
+        assert!(db.is_connected());
+        assert!(!Hypergraph::of_database(&db).is_gamma_acyclic());
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        for seed in 0..5 {
+            let db = random_connected(5, 3, &DataSpec::new(5, 4).seed(seed));
+            assert!(db.is_connected(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn null_rate_produces_nulls() {
+        let db = chain(3, &DataSpec { null_rate: 0.5, ..DataSpec::new(30, 8) });
+        let nulls = db
+            .relations()
+            .iter()
+            .flat_map(|r| r.rows())
+            .flat_map(|row| row.iter())
+            .filter(|v| v.is_null())
+            .count();
+        assert!(nulls > 0);
+    }
+
+    #[test]
+    fn typo_rate_produces_nonstandard_strings() {
+        let clean: Vec<String> = (0..4).map(scrambled_name).collect();
+        let db = chain(2, &DataSpec::new(50, 4).typos(0.5));
+        let odd = db
+            .relations()
+            .iter()
+            .flat_map(|r| r.rows())
+            .flat_map(|row| row.iter())
+            .filter(|v| match v {
+                Value::Str(s) => !clean.iter().any(|c| c.as_str() == s.as_ref()),
+                _ => false,
+            })
+            .count();
+        assert!(odd > 0, "expected at least one typo at rate 0.5");
+    }
+
+    #[test]
+    fn scrambled_names_are_mutually_dissimilar() {
+        use fd_core::sim::string_similarity;
+        for a in 0..6 {
+            for b in 0..6 {
+                let (na, nb) = (scrambled_name(a), scrambled_name(b));
+                if a == b {
+                    assert_eq!(string_similarity(&na, &nb), 1.0);
+                } else {
+                    assert!(
+                        string_similarity(&na, &nb) < 0.6,
+                        "{na} vs {nb} too similar"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn travel_database_has_three_relations() {
+        let db = travel(6, 20, &DataSpec::default());
+        assert_eq!(db.num_relations(), 3);
+        assert_eq!(db.relation_by_name("Climates").unwrap().len(), 6);
+        assert_eq!(db.relation_by_name("Sites").unwrap().len(), 20);
+        assert!(db.is_connected());
+    }
+}

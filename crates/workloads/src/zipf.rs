@@ -1,0 +1,100 @@
+//! A Zipf-distributed sampler over `{0, …, n−1}`.
+//!
+//! Web-extracted tables (the paper's motivating data) are value-skewed:
+//! a few countries/cities dominate. The generators optionally draw join
+//! values from a Zipf distribution; this implementation precomputes the
+//! cumulative weights and samples by binary search (no external crates
+//! beyond `rand`).
+
+use rand::Rng;
+
+/// Zipf sampler with exponent `s` over ranks `1..=n` (returned 0-based).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `s` is negative/non-finite. `s = 0` is the
+    /// uniform distribution.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and ≥ 0");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Always false (constructor forbids empty domains); included for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws a 0-based value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x: f64 = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn skewed_sampler_prefers_low_ranks() {
+        let z = Zipf::new(100, 1.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[60]);
+        // Rank 0 should take a large share under s = 1.5.
+        assert!(counts[0] as f64 / 20_000.0 > 0.3);
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 700.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! The introduction's scenario: a tourist who prefers tropical over
+//! temperate over diverse climates wants the *best* destinations first,
+//! without waiting for the whole integration result.
+//!
+//! Uses `PRIORITYINCREMENTALFD` with the monotonically 1-determined
+//! ranking function `f_max` (Section 5 of the paper).
+//!
+//! ```sh
+//! cargo run --example ranked_destinations
+//! ```
+
+use full_disjunction::core::{threshold, RankedFdIter};
+use full_disjunction::prelude::*;
+
+fn main() {
+    let db = tourist_database();
+
+    // imp(t): climate preference on Climates tuples, neutral elsewhere.
+    let climate_attr = db.attr_id("Climate").expect("attribute exists");
+    let imp = ImpScores::from_fn(&db, |t| {
+        match db.tuple_value(t, climate_attr).map(|v| v.to_string()) {
+            Some(c) if c == "tropical" => 3.0,
+            Some(c) if c == "temperate" => 2.0,
+            Some(c) if c == "diverse" => 1.0,
+            _ => 0.0,
+        }
+    });
+    let f = FMax::new(&imp);
+
+    println!("All destinations, best climate first:");
+    for (set, rank) in RankedFdIter::new(&db, &f) {
+        println!("  rank {rank:.1}  {}", set.label(&db));
+    }
+
+    // Top-k: the paper's Theorem 5.5 — polynomial in the input and k.
+    println!("\nTop-2 destinations:");
+    for (set, rank) in top_k(&db, &f, 2) {
+        println!("  rank {rank:.1}  {}", set.label(&db));
+    }
+
+    // Threshold variant (Remark 5.6): everything at least 'temperate'.
+    println!("\nDestinations with rank ≥ 2 (temperate or better):");
+    let warm = threshold(&db, &f, 2.0);
+    for (set, rank) in &warm {
+        println!("  rank {rank:.1}  {}", set.label(&db));
+    }
+    assert_eq!(warm.len(), 3);
+}

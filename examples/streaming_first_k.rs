@@ -1,0 +1,61 @@
+//! Incremental delivery on a large synthetic integration (Theorem 4.10):
+//! the first answers arrive after a handful of `GETNEXTRESULT` calls,
+//! while the batch baseline returns nothing until the entire full
+//! disjunction is computed.
+//!
+//! ```sh
+//! cargo run --release --example streaming_first_k
+//! ```
+
+use full_disjunction::baselines::pio_fd;
+use full_disjunction::prelude::*;
+use full_disjunction::workloads::{chain, DataSpec};
+use std::time::Instant;
+
+fn main() {
+    // A 5-relation chain with selective joins: sizable output.
+    let spec = DataSpec::new(36, 9).seed(2024);
+    let db = chain(5, &spec);
+    println!(
+        "database: {} relations, {} tuples, total size {}",
+        db.num_relations(),
+        db.num_tuples(),
+        db.total_size()
+    );
+
+    // Stream the first 10 answers.
+    let t0 = Instant::now();
+    let mut stream = FdIter::new(&db);
+    for k in 1..=10 {
+        let set = stream.next().expect("large output");
+        println!(
+            "answer {k:2} after {:8.2?}: {} tuples",
+            t0.elapsed(),
+            set.len()
+        );
+    }
+    let first10 = t0.elapsed();
+
+    // Finish the stream for the total.
+    let mut total = 10usize;
+    for _ in stream.by_ref() {
+        total += 1;
+    }
+    let full = t0.elapsed();
+    println!("full disjunction: {total} tuple sets in {full:.2?}");
+
+    // The batch baseline (Kanza–Sagiv 2003 style) cannot produce anything
+    // early: its first answer IS the full computation.
+    let t1 = Instant::now();
+    let (batch, _) = pio_fd(&db);
+    let batch_time = t1.elapsed();
+    println!(
+        "batch baseline: first answer only after {batch_time:.2?} ({} tuple sets)",
+        batch.len()
+    );
+    assert_eq!(batch.len(), total);
+    println!(
+        "\nincremental delivered 10 answers {}x faster than the batch's first answer",
+        (batch_time.as_nanos().max(1) / first10.as_nanos().max(1)).max(1)
+    );
+}

@@ -1,0 +1,32 @@
+//! `fd` — compute full disjunctions from the command line.
+//!
+//! ```sh
+//! fd                                  # the paper's tourist example
+//! fd catalog.txt --sources
+//! fd catalog.txt --top 5 --rank-by Price
+//! fd catalog.txt --approx 0.85
+//! ```
+
+use full_disjunction::cli;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match cli::run(&opts) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

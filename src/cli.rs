@@ -1,0 +1,283 @@
+//! Command-line front end logic for the `fd` binary.
+//!
+//! Kept as a library module (pure functions over parsed options) so the
+//! argument parser and command dispatch are unit-testable without
+//! spawning processes. The binary in `src/bin/fd.rs` is a thin wrapper.
+
+use crate::core::{
+    approx_full_disjunction, canonicalize, format_results, full_disjunction, threshold, top_k,
+    AMin, EditDistanceSim, FMax, ImpScores, ProbScores, RankedFdIter,
+};
+use crate::relational::textio;
+use crate::relational::Database;
+use std::fmt::Write as _;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Options {
+    /// Path of the input database (textual format), or `None` for the
+    /// built-in tourist example.
+    pub input: Option<String>,
+    /// Emit only the first `k` results.
+    pub top: Option<usize>,
+    /// Rank by this attribute's values (numeric attributes only);
+    /// requires `top` or `min_rank`.
+    pub rank_attr: Option<String>,
+    /// Threshold mode: emit every result with rank ≥ this value.
+    pub min_rank: Option<f64>,
+    /// Approximate mode with this similarity threshold τ.
+    pub approx_tau: Option<f64>,
+    /// Print the source tables before the result.
+    pub show_sources: bool,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+fd — full disjunctions from the command line
+
+USAGE:
+    fd [FILE] [OPTIONS]
+
+With no FILE, runs on the paper's built-in tourist example. FILE uses the
+textual format:
+
+    relation Climates(Country, Climate)
+    Canada | diverse
+    UK     | temperate
+
+OPTIONS:
+    --top K            emit only the K best results (requires --rank-by)
+    --rank-by ATTR     rank by the numeric attribute ATTR (f_max semantics)
+    --min-rank X       emit every result ranking at least X (requires --rank-by)
+    --approx TAU       approximate full disjunction (edit-distance A_min, threshold TAU)
+    --sources          print the source relations first
+    --help             this text
+";
+
+/// Parses argv (without the program name).
+pub fn parse_args<I, S>(args: I) -> Result<Options, String>
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut opts = Options::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let arg = arg.as_ref();
+        match arg {
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            "--sources" => opts.show_sources = true,
+            "--top" => {
+                let v = it.next().ok_or("--top needs a value")?;
+                opts.top =
+                    Some(v.as_ref().parse().map_err(|_| format!("bad --top value: {}", v.as_ref()))?);
+            }
+            "--rank-by" => {
+                let v = it.next().ok_or("--rank-by needs an attribute name")?;
+                opts.rank_attr = Some(v.as_ref().to_owned());
+            }
+            "--min-rank" => {
+                let v = it.next().ok_or("--min-rank needs a value")?;
+                opts.min_rank = Some(
+                    v.as_ref()
+                        .parse()
+                        .map_err(|_| format!("bad --min-rank value: {}", v.as_ref()))?,
+                );
+            }
+            "--approx" => {
+                let v = it.next().ok_or("--approx needs a threshold")?;
+                let tau: f64 = v
+                    .as_ref()
+                    .parse()
+                    .map_err(|_| format!("bad --approx value: {}", v.as_ref()))?;
+                if !(0.0..=1.0).contains(&tau) {
+                    return Err("--approx threshold must be within [0, 1]".into());
+                }
+                opts.approx_tau = Some(tau);
+            }
+            _ if arg.starts_with('-') => return Err(format!("unknown option: {arg}\n\n{USAGE}")),
+            _ => {
+                if opts.input.is_some() {
+                    return Err("more than one input file given".into());
+                }
+                opts.input = Some(arg.to_owned());
+            }
+        }
+    }
+    if (opts.top.is_some() || opts.min_rank.is_some()) && opts.rank_attr.is_none() {
+        return Err("--top/--min-rank require --rank-by ATTR".into());
+    }
+    if opts.rank_attr.is_some() && opts.top.is_none() && opts.min_rank.is_none() {
+        return Err("--rank-by requires --top K or --min-rank X".into());
+    }
+    Ok(opts)
+}
+
+/// Loads the database named by the options.
+pub fn load_database(opts: &Options) -> Result<Database, String> {
+    match &opts.input {
+        None => Ok(crate::relational::tourist_database()),
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            textio::parse_database(&text).map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Builds `imp(t)` from a numeric attribute: the attribute's value when
+/// the tuple has it (non-null, numeric), otherwise 0.
+fn attribute_importance(db: &Database, attr_name: &str) -> Result<ImpScores, String> {
+    let attr = db
+        .attr_id(attr_name)
+        .map_err(|_| format!("unknown attribute '{attr_name}'"))?;
+    Ok(ImpScores::from_fn(db, |t| match db.tuple_value(t, attr) {
+        Some(crate::relational::Value::Int(i)) => *i as f64,
+        Some(crate::relational::Value::Float(f)) => *f,
+        _ => 0.0,
+    }))
+}
+
+/// Runs the command described by the options and renders the output.
+pub fn run(opts: &Options) -> Result<String, String> {
+    let db = load_database(opts)?;
+    let mut out = String::new();
+    if opts.show_sources {
+        for rel in db.relations() {
+            let _ = writeln!(out, "{}", textio::format_relation(&db, rel.id()));
+        }
+    }
+
+    if let Some(tau) = opts.approx_tau {
+        let a = AMin::new(EditDistanceSim, ProbScores::uniform(&db, 1.0));
+        let afd = canonicalize(approx_full_disjunction(&db, &a, tau));
+        let _ = write!(
+            out,
+            "{}",
+            format_results(&db, &format!("Approximate full disjunction (τ = {tau})"), &afd)
+        );
+        return Ok(out);
+    }
+
+    match (&opts.rank_attr, opts.top, opts.min_rank) {
+        (Some(attr), Some(k), _) => {
+            let imp = attribute_importance(&db, attr)?;
+            let f = FMax::new(&imp);
+            let ranked = top_k(&db, &f, k);
+            let sets: Vec<_> = ranked.iter().map(|(s, _)| s.clone()).collect();
+            let _ = write!(
+                out,
+                "{}",
+                format_results(&db, &format!("Top-{k} by max({attr})"), &sets)
+            );
+            for (set, rank) in &ranked {
+                let _ = writeln!(out, "rank {rank:>8.3}  {}", set.label(&db));
+            }
+        }
+        (Some(attr), None, Some(min_rank)) => {
+            let imp = attribute_importance(&db, attr)?;
+            let f = FMax::new(&imp);
+            let ranked = threshold(&db, &f, min_rank);
+            let sets: Vec<_> = ranked.iter().map(|(s, _)| s.clone()).collect();
+            let _ = write!(
+                out,
+                "{}",
+                format_results(&db, &format!("Results with max({attr}) ≥ {min_rank}"), &sets)
+            );
+        }
+        _ => {
+            let fd = canonicalize(full_disjunction(&db));
+            let _ = write!(
+                out,
+                "{}",
+                format_results(&db, &format!("Full disjunction ({} tuple sets)", fd.len()), &fd)
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Convenience: full ranked stream used by tests.
+pub fn ranked_labels(db: &Database, attr: &str) -> Result<Vec<(String, f64)>, String> {
+    let imp = attribute_importance(db, attr)?;
+    let f = FMax::new(&imp);
+    Ok(RankedFdIter::new(db, &f)
+        .map(|(s, r)| (s.label(db), r))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults() {
+        let o = parse_args(Vec::<String>::new()).unwrap();
+        assert_eq!(o, Options::default());
+    }
+
+    #[test]
+    fn parse_full_invocation() {
+        let o = parse_args(["db.txt", "--top", "5", "--rank-by", "Stars", "--sources"]).unwrap();
+        assert_eq!(o.input.as_deref(), Some("db.txt"));
+        assert_eq!(o.top, Some(5));
+        assert_eq!(o.rank_attr.as_deref(), Some("Stars"));
+        assert!(o.show_sources);
+    }
+
+    #[test]
+    fn parse_rejects_inconsistent_options() {
+        assert!(parse_args(["--top", "3"]).is_err());
+        assert!(parse_args(["--rank-by", "Stars"]).is_err());
+        assert!(parse_args(["--approx", "1.5"]).is_err());
+        assert!(parse_args(["--bogus"]).is_err());
+        assert!(parse_args(["a.txt", "b.txt"]).is_err());
+    }
+
+    #[test]
+    fn run_plain_on_builtin_example() {
+        let out = run(&Options::default()).unwrap();
+        assert!(out.contains("6 tuple sets"));
+        assert!(out.contains("{c1, a2, s1}"));
+    }
+
+    #[test]
+    fn run_topk_on_builtin_example() {
+        let opts = parse_args(["--top", "2", "--rank-by", "Stars"]).unwrap();
+        let out = run(&opts).unwrap();
+        // Highest Stars: Plaza (4), then Ramada (3).
+        assert!(out.contains("Plaza"));
+        assert!(out.contains("rank    4.000"));
+    }
+
+    #[test]
+    fn run_threshold_on_builtin_example() {
+        let opts = parse_args(["--min-rank", "4", "--rank-by", "Stars"]).unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("Plaza"));
+        assert!(!out.contains("Ramada"));
+    }
+
+    #[test]
+    fn run_approx_on_builtin_example() {
+        let opts = parse_args(["--approx", "0.9"]).unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("Approximate"));
+    }
+
+    #[test]
+    fn run_reports_unknown_attribute() {
+        let opts = parse_args(["--top", "1", "--rank-by", "Nope"]).unwrap();
+        assert!(run(&opts).unwrap_err().contains("Nope"));
+    }
+
+    #[test]
+    fn ranked_labels_are_ordered() {
+        let db = crate::relational::tourist_database();
+        let ranked = ranked_labels(&db, "Stars").unwrap();
+        assert_eq!(ranked.len(), 6);
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

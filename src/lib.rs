@@ -1,0 +1,53 @@
+//! # full-disjunction
+//!
+//! A complete Rust implementation of **"An incremental algorithm for
+//! computing ranked full disjunctions"** (Sara Cohen & Yehoshua Sagiv,
+//! PODS 2005 / JCSS 2007): the `INCREMENTALFD`, `PRIORITYINCREMENTALFD`
+//! and `APPROXINCREMENTALFD` algorithms, their substrates, baselines and
+//! workload generators.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`relational`] — the relational substrate (values, nulls, schemas,
+//!   catalogs, joins/outerjoins, acyclicity tests, paged storage);
+//! * [`core`] — the paper's algorithms and data structures;
+//! * [`baselines`] — brute-force oracle, Rajaraman–Ullman outerjoin
+//!   sequences, and a Kanza–Sagiv-2003-style batch algorithm;
+//! * [`workloads`] — synthetic schema/data generators for experiments.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use full_disjunction::prelude::*;
+//!
+//! // Table 1 of the paper: Climates, Accommodations, Sites.
+//! let db = tourist_database();
+//!
+//! // Compute the full disjunction (Table 2 of the paper): 6 tuple sets.
+//! let fd = full_disjunction(&db);
+//! assert_eq!(fd.len(), 6);
+//!
+//! // Or stream it tuple set by tuple set with polynomial delay:
+//! let first = FdIter::new(&db).next().unwrap();
+//! assert!(!first.tuples().is_empty());
+//! ```
+
+pub use fd_baselines as baselines;
+pub use fd_core as core;
+pub use fd_relational as relational;
+pub use fd_workloads as workloads;
+
+pub mod cli;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use fd_core::{
+        approx_full_disjunction, fdi, full_disjunction, threshold, top_k, AMin, AProd,
+        ApproxFdIter, FMax, FPairSum, FSum, FTriple, FdConfig, FdIter, FdiIter, ImpScores,
+        MonotoneCDetermined, ProbScores, RankedFdIter, RankingFunction, Stats, StoreEngine,
+        TupleSet,
+    };
+    pub use fd_relational::{
+        tourist_database, AttrId, Database, DatabaseBuilder, RelId, TupleId, Value, NULL,
+    };
+}

@@ -1,0 +1,141 @@
+//! `APPROXINCREMENTALFD` semantics on generated workloads: agreement
+//! with the definitional oracle, Definition 6.2's three axioms, typo
+//! recovery with edit-distance similarity, and τ monotonicity.
+
+use full_disjunction::baselines::oracle_afd;
+use full_disjunction::core::sim::EditDistanceSim;
+use full_disjunction::core::{
+    approx_full_disjunction, canonicalize, AMin, AProd, ApproxJoin, ExactSim,
+};
+use full_disjunction::prelude::*;
+use full_disjunction::workloads::{chain, random_probability, DataSpec};
+
+fn amin_edit(db: &Database) -> AMin<EditDistanceSim> {
+    AMin::new(EditDistanceSim, ProbScores::uniform(db, 1.0))
+}
+
+#[test]
+fn afd_agrees_with_oracle_on_typo_workloads() {
+    for seed in [1u64, 2, 3] {
+        let db = chain(3, &DataSpec::new(4, 3).seed(seed).typos(0.4));
+        let a = amin_edit(&db);
+        for tau in [0.6, 0.8, 0.95] {
+            let got = canonicalize(approx_full_disjunction(&db, &a, tau));
+            let want = oracle_afd(&db, &a, tau);
+            assert_eq!(got, want, "seed {seed} τ {tau}");
+        }
+    }
+}
+
+#[test]
+fn afd_satisfies_definition_6_2() {
+    let db = chain(3, &DataSpec::new(5, 3).seed(4).typos(0.3));
+    let a = amin_edit(&db);
+    let tau = 0.7;
+    let afd = approx_full_disjunction(&db, &a, tau);
+
+    // (ii) every result scores at least τ.
+    for s in &afd {
+        assert!(a.score(&db, s.tuples()) >= tau);
+    }
+    // (i) no redundancy.
+    for x in &afd {
+        for y in &afd {
+            if x.tuples() != y.tuples() {
+                assert!(!x.is_subset_of(y));
+            }
+        }
+    }
+    // (iii) every acceptable singleton is represented.
+    for t in db.all_tuples() {
+        if a.score(&db, &[t]) >= tau {
+            assert!(afd.iter().any(|s| s.contains(t)), "tuple {t} lost");
+        }
+    }
+}
+
+#[test]
+fn edit_distance_recovers_typos_that_exact_matching_loses() {
+    // A database with heavy typo noise on the join attribute.
+    let db = chain(2, &DataSpec::new(12, 3).seed(5).typos(0.6));
+    let exact_fd = full_disjunction(&db);
+    let a = amin_edit(&db);
+    let afd = approx_full_disjunction(&db, &a, 0.75);
+    let pairs = |sets: &[TupleSet]| sets.iter().filter(|s| s.len() >= 2).count();
+    assert!(
+        pairs(&afd) >= pairs(&exact_fd),
+        "approx must recover at least the exact joins"
+    );
+    // With this much noise, approx joins must strictly beat exact ones.
+    assert!(
+        pairs(&afd) > pairs(&exact_fd),
+        "expected typo'd values to join approximately (afd {} vs fd {})",
+        pairs(&afd),
+        pairs(&exact_fd)
+    );
+}
+
+#[test]
+fn tau_monotonicity_results_nest() {
+    let db = chain(3, &DataSpec::new(5, 3).seed(6).typos(0.3));
+    let a = amin_edit(&db);
+    let taus = [0.95, 0.8, 0.6];
+    let mut previous: Option<Vec<TupleSet>> = None;
+    for tau in taus {
+        let afd = approx_full_disjunction(&db, &a, tau);
+        if let Some(stricter) = &previous {
+            // Every stricter-τ result is contained in some looser-τ one.
+            for s in stricter {
+                assert!(
+                    afd.iter().any(|l| s.is_subset_of(l)),
+                    "τ nesting violated at {tau}"
+                );
+            }
+        }
+        previous = Some(afd);
+    }
+}
+
+#[test]
+fn aprod_agrees_with_oracle_on_small_inputs() {
+    for seed in [7u64, 8] {
+        let db = chain(2, &DataSpec::new(4, 2).seed(seed).typos(0.4));
+        let a = AProd::new(EditDistanceSim);
+        for tau in [0.5, 0.8] {
+            let got = canonicalize(approx_full_disjunction(&db, &a, tau));
+            let want = oracle_afd(&db, &a, tau);
+            assert_eq!(got, want, "seed {seed} τ {tau}");
+        }
+    }
+}
+
+#[test]
+fn probability_threshold_excludes_uncertain_tuples() {
+    let db = chain(2, &DataSpec::new(6, 3).seed(9));
+    let prob = random_probability(&db, 0.0, 10);
+    let a = AMin::new(ExactSim, prob.clone());
+    let tau = 0.5;
+    let afd = approx_full_disjunction(&db, &a, tau);
+    for t in db.all_tuples() {
+        let appears = afd.iter().any(|s| s.contains(t));
+        assert_eq!(
+            appears,
+            prob.prob(t) >= tau,
+            "tuple {t} with prob {}",
+            prob.prob(t)
+        );
+    }
+}
+
+#[test]
+fn tau_zero_is_everything_tau_above_one_is_nothing() {
+    let db = chain(2, &DataSpec::new(4, 2).seed(11));
+    let a = amin_edit(&db);
+    // τ > 1 can never be met.
+    assert!(approx_full_disjunction(&db, &a, 1.01).is_empty());
+    // τ = 0 is met by every connected set; results must cover all tuples.
+    let afd = approx_full_disjunction(&db, &a, 0.0);
+    for t in db.all_tuples() {
+        assert!(afd.iter().any(|s| s.contains(t)));
+    }
+}

@@ -1,0 +1,104 @@
+//! End-to-end tests of the `fd` command-line front end: file loading,
+//! every mode, and error paths.
+
+use full_disjunction::cli::{parse_args, run, Options};
+use std::io::Write;
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("fd-cli-test-{name}-{}", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("temp file");
+    f.write_all(content.as_bytes()).expect("write");
+    path
+}
+
+const CATALOG: &str = "\
+relation Vendors(Product, Vendor)
+laptop | Acme
+phone  | Bravo
+
+relation Prices(Product, Price)
+laptop | 999
+camera | 450
+";
+
+#[test]
+fn computes_fd_from_a_file() {
+    let path = write_temp("catalog", CATALOG);
+    let opts = Options {
+        input: Some(path.to_string_lossy().into_owned()),
+        ..Options::default()
+    };
+    let out = run(&opts).unwrap();
+    // laptop combines; phone and camera survive alone: 3 tuple sets.
+    assert!(out.contains("3 tuple sets"), "{out}");
+    assert!(out.contains("laptop"));
+    assert!(out.contains("camera"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn ranked_mode_from_a_file() {
+    let path = write_temp("ranked", CATALOG);
+    let opts = parse_args([
+        path.to_string_lossy().as_ref(),
+        "--top",
+        "1",
+        "--rank-by",
+        "Price",
+    ])
+    .unwrap();
+    let out = run(&opts).unwrap();
+    assert!(out.contains("999"), "{out}");
+    assert!(!out.contains("camera"), "{out}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn approx_mode_joins_typos_from_a_file() {
+    let noisy = "\
+relation Vendors(Product, Vendor)
+lapptop | Acme
+
+relation Prices(Product, Price)
+laptop | 999
+";
+    let path = write_temp("noisy", noisy);
+    let opts = parse_args([path.to_string_lossy().as_ref(), "--approx", "0.8"]).unwrap();
+    let out = run(&opts).unwrap();
+    // "lapptop" ≈ "laptop": one combined row.
+    assert!(out.contains("{v1, p1}"), "{out}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn missing_file_reports_an_error() {
+    let opts = Options {
+        input: Some("/definitely/not/here.txt".into()),
+        ..Options::default()
+    };
+    let err = run(&opts).unwrap_err();
+    assert!(err.contains("cannot read"));
+}
+
+#[test]
+fn malformed_file_reports_a_parse_error() {
+    let path = write_temp("bad", "1 | 2\n");
+    let opts = Options {
+        input: Some(path.to_string_lossy().into_owned()),
+        ..Options::default()
+    };
+    let err = run(&opts).unwrap_err();
+    assert!(err.contains("line 1"), "{err}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn sources_flag_prints_tables() {
+    let path = write_temp("sources", CATALOG);
+    let opts = parse_args([path.to_string_lossy().as_ref(), "--sources"]).unwrap();
+    let out = run(&opts).unwrap();
+    assert!(out.contains("Vendors"));
+    assert!(out.contains("Prices"));
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,201 @@
+//! Edge cases across the whole stack: degenerate databases, adversarial
+//! null placements, duplicate rows, and schema extremes. Each case is
+//! checked against the brute-force oracle where feasible.
+
+use full_disjunction::baselines::oracle_fd;
+use full_disjunction::core::{canonicalize, full_disjunction, top_k};
+use full_disjunction::prelude::*;
+
+#[test]
+fn empty_database_yields_empty_fd() {
+    let db = DatabaseBuilder::new().build().unwrap();
+    assert_eq!(db.num_relations(), 0);
+    assert!(full_disjunction(&db).is_empty());
+}
+
+#[test]
+fn relations_with_no_rows_yield_empty_fd() {
+    let mut b = DatabaseBuilder::new();
+    b.relation("R", &["A", "B"]);
+    b.relation("S", &["B", "C"]);
+    let db = b.build().unwrap();
+    assert!(full_disjunction(&db).is_empty());
+}
+
+#[test]
+fn single_tuple_database() {
+    let mut b = DatabaseBuilder::new();
+    b.relation("R", &["A"]).row([7]);
+    let db = b.build().unwrap();
+    let fd = full_disjunction(&db);
+    assert_eq!(fd.len(), 1);
+    assert_eq!(fd[0].tuples(), &[TupleId(0)]);
+    assert_eq!(fd, oracle_fd(&db));
+}
+
+#[test]
+fn identical_duplicate_rows_are_distinct_tuples() {
+    // Three identical rows in R and two in S: every (r, s) combination
+    // is a distinct maximal tuple set — 6 results, not 1.
+    let mut b = DatabaseBuilder::new();
+    b.relation("R", &["A"]).row([1]).row([1]).row([1]);
+    b.relation("S", &["A", "B"]).row([1, 2]).row([1, 2]);
+    let db = b.build().unwrap();
+    let fd = canonicalize(full_disjunction(&db));
+    assert_eq!(fd.len(), 6);
+    assert_eq!(fd, oracle_fd(&db));
+}
+
+#[test]
+fn all_rows_mutually_inconsistent() {
+    let mut b = DatabaseBuilder::new();
+    b.relation("R", &["A", "B"]).row([1, 1]).row([2, 2]);
+    b.relation("S", &["B", "C"]).row([9, 1]).row([8, 2]);
+    let db = b.build().unwrap();
+    let fd = full_disjunction(&db);
+    assert_eq!(fd.len(), 4); // all singletons
+    assert!(fd.iter().all(|s| s.len() == 1));
+    assert_eq!(canonicalize(fd), oracle_fd(&db));
+}
+
+#[test]
+fn clique_schema_every_pair_shares_the_key() {
+    // Four relations all sharing attribute K: the relation graph is a
+    // clique (γ-cyclic for n ≥ 3 unless nested), but the algorithm does
+    // not care.
+    let mut b = DatabaseBuilder::new();
+    for (name, payload) in [("P", "X"), ("Q", "Y"), ("U", "Z"), ("V", "W")] {
+        b.relation(name, &["K", payload]).row([1, 10]).row([2, 20]);
+    }
+    let db = b.build().unwrap();
+    let fd = canonicalize(full_disjunction(&db));
+    // K=1 and K=2 each combine one tuple from every relation: 2 results.
+    assert_eq!(fd.len(), 2);
+    assert!(fd.iter().all(|s| s.len() == 4));
+    assert_eq!(fd, oracle_fd(&db));
+}
+
+#[test]
+fn bridge_relation_with_empty_rows_splits_the_chain() {
+    // R - S(empty) - T: R and T can never combine (connectivity requires
+    // shared attributes, and R,T share none).
+    let mut b = DatabaseBuilder::new();
+    b.relation("R", &["A", "B"]).row([1, 2]);
+    b.relation("S", &["B", "C"]);
+    b.relation("T", &["C", "D"]).row([3, 4]);
+    let db = b.build().unwrap();
+    let fd = canonicalize(full_disjunction(&db));
+    assert_eq!(fd.len(), 2);
+    assert!(fd.iter().all(|s| s.len() == 1));
+    assert_eq!(fd, oracle_fd(&db));
+}
+
+#[test]
+fn null_only_rows_survive_as_singletons() {
+    let mut b = DatabaseBuilder::new();
+    b.relation("R", &["A", "B"]).row_values(vec![NULL, NULL]);
+    b.relation("S", &["B", "C"]).row_values(vec![NULL, NULL]);
+    let db = b.build().unwrap();
+    let fd = full_disjunction(&db);
+    assert_eq!(fd.len(), 2);
+    assert!(fd.iter().all(|s| s.len() == 1));
+    assert_eq!(canonicalize(fd), oracle_fd(&db));
+}
+
+#[test]
+fn wide_schema_relation() {
+    // One relation with 20 attributes joined to a thin one.
+    let attrs: Vec<String> = (0..20).map(|i| format!("A{i}")).collect();
+    let refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+    let mut b = DatabaseBuilder::new();
+    {
+        let mut r = b.relation("Wide", &refs);
+        r.row_values((0..20i64).map(Value::Int).collect());
+        r.row_values((100..120i64).map(Value::Int).collect());
+    }
+    b.relation("Thin", &["A0"]).row([0]).row([100]).row([999]);
+    let db = b.build().unwrap();
+    let fd = canonicalize(full_disjunction(&db));
+    // Two matched pairs + the unmatched thin row.
+    assert_eq!(fd.len(), 3);
+    assert_eq!(fd, oracle_fd(&db));
+}
+
+#[test]
+fn long_chain_with_sparse_matches() {
+    // An 8-relation chain where only one value threads all the way
+    // through: exactly one 8-tuple result plus singletons/partials.
+    let mut b = DatabaseBuilder::new();
+    for i in 0..8usize {
+        let j0 = format!("J{i}");
+        let j1 = format!("J{}", i + 1);
+        let mut r = b.relation(&format!("C{i}"), &[&j0, &j1]);
+        r.row([0, 0]); // the thread
+        r.row([(i + 1) as i64 * 10, (i + 1) as i64 * 100]); // noise
+    }
+    let db = b.build().unwrap();
+    let fd = full_disjunction(&db);
+    assert!(fd.iter().any(|s| s.len() == 8), "the full thread must appear");
+    assert_eq!(canonicalize(fd), oracle_fd(&db));
+}
+
+#[test]
+fn ranked_iteration_on_degenerate_databases() {
+    // Empty and singleton databases through the ranked path.
+    let db = DatabaseBuilder::new().build().unwrap();
+    let imp = ImpScores::uniform(&db, 1.0);
+    let f = FMax::new(&imp);
+    assert!(top_k(&db, &f, 5).is_empty());
+
+    let mut b = DatabaseBuilder::new();
+    b.relation("R", &["A"]).row([1]);
+    let db = b.build().unwrap();
+    let imp = ImpScores::uniform(&db, 2.5);
+    let f = FMax::new(&imp);
+    let got = top_k(&db, &f, 5);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].1, 2.5);
+}
+
+#[test]
+fn mixed_type_values_never_join() {
+    // Int 1 and string "1" share an attribute but are different values.
+    let mut b = DatabaseBuilder::new();
+    b.relation("R", &["A"]).row_values(vec![Value::Int(1)]);
+    b.relation("S", &["A", "B"]).row_values(vec![Value::str("1"), Value::Int(2)]);
+    let db = b.build().unwrap();
+    let fd = full_disjunction(&db);
+    assert_eq!(fd.len(), 2);
+    assert!(fd.iter().all(|s| s.len() == 1));
+}
+
+#[test]
+fn text_roundtrip_preserves_fd() {
+    use full_disjunction::relational::textio;
+    // Serialize the tourist database by hand and re-parse: the full
+    // disjunction must be identical (up to tuple ids, which the format
+    // preserves by construction).
+    let db = tourist_database();
+    let mut text = String::new();
+    for rel in db.relations() {
+        let attrs: Vec<&str> = rel.schema().attrs().iter().map(|&a| db.attr_name(a)).collect();
+        text.push_str(&format!("relation {}({})\n", rel.name(), attrs.join(", ")));
+        for row in rel.rows() {
+            let cells: Vec<String> = row.iter().map(|v| v.display().into_owned()).collect();
+            text.push_str(&cells.join(" | "));
+            text.push('\n');
+        }
+        text.push('\n');
+    }
+    let re = textio::parse_database(&text).unwrap();
+    assert_eq!(re.num_tuples(), db.num_tuples());
+    let fd_a: Vec<Vec<TupleId>> = canonicalize(full_disjunction(&db))
+        .iter()
+        .map(|s| s.tuples().to_vec())
+        .collect();
+    let fd_b: Vec<Vec<TupleId>> = canonicalize(full_disjunction(&re))
+        .iter()
+        .map(|s| s.tuples().to_vec())
+        .collect();
+    assert_eq!(fd_a, fd_b);
+}

@@ -1,0 +1,117 @@
+//! Configuration equivalences: every execution knob of Section 7 —
+//! store engine, block size, initialization strategy, parallelism — must
+//! compute exactly the same full disjunction, differing only in
+//! operation counts.
+
+use full_disjunction::core::{
+    canonicalize, full_disjunction_with, parallel_full_disjunction, FdConfig, FdIter,
+    InitStrategy, StoreEngine,
+};
+use full_disjunction::prelude::*;
+use full_disjunction::workloads::{chain, cycle, random_connected, star, DataSpec};
+
+fn workloads(seed: u64) -> Vec<(String, Database)> {
+    vec![
+        ("chain".into(), chain(3, &DataSpec::new(8, 4).seed(seed))),
+        ("star".into(), star(4, &DataSpec::new(6, 4).seed(seed))),
+        ("cycle".into(), cycle(3, &DataSpec::new(6, 4).seed(seed))),
+        (
+            "random".into(),
+            random_connected(4, 2, &DataSpec::new(5, 3).seed(seed).null_rate(0.15)),
+        ),
+    ]
+}
+
+#[test]
+fn engines_block_sizes_and_strategies_all_agree() {
+    for seed in [21u64, 22] {
+        for (name, db) in workloads(seed) {
+            let base = canonicalize(full_disjunction_with(&db, FdConfig::default()));
+            for engine in [StoreEngine::Scan, StoreEngine::Indexed] {
+                for page_size in [None, Some(1), Some(7), Some(256)] {
+                    for init in [
+                        InitStrategy::Singletons,
+                        InitStrategy::ReuseResults,
+                        InitStrategy::TrimExtend,
+                    ] {
+                        let cfg = FdConfig { engine, page_size, init };
+                        let got = canonicalize(full_disjunction_with(&db, cfg));
+                        assert_eq!(
+                            base, got,
+                            "{name} seed={seed} engine={engine:?} pages={page_size:?} init={init:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_agrees_for_all_thread_counts() {
+    for (name, db) in workloads(23) {
+        let base = canonicalize(full_disjunction_with(&db, FdConfig::default()));
+        for threads in [1usize, 2, 4, 16] {
+            let (got, _) = parallel_full_disjunction(&db, FdConfig::default(), threads);
+            assert_eq!(base, got, "{name} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn indexing_reduces_store_scans() {
+    // The point of Section 7's hashing: same answers, fewer scans.
+    let db = chain(4, &DataSpec::new(30, 8).seed(24));
+    let run = |engine| {
+        let mut it = FdIter::with_config(&db, FdConfig { engine, ..FdConfig::default() });
+        let mut n = 0;
+        for _ in it.by_ref() {
+            n += 1;
+        }
+        (n, it.stats_total())
+    };
+    let (n_scan, scan) = run(StoreEngine::Scan);
+    let (n_idx, idx) = run(StoreEngine::Indexed);
+    assert_eq!(n_scan, n_idx);
+    assert!(
+        idx.total_store_scans() < scan.total_store_scans(),
+        "indexed {} vs scan {}",
+        idx.total_store_scans(),
+        scan.total_store_scans()
+    );
+}
+
+#[test]
+fn reuse_strategies_reduce_candidate_scans() {
+    let db = chain(4, &DataSpec::new(20, 6).seed(25));
+    let scans = |init| {
+        let mut it = FdIter::with_config(&db, FdConfig { init, ..FdConfig::default() });
+        for _ in it.by_ref() {}
+        it.stats_total().candidate_scans
+    };
+    let singles = scans(InitStrategy::Singletons);
+    let reuse = scans(InitStrategy::ReuseResults);
+    let trim = scans(InitStrategy::TrimExtend);
+    assert!(reuse < singles, "reuse {reuse} vs singletons {singles}");
+    assert!(trim < singles, "trim {trim} vs singletons {singles}");
+}
+
+#[test]
+fn block_execution_page_reads_shrink_with_page_size() {
+    let db = chain(3, &DataSpec::new(40, 8).seed(26));
+    let pages_read = |page_size| {
+        let cfg = FdConfig { page_size: Some(page_size), ..FdConfig::default() };
+        let mut total = 0u64;
+        for rel_idx in 0..db.num_relations() {
+            let mut it = FdiIter::with_config(&db, RelId(rel_idx as u16), cfg);
+            for _ in it.by_ref() {}
+            total += it.pages_read();
+        }
+        total
+    };
+    let p1 = pages_read(1);
+    let p16 = pages_read(16);
+    let p128 = pages_read(128);
+    assert!(p1 > p16, "{p1} vs {p16}");
+    assert!(p16 > p128, "{p16} vs {p128}");
+}

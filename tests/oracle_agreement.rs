@@ -1,0 +1,124 @@
+//! Cross-algorithm agreement on generated workloads: `INCREMENTALFD`
+//! (all configurations) ≡ brute-force oracle ≡ batch baseline, and ≡ the
+//! Rajaraman–Ullman outerjoin baseline where that baseline applies
+//! (γ-acyclic, connected, null-free).
+
+use full_disjunction::baselines::{oracle_fd, outerjoin_fd, pio_fd};
+use full_disjunction::core::{canonicalize, full_disjunction, padded_relation};
+use full_disjunction::prelude::*;
+use full_disjunction::workloads::{chain, cycle, random_connected, star, DataSpec};
+
+fn assert_all_agree(db: &Database, ctx: &str) {
+    let oracle = oracle_fd(db);
+    let incremental = canonicalize(full_disjunction(db));
+    assert_eq!(oracle, incremental, "incremental vs oracle: {ctx}");
+    let (batch, _) = pio_fd(db);
+    assert_eq!(oracle, batch, "batch vs oracle: {ctx}");
+}
+
+#[test]
+fn chains_agree_across_sizes_and_seeds() {
+    for n in [2usize, 3, 4] {
+        for seed in [1u64, 2] {
+            // Small enough for the exponential oracle.
+            let db = chain(n, &DataSpec::new(5, 3).seed(seed));
+            assert_all_agree(&db, &format!("chain n={n} seed={seed}"));
+        }
+    }
+}
+
+#[test]
+fn chains_with_nulls_agree() {
+    for seed in [3u64, 4] {
+        let db = chain(3, &DataSpec::new(5, 3).seed(seed).null_rate(0.3));
+        assert_all_agree(&db, &format!("null chain seed={seed}"));
+    }
+}
+
+#[test]
+fn stars_agree() {
+    for seed in [5u64, 6] {
+        let db = star(4, &DataSpec::new(4, 3).seed(seed));
+        assert_all_agree(&db, &format!("star seed={seed}"));
+    }
+}
+
+#[test]
+fn cycles_agree() {
+    for seed in [7u64, 8] {
+        let db = cycle(3, &DataSpec::new(4, 3).seed(seed));
+        assert_all_agree(&db, &format!("cycle seed={seed}"));
+    }
+}
+
+#[test]
+fn random_schemas_agree() {
+    for seed in [9u64, 10, 11] {
+        let db = random_connected(4, 2, &DataSpec::new(4, 3).seed(seed));
+        assert_all_agree(&db, &format!("random seed={seed}"));
+    }
+}
+
+#[test]
+fn skewed_data_agrees() {
+    let db = chain(3, &DataSpec::new(6, 4).seed(12).skew(1.2));
+    assert_all_agree(&db, "skewed chain");
+}
+
+#[test]
+fn outerjoin_baseline_agrees_on_its_domain() {
+    // γ-acyclic, connected, null-free: chains and stars qualify.
+    for (name, db) in [
+        ("chain", chain(3, &DataSpec::new(6, 3).seed(13))),
+        ("star", star(3, &DataSpec::new(6, 3).seed(14))),
+    ] {
+        let oj = outerjoin_fd(&db).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let fd = full_disjunction(&db);
+        let mut fd_rows = padded_relation(&db, &fd);
+        fd_rows.sort();
+        let mut oj_rows: Vec<Vec<Value>> = oj.rows.iter().map(|r| r.to_vec()).collect();
+        oj_rows.sort();
+        assert_eq!(fd_rows, oj_rows, "{name}");
+    }
+}
+
+#[test]
+fn outerjoin_baseline_refuses_cycles() {
+    let db = cycle(3, &DataSpec::new(4, 3).seed(15));
+    assert!(outerjoin_fd(&db).is_err());
+    // ...but the incremental algorithm handles them fine.
+    assert_all_agree(&db, "cycle handled by incremental");
+}
+
+#[test]
+fn information_preservation_every_tuple_is_covered() {
+    // Definition 2.1(iii) with T = {t}: every tuple appears in some
+    // result.
+    for seed in [16u64, 17] {
+        let db = random_connected(4, 1, &DataSpec::new(4, 3).seed(seed).null_rate(0.2));
+        let fd = full_disjunction(&db);
+        for t in db.all_tuples() {
+            assert!(
+                fd.iter().any(|s| s.contains(t)),
+                "tuple {t} lost (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fdi_definition_holds_per_relation() {
+    // FDi(R) = members of FD(R) containing a tuple from Ri.
+    let db = chain(3, &DataSpec::new(5, 3).seed(18));
+    let fd = canonicalize(full_disjunction(&db));
+    for rel_idx in 0..db.num_relations() {
+        let ri = RelId(rel_idx as u16);
+        let fdi = canonicalize(full_disjunction::core::fdi(&db, ri));
+        let expected: Vec<_> = fd
+            .iter()
+            .filter(|s| s.tuple_from(&db, ri).is_some())
+            .cloned()
+            .collect();
+        assert_eq!(fdi, expected, "relation {rel_idx}");
+    }
+}

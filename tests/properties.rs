@@ -1,0 +1,153 @@
+//! Property-based tests: random small databases (arbitrary schemas,
+//! values, nulls, duplicate rows, disconnected pieces) checked against
+//! the definitional oracles and the paper's axioms.
+
+use full_disjunction::baselines::{all_jcc_sets, oracle_afd, oracle_fd, oracle_top_k, pio_fd};
+use full_disjunction::core::jcc::is_jcc;
+use full_disjunction::core::sim::EditDistanceSim;
+use full_disjunction::core::{
+    approx_full_disjunction, canonicalize, full_disjunction, full_disjunction_with,
+    parallel_full_disjunction, AMin, FdConfig, InitStrategy, StoreEngine,
+};
+use full_disjunction::prelude::*;
+use full_disjunction::workloads::positional_importance;
+use proptest::prelude::*;
+
+/// One relation: a non-empty attribute subset of a 4-attribute pool and
+/// up to three rows of small values with nulls.
+fn arb_relation() -> impl Strategy<Value = (Vec<usize>, Vec<Vec<Option<u8>>>)> {
+    (
+        proptest::collection::btree_set(0usize..4, 1..=3),
+        proptest::collection::vec(
+            proptest::collection::vec(proptest::option::of(0u8..3), 3),
+            0..=3,
+        ),
+    )
+        .prop_map(|(attrs, rows)| (attrs.into_iter().collect(), rows))
+}
+
+/// A database of 1–3 such relations (≤ 9 tuples, oracle-friendly).
+fn arb_db() -> impl Strategy<Value = Database> {
+    proptest::collection::vec(arb_relation(), 1..=3).prop_map(|rels| {
+        let mut b = DatabaseBuilder::new();
+        for (i, (attrs, rows)) in rels.into_iter().enumerate() {
+            let name = format!("R{i}");
+            let attr_names: Vec<String> = attrs.iter().map(|a| format!("A{a}")).collect();
+            let refs: Vec<&str> = attr_names.iter().map(String::as_str).collect();
+            let mut rel = b.relation(&name, &refs);
+            for row in rows {
+                let values: Vec<Value> = row
+                    .into_iter()
+                    .take(attrs.len())
+                    .chain(std::iter::repeat(Some(0)))
+                    .take(attrs.len())
+                    .map(|v| match v {
+                        Some(x) => Value::Int(x as i64),
+                        None => Value::Null,
+                    })
+                    .collect();
+                rel.row_values(values);
+            }
+        }
+        b.build().expect("generated database is well-formed")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Definition 2.1, all three axioms, plus agreement with the oracle.
+    #[test]
+    fn fd_axioms_hold(db in arb_db()) {
+        let fd = canonicalize(full_disjunction(&db));
+        // (ii) every result is join consistent and connected.
+        for s in &fd {
+            prop_assert!(is_jcc(&db, s.tuples()));
+        }
+        // (i) no redundancy.
+        for a in &fd {
+            for b in &fd {
+                if a.tuples() != b.tuples() {
+                    prop_assert!(!a.is_subset_of(b));
+                }
+            }
+        }
+        // (iii) every JCC set is contained in some result.
+        for jcc in all_jcc_sets(&db) {
+            prop_assert!(fd.iter().any(|s| jcc.is_subset_of(s)));
+        }
+        // Oracle agreement.
+        prop_assert_eq!(fd, oracle_fd(&db));
+    }
+
+    /// The batch baseline computes the same set.
+    #[test]
+    fn batch_baseline_agrees(db in arb_db()) {
+        let (batch, _) = pio_fd(&db);
+        prop_assert_eq!(batch, oracle_fd(&db));
+    }
+
+    /// Every configuration (engine × init × blocks × parallel) agrees.
+    #[test]
+    fn configurations_agree(db in arb_db()) {
+        let base = canonicalize(full_disjunction(&db));
+        for engine in [StoreEngine::Scan, StoreEngine::Indexed] {
+            for init in [InitStrategy::Singletons, InitStrategy::ReuseResults, InitStrategy::TrimExtend] {
+                let cfg = FdConfig { engine, page_size: Some(2), init };
+                prop_assert_eq!(&base, &canonicalize(full_disjunction_with(&db, cfg)));
+            }
+        }
+        let (par, _) = parallel_full_disjunction(&db, FdConfig::default(), 3);
+        prop_assert_eq!(base, par);
+    }
+
+    /// The ranked stream is ordered, duplicate-free, complete, and its
+    /// scores match the definitional top-k oracle.
+    #[test]
+    fn ranked_stream_is_sound(db in arb_db()) {
+        let imp = positional_importance(&db);
+        let f = FMax::new(&imp);
+        let ranked: Vec<(TupleSet, f64)> = RankedFdIter::new(&db, &f).collect();
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1);
+        }
+        let mut sets: Vec<TupleSet> = ranked.iter().map(|x| x.0.clone()).collect();
+        sets.sort();
+        let deduped = {
+            let mut d = sets.clone();
+            d.dedup();
+            d
+        };
+        prop_assert_eq!(&sets, &deduped);
+        prop_assert_eq!(sets, oracle_fd(&db));
+        let oracle_scores: Vec<f64> =
+            oracle_top_k(&db, &f, usize::MAX).into_iter().map(|x| x.1).collect();
+        let got_scores: Vec<f64> = ranked.iter().map(|x| x.1).collect();
+        prop_assert_eq!(oracle_scores, got_scores);
+    }
+
+    /// The approximate algorithm agrees with the definitional oracle for
+    /// A_min over edit-distance similarity at several thresholds.
+    #[test]
+    fn approx_agrees_with_oracle(db in arb_db(), tau in 0.3f64..=1.0) {
+        let a = AMin::new(EditDistanceSim, ProbScores::uniform(&db, 1.0));
+        let got = canonicalize(approx_full_disjunction(&db, &a, tau));
+        let want = oracle_afd(&db, &a, tau);
+        prop_assert_eq!(got, want);
+    }
+
+    /// Streaming prefix soundness: the first k results of the iterator
+    /// are members of the full disjunction (PINC delivery, Thm 4.10).
+    #[test]
+    fn streamed_prefix_is_sound(db in arb_db(), k in 1usize..5) {
+        let fd = oracle_fd(&db);
+        let prefix: Vec<TupleSet> = FdIter::new(&db).take(k).collect();
+        for s in &prefix {
+            prop_assert!(fd.iter().any(|m| m.tuples() == s.tuples()));
+        }
+        let mut sorted = prefix.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), prefix.len());
+    }
+}

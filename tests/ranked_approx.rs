@@ -1,0 +1,76 @@
+//! The ranked approximate combination (Section 6's closing remark) on
+//! generated noisy workloads: ordering, coverage against the approximate
+//! oracle, and the double reduction (exact similarity ⇒ ranked FD;
+//! uniform ranks ⇒ plain AFD).
+
+use full_disjunction::baselines::oracle_afd;
+use full_disjunction::core::sim::EditDistanceSim;
+use full_disjunction::core::{approx_top_k, AMin, RankedApproxFdIter};
+use full_disjunction::prelude::*;
+use full_disjunction::workloads::{chain, random_importance, DataSpec};
+
+fn noisy_db(seed: u64) -> Database {
+    chain(3, &DataSpec::new(5, 3).seed(seed).typos(0.3))
+}
+
+#[test]
+fn ranked_approx_is_ordered_and_covers_the_afd() {
+    for seed in [1u64, 2, 3] {
+        let db = noisy_db(seed);
+        let a = AMin::new(EditDistanceSim, ProbScores::uniform(&db, 1.0));
+        let imp = random_importance(&db, seed * 7);
+        let f = FMax::new(&imp);
+        for tau in [0.95, 0.8] {
+            let stream: Vec<(TupleSet, f64)> =
+                RankedApproxFdIter::new(&db, &a, tau, &f).collect();
+            for w in stream.windows(2) {
+                assert!(w[0].1 >= w[1].1, "seed {seed} τ {tau}");
+            }
+            let mut got: Vec<TupleSet> = stream.into_iter().map(|x| x.0).collect();
+            got.sort();
+            let want = oracle_afd(&db, &a, tau);
+            assert_eq!(got, want, "seed {seed} τ {tau}");
+        }
+    }
+}
+
+#[test]
+fn approx_top_k_is_a_prefix_and_respects_tau() {
+    let db = noisy_db(4);
+    let a = AMin::new(EditDistanceSim, ProbScores::uniform(&db, 1.0));
+    let imp = random_importance(&db, 11);
+    let f = FMax::new(&imp);
+    let tau = 0.8;
+    let all: Vec<_> = RankedApproxFdIter::new(&db, &a, tau, &f).collect();
+    for k in [0, 1, 3, all.len(), all.len() + 2] {
+        let got = approx_top_k(&db, &a, tau, &f, k);
+        assert_eq!(got.len(), k.min(all.len()));
+        for (g, w) in got.iter().zip(all.iter()) {
+            assert_eq!(g.1, w.1, "k = {k}");
+        }
+    }
+    use full_disjunction::core::ApproxJoin;
+    for (set, _) in &all {
+        assert!(a.score(&db, set.tuples()) >= tau);
+    }
+}
+
+#[test]
+fn c2_and_c3_functions_also_drive_the_ranked_approx_stream() {
+    let db = noisy_db(5);
+    let a = AMin::new(EditDistanceSim, ProbScores::uniform(&db, 1.0));
+    let imp = random_importance(&db, 13);
+
+    let f2 = FPairSum::new(&imp);
+    let r2: Vec<f64> = RankedApproxFdIter::new(&db, &a, 0.8, &f2).map(|x| x.1).collect();
+    for w in r2.windows(2) {
+        assert!(w[0] >= w[1]);
+    }
+
+    let f3 = FTriple::new(&imp);
+    let r3: Vec<f64> = RankedApproxFdIter::new(&db, &a, 0.8, &f3).map(|x| x.1).collect();
+    for w in r3.windows(2) {
+        assert!(w[0] >= w[1]);
+    }
+    assert_eq!(r2.len(), r3.len(), "same AFD under both functions");
+}

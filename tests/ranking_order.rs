@@ -1,0 +1,133 @@
+//! `PRIORITYINCREMENTALFD` correctness on generated workloads: emission
+//! order, agreement with the definitional top-k oracle, prefix property,
+//! threshold variant, and the c = 3 example function.
+
+use full_disjunction::baselines::{naive_top_k, oracle_top_k};
+use full_disjunction::core::threshold;
+use full_disjunction::prelude::*;
+use full_disjunction::workloads::{chain, random_connected, random_importance, star, DataSpec};
+
+fn rank_sequence<F: MonotoneCDetermined>(db: &Database, f: &F) -> Vec<f64> {
+    RankedFdIter::new(db, f).map(|(_, r)| r).collect()
+}
+
+#[test]
+fn emission_is_non_increasing_across_workloads_and_seeds() {
+    for seed in [1u64, 2, 3] {
+        for db in [
+            chain(3, &DataSpec::new(6, 3).seed(seed)),
+            star(3, &DataSpec::new(5, 3).seed(seed)),
+            random_connected(4, 2, &DataSpec::new(4, 3).seed(seed)),
+        ] {
+            let imp = random_importance(&db, seed ^ 0xabc);
+            let f = FMax::new(&imp);
+            let ranks = rank_sequence(&db, &f);
+            assert!(!ranks.is_empty());
+            for w in ranks.windows(2) {
+                assert!(w[0] >= w[1], "seed {seed}: {ranks:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn ranked_matches_oracle_top_k_scores() {
+    for seed in [4u64, 5] {
+        let db = chain(3, &DataSpec::new(5, 3).seed(seed));
+        let imp = random_importance(&db, seed);
+        let f = FMax::new(&imp);
+        let oracle = oracle_top_k(&db, &f, usize::MAX);
+        let ranked: Vec<(TupleSet, f64)> = RankedFdIter::new(&db, &f).collect();
+        assert_eq!(oracle.len(), ranked.len());
+        // Rank multisets must agree exactly (tie order may differ).
+        let o: Vec<f64> = oracle.iter().map(|x| x.1).collect();
+        let r: Vec<f64> = ranked.iter().map(|x| x.1).collect();
+        assert_eq!(o, r, "seed {seed}");
+        // And the sets themselves as sets.
+        let mut os: Vec<_> = oracle.into_iter().map(|x| x.0).collect();
+        let mut rs: Vec<_> = ranked.into_iter().map(|x| x.0).collect();
+        os.sort();
+        rs.sort();
+        assert_eq!(os, rs, "seed {seed}");
+    }
+}
+
+#[test]
+fn top_k_is_prefix_of_full_stream() {
+    let db = star(4, &DataSpec::new(5, 3).seed(6));
+    let imp = random_importance(&db, 99);
+    let f = FMax::new(&imp);
+    let full: Vec<(TupleSet, f64)> = RankedFdIter::new(&db, &f).collect();
+    for k in [0usize, 1, 2, 5, full.len(), full.len() + 3] {
+        let got = top_k(&db, &f, k);
+        assert_eq!(got.len(), k.min(full.len()));
+        for (a, b) in got.iter().zip(full.iter()) {
+            assert_eq!(a.0, b.0, "k={k}");
+            assert_eq!(a.1, b.1, "k={k}");
+        }
+    }
+}
+
+#[test]
+fn naive_baseline_agrees_with_ranked_algorithm() {
+    for seed in [7u64, 8] {
+        let db = random_connected(3, 1, &DataSpec::new(5, 3).seed(seed));
+        let imp = random_importance(&db, seed * 31);
+        let f = FMax::new(&imp);
+        for k in [1usize, 3, 8] {
+            let naive: Vec<f64> = naive_top_k(&db, &f, k).into_iter().map(|x| x.1).collect();
+            let ranked: Vec<f64> = top_k(&db, &f, k).into_iter().map(|x| x.1).collect();
+            assert_eq!(naive, ranked, "seed {seed} k {k}");
+        }
+    }
+}
+
+#[test]
+fn threshold_equals_filtered_stream() {
+    let db = chain(3, &DataSpec::new(6, 3).seed(9));
+    let imp = random_importance(&db, 17);
+    let f = FMax::new(&imp);
+    let all: Vec<(TupleSet, f64)> = RankedFdIter::new(&db, &f).collect();
+    for tau in [0.0, 0.3, 0.6, 0.9, 1.1] {
+        let got = threshold(&db, &f, tau);
+        let expected: Vec<&(TupleSet, f64)> = all.iter().filter(|(_, r)| *r >= tau).collect();
+        assert_eq!(got.len(), expected.len(), "τ = {tau}");
+        for ((gs, gr), (es, er)) in got.iter().zip(expected) {
+            assert_eq!(gs, es, "τ = {tau}");
+            assert_eq!(gr, er, "τ = {tau}");
+        }
+    }
+}
+
+#[test]
+fn ftriple_c3_function_is_correctly_ordered() {
+    let db = star(3, &DataSpec::new(4, 2).seed(10));
+    let imp = random_importance(&db, 11);
+    let f = FTriple::new(&imp);
+    let ranks = rank_sequence(&db, &f);
+    for w in ranks.windows(2) {
+        assert!(w[0] >= w[1]);
+    }
+    // Agreement with the definitional oracle on scores.
+    let oracle: Vec<f64> = oracle_top_k(&db, &f, usize::MAX)
+        .into_iter()
+        .map(|x| x.1)
+        .collect();
+    assert_eq!(oracle, ranks);
+}
+
+#[test]
+fn ranked_stream_covers_whole_fd_even_with_ties() {
+    // Constant importances: everything ties; every result must still be
+    // emitted exactly once.
+    let db = chain(3, &DataSpec::new(5, 3).seed(12));
+    let imp = ImpScores::uniform(&db, 1.0);
+    let f = FMax::new(&imp);
+    let ranked: Vec<TupleSet> = RankedFdIter::new(&db, &f).map(|(s, _)| s).collect();
+    let mut sorted = ranked.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(sorted.len(), ranked.len(), "duplicate emission");
+    let fd = full_disjunction::core::canonicalize(full_disjunction::core::full_disjunction(&db));
+    assert_eq!(sorted, fd);
+}
