@@ -76,11 +76,7 @@ pub fn oracle_afd<A: ApproxJoin>(db: &Database, a: &A, tau: f64) -> Vec<TupleSet
 
 /// The top-k answers by definition: rank every maximal set, sort
 /// descending (ties by canonical order), take `k`.
-pub fn oracle_top_k<F: RankingFunction>(
-    db: &Database,
-    f: &F,
-    k: usize,
-) -> Vec<(TupleSet, f64)> {
+pub fn oracle_top_k<F: RankingFunction>(db: &Database, f: &F, k: usize) -> Vec<(TupleSet, f64)> {
     let mut ranked: Vec<(TupleSet, f64)> = oracle_fd(db)
         .into_iter()
         .map(|s| {

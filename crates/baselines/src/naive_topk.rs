@@ -10,11 +10,7 @@ use fd_core::{full_disjunction, RankingFunction, TupleSet};
 use fd_relational::Database;
 
 /// Top-k by full materialization and sorting.
-pub fn naive_top_k<F: RankingFunction>(
-    db: &Database,
-    f: &F,
-    k: usize,
-) -> Vec<(TupleSet, f64)> {
+pub fn naive_top_k<F: RankingFunction>(db: &Database, f: &F, k: usize) -> Vec<(TupleSet, f64)> {
     let mut ranked: Vec<(TupleSet, f64)> = full_disjunction(db)
         .into_iter()
         .map(|s| {

@@ -32,11 +32,17 @@ impl fmt::Display for OuterjoinFdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OuterjoinFdError::NotGammaAcyclic => {
-                write!(f, "schema is not γ-acyclic: outerjoins cannot compute the full disjunction")
+                write!(
+                    f,
+                    "schema is not γ-acyclic: outerjoins cannot compute the full disjunction"
+                )
             }
             OuterjoinFdError::Disconnected => write!(f, "relations are not connected"),
             OuterjoinFdError::NullsInSource => {
-                write!(f, "source relations contain nulls, unsupported by the outerjoin baseline")
+                write!(
+                    f,
+                    "source relations contain nulls, unsupported by the outerjoin baseline"
+                )
             }
         }
     }
@@ -59,7 +65,10 @@ pub fn outerjoin_fd(db: &Database) -> Result<DerivedRelation, OuterjoinFdError> 
         return Err(OuterjoinFdError::NotGammaAcyclic);
     }
     let order = connected_ordering(db).ok_or(OuterjoinFdError::Disconnected)?;
-    Ok(outerjoin_sequence(db, &order.iter().map(|r| r.index()).collect::<Vec<_>>()))
+    Ok(outerjoin_sequence(
+        db,
+        &order.iter().map(|r| r.index()).collect::<Vec<_>>(),
+    ))
 }
 
 /// The raw outerjoin sequence without the γ-acyclicity/null guards —
@@ -85,9 +94,17 @@ mod tests {
     /// A null-free γ-acyclic chain for baseline agreement tests.
     fn chain_db() -> Database {
         let mut b = DatabaseBuilder::new();
-        b.relation("R", &["A", "B"]).row([1, 10]).row([2, 20]).row([3, 30]);
-        b.relation("S", &["B", "C"]).row([10, 100]).row([10, 101]).row([40, 400]);
-        b.relation("T", &["C", "D"]).row([100, 1000]).row([500, 5000]);
+        b.relation("R", &["A", "B"])
+            .row([1, 10])
+            .row([2, 20])
+            .row([3, 30]);
+        b.relation("S", &["B", "C"])
+            .row([10, 100])
+            .row([10, 101])
+            .row([40, 400]);
+        b.relation("T", &["C", "D"])
+            .row([100, 1000])
+            .row([500, 5000]);
         b.build().unwrap()
     }
 
@@ -111,7 +128,9 @@ mod tests {
         let mut b = DatabaseBuilder::new();
         b.relation("Hub", &["K", "X"]).row([1, 7]).row([2, 8]);
         b.relation("SpokeA", &["K", "A"]).row([1, 70]).row([3, 90]);
-        b.relation("SpokeB", &["K", "B"]).row([1, 700]).row([2, 800]);
+        b.relation("SpokeB", &["K", "B"])
+            .row([1, 700])
+            .row([2, 800]);
         let db = b.build().unwrap();
         let oj = outerjoin_fd(&db).unwrap();
         let fd = full_disjunction(&db);

@@ -28,20 +28,18 @@ pub fn pio_fd(db: &Database) -> (Vec<TupleSet>, Stats) {
     let mut pool: Vec<TupleSet> = Vec::new();
     let mut worklist: Vec<usize> = Vec::new();
 
-    let push_if_new = |pool: &mut Vec<TupleSet>,
-                           worklist: &mut Vec<usize>,
-                           stats: &mut Stats,
-                           set: TupleSet| {
-        // Global linear duplicate scan — the baseline's defining cost.
-        for existing in pool.iter() {
-            stats.complete_scans += 1;
-            if existing.tuples() == set.tuples() {
-                return;
+    let push_if_new =
+        |pool: &mut Vec<TupleSet>, worklist: &mut Vec<usize>, stats: &mut Stats, set: TupleSet| {
+            // Global linear duplicate scan — the baseline's defining cost.
+            for existing in pool.iter() {
+                stats.complete_scans += 1;
+                if existing.tuples() == set.tuples() {
+                    return;
+                }
             }
-        }
-        pool.push(set);
-        worklist.push(pool.len() - 1);
-    };
+            pool.push(set);
+            worklist.push(pool.len() - 1);
+        };
 
     // Seed: the maximal extension of every singleton.
     for t in db.all_tuples() {

@@ -17,12 +17,13 @@ fn ablation_block(c: &mut Criterion) {
         b.iter(|| black_box(full_disjunction_with(&db, FdConfig::default())))
     });
     for page_size in [1usize, 8, 64, 512] {
-        let cfg = FdConfig { page_size: Some(page_size), ..FdConfig::default() };
-        group.bench_with_input(
-            BenchmarkId::new("paged", page_size),
-            &cfg,
-            |b, cfg| b.iter(|| black_box(full_disjunction_with(&db, *cfg))),
-        );
+        let cfg = FdConfig {
+            page_size: Some(page_size),
+            ..FdConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("paged", page_size), &cfg, |b, cfg| {
+            b.iter(|| black_box(full_disjunction_with(&db, *cfg)))
+        });
     }
     group.finish();
 }

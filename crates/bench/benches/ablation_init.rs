@@ -18,12 +18,13 @@ fn ablation_init(c: &mut Criterion) {
             InitStrategy::ReuseResults,
             InitStrategy::TrimExtend,
         ] {
-            let cfg = FdConfig { init, ..FdConfig::default() };
-            group.bench_with_input(
-                BenchmarkId::new(format!("{init:?}"), rows),
-                &db,
-                |b, db| b.iter(|| black_box(full_disjunction_with(db, cfg))),
-            );
+            let cfg = FdConfig {
+                init,
+                ..FdConfig::default()
+            };
+            group.bench_with_input(BenchmarkId::new(format!("{init:?}"), rows), &db, |b, db| {
+                b.iter(|| black_box(full_disjunction_with(db, cfg)))
+            });
         }
     }
     group.finish();

@@ -14,7 +14,10 @@ fn ablation_store(c: &mut Criterion) {
     for rows in [10usize, 15, 20] {
         let db = bench_chain(4, rows);
         for engine in [StoreEngine::Scan, StoreEngine::Indexed] {
-            let cfg = FdConfig { engine, ..FdConfig::default() };
+            let cfg = FdConfig {
+                engine,
+                ..FdConfig::default()
+            };
             group.bench_with_input(
                 BenchmarkId::new(format!("{engine:?}"), rows),
                 &db,

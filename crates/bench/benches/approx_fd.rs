@@ -6,7 +6,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fd_bench::bench_noisy_chain;
-use fd_core::{approx_full_disjunction, full_disjunction, AMin, AProd, EditDistanceSim, ProbScores};
+use fd_core::{
+    approx_full_disjunction, full_disjunction, AMin, AProd, EditDistanceSim, ProbScores,
+};
 use std::hint::black_box;
 
 fn approx(c: &mut Criterion) {

@@ -13,30 +13,41 @@ use std::hint::black_box;
 fn total_runtime(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_total_runtime");
     group.sample_size(10);
-    let sec7 = FdConfig { init: InitStrategy::TrimExtend, ..FdConfig::default() };
+    let sec7 = FdConfig {
+        init: InitStrategy::TrimExtend,
+        ..FdConfig::default()
+    };
     for rows in [12usize, 20, 32] {
         let db = bench_chain(4, rows);
-        group.bench_with_input(BenchmarkId::new("incremental/chain4", rows), &db, |b, db| {
-            b.iter(|| black_box(full_disjunction(db)))
-        });
-        group.bench_with_input(BenchmarkId::new("incremental_sec7/chain4", rows), &db, |b, db| {
-            b.iter(|| black_box(full_disjunction_with(db, sec7)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("incremental/chain4", rows),
+            &db,
+            |b, db| b.iter(|| black_box(full_disjunction(db))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("incremental_sec7/chain4", rows),
+            &db,
+            |b, db| b.iter(|| black_box(full_disjunction_with(db, sec7))),
+        );
         group.bench_with_input(BenchmarkId::new("batch_ks03/chain4", rows), &db, |b, db| {
             b.iter(|| black_box(pio_fd(db)))
         });
-        group.bench_with_input(BenchmarkId::new("outerjoin_ru96/chain4", rows), &db, |b, db| {
-            b.iter(|| black_box(outerjoin_fd(db).expect("chain is γ-acyclic")))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("outerjoin_ru96/chain4", rows),
+            &db,
+            |b, db| b.iter(|| black_box(outerjoin_fd(db).expect("chain is γ-acyclic"))),
+        );
     }
     for rows in [12usize, 20] {
         let db = bench_star(4, rows);
         group.bench_with_input(BenchmarkId::new("incremental/star4", rows), &db, |b, db| {
             b.iter(|| black_box(full_disjunction(db)))
         });
-        group.bench_with_input(BenchmarkId::new("incremental_sec7/star4", rows), &db, |b, db| {
-            b.iter(|| black_box(full_disjunction_with(db, sec7)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("incremental_sec7/star4", rows),
+            &db,
+            |b, db| b.iter(|| black_box(full_disjunction_with(db, sec7))),
+        );
         group.bench_with_input(BenchmarkId::new("batch_ks03/star4", rows), &db, |b, db| {
             b.iter(|| black_box(pio_fd(db)))
         });

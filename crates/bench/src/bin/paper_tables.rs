@@ -11,9 +11,8 @@ use fd_bench::{bench_chain, bench_noisy_chain, bench_star, fmt_duration, time_me
 use fd_core::sim::TableSim;
 use fd_core::{
     approx_full_disjunction, canonicalize, format_results, full_disjunction,
-    parallel_full_disjunction, top_k, AMin, AProd, ApproxJoin,
-    ExactSim, FMax, FdConfig, FdIter, FdiIter, ImpScores, InitStrategy, ProbScores,
-    StoreEngine, TupleSet,
+    parallel_full_disjunction, top_k, AMin, AProd, ApproxJoin, ExactSim, FMax, FdConfig, FdIter,
+    FdiIter, ImpScores, InitStrategy, ProbScores, StoreEngine, TupleSet,
 };
 use fd_relational::textio::{format_relation, format_table};
 use fd_relational::{tourist_database, Database, RelId, TupleId};
@@ -76,8 +75,22 @@ fn table_3() {
     }
     for (name, inc, comp) in &columns {
         println!("{name}:");
-        println!("  Incomplete: {}", if inc.is_empty() { "∅".into() } else { inc.join("  ") });
-        println!("  Complete:   {}", if comp.is_empty() { "∅".into() } else { comp.join("  ") });
+        println!(
+            "  Incomplete: {}",
+            if inc.is_empty() {
+                "∅".into()
+            } else {
+                inc.join("  ")
+            }
+        );
+        println!(
+            "  Complete:   {}",
+            if comp.is_empty() {
+                "∅".into()
+            } else {
+                comp.join("  ")
+            }
+        );
     }
 }
 
@@ -101,19 +114,33 @@ fn figure_4_examples() {
     });
     let amin = AMin::new(sim.clone(), prob);
     let aprod = AProd::new(sim);
-    println!("A_min({{c1,a2,s2}})  = {}   (paper: 0.5)", amin.score(&db, &[c1, a2, s2]));
-    println!("A_prod({{c1,a2,s2}}) = {}  (paper: 0.32)", aprod.score(&db, &[c1, a2, s2]));
+    println!(
+        "A_min({{c1,a2,s2}})  = {}   (paper: 0.5)",
+        amin.score(&db, &[c1, a2, s2])
+    );
+    println!(
+        "A_prod({{c1,a2,s2}}) = {}  (paper: 0.32)",
+        aprod.score(&db, &[c1, a2, s2])
+    );
     let t = fd_core::jcc::rebuild(&db, vec![c1, a2, s1]);
     let mut stats = fd_core::Stats::new();
     let m_min = amin.maximal_subsets(&db, &t, s2, 0.4, &mut stats);
     let m_prod = aprod.maximal_subsets(&db, &t, s2, 0.4, &mut stats);
     println!(
         "Example 6.3 (τ=0.4): A_min maximal subsets: {}",
-        m_min.iter().map(|s| s.label(&db)).collect::<Vec<_>>().join(", ")
+        m_min
+            .iter()
+            .map(|s| s.label(&db))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     println!(
         "Example 6.3 (τ=0.4): A_prod maximal subsets: {}",
-        m_prod.iter().map(|s| s.label(&db)).collect::<Vec<_>>().join(", ")
+        m_prod
+            .iter()
+            .map(|s| s.label(&db))
+            .collect::<Vec<_>>()
+            .join(", ")
     );
 }
 
@@ -123,7 +150,10 @@ fn figure_4_examples() {
 /// configuration the paper positions against \[3\].
 fn e3_total_runtime(scale: usize) {
     header("E3 — total runtime: INCREMENTALFD vs batch [3] vs outerjoin [2]");
-    let trim = FdConfig { init: InitStrategy::TrimExtend, ..FdConfig::default() };
+    let trim = FdConfig {
+        init: InitStrategy::TrimExtend,
+        ..FdConfig::default()
+    };
     let mut rows_out = Vec::new();
     for (shape, db) in [
         ("chain n=3", bench_chain(3, 50 * scale)),
@@ -182,14 +212,23 @@ fn e4_first_k(scale: usize) {
             got.to_string(),
             fmt_duration(t_k),
             fmt_duration(t_batch),
-            format!("{:.0}x", t_batch.as_secs_f64() / t_k.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.0}x",
+                t_batch.as_secs_f64() / t_k.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
     println!(
         "{}",
         format_table(
             "first-k delivery (batch returns nothing until done)",
-            &["k", "delivered", "incremental", "batch first answer", "advantage"],
+            &[
+                "k",
+                "delivered",
+                "incremental",
+                "batch first answer",
+                "advantage"
+            ],
             &rows_out
         )
     );
@@ -239,7 +278,10 @@ fn e6_ranked_topk(scale: usize) {
             k.to_string(),
             fmt_duration(t_ranked),
             fmt_duration(t_naive),
-            format!("{:.1}x", t_naive.as_secs_f64() / t_ranked.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.1}x",
+                t_naive.as_secs_f64() / t_ranked.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
     println!(
@@ -286,10 +328,7 @@ fn e8_e9_approx(scale: usize) {
     header("E9 — APPROXINCREMENTALFD across thresholds (A_min, edit distance)");
     let db = bench_noisy_chain(3, 20 * scale, 0.3);
     let exact = full_disjunction(&db);
-    let a = AMin::new(
-        fd_core::EditDistanceSim,
-        ProbScores::uniform(&db, 1.0),
-    );
+    let a = AMin::new(fd_core::EditDistanceSim, ProbScores::uniform(&db, 1.0));
     let mut rows_out = vec![vec![
         "exact FD".to_string(),
         exact.len().to_string(),
@@ -323,7 +362,10 @@ fn e10_store_ablation(scale: usize) {
         let db = bench_chain(4, rows);
         let mut line = vec![rows.to_string()];
         for engine in [StoreEngine::Scan, StoreEngine::Indexed] {
-            let cfg = FdConfig { engine, ..FdConfig::default() };
+            let cfg = FdConfig {
+                engine,
+                ..FdConfig::default()
+            };
             let (scans, t) = time_median(3, || {
                 let mut it = FdIter::with_config(&db, cfg);
                 for _ in it.by_ref() {}
@@ -338,7 +380,13 @@ fn e10_store_ablation(scale: usize) {
         "{}",
         format_table(
             "chain n=4",
-            &["rows/rel", "Scan: store scans", "Scan: time", "Indexed: store scans", "Indexed: time"],
+            &[
+                "rows/rel",
+                "Scan: store scans",
+                "Scan: time",
+                "Indexed: store scans",
+                "Indexed: time"
+            ],
             &rows_out
         )
     );
@@ -354,7 +402,10 @@ fn e11_init_ablation(scale: usize) {
         InitStrategy::ReuseResults,
         InitStrategy::TrimExtend,
     ] {
-        let cfg = FdConfig { init, ..FdConfig::default() };
+        let cfg = FdConfig {
+            init,
+            ..FdConfig::default()
+        };
         let ((count, stats), t) = time_median(3, || {
             let mut it = FdIter::with_config(&db, cfg);
             let mut n = 0usize;
@@ -375,7 +426,13 @@ fn e11_init_ablation(scale: usize) {
         "{}",
         format_table(
             "full FD over all i (chain n=4)",
-            &["strategy", "results", "candidate scans", "jcc checks", "runtime"],
+            &[
+                "strategy",
+                "results",
+                "candidate scans",
+                "jcc checks",
+                "runtime"
+            ],
             &rows_out
         )
     );
@@ -387,7 +444,10 @@ fn e12_block_ablation(scale: usize) {
     let db = bench_chain(3, 40 * scale);
     let mut rows_out = Vec::new();
     for page_size in [1usize, 8, 64, 512] {
-        let cfg = FdConfig { page_size: Some(page_size), ..FdConfig::default() };
+        let cfg = FdConfig {
+            page_size: Some(page_size),
+            ..FdConfig::default()
+        };
         let ((results, pages), t) = time_median(3, || {
             let mut total_pages = 0u64;
             let mut results = 0usize;

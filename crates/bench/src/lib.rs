@@ -31,7 +31,12 @@ pub fn bench_star(n: usize, rows: usize) -> Database {
 
 /// A typo-noised chain for the approximate experiments (E8/E9).
 pub fn bench_noisy_chain(n: usize, rows: usize, typo_rate: f64) -> Database {
-    chain(n, &DataSpec::new(rows, (rows / 4).max(2)).seed(0xFD).typos(typo_rate))
+    chain(
+        n,
+        &DataSpec::new(rows, (rows / 4).max(2))
+            .seed(0xFD)
+            .typos(typo_rate),
+    )
 }
 
 /// One-shot wall-clock measurement.
@@ -52,7 +57,10 @@ pub fn time_median<T>(runs: usize, mut f: impl FnMut() -> T) -> (T, Duration) {
         last = Some(out);
     }
     durations.sort();
-    (last.expect("at least one run"), durations[durations.len() / 2])
+    (
+        last.expect("at least one run"),
+        durations[durations.len() / 2],
+    )
 }
 
 /// Formats a duration compactly for tables.

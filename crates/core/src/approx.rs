@@ -19,9 +19,9 @@
 //! and line 8 can yield **several** maximal subsets `T′ ⊆ T ∪ {tb}` — one
 //! for [`AMin`] (Prop. 6.5), possibly many for [`AProd`] (Example 6.3).
 
+use crate::sim::Similarity;
 use crate::stats::Stats;
 use crate::tupleset::TupleSet;
-use crate::sim::Similarity;
 use fd_relational::fxhash::{FxHashMap, FxHashSet};
 use fd_relational::{Database, RelId, TupleId};
 use std::collections::VecDeque;
@@ -36,7 +36,9 @@ impl ProbScores {
     /// Every tuple has the same probability.
     pub fn uniform(db: &Database, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability in [0,1]");
-        ProbScores { scores: vec![p; db.num_tuples()] }
+        ProbScores {
+            scores: vec![p; db.num_tuples()],
+        }
     }
 
     /// Per-tuple probabilities from a closure.
@@ -253,8 +255,7 @@ impl<S: Similarity> ApproxJoin for AProd<S> {
                 if t == tb {
                     continue;
                 }
-                let shrunk: Vec<TupleId> =
-                    cand.iter().copied().filter(|&x| x != t).collect();
+                let shrunk: Vec<TupleId> = cand.iter().copied().filter(|&x| x != t).collect();
                 stack.push(component_of(db, &shrunk, tb));
             }
         }
@@ -500,11 +501,7 @@ impl<A: ApproxJoin> Iterator for ApproxFdIter<'_, '_, A> {
 /// let a = AMin::new(ExactSim, ProbScores::uniform(&db, 1.0));
 /// assert_eq!(approx_full_disjunction(&db, &a, 0.9).len(), 6);
 /// ```
-pub fn approx_full_disjunction<A: ApproxJoin>(
-    db: &Database,
-    a: &A,
-    tau: f64,
-) -> Vec<TupleSet> {
+pub fn approx_full_disjunction<A: ApproxJoin>(db: &Database, a: &A, tau: f64) -> Vec<TupleSet> {
     let mut emitted: FxHashSet<Box<[TupleId]>> = FxHashSet::default();
     let mut out = Vec::new();
     for rel_idx in 0..db.num_relations() {
@@ -541,10 +538,10 @@ mod tests {
         sim.set(A2, S1, 1.0);
         sim.set(A2, S2, 0.5);
         let prob = ProbScores::from_fn(&db, |t| match t.0 {
-            0 => 0.9,       // c1
-            4 => 1.0,       // a2
-            6 => 0.9,       // s1
-            7 => 0.7,       // s2
+            0 => 0.9, // c1
+            4 => 1.0, // a2
+            6 => 0.9, // s1
+            7 => 0.7, // s2
             _ => 1.0,
         });
         (db, sim, prob)
@@ -556,10 +553,16 @@ mod tests {
         // T1 = {c1, a2, s2}.
         let t1 = [C1, A2, S2];
         let amin = AMin::new(sim.clone(), prob);
-        assert!((amin.score(&db, &t1) - 0.5).abs() < 1e-12, "A_min(T1) = 0.5");
+        assert!(
+            (amin.score(&db, &t1) - 0.5).abs() < 1e-12,
+            "A_min(T1) = 0.5"
+        );
         let aprod = AProd::new(sim);
         // A_prod(T1) = 0.8 * 0.8 * 0.5 = 0.32.
-        assert!((aprod.score(&db, &t1) - 0.32).abs() < 1e-12, "A_prod(T1) = 0.32");
+        assert!(
+            (aprod.score(&db, &t1) - 0.32).abs() < 1e-12,
+            "A_prod(T1) = 0.32"
+        );
     }
 
     #[test]

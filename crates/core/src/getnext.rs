@@ -137,14 +137,18 @@ mod tests {
             let t = TupleId(t);
             incomplete.push(t, TupleSet::singleton(&db, t), &mut stats);
         }
-        let scope = ScanScope { db: &db, ri: RelId(0), rel_min: 0, pager: None };
+        let scope = ScanScope {
+            db: &db,
+            ri: RelId(0),
+            rel_min: 0,
+            pager: None,
+        };
         let (root, result) =
             get_next_result(&scope, &mut incomplete, &complete, &mut stats).unwrap();
         assert_eq!(root, C1);
         assert_eq!(result.tuples(), &[C1, A1]);
 
-        let pending: Vec<Vec<TupleId>> =
-            incomplete.iter().map(|s| s.tuples().to_vec()).collect();
+        let pending: Vec<Vec<TupleId>> = incomplete.iter().map(|s| s.tuples().to_vec()).collect();
         // Table 3, Iteration 1 — exact list contents and order:
         // {c1,a2,s1}, {c1,s2}, {c2}, {c3}.
         assert_eq!(
@@ -164,16 +168,19 @@ mod tests {
             let t = TupleId(t);
             incomplete.push(t, TupleSet::singleton(&db, t), &mut stats);
         }
-        let scope = ScanScope { db: &db, ri: RelId(0), rel_min: 0, pager: None };
+        let scope = ScanScope {
+            db: &db,
+            ri: RelId(0),
+            rel_min: 0,
+            pager: None,
+        };
         let (_, r1) = get_next_result(&scope, &mut incomplete, &complete, &mut stats).unwrap();
         complete.insert(r1, &[C1]);
 
-        let before: Vec<Vec<TupleId>> =
-            incomplete.iter().map(|s| s.tuples().to_vec()).collect();
+        let before: Vec<Vec<TupleId>> = incomplete.iter().map(|s| s.tuples().to_vec()).collect();
         let (_, r2) = get_next_result(&scope, &mut incomplete, &complete, &mut stats).unwrap();
         assert_eq!(r2.tuples(), &[C1, A2, S1]);
-        let after: Vec<Vec<TupleId>> =
-            incomplete.iter().map(|s| s.tuples().to_vec()).collect();
+        let after: Vec<Vec<TupleId>> = incomplete.iter().map(|s| s.tuples().to_vec()).collect();
         // {c1,a2,s1} was consumed; no new set appeared.
         assert_eq!(after.len(), before.len() - 1);
         assert!(after.contains(&vec![C1, S2]));
@@ -188,7 +195,12 @@ mod tests {
         let mut incomplete = IncompleteQueue::new(StoreEngine::Indexed);
         let mut complete = CompleteStore::new(StoreEngine::Indexed);
         incomplete.push(C3, TupleSet::singleton(&db, C3), &mut stats);
-        let scope = ScanScope { db: &db, ri: RelId(0), rel_min: 0, pager: None };
+        let scope = ScanScope {
+            db: &db,
+            ri: RelId(0),
+            rel_min: 0,
+            pager: None,
+        };
         let mut count = 0;
         while let Some((root, set)) =
             get_next_result(&scope, &mut incomplete, &complete, &mut stats)
@@ -200,7 +212,10 @@ mod tests {
         // rooted at c3... plus any sets derived via the candidate loop that
         // contain a Climates tuple reachable from it.
         assert!(count >= 1);
-        assert!(complete.sets().iter().any(|s| s.tuples() == [C3, TupleId(5)]));
+        assert!(complete
+            .sets()
+            .iter()
+            .any(|s| s.tuples() == [C3, TupleId(5)]));
     }
 
     #[test]
@@ -214,7 +229,12 @@ mod tests {
                 let t = TupleId(t);
                 incomplete.push(t, TupleSet::singleton(&db, t), &mut stats);
             }
-            let scope = ScanScope { db: &db, ri: RelId(0), rel_min: 0, pager };
+            let scope = ScanScope {
+                db: &db,
+                ri: RelId(0),
+                rel_min: 0,
+                pager,
+            };
             let mut out = Vec::new();
             while let Some((root, set)) =
                 get_next_result(&scope, &mut incomplete, &complete, &mut stats)
@@ -228,8 +248,14 @@ mod tests {
         let pager = Pager::new(&db, 4);
         let block_based = run(Some(&pager));
         assert_eq!(
-            tuple_based.iter().map(|s| s.tuples().to_vec()).collect::<Vec<_>>(),
-            block_based.iter().map(|s| s.tuples().to_vec()).collect::<Vec<_>>()
+            tuple_based
+                .iter()
+                .map(|s| s.tuples().to_vec())
+                .collect::<Vec<_>>(),
+            block_based
+                .iter()
+                .map(|s| s.tuples().to_vec())
+                .collect::<Vec<_>>()
         );
         assert!(pager.stats().pages_read() > 0);
     }

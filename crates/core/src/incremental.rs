@@ -76,7 +76,16 @@ impl<'db> FdiIter<'db> {
             let t = TupleId(raw);
             incomplete.push(t, TupleSet::singleton(db, t), &mut stats);
         }
-        Self::from_parts(db, ri, 0, false, incomplete, CompleteStore::new(cfg.engine), cfg, stats)
+        Self::from_parts(
+            db,
+            ri,
+            0,
+            false,
+            incomplete,
+            CompleteStore::new(cfg.engine),
+            cfg,
+            stats,
+        )
     }
 
     /// Custom initialization (Remarks 4.3/4.5 allow it as long as every
@@ -95,7 +104,16 @@ impl<'db> FdiIter<'db> {
         stats: Stats,
     ) -> Self {
         let pager = cfg.page_size.map(|ps| Pager::new(db, ps));
-        FdiIter { db, ri, rel_min, suppress_contained, incomplete, complete, pager, stats }
+        FdiIter {
+            db,
+            ri,
+            rel_min,
+            suppress_contained,
+            incomplete,
+            complete,
+            pager,
+            stats,
+        }
     }
 
     /// Counters accumulated so far.
@@ -137,8 +155,12 @@ impl<'db> FdiIter<'db> {
                 rel_min: self.rel_min,
                 pager: self.pager.as_ref(),
             };
-            let (root, set) =
-                get_next_result(&scope, &mut self.incomplete, &self.complete, &mut self.stats)?;
+            let (root, set) = get_next_result(
+                &scope,
+                &mut self.incomplete,
+                &self.complete,
+                &mut self.stats,
+            )?;
             // Section 7 reuse strategies: with scans restricted to later
             // relations, a popped seed may be (contained in) an already
             // printed result — its candidate loop still ran, but it must
@@ -387,7 +409,13 @@ mod tests {
             ),
             (
                 vec!["{c3}"],
-                vec!["{c1, a1}", "{c1, a2, s1}", "{c1, s2}", "{c2, s3}", "{c2, s4}"],
+                vec![
+                    "{c1, a1}",
+                    "{c1, a2, s1}",
+                    "{c1, s2}",
+                    "{c2, s3}",
+                    "{c2, s4}",
+                ],
             ),
             (
                 vec![],
@@ -404,8 +432,18 @@ mod tests {
         for (iteration, (want_inc, want_comp)) in expected.iter().enumerate() {
             assert!(it.next().is_some(), "iteration {}", iteration + 1);
             let (inc, comp) = it.snapshot();
-            assert_eq!(&inc, want_inc, "Incomplete after iteration {}", iteration + 1);
-            assert_eq!(&comp, want_comp, "Complete after iteration {}", iteration + 1);
+            assert_eq!(
+                &inc,
+                want_inc,
+                "Incomplete after iteration {}",
+                iteration + 1
+            );
+            assert_eq!(
+                &comp,
+                want_comp,
+                "Complete after iteration {}",
+                iteration + 1
+            );
         }
         assert!(it.next().is_none());
     }
@@ -457,7 +495,11 @@ mod tests {
         let base = canonicalize(full_disjunction(&db));
         for engine in [StoreEngine::Scan, StoreEngine::Indexed] {
             for page_size in [None, Some(1), Some(3), Some(64)] {
-                let cfg = FdConfig { engine, page_size, init: InitStrategy::Singletons };
+                let cfg = FdConfig {
+                    engine,
+                    page_size,
+                    init: InitStrategy::Singletons,
+                };
                 let got = canonicalize(full_disjunction_with(&db, cfg));
                 assert_eq!(base, got, "engine {engine:?}, pages {page_size:?}");
             }
@@ -502,8 +544,10 @@ mod tests {
     fn all_null_join_column_isolates_tuples() {
         use fd_relational::NULL;
         let mut b = fd_relational::DatabaseBuilder::new();
-        b.relation("R", &["A", "B"]).row_values(vec![1.into(), NULL]);
-        b.relation("S", &["B", "C"]).row_values(vec![NULL, 3.into()]);
+        b.relation("R", &["A", "B"])
+            .row_values(vec![1.into(), NULL]);
+        b.relation("S", &["B", "C"])
+            .row_values(vec![NULL, 3.into()]);
         let db = b.build().unwrap();
         let fd = full_disjunction(&db);
         // ⊥ never joins, not even with ⊥.

@@ -60,7 +60,16 @@ impl InitStrategy {
                 let covered = seed_previous(db, ri, produced, &mut incomplete, &mut stats, false);
                 seed_uncovered_singletons(db, ri, &covered, &mut incomplete, &mut stats);
                 let complete = seed_complete(db, cfg, produced);
-                FdiIter::from_parts(db, ri, ri.index() + 1, true, incomplete, complete, cfg, stats)
+                FdiIter::from_parts(
+                    db,
+                    ri,
+                    ri.index() + 1,
+                    true,
+                    incomplete,
+                    complete,
+                    cfg,
+                    stats,
+                )
             }
             InitStrategy::TrimExtend => {
                 let mut stats = Stats::new();
@@ -68,7 +77,16 @@ impl InitStrategy {
                 let covered = seed_previous(db, ri, produced, &mut incomplete, &mut stats, true);
                 seed_uncovered_singletons(db, ri, &covered, &mut incomplete, &mut stats);
                 let complete = seed_complete(db, cfg, produced);
-                FdiIter::from_parts(db, ri, ri.index() + 1, true, incomplete, complete, cfg, stats)
+                FdiIter::from_parts(
+                    db,
+                    ri,
+                    ri.index() + 1,
+                    true,
+                    incomplete,
+                    complete,
+                    cfg,
+                    stats,
+                )
             }
         }
     }
@@ -91,12 +109,18 @@ fn seed_previous(
     let mut covered: FxHashSet<TupleId> = FxHashSet::default();
     let mut seeds: Vec<(TupleId, TupleSet)> = Vec::new();
     for prev in produced {
-        let Some(root) = prev.tuple_from(db, ri) else { continue };
+        let Some(root) = prev.tuple_from(db, ri) else {
+            continue;
+        };
         covered.insert(root);
         let seed = if trim {
             let lo = db.tuples_of(ri).start;
-            let members: Vec<TupleId> =
-                prev.tuples().iter().copied().filter(|t| t.0 >= lo).collect();
+            let members: Vec<TupleId> = prev
+                .tuples()
+                .iter()
+                .copied()
+                .filter(|t| t.0 >= lo)
+                .collect();
             // Keep the component of the root among the trimmed members.
             let rels: Vec<RelId> = members.iter().map(|&t| db.rel_of(t)).collect();
             let comp = db.subset_component(&rels, ri);
@@ -181,11 +205,17 @@ mod tests {
         let db = tourist_database();
         let base = canonicalize(full_disjunction_with(
             &db,
-            FdConfig { init: InitStrategy::Singletons, ..FdConfig::default() },
+            FdConfig {
+                init: InitStrategy::Singletons,
+                ..FdConfig::default()
+            },
         ));
         assert_eq!(base.len(), 6);
         for strat in strategies() {
-            let cfg = FdConfig { init: strat, ..FdConfig::default() };
+            let cfg = FdConfig {
+                init: strat,
+                ..FdConfig::default()
+            };
             let got = canonicalize(full_disjunction_with(&db, cfg));
             assert_eq!(base, got, "strategy {strat:?}");
         }
@@ -195,7 +225,10 @@ mod tests {
     fn reuse_strategies_do_less_candidate_scanning() {
         let db = tourist_database();
         let run = |strat| {
-            let cfg = FdConfig { init: strat, ..FdConfig::default() };
+            let cfg = FdConfig {
+                init: strat,
+                ..FdConfig::default()
+            };
             let mut it = crate::incremental::FdIter::with_config(&db, cfg);
             while it.next().is_some() {}
             it.stats_total()
@@ -225,11 +258,21 @@ mod tests {
         let db = b.build().unwrap();
         let base = canonicalize(full_disjunction_with(
             &db,
-            FdConfig { init: InitStrategy::Singletons, ..FdConfig::default() },
+            FdConfig {
+                init: InitStrategy::Singletons,
+                ..FdConfig::default()
+            },
         ));
         for strat in strategies() {
-            let cfg = FdConfig { init: strat, ..FdConfig::default() };
-            assert_eq!(base, canonicalize(full_disjunction_with(&db, cfg)), "{strat:?}");
+            let cfg = FdConfig {
+                init: strat,
+                ..FdConfig::default()
+            };
+            assert_eq!(
+                base,
+                canonicalize(full_disjunction_with(&db, cfg)),
+                "{strat:?}"
+            );
         }
     }
 }

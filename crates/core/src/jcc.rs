@@ -403,7 +403,7 @@ mod tests {
         assert!(tuples_join_consistent(&db, C1, A1)); // Canada = Canada
         assert!(tuples_join_consistent(&db, C1, S2)); // share only Country
         assert!(!tuples_join_consistent(&db, C1, A3)); // Canada ≠ Bahamas
-        // s2 has City = ⊥, Accommodations has City ⇒ never consistent.
+                                                       // s2 has City = ⊥, Accommodations has City ⇒ never consistent.
         assert!(!tuples_join_consistent(&db, A1, S2));
         assert!(!tuples_join_consistent(&db, A2, S2));
         // a2 (London) and s1 (London) agree on Country and City.
@@ -425,7 +425,7 @@ mod tests {
         let db = tourist_database();
         let mut stats = Stats::new();
         let set = rebuild(&db, vec![C1, A1]); // Canada, Toronto
-        // s1 is Canada/London: conflicts with a1's Toronto via City.
+                                              // s1 is Canada/London: conflicts with a1's Toronto via City.
         assert!(!can_add(&db, &set, S1, &mut stats));
         // s2 has City ⊥, conflicting with a1 having City bound.
         assert!(!can_add(&db, &set, S2, &mut stats));

@@ -48,9 +48,7 @@ pub mod ranked_approx;
 pub mod ranking;
 pub mod sim;
 
-pub use approx::{
-    approx_full_disjunction, AMin, AProd, ApproxFdIter, ApproxJoin, ProbScores,
-};
+pub use approx::{approx_full_disjunction, AMin, AProd, ApproxFdIter, ApproxJoin, ProbScores};
 pub use incremental::{
     canonicalize, fdi, full_disjunction, full_disjunction_with, FdConfig, FdIter, FdiIter,
 };

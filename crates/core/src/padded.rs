@@ -92,10 +92,7 @@ mod tests {
         for (i, a) in rows.iter().enumerate() {
             for (j, b) in rows.iter().enumerate() {
                 if i != j {
-                    let subsumed = a
-                        .iter()
-                        .zip(b.iter())
-                        .all(|(x, y)| x.is_null() || x == y);
+                    let subsumed = a.iter().zip(b.iter()).all(|(x, y)| x.is_null() || x == y);
                     assert!(!subsumed, "row {i} subsumed by row {j}");
                 }
             }

@@ -111,7 +111,11 @@ impl LazyQueue {
         if self.engine == StoreEngine::Indexed {
             self.by_root.entry(root).or_default().push(slot);
         }
-        self.heap.push(HeapItem { rank: Rank(rank), gen: 0, slot });
+        self.heap.push(HeapItem {
+            rank: Rank(rank),
+            gen: 0,
+            slot,
+        });
     }
 
     fn item_valid(&self, item: &HeapItem) -> bool {
@@ -158,14 +162,20 @@ impl LazyQueue {
             StoreEngine::Scan => (0..self.slots.len() as u32).collect(),
         };
         for slot in candidates {
-            let Some(entry) = &self.slots[slot as usize] else { continue };
+            let Some(entry) = &self.slots[slot as usize] else {
+                continue;
+            };
             stats.incomplete_scans += 1;
             if let Some(u) = try_union(db, &entry.set, t_prime, stats) {
                 stats.merges += 1;
                 let gen = entry.gen + 1;
                 let rank = rank_of(&u, stats);
                 self.slots[slot as usize] = Some(Entry { root, set: u, gen });
-                self.heap.push(HeapItem { rank: Rank(rank), gen, slot });
+                self.heap.push(HeapItem {
+                    rank: Rank(rank),
+                    gen,
+                    slot,
+                });
                 stats.heap_pushes += 1;
                 return true;
             }
@@ -211,7 +221,13 @@ impl<'db, 'f, F: MonotoneCDetermined> RankedFdIter<'db, 'f, F> {
             }
             queues.push(q);
         }
-        RankedFdIter { db, f, queues, complete: CompleteStore::new(engine), stats }
+        RankedFdIter {
+            db,
+            f,
+            queues,
+            complete: CompleteStore::new(engine),
+            stats,
+        }
     }
 
     /// Counters accumulated so far.
@@ -263,7 +279,9 @@ impl<'db, 'f, F: MonotoneCDetermined> RankedFdIter<'db, 'f, F> {
                     continue;
                 }
                 let t_prime = maximal_subset_with(db, &set, tb, &mut self.stats);
-                let Some(new_root) = t_prime.tuple_from(db, ri) else { continue };
+                let Some(new_root) = t_prime.tuple_from(db, ri) else {
+                    continue;
+                };
                 if self
                     .complete
                     .contains_superset(&t_prime, new_root, &mut self.stats)
@@ -319,21 +337,13 @@ impl<F: MonotoneCDetermined> Iterator for RankedFdIter<'_, '_, F> {
 /// assert_eq!(best[0].0.label(&db), "{c3, a3}");
 /// assert_eq!(best[0].1, 1.0);
 /// ```
-pub fn top_k<F: MonotoneCDetermined>(
-    db: &Database,
-    f: &F,
-    k: usize,
-) -> Vec<(TupleSet, f64)> {
+pub fn top_k<F: MonotoneCDetermined>(db: &Database, f: &F, k: usize) -> Vec<(TupleSet, f64)> {
     RankedFdIter::new(db, f).take(k).collect()
 }
 
 /// The (τ, f)-threshold full-disjunction problem (Remark 5.6): every
 /// tuple set with `f(T) ≥ τ`, in non-increasing rank order.
-pub fn threshold<F: MonotoneCDetermined>(
-    db: &Database,
-    f: &F,
-    tau: f64,
-) -> Vec<(TupleSet, f64)> {
+pub fn threshold<F: MonotoneCDetermined>(db: &Database, f: &F, tau: f64) -> Vec<(TupleSet, f64)> {
     let mut out = Vec::new();
     let mut it = RankedFdIter::new(db, f);
     while let Some(r) = it.peek_rank() {

@@ -86,7 +86,11 @@ impl Queue {
         let slot = self.slots.len() as u32;
         self.slots.push(Some(Entry { root, set, gen: 0 }));
         self.by_root.entry(root).or_default().push(slot);
-        self.heap.push(HeapItem { rank: Rank(rank), gen: 0, slot });
+        self.heap.push(HeapItem {
+            rank: Rank(rank),
+            gen: 0,
+            slot,
+        });
     }
 
     fn item_valid(&self, item: &HeapItem) -> bool {
@@ -237,11 +241,13 @@ impl<'db, 'x, A: ApproxJoin, F: MonotoneCDetermined> RankedApproxFdIter<'db, 'x,
                 if set.contains(tb) {
                     continue;
                 }
-                let subsets =
-                    self.a
-                        .maximal_subsets(self.db, &set, tb, self.tau, &mut self.stats);
+                let subsets = self
+                    .a
+                    .maximal_subsets(self.db, &set, tb, self.tau, &mut self.stats);
                 for t_prime in subsets {
-                    let Some(new_root) = t_prime.tuple_from(self.db, ri) else { continue };
+                    let Some(new_root) = t_prime.tuple_from(self.db, ri) else {
+                        continue;
+                    };
                     if self.complete_contains_superset(&t_prime, new_root) {
                         continue;
                     }
@@ -280,8 +286,11 @@ impl<'db, 'x, A: ApproxJoin, F: MonotoneCDetermined> RankedApproxFdIter<'db, 'x,
                             let gen = entry.gen + 1;
                             self.stats.rank_evals += 1;
                             let rank = self.f.rank(self.db, &union);
-                            self.queues[qi].slots[slot as usize] =
-                                Some(Entry { root: new_root, set: union, gen });
+                            self.queues[qi].slots[slot as usize] = Some(Entry {
+                                root: new_root,
+                                set: union,
+                                gen,
+                            });
                             self.queues[qi].heap.push(HeapItem {
                                 rank: Rank(rank),
                                 gen,
@@ -460,8 +469,7 @@ mod tests {
         let imp = ImpScores::from_fn(&db, |t| (t.0 % 5) as f64);
         let f = FMax::new(&imp);
         let tau = 0.9;
-        let ranked: Vec<(TupleSet, f64)> =
-            RankedApproxFdIter::new(&db, &a, tau, &f).collect();
+        let ranked: Vec<(TupleSet, f64)> = RankedApproxFdIter::new(&db, &a, tau, &f).collect();
         // Order.
         for w in ranked.windows(2) {
             assert!(w[0].1 >= w[1].1);

@@ -28,7 +28,9 @@ pub struct ImpScores {
 impl ImpScores {
     /// All tuples share the same importance.
     pub fn uniform(db: &Database, value: f64) -> Self {
-        ImpScores { scores: vec![value; db.num_tuples()] }
+        ImpScores {
+            scores: vec![value; db.num_tuples()],
+        }
     }
 
     /// Computes `imp(t)` per tuple from a closure.

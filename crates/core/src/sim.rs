@@ -131,7 +131,10 @@ pub struct TableSim<S> {
 impl<S: Similarity> TableSim<S> {
     /// Builds over a fallback similarity.
     pub fn new(fallback: S) -> Self {
-        TableSim { overrides: FxHashMap::default(), fallback }
+        TableSim {
+            overrides: FxHashMap::default(),
+            fallback,
+        }
     }
 
     /// Sets `sim(a, b) = sim(b, a) = value`.
@@ -179,7 +182,10 @@ mod tests {
         assert_eq!(value_similarity(&Value::Int(10), &Value::Int(10)), 1.0);
         assert!(value_similarity(&Value::Int(10), &Value::Int(9)) > 0.8);
         assert_eq!(value_similarity(&Value::str("a"), &Value::Int(1)), 0.0);
-        assert_eq!(value_similarity(&Value::Bool(true), &Value::Bool(false)), 0.0);
+        assert_eq!(
+            value_similarity(&Value::Bool(true), &Value::Bool(false)),
+            0.0
+        );
     }
 
     #[test]

@@ -77,8 +77,16 @@ mod tests {
 
     #[test]
     fn merge_sums_fields() {
-        let mut a = Stats { jcc_checks: 1, merges: 2, ..Stats::new() };
-        let b = Stats { jcc_checks: 10, inserts: 5, ..Stats::new() };
+        let mut a = Stats {
+            jcc_checks: 1,
+            merges: 2,
+            ..Stats::new()
+        };
+        let b = Stats {
+            jcc_checks: 10,
+            inserts: 5,
+            ..Stats::new()
+        };
         a.merge(&b);
         assert_eq!(a.jcc_checks, 11);
         assert_eq!(a.merges, 2);
@@ -87,7 +95,11 @@ mod tests {
 
     #[test]
     fn store_scan_total() {
-        let s = Stats { complete_scans: 3, incomplete_scans: 4, ..Stats::new() };
+        let s = Stats {
+            complete_scans: 3,
+            incomplete_scans: 4,
+            ..Stats::new()
+        };
         assert_eq!(s.total_store_scans(), 7);
     }
 }

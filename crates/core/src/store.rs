@@ -212,7 +212,9 @@ impl IncompleteQueue {
                 false
             }
             StoreEngine::Indexed => {
-                let Some(slots) = self.by_root.get(&root) else { return false };
+                let Some(slots) = self.by_root.get(&root) else {
+                    return false;
+                };
                 for &slot in slots {
                     if let Some((_, s)) = &self.slots[slot as usize] {
                         stats.incomplete_scans += 1;

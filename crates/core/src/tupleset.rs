@@ -63,7 +63,10 @@ impl TupleSet {
             .iter()
             .map(|&(a, col)| (a, values[col as usize].clone(), t))
             .collect();
-        TupleSet { tuples: vec![t], bindings }
+        TupleSet {
+            tuples: vec![t],
+            bindings,
+        }
     }
 
     /// Builds a tuple set from parts. `tuples` must be sorted and

@@ -2,8 +2,8 @@
 //! of the paper leans on.
 
 use fd_core::jcc::{
-    add_tuple, can_add, extend_to_maximal, is_jcc, maximal_subset_with, rebuild,
-    tuples_join_consistent, try_union,
+    add_tuple, can_add, extend_to_maximal, is_jcc, maximal_subset_with, rebuild, try_union,
+    tuples_join_consistent,
 };
 use fd_core::sim::{levenshtein, string_similarity};
 use fd_core::{Stats, TupleSet};

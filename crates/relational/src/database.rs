@@ -81,7 +81,9 @@ impl Database {
         let id = self
             .rel_ids
             .get(name)
-            .ok_or_else(|| RelationalError::UnknownRelation { relation: name.to_owned() })?;
+            .ok_or_else(|| RelationalError::UnknownRelation {
+                relation: name.to_owned(),
+            })?;
         Ok(&self.relations[id.index()])
     }
 
@@ -90,7 +92,9 @@ impl Database {
         self.attr_ids
             .get(name)
             .copied()
-            .ok_or_else(|| RelationalError::UnknownAttribute { attribute: name.to_owned() })
+            .ok_or_else(|| RelationalError::UnknownAttribute {
+                attribute: name.to_owned(),
+            })
     }
 
     /// The name of an interned attribute.
@@ -265,7 +269,10 @@ impl Database {
             all.push(anchor);
         }
         let mut seen = vec![false; all.len()];
-        let anchor_idx = all.iter().position(|&r| r == anchor).expect("anchor present");
+        let anchor_idx = all
+            .iter()
+            .position(|&r| r == anchor)
+            .expect("anchor present");
         seen[anchor_idx] = true;
         let mut stack = vec![anchor_idx];
         let mut out = vec![anchor];
@@ -342,8 +349,9 @@ impl DatabaseBuilder {
     /// are reported when [`build`](Self::build) runs.
     pub fn relation(&mut self, name: &str, attrs: &[&str]) -> RelationBuilder<'_> {
         if self.relations.iter().any(|r| r.name == name) {
-            self.errors
-                .push(RelationalError::DuplicateRelation { relation: name.to_owned() });
+            self.errors.push(RelationalError::DuplicateRelation {
+                relation: name.to_owned(),
+            });
         }
         let mut ids = Vec::with_capacity(attrs.len());
         for &a in attrs {
@@ -484,9 +492,24 @@ mod tests {
             .row(["UK", "temperate"])
             .row(["Bahamas", "tropical"]);
         b.relation("Accommodations", &["Country", "City", "Hotel", "Stars"])
-            .row_values(vec!["Canada".into(), "Toronto".into(), "Plaza".into(), 4.into()])
-            .row_values(vec!["Canada".into(), "London".into(), "Ramada".into(), 3.into()])
-            .row_values(vec!["Bahamas".into(), "Nassau".into(), "Hilton".into(), NULL]);
+            .row_values(vec![
+                "Canada".into(),
+                "Toronto".into(),
+                "Plaza".into(),
+                4.into(),
+            ])
+            .row_values(vec![
+                "Canada".into(),
+                "London".into(),
+                "Ramada".into(),
+                3.into(),
+            ])
+            .row_values(vec![
+                "Bahamas".into(),
+                "Nassau".into(),
+                "Hilton".into(),
+                NULL,
+            ]);
         b.relation("Sites", &["Country", "City", "Site"])
             .row_values(vec!["Canada".into(), "London".into(), "Air Show".into()])
             .row_values(vec!["Canada".into(), NULL, "Mount Logan".into()])
@@ -531,7 +554,10 @@ mod tests {
         let db = tourist_db();
         let country = db.attr_id("Country").unwrap();
         let stars = db.attr_id("Stars").unwrap();
-        assert_eq!(db.tuple_value(TupleId(0), country), Some(&Value::str("Canada")));
+        assert_eq!(
+            db.tuple_value(TupleId(0), country),
+            Some(&Value::str("Canada"))
+        );
         assert_eq!(db.tuple_value(TupleId(5), stars), Some(&NULL)); // Hilton's missing rating
         assert_eq!(db.tuple_value(TupleId(0), stars), None); // Climates has no Stars
     }
@@ -559,7 +585,10 @@ mod tests {
         assert!(!db.subset_connected(&[RelId(0), RelId(2)])); // A–C only via B
         assert!(!db.subset_connected(&[RelId(0), RelId(3)]));
         assert_eq!(db.component_of(RelId(3)), vec![RelId(3)]);
-        assert_eq!(db.component_of(RelId(0)), vec![RelId(0), RelId(1), RelId(2)]);
+        assert_eq!(
+            db.component_of(RelId(0)),
+            vec![RelId(0), RelId(1), RelId(2)]
+        );
     }
 
     #[test]
@@ -594,7 +623,10 @@ mod tests {
         let mut b = DatabaseBuilder::new();
         b.relation("A", &["x"]);
         b.relation("A", &["y"]);
-        assert!(matches!(b.build(), Err(RelationalError::DuplicateRelation { .. })));
+        assert!(matches!(
+            b.build(),
+            Err(RelationalError::DuplicateRelation { .. })
+        ));
     }
 
     #[test]

@@ -53,12 +53,22 @@ pub enum RelationalError {
 impl fmt::Display for RelationalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RelationalError::ArityMismatch { relation, expected, got } => write!(
+            RelationalError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
                 f,
                 "relation '{relation}': row has {got} values but schema has {expected} attributes"
             ),
-            RelationalError::DuplicateAttribute { relation, attribute } => {
-                write!(f, "relation '{relation}': duplicate attribute '{attribute}'")
+            RelationalError::DuplicateAttribute {
+                relation,
+                attribute,
+            } => {
+                write!(
+                    f,
+                    "relation '{relation}': duplicate attribute '{attribute}'"
+                )
             }
             RelationalError::DuplicateRelation { relation } => {
                 write!(f, "duplicate relation '{relation}'")

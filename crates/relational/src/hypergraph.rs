@@ -182,8 +182,7 @@ impl Hypergraph {
                 .enumerate()
                 .map(|(ei, e)| {
                     if alive_e[ei] {
-                        let mut c: Vec<usize> =
-                            e.iter().copied().filter(|&v| alive_v[v]).collect();
+                        let mut c: Vec<usize> = e.iter().copied().filter(|&v| alive_v[v]).collect();
                         c.sort_unstable();
                         c
                     } else {
@@ -304,7 +303,13 @@ pub fn join_tree(db: &Database) -> Option<JoinTree> {
     let mut attr_sets: Vec<Vec<AttrId>> = db
         .relations()
         .iter()
-        .map(|r| r.schema().columns_by_attr().iter().map(|&(a, _)| a).collect())
+        .map(|r| {
+            r.schema()
+                .columns_by_attr()
+                .iter()
+                .map(|&(a, _)| a)
+                .collect()
+        })
         .collect();
     let mut edges = Vec::new();
     let mut remaining = n;
@@ -319,9 +324,7 @@ pub fn join_tree(db: &Database) -> Option<JoinTree> {
             let shared: Vec<AttrId> = attr_sets[e]
                 .iter()
                 .copied()
-                .filter(|&a| {
-                    (0..n).any(|o| o != e && alive[o] && attr_sets[o].contains(&a))
-                })
+                .filter(|&a| (0..n).any(|o| o != e && alive[o] && attr_sets[o].contains(&a)))
                 .collect();
             for w in 0..n {
                 if w != e && alive[w] && shared.iter().all(|a| attr_sets[w].contains(a)) {

@@ -28,7 +28,10 @@ impl DerivedRelation {
     pub fn empty(mut attrs: Vec<AttrId>) -> Self {
         attrs.sort_unstable();
         attrs.dedup();
-        DerivedRelation { attrs, rows: Vec::new() }
+        DerivedRelation {
+            attrs,
+            rows: Vec::new(),
+        }
     }
 
     /// Converts a stored relation, reordering columns to ascending
@@ -112,7 +115,12 @@ fn plan(a: &DerivedRelation, b: &DerivedRelation) -> JoinPlan {
             j += 1;
         }
     }
-    JoinPlan { out_attrs, out_src, a_key, b_key }
+    JoinPlan {
+        out_attrs,
+        out_src,
+        a_key,
+        b_key,
+    }
 }
 
 /// A hashable join key; `None` when any key column is null (null never
@@ -141,7 +149,11 @@ fn merge_rows(p: &JoinPlan, ra: &[Value], rb: &[Value]) -> Box<[Value]> {
 /// Hash join: builds on the smaller input, probes with the larger.
 pub fn natural_join(a: &DerivedRelation, b: &DerivedRelation) -> DerivedRelation {
     // Build on the smaller side (perf-book: cheapest-side hash build).
-    let (build, probe, swapped) = if a.len() <= b.len() { (a, b, false) } else { (b, a, true) };
+    let (build, probe, swapped) = if a.len() <= b.len() {
+        (a, b, false)
+    } else {
+        (b, a, true)
+    };
     let p = plan(a, b);
     let (build_key, probe_key) = if swapped {
         (p.b_key.clone(), p.a_key.clone())
@@ -156,7 +168,10 @@ pub fn natural_join(a: &DerivedRelation, b: &DerivedRelation) -> DerivedRelation
         }
     }
 
-    let mut out = DerivedRelation { attrs: p.out_attrs.clone(), rows: Vec::new() };
+    let mut out = DerivedRelation {
+        attrs: p.out_attrs.clone(),
+        rows: Vec::new(),
+    };
     if p.a_key.is_empty() {
         // Cartesian product.
         for ra in &a.rows {
@@ -167,7 +182,9 @@ pub fn natural_join(a: &DerivedRelation, b: &DerivedRelation) -> DerivedRelation
         return out;
     }
     for prow in &probe.rows {
-        let Some(k) = key_of(prow, &probe_key) else { continue };
+        let Some(k) = key_of(prow, &probe_key) else {
+            continue;
+        };
         if let Some(matches) = table.get(&k) {
             for &bidx in matches {
                 let brow = &build.rows[bidx];
@@ -181,7 +198,10 @@ pub fn natural_join(a: &DerivedRelation, b: &DerivedRelation) -> DerivedRelation
 
 /// Natural join of many relations, left to right.
 pub fn natural_join_all(db: &Database, rels: &[RelId]) -> DerivedRelation {
-    assert!(!rels.is_empty(), "natural_join_all needs at least one relation");
+    assert!(
+        !rels.is_empty(),
+        "natural_join_all needs at least one relation"
+    );
     let mut acc = DerivedRelation::from_relation(db, rels[0]);
     for &r in &rels[1..] {
         acc = natural_join(&acc, &DerivedRelation::from_relation(db, r));
@@ -204,9 +224,14 @@ pub(crate) fn join_with_match_flags(
     }
     let mut a_matched = vec![false; a.len()];
     let mut b_matched = vec![false; b.len()];
-    let mut out = DerivedRelation { attrs: p.out_attrs.clone(), rows: Vec::new() };
+    let mut out = DerivedRelation {
+        attrs: p.out_attrs.clone(),
+        rows: Vec::new(),
+    };
     for (jdx, brow) in b.rows.iter().enumerate() {
-        let Some(k) = key_of(brow, &p.b_key) else { continue };
+        let Some(k) = key_of(brow, &p.b_key) else {
+            continue;
+        };
         if let Some(matches) = table.get(&k) {
             for &idx in matches {
                 a_matched[idx] = true;
@@ -233,7 +258,7 @@ pub(crate) struct JoinColumns {
 impl JoinColumns {
     /// Pads a left-side row into the output schema (nulls for b-only
     /// columns).
-    pub fn pad_left(&self, ra: &[Value]) -> Box<[Value]> {
+    pub(crate) fn pad_left(&self, ra: &[Value]) -> Box<[Value]> {
         self.out_src
             .iter()
             .map(|&(from_b, c)| if from_b { Value::Null } else { ra[c].clone() })
@@ -244,7 +269,12 @@ impl JoinColumns {
     /// from the left in `out_src`, so recover them from `b` via the fact
     /// that shared attrs exist in both: for a dangling `b` row the shared
     /// values are `b`'s own.
-    pub fn pad_right(&self, b: &DerivedRelation, attrs: &[AttrId], rb: &[Value]) -> Box<[Value]> {
+    pub(crate) fn pad_right(
+        &self,
+        b: &DerivedRelation,
+        attrs: &[AttrId],
+        rb: &[Value],
+    ) -> Box<[Value]> {
         attrs
             .iter()
             .map(|a| match b.column_of(*a) {
@@ -256,7 +286,7 @@ impl JoinColumns {
 
     /// Arity of the left input (used by tests).
     #[allow(dead_code)]
-    pub fn left_arity(&self) -> usize {
+    pub(crate) fn left_arity(&self) -> usize {
         self.a_arity
     }
 }

@@ -32,13 +32,15 @@ mod value;
 
 pub mod fxhash;
 pub mod hypergraph;
-pub mod stats;
 pub mod join;
 pub mod outerjoin;
+pub mod stats;
 pub mod storage;
 pub mod textio;
 
-pub use database::{universal_positions, universal_schema, Database, DatabaseBuilder, RelationBuilder};
+pub use database::{
+    universal_positions, universal_schema, Database, DatabaseBuilder, RelationBuilder,
+};
 pub use error::{RelationalError, Result};
 pub use ids::{AttrId, RelId, TupleId};
 pub use relation::Relation;
@@ -55,9 +57,24 @@ pub fn tourist_database() -> Database {
         .row(["UK", "temperate"])
         .row(["Bahamas", "tropical"]);
     b.relation("Accommodations", &["Country", "City", "Hotel", "Stars"])
-        .row_values(vec!["Canada".into(), "Toronto".into(), "Plaza".into(), 4.into()])
-        .row_values(vec!["Canada".into(), "London".into(), "Ramada".into(), 3.into()])
-        .row_values(vec!["Bahamas".into(), "Nassau".into(), "Hilton".into(), NULL]);
+        .row_values(vec![
+            "Canada".into(),
+            "Toronto".into(),
+            "Plaza".into(),
+            4.into(),
+        ])
+        .row_values(vec![
+            "Canada".into(),
+            "London".into(),
+            "Ramada".into(),
+            3.into(),
+        ])
+        .row_values(vec![
+            "Bahamas".into(),
+            "Nassau".into(),
+            "Hilton".into(),
+            NULL,
+        ]);
     b.relation("Sites", &["Country", "City", "Site"])
         .row_values(vec!["Canada".into(), "London".into(), "Air Show".into()])
         .row_values(vec!["Canada".into(), NULL, "Mount Logan".into()])

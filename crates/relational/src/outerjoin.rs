@@ -88,8 +88,7 @@ pub fn subsumes(sup: &[crate::value::Value], sub: &[crate::value::Value]) -> boo
 /// be strictly subsumed by a row that is more informative.
 pub fn remove_subsumed(rel: &mut DerivedRelation) {
     rel.sort_dedup();
-    let null_count =
-        |row: &[crate::value::Value]| row.iter().filter(|v| v.is_null()).count();
+    let null_count = |row: &[crate::value::Value]| row.iter().filter(|v| v.is_null()).count();
     let counts: Vec<usize> = rel.rows.iter().map(|r| null_count(r)).collect();
     let mut keep = vec![true; rel.rows.len()];
     for i in 0..rel.rows.len() {
@@ -165,8 +164,12 @@ mod tests {
         rel.rows.push(Box::new([Value::Int(1), Value::Int(2)])); // duplicate
         remove_subsumed(&mut rel);
         assert_eq!(rel.len(), 2);
-        assert!(rel.rows.contains(&Box::from([Value::Int(1), Value::Int(2)]) as &Box<[Value]>));
-        assert!(rel.rows.contains(&Box::from([NULL, Value::Int(9)]) as &Box<[Value]>));
+        assert!(rel
+            .rows
+            .contains(&Box::from([Value::Int(1), Value::Int(2)]) as &Box<[Value]>));
+        assert!(rel
+            .rows
+            .contains(&Box::from([NULL, Value::Int(9)]) as &Box<[Value]>));
     }
 
     #[test]
@@ -219,7 +222,8 @@ mod tests {
     #[test]
     fn outerjoin_null_key_rows_dangle() {
         let mut b = DatabaseBuilder::new();
-        b.relation("R", &["A", "B"]).row_values(vec![1.into(), NULL]);
+        b.relation("R", &["A", "B"])
+            .row_values(vec![1.into(), NULL]);
         b.relation("S", &["B", "C"]).row([10, 100]);
         let d = b.build().unwrap();
         let r = DerivedRelation::from_relation(&d, RelId(0));

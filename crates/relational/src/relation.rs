@@ -23,7 +23,12 @@ impl Relation {
     /// Creates a relation. Called by the database builder, which has
     /// already interned the attribute names.
     pub(crate) fn new(name: String, id: RelId, schema: Schema) -> Self {
-        Relation { name, id, schema, rows: Vec::new() }
+        Relation {
+            name,
+            id,
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row, validating arity.
@@ -122,6 +127,13 @@ mod tests {
         let schema = Schema::new(vec![AttrId(0), AttrId(1)]);
         let mut r = Relation::new("T".into(), RelId(0), schema);
         let err = r.push_row(vec![Value::Int(1)]).unwrap_err();
-        assert!(matches!(err, RelationalError::ArityMismatch { got: 1, expected: 2, .. }));
+        assert!(matches!(
+            err,
+            RelationalError::ArityMismatch {
+                got: 1,
+                expected: 2,
+                ..
+            }
+        ));
     }
 }

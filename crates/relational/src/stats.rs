@@ -140,7 +140,10 @@ mod tests {
             .row([1, 10])
             .row([1, 20])
             .row_values(vec![2.into(), NULL]);
-        b.relation("S", &["B", "C"]).row([10, 1]).row([20, 2]).row([30, 3]);
+        b.relation("S", &["B", "C"])
+            .row([10, 1])
+            .row([20, 2])
+            .row([30, 3]);
         b.build().unwrap()
     }
 

@@ -63,7 +63,11 @@ impl<'db> Pager<'db> {
     /// Panics if `page_size` is zero.
     pub fn new(db: &'db Database, page_size: usize) -> Self {
         assert!(page_size > 0, "page size must be positive");
-        Pager { db, page_size, stats: IoStats::new() }
+        Pager {
+            db,
+            page_size,
+            stats: IoStats::new(),
+        }
     }
 
     /// The underlying database.

@@ -129,7 +129,12 @@ pub fn parse_database(text: &str) -> Result<Database> {
 /// style).
 pub fn format_relation(db: &Database, rel: RelId) -> String {
     let r = db.relation(rel);
-    let headers: Vec<&str> = r.schema().attrs().iter().map(|&a| db.attr_name(a)).collect();
+    let headers: Vec<&str> = r
+        .schema()
+        .attrs()
+        .iter()
+        .map(|&a| db.attr_name(a))
+        .collect();
     let rows: Vec<Vec<String>> = r
         .rows()
         .map(|row| row.iter().map(|v| v.display().into_owned()).collect())

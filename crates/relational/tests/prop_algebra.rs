@@ -26,15 +26,16 @@ fn arb_side(own_attr: u32) -> impl Strategy<Value = DerivedRelation> {
 
 /// Random small hypergraphs: up to 5 edges over 6 vertices.
 fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
-    proptest::collection::vec(proptest::collection::btree_set(0u32..6, 1..4), 1..6)
-        .prop_map(|edges| {
+    proptest::collection::vec(proptest::collection::btree_set(0u32..6, 1..4), 1..6).prop_map(
+        |edges| {
             Hypergraph::new(
                 edges
                     .into_iter()
                     .map(|e| e.into_iter().map(AttrId).collect())
                     .collect(),
             )
-        })
+        },
+    )
 }
 
 proptest! {

@@ -22,8 +22,9 @@ pub fn snowflake(dims: usize, spec: &DataSpec) -> Database {
         attrs.push("PF");
         let mut fact = b.relation("Fact", &attrs);
         for row in 0..spec.rows {
-            let mut values: Vec<Value> =
-                (0..dims).map(|_| Value::Int(zipf.sample(&mut rng) as i64)).collect();
+            let mut values: Vec<Value> = (0..dims)
+                .map(|_| Value::Int(zipf.sample(&mut rng) as i64))
+                .collect();
             values.push(Value::Int(row as i64));
             fact.row_values(values);
         }

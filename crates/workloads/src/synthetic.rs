@@ -54,7 +54,11 @@ impl Default for DataSpec {
 impl DataSpec {
     /// A spec with the given rows/domain and defaults elsewhere.
     pub fn new(rows: usize, domain: usize) -> Self {
-        DataSpec { rows, domain, ..Default::default() }
+        DataSpec {
+            rows,
+            domain,
+            ..Default::default()
+        }
     }
 
     /// Sets the seed (builder style).
@@ -353,7 +357,9 @@ mod tests {
         }
         // Different seed, different data somewhere.
         let db3 = chain(4, &DataSpec::new(10, 5).seed(8));
-        assert!(db1.all_tuples().any(|t| db1.tuple_values(t) != db3.tuple_values(t)));
+        assert!(db1
+            .all_tuples()
+            .any(|t| db1.tuple_values(t) != db3.tuple_values(t)));
     }
 
     #[test]
@@ -381,7 +387,13 @@ mod tests {
 
     #[test]
     fn null_rate_produces_nulls() {
-        let db = chain(3, &DataSpec { null_rate: 0.5, ..DataSpec::new(30, 8) });
+        let db = chain(
+            3,
+            &DataSpec {
+                null_rate: 0.5,
+                ..DataSpec::new(30, 8)
+            },
+        );
         let nulls = db
             .relations()
             .iter()

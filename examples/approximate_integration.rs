@@ -50,7 +50,11 @@ fn main() {
         let afd = approx_full_disjunction(&db, &amin, tau);
         println!("\nAFD(A_min, τ = {tau}): {} tuple sets", afd.len());
         for set in &afd {
-            println!("  {}  (score {:.2})", set.label(&db), amin.score(&db, set.tuples()));
+            println!(
+                "  {}  (score {:.2})",
+                set.label(&db),
+                amin.score(&db, set.tuples())
+            );
         }
     }
 

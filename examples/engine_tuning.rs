@@ -32,8 +32,14 @@ fn main() {
     };
 
     // 1. Store engines: Section 7's hash indexing removes the f² scan.
-    let (n1, scan) = run(FdConfig { engine: StoreEngine::Scan, ..FdConfig::default() });
-    let (n2, indexed) = run(FdConfig { engine: StoreEngine::Indexed, ..FdConfig::default() });
+    let (n1, scan) = run(FdConfig {
+        engine: StoreEngine::Scan,
+        ..FdConfig::default()
+    });
+    let (n2, indexed) = run(FdConfig {
+        engine: StoreEngine::Indexed,
+        ..FdConfig::default()
+    });
     assert_eq!(n1, n2);
     println!("\nstore engines ({n1} results):");
     println!(
@@ -54,7 +60,10 @@ fn main() {
         InitStrategy::ReuseResults,
         InitStrategy::TrimExtend,
     ] {
-        let (n, s) = run(FdConfig { init, ..FdConfig::default() });
+        let (n, s) = run(FdConfig {
+            init,
+            ..FdConfig::default()
+        });
         println!(
             "  {init:?}: results {n}, candidate scans {:9}, jcc checks {:9}",
             s.candidate_scans, s.jcc_checks
@@ -65,7 +74,10 @@ fn main() {
     // 3. Block-based execution: pages touched shrink as blocks grow.
     println!("\nblock-based execution (simulated pages):");
     for pages in [1usize, 8, 64] {
-        let cfg = FdConfig { page_size: Some(pages), ..FdConfig::default() };
+        let cfg = FdConfig {
+            page_size: Some(pages),
+            ..FdConfig::default()
+        };
         let mut it = FdIter::with_config(&db, cfg);
         let mut count = 0;
         for _ in it.by_ref() {
@@ -82,7 +94,11 @@ fn main() {
     for threads in [1usize, 2, 4] {
         let t0 = std::time::Instant::now();
         let (out, _) = parallel_full_disjunction(&db, FdConfig::default(), threads);
-        println!("  {threads} thread(s): {} results in {:?}", out.len(), t0.elapsed());
+        println!(
+            "  {threads} thread(s): {} results in {:?}",
+            out.len(),
+            t0.elapsed()
+        );
         assert_eq!(out.len(), n1);
     }
 }

@@ -16,7 +16,14 @@ use full_disjunction::workloads::{travel, DataSpec};
 
 fn main() {
     // A 40-country travel corpus with missing cities and star ratings.
-    let db = travel(40, 300, &DataSpec { null_rate: 0.1, ..DataSpec::default() });
+    let db = travel(
+        40,
+        300,
+        &DataSpec {
+            null_rate: 0.1,
+            ..DataSpec::default()
+        },
+    );
     println!(
         "database: {} relations, {} tuples",
         db.num_relations(),

@@ -24,7 +24,11 @@ fn main() {
     let fd = full_disjunction::core::canonicalize(full_disjunction(&db));
     println!(
         "{}",
-        full_disjunction::core::format_results(&db, "FD(Climates, Accommodations, Sites) — Table 2", &fd)
+        full_disjunction::core::format_results(
+            &db,
+            "FD(Climates, Accommodations, Sites) — Table 2",
+            &fd
+        )
     );
 
     // Results can also be streamed one at a time with polynomial delay —

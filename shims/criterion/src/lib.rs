@@ -1,0 +1,223 @@
+//! Offline stand-in for the `criterion` crate (API subset, see
+//! `shims/README.md`).
+//!
+//! Implements the structural API the workspace's ten bench targets use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! `bench_function`, `bench_with_input`, [`BenchmarkId`],
+//! [`Bencher::iter`], [`criterion_group!`] and [`criterion_main!`] —
+//! with plain wall-clock means instead of criterion's statistics. Bench
+//! ids can be filtered with a substring argument, as under `cargo bench
+//! -- <filter>`; other harness flags are accepted and ignored.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group (subset of criterion's).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id `"{function_name}/{parameter}"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures; handed to bench bodies (subset of criterion's).
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warmup call, then the timed samples.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark manager (subset of criterion's `Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    default_samples: u64,
+}
+
+/// Harness flags that take no value, so the token after them can be a
+/// positional bench-id filter (`cargo bench -- myfilter` arrives as
+/// `--bench myfilter`).
+const BOOLEAN_FLAGS: &[&str] = &[
+    "--bench",
+    "--test",
+    "--exact",
+    "--ignored",
+    "--include-ignored",
+    "--nocapture",
+    "--no-run",
+    "--quiet",
+    "-q",
+];
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // A bare argument filters bench ids by substring. Boolean harness
+        // flags are ignored; any other `--flag value` pair is consumed
+        // whole so a flag's value (e.g. `--save-baseline main`) is never
+        // mistaken for a filter.
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut filter = None;
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if !a.starts_with('-') {
+                filter = Some(a.clone());
+            } else if !a.contains('=') && !BOOLEAN_FLAGS.contains(&a.as_str()) {
+                i += 1; // skip this flag's value
+            }
+            i += 1;
+        }
+        Criterion {
+            filter,
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+            samples: None,
+        }
+    }
+
+    /// Benchmarks one routine outside any group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        routine: R,
+    ) -> &mut Self {
+        let samples = self.default_samples;
+        self.run_one(&id.into().id, samples, routine);
+        self
+    }
+
+    fn run_one<R: FnMut(&mut Bencher)>(&self, id: &str, samples: u64, mut routine: R) {
+        if let Some(f) = &self.filter {
+            if !id.contains(f.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            iters: samples,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        let mean = bencher
+            .elapsed
+            .checked_div(bencher.iters as u32)
+            .unwrap_or_default();
+        println!(
+            "bench: {id:<56} {mean:>12.2?}/iter ({} iters)",
+            bencher.iters
+        );
+    }
+}
+
+/// A group of benchmarks sharing a name and sample count.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    samples: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n as u64);
+        self
+    }
+
+    /// Benchmarks one routine.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        routine: R,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let samples = self.samples.unwrap_or(self.criterion.default_samples);
+        self.criterion.run_one(&full, samples, routine);
+        self
+    }
+
+    /// Benchmarks one routine against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group (report flushing is a no-op in this shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed [`criterion_group!`]s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

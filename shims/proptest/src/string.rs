@@ -1,0 +1,125 @@
+//! String generation from the tiny regex subset the workspace's tests
+//! use: concatenations of literal characters and `[x-y]{m,n}` /
+//! `[x-y]{n}` / `[x-y]` character-class atoms.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generates a string matching `pattern`, panicking on syntax outside
+/// the supported subset.
+pub(crate) fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| unsupported(pattern, "unclosed '['"));
+            let class: Vec<char> = parse_class(&chars[i + 1..close], pattern);
+            i = close + 1;
+            let (lo, hi, next) = parse_repetition(&chars, i, pattern);
+            i = next;
+            let n = rng.gen_range(lo..=hi);
+            for _ in 0..n {
+                out.push(class[rng.gen_range(0..class.len())]);
+            }
+        } else {
+            // Literal character (escapes and other metacharacters are
+            // outside the supported subset).
+            if "\\^$.|?*+()".contains(chars[i]) {
+                unsupported(pattern, "metacharacter outside the supported subset");
+            }
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Expands a character class body like `a-cx0-2` into its member chars.
+fn parse_class(body: &[char], pattern: &str) -> Vec<char> {
+    let mut class = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        if j + 2 < body.len() && body[j + 1] == '-' {
+            let (lo, hi) = (body[j] as u32, body[j + 2] as u32);
+            if lo > hi {
+                unsupported(pattern, "inverted character range");
+            }
+            class.extend((lo..=hi).filter_map(char::from_u32));
+            j += 3;
+        } else {
+            class.push(body[j]);
+            j += 1;
+        }
+    }
+    if class.is_empty() {
+        unsupported(pattern, "empty character class");
+    }
+    class
+}
+
+/// Parses an optional `{m,n}` or `{n}` suffix at `chars[i]`, returning
+/// `(min, max, next_index)`; absent suffix means exactly one repetition.
+fn parse_repetition(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    if i >= chars.len() || chars[i] != '{' {
+        return (1, 1, i);
+    }
+    let close = chars[i..]
+        .iter()
+        .position(|&c| c == '}')
+        .map(|p| i + p)
+        .unwrap_or_else(|| unsupported(pattern, "unclosed '{'"));
+    let body: String = chars[i + 1..close].iter().collect();
+    let parse = |s: &str| -> usize {
+        s.trim()
+            .parse()
+            .unwrap_or_else(|_| unsupported(pattern, "non-numeric repetition bound"))
+    };
+    let (lo, hi) = match body.split_once(',') {
+        Some((lo, hi)) => (parse(lo), parse(hi)),
+        None => {
+            let n = parse(&body);
+            (n, n)
+        }
+    };
+    if lo > hi {
+        unsupported(pattern, "inverted repetition bounds");
+    }
+    (lo, hi, close + 1)
+}
+
+fn unsupported(pattern: &str, what: &str) -> ! {
+    panic!(
+        "proptest shim: pattern {pattern:?} is outside the supported \
+         regex subset ({what}); see shims/README.md"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate_from_pattern;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_with_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-c]{0,6}", &mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = generate_from_pattern("x[0-1]{3}y", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with('x') && s.ends_with('y'));
+    }
+}

@@ -1,0 +1,64 @@
+//! Test-runner configuration and per-case bookkeeping.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Derives the RNG for one case from the test seed and case index.
+#[doc(hidden)]
+pub fn case_rng(test_seed: u64, case: u32) -> StdRng {
+    StdRng::seed_from_u64(test_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Identifies the currently running case; used to report failures.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy)]
+pub struct CaseInfo {
+    /// Fully qualified test name.
+    pub test: &'static str,
+    /// Zero-based case index.
+    pub case: u32,
+}
+
+impl CaseInfo {
+    /// Returns a guard that reports this case if dropped during a panic.
+    pub fn armed(self) -> CaseGuard {
+        CaseGuard { info: self }
+    }
+}
+
+/// Drop guard reporting the failing case index during unwinding.
+#[doc(hidden)]
+pub struct CaseGuard {
+    info: CaseInfo,
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest shim: {} failed at case {} (deterministic; rerun reproduces it)",
+                self.info.test, self.info.case
+            );
+        }
+    }
+}

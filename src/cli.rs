@@ -69,8 +69,11 @@ where
             "--sources" => opts.show_sources = true,
             "--top" => {
                 let v = it.next().ok_or("--top needs a value")?;
-                opts.top =
-                    Some(v.as_ref().parse().map_err(|_| format!("bad --top value: {}", v.as_ref()))?);
+                opts.top = Some(
+                    v.as_ref()
+                        .parse()
+                        .map_err(|_| format!("bad --top value: {}", v.as_ref()))?,
+                );
             }
             "--rank-by" => {
                 let v = it.next().ok_or("--rank-by needs an attribute name")?;
@@ -154,7 +157,11 @@ pub fn run(opts: &Options) -> Result<String, String> {
         let _ = write!(
             out,
             "{}",
-            format_results(&db, &format!("Approximate full disjunction (τ = {tau})"), &afd)
+            format_results(
+                &db,
+                &format!("Approximate full disjunction (τ = {tau})"),
+                &afd
+            )
         );
         return Ok(out);
     }
@@ -182,7 +189,11 @@ pub fn run(opts: &Options) -> Result<String, String> {
             let _ = write!(
                 out,
                 "{}",
-                format_results(&db, &format!("Results with max({attr}) ≥ {min_rank}"), &sets)
+                format_results(
+                    &db,
+                    &format!("Results with max({attr}) ≥ {min_rank}"),
+                    &sets
+                )
             );
         }
         _ => {
@@ -190,7 +201,11 @@ pub fn run(opts: &Options) -> Result<String, String> {
             let _ = write!(
                 out,
                 "{}",
-                format_results(&db, &format!("Full disjunction ({} tuple sets)", fd.len()), &fd)
+                format_results(
+                    &db,
+                    &format!("Full disjunction ({} tuple sets)", fd.len()),
+                    &fd
+                )
             );
         }
     }

@@ -135,7 +135,10 @@ fn long_chain_with_sparse_matches() {
     }
     let db = b.build().unwrap();
     let fd = full_disjunction(&db);
-    assert!(fd.iter().any(|s| s.len() == 8), "the full thread must appear");
+    assert!(
+        fd.iter().any(|s| s.len() == 8),
+        "the full thread must appear"
+    );
     assert_eq!(canonicalize(fd), oracle_fd(&db));
 }
 
@@ -162,7 +165,8 @@ fn mixed_type_values_never_join() {
     // Int 1 and string "1" share an attribute but are different values.
     let mut b = DatabaseBuilder::new();
     b.relation("R", &["A"]).row_values(vec![Value::Int(1)]);
-    b.relation("S", &["A", "B"]).row_values(vec![Value::str("1"), Value::Int(2)]);
+    b.relation("S", &["A", "B"])
+        .row_values(vec![Value::str("1"), Value::Int(2)]);
     let db = b.build().unwrap();
     let fd = full_disjunction(&db);
     assert_eq!(fd.len(), 2);
@@ -178,7 +182,12 @@ fn text_roundtrip_preserves_fd() {
     let db = tourist_database();
     let mut text = String::new();
     for rel in db.relations() {
-        let attrs: Vec<&str> = rel.schema().attrs().iter().map(|&a| db.attr_name(a)).collect();
+        let attrs: Vec<&str> = rel
+            .schema()
+            .attrs()
+            .iter()
+            .map(|&a| db.attr_name(a))
+            .collect();
         text.push_str(&format!("relation {}({})\n", rel.name(), attrs.join(", ")));
         for row in rel.rows() {
             let cells: Vec<String> = row.iter().map(|v| v.display().into_owned()).collect();

@@ -4,8 +4,8 @@
 //! operation counts.
 
 use full_disjunction::core::{
-    canonicalize, full_disjunction_with, parallel_full_disjunction, FdConfig, FdIter,
-    InitStrategy, StoreEngine,
+    canonicalize, full_disjunction_with, parallel_full_disjunction, FdConfig, FdIter, InitStrategy,
+    StoreEngine,
 };
 use full_disjunction::prelude::*;
 use full_disjunction::workloads::{chain, cycle, random_connected, star, DataSpec};
@@ -34,7 +34,11 @@ fn engines_block_sizes_and_strategies_all_agree() {
                         InitStrategy::ReuseResults,
                         InitStrategy::TrimExtend,
                     ] {
-                        let cfg = FdConfig { engine, page_size, init };
+                        let cfg = FdConfig {
+                            engine,
+                            page_size,
+                            init,
+                        };
                         let got = canonicalize(full_disjunction_with(&db, cfg));
                         assert_eq!(
                             base, got,
@@ -63,7 +67,13 @@ fn indexing_reduces_store_scans() {
     // The point of Section 7's hashing: same answers, fewer scans.
     let db = chain(4, &DataSpec::new(30, 8).seed(24));
     let run = |engine| {
-        let mut it = FdIter::with_config(&db, FdConfig { engine, ..FdConfig::default() });
+        let mut it = FdIter::with_config(
+            &db,
+            FdConfig {
+                engine,
+                ..FdConfig::default()
+            },
+        );
         let mut n = 0;
         for _ in it.by_ref() {
             n += 1;
@@ -85,7 +95,13 @@ fn indexing_reduces_store_scans() {
 fn reuse_strategies_reduce_candidate_scans() {
     let db = chain(4, &DataSpec::new(20, 6).seed(25));
     let scans = |init| {
-        let mut it = FdIter::with_config(&db, FdConfig { init, ..FdConfig::default() });
+        let mut it = FdIter::with_config(
+            &db,
+            FdConfig {
+                init,
+                ..FdConfig::default()
+            },
+        );
         for _ in it.by_ref() {}
         it.stats_total().candidate_scans
     };
@@ -100,7 +116,10 @@ fn reuse_strategies_reduce_candidate_scans() {
 fn block_execution_page_reads_shrink_with_page_size() {
     let db = chain(3, &DataSpec::new(40, 8).seed(26));
     let pages_read = |page_size| {
-        let cfg = FdConfig { page_size: Some(page_size), ..FdConfig::default() };
+        let cfg = FdConfig {
+            page_size: Some(page_size),
+            ..FdConfig::default()
+        };
         let mut total = 0u64;
         for rel_idx in 0..db.num_relations() {
             let mut it = FdiIter::with_config(&db, RelId(rel_idx as u16), cfg);

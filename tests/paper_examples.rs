@@ -73,29 +73,33 @@ fn execution_trace_is_table_3() {
     assert!(comp.is_empty());
 
     let table_3: [(&[&str], &[&str]); 6] = [
-        (
-            &["{c1, a2, s1}", "{c1, s2}", "{c2}", "{c3}"],
-            &["{c1, a1}"],
-        ),
-        (
-            &["{c1, s2}", "{c2}", "{c3}"],
-            &["{c1, a1}", "{c1, a2, s1}"],
-        ),
-        (
-            &["{c2}", "{c3}"],
-            &["{c1, a1}", "{c1, a2, s1}", "{c1, s2}"],
-        ),
+        (&["{c1, a2, s1}", "{c1, s2}", "{c2}", "{c3}"], &["{c1, a1}"]),
+        (&["{c1, s2}", "{c2}", "{c3}"], &["{c1, a1}", "{c1, a2, s1}"]),
+        (&["{c2}", "{c3}"], &["{c1, a1}", "{c1, a2, s1}", "{c1, s2}"]),
         (
             &["{c2, s4}", "{c3}"],
             &["{c1, a1}", "{c1, a2, s1}", "{c1, s2}", "{c2, s3}"],
         ),
         (
             &["{c3}"],
-            &["{c1, a1}", "{c1, a2, s1}", "{c1, s2}", "{c2, s3}", "{c2, s4}"],
+            &[
+                "{c1, a1}",
+                "{c1, a2, s1}",
+                "{c1, s2}",
+                "{c2, s3}",
+                "{c2, s4}",
+            ],
         ),
         (
             &[],
-            &["{c1, a1}", "{c1, a2, s1}", "{c1, s2}", "{c2, s3}", "{c2, s4}", "{c3, a3}"],
+            &[
+                "{c1, a1}",
+                "{c1, a2, s1}",
+                "{c1, s2}",
+                "{c2, s3}",
+                "{c2, s4}",
+                "{c3, a3}",
+            ],
         ),
     ];
     for (iteration, (want_inc, want_comp)) in table_3.iter().enumerate() {

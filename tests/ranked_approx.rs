@@ -21,8 +21,7 @@ fn ranked_approx_is_ordered_and_covers_the_afd() {
         let imp = random_importance(&db, seed * 7);
         let f = FMax::new(&imp);
         for tau in [0.95, 0.8] {
-            let stream: Vec<(TupleSet, f64)> =
-                RankedApproxFdIter::new(&db, &a, tau, &f).collect();
+            let stream: Vec<(TupleSet, f64)> = RankedApproxFdIter::new(&db, &a, tau, &f).collect();
             for w in stream.windows(2) {
                 assert!(w[0].1 >= w[1].1, "seed {seed} τ {tau}");
             }
@@ -62,13 +61,17 @@ fn c2_and_c3_functions_also_drive_the_ranked_approx_stream() {
     let imp = random_importance(&db, 13);
 
     let f2 = FPairSum::new(&imp);
-    let r2: Vec<f64> = RankedApproxFdIter::new(&db, &a, 0.8, &f2).map(|x| x.1).collect();
+    let r2: Vec<f64> = RankedApproxFdIter::new(&db, &a, 0.8, &f2)
+        .map(|x| x.1)
+        .collect();
     for w in r2.windows(2) {
         assert!(w[0] >= w[1]);
     }
 
     let f3 = FTriple::new(&imp);
-    let r3: Vec<f64> = RankedApproxFdIter::new(&db, &a, 0.8, &f3).map(|x| x.1).collect();
+    let r3: Vec<f64> = RankedApproxFdIter::new(&db, &a, 0.8, &f3)
+        .map(|x| x.1)
+        .collect();
     for w in r3.windows(2) {
         assert!(w[0] >= w[1]);
     }

@@ -61,9 +61,15 @@ fn iterator_and_collect_agree() {
 fn engine_choice_does_not_change_emission_order() {
     let db = big_chain();
     let order = |engine| -> Vec<Vec<TupleId>> {
-        FdIter::with_config(&db, FdConfig { engine, ..FdConfig::default() })
-            .map(|s| s.tuples().to_vec())
-            .collect()
+        FdIter::with_config(
+            &db,
+            FdConfig {
+                engine,
+                ..FdConfig::default()
+            },
+        )
+        .map(|s| s.tuples().to_vec())
+        .collect()
     };
     // Indexed lookups change *where* merges are found, but merge
     // candidates are unique per root (Lemma 4.4), so order is identical.
@@ -81,7 +87,10 @@ fn ranked_iterator_is_also_incremental() {
     let after_one = it.stats().candidate_scans;
     for _ in it.by_ref() {}
     let total = it.stats().candidate_scans;
-    assert!(after_one * 5 < total, "after_one {after_one}, total {total}");
+    assert!(
+        after_one * 5 < total,
+        "after_one {after_one}, total {total}"
+    );
     // The first ranked answer is the global maximum.
     let best = full_disjunction::baselines::oracle_top_k(&db, &f, 1);
     assert_eq!(first.1, best[0].1);

@@ -1,0 +1,58 @@
+//! Workspace smoke test guarding the facade crate's public API surface:
+//! the paper's running example (Table 1 → Table 2) must work through the
+//! batch entry point and all three iterator front ends.
+
+use full_disjunction::core::sim::ExactSim;
+use full_disjunction::prelude::*;
+
+/// Table 2 of the paper: the tourist database has exactly six maximal
+/// join-consistent connected tuple sets.
+#[test]
+fn tourist_full_disjunction_has_six_answers() {
+    let db = tourist_database();
+    assert_eq!(full_disjunction(&db).len(), 6);
+}
+
+/// `INCREMENTALFD` streams a first answer (polynomial delay).
+#[test]
+fn fd_iter_yields_a_first_answer() {
+    let db = tourist_database();
+    let first = FdIter::new(&db).next().expect("FdIter yields an answer");
+    assert!(!first.tuples().is_empty());
+}
+
+/// `PRIORITYINCREMENTALFD` yields a top-ranked first answer whose score
+/// is the maximum over the whole stream.
+#[test]
+fn ranked_fd_iter_yields_the_top_answer_first() {
+    let db = tourist_database();
+    let imp = ImpScores::uniform(&db, 0.5);
+    let f = FMax::new(&imp);
+    let mut ranked = RankedFdIter::new(&db, &f);
+    let (first, score) = ranked.next().expect("RankedFdIter yields an answer");
+    assert!(!first.tuples().is_empty());
+    assert!(
+        ranked.all(|(_, s)| s <= score),
+        "first answer must rank highest"
+    );
+}
+
+/// `APPROXINCREMENTALFD` yields a first answer on the running example.
+#[test]
+fn approx_fd_iter_yields_a_first_answer() {
+    let db = tourist_database();
+    let a = AMin::new(ExactSim, ProbScores::uniform(&db, 1.0));
+    let first = ApproxFdIter::new(&db, RelId(0), &a, 0.9)
+        .next()
+        .expect("ApproxFdIter yields an answer");
+    assert!(!first.tuples().is_empty());
+}
+
+/// The whole-AFD entry point degenerates to FD under exact similarity
+/// and certain tuples.
+#[test]
+fn approx_full_disjunction_degenerates_to_fd() {
+    let db = tourist_database();
+    let a = AMin::new(ExactSim, ProbScores::uniform(&db, 1.0));
+    assert_eq!(approx_full_disjunction(&db, &a, 0.9).len(), 6);
+}
