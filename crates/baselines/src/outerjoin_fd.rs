@@ -26,6 +26,9 @@ pub enum OuterjoinFdError {
     /// A source relation contains nulls, which \[2\]'s model does not
     /// allow (the paper's Definition 2.1 extension).
     NullsInSource,
+    /// The database has been mutated (tombstones/inserts): this baseline
+    /// reads relation rows directly and would resurrect deleted tuples.
+    Mutated,
 }
 
 impl fmt::Display for OuterjoinFdError {
@@ -44,6 +47,12 @@ impl fmt::Display for OuterjoinFdError {
                     "source relations contain nulls, unsupported by the outerjoin baseline"
                 )
             }
+            OuterjoinFdError::Mutated => {
+                write!(
+                    f,
+                    "database has been mutated; the outerjoin baseline reads raw rows"
+                )
+            }
         }
     }
 }
@@ -54,6 +63,9 @@ impl std::error::Error for OuterjoinFdError {}
 /// sequence of binary full outerjoins followed by subsumption removal.
 /// Valid exactly on connected, γ-acyclic, null-free databases.
 pub fn outerjoin_fd(db: &Database) -> Result<DerivedRelation, OuterjoinFdError> {
+    if db.has_mutations() {
+        return Err(OuterjoinFdError::Mutated);
+    }
     let has_nulls = db
         .relations()
         .iter()
@@ -164,5 +176,17 @@ mod tests {
         b.relation("Q", &["B"]).row([2]);
         let db = b.build().unwrap();
         assert_eq!(outerjoin_fd(&db), Err(OuterjoinFdError::Disconnected));
+    }
+
+    #[test]
+    fn refuses_mutated_databases() {
+        let mut b = DatabaseBuilder::new();
+        b.relation("R", &["A", "B"]).row([1, 2]).row([3, 4]);
+        b.relation("S", &["B", "C"]).row([2, 5]);
+        let mut db = b.build().unwrap();
+        assert!(outerjoin_fd(&db).is_ok());
+        // Tombstoned rows would otherwise be resurrected by the raw scan.
+        db.remove_tuple(fd_relational::TupleId(1)).unwrap();
+        assert_eq!(outerjoin_fd(&db), Err(OuterjoinFdError::Mutated));
     }
 }

@@ -18,7 +18,7 @@
 
 use fd_core::jcc::{extend_to_maximal, maximal_subset_with};
 use fd_core::{Stats, TupleSet};
-use fd_relational::{Database, TupleId};
+use fd_relational::Database;
 
 /// Computes the entire full disjunction as one batch. Returns the result
 /// sets (canonically ordered) and the operation counters.
@@ -49,8 +49,7 @@ pub fn pio_fd(db: &Database) -> (Vec<TupleSet>, Stats) {
 
     // Saturate: derive new maximal sets from every (set, tuple) pair.
     while let Some(idx) = worklist.pop() {
-        for raw in 0..db.num_tuples() as u32 {
-            let tb = TupleId(raw);
+        for tb in db.all_tuples() {
             stats.candidate_scans += 1;
             let current = pool[idx].clone();
             if current.contains(tb) {

@@ -1,0 +1,64 @@
+//! E14 — delta maintenance vs. full recomputation.
+//!
+//! The `fd-live` pitch in one number: applying one tuple insert through
+//! `delta_insert` (an `FDi` run seeded at `{t}`, Theorem 4.10) must beat
+//! recomputing the entire full disjunction from scratch, and the gap must
+//! widen with database size. Both sides see the identical post-insert
+//! database; the delta side additionally gets the pre-insert results —
+//! exactly what the live engine has on hand.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fd_bench::bench_chain;
+use fd_core::delta::delta_insert;
+use fd_core::{full_disjunction_with, FdConfig};
+use fd_relational::{Database, RelId, TupleId, Value};
+use std::hint::black_box;
+
+/// A post-insert snapshot plus everything each contender needs.
+struct Scenario {
+    db: Database,
+    inserted: TupleId,
+    previous: Vec<fd_core::TupleSet>,
+}
+
+fn scenario(rows: usize) -> Scenario {
+    let mut db = bench_chain(4, rows);
+    let previous = full_disjunction_with(&db, FdConfig::default());
+    // A well-connected row: join values inside the generated domain.
+    let inserted = db
+        .insert_tuple(
+            RelId(1),
+            vec![Value::Int(0), Value::Int(1), Value::Int(9_999_999)],
+        )
+        .expect("insert");
+    Scenario {
+        db,
+        inserted,
+        previous,
+    }
+}
+
+fn delta_vs_recompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_delta_maintenance");
+    group.sample_size(10);
+    for rows in [8usize, 16, 32] {
+        let s = scenario(rows);
+        group.bench_with_input(BenchmarkId::new("delta_insert", rows), &s, |b, s| {
+            b.iter(|| {
+                black_box(delta_insert(
+                    &s.db,
+                    s.inserted,
+                    &s.previous,
+                    FdConfig::default(),
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_recompute", rows), &s, |b, s| {
+            b.iter(|| black_box(full_disjunction_with(&s.db, FdConfig::default())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, delta_vs_recompute);
+criterion_main!(benches);

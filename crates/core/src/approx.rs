@@ -30,35 +30,43 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone)]
 pub struct ProbScores {
     scores: Vec<f64>,
+    /// Probability of tuples inserted after construction.
+    default: f64,
 }
 
 impl ProbScores {
-    /// Every tuple has the same probability.
+    /// Every tuple has the same probability — including tuples inserted
+    /// later.
     pub fn uniform(db: &Database, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability in [0,1]");
         ProbScores {
-            scores: vec![p; db.num_tuples()],
+            scores: vec![p; db.tuple_id_bound() as usize],
+            default: p,
         }
     }
 
-    /// Per-tuple probabilities from a closure.
+    /// Per-tuple probabilities from a closure (called over the whole id
+    /// space, including any tombstoned ids). Tuples inserted later
+    /// default to probability `1.0` (certain).
     pub fn from_fn(db: &Database, mut f: impl FnMut(TupleId) -> f64) -> Self {
         ProbScores {
-            scores: db
-                .all_tuples()
+            scores: (0..db.tuple_id_bound())
+                .map(TupleId)
                 .map(|t| {
                     let p = f(t);
                     assert!((0.0..=1.0).contains(&p), "probability in [0,1]");
                     p
                 })
                 .collect(),
+            default: 1.0,
         }
     }
 
-    /// `prob(t)`.
+    /// `prob(t)`; the constructor's documented default for tuples
+    /// inserted after this assignment was built.
     #[inline]
     pub fn prob(&self, t: TupleId) -> f64 {
-        self.scores[t.index()]
+        self.scores.get(t.index()).copied().unwrap_or(self.default)
     }
 }
 
@@ -340,8 +348,7 @@ impl<'db, 'a, A: ApproxJoin> ApproxFdIter<'db, 'a, A> {
     pub fn new(db: &'db Database, ri: RelId, a: &'a A, tau: f64) -> Self {
         let mut stats = Stats::new();
         let mut batch = Vec::new();
-        for raw in db.tuples_of(ri) {
-            let t = TupleId(raw);
+        for t in db.tuples_of(ri) {
             stats.approx_evals += 1;
             if a.score(db, &[t]) >= tau {
                 batch.push((t, TupleSet::singleton(db, t)));
@@ -390,8 +397,7 @@ impl<'db, 'a, A: ApproxJoin> ApproxFdIter<'db, 'a, A> {
                 {
                     continue;
                 }
-                for raw in self.db.tuples_of(rel) {
-                    let tg = TupleId(raw);
+                for tg in self.db.tuples_of(rel) {
                     self.stats.extension_scans += 1;
                     let mut members = set.tuples().to_vec();
                     let pos = members.partition_point(|&x| x < tg);
@@ -447,8 +453,8 @@ impl<'db, 'a, A: ApproxJoin> ApproxFdIter<'db, 'a, A> {
         let (_root, set) = self.pop()?;
         let set = self.extend_maximal(set);
 
-        for raw in 0..self.db.num_tuples() as u32 {
-            let tb = TupleId(raw);
+        let db = self.db;
+        for tb in db.all_tuples() {
             self.stats.candidate_scans += 1;
             if set.contains(tb) {
                 continue;

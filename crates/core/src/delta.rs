@@ -1,0 +1,386 @@
+//! Delta maintenance of a materialized full disjunction under tuple
+//! inserts and deletes.
+//!
+//! The paper's `FDi(R)` primitive (Theorem 4.10) computes exactly the
+//! tuple sets of the full disjunction containing a tuple of `Ri` — so the
+//! delta of inserting a tuple `t` is an `FDi`-style run seeded at the
+//! singleton `{t}`:
+//!
+//! * [`delta_insert`] — after `t` enters the database, the new `FD`
+//!   differs from the old one by (a) the maximal join-consistent
+//!   connected sets *containing `t`* (all new — no pre-existing set can
+//!   contain a tuple that did not exist) and (b) the old results those
+//!   new sets strictly subsume. The sets of (a) are found by running
+//!   `GETNEXTRESULT` with `Incomplete = [{t}]` and the line-10 root
+//!   filter tightened to "contains `t`", which is `INCREMENTALFD` over
+//!   the database in which `t`'s relation is replaced by `{t}`.
+//! * [`delta_delete`] — after `t` leaves, every result containing `t`
+//!   dies, and a previously-subsumed set can resurface. A newly maximal
+//!   set `M` must be connected, contain no tuple of a surviving result
+//!   superset, and satisfy `M ⊆ S \ {t}` for some dropped result `S`
+//!   (any other old superset of `M` would still be a superset); being
+//!   maximal and connected inside `S \ {t}`, it is a *connected
+//!   component* of `S \ {t}`. The survivors are therefore re-derived by
+//!   splitting each dropped set and keeping the components that are
+//!   non-extendable and not already present.
+//!
+//! Both functions are pure: database + previous results in, delta out.
+//! The `fd-live` crate layers the stateful subscription engine on top.
+
+use crate::getnext::{get_next_result, ScanScope};
+use crate::incremental::FdConfig;
+use crate::jcc::{extend_to_maximal, rebuild};
+use crate::stats::Stats;
+use crate::store::{CompleteStore, IncompleteQueue};
+use crate::tupleset::TupleSet;
+use fd_relational::fxhash::FxHashSet;
+use fd_relational::storage::Pager;
+use fd_relational::{Database, TupleId};
+
+/// The effect of one tuple insertion on the full disjunction.
+#[derive(Debug, Clone, Default)]
+pub struct InsertDelta {
+    /// New maximal sets — each contains the inserted tuple; no duplicates,
+    /// no set subsumed by another.
+    pub added: Vec<TupleSet>,
+    /// Previous results that became non-maximal (strict subsets of some
+    /// `added` set) and must be retracted.
+    pub subsumed: Vec<TupleSet>,
+    /// Work counters of the maintenance run.
+    pub stats: Stats,
+}
+
+/// The effect of one tuple deletion on the full disjunction.
+#[derive(Debug, Clone, Default)]
+pub struct DeleteDelta {
+    /// Previous results containing the deleted tuple; they must be
+    /// retracted.
+    pub dropped: Vec<TupleSet>,
+    /// Sets that become maximal once the `dropped` results are gone —
+    /// connected components of `S \ {t}` that cannot be extended and are
+    /// not already results.
+    pub restored: Vec<TupleSet>,
+    /// Work counters of the maintenance run.
+    pub stats: Stats,
+}
+
+/// Computes the full-disjunction delta of inserting tuple `t`.
+///
+/// `db` must already contain `t` (live); `previous` is the materialized
+/// full disjunction of the database *without* `t`. Runs in incremental
+/// polynomial time per emitted set (Theorem 4.10 applied to the instance
+/// whose `Ri` is `{t}`), independent of how many runs a full
+/// recomputation would need.
+pub fn delta_insert(
+    db: &Database,
+    t: TupleId,
+    previous: &[TupleSet],
+    cfg: FdConfig,
+) -> InsertDelta {
+    debug_assert!(db.is_live(t), "insert delta requires a live seed tuple");
+    let mut stats = Stats::new();
+    let mut incomplete = IncompleteQueue::new(cfg.engine);
+    incomplete.push(t, TupleSet::singleton(db, t), &mut stats);
+    let mut complete = CompleteStore::new(cfg.engine);
+    let pager = cfg.page_size.map(|ps| Pager::new(db, ps));
+    let scope = ScanScope {
+        db,
+        ri: db.rel_of(t),
+        rel_min: 0,
+        seed: Some(t),
+        pager: pager.as_ref(),
+    };
+
+    let mut added: Vec<TupleSet> = Vec::new();
+    let mut emitted: FxHashSet<Box<[TupleId]>> = FxHashSet::default();
+    while let Some((_, set)) = get_next_result(&scope, &mut incomplete, &complete, &mut stats) {
+        // The Complete store already suppresses subsets of printed sets;
+        // the canonical filter additionally drops exact re-derivations.
+        if emitted.insert(set.tuples().into()) {
+            complete.insert(set.clone(), &[t]);
+            added.push(set);
+        }
+    }
+
+    let subsumed = previous
+        .iter()
+        .filter(|prev| {
+            // A subsumed old set is a strict subset of a new one (never
+            // equal: it cannot contain the fresh tuple `t`).
+            added.iter().any(|new| prev.is_subset_of(new))
+        })
+        .cloned()
+        .collect();
+    InsertDelta {
+        added,
+        subsumed,
+        stats,
+    }
+}
+
+/// Computes the full-disjunction delta of deleting tuple `t`.
+///
+/// `db` must already have `t` removed (tombstoned); `previous` is the
+/// materialized full disjunction of the database *with* `t`. The cost is
+/// proportional to the dropped results and one maximality probe per
+/// resurfacing candidate — not to the size of the database's full
+/// disjunction.
+pub fn delta_delete(
+    db: &Database,
+    t: TupleId,
+    previous: &[TupleSet],
+    cfg: FdConfig,
+) -> DeleteDelta {
+    debug_assert!(!db.is_live(t), "delete delta runs after the tombstone");
+    let _ = cfg; // store engine choice does not affect this path (yet)
+    let mut stats = Stats::new();
+    let mut dropped: Vec<TupleSet> = Vec::new();
+    let mut survivors: FxHashSet<&[TupleId]> = FxHashSet::default();
+    for prev in previous {
+        if prev.contains(t) {
+            dropped.push(prev.clone());
+        } else {
+            survivors.insert(prev.tuples());
+        }
+    }
+
+    let mut restored: Vec<TupleSet> = Vec::new();
+    let mut seen: FxHashSet<Box<[TupleId]>> = FxHashSet::default();
+    for set in &dropped {
+        let remnant: Vec<TupleId> = set.tuples().iter().copied().filter(|&u| u != t).collect();
+        for component in connected_components(db, &remnant) {
+            if !seen.insert(component.clone().into_boxed_slice()) {
+                continue;
+            }
+            if survivors.contains(component.as_slice()) {
+                continue;
+            }
+            let candidate = rebuild(db, component);
+            // Maximality probe: a candidate that grows was (and remains)
+            // subsumed by an existing result — extend_to_maximal reaches
+            // a maximal superset, which either survives in `previous` or
+            // is itself a component of another dropped set.
+            let extended = extend_to_maximal(db, candidate.clone(), &mut stats);
+            if extended.tuples() == candidate.tuples() {
+                restored.push(candidate);
+            }
+        }
+    }
+    DeleteDelta {
+        dropped,
+        restored,
+        stats,
+    }
+}
+
+/// Splits a join-consistent member list into its connected components
+/// (connectivity over the members' relations, as in Theorem 4.8's
+/// auxiliary graph). Members arrive sorted; components come out sorted.
+fn connected_components(db: &Database, members: &[TupleId]) -> Vec<Vec<TupleId>> {
+    let n = members.len();
+    let mut assigned = vec![false; n];
+    let mut out = Vec::new();
+    for start in 0..n {
+        if assigned[start] {
+            continue;
+        }
+        let mut component = vec![start];
+        assigned[start] = true;
+        let mut frontier = vec![start];
+        while let Some(i) = frontier.pop() {
+            for j in 0..n {
+                if !assigned[j] && db.rels_connected(db.rel_of(members[i]), db.rel_of(members[j])) {
+                    assigned[j] = true;
+                    component.push(j);
+                    frontier.push(j);
+                }
+            }
+        }
+        component.sort_unstable();
+        out.push(component.into_iter().map(|i| members[i]).collect());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incremental::{canonicalize, full_disjunction};
+    use fd_relational::{tourist_database, RelId, Value};
+
+    /// Applies a delta to a materialized result list the way `fd-live`
+    /// does, so the invariant `apply(delta(FD_old)) == FD_new` is checked
+    /// against a from-scratch recomputation.
+    fn apply_insert(previous: &[TupleSet], d: &InsertDelta) -> Vec<TupleSet> {
+        let mut out: Vec<TupleSet> = previous
+            .iter()
+            .filter(|s| !d.subsumed.contains(s))
+            .cloned()
+            .collect();
+        out.extend(d.added.iter().cloned());
+        canonicalize(out)
+    }
+
+    fn apply_delete(previous: &[TupleSet], d: &DeleteDelta) -> Vec<TupleSet> {
+        let mut out: Vec<TupleSet> = previous
+            .iter()
+            .filter(|s| !d.dropped.contains(s))
+            .cloned()
+            .collect();
+        out.extend(d.restored.iter().cloned());
+        canonicalize(out)
+    }
+
+    #[test]
+    fn insert_delta_matches_recomputation_on_tourist() {
+        let mut db = tourist_database();
+        let before = full_disjunction(&db);
+        // A new Accommodations row joining c1 via Country and s1 via City.
+        let t = db
+            .insert_tuple(
+                RelId(1),
+                vec![
+                    "Canada".into(),
+                    "London".into(),
+                    "Fairmont".into(),
+                    Value::Int(5),
+                ],
+            )
+            .unwrap();
+        let d = delta_insert(&db, t, &before, FdConfig::default());
+        assert!(!d.added.is_empty());
+        assert!(d.added.iter().all(|s| s.contains(t)));
+        assert_eq!(
+            apply_insert(&before, &d),
+            canonicalize(full_disjunction(&db))
+        );
+    }
+
+    #[test]
+    fn insert_delta_subsumes_swallowed_results() {
+        // P(A), Q(A, B): inserting the matching Q row swallows {p1}.
+        let mut b = fd_relational::DatabaseBuilder::new();
+        b.relation("P", &["A"]).row([1]);
+        b.relation("Q", &["A", "B"]);
+        let mut db = b.build().unwrap();
+        let before = full_disjunction(&db);
+        assert_eq!(before.len(), 1); // {p1}
+        let t = db.insert_tuple(RelId(1), vec![1.into(), 2.into()]).unwrap();
+        let d = delta_insert(&db, t, &before, FdConfig::default());
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.added[0].len(), 2);
+        assert_eq!(d.subsumed.len(), 1);
+        assert_eq!(
+            apply_insert(&before, &d),
+            canonicalize(full_disjunction(&db))
+        );
+    }
+
+    #[test]
+    fn delete_delta_restores_fragments() {
+        let mut db = tourist_database();
+        let before = full_disjunction(&db);
+        // Delete a2 (the London Ramada): {c1, a2, s1} dies; {c1, s1} must
+        // resurface (a1 conflicts with s1 on City, so it is maximal).
+        db.remove_tuple(TupleId(4)).unwrap();
+        let d = delta_delete(&db, TupleId(4), &before, FdConfig::default());
+        assert_eq!(d.dropped.len(), 1);
+        assert!(d
+            .restored
+            .iter()
+            .any(|s| s.tuples() == [TupleId(0), TupleId(6)]));
+        assert_eq!(
+            apply_delete(&before, &d),
+            canonicalize(full_disjunction(&db))
+        );
+    }
+
+    #[test]
+    fn delete_delta_drops_without_restoring_when_fragments_extend() {
+        let mut db = tourist_database();
+        let before = full_disjunction(&db);
+        // Delete s2 (Mount Logan): {c1, s2} dies; the fragment {c1} grows
+        // into surviving results, so nothing resurfaces.
+        db.remove_tuple(TupleId(7)).unwrap();
+        let d = delta_delete(&db, TupleId(7), &before, FdConfig::default());
+        assert_eq!(d.dropped.len(), 1);
+        assert!(d.restored.is_empty());
+        assert_eq!(
+            apply_delete(&before, &d),
+            canonicalize(full_disjunction(&db))
+        );
+    }
+
+    #[test]
+    fn insert_then_delete_round_trips() {
+        let mut db = tourist_database();
+        let before = canonicalize(full_disjunction(&db));
+        let t = db
+            .insert_tuple(RelId(0), vec!["Chile".into(), "arid".into()])
+            .unwrap();
+        let ins = delta_insert(&db, t, &before, FdConfig::default());
+        let mid = apply_insert(&before, &ins);
+        db.remove_tuple(t).unwrap();
+        let del = delta_delete(&db, t, &mid, FdConfig::default());
+        assert_eq!(apply_delete(&mid, &del), before);
+    }
+
+    #[test]
+    fn insert_delta_emits_no_duplicates_and_no_nonmaximal_sets() {
+        let mut db = tourist_database();
+        let before = full_disjunction(&db);
+        let t = db
+            .insert_tuple(
+                RelId(2),
+                vec!["Canada".into(), "Toronto".into(), "CN Tower".into()],
+            )
+            .unwrap();
+        let d = delta_insert(&db, t, &before, FdConfig::default());
+        for (i, a) in d.added.iter().enumerate() {
+            for (j, b) in d.added.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a.tuples(), b.tuples(), "duplicate emission");
+                    assert!(!a.is_subset_of(b), "non-maximal emission {a} ⊆ {b}");
+                }
+            }
+        }
+        assert_eq!(
+            apply_insert(&before, &d),
+            canonicalize(full_disjunction(&db))
+        );
+    }
+
+    #[test]
+    fn engines_and_block_modes_agree_on_deltas() {
+        let mut db = tourist_database();
+        let before = full_disjunction(&db);
+        let t = db
+            .insert_tuple(
+                RelId(1),
+                vec!["UK".into(), "London".into(), "Savoy".into(), 5.into()],
+            )
+            .unwrap();
+        let base: Vec<Vec<TupleId>> = {
+            let d = delta_insert(&db, t, &before, FdConfig::default());
+            canonicalize(d.added)
+                .iter()
+                .map(|s| s.tuples().to_vec())
+                .collect()
+        };
+        for engine in [crate::StoreEngine::Scan, crate::StoreEngine::Indexed] {
+            for page_size in [None, Some(2), Some(64)] {
+                let cfg = FdConfig {
+                    engine,
+                    page_size,
+                    ..FdConfig::default()
+                };
+                let d = delta_insert(&db, t, &before, cfg);
+                let got: Vec<Vec<TupleId>> = canonicalize(d.added)
+                    .iter()
+                    .map(|s| s.tuples().to_vec())
+                    .collect();
+                assert_eq!(base, got, "engine {engine:?}, pages {page_size:?}");
+            }
+        }
+    }
+}

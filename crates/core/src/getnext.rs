@@ -36,6 +36,14 @@ pub(crate) struct ScanScope<'db, 'p> {
     /// (0 for the standalone algorithm; `i + 1` under Section 7's
     /// repeated-work optimization, which relies on a global `Complete`).
     pub rel_min: usize,
+    /// Tightens line 10's root filter from "contains a tuple of `Ri`" to
+    /// "contains exactly this tuple". Used by the delta-maintenance run
+    /// seeded at a freshly inserted tuple `t`: that run is
+    /// `INCREMENTALFD(R', i)` over the database in which `Ri` is replaced
+    /// by `{t}` (Theorem 4.10 then says it emits exactly the maximal
+    /// join-consistent connected sets containing `t`), and the tighter
+    /// filter is what discards derivations rooted at `Ri`'s other tuples.
+    pub seed: Option<TupleId>,
     /// Block-based execution (Section 7): scan through a pager, counting
     /// page fetches, instead of tuple at a time.
     pub pager: Option<&'p Pager<'db>>,
@@ -48,9 +56,9 @@ impl ScanScope<'_, '_> {
         match self.pager {
             None => {
                 for rel_idx in self.rel_min..self.db.num_relations() {
-                    for raw in self.db.tuples_of(RelId(rel_idx as u16)) {
+                    for t in self.db.tuples_of(RelId(rel_idx as u16)) {
                         stats.candidate_scans += 1;
-                        f(TupleId(raw), stats);
+                        f(t, stats);
                     }
                 }
             }
@@ -91,9 +99,19 @@ pub(crate) fn get_next_result(
         }
         // Line 8 (footnote 3): unique maximal JCC subset containing tb.
         let t_prime = maximal_subset_with(db, &set, tb, stats);
-        // Line 10: must contain a tuple from Ri.
-        let Some(new_root) = t_prime.tuple_from(db, scope.ri) else {
-            return;
+        // Line 10: must contain a tuple from Ri (the seed tuple itself in
+        // a delta-maintenance run).
+        let new_root = match scope.seed {
+            Some(seed) => {
+                if !t_prime.contains(seed) {
+                    return;
+                }
+                seed
+            }
+            None => match t_prime.tuple_from(db, scope.ri) {
+                Some(root) => root,
+                None => return,
+            },
         };
         // Line 11: already represented in Complete?
         if complete.contains_superset(&t_prime, new_root, stats) {
@@ -134,13 +152,13 @@ mod tests {
         let mut incomplete = IncompleteQueue::new(StoreEngine::Scan);
         let complete = CompleteStore::new(StoreEngine::Scan);
         for t in db.tuples_of(RelId(0)) {
-            let t = TupleId(t);
             incomplete.push(t, TupleSet::singleton(&db, t), &mut stats);
         }
         let scope = ScanScope {
             db: &db,
             ri: RelId(0),
             rel_min: 0,
+            seed: None,
             pager: None,
         };
         let (root, result) =
@@ -165,13 +183,13 @@ mod tests {
         let mut incomplete = IncompleteQueue::new(StoreEngine::Scan);
         let mut complete = CompleteStore::new(StoreEngine::Scan);
         for t in db.tuples_of(RelId(0)) {
-            let t = TupleId(t);
             incomplete.push(t, TupleSet::singleton(&db, t), &mut stats);
         }
         let scope = ScanScope {
             db: &db,
             ri: RelId(0),
             rel_min: 0,
+            seed: None,
             pager: None,
         };
         let (_, r1) = get_next_result(&scope, &mut incomplete, &complete, &mut stats).unwrap();
@@ -199,6 +217,7 @@ mod tests {
             db: &db,
             ri: RelId(0),
             rel_min: 0,
+            seed: None,
             pager: None,
         };
         let mut count = 0;
@@ -226,13 +245,13 @@ mod tests {
             let mut incomplete = IncompleteQueue::new(StoreEngine::Indexed);
             let mut complete = CompleteStore::new(StoreEngine::Indexed);
             for t in db.tuples_of(RelId(0)) {
-                let t = TupleId(t);
                 incomplete.push(t, TupleSet::singleton(&db, t), &mut stats);
             }
             let scope = ScanScope {
                 db: &db,
                 ri: RelId(0),
                 rel_min: 0,
+                seed: None,
                 pager,
             };
             let mut out = Vec::new();

@@ -72,8 +72,7 @@ impl<'db> FdiIter<'db> {
     pub fn with_config(db: &'db Database, ri: RelId, cfg: FdConfig) -> Self {
         let mut stats = Stats::new();
         let mut incomplete = IncompleteQueue::new(cfg.engine);
-        for raw in db.tuples_of(ri) {
-            let t = TupleId(raw);
+        for t in db.tuples_of(ri) {
             incomplete.push(t, TupleSet::singleton(db, t), &mut stats);
         }
         Self::from_parts(
@@ -153,6 +152,7 @@ impl<'db> FdiIter<'db> {
                 db: self.db,
                 ri: self.ri,
                 rel_min: self.rel_min,
+                seed: None,
                 pager: self.pager.as_ref(),
             };
             let (root, set) = get_next_result(

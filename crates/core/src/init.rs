@@ -114,12 +114,11 @@ fn seed_previous(
         };
         covered.insert(root);
         let seed = if trim {
-            let lo = db.tuples_of(ri).start;
             let members: Vec<TupleId> = prev
                 .tuples()
                 .iter()
                 .copied()
-                .filter(|t| t.0 >= lo)
+                .filter(|&t| db.rel_of(t) >= ri)
                 .collect();
             // Keep the component of the root among the trimmed members.
             let rels: Vec<RelId> = members.iter().map(|&t| db.rel_of(t)).collect();
@@ -167,8 +166,7 @@ fn seed_uncovered_singletons(
     incomplete: &mut IncompleteQueue,
     stats: &mut Stats,
 ) {
-    for raw in db.tuples_of(ri) {
-        let t = TupleId(raw);
+    for t in db.tuples_of(ri) {
         if !covered.contains(&t) {
             incomplete.push(t, TupleSet::singleton(db, t), &mut *stats);
         }

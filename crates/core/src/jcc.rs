@@ -361,7 +361,6 @@ pub fn extend_to_maximal_from(
                 continue;
             }
             for t in db.tuples_of(rel) {
-                let t = TupleId(t);
                 stats.extension_scans += 1;
                 if can_add(db, &set, t, stats) {
                     set = add_tuple(db, &set, t);

@@ -41,6 +41,7 @@ mod store;
 mod tupleset;
 
 pub mod approx;
+pub mod delta;
 pub mod jcc;
 pub mod parallel;
 pub mod priority;
@@ -49,6 +50,7 @@ pub mod ranking;
 pub mod sim;
 
 pub use approx::{approx_full_disjunction, AMin, AProd, ApproxFdIter, ApproxJoin, ProbScores};
+pub use delta::{delta_delete, delta_insert, DeleteDelta, InsertDelta};
 pub use incremental::{
     canonicalize, fdi, full_disjunction, full_disjunction_with, FdConfig, FdIter, FdiIter,
 };

@@ -272,8 +272,7 @@ impl<'db, 'f, F: MonotoneCDetermined> RankedFdIter<'db, 'f, F> {
             let set = extend_to_maximal(self.db, set, &mut self.stats);
             let db = self.db;
             let f = self.f;
-            for raw in 0..db.num_tuples() as u32 {
-                let tb = TupleId(raw);
+            for tb in db.all_tuples() {
                 self.stats.candidate_scans += 1;
                 if set.contains(tb) {
                     continue;
@@ -372,8 +371,7 @@ fn enumerate_bounded_jcc_sets(
 ) -> Vec<(TupleId, TupleSet)> {
     let mut out = Vec::new();
     let mut seen: FxHashSet<Box<[TupleId]>> = FxHashSet::default();
-    for raw in db.tuples_of(ri) {
-        let root = TupleId(raw);
+    for root in db.tuples_of(ri) {
         let base = TupleSet::singleton(db, root);
         grow(db, root, &base, c, &mut seen, &mut out, stats);
     }
@@ -396,8 +394,7 @@ fn grow(
     if set.len() >= c {
         return;
     }
-    for raw in 0..db.num_tuples() as u32 {
-        let t = TupleId(raw);
+    for t in db.all_tuples() {
         if set.contains(t) {
             continue;
         }

@@ -199,8 +199,7 @@ impl<'db, 'x, A: ApproxJoin, F: MonotoneCDetermined> RankedApproxFdIter<'db, 'x,
                 {
                     continue;
                 }
-                for raw in self.db.tuples_of(rel) {
-                    let tg = TupleId(raw);
+                for tg in self.db.tuples_of(rel) {
                     self.stats.extension_scans += 1;
                     let mut members = set.tuples().to_vec();
                     let pos = members.partition_point(|&x| x < tg);
@@ -235,8 +234,8 @@ impl<'db, 'x, A: ApproxJoin, F: MonotoneCDetermined> RankedApproxFdIter<'db, 'x,
             let (_, set) = self.queues[qi].pop(&mut self.stats)?;
             let set = self.extend_maximal(set);
 
-            for raw in 0..self.db.num_tuples() as u32 {
-                let tb = TupleId(raw);
+            let db = self.db;
+            for tb in db.all_tuples() {
                 self.stats.candidate_scans += 1;
                 if set.contains(tb) {
                     continue;
@@ -359,8 +358,7 @@ fn enumerate_acceptable<A: ApproxJoin>(
     let mut out = Vec::new();
     let mut seen: FxHashSet<Box<[TupleId]>> = FxHashSet::default();
     let mut stack: Vec<(TupleId, TupleSet)> = Vec::new();
-    for raw in db.tuples_of(ri) {
-        let root = TupleId(raw);
+    for root in db.tuples_of(ri) {
         stats.approx_evals += 1;
         if a.score(db, &[root]) >= tau {
             stack.push((root, TupleSet::singleton(db, root)));
@@ -374,8 +372,7 @@ fn enumerate_acceptable<A: ApproxJoin>(
         if set.len() >= c {
             continue;
         }
-        for raw in 0..db.num_tuples() as u32 {
-            let t = TupleId(raw);
+        for t in db.all_tuples() {
             if set.contains(t) || set.tuple_from(db, db.rel_of(t)).is_some() {
                 continue;
             }

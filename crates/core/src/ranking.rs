@@ -20,41 +20,61 @@ use crate::tupleset::TupleSet;
 use fd_relational::{Database, TupleId};
 
 /// Importance assignment `imp(t)` for every tuple in the database.
+///
+/// Scores are indexed by tuple id over the database's full id space, so
+/// the assignment stays valid under the tombstone-based mutation layer;
+/// tuples inserted *after* construction default to importance `0.0`.
 #[derive(Debug, Clone)]
 pub struct ImpScores {
     scores: Vec<f64>,
+    /// Importance of tuples inserted after construction.
+    default: f64,
 }
 
 impl ImpScores {
-    /// All tuples share the same importance.
+    /// All tuples share the same importance — including tuples inserted
+    /// later.
     pub fn uniform(db: &Database, value: f64) -> Self {
         ImpScores {
-            scores: vec![value; db.num_tuples()],
+            scores: vec![value; db.tuple_id_bound() as usize],
+            default: value,
         }
     }
 
-    /// Computes `imp(t)` per tuple from a closure.
+    /// Computes `imp(t)` per tuple from a closure (called over the whole
+    /// id space, including any tombstoned ids). Tuples inserted later
+    /// default to importance `0.0`.
     pub fn from_fn(db: &Database, f: impl FnMut(TupleId) -> f64) -> Self {
         ImpScores {
-            scores: db.all_tuples().map(f).collect(),
+            scores: (0..db.tuple_id_bound()).map(TupleId).map(f).collect(),
+            default: 0.0,
         }
     }
 
-    /// Builds from an explicit score vector (index = tuple id).
+    /// Builds from an explicit score vector (index = tuple id). Tuples
+    /// inserted later default to importance `0.0`.
     ///
     /// # Panics
-    /// Panics if the vector length does not match the tuple count or any
-    /// score is NaN.
+    /// Panics if the vector length does not match the tuple id space or
+    /// any score is NaN.
     pub fn from_vec(db: &Database, scores: Vec<f64>) -> Self {
-        assert_eq!(scores.len(), db.num_tuples(), "one score per tuple");
+        assert_eq!(
+            scores.len(),
+            db.tuple_id_bound() as usize,
+            "one score per tuple"
+        );
         assert!(scores.iter().all(|s| !s.is_nan()), "scores must not be NaN");
-        ImpScores { scores }
+        ImpScores {
+            scores,
+            default: 0.0,
+        }
     }
 
-    /// `imp(t)`.
+    /// `imp(t)`; the constructor's documented default for tuples
+    /// inserted after this assignment was built.
     #[inline]
     pub fn imp(&self, t: TupleId) -> f64 {
-        self.scores[t.index()]
+        self.scores.get(t.index()).copied().unwrap_or(self.default)
     }
 }
 

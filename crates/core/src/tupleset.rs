@@ -113,25 +113,32 @@ impl TupleSet {
         self.tuples.binary_search(&t).is_ok()
     }
 
-    /// The member from relation `rel`, if any. Tuple ids are dense per
-    /// relation, so this is a binary search for the relation's id range.
+    /// The member from relation `rel`, if any. Builder-time tuple ids are
+    /// dense per relation, so the common case is one binary search over
+    /// the base band; dynamically inserted members (ids above the base
+    /// space) fall back to a short scan of the set's tail.
     pub fn tuple_from(&self, db: &Database, rel: RelId) -> Option<TupleId> {
-        let range = db.tuples_of(rel);
+        let range = db.base_tuples(rel);
         let idx = self.tuples.partition_point(|&t| t.0 < range.start);
-        match self.tuples.get(idx) {
-            Some(&t) if t.0 < range.end => Some(t),
-            _ => None,
+        if let Some(&t) = self.tuples.get(idx) {
+            if t.0 < range.end {
+                return Some(t);
+            }
         }
+        let base = db.base_tuple_count();
+        self.tuples
+            .iter()
+            .rev()
+            .take_while(|t| t.0 >= base)
+            .find(|&&t| db.rel_of(t) == rel)
+            .copied()
     }
 
     /// Does the set contain a tuple from any relation before `rel`
     /// (`R1..R_{i-1}` in the paper's duplicate-suppression rule for
     /// computing the full `FD` from the `FDi`)?
     pub fn has_tuple_before(&self, db: &Database, rel: RelId) -> bool {
-        match self.tuples.first() {
-            Some(&t) => t.0 < db.tuples_of(rel).start,
-            None => false,
-        }
+        self.tuples.iter().any(|&t| db.rel_of(t) < rel)
     }
 
     /// The distinct relations of the members, ascending.

@@ -1,0 +1,185 @@
+//! A live top-k window over the maintained full disjunction.
+//!
+//! Ranked enumeration (the paper's `PRIORITYINCREMENTALFD`, and the
+//! any-k literature's view of it) treats the answer stream as long-lived;
+//! [`LiveRankedFd`] extends that to a *changing* database: it maintains
+//! the full result set through [`LiveFd`] and keeps the k highest-ranked
+//! answers current, reporting window entries and exits per mutation.
+
+use crate::{FdEvent, LiveFd};
+use fd_core::{FdConfig, RankingFunction, TupleSet};
+use fd_relational::{Database, Delta, RelationalError};
+
+/// What one mutation did to the ranked view.
+#[derive(Debug, Clone)]
+pub struct TopKUpdate {
+    /// The underlying result-set changes (retractions first).
+    pub events: Vec<FdEvent>,
+    /// Sets that entered the top-k window, with their ranks.
+    pub entered: Vec<(TupleSet, f64)>,
+    /// Sets that left the top-k window (retracted or outranked).
+    pub left: Vec<TupleSet>,
+}
+
+/// A maintained top-k window over a [`LiveFd`].
+///
+/// The ranking function is evaluated once per result-set change, and the
+/// window is rebuilt from the maintained ranks — `O(m log m)` in the
+/// number of current results, independent of the database size. Tuples
+/// inserted after an importance assignment was built rank through its
+/// documented default (see [`fd_core::ImpScores::imp`]).
+#[derive(Debug)]
+pub struct LiveRankedFd<F> {
+    inner: LiveFd,
+    f: F,
+    k: usize,
+    /// Current results with ranks, sorted by descending rank (ties in
+    /// canonical order); the window is the first `k` entries.
+    ranked: Vec<(TupleSet, f64)>,
+}
+
+impl<F: RankingFunction> LiveRankedFd<F> {
+    /// Materializes the full disjunction of `db` and the initial top-k
+    /// window under `f`.
+    pub fn new(db: Database, f: F, k: usize) -> Self {
+        Self::with_config(db, f, k, FdConfig::default())
+    }
+
+    /// Like [`new`](Self::new) with explicit engine/block configuration.
+    pub fn with_config(db: Database, f: F, k: usize, cfg: FdConfig) -> Self {
+        let inner = LiveFd::with_config(db, cfg);
+        let mut ranked: Vec<(TupleSet, f64)> = inner
+            .results()
+            .iter()
+            .map(|s| (s.clone(), f.rank(inner.db(), s)))
+            .collect();
+        sort_ranked(&mut ranked);
+        LiveRankedFd {
+            inner,
+            f,
+            k,
+            ranked,
+        }
+    }
+
+    /// The maintained full disjunction underneath.
+    pub fn inner(&self) -> &LiveFd {
+        &self.inner
+    }
+
+    /// The current database snapshot.
+    pub fn db(&self) -> &Database {
+        self.inner.db()
+    }
+
+    /// The window size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The current top-k window: up to `k` `(set, rank)` pairs in
+    /// non-increasing rank order.
+    pub fn top(&self) -> &[(TupleSet, f64)] {
+        &self.ranked[..self.k.min(self.ranked.len())]
+    }
+
+    /// Applies one mutation, maintaining both the result set and the
+    /// window, and reports what changed.
+    pub fn apply(&mut self, delta: Delta) -> Result<TopKUpdate, RelationalError> {
+        let before: Vec<TupleSet> = self.top().iter().map(|(s, _)| s.clone()).collect();
+        let events = self.inner.apply(delta)?;
+        for event in &events {
+            match event {
+                FdEvent::Retracted(set) => {
+                    self.ranked.retain(|(s, _)| s.tuples() != set.tuples());
+                }
+                FdEvent::Added(set) => {
+                    let rank = self.f.rank(self.inner.db(), set);
+                    self.ranked.push((set.clone(), rank));
+                }
+            }
+        }
+        sort_ranked(&mut self.ranked);
+
+        let after = self.top();
+        let entered = after
+            .iter()
+            .filter(|(s, _)| !before.iter().any(|b| b.tuples() == s.tuples()))
+            .cloned()
+            .collect();
+        let left = before
+            .into_iter()
+            .filter(|b| !after.iter().any(|(s, _)| s.tuples() == b.tuples()))
+            .collect();
+        Ok(TopKUpdate {
+            events,
+            entered,
+            left,
+        })
+    }
+}
+
+fn sort_ranked(ranked: &mut [(TupleSet, f64)]) {
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fd_core::{FMax, ImpScores};
+    use fd_relational::{tourist_database, RelId, TupleId};
+
+    fn stars_imp(db: &Database) -> ImpScores {
+        let stars = db.attr_id("Stars").unwrap();
+        ImpScores::from_fn(db, |t| match db.tuple_value(t, stars) {
+            Some(fd_relational::Value::Int(i)) => *i as f64,
+            _ => 0.0,
+        })
+    }
+
+    #[test]
+    fn initial_window_matches_batch_top_k() {
+        let db = tourist_database();
+        let imp = stars_imp(&db);
+        let f = FMax::new(&imp);
+        let live = LiveRankedFd::new(db.clone(), f, 2);
+        let batch = fd_core::top_k(&db, &FMax::new(&imp), 2);
+        let live_ranks: Vec<f64> = live.top().iter().map(|(_, r)| *r).collect();
+        let batch_ranks: Vec<f64> = batch.iter().map(|(_, r)| *r).collect();
+        assert_eq!(live_ranks, batch_ranks);
+    }
+
+    #[test]
+    fn deleting_the_leader_promotes_the_runner_up() {
+        let db = tourist_database();
+        let imp = stars_imp(&db);
+        let mut live = LiveRankedFd::new(db, FMax::new(&imp), 1);
+        // The leader is {c1, a1} via the 4-star Plaza (a1 = t3).
+        assert_eq!(live.top()[0].1, 4.0);
+        let update = live.apply(Delta::Delete { tuple: TupleId(3) }).unwrap();
+        assert!(!update.entered.is_empty());
+        assert!(!update.left.is_empty());
+        // Ramada (3 stars) leads now.
+        assert_eq!(live.top()[0].1, 3.0);
+        assert!(live.inner().verify_snapshot());
+    }
+
+    #[test]
+    fn window_stays_sorted_under_churn() {
+        let db = tourist_database();
+        let imp = stars_imp(&db);
+        let mut live = LiveRankedFd::new(db, FMax::new(&imp), 3);
+        live.apply(Delta::Insert {
+            rel: RelId(1),
+            values: vec!["UK".into(), "London".into(), "Savoy".into(), 5.into()],
+        })
+        .unwrap();
+        live.apply(Delta::Delete { tuple: TupleId(4) }).unwrap();
+        let window = live.top();
+        assert!(window.len() <= 3);
+        for w in window.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert!(live.inner().verify_snapshot());
+    }
+}

@@ -1,0 +1,153 @@
+//! Mutation descriptions and histories for dynamic databases.
+//!
+//! A [`Delta`] describes one *pending* mutation — the unit the live
+//! maintenance engine applies; a [`Change`] records a mutation that
+//! *happened* (with the tuple id the database assigned); a [`ChangeLog`]
+//! accumulates the realized history so replicas, audits and tests can
+//! replay it.
+
+use crate::database::Database;
+use crate::error::Result;
+use crate::ids::{RelId, TupleId};
+use crate::value::Value;
+
+/// One pending mutation against a [`Database`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Delta {
+    /// Insert a tuple with the given values into a relation.
+    Insert {
+        /// Target relation.
+        rel: RelId,
+        /// Row values in the relation's column order.
+        values: Vec<Value>,
+    },
+    /// Remove (tombstone) the tuple with this id.
+    Delete {
+        /// The tuple to remove.
+        tuple: TupleId,
+    },
+}
+
+/// A realized mutation: what a [`Delta`] became once applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Change {
+    /// A tuple was inserted and received this id.
+    Inserted {
+        /// The relation inserted into.
+        rel: RelId,
+        /// The id the database allocated.
+        tuple: TupleId,
+    },
+    /// A tuple was tombstoned.
+    Removed {
+        /// The relation the tuple belonged to.
+        rel: RelId,
+        /// The removed tuple's id.
+        tuple: TupleId,
+    },
+}
+
+impl Change {
+    /// The tuple the change concerns.
+    pub fn tuple(&self) -> TupleId {
+        match *self {
+            Change::Inserted { tuple, .. } | Change::Removed { tuple, .. } => tuple,
+        }
+    }
+}
+
+/// An append-only history of realized mutations.
+#[derive(Debug, Clone, Default)]
+pub struct ChangeLog {
+    changes: Vec<Change>,
+}
+
+impl ChangeLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a realized change.
+    pub fn record(&mut self, change: Change) {
+        self.changes.push(change);
+    }
+
+    /// Number of recorded changes.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// The recorded changes, oldest first.
+    pub fn changes(&self) -> &[Change] {
+        &self.changes
+    }
+}
+
+/// Applies a delta to a database, returning the realized [`Change`].
+pub fn apply_delta(db: &mut Database, delta: Delta) -> Result<Change> {
+    match delta {
+        Delta::Insert { rel, values } => {
+            let tuple = db.insert_tuple(rel, values)?;
+            Ok(Change::Inserted { rel, tuple })
+        }
+        Delta::Delete { tuple } => {
+            if !db.is_live(tuple) {
+                return Err(crate::error::RelationalError::NoSuchTuple { id: tuple.0 });
+            }
+            let rel = db.rel_of(tuple);
+            db.remove_tuple(tuple)?;
+            Ok(Change::Removed { rel, tuple })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tourist_database;
+
+    #[test]
+    fn deltas_apply_and_log() {
+        let mut db = tourist_database();
+        let mut log = ChangeLog::new();
+        let c1 = apply_delta(
+            &mut db,
+            Delta::Insert {
+                rel: RelId(0),
+                values: vec!["Chile".into(), "arid".into()],
+            },
+        )
+        .unwrap();
+        log.record(c1);
+        assert_eq!(c1.tuple(), TupleId(10));
+        let c2 = apply_delta(&mut db, Delta::Delete { tuple: TupleId(0) }).unwrap();
+        log.record(c2);
+        assert_eq!(
+            log.changes(),
+            &[
+                Change::Inserted {
+                    rel: RelId(0),
+                    tuple: TupleId(10)
+                },
+                Change::Removed {
+                    rel: RelId(0),
+                    tuple: TupleId(0)
+                },
+            ]
+        );
+        assert_eq!(db.num_tuples(), 10);
+    }
+
+    #[test]
+    fn deleting_a_dead_tuple_is_an_error() {
+        let mut db = tourist_database();
+        apply_delta(&mut db, Delta::Delete { tuple: TupleId(3) }).unwrap();
+        assert!(apply_delta(&mut db, Delta::Delete { tuple: TupleId(3) }).is_err());
+    }
+}

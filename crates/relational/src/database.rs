@@ -20,17 +20,32 @@ use std::ops::Range;
 ///   component step of `GETNEXTRESULT` (Theorem 4.8),
 /// * an attribute → relations index.
 ///
-/// Databases are immutable once built (see [`DatabaseBuilder`]), so all
-/// algorithms can borrow them freely, including across threads.
+/// The *schema* is immutable once built (see [`DatabaseBuilder`]), so all
+/// algorithms can borrow a database freely, including across threads. The
+/// *data* supports a mutation layer for dynamic maintenance
+/// ([`insert_tuple`](Database::insert_tuple) /
+/// [`remove_tuple`](Database::remove_tuple)): inserted tuples receive
+/// fresh ids above the builder-time id space, deletions tombstone the
+/// tuple in place, and existing [`TupleId`]s never change meaning.
 #[derive(Debug, Clone)]
 pub struct Database {
     attr_names: Vec<String>,
     attr_ids: HashMap<String, AttrId>,
     relations: Vec<Relation>,
     rel_ids: HashMap<String, RelId>,
-    /// `tuple_start[r]` = first global tuple id of relation `r`;
-    /// `tuple_start[n]` = total tuple count (sentinel).
+    /// `tuple_start[r]` = first global tuple id of relation `r` at build
+    /// time; `tuple_start[n]` = builder-time tuple count (sentinel).
+    /// Tuples inserted later live *above* this dense base layout.
     tuple_start: Vec<u32>,
+    /// Dynamically inserted tuples: id `base + i` maps to
+    /// `overflow[i] = (relation, row index within the relation)`.
+    overflow: Vec<(RelId, u32)>,
+    /// Global ids of each relation's dynamic tuples, ascending.
+    overflow_by_rel: Vec<Vec<u32>>,
+    /// Liveness per tuple id; `false` marks a tombstoned (deleted) tuple.
+    alive: Vec<bool>,
+    /// Number of live tuples.
+    live: usize,
     /// Adjacency lists of the relation graph, ascending.
     adjacency: Vec<Vec<RelId>>,
     /// Shared attributes per relation pair, flattened `n × n` row-major.
@@ -46,10 +61,38 @@ impl Database {
         self.relations.len()
     }
 
-    /// Total number of tuples across all relations (`|Tuples(R)|`).
+    /// Number of *live* tuples across all relations (`|Tuples(R)|`):
+    /// tombstoned tuples are excluded, inserted ones included.
     #[inline]
     pub fn num_tuples(&self) -> usize {
-        *self.tuple_start.last().expect("sentinel") as usize
+        self.live
+    }
+
+    /// Number of builder-time tuples; ids `>= base_tuple_count()` were
+    /// inserted dynamically and live in the overflow layout.
+    #[inline]
+    pub fn base_tuple_count(&self) -> u32 {
+        *self.tuple_start.last().expect("sentinel")
+    }
+
+    /// Exclusive upper bound of the tuple id space (live or dead). Useful
+    /// for id-indexed side tables like importance assignments.
+    #[inline]
+    pub fn tuple_id_bound(&self) -> u32 {
+        self.base_tuple_count() + self.overflow.len() as u32
+    }
+
+    /// Is `t` a live tuple (allocated and not tombstoned)?
+    #[inline]
+    pub fn is_live(&self, t: TupleId) -> bool {
+        self.alive.get(t.index()).copied().unwrap_or(false)
+    }
+
+    /// Has the database been mutated since it was built? (Baselines that
+    /// read relation rows directly require an unmutated database.)
+    #[inline]
+    pub fn has_mutations(&self) -> bool {
+        !self.overflow.is_empty() || self.live != self.base_tuple_count() as usize
     }
 
     /// Number of distinct attributes.
@@ -108,21 +151,39 @@ impl Database {
         (0..self.attr_names.len() as u32).map(AttrId)
     }
 
-    /// Global ids of the tuples of relation `rel` (dense range).
+    /// The builder-time dense id band of relation `rel`. Dynamic tuples of
+    /// `rel` live *outside* this range; use [`tuples_of`](Self::tuples_of)
+    /// to enumerate them all.
     #[inline]
-    pub fn tuples_of(&self, rel: RelId) -> Range<u32> {
+    pub fn base_tuples(&self, rel: RelId) -> Range<u32> {
         self.tuple_start[rel.index()]..self.tuple_start[rel.index() + 1]
     }
 
-    /// All global tuple ids, in `R1..Rn` then row order — the scan order of
-    /// the paper's `foreach` loops.
-    pub fn all_tuples(&self) -> impl ExactSizeIterator<Item = TupleId> {
-        (0..self.num_tuples() as u32).map(TupleId)
+    /// The live tuples of relation `rel`: the builder-time band minus
+    /// tombstones, then dynamically inserted tuples in insert order.
+    pub fn tuples_of(&self, rel: RelId) -> impl Iterator<Item = TupleId> + '_ {
+        self.base_tuples(rel)
+            .chain(self.overflow_by_rel[rel.index()].iter().copied())
+            .filter(|&raw| self.alive[raw as usize])
+            .map(TupleId)
+    }
+
+    /// All live global tuple ids, in ascending id order — builder-time
+    /// tuples in `R1..Rn` then row order (the scan order of the paper's
+    /// `foreach` loops), then dynamic inserts in insertion order.
+    pub fn all_tuples(&self) -> impl Iterator<Item = TupleId> + '_ {
+        (0..self.tuple_id_bound())
+            .filter(|&raw| self.alive[raw as usize])
+            .map(TupleId)
     }
 
     /// The relation a tuple belongs to.
     #[inline]
     pub fn rel_of(&self, t: TupleId) -> RelId {
+        let base = self.base_tuple_count();
+        if t.0 >= base {
+            return self.overflow[(t.0 - base) as usize].0;
+        }
         // partition_point returns the count of starts <= t, so the owning
         // relation is one before that.
         let idx = self.tuple_start.partition_point(|&s| s <= t.0) - 1;
@@ -132,15 +193,56 @@ impl Database {
     /// The row index of a tuple within its relation.
     #[inline]
     pub fn row_of(&self, t: TupleId) -> usize {
-        let rel = self.rel_of(t);
-        (t.0 - self.tuple_start[rel.index()]) as usize
+        self.locate(t).1
     }
 
     /// Splits a tuple id into (relation, row).
     #[inline]
     pub fn locate(&self, t: TupleId) -> (RelId, usize) {
+        let base = self.base_tuple_count();
+        if t.0 >= base {
+            let (rel, row) = self.overflow[(t.0 - base) as usize];
+            return (rel, row as usize);
+        }
         let rel = self.rel_of(t);
         (rel, (t.0 - self.tuple_start[rel.index()]) as usize)
+    }
+
+    /// Appends a tuple to relation `rel`, returning its fresh global id.
+    ///
+    /// Existing ids are untouched: the new tuple is allocated *above* the
+    /// current id space and the relation's row storage grows at the end,
+    /// so labels, importance tables and previously computed tuple sets
+    /// all stay valid.
+    pub fn insert_tuple(&mut self, rel: RelId, values: Vec<Value>) -> Result<TupleId> {
+        if rel.index() >= self.relations.len() {
+            return Err(RelationalError::UnknownRelation {
+                relation: rel.to_string(),
+            });
+        }
+        if self.tuple_id_bound() == u32::MAX {
+            return Err(RelationalError::CapacityExceeded { what: "tuples" });
+        }
+        let id = self.tuple_id_bound();
+        let row = self.relations[rel.index()].len() as u32;
+        self.relations[rel.index()].push_row(values)?;
+        self.overflow.push((rel, row));
+        self.overflow_by_rel[rel.index()].push(id);
+        self.alive.push(true);
+        self.live += 1;
+        Ok(TupleId(id))
+    }
+
+    /// Tombstones tuple `t`: it disappears from every scan while its id
+    /// (and the ids of all other tuples) keep their meaning. The row data
+    /// is retained so historical tuple sets can still be rendered.
+    pub fn remove_tuple(&mut self, t: TupleId) -> Result<()> {
+        if !self.is_live(t) {
+            return Err(RelationalError::NoSuchTuple { id: t.0 });
+        }
+        self.alive[t.index()] = false;
+        self.live -= 1;
+        Ok(())
     }
 
     /// `t[A]`: the value of attribute `attr` in tuple `t`, or `None` when
@@ -433,6 +535,10 @@ impl DatabaseBuilder {
             attr_ids: self.attr_ids,
             relations,
             rel_ids,
+            alive: vec![true; next_tuple as usize],
+            live: next_tuple as usize,
+            overflow: Vec::new(),
+            overflow_by_rel: vec![Vec::new(); n],
             tuple_start,
             adjacency,
             shared,
@@ -532,13 +638,110 @@ mod tests {
     #[test]
     fn tuple_id_mapping_is_dense_and_invertible() {
         let db = tourist_db();
-        assert_eq!(db.tuples_of(RelId(0)), 0..3);
-        assert_eq!(db.tuples_of(RelId(1)), 3..6);
-        assert_eq!(db.tuples_of(RelId(2)), 6..10);
+        assert_eq!(
+            db.tuples_of(RelId(0)).map(|t| t.0).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(
+            db.tuples_of(RelId(1)).map(|t| t.0).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+        assert_eq!(
+            db.tuples_of(RelId(2)).map(|t| t.0).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
         for t in db.all_tuples() {
             let (rel, row) = db.locate(t);
-            assert_eq!(db.tuples_of(rel).start + row as u32, t.0);
+            assert_eq!(db.base_tuples(rel).start + row as u32, t.0);
         }
+    }
+
+    #[test]
+    fn insert_allocates_above_the_base_id_space() {
+        let mut db = tourist_db();
+        assert!(!db.has_mutations());
+        let t = db
+            .insert_tuple(RelId(0), vec!["Chile".into(), "arid".into()])
+            .unwrap();
+        assert_eq!(t, TupleId(10));
+        assert!(db.has_mutations());
+        assert_eq!(db.num_tuples(), 11);
+        assert_eq!(db.rel_of(t), RelId(0));
+        assert_eq!(db.row_of(t), 3);
+        assert_eq!(db.tuple_label(t), "c4");
+        let country = db.attr_id("Country").unwrap();
+        assert_eq!(db.tuple_value(t, country), Some(&Value::str("Chile")));
+        // The relation's live scan sees base tuples first, then the insert.
+        assert_eq!(
+            db.tuples_of(RelId(0)).map(|t| t.0).collect::<Vec<_>>(),
+            vec![0, 1, 2, 10]
+        );
+        // Other relations are untouched.
+        assert_eq!(
+            db.tuples_of(RelId(1)).map(|t| t.0).collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn remove_tombstones_in_place() {
+        let mut db = tourist_db();
+        db.remove_tuple(TupleId(1)).unwrap();
+        assert_eq!(db.num_tuples(), 9);
+        assert!(!db.is_live(TupleId(1)));
+        assert_eq!(
+            db.tuples_of(RelId(0)).map(|t| t.0).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert!(db.all_tuples().all(|t| t != TupleId(1)));
+        // Ids and labels of survivors never move.
+        assert_eq!(db.tuple_label(TupleId(2)), "c3");
+        // Double deletion and unknown ids are rejected.
+        assert!(matches!(
+            db.remove_tuple(TupleId(1)),
+            Err(RelationalError::NoSuchTuple { id: 1 })
+        ));
+        assert!(db.remove_tuple(TupleId(99)).is_err());
+    }
+
+    #[test]
+    fn insert_validates_relation_and_arity() {
+        let mut db = tourist_db();
+        assert!(matches!(
+            db.insert_tuple(RelId(9), vec![1.into()]),
+            Err(RelationalError::UnknownRelation { .. })
+        ));
+        assert!(matches!(
+            db.insert_tuple(RelId(0), vec![1.into()]),
+            Err(RelationalError::ArityMismatch { .. })
+        ));
+        // A failed insert leaves the database untouched.
+        assert_eq!(db.num_tuples(), 10);
+        assert!(!db.has_mutations());
+    }
+
+    #[test]
+    fn insert_after_remove_keeps_ids_stable() {
+        let mut db = tourist_db();
+        db.remove_tuple(TupleId(4)).unwrap();
+        let t = db
+            .insert_tuple(
+                RelId(1),
+                vec!["UK".into(), "London".into(), "Savoy".into(), 5.into()],
+            )
+            .unwrap();
+        assert_eq!(t, TupleId(10));
+        assert_eq!(
+            db.tuples_of(RelId(1)).map(|t| t.0).collect::<Vec<_>>(),
+            vec![3, 5, 10]
+        );
+        assert_eq!(db.num_tuples(), 10);
+        // The tombstoned row's data is retained for rendering history.
+        let hotel = db.attr_id("Hotel").unwrap();
+        assert_eq!(
+            db.tuple_value(TupleId(4), hotel),
+            Some(&Value::str("Ramada"))
+        );
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub enum RelationalError {
         /// What overflowed.
         what: &'static str,
     },
+    /// A mutation referenced a tuple id that was never allocated or has
+    /// already been removed.
+    NoSuchTuple {
+        /// The raw tuple id.
+        id: u32,
+    },
 }
 
 impl fmt::Display for RelationalError {
@@ -84,6 +90,9 @@ impl fmt::Display for RelationalError {
             }
             RelationalError::CapacityExceeded { what } => {
                 write!(f, "capacity exceeded: too many {what}")
+            }
+            RelationalError::NoSuchTuple { id } => {
+                write!(f, "no live tuple with id t{id}")
             }
         }
     }

@@ -15,10 +15,14 @@
 //!   gating the outerjoin baseline;
 //! * [`storage`] — simulated paged access with I/O accounting for the
 //!   paper's Section 7 block-based execution;
-//! * [`textio`] — a tiny textual table format for examples and docs.
+//! * [`textio`] — a tiny textual table format for examples and docs;
+//! * [`changelog`] — [`Delta`]/[`Change`]/[`ChangeLog`]: the mutation
+//!   vocabulary of the dynamic-maintenance layer
+//!   ([`Database::insert_tuple`] / [`Database::remove_tuple`]).
 //!
-//! The crate is dependency-free and immutable-after-build, so algorithm
-//! crates can share `&Database` across threads.
+//! The crate is dependency-free; schemas are immutable after build (so
+//! algorithm crates can share `&Database` across threads) while the data
+//! layer accepts tombstone-based inserts and deletes with stable ids.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,6 +34,7 @@ mod relation;
 mod schema;
 mod value;
 
+pub mod changelog;
 pub mod fxhash;
 pub mod hypergraph;
 pub mod join;
@@ -38,6 +43,7 @@ pub mod stats;
 pub mod storage;
 pub mod textio;
 
+pub use changelog::{apply_delta, Change, ChangeLog, Delta};
 pub use database::{
     universal_positions, universal_schema, Database, DatabaseBuilder, RelationBuilder,
 };

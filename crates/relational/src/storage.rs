@@ -10,7 +10,6 @@
 use crate::database::Database;
 use crate::ids::{RelId, TupleId};
 use std::cell::Cell;
-use std::ops::Range;
 
 /// Simulated buffer-manager statistics.
 #[derive(Debug, Default)]
@@ -49,10 +48,17 @@ impl IoStats {
 
 /// A page-granular view of a database. `page_size` is the number of tuples
 /// per simulated page.
+///
+/// Pages are laid out over the *live* tuples at construction time, so a
+/// pager built against a mutated database neither resurrects tombstoned
+/// tuples nor misses dynamic inserts. Algorithms construct a fresh pager
+/// per run, which keeps the snapshot current.
 #[derive(Debug)]
 pub struct Pager<'db> {
     db: &'db Database,
     page_size: usize,
+    /// Per-relation pages of live tuple ids.
+    pages: Vec<Vec<Vec<TupleId>>>,
     stats: IoStats,
 }
 
@@ -63,9 +69,16 @@ impl<'db> Pager<'db> {
     /// Panics if `page_size` is zero.
     pub fn new(db: &'db Database, page_size: usize) -> Self {
         assert!(page_size > 0, "page size must be positive");
+        let pages = (0..db.num_relations() as u16)
+            .map(|r| {
+                let live: Vec<TupleId> = db.tuples_of(RelId(r)).collect();
+                live.chunks(page_size).map(<[TupleId]>::to_vec).collect()
+            })
+            .collect();
         Pager {
             db,
             page_size,
+            pages,
             stats: IoStats::new(),
         }
     }
@@ -87,25 +100,26 @@ impl<'db> Pager<'db> {
 
     /// Number of pages a relation occupies.
     pub fn pages_of(&self, rel: RelId) -> usize {
-        let n = self.db.tuples_of(rel).len();
-        n.div_ceil(self.page_size)
+        self.pages[rel.index()].len()
     }
 
-    /// Fetches one page of a relation: the global tuple-id range of page
-    /// `page_no`, recording the fetch. Ranges may be shorter than
-    /// `page_size` on the last page.
-    pub fn fetch(&self, rel: RelId, page_no: usize) -> Range<u32> {
-        let all = self.db.tuples_of(rel);
-        let start = all.start + (page_no * self.page_size) as u32;
-        let end = (start + self.page_size as u32).min(all.end);
-        assert!(start < all.end, "page {page_no} out of range for {rel}");
-        self.stats.record((end - start) as u64);
-        start..end
+    /// Fetches one page of a relation: the live tuple ids of page
+    /// `page_no`, recording the fetch. Pages may be shorter than
+    /// `page_size` at the end of a relation.
+    pub fn fetch(&self, rel: RelId, page_no: usize) -> &[TupleId] {
+        let rel_pages = &self.pages[rel.index()];
+        assert!(
+            page_no < rel_pages.len(),
+            "page {page_no} out of range for {rel}"
+        );
+        let page = &rel_pages[page_no];
+        self.stats.record(page.len() as u64);
+        page
     }
 
     /// Iterates all pages of a relation, recording each fetch lazily.
     pub fn scan<'p>(&'p self, rel: RelId) -> impl Iterator<Item = Vec<TupleId>> + 'p {
-        (0..self.pages_of(rel)).map(move |p| self.fetch(rel, p).map(TupleId).collect())
+        (0..self.pages_of(rel)).map(move |p| self.fetch(rel, p).to_vec())
     }
 
     /// Iterates pages of *all* relations in `R1..Rn` order — the access
@@ -144,12 +158,24 @@ mod tests {
     fn fetch_records_io_and_partial_last_page() {
         let db = db_with_rows(10);
         let pager = Pager::new(&db, 4);
-        assert_eq!(pager.fetch(RelId(0), 0), 0..4);
-        assert_eq!(pager.fetch(RelId(0), 2), 8..10);
+        let ids = |page: &[TupleId]| page.iter().map(|t| t.0).collect::<Vec<_>>();
+        assert_eq!(ids(pager.fetch(RelId(0), 0)), vec![0, 1, 2, 3]);
+        assert_eq!(ids(pager.fetch(RelId(0), 2)), vec![8, 9]);
         assert_eq!(pager.stats().pages_read(), 2);
         assert_eq!(pager.stats().tuples_read(), 6);
         pager.stats().reset();
         assert_eq!(pager.stats().pages_read(), 0);
+    }
+
+    #[test]
+    fn pages_skip_tombstones_and_include_inserts() {
+        let mut db = db_with_rows(5);
+        db.remove_tuple(TupleId(2)).unwrap();
+        let t = db.insert_tuple(RelId(0), vec![99.into()]).unwrap();
+        let pager = Pager::new(&db, 3);
+        let seen: Vec<u32> = pager.scan(RelId(0)).flatten().map(|t| t.0).collect();
+        assert_eq!(seen, vec![0, 1, 3, 4, t.0]);
+        assert_eq!(pager.pages_of(RelId(0)), 2);
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //!
 //! Values: `⊥`, `null`, `NULL` or `_` parse as the null value; otherwise a
 //! value is tried as integer, float, boolean, and finally kept as a string.
-//! Comment lines start with `#`.
+//! Comment lines start with `#`. Strings that would be ambiguous as bare
+//! tokens — containing `|`, quotes, leading/trailing whitespace, or
+//! spelled like another value type — are written `"quoted"` with
+//! `\"`/`\\`/`\n`/`\r`/`\t` escapes, and the cell splitter honors quotes,
+//! so [`parse_database`]∘[`format_database`] is the identity.
 
 use crate::database::{Database, DatabaseBuilder};
 use crate::error::{RelationalError, Result};
@@ -26,6 +30,9 @@ use std::fmt::Write as _;
 /// Parses a value token.
 pub fn parse_value(tok: &str) -> Value {
     let t = tok.trim();
+    if t.len() >= 2 && t.starts_with('"') && t.ends_with('"') {
+        return Value::str(unescape(&t[1..t.len() - 1]));
+    }
     match t {
         "⊥" | "null" | "NULL" | "_" => Value::Null,
         "true" => Value::Bool(true),
@@ -44,6 +51,109 @@ pub fn parse_value(tok: &str) -> Value {
             }
         }
     }
+}
+
+/// Renders one value as a token that [`parse_value`] maps back to it.
+///
+/// Most values print as they display; strings are quoted whenever the
+/// bare spelling would be lost or misread (pipes, quotes, surrounding
+/// whitespace, spellings of other types, the `relation` keyword, …).
+pub fn format_value(v: &Value) -> String {
+    match v {
+        Value::Null => "⊥".to_owned(),
+        Value::Int(i) => i.to_string(),
+        // `{:?}` keeps a `.0`/exponent so the token re-parses as a float
+        // (plain `{}` renders 1.0 as "1", which would come back an Int).
+        Value::Float(f) => format!("{f:?}"),
+        Value::Bool(b) => b.to_string(),
+        Value::Str(s) => {
+            if is_safe_bare(s) {
+                s.to_string()
+            } else {
+                format!("\"{}\"", escape(s))
+            }
+        }
+    }
+}
+
+/// May this string be written without quotes and still round-trip?
+/// Safe tokens carry no separators, no whitespace, cannot be mistaken
+/// for another value type, and cannot collide with the line grammar
+/// (`relation` headers, `#` comments).
+fn is_safe_bare(s: &str) -> bool {
+    !s.is_empty()
+        && s != "relation"
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
+        && matches!(parse_value(s), Value::Str(ref back) if back.as_ref() == s)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some(other) => out.push(other), // covers \" and \\
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Parses one `|`-separated row of values, honoring quoted cells — the
+/// row grammar of [`parse_database`], exposed for interactive front ends
+/// like `fd watch`.
+pub fn parse_row(line: &str) -> Vec<Value> {
+    split_cells(line).iter().map(|c| parse_value(c)).collect()
+}
+
+/// Splits a row line on `|`, leaving quoted sections (and their escapes)
+/// intact for [`parse_value`] to decode.
+fn split_cells(line: &str) -> Vec<String> {
+    let mut cells = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                cur.push(c);
+            }
+            '\\' if in_quotes => {
+                cur.push(c);
+                if let Some(next) = chars.next() {
+                    cur.push(next);
+                }
+            }
+            '|' if !in_quotes => cells.push(std::mem::take(&mut cur)),
+            _ => cur.push(c),
+        }
+    }
+    cells.push(cur);
+    cells
 }
 
 /// Parses a whole database from the textual format above.
@@ -107,7 +217,7 @@ pub fn parse_database(text: &str) -> Result<Database> {
                     message: "row before any 'relation' header".into(),
                 });
             };
-            let values: Vec<Value> = line.split('|').map(parse_value).collect();
+            let values = parse_row(line);
             if values.len() != attrs.len() {
                 return Err(RelationalError::Parse {
                     line: lineno + 1,
@@ -125,8 +235,11 @@ pub fn parse_database(text: &str) -> Result<Database> {
     builder.build()
 }
 
-/// Pretty-prints one relation as an aligned text table (paper Table 1
-/// style).
+/// Prints one relation in the textual format this module parses: a
+/// `relation Name(Attrs…)` header followed by one aligned row per *live*
+/// tuple (tombstoned rows are skipped). The output is both human-readable
+/// and machine-parseable — `parse_database(format_relation(…))` rebuilds
+/// the relation, values included.
 pub fn format_relation(db: &Database, rel: RelId) -> String {
     let r = db.relation(rel);
     let headers: Vec<&str> = r
@@ -135,11 +248,45 @@ pub fn format_relation(db: &Database, rel: RelId) -> String {
         .iter()
         .map(|&a| db.attr_name(a))
         .collect();
-    let rows: Vec<Vec<String>> = r
-        .rows()
-        .map(|row| row.iter().map(|v| v.display().into_owned()).collect())
+    let rows: Vec<Vec<String>> = db
+        .tuples_of(rel)
+        .map(|t| db.tuple_values(t).iter().map(format_value).collect())
         .collect();
-    format_table(r.name(), &headers, &rows)
+
+    let mut widths: Vec<usize> = vec![0; headers.len()];
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "relation {}({})", r.name(), headers.join(", "));
+    for row in rows {
+        let mut line = String::new();
+        for (i, (cell, w)) in row.iter().zip(&widths).enumerate() {
+            if i > 0 {
+                line.push_str("| ");
+            }
+            let pad = w.saturating_sub(cell.chars().count());
+            let _ = write!(line, "{cell}{} ", " ".repeat(pad));
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+/// Prints a whole database in the parseable textual format:
+/// `parse_database(&format_database(db))` reconstructs `db` exactly
+/// (relations, schemas and live rows — tuple ids are re-densified).
+pub fn format_database(db: &Database) -> String {
+    let mut out = String::new();
+    for rel in db.relations() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format_relation(db, rel.id()));
+    }
+    out
 }
 
 /// Pretty-prints an aligned table with a title row.
@@ -238,8 +385,72 @@ mod tests {
     fn format_relation_aligns_columns() {
         let db = parse_database(SAMPLE).unwrap();
         let txt = format_relation(&db, RelId(0));
-        assert!(txt.contains("Climates"));
-        assert!(txt.contains("Country"));
-        assert!(txt.lines().count() >= 4);
+        assert!(txt.starts_with("relation Climates(Country, Climate)"));
+        assert!(txt.contains("Canada"));
+        assert_eq!(txt.lines().count(), 3); // header + two rows
+    }
+
+    #[test]
+    fn format_database_round_trips() {
+        let db = parse_database(SAMPLE).unwrap();
+        let txt = format_database(&db);
+        let back = parse_database(&txt).unwrap();
+        assert_eq!(db.num_relations(), back.num_relations());
+        assert_eq!(db.num_tuples(), back.num_tuples());
+        for (a, b) in db.relations().iter().zip(back.relations()) {
+            assert_eq!(a.name(), b.name());
+            let rows_a: Vec<_> = a.rows().collect();
+            let rows_b: Vec<_> = b.rows().collect();
+            assert_eq!(rows_a, rows_b);
+        }
+    }
+
+    #[test]
+    fn adversarial_strings_round_trip_through_tokens() {
+        for s in [
+            "",
+            " ",
+            "a|b",
+            "he said \"hi\"",
+            "back\\slash",
+            "42",
+            "4.5",
+            "true",
+            "null",
+            "_",
+            "⊥",
+            "relation",
+            "relation X(b)",
+            "# not a comment",
+            "line\nbreak",
+            "tab\tsep",
+            " padded ",
+        ] {
+            let v = Value::str(s);
+            let tok = format_value(&v);
+            assert_eq!(parse_value(&tok), v, "token {tok:?}");
+        }
+    }
+
+    #[test]
+    fn pipes_inside_quotes_do_not_split_cells() {
+        let text = "relation R(A, B)\n\"a|b\" | 7\n";
+        let db = parse_database(text).unwrap();
+        let r = db.relation_by_name("R").unwrap();
+        assert_eq!(r.row(0)[0], Value::str("a|b"));
+        assert_eq!(r.row(0)[1], Value::Int(7));
+    }
+
+    #[test]
+    fn floats_keep_their_type_through_round_trip() {
+        assert_eq!(
+            parse_value(&format_value(&Value::float(1.0))),
+            Value::float(1.0)
+        );
+        assert_eq!(parse_value(&format_value(&Value::Int(1))), Value::Int(1));
+        assert_eq!(
+            parse_value(&format_value(&Value::float(0.5))),
+            Value::float(0.5)
+        );
     }
 }

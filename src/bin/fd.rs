@@ -5,6 +5,7 @@
 //! fd catalog.txt --sources
 //! fd catalog.txt --top 5 --rank-by Price
 //! fd catalog.txt --approx 0.85
+//! fd watch catalog.txt                # live maintenance REPL
 //! ```
 
 use full_disjunction::cli;
@@ -19,6 +20,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if opts.watch {
+        return match cli::run_watch(&opts, std::io::stdin().lock(), std::io::stdout()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match cli::run(&opts) {
         Ok(out) => {
             print!("{out}");

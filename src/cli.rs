@@ -5,16 +5,20 @@
 //! spawning processes. The binary in `src/bin/fd.rs` is a thin wrapper.
 
 use crate::core::{
-    approx_full_disjunction, canonicalize, format_results, full_disjunction, threshold, top_k,
-    AMin, EditDistanceSim, FMax, ImpScores, ProbScores, RankedFdIter,
+    approx_full_disjunction, canonicalize, format_results, full_disjunction_with, threshold, top_k,
+    AMin, EditDistanceSim, FMax, FdConfig, ImpScores, ProbScores, RankedFdIter, StoreEngine,
 };
+use crate::live::LiveFd;
 use crate::relational::textio;
 use crate::relational::Database;
 use std::fmt::Write as _;
+use std::io::{BufRead, Write};
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Options {
+    /// `fd watch`: maintain the full disjunction under a mutation REPL.
+    pub watch: bool,
     /// Path of the input database (textual format), or `None` for the
     /// built-in tourist example.
     pub input: Option<String>,
@@ -27,8 +31,23 @@ pub struct Options {
     pub min_rank: Option<f64>,
     /// Approximate mode with this similarity threshold τ.
     pub approx_tau: Option<f64>,
+    /// Store engine for the incremental algorithm (`--engine`).
+    pub engine: Option<StoreEngine>,
+    /// Block-based execution page size (`--page-size`).
+    pub page_size: Option<usize>,
     /// Print the source tables before the result.
     pub show_sources: bool,
+}
+
+impl Options {
+    /// The execution configuration the flags describe.
+    pub fn fd_config(&self) -> FdConfig {
+        FdConfig {
+            engine: self.engine.unwrap_or_default(),
+            page_size: self.page_size,
+            ..FdConfig::default()
+        }
+    }
 }
 
 /// Usage text.
@@ -37,6 +56,7 @@ fd — full disjunctions from the command line
 
 USAGE:
     fd [FILE] [OPTIONS]
+    fd watch [FILE] [OPTIONS]
 
 With no FILE, runs on the paper's built-in tourist example. FILE uses the
 textual format:
@@ -45,11 +65,23 @@ textual format:
     Canada | diverse
     UK     | temperate
 
+`fd watch` maintains the full disjunction while you mutate the database
+from a REPL (one command per line on stdin):
+
+    insert REL | V1 | V2 ...   add a tuple; prints +/- result events
+    delete tN                  remove tuple N; prints +/- result events
+    show                       print the current results
+    quit                       exit
+
 OPTIONS:
     --top K            emit only the K best results (requires --rank-by)
     --rank-by ATTR     rank by the numeric attribute ATTR (f_max semantics)
     --min-rank X       emit every result ranking at least X (requires --rank-by)
     --approx TAU       approximate full disjunction (edit-distance A_min, threshold TAU)
+    --engine ENGINE    store engine: scan | indexed (default indexed;
+                       plain and watch modes)
+    --page-size N      block-based execution with N tuples per page
+                       (plain and watch modes)
     --sources          print the source relations first
     --help             this text
 ";
@@ -98,6 +130,26 @@ where
                 }
                 opts.approx_tau = Some(tau);
             }
+            "--engine" => {
+                let v = it.next().ok_or("--engine needs scan or indexed")?;
+                opts.engine = Some(match v.as_ref() {
+                    "scan" => StoreEngine::Scan,
+                    "indexed" => StoreEngine::Indexed,
+                    other => return Err(format!("bad --engine value: {other} (scan | indexed)")),
+                });
+            }
+            "--page-size" => {
+                let v = it.next().ok_or("--page-size needs a value")?;
+                let n: usize = v
+                    .as_ref()
+                    .parse()
+                    .map_err(|_| format!("bad --page-size value: {}", v.as_ref()))?;
+                if n == 0 {
+                    return Err("--page-size must be positive".into());
+                }
+                opts.page_size = Some(n);
+            }
+            "watch" if !opts.watch && opts.input.is_none() => opts.watch = true,
             _ if arg.starts_with('-') => return Err(format!("unknown option: {arg}\n\n{USAGE}")),
             _ => {
                 if opts.input.is_some() {
@@ -112,6 +164,21 @@ where
     }
     if opts.rank_attr.is_some() && opts.top.is_none() && opts.min_rank.is_none() {
         return Err("--rank-by requires --top K or --min-rank X".into());
+    }
+    if opts.watch
+        && (opts.top.is_some()
+            || opts.rank_attr.is_some()
+            || opts.min_rank.is_some()
+            || opts.approx_tau.is_some())
+    {
+        return Err("watch mode does not combine with ranking/approx options".into());
+    }
+    // The ranked/approx iterators do not take an FdConfig; refuse rather
+    // than silently ignore the flags there.
+    if (opts.engine.is_some() || opts.page_size.is_some())
+        && (opts.rank_attr.is_some() || opts.approx_tau.is_some())
+    {
+        return Err("--engine/--page-size apply to the plain and watch modes only".into());
     }
     Ok(opts)
 }
@@ -197,7 +264,7 @@ pub fn run(opts: &Options) -> Result<String, String> {
             );
         }
         _ => {
-            let fd = canonicalize(full_disjunction(&db));
+            let fd = canonicalize(full_disjunction_with(&db, opts.fd_config()));
             let _ = write!(
                 out,
                 "{}",
@@ -210,6 +277,99 @@ pub fn run(opts: &Options) -> Result<String, String> {
         }
     }
     Ok(out)
+}
+
+/// The `fd watch` REPL: maintains the full disjunction of the loaded
+/// database while mutation commands arrive on `input`, writing result
+/// events (`+ {…}` / `- {…}`) to `out`. Line protocol:
+///
+/// ```text
+/// insert REL | V1 | V2 ...   delete tN (or: delete N)   show   quit
+/// ```
+///
+/// Errors on individual commands are reported and the loop continues;
+/// only I/O failures abort.
+pub fn run_watch(opts: &Options, input: impl BufRead, mut out: impl Write) -> Result<(), String> {
+    let db = load_database(opts)?;
+    let mut live = LiveFd::with_config(db, opts.fd_config());
+    let emit = |out: &mut dyn Write, line: &str| -> Result<(), String> {
+        writeln!(out, "{line}").map_err(|e| format!("write failed: {e}"))
+    };
+    emit(
+        &mut out,
+        &format!(
+            "watching {} ({} results); insert REL | V.. / delete tN / show / quit",
+            opts.input.as_deref().unwrap_or("the tourist example"),
+            live.len()
+        ),
+    )?;
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("read failed: {e}"))?;
+        let cmd = line.trim();
+        if cmd.is_empty() || cmd.starts_with('#') {
+            continue;
+        }
+        if cmd == "quit" || cmd == "exit" {
+            break;
+        }
+        if cmd == "show" {
+            for set in live.canonical_results() {
+                emit(&mut out, &format!("  {}", set.label(live.db())))?;
+            }
+            continue;
+        }
+        match watch_command(&mut live, cmd) {
+            Ok(lines) => {
+                for l in lines {
+                    emit(&mut out, &l)?;
+                }
+            }
+            Err(msg) => emit(&mut out, &format!("error: {msg}"))?,
+        }
+    }
+    emit(&mut out, &format!("bye ({} results)", live.len()))?;
+    Ok(())
+}
+
+/// Executes one mutation command against the live engine, returning the
+/// lines to print (status first, then one `+`/`-` line per event).
+fn watch_command(live: &mut LiveFd, cmd: &str) -> Result<Vec<String>, String> {
+    if let Some(rest) = cmd.strip_prefix("insert ") {
+        let (rel_name, row) = rest
+            .split_once('|')
+            .ok_or("usage: insert REL | V1 | V2 ...")?;
+        let rel_name = rel_name.trim();
+        let rel = live
+            .db()
+            .relation_by_name(rel_name)
+            .map_err(|e| e.to_string())?
+            .id();
+        let values = textio::parse_row(row);
+        let (tuple, events) = live.insert(rel, values).map_err(|e| e.to_string())?;
+        let mut lines = vec![format!(
+            "inserted {} into {rel_name}",
+            live.db().tuple_label(tuple)
+        )];
+        lines.extend(events.iter().map(|e| e.label(live.db())));
+        return Ok(lines);
+    }
+    if let Some(rest) = cmd.strip_prefix("delete ") {
+        let tok = rest.trim();
+        let raw: u32 = tok
+            .strip_prefix('t')
+            .unwrap_or(tok)
+            .parse()
+            .map_err(|_| format!("bad tuple id: {tok}"))?;
+        let tuple = crate::relational::TupleId(raw);
+        let events = live.delete(tuple).map_err(|e| e.to_string())?;
+        // Tombstones retain row data, so the label still renders.
+        let mut lines = vec![format!("deleted {}", live.db().tuple_label(tuple))];
+        lines.extend(events.iter().map(|e| e.label(live.db())));
+        return Ok(lines);
+    }
+    Err(format!(
+        "unknown command: {cmd} (insert / delete / show / quit)"
+    ))
 }
 
 /// Convenience: full ranked stream used by tests.
@@ -247,6 +407,108 @@ mod tests {
         assert!(parse_args(["--approx", "1.5"]).is_err());
         assert!(parse_args(["--bogus"]).is_err());
         assert!(parse_args(["a.txt", "b.txt"]).is_err());
+    }
+
+    #[test]
+    fn parse_engine_and_page_size_flags() {
+        let o = parse_args(["--engine", "scan", "--page-size", "8"]).unwrap();
+        assert_eq!(o.engine, Some(StoreEngine::Scan));
+        assert_eq!(o.page_size, Some(8));
+        let cfg = o.fd_config();
+        assert_eq!(cfg.engine, StoreEngine::Scan);
+        assert_eq!(cfg.page_size, Some(8));
+
+        let o = parse_args(["--engine", "indexed"]).unwrap();
+        assert_eq!(o.engine, Some(StoreEngine::Indexed));
+        // Defaults flow through untouched.
+        assert_eq!(Options::default().fd_config().engine, StoreEngine::Indexed);
+        assert_eq!(Options::default().fd_config().page_size, None);
+    }
+
+    #[test]
+    fn parse_rejects_bad_engine_and_page_size() {
+        assert!(parse_args(["--engine", "btree"]).is_err());
+        assert!(parse_args(["--engine"]).is_err());
+        assert!(parse_args(["--page-size", "0"]).is_err());
+        assert!(parse_args(["--page-size", "x"]).is_err());
+        // Modes that cannot honor the flags refuse them instead of
+        // silently ignoring them.
+        assert!(parse_args(["--top", "2", "--rank-by", "Stars", "--engine", "scan"]).is_err());
+        assert!(parse_args(["--approx", "0.9", "--page-size", "4"]).is_err());
+    }
+
+    #[test]
+    fn parse_watch_subcommand() {
+        let o = parse_args(["watch"]).unwrap();
+        assert!(o.watch);
+        assert_eq!(o.input, None);
+
+        let o = parse_args(["watch", "db.txt", "--engine", "scan"]).unwrap();
+        assert!(o.watch);
+        assert_eq!(o.input.as_deref(), Some("db.txt"));
+        assert_eq!(o.engine, Some(StoreEngine::Scan));
+
+        // "watch" after a file is a second positional, i.e. an input file.
+        assert!(parse_args(["db.txt", "watch"]).is_err());
+        // Watch does not combine with ranking modes.
+        assert!(parse_args(["watch", "--top", "2", "--rank-by", "Stars"]).is_err());
+    }
+
+    #[test]
+    fn run_plain_respects_engine_and_pages() {
+        for args in [
+            vec!["--engine", "scan"],
+            vec!["--engine", "indexed", "--page-size", "3"],
+        ] {
+            let opts = parse_args(args).unwrap();
+            let out = run(&opts).unwrap();
+            assert!(out.contains("6 tuple sets"), "{out}");
+        }
+    }
+
+    #[test]
+    fn watch_repl_smoke() {
+        let script = "insert Climates | Chile | arid\nshow\ndelete t10\nquit\n";
+        let mut out = Vec::new();
+        run_watch(
+            &Options {
+                watch: true,
+                ..Options::default()
+            },
+            script.as_bytes(),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("watching the tourist example (6 results)"),
+            "{text}"
+        );
+        assert!(text.contains("inserted c4 into Climates"), "{text}");
+        assert!(text.contains("+ {c4}"), "{text}");
+        assert!(text.contains("deleted c4"), "{text}");
+        assert!(text.contains("- {c4}"), "{text}");
+        assert!(text.contains("bye (6 results)"), "{text}");
+    }
+
+    #[test]
+    fn watch_repl_reports_command_errors_and_continues() {
+        let script = "frobnicate\ndelete t99\ninsert Nowhere | 1\nshow\nquit\n";
+        let mut out = Vec::new();
+        run_watch(
+            &Options {
+                watch: true,
+                ..Options::default()
+            },
+            script.as_bytes(),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("unknown command"), "{text}");
+        assert!(text.contains("no live tuple"), "{text}");
+        assert!(text.contains("unknown relation"), "{text}");
+        assert!(text.contains("bye (6 results)"), "{text}");
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! * [`core`] — the paper's algorithms and data structures;
 //! * [`baselines`] — brute-force oracle, Rajaraman–Ullman outerjoin
 //!   sequences, and a Kanza–Sagiv-2003-style batch algorithm;
-//! * [`workloads`] — synthetic schema/data generators for experiments.
+//! * [`workloads`] — synthetic schema/data generators for experiments;
+//! * [`live`] — dynamic full disjunctions: delta maintenance under tuple
+//!   inserts/deletes with a watch/subscribe event stream (the `fd watch`
+//!   REPL drives it from the command line).
 //!
 //! ## Quickstart
 //!
@@ -34,6 +37,7 @@
 
 pub use fd_baselines as baselines;
 pub use fd_core as core;
+pub use fd_live as live;
 pub use fd_relational as relational;
 pub use fd_workloads as workloads;
 
@@ -42,12 +46,14 @@ pub mod cli;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use fd_core::{
-        approx_full_disjunction, fdi, full_disjunction, threshold, top_k, AMin, AProd,
-        ApproxFdIter, FMax, FPairSum, FSum, FTriple, FdConfig, FdIter, FdiIter, ImpScores,
-        MonotoneCDetermined, ProbScores, RankedFdIter, RankingFunction, Stats, StoreEngine,
-        TupleSet,
+        approx_full_disjunction, delta_delete, delta_insert, fdi, full_disjunction, threshold,
+        top_k, AMin, AProd, ApproxFdIter, DeleteDelta, FMax, FPairSum, FSum, FTriple, FdConfig,
+        FdIter, FdiIter, ImpScores, InsertDelta, MonotoneCDetermined, ProbScores, RankedFdIter,
+        RankingFunction, Stats, StoreEngine, TupleSet,
     };
+    pub use fd_live::{FdEvent, LiveFd, LiveRankedFd, TopKUpdate};
     pub use fd_relational::{
-        tourist_database, AttrId, Database, DatabaseBuilder, RelId, TupleId, Value, NULL,
+        tourist_database, AttrId, Change, ChangeLog, Database, DatabaseBuilder, Delta, RelId,
+        TupleId, Value, NULL,
     };
 }

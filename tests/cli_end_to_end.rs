@@ -1,7 +1,7 @@
 //! End-to-end tests of the `fd` command-line front end: file loading,
-//! every mode, and error paths.
+//! every mode, the `fd watch` maintenance REPL, and error paths.
 
-use full_disjunction::cli::{parse_args, run, Options};
+use full_disjunction::cli::{parse_args, run, run_watch, Options};
 use std::io::Write;
 
 fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
@@ -100,5 +100,78 @@ fn sources_flag_prints_tables() {
     let out = run(&opts).unwrap();
     assert!(out.contains("Vendors"));
     assert!(out.contains("Prices"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn engine_flags_from_a_file_agree_with_default() {
+    let path = write_temp("engines", CATALOG);
+    let file = path.to_string_lossy().into_owned();
+    let base = run(&parse_args([file.as_str()]).unwrap()).unwrap();
+    for extra in [
+        vec!["--engine", "scan"],
+        vec!["--engine", "indexed", "--page-size", "2"],
+    ] {
+        let mut args = vec![file.as_str()];
+        args.extend(extra);
+        let out = run(&parse_args(args).unwrap()).unwrap();
+        assert_eq!(base, out);
+    }
+    std::fs::remove_file(path).ok();
+}
+
+/// The full `fd watch` loop: load a file, insert (new result events),
+/// insert a subsuming tuple (retraction + addition), delete (retraction
+/// + restoration).
+#[test]
+fn watch_repl_end_to_end() {
+    let path = write_temp("watch", CATALOG);
+    let opts = parse_args(["watch", path.to_string_lossy().as_ref()]).unwrap();
+    assert!(opts.watch);
+
+    // Tuple ids in CATALOG: v1 = t0 (laptop), v2 = t1 (phone),
+    // p1 = t2 (laptop 999), p2 = t3 (camera 450).
+    let script = "\
+insert Prices | phone | 650
+show
+delete t4
+quit
+";
+    let mut out = Vec::new();
+    run_watch(&opts, script.as_bytes(), &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+
+    // Initial state: {v1, p1}, {v2}, {p2} — three results.
+    assert!(text.contains("(3 results)"), "{text}");
+    // Inserting the phone price joins v2: the singleton {v2} is
+    // retracted, the combined {v2, p3} appears.
+    assert!(text.contains("inserted p3 into Prices"), "{text}");
+    assert!(text.contains("- {v2}"), "{text}");
+    assert!(text.contains("+ {v2, p3}"), "{text}");
+    // Deleting it again (global id t4) retracts the pair and restores
+    // the singleton.
+    assert!(text.contains("deleted p3"), "{text}");
+    assert!(text.contains("- {v2, p3}"), "{text}");
+    assert!(text.contains("+ {v2}"), "{text}");
+    assert!(text.contains("bye (3 results)"), "{text}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn watch_repl_handles_quoted_values_and_bad_input() {
+    let path = write_temp("watch-quoted", CATALOG);
+    let opts = parse_args(["watch", path.to_string_lossy().as_ref()]).unwrap();
+    let script = "\
+insert Vendors | \"tripod|pro\" | Acme
+insert Vendors | wrong-arity
+quit
+";
+    let mut out = Vec::new();
+    run_watch(&opts, script.as_bytes(), &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.contains("inserted v3 into Vendors"), "{text}");
+    assert!(text.contains("+ {v3}"), "{text}");
+    assert!(text.contains("error:"), "{text}");
+    assert!(text.contains("bye (4 results)"), "{text}");
     std::fs::remove_file(path).ok();
 }

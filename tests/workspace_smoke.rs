@@ -56,3 +56,18 @@ fn approx_full_disjunction_degenerates_to_fd() {
     let a = AMin::new(ExactSim, ProbScores::uniform(&db, 1.0));
     assert_eq!(approx_full_disjunction(&db, &a, 0.9).len(), 6);
 }
+
+/// The live subsystem round-trips a mutation through the facade prelude:
+/// insert + delete leaves the materialized state where it started.
+#[test]
+fn live_fd_round_trips_through_the_prelude() {
+    let mut live = LiveFd::new(tourist_database());
+    let before = live.canonical_results();
+    let (t, _) = live
+        .insert(RelId(0), vec!["Chile".into(), "arid".into()])
+        .expect("insert");
+    assert_eq!(live.len(), 7);
+    live.apply(Delta::Delete { tuple: t }).expect("delete");
+    assert_eq!(live.canonical_results(), before);
+    assert!(live.verify_snapshot());
+}
