@@ -2,11 +2,16 @@
 //! materialize-everything-then-sort. Expected shape: the ranked
 //! algorithm wins decisively for small k and converges toward the naive
 //! cost as k approaches |FD|.
+//!
+//! The `query_builder` series runs the same computation through
+//! `FdQuery` (one boxed vtable call per rank evaluation); its delta vs
+//! `direct_iter` must stay within criterion noise — the builder is a
+//! zero-overhead veneer over the direct iterator.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fd_baselines::naive_top_k;
 use fd_bench::bench_chain;
-use fd_core::{top_k, FMax};
+use fd_core::{top_k, FMax, FdQuery};
 use fd_workloads::random_importance;
 use std::hint::black_box;
 
@@ -17,8 +22,21 @@ fn ranked_topk(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_ranked_topk");
     group.sample_size(10);
     for k in [1usize, 10, 50] {
-        group.bench_with_input(BenchmarkId::new("priority_fd", k), &k, |b, &k| {
+        group.bench_with_input(BenchmarkId::new("direct_iter", k), &k, |b, &k| {
             b.iter(|| black_box(top_k(&db, &f, k)))
+        });
+        group.bench_with_input(BenchmarkId::new("query_builder", k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(
+                    FdQuery::over(&db)
+                        .ranked(&f)
+                        .top_k(k)
+                        .run()
+                        .expect("valid ranked query")
+                        .into_ranked()
+                        .expect("ranked mode"),
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("full_then_sort", k), &k, |b, &k| {
             b.iter(|| black_box(naive_top_k(&db, &f, k)))

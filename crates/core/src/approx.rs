@@ -19,10 +19,13 @@
 //! and line 8 can yield **several** maximal subsets `T′ ⊆ T ∪ {tb}` — one
 //! for [`AMin`] (Prop. 6.5), possibly many for [`AProd`] (Example 6.3).
 
+use crate::incremental::FdConfig;
 use crate::sim::Similarity;
 use crate::stats::Stats;
+use crate::store::CompleteStore;
 use crate::tupleset::TupleSet;
-use fd_relational::fxhash::{FxHashMap, FxHashSet};
+use fd_relational::fxhash::FxHashSet;
+use fd_relational::storage::Pager;
 use fd_relational::{Database, RelId, TupleId};
 use std::collections::VecDeque;
 
@@ -87,6 +90,45 @@ pub trait ApproxJoin {
         tau: f64,
         stats: &mut Stats,
     ) -> Vec<TupleSet>;
+}
+
+// The approximate iterators *own* their join function, so borrowing and
+// boxing callers both work: `ApproxFdIter::new(&db, ri, &a, τ)`
+// instantiates `A = &AMin<…>`, the query builder's dynamic path
+// `A = Box<dyn ApproxJoin>`.
+
+impl<A: ApproxJoin + ?Sized> ApproxJoin for &A {
+    fn score(&self, db: &Database, members: &[TupleId]) -> f64 {
+        (**self).score(db, members)
+    }
+
+    fn maximal_subsets(
+        &self,
+        db: &Database,
+        set: &TupleSet,
+        tb: TupleId,
+        tau: f64,
+        stats: &mut Stats,
+    ) -> Vec<TupleSet> {
+        (**self).maximal_subsets(db, set, tb, tau, stats)
+    }
+}
+
+impl<A: ApproxJoin + ?Sized> ApproxJoin for Box<A> {
+    fn score(&self, db: &Database, members: &[TupleId]) -> f64 {
+        (**self).score(db, members)
+    }
+
+    fn maximal_subsets(
+        &self,
+        db: &Database,
+        set: &TupleSet,
+        tb: TupleId,
+        tau: f64,
+        stats: &mut Stats,
+    ) -> Vec<TupleSet> {
+        (**self).maximal_subsets(db, set, tb, tau, stats)
+    }
 }
 
 /// Are two tuples "connected" in the Section 6 sense — do their relations
@@ -328,24 +370,35 @@ fn approx_union(db: &Database, a: &TupleSet, b: &TupleSet) -> Option<Vec<TupleId
 /// of `AFDi(R, A, τ)` — maximal sets with `A(T) ≥ τ` containing a tuple
 /// from `Ri` — with incremental polynomial delay for efficiently
 /// computable `A` (Theorem 6.6).
-pub struct ApproxFdIter<'db, 'a, A: ApproxJoin> {
+pub struct ApproxFdIter<'db, A: ApproxJoin> {
     db: &'db Database,
-    a: &'a A,
+    a: A,
     tau: f64,
     ri: RelId,
     /// Pending sets: batch-front FIFO like the exact algorithm.
     queue: VecDeque<(TupleId, TupleSet)>,
     batch: Vec<(TupleId, TupleSet)>,
-    /// Printed results, indexed by root for the containment check.
-    complete: Vec<TupleSet>,
-    by_root: FxHashMap<TupleId, Vec<u32>>,
+    /// Printed results; indexed by every member tuple (engine-selected),
+    /// so line 11's containment check can look up by the new root.
+    complete: CompleteStore,
+    pager: Option<Pager<'db>>,
     stats: Stats,
 }
 
-impl<'db, 'a, A: ApproxJoin> ApproxFdIter<'db, 'a, A> {
+impl<'db, A: ApproxJoin> ApproxFdIter<'db, A> {
     /// Initializes `Incomplete` with the singletons of `Ri` whose score
     /// reaches `τ` (Fig. 5 line 3*).
-    pub fn new(db: &'db Database, ri: RelId, a: &'a A, tau: f64) -> Self {
+    ///
+    /// The join function is taken by value; pass `&a` to keep using a
+    /// borrowed one (references implement [`ApproxJoin`]).
+    pub fn new(db: &'db Database, ri: RelId, a: A, tau: f64) -> Self {
+        Self::with_config(db, ri, a, tau, FdConfig::default())
+    }
+
+    /// Like [`new`](Self::new) with an explicit execution configuration:
+    /// `engine` selects the `Complete` store structure, `page_size`
+    /// switches the candidate scans to block-based execution.
+    pub fn with_config(db: &'db Database, ri: RelId, a: A, tau: f64, cfg: FdConfig) -> Self {
         let mut stats = Stats::new();
         let mut batch = Vec::new();
         for t in db.tuples_of(ri) {
@@ -362,8 +415,8 @@ impl<'db, 'a, A: ApproxJoin> ApproxFdIter<'db, 'a, A> {
             ri,
             queue: VecDeque::new(),
             batch,
-            complete: Vec::new(),
-            by_root: FxHashMap::default(),
+            complete: CompleteStore::new(cfg.engine),
+            pager: cfg.page_size.map(|ps| Pager::new(db, ps)),
             stats,
         }
     }
@@ -371,6 +424,18 @@ impl<'db, 'a, A: ApproxJoin> ApproxFdIter<'db, 'a, A> {
     /// Counters accumulated so far.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Pages fetched so far (block-based execution only).
+    pub fn pages_read(&self) -> u64 {
+        self.pager.as_ref().map_or(0, |p| p.stats().pages_read())
+    }
+
+    /// Consumes the iterator, returning the join function (used by
+    /// [`ApproxAllIter`] to hand one owned function from relation run to
+    /// relation run).
+    pub fn into_inner(self) -> A {
+        self.a
     }
 
     fn pop(&mut self) -> Option<(TupleId, TupleSet)> {
@@ -416,21 +481,11 @@ impl<'db, 'a, A: ApproxJoin> ApproxFdIter<'db, 'a, A> {
         }
     }
 
-    fn complete_contains_superset(&mut self, t: &TupleSet, root: TupleId) -> bool {
-        match self.by_root.get(&root) {
-            Some(idxs) => idxs.iter().any(|&i| {
-                self.stats.complete_scans += 1;
-                t.is_subset_of(&self.complete[i as usize])
-            }),
-            None => false,
-        }
-    }
-
     /// Fig. 6 lines 14–15 analog: merge `t_prime` into a pending set with
     /// the same root when the union stays above τ.
     fn try_merge(&mut self, root: TupleId, t_prime: &TupleSet) -> bool {
         let db = self.db;
-        let a = self.a;
+        let a = &self.a;
         let tau = self.tau;
         for (r, s) in self.batch.iter_mut().chain(self.queue.iter_mut()) {
             if *r != root {
@@ -449,45 +504,51 @@ impl<'db, 'a, A: ApproxJoin> ApproxFdIter<'db, 'a, A> {
         false
     }
 
+    /// One candidate tuple of the Fig. 5 loop.
+    fn candidate(&mut self, set: &TupleSet, tb: TupleId) {
+        self.stats.candidate_scans += 1;
+        if set.contains(tb) {
+            return;
+        }
+        let subsets = self
+            .a
+            .maximal_subsets(self.db, set, tb, self.tau, &mut self.stats);
+        for t_prime in subsets {
+            let Some(new_root) = t_prime.tuple_from(self.db, self.ri) else {
+                continue;
+            };
+            if self
+                .complete
+                .contains_superset(&t_prime, new_root, &mut self.stats)
+            {
+                continue;
+            }
+            if self.try_merge(new_root, &t_prime) {
+                continue;
+            }
+            self.stats.inserts += 1;
+            self.batch.push((new_root, t_prime));
+        }
+    }
+
     fn step(&mut self) -> Option<TupleSet> {
         let (_root, set) = self.pop()?;
         let set = self.extend_maximal(set);
 
-        let db = self.db;
-        for tb in db.all_tuples() {
-            self.stats.candidate_scans += 1;
-            if set.contains(tb) {
-                continue;
-            }
-            let subsets = self
-                .a
-                .maximal_subsets(self.db, &set, tb, self.tau, &mut self.stats);
-            for t_prime in subsets {
-                let Some(new_root) = t_prime.tuple_from(self.db, self.ri) else {
-                    continue;
-                };
-                if self.complete_contains_superset(&t_prime, new_root) {
-                    continue;
-                }
-                if self.try_merge(new_root, &t_prime) {
-                    continue;
-                }
-                self.stats.inserts += 1;
-                self.batch.push((new_root, t_prime));
-            }
-        }
+        // Take the pager out so the candidate callback can borrow `self`.
+        let pager = self.pager.take();
+        crate::getnext::scan_candidates(self.db, pager.as_ref(), |tb| self.candidate(&set, tb));
+        self.pager = pager;
 
-        let idx = self.complete.len() as u32;
-        for &t in set.tuples() {
-            self.by_root.entry(t).or_default().push(idx);
-        }
-        self.complete.push(set.clone());
+        // Line 19: print, registering every member as a lookup root (any
+        // later subset shares at least its own root tuple with the set).
+        self.complete.insert(set.clone(), set.tuples());
         self.stats.results += 1;
         Some(set)
     }
 }
 
-impl<A: ApproxJoin> Iterator for ApproxFdIter<'_, '_, A> {
+impl<A: ApproxJoin> Iterator for ApproxFdIter<'_, A> {
     type Item = TupleSet;
 
     fn next(&mut self) -> Option<TupleSet> {
@@ -495,8 +556,100 @@ impl<A: ApproxJoin> Iterator for ApproxFdIter<'_, '_, A> {
     }
 }
 
+/// Streaming `AFD(R, A, τ)`: the union of the `APPROXINCREMENTALFD`
+/// runs over every `i ≤ n`, with exactly-once emission — the approximate
+/// counterpart of [`FdIter`](crate::FdIter), and what the query builder's
+/// `.approx(…)` streaming mode is backed by.
+///
+/// Owns its join function and hands it from relation run to relation run
+/// (via [`ApproxFdIter::into_inner`]), so both borrowed (`&A`) and boxed
+/// (`Box<dyn ApproxJoin>`) functions drive it.
+pub struct ApproxAllIter<'db, A: ApproxJoin> {
+    db: &'db Database,
+    tau: f64,
+    cfg: FdConfig,
+    next_rel: usize,
+    current: Option<ApproxFdIter<'db, A>>,
+    emitted: FxHashSet<Box<[TupleId]>>,
+    stats: Stats,
+    /// Pages fetched by already-finished relation runs.
+    pages_done: u64,
+}
+
+impl<'db, A: ApproxJoin> ApproxAllIter<'db, A> {
+    /// Builds the driver with default configuration.
+    pub fn new(db: &'db Database, a: A, tau: f64) -> Self {
+        Self::with_config(db, a, tau, FdConfig::default())
+    }
+
+    /// Builds the driver with an explicit execution configuration, passed
+    /// to every per-relation run.
+    pub fn with_config(db: &'db Database, a: A, tau: f64, cfg: FdConfig) -> Self {
+        let current =
+            (db.num_relations() > 0).then(|| ApproxFdIter::with_config(db, RelId(0), a, tau, cfg));
+        ApproxAllIter {
+            db,
+            tau,
+            cfg,
+            next_rel: 1,
+            current,
+            emitted: FxHashSet::default(),
+            stats: Stats::new(),
+            pages_done: 0,
+        }
+    }
+
+    /// Counters of the finished runs plus the in-flight one.
+    pub fn stats_total(&self) -> Stats {
+        let mut s = self.stats;
+        if let Some(cur) = &self.current {
+            s.merge(cur.stats());
+        }
+        s
+    }
+
+    /// Pages fetched so far across all relation runs (block-based
+    /// execution only).
+    pub fn pages_read(&self) -> u64 {
+        self.pages_done + self.current.as_ref().map_or(0, |c| c.pages_read())
+    }
+}
+
+impl<A: ApproxJoin> Iterator for ApproxAllIter<'_, A> {
+    type Item = TupleSet;
+
+    fn next(&mut self) -> Option<TupleSet> {
+        loop {
+            let cur = self.current.as_mut()?;
+            match cur.next() {
+                Some(set) => {
+                    if self.emitted.insert(set.tuples().into()) {
+                        return Some(set);
+                    }
+                }
+                None => {
+                    let done = self.current.take().expect("checked above");
+                    self.stats.merge(done.stats());
+                    self.pages_done += done.pages_read();
+                    let a = done.into_inner();
+                    if self.next_rel >= self.db.num_relations() {
+                        return None;
+                    }
+                    let ri = RelId(self.next_rel as u16);
+                    self.next_rel += 1;
+                    self.current = Some(ApproxFdIter::with_config(
+                        self.db, ri, a, self.tau, self.cfg,
+                    ));
+                }
+            }
+        }
+    }
+}
+
 /// Computes the whole `AFD(R, A, τ)` by running `APPROXINCREMENTALFD`
 /// for every `i ≤ n` with exactly-once emission.
+///
+/// Builder equivalent: `FdQuery::over(&db).approx(&a, tau).run()`.
 ///
 /// ```
 /// use fd_core::{approx_full_disjunction, AMin, ExactSim, ProbScores};
@@ -508,17 +661,18 @@ impl<A: ApproxJoin> Iterator for ApproxFdIter<'_, '_, A> {
 /// assert_eq!(approx_full_disjunction(&db, &a, 0.9).len(), 6);
 /// ```
 pub fn approx_full_disjunction<A: ApproxJoin>(db: &Database, a: &A, tau: f64) -> Vec<TupleSet> {
-    let mut emitted: FxHashSet<Box<[TupleId]>> = FxHashSet::default();
-    let mut out = Vec::new();
-    for rel_idx in 0..db.num_relations() {
-        let ri = RelId(rel_idx as u16);
-        for set in ApproxFdIter::new(db, ri, a, tau) {
-            if emitted.insert(set.tuples().into()) {
-                out.push(set);
-            }
-        }
-    }
-    out
+    approx_full_disjunction_with(db, a, tau, FdConfig::default())
+}
+
+/// [`approx_full_disjunction`] with an explicit execution configuration
+/// (engine / page size for every per-relation run).
+pub fn approx_full_disjunction_with<A: ApproxJoin>(
+    db: &Database,
+    a: &A,
+    tau: f64,
+    cfg: FdConfig,
+) -> Vec<TupleSet> {
+    ApproxAllIter::with_config(db, a, tau, cfg).collect()
 }
 
 #[cfg(test)]

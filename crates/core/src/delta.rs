@@ -71,6 +71,10 @@ pub struct DeleteDelta {
 /// polynomial time per emitted set (Theorem 4.10 applied to the instance
 /// whose `Ri` is `{t}`), independent of how many runs a full
 /// recomputation would need.
+///
+/// Builder equivalent (preferred — no bare `FdConfig` plumbing):
+/// `FdQuery::over(&db).delta_insert(t, previous)` — see
+/// [`crate::FdQuery::delta_insert`].
 pub fn delta_insert(
     db: &Database,
     t: TupleId,
@@ -125,6 +129,10 @@ pub fn delta_insert(
 /// proportional to the dropped results and one maximality probe per
 /// resurfacing candidate — not to the size of the database's full
 /// disjunction.
+///
+/// Builder equivalent (preferred — no bare `FdConfig` plumbing):
+/// `FdQuery::over(&db).delta_delete(t, previous)` — see
+/// [`crate::FdQuery::delta_delete`].
 pub fn delta_delete(
     db: &Database,
     t: TupleId,
@@ -206,6 +214,7 @@ fn connected_components(db: &Database, members: &[TupleId]) -> Vec<Vec<TupleId>>
 mod tests {
     use super::*;
     use crate::incremental::{canonicalize, full_disjunction};
+    use crate::query::FdQuery;
     use fd_relational::{tourist_database, RelId, Value};
 
     /// Applies a delta to a materialized result list the way `fd-live`
@@ -247,7 +256,7 @@ mod tests {
                 ],
             )
             .unwrap();
-        let d = delta_insert(&db, t, &before, FdConfig::default());
+        let d = FdQuery::over(&db).delta_insert(t, &before).unwrap();
         assert!(!d.added.is_empty());
         assert!(d.added.iter().all(|s| s.contains(t)));
         assert_eq!(
@@ -266,7 +275,7 @@ mod tests {
         let before = full_disjunction(&db);
         assert_eq!(before.len(), 1); // {p1}
         let t = db.insert_tuple(RelId(1), vec![1.into(), 2.into()]).unwrap();
-        let d = delta_insert(&db, t, &before, FdConfig::default());
+        let d = FdQuery::over(&db).delta_insert(t, &before).unwrap();
         assert_eq!(d.added.len(), 1);
         assert_eq!(d.added[0].len(), 2);
         assert_eq!(d.subsumed.len(), 1);
@@ -283,7 +292,9 @@ mod tests {
         // Delete a2 (the London Ramada): {c1, a2, s1} dies; {c1, s1} must
         // resurface (a1 conflicts with s1 on City, so it is maximal).
         db.remove_tuple(TupleId(4)).unwrap();
-        let d = delta_delete(&db, TupleId(4), &before, FdConfig::default());
+        let d = FdQuery::over(&db)
+            .delta_delete(TupleId(4), &before)
+            .unwrap();
         assert_eq!(d.dropped.len(), 1);
         assert!(d
             .restored
@@ -302,7 +313,9 @@ mod tests {
         // Delete s2 (Mount Logan): {c1, s2} dies; the fragment {c1} grows
         // into surviving results, so nothing resurfaces.
         db.remove_tuple(TupleId(7)).unwrap();
-        let d = delta_delete(&db, TupleId(7), &before, FdConfig::default());
+        let d = FdQuery::over(&db)
+            .delta_delete(TupleId(7), &before)
+            .unwrap();
         assert_eq!(d.dropped.len(), 1);
         assert!(d.restored.is_empty());
         assert_eq!(
@@ -318,10 +331,10 @@ mod tests {
         let t = db
             .insert_tuple(RelId(0), vec!["Chile".into(), "arid".into()])
             .unwrap();
-        let ins = delta_insert(&db, t, &before, FdConfig::default());
+        let ins = FdQuery::over(&db).delta_insert(t, &before).unwrap();
         let mid = apply_insert(&before, &ins);
         db.remove_tuple(t).unwrap();
-        let del = delta_delete(&db, t, &mid, FdConfig::default());
+        let del = FdQuery::over(&db).delta_delete(t, &mid).unwrap();
         assert_eq!(apply_delete(&mid, &del), before);
     }
 
@@ -335,7 +348,7 @@ mod tests {
                 vec!["Canada".into(), "Toronto".into(), "CN Tower".into()],
             )
             .unwrap();
-        let d = delta_insert(&db, t, &before, FdConfig::default());
+        let d = FdQuery::over(&db).delta_insert(t, &before).unwrap();
         for (i, a) in d.added.iter().enumerate() {
             for (j, b) in d.added.iter().enumerate() {
                 if i != j {
@@ -361,7 +374,7 @@ mod tests {
             )
             .unwrap();
         let base: Vec<Vec<TupleId>> = {
-            let d = delta_insert(&db, t, &before, FdConfig::default());
+            let d = FdQuery::over(&db).delta_insert(t, &before).unwrap();
             canonicalize(d.added)
                 .iter()
                 .map(|s| s.tuples().to_vec())
@@ -369,12 +382,11 @@ mod tests {
         };
         for engine in [crate::StoreEngine::Scan, crate::StoreEngine::Indexed] {
             for page_size in [None, Some(2), Some(64)] {
-                let cfg = FdConfig {
-                    engine,
-                    page_size,
-                    ..FdConfig::default()
-                };
-                let d = delta_insert(&db, t, &before, cfg);
+                let mut q = FdQuery::over(&db).engine(engine);
+                if let Some(ps) = page_size {
+                    q = q.page_size(ps);
+                }
+                let d = q.delta_insert(t, &before).unwrap();
                 let got: Vec<Vec<TupleId>> = canonicalize(d.added)
                     .iter()
                     .map(|s| s.tuples().to_vec())

@@ -1,0 +1,102 @@
+//! The error type of the [`FdQuery`](crate::FdQuery) API.
+//!
+//! Every way a query can be mis-specified is a typed variant: invalid
+//! combinations return `Err(FdError)` from [`FdQuery::run`](crate::FdQuery::run)
+//! and friends instead of panicking or silently ignoring options (the
+//! pre-builder CLI used to *reject* `--engine`/`--page-size` in
+//! ranked/approx modes; the builder honors them, and only genuinely
+//! contradictory requests error).
+
+use std::fmt;
+
+/// Why a full-disjunction query could not be executed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FdError {
+    /// An option that only makes sense for ranked enumeration was set
+    /// without a ranking function (e.g. `.top_k`/`.threshold` without
+    /// `.ranked`).
+    RankingRequired {
+        /// The option that needs a ranking function.
+        option: &'static str,
+    },
+    /// A mode that maintains a ranked window needs `.top_k(k)` (e.g. the
+    /// live top-k engine).
+    TopKRequired {
+        /// The mode that needs the window size.
+        context: &'static str,
+    },
+    /// Two requested options cannot be combined (e.g. `.parallel` with
+    /// `.ranked` — the parallel driver partitions the `n` independent
+    /// `FDi` runs, which a globally ordered emission does not have).
+    Incompatible {
+        /// The first option.
+        left: &'static str,
+        /// The option it clashes with.
+        right: &'static str,
+    },
+    /// The approximate-join threshold τ must be a finite number in
+    /// `[0, 1]` (Definition 6.2 of the paper).
+    InvalidTau {
+        /// The offending value.
+        tau: f64,
+    },
+    /// The ranking threshold of `.threshold(t)` must not be NaN.
+    InvalidThreshold {
+        /// The offending value.
+        value: f64,
+    },
+    /// Block-based execution needs a positive page size.
+    InvalidPageSize,
+}
+
+impl fmt::Display for FdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FdError::RankingRequired { option } => {
+                write!(
+                    f,
+                    "{option} requires a ranking function (call .ranked first)"
+                )
+            }
+            FdError::TopKRequired { context } => {
+                write!(f, "{context} requires a window size (call .top_k first)")
+            }
+            FdError::Incompatible { left, right } => {
+                write!(f, "{left} cannot be combined with {right}")
+            }
+            FdError::InvalidTau { tau } => {
+                write!(f, "approximate-join threshold must be in [0, 1], got {tau}")
+            }
+            FdError::InvalidThreshold { value } => {
+                write!(f, "ranking threshold must not be NaN, got {value}")
+            }
+            FdError::InvalidPageSize => write!(f, "page size must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for FdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = FdError::RankingRequired { option: ".top_k" };
+        assert!(e.to_string().contains(".top_k"));
+        let e = FdError::Incompatible {
+            left: ".parallel",
+            right: ".ranked",
+        };
+        assert!(e.to_string().contains("cannot be combined"));
+        let e = FdError::InvalidTau { tau: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<FdError>();
+    }
+}

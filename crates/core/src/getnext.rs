@@ -49,6 +49,36 @@ pub(crate) struct ScanScope<'db, 'p> {
     pub pager: Option<&'p Pager<'db>>,
 }
 
+/// Applies `f` to every live tuple, honoring block-based execution when a
+/// pager is configured — the Fig. 2 line-7 candidate scan shared by the
+/// ranked and approximate iterators (whole-database scope). The plain
+/// `GETNEXTRESULT` path uses [`ScanScope::for_each_candidate`] below,
+/// which restricts the scan to relations `≥ rel_min` for the Section 7
+/// reuse strategies; a change to the block-scan mechanics must be applied
+/// to both.
+pub(crate) fn scan_candidates(
+    db: &Database,
+    pager: Option<&Pager<'_>>,
+    mut f: impl FnMut(TupleId),
+) {
+    match pager {
+        None => {
+            for t in db.all_tuples() {
+                f(t);
+            }
+        }
+        Some(pager) => {
+            for rel_idx in 0..db.num_relations() {
+                for block in pager.scan(RelId(rel_idx as u16)) {
+                    for t in block {
+                        f(t);
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl ScanScope<'_, '_> {
     /// Applies `f` to every candidate tuple in scan scope, honoring
     /// block-based execution when a pager is configured.

@@ -124,6 +124,16 @@ pub fn add_tuple(db: &Database, set: &TupleSet, t: TupleId) -> TupleSet {
     TupleSet::from_parts(tuples, merged)
 }
 
+/// Does the member list hold at most one tuple per relation? Member ids
+/// are sorted, but with dynamically-inserted overflow tuples the id order
+/// does not group relations, so adjacent-pair scans are not enough — two
+/// tuples of one relation can be separated by an interleaved id.
+pub(crate) fn one_tuple_per_relation(db: &Database, members: &[fd_relational::TupleId]) -> bool {
+    let mut rels: Vec<fd_relational::RelId> = members.iter().map(|&t| db.rel_of(t)).collect();
+    rels.sort_unstable();
+    rels.windows(2).all(|w| w[0] != w[1])
+}
+
 /// `JCC(S ∪ T)` plus the union itself (Fig. 2 lines 14–15). Returns
 /// `None` when the union is not a valid join-consistent connected tuple
 /// set. Implements the single-pass criterion of Theorem 4.8: the parts may
@@ -166,10 +176,8 @@ pub fn try_union(db: &Database, a: &TupleSet, b: &TupleSet, stats: &mut Stats) -
         }
     }
     // One tuple per relation?
-    for w in tuples.windows(2) {
-        if db.rel_of(w[0]) == db.rel_of(w[1]) {
-            return None;
-        }
+    if !one_tuple_per_relation(db, &tuples) {
+        return None;
     }
 
     // Binding compatibility, one merge pass. On a shared attribute the
@@ -395,6 +403,29 @@ mod tests {
     const A3: TupleId = TupleId(5);
     const S1: TupleId = TupleId(6);
     const S2: TupleId = TupleId(7);
+
+    /// Overflow ids from dynamic inserts do not group by relation, so
+    /// the one-tuple-per-relation test must not rely on id adjacency:
+    /// here two relation-A tuples are separated by a relation-B id.
+    #[test]
+    fn try_union_rejects_same_relation_members_with_interleaved_ids() {
+        let mut b = fd_relational::DatabaseBuilder::new();
+        b.relation("A", &["X", "Y"]).row([1, 2]);
+        b.relation("B", &["X", "Z"]).row([1, 7]);
+        let mut db = b.build().unwrap();
+        let a1 = db.insert_tuple(RelId(0), vec![1.into(), 2.into()]).unwrap();
+        let b1 = db.insert_tuple(RelId(1), vec![1.into(), 7.into()]).unwrap();
+        let a2 = db.insert_tuple(RelId(0), vec![1.into(), 2.into()]).unwrap();
+        assert!(a1 < b1 && b1 < a2, "ids interleave the relations");
+        assert!(!one_tuple_per_relation(&db, &[a1, b1, a2]));
+
+        let mut stats = Stats::new();
+        let left = rebuild(&db, vec![a1, b1]);
+        let right = rebuild(&db, vec![b1, a2]);
+        // a1 and a2 bind identical values, so only the relation test can
+        // reject the union — and it must.
+        assert!(try_union(&db, &left, &right, &mut stats).is_none());
+    }
 
     #[test]
     fn pairwise_consistency_follows_paper_examples() {

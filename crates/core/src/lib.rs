@@ -15,22 +15,34 @@
 //!   execution, alternative `Incomplete` initializations, plus a parallel
 //!   full-FD driver.
 //!
+//! All of it is reachable through one typed entry point, [`FdQuery`]:
+//! batch, streaming, ranked top-k/threshold, approximate,
+//! ranked-approximate, parallel and delta execution share the builder,
+//! honor the same [`FdConfig`] knobs, and report invalid combinations as
+//! [`FdError`] values instead of panicking.
+//!
 //! ## Example
 //!
 //! ```
-//! use fd_core::{full_disjunction, FdIter};
+//! use fd_core::{FdQuery, FMax, ImpScores};
 //! use fd_relational::tourist_database;
 //!
 //! let db = tourist_database();
 //! // Table 2 of the paper: six maximal join-consistent connected sets.
-//! assert_eq!(full_disjunction(&db).len(), 6);
+//! assert_eq!(FdQuery::over(&db).run()?.len(), 6);
 //! // Streaming: first answer after one GETNEXTRESULT call.
-//! let first = FdIter::new(&db).next().unwrap();
+//! let first = FdQuery::over(&db).stream()?.next().unwrap()?;
 //! assert_eq!(first.label(&db), "{c1, a1}");
+//! // Ranked: the two best answers by tuple-id importance.
+//! let imp = ImpScores::from_fn(&db, |t| t.0 as f64);
+//! let top = FdQuery::over(&db).ranked(FMax::new(&imp)).top_k(2).run()?;
+//! assert_eq!(top.len(), 2);
+//! # Ok::<(), fd_core::FdError>(())
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 mod getnext;
 mod incremental;
@@ -42,15 +54,21 @@ mod tupleset;
 
 pub mod approx;
 pub mod delta;
+pub mod error;
 pub mod jcc;
 pub mod parallel;
 pub mod priority;
+pub mod query;
 pub mod ranked_approx;
 pub mod ranking;
 pub mod sim;
 
-pub use approx::{approx_full_disjunction, AMin, AProd, ApproxFdIter, ApproxJoin, ProbScores};
+pub use approx::{
+    approx_full_disjunction, approx_full_disjunction_with, AMin, AProd, ApproxAllIter,
+    ApproxFdIter, ApproxJoin, ProbScores,
+};
 pub use delta::{delta_delete, delta_insert, DeleteDelta, InsertDelta};
+pub use error::FdError;
 pub use incremental::{
     canonicalize, fdi, full_disjunction, full_disjunction_with, FdConfig, FdIter, FdiIter,
 };
@@ -58,6 +76,7 @@ pub use init::InitStrategy;
 pub use padded::{format_results, padded_relation, padded_tuple, padded_tuple_over};
 pub use parallel::parallel_full_disjunction;
 pub use priority::{threshold, top_k, RankedFdIter};
+pub use query::{BoxedApprox, BoxedRanking, FdQuery, FdResult, FdStream, QueryParts};
 pub use ranked_approx::{approx_top_k, RankedApproxFdIter};
 pub use ranking::{FMax, FPairSum, FSum, FTriple, ImpScores, MonotoneCDetermined, RankingFunction};
 pub use sim::{EditDistanceSim, ExactSim, Similarity, TableSim};

@@ -20,12 +20,14 @@
 //! [`RankedFdIter`] exposes the stream unboundedly; [`top_k`] and
 //! [`threshold`] (Remark 5.6) are the bounded drivers.
 
+use crate::incremental::FdConfig;
 use crate::jcc::{can_add, extend_to_maximal, maximal_subset_with, try_union};
 use crate::ranking::MonotoneCDetermined;
 use crate::stats::Stats;
 use crate::store::{CompleteStore, StoreEngine};
 use crate::tupleset::TupleSet;
 use fd_relational::fxhash::{FxHashMap, FxHashSet};
+use fd_relational::storage::Pager;
 use fd_relational::{Database, RelId, TupleId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -188,24 +190,44 @@ impl LazyQueue {
 /// non-increasing rank order until the full disjunction is exhausted.
 /// Take `k` items for the top-(k, f) problem, or use `take_while` on the
 /// rank for the (τ, f)-threshold problem.
-pub struct RankedFdIter<'db, 'f, F: MonotoneCDetermined> {
+pub struct RankedFdIter<'db, F: MonotoneCDetermined> {
     db: &'db Database,
-    f: &'f F,
+    f: F,
     queues: Vec<LazyQueue>,
     complete: CompleteStore,
+    pager: Option<Pager<'db>>,
     stats: Stats,
 }
 
-impl<'db, 'f, F: MonotoneCDetermined> RankedFdIter<'db, 'f, F> {
+impl<'db, F: MonotoneCDetermined> RankedFdIter<'db, F> {
     /// Builds the iterator, running the initialization of Fig. 3 lines
     /// 1–8: every JCC tuple set of size ≤ c per relation, merged to a
     /// fixpoint. The cost is `O(sᶜ)`, polynomial for constant `c`.
-    pub fn new(db: &'db Database, f: &'f F) -> Self {
-        Self::with_engine(db, f, StoreEngine::Indexed)
+    ///
+    /// The ranking function is taken by value; pass `&f` to keep using a
+    /// borrowed one (references implement the ranking traits).
+    pub fn new(db: &'db Database, f: F) -> Self {
+        Self::with_config(db, f, FdConfig::default())
     }
 
     /// Builds with an explicit store engine (ablation experiments).
-    pub fn with_engine(db: &'db Database, f: &'f F, engine: StoreEngine) -> Self {
+    pub fn with_engine(db: &'db Database, f: F, engine: StoreEngine) -> Self {
+        Self::with_config(
+            db,
+            f,
+            FdConfig {
+                engine,
+                ..FdConfig::default()
+            },
+        )
+    }
+
+    /// Builds with the full execution configuration: `engine` selects the
+    /// queue/`Complete` structures, `page_size` switches the candidate
+    /// scans of the shared `GETNEXTRESULT` body to block-based execution.
+    /// (`init` concerns the n-run batch drivers and does not alter this
+    /// single-pass algorithm.)
+    pub fn with_config(db: &'db Database, f: F, cfg: FdConfig) -> Self {
         let mut stats = Stats::new();
         let c = f.c().max(1);
         let mut queues = Vec::with_capacity(db.num_relations());
@@ -213,7 +235,7 @@ impl<'db, 'f, F: MonotoneCDetermined> RankedFdIter<'db, 'f, F> {
             let ri = RelId(rel_idx as u16);
             let seeds = enumerate_bounded_jcc_sets(db, ri, c, &mut stats);
             let merged = merge_to_fixpoint(db, seeds, &mut stats);
-            let mut q = LazyQueue::new(engine);
+            let mut q = LazyQueue::new(cfg.engine);
             for (root, set) in merged {
                 stats.rank_evals += 1;
                 let rank = f.rank(db, &set);
@@ -225,7 +247,8 @@ impl<'db, 'f, F: MonotoneCDetermined> RankedFdIter<'db, 'f, F> {
             db,
             f,
             queues,
-            complete: CompleteStore::new(engine),
+            complete: CompleteStore::new(cfg.engine),
+            pager: cfg.page_size.map(|ps| Pager::new(db, ps)),
             stats,
         }
     }
@@ -233,6 +256,11 @@ impl<'db, 'f, F: MonotoneCDetermined> RankedFdIter<'db, 'f, F> {
     /// Counters accumulated so far.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Pages fetched so far (block-based execution only).
+    pub fn pages_read(&self) -> u64 {
+        self.pager.as_ref().map_or(0, |p| p.stats().pages_read())
     }
 
     /// Rank of the next answer, without consuming it. `None` when the
@@ -268,37 +296,43 @@ impl<'db, 'f, F: MonotoneCDetermined> RankedFdIter<'db, 'f, F> {
             let ri = RelId(qi as u16);
             let (_, set) = self.queues[qi].pop(&mut self.stats)?;
 
-            // GETNEXTRESULT body against the shared Complete.
+            // GETNEXTRESULT body against the shared Complete. Destructure
+            // so the candidate closure can borrow the queues/stores
+            // mutably while the ranking function stays shared.
             let set = extend_to_maximal(self.db, set, &mut self.stats);
-            let db = self.db;
-            let f = self.f;
-            for tb in db.all_tuples() {
-                self.stats.candidate_scans += 1;
+            let RankedFdIter {
+                db,
+                f,
+                queues,
+                complete,
+                pager,
+                stats,
+            } = self;
+            let db: &Database = db;
+            let candidate = |tb: TupleId| {
+                stats.candidate_scans += 1;
                 if set.contains(tb) {
-                    continue;
+                    return;
                 }
-                let t_prime = maximal_subset_with(db, &set, tb, &mut self.stats);
+                let t_prime = maximal_subset_with(db, &set, tb, stats);
                 let Some(new_root) = t_prime.tuple_from(db, ri) else {
-                    continue;
+                    return;
                 };
-                if self
-                    .complete
-                    .contains_superset(&t_prime, new_root, &mut self.stats)
-                {
-                    continue;
+                if complete.contains_superset(&t_prime, new_root, stats) {
+                    return;
                 }
                 let mut rank_of = |s: &TupleSet, st: &mut Stats| {
                     st.rank_evals += 1;
                     f.rank(db, s)
                 };
-                if self.queues[qi].try_merge(db, new_root, &t_prime, &mut rank_of, &mut self.stats)
-                {
-                    continue;
+                if queues[qi].try_merge(db, new_root, &t_prime, &mut rank_of, stats) {
+                    return;
                 }
-                self.stats.rank_evals += 1;
+                stats.rank_evals += 1;
                 let rank = f.rank(db, &t_prime);
-                self.queues[qi].push(new_root, t_prime, rank, &mut self.stats);
-            }
+                queues[qi].push(new_root, t_prime, rank, stats);
+            };
+            crate::getnext::scan_candidates(db, pager.as_ref(), candidate);
 
             // Line 17: print unless this exact set was printed before.
             if self.complete.contains_exact(set.tuples()) {
@@ -313,7 +347,7 @@ impl<'db, 'f, F: MonotoneCDetermined> RankedFdIter<'db, 'f, F> {
     }
 }
 
-impl<F: MonotoneCDetermined> Iterator for RankedFdIter<'_, '_, F> {
+impl<F: MonotoneCDetermined> Iterator for RankedFdIter<'_, F> {
     type Item = (TupleSet, f64);
 
     fn next(&mut self) -> Option<Self::Item> {

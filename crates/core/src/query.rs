@@ -1,0 +1,819 @@
+//! The unified query builder: one typed entry point for every
+//! enumeration mode of the paper's algorithm family.
+//!
+//! `INCREMENTALFD`, `PRIORITYINCREMENTALFD` and `APPROXINCREMENTALFD`
+//! share one `GETNEXTRESULT` core; [`FdQuery`] exposes them — batch,
+//! streaming, ranked top-k/threshold, approximate, ranked-approximate,
+//! parallel, and (through `fd-live`) delta/live maintenance — behind a
+//! single chainable builder, the way ranked-enumeration systems expose
+//! one parameterized interface over many strategies:
+//!
+//! ```
+//! use fd_core::{FdQuery, FMax, ImpScores, InitStrategy, StoreEngine};
+//! use fd_relational::tourist_database;
+//!
+//! let db = tourist_database();
+//!
+//! // Batch, with explicit execution knobs.
+//! let fd = FdQuery::over(&db)
+//!     .engine(StoreEngine::Scan)
+//!     .page_size(4)
+//!     .init(InitStrategy::ReuseResults)
+//!     .run()?;
+//! assert_eq!(fd.len(), 6); // Table 2 of the paper
+//!
+//! // Ranked top-k — same knobs, now honored by the priority algorithm.
+//! let imp = ImpScores::from_fn(&db, |t| t.0 as f64);
+//! let top = FdQuery::over(&db)
+//!     .engine(StoreEngine::Scan)
+//!     .ranked(FMax::new(&imp))
+//!     .top_k(2)
+//!     .run()?;
+//! assert_eq!(top.len(), 2);
+//! assert!(top.ranks().unwrap()[0] >= top.ranks().unwrap()[1]);
+//!
+//! // Streaming, with polynomial delay per answer.
+//! let mut stream = FdQuery::over(&db).stream()?;
+//! assert!(stream.next().unwrap().is_ok());
+//! # Ok::<(), fd_core::FdError>(())
+//! ```
+//!
+//! Invalid combinations are typed [`FdError`]s, not panics:
+//!
+//! ```
+//! use fd_core::{FdError, FdQuery};
+//! use fd_relational::tourist_database;
+//!
+//! let db = tourist_database();
+//! let err = FdQuery::over(&db).top_k(3).run().unwrap_err();
+//! assert_eq!(err, FdError::RankingRequired { option: ".top_k" });
+//! ```
+
+use crate::approx::{ApproxAllIter, ApproxJoin};
+use crate::error::FdError;
+use crate::incremental::{FdConfig, FdIter};
+use crate::init::InitStrategy;
+use crate::parallel::parallel_full_disjunction;
+use crate::priority::RankedFdIter;
+use crate::ranked_approx::RankedApproxFdIter;
+use crate::ranking::MonotoneCDetermined;
+use crate::stats::Stats;
+use crate::store::StoreEngine;
+use crate::tupleset::TupleSet;
+use fd_relational::{Database, TupleId};
+
+/// A dynamically dispatched ranking function, as stored by [`FdQuery`].
+pub type BoxedRanking<'q> = Box<dyn MonotoneCDetermined + 'q>;
+
+/// A dynamically dispatched approximate join function, as stored by
+/// [`FdQuery`].
+pub type BoxedApprox<'q> = Box<dyn ApproxJoin + 'q>;
+
+/// A full-disjunction query under construction.
+///
+/// Start with [`FdQuery::over`], chain option setters, finish with
+/// [`run`](Self::run) (materialized [`FdResult`]), [`stream`](Self::stream)
+/// (lazy [`FdStream`]), or the delta-maintenance terminals
+/// [`delta_insert`](Self::delta_insert) / [`delta_delete`](Self::delta_delete).
+/// The execution knobs of [`FdConfig`] — store engine, block-based page
+/// size, initialization strategy — apply uniformly to every mode.
+pub struct FdQuery<'q> {
+    db: &'q Database,
+    cfg: FdConfig,
+    ranking: Option<BoxedRanking<'q>>,
+    approx: Option<(BoxedApprox<'q>, f64)>,
+    top_k: Option<usize>,
+    min_rank: Option<f64>,
+    threads: Option<usize>,
+}
+
+/// Which execution plan a validated query selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Batch,
+    Parallel,
+    Ranked,
+    Approx,
+    RankedApprox,
+}
+
+impl<'q> FdQuery<'q> {
+    /// Begins a query over `db`. With no further options this is the
+    /// plain `INCREMENTALFD` full disjunction.
+    pub fn over(db: &'q Database) -> Self {
+        FdQuery {
+            db,
+            cfg: FdConfig::default(),
+            ranking: None,
+            approx: None,
+            top_k: None,
+            min_rank: None,
+            threads: None,
+        }
+    }
+
+    /// Selects the `Complete`/`Incomplete` store engine (Section 7's
+    /// indexing ablation).
+    pub fn engine(mut self, engine: StoreEngine) -> Self {
+        self.cfg.engine = engine;
+        self
+    }
+
+    /// Switches the `GETNEXTRESULT` scans to block-based execution with
+    /// `n` tuples per page (Section 7). `n = 0` is an
+    /// [`FdError::InvalidPageSize`] at execution time.
+    pub fn page_size(mut self, n: usize) -> Self {
+        self.cfg.page_size = Some(n);
+        self
+    }
+
+    /// Selects how `Incomplete` is initialized across the `n` runs of the
+    /// multi-run batch modes (Section 7, "Minimizing repeated work").
+    /// The single-seed modes (ranked, approximate) have their own Fig. 3 /
+    /// Fig. 5 initializations and are unaffected.
+    pub fn init(mut self, init: InitStrategy) -> Self {
+        self.cfg.init = init;
+        self
+    }
+
+    /// Replaces the whole execution configuration at once.
+    pub fn with_config(mut self, cfg: FdConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Asks for answers in non-increasing rank order under `f`
+    /// (`PRIORITYINCREMENTALFD`). The function must be monotonically
+    /// c-determined — the paper's tractability boundary (`f_sum` is
+    /// excluded by the type system; Proposition 5.1 shows its top-1
+    /// problem is NP-hard). Pass `&f` to keep ownership.
+    pub fn ranked(mut self, f: impl MonotoneCDetermined + 'q) -> Self {
+        self.ranking = Some(Box::new(f));
+        self
+    }
+
+    /// Bounds a ranked query to the k highest-ranking answers
+    /// (Theorem 5.5). Requires [`ranked`](Self::ranked).
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Bounds a ranked query to the answers with rank ≥ `t`
+    /// (Remark 5.6's threshold variant). Requires
+    /// [`ranked`](Self::ranked); combines with
+    /// [`top_k`](Self::top_k) (both bounds apply).
+    pub fn threshold(mut self, t: f64) -> Self {
+        self.min_rank = Some(t);
+        self
+    }
+
+    /// Switches to the `(A, τ)`-approximate full disjunction
+    /// (`APPROXINCREMENTALFD`): maximal tuple sets with `A(T) ≥ τ`.
+    /// Combines with [`ranked`](Self::ranked) for the ranked-approximate
+    /// mode. Pass `&a` to keep ownership.
+    pub fn approx(mut self, a: impl ApproxJoin + 'q, tau: f64) -> Self {
+        self.approx = Some((Box::new(a), tau));
+        self
+    }
+
+    /// Computes the batch full disjunction with up to `threads` workers
+    /// (one or more `FDi` runs per worker). Incompatible with ranked and
+    /// approximate modes, whose globally ordered/merged emission has no
+    /// independent per-relation decomposition.
+    pub fn parallel(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The database this query runs over.
+    pub fn db(&self) -> &'q Database {
+        self.db
+    }
+
+    /// The execution configuration accumulated so far.
+    pub fn config(&self) -> FdConfig {
+        self.cfg
+    }
+
+    /// Checks the option combination without executing anything.
+    pub fn validate(&self) -> Result<(), FdError> {
+        self.mode().map(|_| ())
+    }
+
+    /// Deconstructs the builder for downstream engines (`fd-live`).
+    pub fn into_parts(self) -> QueryParts<'q> {
+        QueryParts {
+            db: self.db,
+            config: self.cfg,
+            ranking: self.ranking,
+            approx: self.approx,
+            top_k: self.top_k,
+            min_rank: self.min_rank,
+            threads: self.threads,
+        }
+    }
+
+    fn mode(&self) -> Result<Mode, FdError> {
+        if self.cfg.page_size == Some(0) {
+            return Err(FdError::InvalidPageSize);
+        }
+        if let Some((_, tau)) = &self.approx {
+            if !tau.is_finite() || !(0.0..=1.0).contains(tau) {
+                return Err(FdError::InvalidTau { tau: *tau });
+            }
+        }
+        if let Some(t) = self.min_rank {
+            if t.is_nan() {
+                return Err(FdError::InvalidThreshold { value: t });
+            }
+        }
+        if self.ranking.is_none() {
+            if self.top_k.is_some() {
+                return Err(FdError::RankingRequired { option: ".top_k" });
+            }
+            if self.min_rank.is_some() {
+                return Err(FdError::RankingRequired {
+                    option: ".threshold",
+                });
+            }
+        }
+        if self.threads.is_some() {
+            if self.ranking.is_some() {
+                return Err(FdError::Incompatible {
+                    left: ".parallel",
+                    right: ".ranked",
+                });
+            }
+            if self.approx.is_some() {
+                return Err(FdError::Incompatible {
+                    left: ".parallel",
+                    right: ".approx",
+                });
+            }
+            return Ok(Mode::Parallel);
+        }
+        Ok(match (&self.ranking, &self.approx) {
+            (None, None) => Mode::Batch,
+            (Some(_), None) => Mode::Ranked,
+            (None, Some(_)) => Mode::Approx,
+            (Some(_), Some(_)) => Mode::RankedApprox,
+        })
+    }
+
+    /// Ensures the query describes the plain batch full disjunction —
+    /// what delta maintenance and the live engine operate on.
+    pub fn require_batch(&self, context: &'static str) -> Result<(), FdError> {
+        match self.mode()? {
+            Mode::Batch => Ok(()),
+            Mode::Parallel => Err(FdError::Incompatible {
+                left: context,
+                right: ".parallel",
+            }),
+            Mode::Ranked => Err(FdError::Incompatible {
+                left: context,
+                right: ".ranked",
+            }),
+            Mode::Approx | Mode::RankedApprox => Err(FdError::Incompatible {
+                left: context,
+                right: ".approx",
+            }),
+        }
+    }
+
+    /// Executes the query and materializes every answer (with its rank,
+    /// in ranked modes).
+    ///
+    /// Borrows the builder, so one query can be run repeatedly — handy
+    /// for the cross-engine equivalence suite.
+    pub fn run(&self) -> Result<FdResult, FdError> {
+        let mode = self.mode()?;
+        // Re-borrow the boxed functions: `Box<&dyn Trait>` implements the
+        // trait through the reference/box blanket impls, so `run` does not
+        // consume the builder.
+        let ing = Ingredients {
+            ranking: self
+                .ranking
+                .as_ref()
+                .map(|f| Box::new(&**f) as BoxedRanking<'_>),
+            approx: self
+                .approx
+                .as_ref()
+                .map(|(a, tau)| (Box::new(&**a) as BoxedApprox<'_>, *tau)),
+            top_k: self.top_k,
+            min_rank: self.min_rank,
+            threads: self.threads,
+        };
+        let mut stream = FdStream {
+            inner: build_inner(self.db, self.cfg, mode, ing),
+        };
+        let ranked_mode = matches!(mode, Mode::Ranked | Mode::RankedApprox);
+        let mut sets = Vec::new();
+        let mut ranks = Vec::new();
+        while let Some((set, rank)) = stream.next_ranked() {
+            if let Some(r) = rank {
+                ranks.push(r);
+            }
+            sets.push(set);
+        }
+        let stats = stream.stats();
+        Ok(FdResult {
+            sets,
+            ranks: ranked_mode.then_some(ranks),
+            stats,
+        })
+    }
+
+    /// Executes the query lazily: every `next()` delivers one answer with
+    /// the algorithms' incremental polynomial delay. Consumes the builder
+    /// (the stream owns the ranking/approximate functions).
+    ///
+    /// Exception: a `.parallel(n)` query has no lazy form — its workers
+    /// materialize the whole result inside this call and the stream
+    /// drains the finished vector.
+    pub fn stream(self) -> Result<FdStream<'q>, FdError> {
+        let mode = self.mode()?;
+        let ing = Ingredients {
+            ranking: self.ranking,
+            approx: self.approx,
+            top_k: self.top_k,
+            min_rank: self.min_rank,
+            threads: self.threads,
+        };
+        Ok(FdStream {
+            inner: build_inner(self.db, self.cfg, mode, ing),
+        })
+    }
+
+    /// Delta maintenance: the effect of inserting tuple `t` on the
+    /// materialized full disjunction `previous`, under this query's
+    /// execution configuration. See [`crate::delta::delta_insert`].
+    pub fn delta_insert(
+        &self,
+        t: TupleId,
+        previous: &[TupleSet],
+    ) -> Result<crate::delta::InsertDelta, FdError> {
+        self.require_batch("delta maintenance")?;
+        Ok(crate::delta::delta_insert(self.db, t, previous, self.cfg))
+    }
+
+    /// Delta maintenance: the effect of deleting tuple `t` on the
+    /// materialized full disjunction `previous`, under this query's
+    /// execution configuration. See [`crate::delta::delta_delete`].
+    pub fn delta_delete(
+        &self,
+        t: TupleId,
+        previous: &[TupleSet],
+    ) -> Result<crate::delta::DeleteDelta, FdError> {
+        self.require_batch("delta maintenance")?;
+        Ok(crate::delta::delta_delete(self.db, t, previous, self.cfg))
+    }
+}
+
+impl std::fmt::Debug for FdQuery<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FdQuery")
+            .field("cfg", &self.cfg)
+            .field("ranked", &self.ranking.is_some())
+            .field("approx_tau", &self.approx.as_ref().map(|(_, t)| *t))
+            .field("top_k", &self.top_k)
+            .field("min_rank", &self.min_rank)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+/// The deconstructed fields of an [`FdQuery`], for engines that layer on
+/// top of the builder (e.g. `fd-live`'s `LiveFd::from_query`).
+pub struct QueryParts<'q> {
+    /// The database the query was built over.
+    pub db: &'q Database,
+    /// The accumulated execution configuration.
+    pub config: FdConfig,
+    /// The ranking function, if `.ranked` was called.
+    pub ranking: Option<BoxedRanking<'q>>,
+    /// The approximate join function and its τ, if `.approx` was called.
+    pub approx: Option<(BoxedApprox<'q>, f64)>,
+    /// The `.top_k` bound, if set.
+    pub top_k: Option<usize>,
+    /// The `.threshold` bound, if set.
+    pub min_rank: Option<f64>,
+    /// The `.parallel` worker count, if set.
+    pub threads: Option<usize>,
+}
+
+/// The materialized output of [`FdQuery::run`].
+#[derive(Debug, Clone)]
+pub struct FdResult {
+    sets: Vec<TupleSet>,
+    ranks: Option<Vec<f64>>,
+    stats: Stats,
+}
+
+impl FdResult {
+    /// The answers, in the executed mode's emission order (rank order for
+    /// ranked modes).
+    pub fn sets(&self) -> &[TupleSet] {
+        &self.sets
+    }
+
+    /// Consumes the result, returning the answers.
+    pub fn into_sets(self) -> Vec<TupleSet> {
+        self.sets
+    }
+
+    /// Per-answer ranks, aligned with [`sets`](Self::sets) — `Some` in
+    /// ranked modes, `None` otherwise.
+    pub fn ranks(&self) -> Option<&[f64]> {
+        self.ranks.as_deref()
+    }
+
+    /// Consumes the result, returning `(answer, rank)` pairs; `None` when
+    /// the query was not ranked.
+    pub fn into_ranked(self) -> Option<Vec<(TupleSet, f64)>> {
+        let ranks = self.ranks?;
+        Some(self.sets.into_iter().zip(ranks).collect())
+    }
+
+    /// Number of answers.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Were there no answers?
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Work counters of the execution.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+}
+
+/// Option payload threaded from the builder into [`build_inner`].
+struct Ingredients<'q> {
+    ranking: Option<BoxedRanking<'q>>,
+    approx: Option<(BoxedApprox<'q>, f64)>,
+    top_k: Option<usize>,
+    min_rank: Option<f64>,
+    threads: Option<usize>,
+}
+
+fn build_inner<'q>(
+    db: &'q Database,
+    cfg: FdConfig,
+    mode: Mode,
+    ing: Ingredients<'q>,
+) -> StreamInner<'q> {
+    match mode {
+        Mode::Batch => StreamInner::Batch(FdIter::with_config(db, cfg)),
+        Mode::Parallel => {
+            let (sets, stats) = parallel_full_disjunction(db, cfg, ing.threads.unwrap_or(1));
+            StreamInner::Parallel {
+                sets: sets.into_iter(),
+                stats,
+            }
+        }
+        Mode::Ranked => {
+            let f = ing.ranking.expect("mode implies ranking");
+            StreamInner::Ranked(Bounded {
+                it: RankedFdIter::with_config(db, f, cfg),
+                remaining: ing.top_k,
+                min_rank: ing.min_rank,
+            })
+        }
+        Mode::Approx => {
+            let (a, tau) = ing.approx.expect("mode implies approx");
+            StreamInner::Approx(ApproxAllIter::with_config(db, a, tau, cfg))
+        }
+        Mode::RankedApprox => {
+            let f = ing.ranking.expect("mode implies ranking");
+            let (a, tau) = ing.approx.expect("mode implies approx");
+            StreamInner::RankedApprox(Bounded {
+                it: RankedApproxFdIter::with_config(db, a, tau, f, cfg),
+                remaining: ing.top_k,
+                min_rank: ing.min_rank,
+            })
+        }
+    }
+}
+
+/// The unified lazy answer stream of [`FdQuery::stream`]: one enum-backed
+/// iterator in place of the four mode-specific iterator types.
+///
+/// Yields `Result<TupleSet, FdError>` — with the current validation all
+/// errors surface at [`FdQuery::stream`] time, so every yielded item is
+/// `Ok`; the `Result` item keeps room for execution-time failures (e.g.
+/// remote backends) without breaking the interface.
+pub struct FdStream<'q> {
+    inner: StreamInner<'q>,
+}
+
+enum StreamInner<'q> {
+    Batch(FdIter<'q>),
+    Parallel {
+        sets: std::vec::IntoIter<TupleSet>,
+        stats: Stats,
+    },
+    Ranked(Bounded<RankedFdIter<'q, BoxedRanking<'q>>>),
+    Approx(ApproxAllIter<'q, BoxedApprox<'q>>),
+    RankedApprox(Bounded<RankedApproxFdIter<'q, BoxedApprox<'q>, BoxedRanking<'q>>>),
+}
+
+/// A ranked iterator with the `.top_k` / `.threshold` bounds applied.
+/// Emission order is non-increasing in rank (Lemma 5.4), so the first
+/// queue-top below τ ends the stream without further work.
+struct Bounded<I> {
+    it: I,
+    remaining: Option<usize>,
+    min_rank: Option<f64>,
+}
+
+trait RankedSource {
+    fn peek_rank(&mut self) -> Option<f64>;
+    fn next_pair(&mut self) -> Option<(TupleSet, f64)>;
+}
+
+impl<F: MonotoneCDetermined> RankedSource for RankedFdIter<'_, F> {
+    fn peek_rank(&mut self) -> Option<f64> {
+        RankedFdIter::peek_rank(self)
+    }
+
+    fn next_pair(&mut self) -> Option<(TupleSet, f64)> {
+        self.next()
+    }
+}
+
+impl<A: ApproxJoin, F: MonotoneCDetermined> RankedSource for RankedApproxFdIter<'_, A, F> {
+    fn peek_rank(&mut self) -> Option<f64> {
+        RankedApproxFdIter::peek_rank(self)
+    }
+
+    fn next_pair(&mut self) -> Option<(TupleSet, f64)> {
+        self.next()
+    }
+}
+
+impl<I: RankedSource> Bounded<I> {
+    fn next(&mut self) -> Option<(TupleSet, f64)> {
+        if self.remaining == Some(0) {
+            return None;
+        }
+        if let Some(tau) = self.min_rank {
+            // Queue ranks never exceed the final ranks (monotonicity), so
+            // once every queue top falls below τ no unseen answer can
+            // reach it — and emission is non-increasing, so stopping at
+            // the first sub-τ answer is exact.
+            if self.it.peek_rank()? < tau {
+                return None;
+            }
+        }
+        let (set, rank) = self.it.next_pair()?;
+        if let Some(tau) = self.min_rank {
+            if rank < tau {
+                return None;
+            }
+        }
+        if let Some(r) = &mut self.remaining {
+            *r -= 1;
+        }
+        Some((set, rank))
+    }
+}
+
+impl FdStream<'_> {
+    /// The next answer together with its rank (`None` rank outside the
+    /// ranked modes).
+    pub fn next_ranked(&mut self) -> Option<(TupleSet, Option<f64>)> {
+        match &mut self.inner {
+            StreamInner::Batch(it) => it.next().map(|s| (s, None)),
+            StreamInner::Parallel { sets, .. } => sets.next().map(|s| (s, None)),
+            StreamInner::Ranked(b) => b.next().map(|(s, r)| (s, Some(r))),
+            StreamInner::Approx(it) => it.next().map(|s| (s, None)),
+            StreamInner::RankedApprox(b) => b.next().map(|(s, r)| (s, Some(r))),
+        }
+    }
+
+    /// Work counters accumulated so far (for the parallel mode: of the
+    /// already-finished computation).
+    pub fn stats(&self) -> Stats {
+        match &self.inner {
+            StreamInner::Batch(it) => it.stats_total(),
+            StreamInner::Parallel { stats, .. } => *stats,
+            StreamInner::Ranked(b) => *b.it.stats(),
+            StreamInner::Approx(it) => it.stats_total(),
+            StreamInner::RankedApprox(b) => *b.it.stats(),
+        }
+    }
+
+    /// Pages fetched so far (block-based execution only; the multi-run
+    /// batch driver accounts pages inside its per-run stats).
+    pub fn pages_read(&self) -> u64 {
+        match &self.inner {
+            StreamInner::Batch(_) | StreamInner::Parallel { .. } => 0,
+            StreamInner::Ranked(b) => b.it.pages_read(),
+            StreamInner::Approx(it) => it.pages_read(),
+            StreamInner::RankedApprox(b) => b.it.pages_read(),
+        }
+    }
+}
+
+impl Iterator for FdStream<'_> {
+    type Item = Result<TupleSet, FdError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_ranked().map(|(set, _)| Ok(set))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incremental::{canonicalize, full_disjunction};
+    use crate::ranking::{FMax, ImpScores};
+    use crate::sim::ExactSim;
+    use crate::{top_k, AMin, ProbScores};
+    use fd_relational::tourist_database;
+
+    #[test]
+    fn batch_run_matches_free_function() {
+        let db = tourist_database();
+        let via_query = canonicalize(FdQuery::over(&db).run().unwrap().into_sets());
+        let via_free = canonicalize(full_disjunction(&db));
+        assert_eq!(via_query, via_free);
+    }
+
+    #[test]
+    fn run_borrows_and_is_repeatable() {
+        let db = tourist_database();
+        let imp = ImpScores::from_fn(&db, |t| t.0 as f64);
+        let q = FdQuery::over(&db).ranked(FMax::new(&imp)).top_k(3);
+        let a = q.run().unwrap();
+        let b = q.run().unwrap();
+        assert_eq!(a.sets(), b.sets());
+        assert_eq!(a.ranks(), b.ranks());
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn ranked_query_matches_top_k() {
+        let db = tourist_database();
+        let imp = ImpScores::from_fn(&db, |t| t.0 as f64);
+        let f = FMax::new(&imp);
+        let direct = top_k(&db, &f, 4);
+        let via_query = FdQuery::over(&db)
+            .ranked(&f)
+            .top_k(4)
+            .run()
+            .unwrap()
+            .into_ranked()
+            .unwrap();
+        assert_eq!(direct.len(), via_query.len());
+        for (d, q) in direct.iter().zip(&via_query) {
+            assert_eq!(d.1, q.1);
+        }
+    }
+
+    #[test]
+    fn threshold_and_top_k_combine() {
+        let db = tourist_database();
+        let imp = ImpScores::from_fn(&db, |t| t.0 as f64);
+        let all = FdQuery::over(&db)
+            .ranked(FMax::new(&imp))
+            .threshold(5.0)
+            .run()
+            .unwrap();
+        assert!(all.ranks().unwrap().iter().all(|&r| r >= 5.0));
+        let bounded = FdQuery::over(&db)
+            .ranked(FMax::new(&imp))
+            .threshold(5.0)
+            .top_k(1)
+            .run()
+            .unwrap();
+        assert_eq!(bounded.len(), 1.min(all.len()));
+    }
+
+    #[test]
+    fn stream_agrees_with_run_in_every_mode() {
+        fn check(name: &str, build: impl Fn() -> FdQuery<'static>) {
+            let ran = build().run().unwrap().into_sets();
+            let streamed: Vec<TupleSet> = build()
+                .stream()
+                .unwrap()
+                .map(|r| r.expect("streams do not fail"))
+                .collect();
+            assert_eq!(ran, streamed, "{name}");
+        }
+        let db: &'static Database = Box::leak(Box::new(tourist_database()));
+        let imp: &'static ImpScores = Box::leak(Box::new(ImpScores::from_fn(db, |t| t.0 as f64)));
+        check("batch", || FdQuery::over(db));
+        check("parallel", || FdQuery::over(db).parallel(3));
+        check("ranked", || {
+            FdQuery::over(db).ranked(FMax::new(imp)).top_k(4)
+        });
+        check("approx", || {
+            FdQuery::over(db).approx(AMin::new(ExactSim, ProbScores::uniform(db, 1.0)), 0.9)
+        });
+        check("ranked_approx", || {
+            FdQuery::over(db)
+                .approx(AMin::new(ExactSim, ProbScores::uniform(db, 1.0)), 0.9)
+                .ranked(FMax::new(imp))
+        });
+    }
+
+    #[test]
+    fn invalid_combinations_are_typed_errors() {
+        let db = tourist_database();
+        let imp = ImpScores::from_fn(&db, |t| t.0 as f64);
+        assert_eq!(
+            FdQuery::over(&db).top_k(1).run().unwrap_err(),
+            FdError::RankingRequired { option: ".top_k" }
+        );
+        assert_eq!(
+            FdQuery::over(&db).threshold(1.0).run().unwrap_err(),
+            FdError::RankingRequired {
+                option: ".threshold"
+            }
+        );
+        assert_eq!(
+            FdQuery::over(&db)
+                .approx(AMin::new(ExactSim, ProbScores::uniform(&db, 1.0)), 0.5)
+                .threshold(1.0)
+                .run()
+                .unwrap_err(),
+            FdError::RankingRequired {
+                option: ".threshold"
+            }
+        );
+        assert_eq!(
+            FdQuery::over(&db)
+                .approx(AMin::new(ExactSim, ProbScores::uniform(&db, 1.0)), 1.5)
+                .run()
+                .unwrap_err(),
+            FdError::InvalidTau { tau: 1.5 }
+        );
+        assert_eq!(
+            FdQuery::over(&db).page_size(0).run().unwrap_err(),
+            FdError::InvalidPageSize
+        );
+        assert_eq!(
+            FdQuery::over(&db)
+                .parallel(2)
+                .ranked(FMax::new(&imp))
+                .run()
+                .unwrap_err(),
+            FdError::Incompatible {
+                left: ".parallel",
+                right: ".ranked"
+            }
+        );
+        assert_eq!(
+            FdQuery::over(&db)
+                .ranked(FMax::new(&imp))
+                .delta_insert(fd_relational::TupleId(0), &[])
+                .unwrap_err(),
+            FdError::Incompatible {
+                left: "delta maintenance",
+                right: ".ranked"
+            }
+        );
+    }
+
+    #[test]
+    fn page_size_is_honored_in_ranked_and_approx_modes() {
+        let db = tourist_database();
+        let imp = ImpScores::from_fn(&db, |t| t.0 as f64);
+        let mut s = FdQuery::over(&db)
+            .ranked(FMax::new(&imp))
+            .page_size(2)
+            .stream()
+            .unwrap();
+        while s.next().is_some() {}
+        assert!(s.pages_read() > 0, "ranked mode must scan through pages");
+
+        let mut s = FdQuery::over(&db)
+            .approx(AMin::new(ExactSim, ProbScores::uniform(&db, 1.0)), 0.9)
+            .page_size(2)
+            .stream()
+            .unwrap();
+        while s.next().is_some() {}
+        assert!(s.pages_read() > 0, "approx mode must scan through pages");
+    }
+
+    #[test]
+    fn delta_round_trip_through_the_builder() {
+        let mut db = tourist_database();
+        let before = canonicalize(full_disjunction(&db));
+        let t = db
+            .insert_tuple(fd_relational::RelId(0), vec!["Chile".into(), "arid".into()])
+            .unwrap();
+        let ins = FdQuery::over(&db).delta_insert(t, &before).unwrap();
+        assert!(!ins.added.is_empty());
+        db.remove_tuple(t).unwrap();
+        let mut mid: Vec<TupleSet> = before.clone();
+        mid.extend(ins.added.iter().cloned());
+        let del = FdQuery::over(&db).delta_delete(t, &mid).unwrap();
+        assert_eq!(del.dropped.len(), ins.added.len());
+    }
+}

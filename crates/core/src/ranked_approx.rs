@@ -19,10 +19,13 @@
 //! and efficiently computable (Theorem 6.6's).
 
 use crate::approx::ApproxJoin;
+use crate::incremental::FdConfig;
 use crate::ranking::MonotoneCDetermined;
 use crate::stats::Stats;
+use crate::store::CompleteStore;
 use crate::tupleset::TupleSet;
 use fd_relational::fxhash::{FxHashMap, FxHashSet};
+use fd_relational::storage::Pager;
 use fd_relational::{Database, RelId, TupleId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -123,29 +126,40 @@ impl Queue {
 /// Streaming ranked `AFD(R, A, τ)`: yields `(tuple set, rank)` in
 /// non-increasing rank order; every yielded set satisfies `A(T) ≥ τ` and
 /// together they form exactly the approximate full disjunction.
-pub struct RankedApproxFdIter<'db, 'x, A: ApproxJoin, F: MonotoneCDetermined> {
+pub struct RankedApproxFdIter<'db, A: ApproxJoin, F: MonotoneCDetermined> {
     db: &'db Database,
-    a: &'x A,
-    f: &'x F,
+    a: A,
+    f: F,
     tau: f64,
     queues: Vec<Queue>,
-    printed: FxHashSet<Box<[TupleId]>>,
-    complete: Vec<TupleSet>,
-    complete_by_tuple: FxHashMap<TupleId, Vec<u32>>,
+    /// Printed results; `contains_exact` is the "already printed?" check,
+    /// member-indexed `contains_superset` the line-11 analog.
+    complete: CompleteStore,
+    pager: Option<Pager<'db>>,
     stats: Stats,
 }
 
-impl<'db, 'x, A: ApproxJoin, F: MonotoneCDetermined> RankedApproxFdIter<'db, 'x, A, F> {
+impl<'db, A: ApproxJoin, F: MonotoneCDetermined> RankedApproxFdIter<'db, A, F> {
     /// Builds the iterator: enumerates the acceptable sets of size ≤ c
     /// per relation, merges mergeable pairs, seeds the queues.
-    pub fn new(db: &'db Database, a: &'x A, tau: f64, f: &'x F) -> Self {
+    ///
+    /// Both functions are taken by value; pass `&a` / `&f` to keep using
+    /// borrowed ones (references implement the traits).
+    pub fn new(db: &'db Database, a: A, tau: f64, f: F) -> Self {
+        Self::with_config(db, a, tau, f, FdConfig::default())
+    }
+
+    /// Like [`new`](Self::new) with an explicit execution configuration:
+    /// `engine` selects the `Complete` store structure, `page_size`
+    /// switches the candidate scans to block-based execution.
+    pub fn with_config(db: &'db Database, a: A, tau: f64, f: F, cfg: FdConfig) -> Self {
         let mut stats = Stats::new();
         let c = f.c().max(1);
         let mut queues = Vec::with_capacity(db.num_relations());
         for rel_idx in 0..db.num_relations() {
             let ri = RelId(rel_idx as u16);
-            let seeds = enumerate_acceptable(db, ri, c, a, tau, &mut stats);
-            let merged = merge_acceptable(db, seeds, a, tau, &mut stats);
+            let seeds = enumerate_acceptable(db, ri, c, &a, tau, &mut stats);
+            let merged = merge_acceptable(db, seeds, &a, tau, &mut stats);
             let mut q = Queue::default();
             for (root, set) in merged {
                 stats.rank_evals += 1;
@@ -160,9 +174,8 @@ impl<'db, 'x, A: ApproxJoin, F: MonotoneCDetermined> RankedApproxFdIter<'db, 'x,
             f,
             tau,
             queues,
-            printed: FxHashSet::default(),
-            complete: Vec::new(),
-            complete_by_tuple: FxHashMap::default(),
+            complete: CompleteStore::new(cfg.engine),
+            pager: cfg.page_size.map(|ps| Pager::new(db, ps)),
             stats,
         }
     }
@@ -172,14 +185,24 @@ impl<'db, 'x, A: ApproxJoin, F: MonotoneCDetermined> RankedApproxFdIter<'db, 'x,
         &self.stats
     }
 
-    fn complete_contains_superset(&mut self, t: &TupleSet, root: TupleId) -> bool {
-        match self.complete_by_tuple.get(&root) {
-            Some(idxs) => idxs.iter().any(|&i| {
-                self.stats.complete_scans += 1;
-                t.is_subset_of(&self.complete[i as usize])
-            }),
-            None => false,
+    /// Pages fetched so far (block-based execution only).
+    pub fn pages_read(&self) -> u64 {
+        self.pager.as_ref().map_or(0, |p| p.stats().pages_read())
+    }
+
+    /// Rank of the next answer, without consuming it. `None` when the
+    /// stream is exhausted.
+    pub fn peek_rank(&mut self) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for qi in 0..self.queues.len() {
+            if let Some(r) = self.queues[qi].peek_rank(&mut self.stats) {
+                best = Some(match best {
+                    Some(b) if b >= r => b,
+                    _ => r,
+                });
+            }
         }
+        best
     }
 
     /// A-maximal greedy extension (Fig. 6 lines 2–6).
@@ -218,6 +241,81 @@ impl<'db, 'x, A: ApproxJoin, F: MonotoneCDetermined> RankedApproxFdIter<'db, 'x,
         }
     }
 
+    /// One candidate tuple of the Fig. 5/Fig. 3 hybrid loop.
+    fn candidate(&mut self, qi: usize, ri: RelId, set: &TupleSet, tb: TupleId) {
+        self.stats.candidate_scans += 1;
+        if set.contains(tb) {
+            return;
+        }
+        let subsets = self
+            .a
+            .maximal_subsets(self.db, set, tb, self.tau, &mut self.stats);
+        for t_prime in subsets {
+            let Some(new_root) = t_prime.tuple_from(self.db, ri) else {
+                continue;
+            };
+            if self
+                .complete
+                .contains_superset(&t_prime, new_root, &mut self.stats)
+            {
+                continue;
+            }
+            // Merge into a queue entry sharing the root when the
+            // union stays acceptable.
+            let mut merged = false;
+            let candidates: Vec<u32> = self.queues[qi]
+                .by_root
+                .get(&new_root)
+                .cloned()
+                .unwrap_or_default();
+            for slot in candidates {
+                let Some(entry) = &self.queues[qi].slots[slot as usize] else {
+                    continue;
+                };
+                self.stats.incomplete_scans += 1;
+                let mut members: Vec<TupleId> = entry
+                    .set
+                    .tuples()
+                    .iter()
+                    .chain(t_prime.tuples().iter())
+                    .copied()
+                    .collect();
+                members.sort_unstable();
+                members.dedup();
+                if !crate::jcc::one_tuple_per_relation(self.db, &members) {
+                    continue;
+                }
+                self.stats.approx_evals += 1;
+                if self.a.score(self.db, &members) >= self.tau {
+                    self.stats.merges += 1;
+                    let union = crate::jcc::rebuild(self.db, members);
+                    let gen = entry.gen + 1;
+                    self.stats.rank_evals += 1;
+                    let rank = self.f.rank(self.db, &union);
+                    self.queues[qi].slots[slot as usize] = Some(Entry {
+                        root: new_root,
+                        set: union,
+                        gen,
+                    });
+                    self.queues[qi].heap.push(HeapItem {
+                        rank: Rank(rank),
+                        gen,
+                        slot,
+                    });
+                    self.stats.heap_pushes += 1;
+                    merged = true;
+                    break;
+                }
+            }
+            if merged {
+                continue;
+            }
+            self.stats.rank_evals += 1;
+            let rank = self.f.rank(self.db, &t_prime);
+            self.queues[qi].push(new_root, t_prime, rank, &mut self.stats);
+        }
+    }
+
     fn step(&mut self) -> Option<(TupleSet, f64)> {
         loop {
             let mut best: Option<(usize, f64)> = None;
@@ -234,89 +332,18 @@ impl<'db, 'x, A: ApproxJoin, F: MonotoneCDetermined> RankedApproxFdIter<'db, 'x,
             let (_, set) = self.queues[qi].pop(&mut self.stats)?;
             let set = self.extend_maximal(set);
 
-            let db = self.db;
-            for tb in db.all_tuples() {
-                self.stats.candidate_scans += 1;
-                if set.contains(tb) {
-                    continue;
-                }
-                let subsets = self
-                    .a
-                    .maximal_subsets(self.db, &set, tb, self.tau, &mut self.stats);
-                for t_prime in subsets {
-                    let Some(new_root) = t_prime.tuple_from(self.db, ri) else {
-                        continue;
-                    };
-                    if self.complete_contains_superset(&t_prime, new_root) {
-                        continue;
-                    }
-                    // Merge into a queue entry sharing the root when the
-                    // union stays acceptable.
-                    let mut merged = false;
-                    let candidates: Vec<u32> = self.queues[qi]
-                        .by_root
-                        .get(&new_root)
-                        .cloned()
-                        .unwrap_or_default();
-                    for slot in candidates {
-                        let Some(entry) = &self.queues[qi].slots[slot as usize] else {
-                            continue;
-                        };
-                        self.stats.incomplete_scans += 1;
-                        let mut members: Vec<TupleId> = entry
-                            .set
-                            .tuples()
-                            .iter()
-                            .chain(t_prime.tuples().iter())
-                            .copied()
-                            .collect();
-                        members.sort_unstable();
-                        members.dedup();
-                        let rel_ok = members
-                            .windows(2)
-                            .all(|w| self.db.rel_of(w[0]) != self.db.rel_of(w[1]));
-                        if !rel_ok {
-                            continue;
-                        }
-                        self.stats.approx_evals += 1;
-                        if self.a.score(self.db, &members) >= self.tau {
-                            self.stats.merges += 1;
-                            let union = crate::jcc::rebuild(self.db, members);
-                            let gen = entry.gen + 1;
-                            self.stats.rank_evals += 1;
-                            let rank = self.f.rank(self.db, &union);
-                            self.queues[qi].slots[slot as usize] = Some(Entry {
-                                root: new_root,
-                                set: union,
-                                gen,
-                            });
-                            self.queues[qi].heap.push(HeapItem {
-                                rank: Rank(rank),
-                                gen,
-                                slot,
-                            });
-                            self.stats.heap_pushes += 1;
-                            merged = true;
-                            break;
-                        }
-                    }
-                    if merged {
-                        continue;
-                    }
-                    self.stats.rank_evals += 1;
-                    let rank = self.f.rank(self.db, &t_prime);
-                    self.queues[qi].push(new_root, t_prime, rank, &mut self.stats);
-                }
-            }
+            // Take the pager out so the candidate callback can borrow
+            // `self`.
+            let pager = self.pager.take();
+            crate::getnext::scan_candidates(self.db, pager.as_ref(), |tb| {
+                self.candidate(qi, ri, &set, tb)
+            });
+            self.pager = pager;
 
-            if !self.printed.insert(set.tuples().into()) {
+            if self.complete.contains_exact(set.tuples()) {
                 continue;
             }
-            let idx = self.complete.len() as u32;
-            for &t in set.tuples() {
-                self.complete_by_tuple.entry(t).or_default().push(idx);
-            }
-            self.complete.push(set.clone());
+            self.complete.insert(set.clone(), set.tuples());
             self.stats.results += 1;
             self.stats.rank_evals += 1;
             let rank = self.f.rank(self.db, &set);
@@ -325,7 +352,7 @@ impl<'db, 'x, A: ApproxJoin, F: MonotoneCDetermined> RankedApproxFdIter<'db, 'x,
     }
 }
 
-impl<A: ApproxJoin, F: MonotoneCDetermined> Iterator for RankedApproxFdIter<'_, '_, A, F> {
+impl<A: ApproxJoin, F: MonotoneCDetermined> Iterator for RankedApproxFdIter<'_, A, F> {
     type Item = (TupleSet, f64);
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -427,10 +454,7 @@ fn merge_acceptable<A: ApproxJoin>(
                         .collect();
                     members.sort_unstable();
                     members.dedup();
-                    let rel_ok = members
-                        .windows(2)
-                        .all(|w| db.rel_of(w[0]) != db.rel_of(w[1]));
-                    if !rel_ok {
+                    if !crate::jcc::one_tuple_per_relation(db, &members) {
                         continue;
                     }
                     stats.approx_evals += 1;

@@ -95,6 +95,35 @@ pub trait MonotoneCDetermined: RankingFunction {
     fn c(&self) -> usize;
 }
 
+// The enumeration drivers *own* their ranking function, so borrowing and
+// boxing callers both work: `RankedFdIter::new(&db, &f)` instantiates
+// `F = &FMax`, the query builder's dynamic path `F = Box<dyn
+// MonotoneCDetermined>`.
+
+impl<F: RankingFunction + ?Sized> RankingFunction for &F {
+    fn rank(&self, db: &Database, set: &TupleSet) -> f64 {
+        (**self).rank(db, set)
+    }
+}
+
+impl<F: MonotoneCDetermined + ?Sized> MonotoneCDetermined for &F {
+    fn c(&self) -> usize {
+        (**self).c()
+    }
+}
+
+impl<F: RankingFunction + ?Sized> RankingFunction for Box<F> {
+    fn rank(&self, db: &Database, set: &TupleSet) -> f64 {
+        (**self).rank(db, set)
+    }
+}
+
+impl<F: MonotoneCDetermined + ?Sized> MonotoneCDetermined for Box<F> {
+    fn c(&self) -> usize {
+        (**self).c()
+    }
+}
+
 /// `f_max(T) = max{imp(t) | t ∈ T}` — monotonically 1-determined.
 #[derive(Debug, Clone)]
 pub struct FMax<'a> {

@@ -48,8 +48,7 @@ mod ranked;
 
 pub use ranked::{LiveRankedFd, TopKUpdate};
 
-use fd_core::delta::{delta_delete, delta_insert};
-use fd_core::{canonicalize, full_disjunction_with, FdConfig, TupleSet};
+use fd_core::{canonicalize, FdConfig, FdError, FdQuery, TupleSet};
 use fd_relational::fxhash::FxHashMap;
 use fd_relational::{Change, ChangeLog, Database, Delta, RelId, RelationalError, TupleId, Value};
 
@@ -110,7 +109,11 @@ impl LiveFd {
     /// Like [`new`](Self::new) with explicit engine/block configuration
     /// for the initial computation and every delta run.
     pub fn with_config(db: Database, cfg: FdConfig) -> Self {
-        let results = full_disjunction_with(&db, cfg);
+        let results = FdQuery::over(&db)
+            .with_config(cfg)
+            .run()
+            .expect("a bare configuration is always a valid batch query")
+            .into_sets();
         let index = results
             .iter()
             .enumerate()
@@ -123,6 +126,36 @@ impl LiveFd {
             index,
             log: ChangeLog::new(),
         }
+    }
+
+    /// Builds the live engine from an [`FdQuery`]: the query's
+    /// engine/page-size/init configuration drives the initial
+    /// materialization and every subsequent delta run. The database is
+    /// cloned out of the query (the live engine owns its snapshot).
+    ///
+    /// Ranked, approximate and parallel options are rejected with a typed
+    /// [`FdError`] — live maintenance materializes the plain full
+    /// disjunction ([`LiveRankedFd::from_query`] adds the ranked window).
+    ///
+    /// ```
+    /// use fd_core::{FdQuery, StoreEngine};
+    /// use fd_live::LiveFd;
+    /// use fd_relational::tourist_database;
+    ///
+    /// let db = tourist_database();
+    /// let live = LiveFd::from_query(FdQuery::over(&db).engine(StoreEngine::Scan))?;
+    /// assert_eq!(live.len(), 6);
+    /// # Ok::<(), fd_core::FdError>(())
+    /// ```
+    pub fn from_query(query: FdQuery<'_>) -> Result<Self, FdError> {
+        query.require_batch("live maintenance")?;
+        Ok(Self::with_config(query.db().clone(), query.config()))
+    }
+
+    /// The query this engine re-derives for every delta run: same
+    /// database snapshot, same execution configuration.
+    fn query(&self) -> FdQuery<'_> {
+        FdQuery::over(&self.db).with_config(self.cfg)
     }
 
     /// The current database snapshot.
@@ -180,7 +213,10 @@ impl LiveFd {
     ) -> Result<(TupleId, Vec<FdEvent>), RelationalError> {
         let tuple = self.db.insert_tuple(rel, values)?;
         self.log.record(Change::Inserted { rel, tuple });
-        let d = delta_insert(&self.db, tuple, &self.results, self.cfg);
+        let d = self
+            .query()
+            .delta_insert(tuple, &self.results)
+            .expect("the live engine only builds batch queries");
         let mut events = Vec::with_capacity(d.subsumed.len() + d.added.len());
         for set in d.subsumed {
             self.remove_set(&set);
@@ -201,7 +237,10 @@ impl LiveFd {
         let rel = self.db.rel_of(tuple);
         self.db.remove_tuple(tuple)?;
         self.log.record(Change::Removed { rel, tuple });
-        let d = delta_delete(&self.db, tuple, &self.results, self.cfg);
+        let d = self
+            .query()
+            .delta_delete(tuple, &self.results)
+            .expect("the live engine only builds batch queries");
         let mut events = Vec::with_capacity(d.dropped.len() + d.restored.len());
         for set in d.dropped {
             self.remove_set(&set);
@@ -218,7 +257,12 @@ impl LiveFd {
     /// the full disjunction of the current snapshot, recomputed from
     /// scratch?
     pub fn verify_snapshot(&self) -> bool {
-        self.canonical_results() == canonicalize(full_disjunction_with(&self.db, self.cfg))
+        let fresh = self
+            .query()
+            .run()
+            .expect("the live engine only builds batch queries")
+            .into_sets();
+        self.canonical_results() == canonicalize(fresh)
     }
 
     fn add_set(&mut self, set: TupleSet) {
@@ -315,6 +359,48 @@ mod tests {
         live.delete(t).unwrap();
         assert_eq!(live.changelog().len(), 2);
         assert_eq!(live.changelog().changes()[0].tuple(), t);
+    }
+
+    #[test]
+    fn from_query_honors_config_and_rejects_nonbatch_options() {
+        let db = tourist_database();
+        let live = LiveFd::from_query(
+            FdQuery::over(&db)
+                .engine(fd_core::StoreEngine::Scan)
+                .page_size(3),
+        )
+        .unwrap();
+        assert_eq!(live.len(), 6);
+        assert_eq!(live.cfg.engine, fd_core::StoreEngine::Scan);
+        assert_eq!(live.cfg.page_size, Some(3));
+
+        let imp = fd_core::ImpScores::uniform(&db, 1.0);
+        let err =
+            LiveFd::from_query(FdQuery::over(&db).ranked(fd_core::FMax::new(&imp))).unwrap_err();
+        assert_eq!(
+            err,
+            FdError::Incompatible {
+                left: "live maintenance",
+                right: ".ranked"
+            }
+        );
+        let err = LiveFd::from_query(FdQuery::over(&db).parallel(2)).unwrap_err();
+        assert_eq!(
+            err,
+            FdError::Incompatible {
+                left: "live maintenance",
+                right: ".parallel"
+            }
+        );
+    }
+
+    #[test]
+    fn from_query_engine_stays_consistent_under_mutations() {
+        let db = tourist_database();
+        let mut live = LiveFd::from_query(FdQuery::over(&db).page_size(2)).unwrap();
+        live.insert(RelId(0), vec!["Chile".into(), "arid".into()])
+            .unwrap();
+        assert!(live.verify_snapshot());
     }
 
     #[test]

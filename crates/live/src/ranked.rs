@@ -7,7 +7,7 @@
 //! answers current, reporting window entries and exits per mutation.
 
 use crate::{FdEvent, LiveFd};
-use fd_core::{FdConfig, RankingFunction, TupleSet};
+use fd_core::{BoxedRanking, FdConfig, FdError, FdQuery, RankingFunction, TupleSet};
 use fd_relational::{Database, Delta, RelationalError};
 
 /// What one mutation did to the ranked view.
@@ -119,6 +119,57 @@ impl<F: RankingFunction> LiveRankedFd<F> {
     }
 }
 
+impl<'q> LiveRankedFd<BoxedRanking<'q>> {
+    /// Builds the live top-k engine from an [`FdQuery`]: requires
+    /// `.ranked(f)` and `.top_k(k)`; honors the query's
+    /// engine/page-size/init configuration for the materialization and
+    /// every delta run; rejects `.approx`, `.parallel` and `.threshold`
+    /// with a typed [`FdError`]. The database is cloned out of the query
+    /// (the live engine owns its snapshot).
+    ///
+    /// ```
+    /// use fd_core::{FMax, FdQuery, ImpScores};
+    /// use fd_live::LiveRankedFd;
+    /// use fd_relational::tourist_database;
+    ///
+    /// let db = tourist_database();
+    /// let imp = ImpScores::from_fn(&db, |t| t.0 as f64);
+    /// let live =
+    ///     LiveRankedFd::from_query(FdQuery::over(&db).ranked(FMax::new(&imp)).top_k(2))?;
+    /// assert_eq!(live.top().len(), 2);
+    /// # Ok::<(), fd_core::FdError>(())
+    /// ```
+    pub fn from_query(query: FdQuery<'q>) -> Result<Self, FdError> {
+        query.validate()?;
+        let parts = query.into_parts();
+        if parts.approx.is_some() {
+            return Err(FdError::Incompatible {
+                left: "live top-k maintenance",
+                right: ".approx",
+            });
+        }
+        if parts.threads.is_some() {
+            return Err(FdError::Incompatible {
+                left: "live top-k maintenance",
+                right: ".parallel",
+            });
+        }
+        if parts.min_rank.is_some() {
+            return Err(FdError::Incompatible {
+                left: "live top-k maintenance",
+                right: ".threshold",
+            });
+        }
+        let f = parts.ranking.ok_or(FdError::RankingRequired {
+            option: "live top-k maintenance",
+        })?;
+        let k = parts.top_k.ok_or(FdError::TopKRequired {
+            context: "live top-k maintenance",
+        })?;
+        Ok(Self::with_config(parts.db.clone(), f, k, parts.config))
+    }
+}
+
 fn sort_ranked(ranked: &mut [(TupleSet, f64)]) {
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 }
@@ -162,6 +213,28 @@ mod tests {
         // Ramada (3 stars) leads now.
         assert_eq!(live.top()[0].1, 3.0);
         assert!(live.inner().verify_snapshot());
+    }
+
+    #[test]
+    fn from_query_requires_ranking_and_window() {
+        let db = tourist_database();
+        let imp = stars_imp(&db);
+        let live =
+            LiveRankedFd::from_query(FdQuery::over(&db).ranked(FMax::new(&imp)).top_k(2)).unwrap();
+        assert_eq!(live.top().len(), 2);
+
+        assert_eq!(
+            LiveRankedFd::from_query(FdQuery::over(&db)).err(),
+            Some(FdError::RankingRequired {
+                option: "live top-k maintenance"
+            })
+        );
+        assert_eq!(
+            LiveRankedFd::from_query(FdQuery::over(&db).ranked(FMax::new(&imp))).err(),
+            Some(FdError::TopKRequired {
+                context: "live top-k maintenance"
+            })
+        );
     }
 
     #[test]

@@ -9,10 +9,9 @@
 //! cargo run --example ranked_destinations
 //! ```
 
-use full_disjunction::core::{threshold, RankedFdIter};
 use full_disjunction::prelude::*;
 
-fn main() {
+fn main() -> Result<(), FdError> {
     let db = tourist_database();
 
     // imp(t): climate preference on Climates tuples, neutral elsewhere.
@@ -27,22 +26,31 @@ fn main() {
     });
     let f = FMax::new(&imp);
 
+    // One streamed FdQuery: answers arrive best-first with polynomial
+    // delay (PRIORITYINCREMENTALFD under the hood).
     println!("All destinations, best climate first:");
-    for (set, rank) in RankedFdIter::new(&db, &f) {
-        println!("  rank {rank:.1}  {}", set.label(&db));
+    let mut stream = FdQuery::over(&db).ranked(&f).stream()?;
+    while let Some((set, rank)) = stream.next_ranked() {
+        println!(
+            "  rank {:.1}  {}",
+            rank.expect("ranked mode"),
+            set.label(&db)
+        );
     }
 
     // Top-k: the paper's Theorem 5.5 — polynomial in the input and k.
     println!("\nTop-2 destinations:");
-    for (set, rank) in top_k(&db, &f, 2) {
+    let top = FdQuery::over(&db).ranked(&f).top_k(2).run()?;
+    for (set, rank) in top.into_ranked().expect("ranked mode") {
         println!("  rank {rank:.1}  {}", set.label(&db));
     }
 
     // Threshold variant (Remark 5.6): everything at least 'temperate'.
     println!("\nDestinations with rank ≥ 2 (temperate or better):");
-    let warm = threshold(&db, &f, 2.0);
-    for (set, rank) in &warm {
+    let warm = FdQuery::over(&db).ranked(&f).threshold(2.0).run()?;
+    for (set, rank) in warm.sets().iter().zip(warm.ranks().expect("ranked mode")) {
         println!("  rank {rank:.1}  {}", set.label(&db));
     }
     assert_eq!(warm.len(), 3);
+    Ok(())
 }

@@ -23,11 +23,14 @@ fn main() {
         db.total_size()
     );
 
-    // Stream the first 10 answers.
+    // Stream the first 10 answers through the unified query builder.
     let t0 = Instant::now();
-    let mut stream = FdIter::new(&db);
+    let mut stream = FdQuery::over(&db).stream().expect("plain batch query");
     for k in 1..=10 {
-        let set = stream.next().expect("large output");
+        let set = stream
+            .next()
+            .expect("large output")
+            .expect("streams do not fail");
         println!(
             "answer {k:2} after {:8.2?}: {} tuples",
             t0.elapsed(),

@@ -5,8 +5,8 @@
 //! spawning processes. The binary in `src/bin/fd.rs` is a thin wrapper.
 
 use crate::core::{
-    approx_full_disjunction, canonicalize, format_results, full_disjunction_with, threshold, top_k,
-    AMin, EditDistanceSim, FMax, FdConfig, ImpScores, ProbScores, RankedFdIter, StoreEngine,
+    canonicalize, format_results, AMin, EditDistanceSim, FMax, FdConfig, FdQuery, ImpScores,
+    ProbScores, RankedFdIter, StoreEngine,
 };
 use crate::live::LiveFd;
 use crate::relational::textio;
@@ -77,13 +77,15 @@ OPTIONS:
     --top K            emit only the K best results (requires --rank-by)
     --rank-by ATTR     rank by the numeric attribute ATTR (f_max semantics)
     --min-rank X       emit every result ranking at least X (requires --rank-by)
-    --approx TAU       approximate full disjunction (edit-distance A_min, threshold TAU)
-    --engine ENGINE    store engine: scan | indexed (default indexed;
-                       plain and watch modes)
-    --page-size N      block-based execution with N tuples per page
-                       (plain and watch modes)
+    --approx TAU       approximate full disjunction (edit-distance A_min, threshold TAU);
+                       combines with --rank-by for ranked-approximate output
+    --engine ENGINE    store engine: scan | indexed (default indexed; all modes)
+    --page-size N      block-based execution with N tuples per page (all modes)
     --sources          print the source relations first
     --help             this text
+
+Every mode is one FdQuery under the hood, so --engine/--page-size apply
+uniformly — including ranked, approximate and watch runs.
 ";
 
 /// Parses argv (without the program name).
@@ -173,13 +175,6 @@ where
     {
         return Err("watch mode does not combine with ranking/approx options".into());
     }
-    // The ranked/approx iterators do not take an FdConfig; refuse rather
-    // than silently ignore the flags there.
-    if (opts.engine.is_some() || opts.page_size.is_some())
-        && (opts.rank_attr.is_some() || opts.approx_tau.is_some())
-    {
-        return Err("--engine/--page-size apply to the plain and watch modes only".into());
-    }
     Ok(opts)
 }
 
@@ -208,6 +203,52 @@ fn attribute_importance(db: &Database, attr_name: &str) -> Result<ImpScores, Str
     }))
 }
 
+/// Builds the one [`FdQuery`] every subcommand executes. `imp` must be
+/// the importance assignment for `opts.rank_attr` when that is set.
+fn build_query<'db>(
+    opts: &Options,
+    db: &'db Database,
+    imp: Option<&'db ImpScores>,
+) -> FdQuery<'db> {
+    let mut query = FdQuery::over(db).with_config(opts.fd_config());
+    if let Some(tau) = opts.approx_tau {
+        query = query.approx(
+            AMin::new(EditDistanceSim, ProbScores::uniform(db, 1.0)),
+            tau,
+        );
+    }
+    if let Some(imp) = imp {
+        query = query.ranked(FMax::new(imp));
+        if let Some(k) = opts.top {
+            query = query.top_k(k);
+        }
+        if let Some(t) = opts.min_rank {
+            query = query.threshold(t);
+        }
+    }
+    query
+}
+
+/// The headline describing what the options asked for.
+fn headline(opts: &Options, n_results: usize) -> String {
+    let approx = opts
+        .approx_tau
+        .map(|tau| format!(", approximate (τ = {tau})"))
+        .unwrap_or_default();
+    match &opts.rank_attr {
+        Some(attr) => match (opts.top, opts.min_rank) {
+            (Some(k), Some(t)) => format!("Top-{k} by max({attr}) with rank ≥ {t}{approx}"),
+            (Some(k), None) => format!("Top-{k} by max({attr}){approx}"),
+            (None, Some(t)) => format!("Results with max({attr}) ≥ {t}{approx}"),
+            (None, None) => format!("Ranked by max({attr}){approx}"),
+        },
+        None => match opts.approx_tau {
+            Some(tau) => format!("Approximate full disjunction (τ = {tau})"),
+            None => format!("Full disjunction ({n_results} tuple sets)"),
+        },
+    }
+}
+
 /// Runs the command described by the options and renders the output.
 pub fn run(opts: &Options) -> Result<String, String> {
     let db = load_database(opts)?;
@@ -218,62 +259,29 @@ pub fn run(opts: &Options) -> Result<String, String> {
         }
     }
 
-    if let Some(tau) = opts.approx_tau {
-        let a = AMin::new(EditDistanceSim, ProbScores::uniform(&db, 1.0));
-        let afd = canonicalize(approx_full_disjunction(&db, &a, tau));
-        let _ = write!(
-            out,
-            "{}",
-            format_results(
-                &db,
-                &format!("Approximate full disjunction (τ = {tau})"),
-                &afd
-            )
-        );
-        return Ok(out);
-    }
+    let imp = match &opts.rank_attr {
+        Some(attr) => Some(attribute_importance(&db, attr)?),
+        None => None,
+    };
+    let result = build_query(opts, &db, imp.as_ref())
+        .run()
+        .map_err(|e| e.to_string())?;
 
-    match (&opts.rank_attr, opts.top, opts.min_rank) {
-        (Some(attr), Some(k), _) => {
-            let imp = attribute_importance(&db, attr)?;
-            let f = FMax::new(&imp);
-            let ranked = top_k(&db, &f, k);
-            let sets: Vec<_> = ranked.iter().map(|(s, _)| s.clone()).collect();
-            let _ = write!(
-                out,
-                "{}",
-                format_results(&db, &format!("Top-{k} by max({attr})"), &sets)
-            );
-            for (set, rank) in &ranked {
-                let _ = writeln!(out, "rank {rank:>8.3}  {}", set.label(&db));
-            }
-        }
-        (Some(attr), None, Some(min_rank)) => {
-            let imp = attribute_importance(&db, attr)?;
-            let f = FMax::new(&imp);
-            let ranked = threshold(&db, &f, min_rank);
-            let sets: Vec<_> = ranked.iter().map(|(s, _)| s.clone()).collect();
-            let _ = write!(
-                out,
-                "{}",
-                format_results(
-                    &db,
-                    &format!("Results with max({attr}) ≥ {min_rank}"),
-                    &sets
-                )
-            );
-        }
-        _ => {
-            let fd = canonicalize(full_disjunction_with(&db, opts.fd_config()));
-            let _ = write!(
-                out,
-                "{}",
-                format_results(
-                    &db,
-                    &format!("Full disjunction ({} tuple sets)", fd.len()),
-                    &fd
-                )
-            );
+    let ranked = result.ranks().map(|r| r.to_vec());
+    let sets = if ranked.is_some() {
+        // Ranked modes: keep the emission (rank) order.
+        result.into_sets()
+    } else {
+        canonicalize(result.into_sets())
+    };
+    let _ = write!(
+        out,
+        "{}",
+        format_results(&db, &headline(opts, sets.len()), &sets)
+    );
+    if let Some(ranks) = ranked {
+        for (set, rank) in sets.iter().zip(ranks) {
+            let _ = writeln!(out, "rank {rank:>8.3}  {}", set.label(&db));
         }
     }
     Ok(out)
@@ -291,7 +299,15 @@ pub fn run(opts: &Options) -> Result<String, String> {
 /// only I/O failures abort.
 pub fn run_watch(opts: &Options, input: impl BufRead, mut out: impl Write) -> Result<(), String> {
     let db = load_database(opts)?;
-    let mut live = LiveFd::with_config(db, opts.fd_config());
+    // Validate + derive the configuration through the query, then hand
+    // the database over by move — `LiveFd::from_query` would clone it.
+    let query = build_query(opts, &db, None);
+    query
+        .require_batch("watch mode")
+        .map_err(|e| e.to_string())?;
+    let cfg = query.config();
+    drop(query); // release the borrow of `db` before moving it
+    let mut live = LiveFd::with_config(db, cfg);
     let emit = |out: &mut dyn Write, line: &str| -> Result<(), String> {
         writeln!(out, "{line}").map_err(|e| format!("write failed: {e}"))
     };
@@ -431,10 +447,17 @@ mod tests {
         assert!(parse_args(["--engine"]).is_err());
         assert!(parse_args(["--page-size", "0"]).is_err());
         assert!(parse_args(["--page-size", "x"]).is_err());
-        // Modes that cannot honor the flags refuse them instead of
-        // silently ignoring them.
-        assert!(parse_args(["--top", "2", "--rank-by", "Stars", "--engine", "scan"]).is_err());
-        assert!(parse_args(["--approx", "0.9", "--page-size", "4"]).is_err());
+    }
+
+    #[test]
+    fn engine_and_page_size_are_accepted_in_ranked_and_approx_modes() {
+        // The FdQuery rewiring made every mode honor the execution
+        // knobs — the old "refuse rather than silently ignore" parse
+        // errors are gone.
+        let o = parse_args(["--top", "2", "--rank-by", "Stars", "--engine", "scan"]).unwrap();
+        assert_eq!(o.engine, Some(StoreEngine::Scan));
+        let o = parse_args(["--approx", "0.9", "--page-size", "4"]).unwrap();
+        assert_eq!(o.page_size, Some(4));
     }
 
     #[test]
@@ -540,6 +563,44 @@ mod tests {
         let opts = parse_args(["--approx", "0.9"]).unwrap();
         let out = run(&opts).unwrap();
         assert!(out.contains("Approximate"));
+    }
+
+    #[test]
+    fn run_ranked_honors_engine_and_page_size() {
+        let base = run(&parse_args(["--top", "3", "--rank-by", "Stars"]).unwrap()).unwrap();
+        for extra in [
+            vec!["--engine", "scan"],
+            vec!["--engine", "indexed", "--page-size", "2"],
+        ] {
+            let mut args = vec!["--top", "3", "--rank-by", "Stars"];
+            args.extend(&extra);
+            let out = run(&parse_args(args).unwrap()).unwrap();
+            assert_eq!(base, out, "{extra:?}");
+        }
+    }
+
+    #[test]
+    fn run_approx_honors_engine_and_page_size() {
+        let base = run(&parse_args(["--approx", "0.9"]).unwrap()).unwrap();
+        for extra in [
+            vec!["--engine", "scan"],
+            vec!["--engine", "scan", "--page-size", "2"],
+        ] {
+            let mut args = vec!["--approx", "0.9"];
+            args.extend(&extra);
+            let out = run(&parse_args(args).unwrap()).unwrap();
+            assert_eq!(base, out, "{extra:?}");
+        }
+    }
+
+    #[test]
+    fn run_ranked_approx_combination() {
+        // Combining --approx with --rank-by/--top now works (one FdQuery
+        // in ranked-approximate mode) instead of ignoring the ranking.
+        let opts = parse_args(["--approx", "0.9", "--rank-by", "Stars", "--top", "2"]).unwrap();
+        let out = run(&opts).unwrap();
+        assert!(out.contains("Top-2 by max(Stars), approximate"), "{out}");
+        assert!(out.contains("rank    4.000"), "{out}");
     }
 
     #[test]

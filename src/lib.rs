@@ -20,20 +20,60 @@
 //!
 //! ## Quickstart
 //!
+//! Every enumeration mode is reachable through one typed builder,
+//! [`FdQuery`](crate::core::FdQuery):
+//!
 //! ```
 //! use full_disjunction::prelude::*;
 //!
 //! // Table 1 of the paper: Climates, Accommodations, Sites.
 //! let db = tourist_database();
 //!
-//! // Compute the full disjunction (Table 2 of the paper): 6 tuple sets.
-//! let fd = full_disjunction(&db);
+//! // Batch: the full disjunction (Table 2 of the paper), 6 tuple sets.
+//! let fd = FdQuery::over(&db).run()?;
 //! assert_eq!(fd.len(), 6);
 //!
-//! // Or stream it tuple set by tuple set with polynomial delay:
-//! let first = FdIter::new(&db).next().unwrap();
+//! // Streaming, tuple set by tuple set with polynomial delay:
+//! let first = FdQuery::over(&db).stream()?.next().unwrap()?;
 //! assert!(!first.tuples().is_empty());
+//!
+//! // Ranked: the 2 best answers under an importance assignment, with
+//! // engine/page-size knobs honored like in every other mode.
+//! let imp = ImpScores::from_fn(&db, |t| t.0 as f64);
+//! let top = FdQuery::over(&db)
+//!     .engine(StoreEngine::Scan)
+//!     .ranked(FMax::new(&imp))
+//!     .top_k(2)
+//!     .run()?;
+//! assert_eq!(top.len(), 2);
+//!
+//! // Invalid combinations are typed errors, not panics:
+//! assert!(FdQuery::over(&db).top_k(3).run().is_err());
+//! # Ok::<(), FdError>(())
 //! ```
+//!
+//! ## Migrating from the free functions
+//!
+//! The pre-builder free functions remain as thin wrappers for one
+//! release; each maps to a builder chain:
+//!
+//! | Old entry point | Builder equivalent |
+//! |---|---|
+//! | `full_disjunction(&db)` | `FdQuery::over(&db).run()?.into_sets()` |
+//! | `full_disjunction_with(&db, cfg)` | `FdQuery::over(&db).with_config(cfg).run()?` |
+//! | `FdIter::new(&db)` | `FdQuery::over(&db).stream()?` |
+//! | `top_k(&db, &f, k)` | `FdQuery::over(&db).ranked(&f).top_k(k).run()?` |
+//! | `threshold(&db, &f, t)` | `FdQuery::over(&db).ranked(&f).threshold(t).run()?` |
+//! | `RankedFdIter::new(&db, &f)` | `FdQuery::over(&db).ranked(&f).stream()?` |
+//! | `approx_full_disjunction(&db, &a, tau)` | `FdQuery::over(&db).approx(&a, tau).run()?` |
+//! | `approx_top_k(&db, &a, tau, &f, k)` | `FdQuery::over(&db).approx(&a, tau).ranked(&f).top_k(k).run()?` |
+//! | `parallel_full_disjunction(&db, cfg, n)` | `FdQuery::over(&db).with_config(cfg).parallel(n).run()?` |
+//! | `delta_insert(&db, t, prev, cfg)` | `FdQuery::over(&db).with_config(cfg).delta_insert(t, prev)?` |
+//! | `delta_delete(&db, t, prev, cfg)` | `FdQuery::over(&db).with_config(cfg).delta_delete(t, prev)?` |
+//! | `LiveFd::with_config(db, cfg)` | `LiveFd::from_query(FdQuery::over(&db).with_config(cfg))?` |
+//! | `LiveRankedFd::with_config(db, f, k, cfg)` | `LiveRankedFd::from_query(FdQuery::over(&db).ranked(f).top_k(k).with_config(cfg))?` |
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub use fd_baselines as baselines;
 pub use fd_core as core;
@@ -47,9 +87,10 @@ pub mod cli;
 pub mod prelude {
     pub use fd_core::{
         approx_full_disjunction, delta_delete, delta_insert, fdi, full_disjunction, threshold,
-        top_k, AMin, AProd, ApproxFdIter, DeleteDelta, FMax, FPairSum, FSum, FTriple, FdConfig,
-        FdIter, FdiIter, ImpScores, InsertDelta, MonotoneCDetermined, ProbScores, RankedFdIter,
-        RankingFunction, Stats, StoreEngine, TupleSet,
+        top_k, AMin, AProd, ApproxAllIter, ApproxFdIter, DeleteDelta, FMax, FPairSum, FSum,
+        FTriple, FdConfig, FdError, FdIter, FdQuery, FdResult, FdStream, FdiIter, ImpScores,
+        InitStrategy, InsertDelta, MonotoneCDetermined, ProbScores, RankedFdIter, RankingFunction,
+        Stats, StoreEngine, TupleSet,
     };
     pub use fd_live::{FdEvent, LiveFd, LiveRankedFd, TopKUpdate};
     pub use fd_relational::{

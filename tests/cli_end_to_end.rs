@@ -120,6 +120,87 @@ fn engine_flags_from_a_file_agree_with_default() {
     std::fs::remove_file(path).ok();
 }
 
+/// `--engine`/`--page-size` used to be *rejected* in ranked and approx
+/// modes; with every subcommand built on one `FdQuery` they are honored
+/// and must not change the answers.
+#[test]
+fn ranked_mode_honors_engine_flags_from_a_file() {
+    let path = write_temp("ranked-engines", CATALOG);
+    let file = path.to_string_lossy().into_owned();
+    let ranked = ["--top", "2", "--rank-by", "Price"];
+    let mut base_args = vec![file.as_str()];
+    base_args.extend(ranked);
+    let base = run(&parse_args(base_args.clone()).unwrap()).unwrap();
+    assert!(base.contains("999"), "{base}");
+    for extra in [
+        vec!["--engine", "scan"],
+        vec!["--engine", "indexed", "--page-size", "2"],
+    ] {
+        let mut args = base_args.clone();
+        args.extend(extra);
+        let out = run(&parse_args(args).unwrap()).unwrap();
+        assert_eq!(base, out);
+    }
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn approx_mode_honors_engine_flags_from_a_file() {
+    let noisy = "\
+relation Vendors(Product, Vendor)
+lapptop | Acme
+
+relation Prices(Product, Price)
+laptop | 999
+";
+    let path = write_temp("approx-engines", noisy);
+    let file = path.to_string_lossy().into_owned();
+    let base = run(&parse_args([file.as_str(), "--approx", "0.8"]).unwrap()).unwrap();
+    assert!(base.contains("{v1, p1}"), "{base}");
+    for extra in [
+        vec!["--engine", "scan"],
+        vec!["--engine", "scan", "--page-size", "1"],
+    ] {
+        let mut args = vec![file.as_str(), "--approx", "0.8"];
+        args.extend(extra);
+        let out = run(&parse_args(args).unwrap()).unwrap();
+        assert_eq!(base, out);
+    }
+    std::fs::remove_file(path).ok();
+}
+
+/// The ranked-approximate combination (end of Section 6) from the CLI:
+/// `--approx` + `--rank-by`/`--top` build one ranked-approx `FdQuery`.
+#[test]
+fn ranked_approx_mode_from_a_file() {
+    let noisy = "\
+relation Vendors(Product, Vendor)
+lapptop | Acme
+phone   | Bravo
+
+relation Prices(Product, Price)
+laptop | 999
+phone  | 650
+";
+    let path = write_temp("ranked-approx", noisy);
+    let opts = parse_args([
+        path.to_string_lossy().as_ref(),
+        "--approx",
+        "0.8",
+        "--rank-by",
+        "Price",
+        "--top",
+        "1",
+    ])
+    .unwrap();
+    let out = run(&opts).unwrap();
+    // The best-priced approximate join wins: lapptop ≈ laptop at 999.
+    assert!(out.contains("999"), "{out}");
+    assert!(out.contains("rank  999.000"), "{out}");
+    assert!(!out.contains("Bravo"), "{out}");
+    std::fs::remove_file(path).ok();
+}
+
 /// The full `fd watch` loop: load a file, insert (new result events),
 /// insert a subsuming tuple (retraction + addition), delete (retraction
 /// + restoration).

@@ -1,0 +1,290 @@
+//! Cross-engine equivalence of the `FdQuery` builder: every public
+//! enumeration mode must compute identical answers — as canonical sets,
+//! and in identical rank order for the ranked modes — across every
+//! `StoreEngine` × page size × `InitStrategy` combination, on the paper's
+//! tourist example and the chain/star workloads. This is the acceptance
+//! gate for "engine/page-size/init are honored uniformly".
+
+use full_disjunction::core::{FdQuery, TupleSet};
+use full_disjunction::prelude::*;
+use full_disjunction::workloads::{chain, star, DataSpec};
+
+fn workloads() -> Vec<(String, Database)> {
+    vec![
+        ("tourist".into(), tourist_database()),
+        ("chain".into(), chain(3, &DataSpec::new(8, 4).seed(41))),
+        ("star".into(), star(4, &DataSpec::new(6, 4).seed(42))),
+    ]
+}
+
+fn configs() -> Vec<FdConfig> {
+    let mut out = Vec::new();
+    for engine in [StoreEngine::Scan, StoreEngine::Indexed] {
+        for page_size in [None, Some(1), Some(7), Some(256)] {
+            for init in [
+                InitStrategy::Singletons,
+                InitStrategy::ReuseResults,
+                InitStrategy::TrimExtend,
+            ] {
+                out.push(FdConfig {
+                    engine,
+                    page_size,
+                    init,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn canonical(sets: Vec<TupleSet>) -> Vec<Vec<TupleId>> {
+    let mut out: Vec<Vec<TupleId>> = sets.into_iter().map(|s| s.tuples().to_vec()).collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn batch_mode_is_config_invariant() {
+    for (name, db) in workloads() {
+        let base = canonical(FdQuery::over(&db).run().unwrap().into_sets());
+        assert!(!base.is_empty(), "{name}");
+        for cfg in configs() {
+            let got = canonical(
+                FdQuery::over(&db)
+                    .with_config(cfg)
+                    .run()
+                    .unwrap()
+                    .into_sets(),
+            );
+            assert_eq!(base, got, "{name} {cfg:?}");
+        }
+    }
+}
+
+#[test]
+fn parallel_mode_is_config_invariant() {
+    for (name, db) in workloads() {
+        let base = canonical(FdQuery::over(&db).run().unwrap().into_sets());
+        for cfg in configs() {
+            for threads in [1usize, 3, 8] {
+                let got = canonical(
+                    FdQuery::over(&db)
+                        .with_config(cfg)
+                        .parallel(threads)
+                        .run()
+                        .unwrap()
+                        .into_sets(),
+                );
+                assert_eq!(base, got, "{name} {cfg:?} threads={threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn ranked_mode_is_config_invariant_in_rank_order() {
+    for (name, db) in workloads() {
+        let imp = ImpScores::from_fn(&db, |t| (t.0 % 7) as f64);
+        let base = FdQuery::over(&db).ranked(FMax::new(&imp)).run().unwrap();
+        let base_ranks: Vec<f64> = base.ranks().unwrap().to_vec();
+        let base_sets = canonical(base.into_sets());
+        // Emission must be non-increasing in rank.
+        for w in base_ranks.windows(2) {
+            assert!(w[0] >= w[1], "{name}: rank order violated");
+        }
+        for cfg in configs() {
+            let got = FdQuery::over(&db)
+                .with_config(cfg)
+                .ranked(FMax::new(&imp))
+                .run()
+                .unwrap();
+            // Identical rank sequence (ties may permute between engines,
+            // so sets are compared canonically).
+            assert_eq!(&base_ranks, got.ranks().unwrap(), "{name} {cfg:?}");
+            assert_eq!(base_sets, canonical(got.into_sets()), "{name} {cfg:?}");
+        }
+    }
+}
+
+#[test]
+fn ranked_top_k_and_threshold_are_config_invariant() {
+    for (name, db) in workloads() {
+        let imp = ImpScores::from_fn(&db, |t| (t.0 % 7) as f64);
+        let all = FdQuery::over(&db).ranked(FMax::new(&imp)).run().unwrap();
+        let k = (all.len() / 2).max(1);
+        let tau = all.ranks().unwrap()[all.len() / 2];
+        let base_topk: Vec<f64> = all.ranks().unwrap()[..k].to_vec();
+        let base_thresh: Vec<f64> = all
+            .ranks()
+            .unwrap()
+            .iter()
+            .copied()
+            .filter(|&r| r >= tau)
+            .collect();
+        for cfg in configs() {
+            let topk = FdQuery::over(&db)
+                .with_config(cfg)
+                .ranked(FMax::new(&imp))
+                .top_k(k)
+                .run()
+                .unwrap();
+            assert_eq!(base_topk, topk.ranks().unwrap(), "{name} {cfg:?} top-k");
+
+            let thresh = FdQuery::over(&db)
+                .with_config(cfg)
+                .ranked(FMax::new(&imp))
+                .threshold(tau)
+                .run()
+                .unwrap();
+            assert_eq!(
+                base_thresh,
+                thresh.ranks().unwrap(),
+                "{name} {cfg:?} threshold"
+            );
+        }
+    }
+}
+
+#[test]
+fn approx_mode_is_config_invariant() {
+    for (name, db) in workloads() {
+        let a = AMin::new(
+            full_disjunction::core::ExactSim,
+            ProbScores::uniform(&db, 1.0),
+        );
+        let base = canonical(
+            FdQuery::over(&db)
+                .approx(&a, 0.9)
+                .run()
+                .unwrap()
+                .into_sets(),
+        );
+        for cfg in configs() {
+            let got = canonical(
+                FdQuery::over(&db)
+                    .with_config(cfg)
+                    .approx(&a, 0.9)
+                    .run()
+                    .unwrap()
+                    .into_sets(),
+            );
+            assert_eq!(base, got, "{name} {cfg:?}");
+        }
+    }
+}
+
+#[test]
+fn ranked_approx_mode_is_config_invariant_in_rank_order() {
+    for (name, db) in workloads() {
+        let a = AMin::new(
+            full_disjunction::core::ExactSim,
+            ProbScores::uniform(&db, 1.0),
+        );
+        let imp = ImpScores::from_fn(&db, |t| (t.0 % 5) as f64);
+        let base = FdQuery::over(&db)
+            .approx(&a, 0.9)
+            .ranked(FMax::new(&imp))
+            .run()
+            .unwrap();
+        let base_ranks: Vec<f64> = base.ranks().unwrap().to_vec();
+        let base_sets = canonical(base.into_sets());
+        for cfg in configs() {
+            let got = FdQuery::over(&db)
+                .with_config(cfg)
+                .approx(&a, 0.9)
+                .ranked(FMax::new(&imp))
+                .run()
+                .unwrap();
+            assert_eq!(&base_ranks, got.ranks().unwrap(), "{name} {cfg:?}");
+            assert_eq!(base_sets, canonical(got.into_sets()), "{name} {cfg:?}");
+        }
+    }
+}
+
+#[test]
+fn streaming_agrees_with_materialized_for_every_config() {
+    let db = tourist_database();
+    let imp = ImpScores::from_fn(&db, |t| t.0 as f64);
+    for cfg in configs() {
+        let ran = FdQuery::over(&db)
+            .with_config(cfg)
+            .run()
+            .unwrap()
+            .into_sets();
+        let streamed: Vec<TupleSet> = FdQuery::over(&db)
+            .with_config(cfg)
+            .stream()
+            .unwrap()
+            .map(|r| r.expect("streams do not fail"))
+            .collect();
+        assert_eq!(ran, streamed, "batch {cfg:?}");
+
+        let ran = FdQuery::over(&db)
+            .with_config(cfg)
+            .ranked(FMax::new(&imp))
+            .top_k(3)
+            .run()
+            .unwrap()
+            .into_sets();
+        let streamed: Vec<TupleSet> = FdQuery::over(&db)
+            .with_config(cfg)
+            .ranked(FMax::new(&imp))
+            .top_k(3)
+            .stream()
+            .unwrap()
+            .map(|r| r.expect("streams do not fail"))
+            .collect();
+        assert_eq!(ran, streamed, "ranked {cfg:?}");
+    }
+}
+
+#[test]
+fn block_based_ranked_and_approx_runs_actually_page() {
+    let db = tourist_database();
+    let imp = ImpScores::from_fn(&db, |t| t.0 as f64);
+    let mut s = FdQuery::over(&db)
+        .page_size(2)
+        .ranked(FMax::new(&imp))
+        .stream()
+        .unwrap();
+    while s.next().is_some() {}
+    assert!(s.pages_read() > 0, "ranked candidate scans must page");
+
+    let a = AMin::new(
+        full_disjunction::core::ExactSim,
+        ProbScores::uniform(&db, 1.0),
+    );
+    let mut s = FdQuery::over(&db)
+        .page_size(2)
+        .approx(&a, 0.9)
+        .stream()
+        .unwrap();
+    while s.next().is_some() {}
+    assert!(s.pages_read() > 0, "approx candidate scans must page");
+}
+
+#[test]
+fn delta_maintenance_is_config_invariant() {
+    for (name, mut db) in workloads() {
+        let before = FdQuery::over(&db).run().unwrap().into_sets();
+        let rel = RelId(0);
+        let arity = db.relations()[0].schema().arity();
+        let t = db
+            .insert_tuple(
+                rel,
+                (0..arity).map(|i| Value::Int(900 + i as i64)).collect(),
+            )
+            .unwrap();
+        let base = {
+            let d = FdQuery::over(&db).delta_insert(t, &before).unwrap();
+            canonical(d.added)
+        };
+        for cfg in configs() {
+            let d = FdQuery::over(&db)
+                .with_config(cfg)
+                .delta_insert(t, &before)
+                .unwrap();
+            assert_eq!(base, canonical(d.added), "{name} {cfg:?}");
+        }
+    }
+}
