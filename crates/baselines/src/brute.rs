@@ -106,7 +106,7 @@ pub fn keep_maximal(mut sets: Vec<TupleSet>) -> Vec<TupleSet> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fd_core::{canonicalize, full_disjunction};
+    use fd_core::{canonicalize, FdQuery};
     use fd_relational::tourist_database;
 
     #[test]
@@ -114,7 +114,7 @@ mod tests {
         let db = tourist_database();
         let oracle = oracle_fd(&db);
         assert_eq!(oracle.len(), 6);
-        let incremental = canonicalize(full_disjunction(&db));
+        let incremental = canonicalize(FdQuery::over(&db).run().unwrap().into_sets());
         assert_eq!(oracle, incremental);
     }
 

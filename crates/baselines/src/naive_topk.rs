@@ -6,13 +6,12 @@
 //! *whole* output even when `k` is tiny — the ranked algorithm's
 //! advantage is precisely not paying `f` when `k ≪ f`.
 
-use fd_core::{full_disjunction, RankingFunction, TupleSet};
+use fd_core::{FdIter, RankingFunction, TupleSet};
 use fd_relational::Database;
 
 /// Top-k by full materialization and sorting.
 pub fn naive_top_k<F: RankingFunction>(db: &Database, f: &F, k: usize) -> Vec<(TupleSet, f64)> {
-    let mut ranked: Vec<(TupleSet, f64)> = full_disjunction(db)
-        .into_iter()
+    let mut ranked: Vec<(TupleSet, f64)> = FdIter::new(db)
         .map(|s| {
             let r = f.rank(db, &s);
             (s, r)
@@ -26,7 +25,7 @@ pub fn naive_top_k<F: RankingFunction>(db: &Database, f: &F, k: usize) -> Vec<(T
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fd_core::{top_k, FMax, ImpScores};
+    use fd_core::{FMax, FdQuery, ImpScores};
     use fd_relational::tourist_database;
 
     #[test]
@@ -36,7 +35,14 @@ mod tests {
         let f = FMax::new(&imp);
         for k in [1, 3, 6, 10] {
             let naive: Vec<f64> = naive_top_k(&db, &f, k).into_iter().map(|x| x.1).collect();
-            let ranked: Vec<f64> = top_k(&db, &f, k).into_iter().map(|x| x.1).collect();
+            let ranked: Vec<f64> = FdQuery::over(&db)
+                .ranked(&f)
+                .top_k(k)
+                .run()
+                .unwrap()
+                .ranks()
+                .unwrap()
+                .to_vec();
             assert_eq!(naive, ranked, "k = {k}");
         }
     }

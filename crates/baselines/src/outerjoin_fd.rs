@@ -100,7 +100,7 @@ pub fn outerjoin_sequence(db: &Database, order: &[usize]) -> DerivedRelation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fd_core::{full_disjunction, padded_relation};
+    use fd_core::{padded_relation, FdQuery};
     use fd_relational::{DatabaseBuilder, Value};
 
     /// A null-free γ-acyclic chain for baseline agreement tests.
@@ -129,7 +129,7 @@ mod tests {
     fn outerjoin_matches_incremental_on_gamma_acyclic_chain() {
         let db = chain_db();
         let oj = outerjoin_fd(&db).unwrap();
-        let fd = full_disjunction(&db);
+        let fd = FdQuery::over(&db).run().unwrap().into_sets();
         let fd_rows = sorted_rows(padded_relation(&db, &fd));
         let oj_rows = sorted_rows(oj.rows.iter().map(|r| r.to_vec()).collect());
         assert_eq!(fd_rows, oj_rows);
@@ -145,7 +145,7 @@ mod tests {
             .row([2, 800]);
         let db = b.build().unwrap();
         let oj = outerjoin_fd(&db).unwrap();
-        let fd = full_disjunction(&db);
+        let fd = FdQuery::over(&db).run().unwrap().into_sets();
         assert_eq!(
             sorted_rows(padded_relation(&db, &fd)),
             sorted_rows(oj.rows.iter().map(|r| r.to_vec()).collect())

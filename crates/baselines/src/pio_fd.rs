@@ -70,7 +70,7 @@ pub fn pio_fd(db: &Database) -> (Vec<TupleSet>, Stats) {
 mod tests {
     use super::*;
     use crate::brute::oracle_fd;
-    use fd_core::{canonicalize, full_disjunction};
+    use fd_core::{canonicalize, FdQuery};
     use fd_relational::tourist_database;
 
     #[test]
@@ -78,7 +78,10 @@ mod tests {
         let db = tourist_database();
         let (batch, _) = pio_fd(&db);
         assert_eq!(batch, oracle_fd(&db));
-        assert_eq!(batch, canonicalize(full_disjunction(&db)));
+        assert_eq!(
+            batch,
+            canonicalize(FdQuery::over(&db).run().unwrap().into_sets())
+        );
     }
 
     #[test]

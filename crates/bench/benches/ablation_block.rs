@@ -5,8 +5,8 @@
 //! proportionally to the block size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fd_bench::bench_chain;
-use fd_core::{full_disjunction_with, FdConfig};
+use fd_bench::{bench_chain, full_fd_with};
+use fd_core::FdConfig;
 use std::hint::black_box;
 
 fn ablation_block(c: &mut Criterion) {
@@ -14,7 +14,7 @@ fn ablation_block(c: &mut Criterion) {
     let mut group = c.benchmark_group("e12_block_size");
     group.sample_size(10);
     group.bench_function("tuple_at_a_time", |b| {
-        b.iter(|| black_box(full_disjunction_with(&db, FdConfig::default())))
+        b.iter(|| black_box(full_fd_with(&db, FdConfig::default())))
     });
     for page_size in [1usize, 8, 64, 512] {
         let cfg = FdConfig {
@@ -22,7 +22,7 @@ fn ablation_block(c: &mut Criterion) {
             ..FdConfig::default()
         };
         group.bench_with_input(BenchmarkId::new("paged", page_size), &cfg, |b, cfg| {
-            b.iter(|| black_box(full_disjunction_with(&db, *cfg)))
+            b.iter(|| black_box(full_fd_with(&db, *cfg)))
         });
     }
     group.finish();

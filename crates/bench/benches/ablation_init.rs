@@ -4,8 +4,8 @@
 //! trim-extend doing the most preprocessing per run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fd_bench::bench_chain;
-use fd_core::{full_disjunction_with, FdConfig, InitStrategy};
+use fd_bench::{bench_chain, full_fd_with};
+use fd_core::{FdConfig, InitStrategy};
 use std::hint::black_box;
 
 fn ablation_init(c: &mut Criterion) {
@@ -23,7 +23,7 @@ fn ablation_init(c: &mut Criterion) {
                 ..FdConfig::default()
             };
             group.bench_with_input(BenchmarkId::new(format!("{init:?}"), rows), &db, |b, db| {
-                b.iter(|| black_box(full_disjunction_with(db, cfg)))
+                b.iter(|| black_box(full_fd_with(db, cfg)))
             });
         }
     }

@@ -4,8 +4,8 @@
 //! the `f²` term of Theorem 4.8).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fd_bench::bench_chain;
-use fd_core::{full_disjunction_with, FdConfig, StoreEngine};
+use fd_bench::{bench_chain, full_fd_with};
+use fd_core::{FdConfig, StoreEngine};
 use std::hint::black_box;
 
 fn ablation_store(c: &mut Criterion) {
@@ -21,7 +21,7 @@ fn ablation_store(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("{engine:?}"), rows),
                 &db,
-                |b, db| b.iter(|| black_box(full_disjunction_with(db, cfg))),
+                |b, db| b.iter(|| black_box(full_fd_with(db, cfg))),
             );
         }
     }

@@ -5,10 +5,8 @@
 //! polynomial throughout.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fd_bench::bench_noisy_chain;
-use fd_core::{
-    approx_full_disjunction, full_disjunction, AMin, AProd, EditDistanceSim, ProbScores,
-};
+use fd_bench::{approx_fd as afd, bench_noisy_chain, full_fd};
+use fd_core::{AMin, AProd, EditDistanceSim, ProbScores};
 use std::hint::black_box;
 
 fn approx(c: &mut Criterion) {
@@ -17,16 +15,16 @@ fn approx(c: &mut Criterion) {
     let aprod = AProd::new(EditDistanceSim);
     let mut group = c.benchmark_group("e9_approx_fd");
     group.sample_size(10);
-    group.bench_function("exact_fd", |b| b.iter(|| black_box(full_disjunction(&db))));
+    group.bench_function("exact_fd", |b| b.iter(|| black_box(full_fd(&db))));
     for tau in [0.95f64, 0.85, 0.75] {
         group.bench_with_input(
             BenchmarkId::new("amin", format!("tau{tau}")),
             &tau,
-            |b, &tau| b.iter(|| black_box(approx_full_disjunction(&db, &amin, tau))),
+            |b, &tau| b.iter(|| black_box(afd(&db, &amin, tau))),
         );
     }
     group.bench_function("aprod/tau0.8", |b| {
-        b.iter(|| black_box(approx_full_disjunction(&db, &aprod, 0.8)))
+        b.iter(|| black_box(afd(&db, &aprod, 0.8)))
     });
     group.finish();
 }

@@ -10,7 +10,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fd_bench::bench_chain;
 use fd_core::delta::delta_insert;
-use fd_core::{full_disjunction_with, FdConfig};
+use fd_core::FdConfig;
 use fd_relational::{Database, RelId, TupleId, Value};
 use std::hint::black_box;
 
@@ -23,7 +23,7 @@ struct Scenario {
 
 fn scenario(rows: usize) -> Scenario {
     let mut db = bench_chain(4, rows);
-    let previous = full_disjunction_with(&db, FdConfig::default());
+    let previous = fd_core::FdIter::with_config(&db, FdConfig::default()).collect();
     // A well-connected row: join values inside the generated domain.
     let inserted = db
         .insert_tuple(
@@ -54,7 +54,11 @@ fn delta_vs_recompute(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("full_recompute", rows), &s, |b, s| {
-            b.iter(|| black_box(full_disjunction_with(&s.db, FdConfig::default())))
+            b.iter(|| {
+                black_box(
+                    fd_core::FdIter::with_config(&s.db, FdConfig::default()).collect::<Vec<_>>(),
+                )
+            })
         });
     }
     group.finish();

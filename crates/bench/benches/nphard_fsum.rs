@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fd_baselines::exhaustive_top1_fsum;
-use fd_core::{top_k, FMax, ImpScores};
+use fd_core::{FMax, ImpScores, RankedFdIter};
 use fd_workloads::{chain, DataSpec};
 use std::hint::black_box;
 
@@ -21,7 +21,7 @@ fn nphard(c: &mut Criterion) {
         });
         let fmax = FMax::new(&imp);
         group.bench_with_input(BenchmarkId::new("fmax_ranked_top1", n), &db, |b, db| {
-            b.iter(|| black_box(top_k(db, &fmax, 1)))
+            b.iter(|| black_box(RankedFdIter::new(db, &fmax).take(1).collect::<Vec<_>>()))
         });
     }
     group.finish();

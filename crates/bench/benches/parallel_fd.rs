@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fd_bench::bench_star;
-use fd_core::{parallel_full_disjunction, FdConfig};
+use fd_core::FdQuery;
 use std::hint::black_box;
 
 fn parallel(c: &mut Criterion) {
@@ -14,7 +14,7 @@ fn parallel(c: &mut Criterion) {
     group.sample_size(10);
     for threads in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
-            b.iter(|| black_box(parallel_full_disjunction(&db, FdConfig::default(), t)))
+            b.iter(|| black_box(FdQuery::over(&db).parallel(t).run().unwrap().into_sets()))
         });
     }
     group.finish();

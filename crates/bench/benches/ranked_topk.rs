@@ -4,14 +4,21 @@
 //! cost as k approaches |FD|.
 //!
 //! The `query_builder` series runs the same computation through
-//! `FdQuery` (one boxed vtable call per rank evaluation); its delta vs
-//! `direct_iter` must stay within criterion noise — the builder is a
-//! zero-overhead veneer over the direct iterator.
+//! `FdQuery`: one boxed vtable call per rank evaluation, plus the
+//! deterministic-tie guarantee — the builder buffers one full tie group
+//! ahead of the cursor, so on tie-heavy rankings a tiny k pays for the
+//! first tie group where `direct_iter` (arbitrary tie order) stops at
+//! exactly k. The `parallel_ranked` series is the sharded merge plan
+//! (`.parallel(4)`): per-worker shard enumeration plus a k-way rank
+//! merge, output-identical to the sequential builder plan; expect it to
+//! trail for tiny k (no early exit inside a worker) and to approach the
+//! naive full-enumeration cost divided by the useful core count as k
+//! approaches |FD|.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fd_baselines::naive_top_k;
 use fd_bench::bench_chain;
-use fd_core::{top_k, FMax, FdQuery};
+use fd_core::{FMax, FdQuery, RankedFdIter};
 use fd_workloads::random_importance;
 use std::hint::black_box;
 
@@ -23,7 +30,7 @@ fn ranked_topk(c: &mut Criterion) {
     group.sample_size(10);
     for k in [1usize, 10, 50] {
         group.bench_with_input(BenchmarkId::new("direct_iter", k), &k, |b, &k| {
-            b.iter(|| black_box(top_k(&db, &f, k)))
+            b.iter(|| black_box(RankedFdIter::new(&db, &f).take(k).collect::<Vec<_>>()))
         });
         group.bench_with_input(BenchmarkId::new("query_builder", k), &k, |b, &k| {
             b.iter(|| {
@@ -33,6 +40,20 @@ fn ranked_topk(c: &mut Criterion) {
                         .top_k(k)
                         .run()
                         .expect("valid ranked query")
+                        .into_ranked()
+                        .expect("ranked mode"),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("parallel_ranked", k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(
+                    FdQuery::over(&db)
+                        .ranked(&f)
+                        .top_k(k)
+                        .parallel(4)
+                        .run()
+                        .expect("valid parallel ranked query")
                         .into_ranked()
                         .expect("ranked mode"),
                 )

@@ -4,7 +4,7 @@
 //! the quadratic envelope.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fd_core::full_disjunction;
+use fd_core::FdQuery;
 use fd_workloads::{chain, DataSpec};
 use std::hint::black_box;
 
@@ -14,11 +14,11 @@ fn scaling(c: &mut Criterion) {
     group.sample_size(10);
     for domain in [60usize, 30, 15, 8] {
         let db = chain(3, &DataSpec::new(rows, domain).seed(0xFD));
-        let f = full_disjunction(&db).len();
+        let f = FdQuery::over(&db).run().unwrap().len();
         group.bench_with_input(
             BenchmarkId::new("incremental", format!("domain{domain}_f{f}")),
             &db,
-            |b, db| b.iter(|| black_box(full_disjunction(db))),
+            |b, db| b.iter(|| black_box(FdQuery::over(db).run().unwrap().into_sets())),
         );
     }
     group.finish();

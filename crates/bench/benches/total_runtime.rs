@@ -6,8 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fd_baselines::{outerjoin_fd, pio_fd};
-use fd_bench::{bench_chain, bench_star};
-use fd_core::{full_disjunction, full_disjunction_with, FdConfig, InitStrategy};
+use fd_bench::{bench_chain, bench_star, full_fd, full_fd_with};
+use fd_core::{FdConfig, InitStrategy};
 use std::hint::black_box;
 
 fn total_runtime(c: &mut Criterion) {
@@ -22,12 +22,12 @@ fn total_runtime(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("incremental/chain4", rows),
             &db,
-            |b, db| b.iter(|| black_box(full_disjunction(db))),
+            |b, db| b.iter(|| black_box(full_fd(db))),
         );
         group.bench_with_input(
             BenchmarkId::new("incremental_sec7/chain4", rows),
             &db,
-            |b, db| b.iter(|| black_box(full_disjunction_with(db, sec7))),
+            |b, db| b.iter(|| black_box(full_fd_with(db, sec7))),
         );
         group.bench_with_input(BenchmarkId::new("batch_ks03/chain4", rows), &db, |b, db| {
             b.iter(|| black_box(pio_fd(db)))
@@ -41,12 +41,12 @@ fn total_runtime(c: &mut Criterion) {
     for rows in [12usize, 20] {
         let db = bench_star(4, rows);
         group.bench_with_input(BenchmarkId::new("incremental/star4", rows), &db, |b, db| {
-            b.iter(|| black_box(full_disjunction(db)))
+            b.iter(|| black_box(full_fd(db)))
         });
         group.bench_with_input(
             BenchmarkId::new("incremental_sec7/star4", rows),
             &db,
-            |b, db| b.iter(|| black_box(full_disjunction_with(db, sec7))),
+            |b, db| b.iter(|| black_box(full_fd_with(db, sec7))),
         );
         group.bench_with_input(BenchmarkId::new("batch_ks03/star4", rows), &db, |b, db| {
             b.iter(|| black_box(pio_fd(db)))

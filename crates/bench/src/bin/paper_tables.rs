@@ -10,9 +10,8 @@ use fd_baselines::{exhaustive_top1_fsum, naive_top_k, outerjoin_fd, pio_fd};
 use fd_bench::{bench_chain, bench_noisy_chain, bench_star, fmt_duration, time_median};
 use fd_core::sim::TableSim;
 use fd_core::{
-    approx_full_disjunction, canonicalize, format_results, full_disjunction,
-    parallel_full_disjunction, top_k, AMin, AProd, ApproxJoin, ExactSim, FMax, FdConfig, FdIter,
-    FdiIter, ImpScores, InitStrategy, ProbScores, StoreEngine, TupleSet,
+    canonicalize, format_results, AMin, AProd, ApproxJoin, ExactSim, FMax, FdConfig, FdIter,
+    FdQuery, FdiIter, ImpScores, InitStrategy, ProbScores, StoreEngine, TupleSet,
 };
 use fd_relational::textio::{format_relation, format_table};
 use fd_relational::{tourist_database, Database, RelId, TupleId};
@@ -51,7 +50,7 @@ fn table_1_and_2() {
     for rel in db.relations() {
         println!("{}", format_relation(&db, rel.id()));
     }
-    let fd = canonicalize(full_disjunction(&db));
+    let fd = canonicalize(FdQuery::over(&db).run().unwrap().into_sets());
     println!(
         "{}",
         format_results(&db, "Table 2: FD(Climates, Accommodations, Sites)", &fd)
@@ -160,8 +159,14 @@ fn e3_total_runtime(scale: usize) {
         ("chain n=4", bench_chain(4, 16 * scale)),
         ("star  n=4", bench_star(4, 16 * scale)),
     ] {
-        let (fd, t_naive) = time_median(3, || full_disjunction(&db));
-        let (fd7, t_sec7) = time_median(3, || fd_core::full_disjunction_with(&db, trim));
+        let (fd, t_naive) = time_median(3, || FdQuery::over(&db).run().unwrap().into_sets());
+        let (fd7, t_sec7) = time_median(3, || {
+            FdQuery::over(&db)
+                .with_config(trim)
+                .run()
+                .unwrap()
+                .into_sets()
+        });
         let ((batch, _), t_batch) = time_median(3, || pio_fd(&db));
         assert_eq!(canonicalize(fd.clone()), batch);
         assert_eq!(canonicalize(fd7), batch);
@@ -241,7 +246,7 @@ fn e5_scaling(scale: usize) {
     let mut rows_out = Vec::new();
     for domain in [rows, rows / 2, rows / 4, rows / 8] {
         let db = chain(3, &DataSpec::new(rows, domain.max(1)).seed(0xFD));
-        let (fd, t) = time_median(3, || full_disjunction(&db));
+        let (fd, t) = time_median(3, || FdQuery::over(&db).run().unwrap().into_sets());
         let f: usize = fd.iter().map(TupleSet::total_size).sum();
         rows_out.push(vec![
             domain.to_string(),
@@ -268,7 +273,15 @@ fn e6_ranked_topk(scale: usize) {
     let f = FMax::new(&imp);
     let mut rows_out = Vec::new();
     for k in [1usize, 10, 50] {
-        let (ranked, t_ranked) = time_median(3, || top_k(&db, &f, k));
+        let (ranked, t_ranked) = time_median(3, || {
+            FdQuery::over(&db)
+                .ranked(&f)
+                .top_k(k)
+                .run()
+                .unwrap()
+                .into_ranked()
+                .unwrap()
+        });
         let (naive, t_naive) = time_median(3, || naive_top_k(&db, &f, k));
         assert_eq!(
             ranked.iter().map(|x| x.1).collect::<Vec<_>>(),
@@ -306,7 +319,15 @@ fn e7_nphard(fast: bool) {
         let imp = ImpScores::uniform(&db, 1.0);
         let (_, t_sum) = time_median(1, || exhaustive_top1_fsum(&db, &imp));
         let fmax = FMax::new(&imp);
-        let (_, t_max) = time_median(1, || top_k(&db, &fmax, 1));
+        let (_, t_max) = time_median(1, || {
+            FdQuery::over(&db)
+                .ranked(&fmax)
+                .top_k(1)
+                .run()
+                .unwrap()
+                .into_ranked()
+                .unwrap()
+        });
         rows_out.push(vec![
             n.to_string(),
             fmt_duration(t_sum),
@@ -327,7 +348,7 @@ fn e7_nphard(fast: bool) {
 fn e8_e9_approx(scale: usize) {
     header("E9 — APPROXINCREMENTALFD across thresholds (A_min, edit distance)");
     let db = bench_noisy_chain(3, 20 * scale, 0.3);
-    let exact = full_disjunction(&db);
+    let exact = FdQuery::over(&db).run().unwrap().into_sets();
     let a = AMin::new(fd_core::EditDistanceSim, ProbScores::uniform(&db, 1.0));
     let mut rows_out = vec![vec![
         "exact FD".to_string(),
@@ -336,7 +357,13 @@ fn e8_e9_approx(scale: usize) {
         "-".into(),
     ]];
     for tau in [0.95, 0.85, 0.75] {
-        let (afd, t) = time_median(3, || approx_full_disjunction(&db, &a, tau));
+        let (afd, t) = time_median(3, || {
+            FdQuery::over(&db)
+                .approx(&a, tau)
+                .run()
+                .unwrap()
+                .into_sets()
+        });
         rows_out.push(vec![
             format!("AFD τ={tau}"),
             afd.len().to_string(),
@@ -488,7 +515,11 @@ fn e13_parallel(scale: usize) {
     let mut rows_out = Vec::new();
     for threads in [1usize, 2, 4, 8] {
         let (out, t) = time_median(3, || {
-            parallel_full_disjunction(&db, FdConfig::default(), threads).0
+            FdQuery::over(&db)
+                .parallel(threads)
+                .run()
+                .unwrap()
+                .into_sets()
         });
         let base = *baseline.get_or_insert(t);
         rows_out.push(vec![

@@ -14,9 +14,28 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use fd_core::{ApproxAllIter, ApproxJoin, FdConfig, FdIter, TupleSet};
 use fd_relational::Database;
 use fd_workloads::{chain, star, DataSpec};
 use std::time::{Duration, Instant};
+
+/// Materializes the full disjunction with an explicit configuration —
+/// the benches' shared stand-in for the removed `full_disjunction_with`
+/// free function (kept once here instead of per bench target).
+pub fn full_fd_with(db: &Database, cfg: FdConfig) -> Vec<TupleSet> {
+    FdIter::with_config(db, cfg).collect()
+}
+
+/// [`full_fd_with`] at the default configuration.
+pub fn full_fd(db: &Database) -> Vec<TupleSet> {
+    full_fd_with(db, FdConfig::default())
+}
+
+/// Materializes the approximate full disjunction, shared by the approx
+/// bench targets.
+pub fn approx_fd<A: ApproxJoin>(db: &Database, a: &A, tau: f64) -> Vec<TupleSet> {
+    ApproxAllIter::new(db, a, tau).collect()
+}
 
 /// The chain family used by E3/E4/E5/E10/E11/E12: `n` relations,
 /// `rows` rows each, join domain sized for a healthy but bounded output.

@@ -646,40 +646,15 @@ impl<A: ApproxJoin> Iterator for ApproxAllIter<'_, A> {
     }
 }
 
-/// Computes the whole `AFD(R, A, τ)` by running `APPROXINCREMENTALFD`
-/// for every `i ≤ n` with exactly-once emission.
-///
-/// Builder equivalent: `FdQuery::over(&db).approx(&a, tau).run()`.
-///
-/// ```
-/// use fd_core::{approx_full_disjunction, AMin, ExactSim, ProbScores};
-/// use fd_relational::tourist_database;
-///
-/// let db = tourist_database();
-/// // Exact similarity + certain tuples: AFD degenerates to FD.
-/// let a = AMin::new(ExactSim, ProbScores::uniform(&db, 1.0));
-/// assert_eq!(approx_full_disjunction(&db, &a, 0.9).len(), 6);
-/// ```
-pub fn approx_full_disjunction<A: ApproxJoin>(db: &Database, a: &A, tau: f64) -> Vec<TupleSet> {
-    approx_full_disjunction_with(db, a, tau, FdConfig::default())
-}
-
-/// [`approx_full_disjunction`] with an explicit execution configuration
-/// (engine / page size for every per-relation run).
-pub fn approx_full_disjunction_with<A: ApproxJoin>(
-    db: &Database,
-    a: &A,
-    tau: f64,
-    cfg: FdConfig,
-) -> Vec<TupleSet> {
-    ApproxAllIter::with_config(db, a, tau, cfg).collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::sim::{ExactSim, TableSim};
     use fd_relational::tourist_database;
+
+    fn approx_full_disjunction<A: ApproxJoin>(db: &Database, a: &A, tau: f64) -> Vec<TupleSet> {
+        ApproxAllIter::new(db, a, tau).collect()
+    }
 
     const C1: TupleId = TupleId(0);
     const A2: TupleId = TupleId(4);
@@ -761,8 +736,7 @@ mod tests {
             .map(|s| s.tuples().to_vec())
             .collect();
         afd.sort();
-        let mut fd: Vec<Vec<TupleId>> = crate::incremental::full_disjunction(&db)
-            .into_iter()
+        let mut fd: Vec<Vec<TupleId>> = crate::incremental::FdIter::new(&db)
             .map(|s| s.tuples().to_vec())
             .collect();
         fd.sort();

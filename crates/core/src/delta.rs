@@ -213,9 +213,13 @@ fn connected_components(db: &Database, members: &[TupleId]) -> Vec<Vec<TupleId>>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::incremental::{canonicalize, full_disjunction};
+    use crate::incremental::{canonicalize, FdIter};
     use crate::query::FdQuery;
     use fd_relational::{tourist_database, RelId, Value};
+
+    fn full_disjunction(db: &Database) -> Vec<TupleSet> {
+        FdIter::new(db).collect()
+    }
 
     /// Applies a delta to a materialized result list the way `fd-live`
     /// does, so the invariant `apply(delta(FD_old)) == FD_new` is checked

@@ -25,9 +25,11 @@ pub enum FdError {
         /// The mode that needs the window size.
         context: &'static str,
     },
-    /// Two requested options cannot be combined (e.g. `.parallel` with
-    /// `.ranked` — the parallel driver partitions the `n` independent
-    /// `FDi` runs, which a globally ordered emission does not have).
+    /// Two requested options cannot be combined (e.g. a non-default
+    /// `.init` strategy with `.ranked` — the reuse strategies seed run
+    /// `i` from the results of runs `< i`, a sequence the single-seed
+    /// and parallel executions do not have; or `.approx` with live
+    /// maintenance).
     Incompatible {
         /// The first option.
         left: &'static str,
@@ -86,7 +88,7 @@ mod tests {
         let e = FdError::RankingRequired { option: ".top_k" };
         assert!(e.to_string().contains(".top_k"));
         let e = FdError::Incompatible {
-            left: ".parallel",
+            left: ".init(ReuseResults/TrimExtend)",
             right: ".ranked",
         };
         assert!(e.to_string().contains("cannot be combined"));

@@ -302,28 +302,6 @@ impl Iterator for FdIter<'_> {
     }
 }
 
-/// Computes the entire full disjunction eagerly with default settings.
-///
-/// ```
-/// use fd_relational::tourist_database;
-///
-/// let db = tourist_database();
-/// let fd = fd_core::full_disjunction(&db);
-/// assert_eq!(fd.len(), 6); // Table 2 of the paper
-/// // Every tuple of every relation is preserved (Definition 2.1(iii)).
-/// for t in db.all_tuples() {
-///     assert!(fd.iter().any(|s| s.contains(t)));
-/// }
-/// ```
-pub fn full_disjunction(db: &Database) -> Vec<TupleSet> {
-    FdIter::new(db).collect()
-}
-
-/// Computes the full disjunction with explicit configuration.
-pub fn full_disjunction_with(db: &Database, cfg: FdConfig) -> Vec<TupleSet> {
-    FdIter::with_config(db, cfg).collect()
-}
-
 /// Sorts results canonically (by member tuple ids) — handy for comparing
 /// algorithm outputs in tests and benchmarks.
 pub fn canonicalize(mut sets: Vec<TupleSet>) -> Vec<TupleSet> {
@@ -336,6 +314,14 @@ mod tests {
     use super::*;
     use crate::jcc::is_jcc;
     use fd_relational::tourist_database;
+
+    fn full_disjunction(db: &Database) -> Vec<TupleSet> {
+        FdIter::new(db).collect()
+    }
+
+    fn full_disjunction_with(db: &Database, cfg: FdConfig) -> Vec<TupleSet> {
+        FdIter::with_config(db, cfg).collect()
+    }
 
     const C1: TupleId = TupleId(0);
     const C2: TupleId = TupleId(1);

@@ -187,7 +187,11 @@ fn seed_complete(db: &Database, cfg: FdConfig, produced: &[TupleSet]) -> Complet
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::incremental::{canonicalize, full_disjunction_with};
+    use crate::incremental::{canonicalize, FdIter};
+
+    fn full_disjunction_with(db: &Database, cfg: FdConfig) -> Vec<TupleSet> {
+        FdIter::with_config(db, cfg).collect()
+    }
     use fd_relational::tourist_database;
 
     fn strategies() -> [InitStrategy; 3] {

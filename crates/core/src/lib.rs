@@ -48,6 +48,7 @@ mod getnext;
 mod incremental;
 mod init;
 mod padded;
+mod parallel;
 mod stats;
 mod store;
 mod tupleset;
@@ -56,29 +57,25 @@ pub mod approx;
 pub mod delta;
 pub mod error;
 pub mod jcc;
-pub mod parallel;
 pub mod priority;
 pub mod query;
 pub mod ranked_approx;
 pub mod ranking;
 pub mod sim;
 
-pub use approx::{
-    approx_full_disjunction, approx_full_disjunction_with, AMin, AProd, ApproxAllIter,
-    ApproxFdIter, ApproxJoin, ProbScores,
-};
-pub use delta::{delta_delete, delta_insert, DeleteDelta, InsertDelta};
+pub use approx::{AMin, AProd, ApproxAllIter, ApproxFdIter, ApproxJoin, ProbScores};
+pub use delta::{DeleteDelta, InsertDelta};
 pub use error::FdError;
-pub use incremental::{
-    canonicalize, fdi, full_disjunction, full_disjunction_with, FdConfig, FdIter, FdiIter,
-};
+pub use incremental::{canonicalize, fdi, FdConfig, FdIter, FdiIter};
 pub use init::InitStrategy;
 pub use padded::{format_results, padded_relation, padded_tuple, padded_tuple_over};
-pub use parallel::parallel_full_disjunction;
-pub use priority::{threshold, top_k, RankedFdIter};
+pub use priority::RankedFdIter;
 pub use query::{BoxedApprox, BoxedRanking, FdQuery, FdResult, FdStream, QueryParts};
-pub use ranked_approx::{approx_top_k, RankedApproxFdIter};
-pub use ranking::{FMax, FPairSum, FSum, FTriple, ImpScores, MonotoneCDetermined, RankingFunction};
+pub use ranked_approx::RankedApproxFdIter;
+pub use ranking::{
+    canonical_rank_order, FMax, FPairSum, FSum, FTriple, ImpScores, MonotoneCDetermined,
+    RankingFunction,
+};
 pub use sim::{EditDistanceSim, ExactSim, Similarity, TableSim};
 pub use stats::Stats;
 pub use store::{CompleteStore, IncompleteQueue, StoreEngine};

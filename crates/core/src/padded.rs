@@ -55,8 +55,12 @@ pub fn format_results(db: &Database, title: &str, sets: &[TupleSet]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::incremental::{canonicalize, full_disjunction};
+    use crate::incremental::{canonicalize, FdIter};
     use fd_relational::tourist_database;
+
+    fn full_disjunction(db: &fd_relational::Database) -> Vec<crate::TupleSet> {
+        FdIter::new(db).collect()
+    }
 
     #[test]
     fn padded_view_of_table_2() {

@@ -17,8 +17,15 @@
 //!
 //! Lemma 5.4: the emission order is non-increasing in `f`; Theorem 5.5:
 //! the top-k answers arrive in polynomial time in the input and `k`.
-//! [`RankedFdIter`] exposes the stream unboundedly; [`top_k`] and
-//! [`threshold`] (Remark 5.6) are the bounded drivers.
+//! [`RankedFdIter`] exposes the stream unboundedly; the `.top_k` /
+//! `.threshold` (Remark 5.6) bounds are applied by the
+//! [`FdQuery`](crate::FdQuery) builder.
+//!
+//! The iterator can also be restricted to a contiguous *shard* of the
+//! seed relations (`RankedFdIter::for_relations`): it then emits, still
+//! in rank order, exactly the answers containing a tuple of one of those
+//! relations — the per-worker unit of the crate's parallel ranked
+//! driver, whose k-way merge reassembles the full ranking.
 
 use crate::incremental::FdConfig;
 use crate::jcc::{can_add, extend_to_maximal, maximal_subset_with, try_union};
@@ -35,7 +42,7 @@ use std::collections::BinaryHeap;
 /// Total-ordered f64 wrapper for heap priorities (ranks are finite;
 /// `total_cmp` makes the order total regardless).
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Rank(f64);
+pub(crate) struct Rank(pub(crate) f64);
 
 impl Eq for Rank {}
 
@@ -193,6 +200,9 @@ impl LazyQueue {
 pub struct RankedFdIter<'db, F: MonotoneCDetermined> {
     db: &'db Database,
     f: F,
+    /// Index of the first seed relation covered by `queues` (0 for the
+    /// full run; the shard start for a parallel worker).
+    rel_lo: usize,
     queues: Vec<LazyQueue>,
     complete: CompleteStore,
     pager: Option<Pager<'db>>,
@@ -228,10 +238,28 @@ impl<'db, F: MonotoneCDetermined> RankedFdIter<'db, F> {
     /// (`init` concerns the n-run batch drivers and does not alter this
     /// single-pass algorithm.)
     pub fn with_config(db: &'db Database, f: F, cfg: FdConfig) -> Self {
+        Self::for_relations(db, f, cfg, 0..db.num_relations())
+    }
+
+    /// Builds a run restricted to the seed relations `rels` (a contiguous
+    /// index range): only the queues `Incomplete_i` for `i ∈ rels` are
+    /// seeded, so the stream delivers exactly the answers of
+    /// `⋃_{i ∈ rels} FDi(R)`. Extension and candidate scans stay global,
+    /// so every emitted set is maximal in the *whole* database. Emission
+    /// is *not* globally rank-ordered (an answer's rank witness may live
+    /// in another shard's queue); the parallel ranked driver sorts each
+    /// shard before merging the shard streams back into the full ranking.
+    pub(crate) fn for_relations(
+        db: &'db Database,
+        f: F,
+        cfg: FdConfig,
+        rels: std::ops::Range<usize>,
+    ) -> Self {
         let mut stats = Stats::new();
         let c = f.c().max(1);
-        let mut queues = Vec::with_capacity(db.num_relations());
-        for rel_idx in 0..db.num_relations() {
+        let rel_lo = rels.start;
+        let mut queues = Vec::with_capacity(rels.len());
+        for rel_idx in rels {
             let ri = RelId(rel_idx as u16);
             let seeds = enumerate_bounded_jcc_sets(db, ri, c, &mut stats);
             let merged = merge_to_fixpoint(db, seeds, &mut stats);
@@ -246,6 +274,7 @@ impl<'db, F: MonotoneCDetermined> RankedFdIter<'db, F> {
         RankedFdIter {
             db,
             f,
+            rel_lo,
             queues,
             complete: CompleteStore::new(cfg.engine),
             pager: cfg.page_size.map(|ps| Pager::new(db, ps)),
@@ -293,7 +322,7 @@ impl<'db, F: MonotoneCDetermined> RankedFdIter<'db, F> {
                 }
             }
             let (qi, _) = best?;
-            let ri = RelId(qi as u16);
+            let ri = RelId((self.rel_lo + qi) as u16);
             let (_, set) = self.queues[qi].pop(&mut self.stats)?;
 
             // GETNEXTRESULT body against the shared Complete. Destructure
@@ -303,6 +332,7 @@ impl<'db, F: MonotoneCDetermined> RankedFdIter<'db, F> {
             let RankedFdIter {
                 db,
                 f,
+                rel_lo: _,
                 queues,
                 complete,
                 pager,
@@ -353,45 +383,6 @@ impl<F: MonotoneCDetermined> Iterator for RankedFdIter<'_, F> {
     fn next(&mut self) -> Option<Self::Item> {
         self.step()
     }
-}
-
-/// The top-(k, f) full-disjunction problem (Theorem 5.5): the k highest-
-/// ranking tuple sets of `FD(R)`, in non-increasing rank order.
-///
-/// ```
-/// use fd_core::{top_k, FMax, ImpScores};
-/// use fd_relational::tourist_database;
-///
-/// let db = tourist_database();
-/// // Prefer the Bahamas tuple c3 (id 2).
-/// let imp = ImpScores::from_fn(&db, |t| if t.0 == 2 { 1.0 } else { 0.0 });
-/// let f = FMax::new(&imp);
-/// let best = top_k(&db, &f, 1);
-/// assert_eq!(best[0].0.label(&db), "{c3, a3}");
-/// assert_eq!(best[0].1, 1.0);
-/// ```
-pub fn top_k<F: MonotoneCDetermined>(db: &Database, f: &F, k: usize) -> Vec<(TupleSet, f64)> {
-    RankedFdIter::new(db, f).take(k).collect()
-}
-
-/// The (τ, f)-threshold full-disjunction problem (Remark 5.6): every
-/// tuple set with `f(T) ≥ τ`, in non-increasing rank order.
-pub fn threshold<F: MonotoneCDetermined>(db: &Database, f: &F, tau: f64) -> Vec<(TupleSet, f64)> {
-    let mut out = Vec::new();
-    let mut it = RankedFdIter::new(db, f);
-    while let Some(r) = it.peek_rank() {
-        // Queue ranks never exceed the final ranks (monotonicity), so once
-        // every queue top falls below τ no unseen answer can reach it.
-        if r < tau {
-            break;
-        }
-        match it.next() {
-            Some((set, rank)) if rank >= tau => out.push((set, rank)),
-            Some(_) => {} // extended below... cannot happen (monotone), but stay safe
-            None => break,
-        }
-    }
-    out
 }
 
 /// Enumerates every JCC tuple set with at most `c` members that contains
@@ -482,7 +473,7 @@ fn merge_to_fixpoint(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::incremental::full_disjunction;
+    use crate::query::FdQuery;
     use crate::ranking::{FMax, FTriple, ImpScores};
     use fd_relational::tourist_database;
 
@@ -523,7 +514,7 @@ mod tests {
         let f = FMax::new(&imp);
         let all: Vec<_> = RankedFdIter::new(&db, &f).collect();
         for k in 0..=all.len() + 2 {
-            let got = top_k(&db, &f, k);
+            let got: Vec<_> = RankedFdIter::new(&db, &f).take(k).collect();
             assert_eq!(got.len(), k.min(all.len()));
             for (a, b) in got.iter().zip(all.iter()) {
                 assert_eq!(a.1, b.1);
@@ -540,7 +531,10 @@ mod tests {
             .map(|(s, _)| s.tuples().to_vec())
             .collect();
         ranked.sort();
-        let mut plain: Vec<Vec<TupleId>> = full_disjunction(&db)
+        let mut plain: Vec<Vec<TupleId>> = FdQuery::over(&db)
+            .run()
+            .unwrap()
+            .into_sets()
             .into_iter()
             .map(|s| s.tuples().to_vec())
             .collect();
@@ -553,12 +547,52 @@ mod tests {
         let db = tourist_database();
         let imp = climate_imp(&db);
         let f = FMax::new(&imp);
-        let got = threshold(&db, &f, 2.0);
+        let run = |tau: f64| {
+            FdQuery::over(&db)
+                .ranked(&f)
+                .threshold(tau)
+                .run()
+                .unwrap()
+                .into_ranked()
+                .unwrap()
+        };
+        let got = run(2.0);
         assert_eq!(got.len(), 3); // {c3,a3}, {c2,s3}, {c2,s4}
         assert!(got.iter().all(|(_, r)| *r >= 2.0));
 
-        assert_eq!(threshold(&db, &f, 0.5).len(), 6);
-        assert_eq!(threshold(&db, &f, 99.0).len(), 0);
+        assert_eq!(run(0.5).len(), 6);
+        assert_eq!(run(99.0).len(), 0);
+    }
+
+    #[test]
+    fn sharded_runs_partition_the_ranked_stream() {
+        let db = tourist_database();
+        let imp = climate_imp(&db);
+        let f = FMax::new(&imp);
+        let full: Vec<Vec<TupleId>> = RankedFdIter::new(&db, &f)
+            .map(|(s, _)| s.tuples().to_vec())
+            .collect();
+        // Each shard emits exactly the answers containing a tuple of one
+        // of its relations (order is the merge's job); their union is
+        // the full disjunction.
+        let mut union: Vec<Vec<TupleId>> = Vec::new();
+        for (lo, hi) in [(0usize, 1usize), (1, 3)] {
+            let shard: Vec<(TupleSet, f64)> =
+                RankedFdIter::for_relations(&db, &f, FdConfig::default(), lo..hi).collect();
+            for (s, _) in &shard {
+                assert!(
+                    (lo..hi).any(|r| s.tuple_from(&db, RelId(r as u16)).is_some()),
+                    "{} outside shard {lo}..{hi}",
+                    s.label(&db)
+                );
+            }
+            union.extend(shard.into_iter().map(|(s, _)| s.tuples().to_vec()));
+        }
+        union.sort();
+        union.dedup();
+        let mut want = full;
+        want.sort();
+        assert_eq!(union, want);
     }
 
     #[test]

@@ -53,21 +53,26 @@ use crate::approx::{ApproxAllIter, ApproxJoin};
 use crate::error::FdError;
 use crate::incremental::{FdConfig, FdIter};
 use crate::init::InitStrategy;
-use crate::parallel::parallel_full_disjunction;
+use crate::parallel::{
+    parallel_approx, parallel_full_disjunction, parallel_ranked, parallel_ranked_approx, RankedCut,
+    RankedMerge,
+};
 use crate::priority::RankedFdIter;
 use crate::ranked_approx::RankedApproxFdIter;
-use crate::ranking::MonotoneCDetermined;
+use crate::ranking::{canonical_rank_order, MonotoneCDetermined};
 use crate::stats::Stats;
 use crate::store::StoreEngine;
 use crate::tupleset::TupleSet;
 use fd_relational::{Database, TupleId};
+use std::collections::VecDeque;
 
 /// A dynamically dispatched ranking function, as stored by [`FdQuery`].
-pub type BoxedRanking<'q> = Box<dyn MonotoneCDetermined + 'q>;
+/// `Sync` so the parallel ranked plan can share it across workers.
+pub type BoxedRanking<'q> = Box<dyn MonotoneCDetermined + Sync + 'q>;
 
 /// A dynamically dispatched approximate join function, as stored by
-/// [`FdQuery`].
-pub type BoxedApprox<'q> = Box<dyn ApproxJoin + 'q>;
+/// [`FdQuery`]. `Sync` so the parallel plans can share it across workers.
+pub type BoxedApprox<'q> = Box<dyn ApproxJoin + Sync + 'q>;
 
 /// A full-disjunction query under construction.
 ///
@@ -87,11 +92,11 @@ pub struct FdQuery<'q> {
     threads: Option<usize>,
 }
 
-/// Which execution plan a validated query selects.
+/// Which enumeration family a validated query selects; each family also
+/// has a parallel plan, chosen by `.parallel(n)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
     Batch,
-    Parallel,
     Ranked,
     Approx,
     RankedApprox,
@@ -128,9 +133,13 @@ impl<'q> FdQuery<'q> {
     }
 
     /// Selects how `Incomplete` is initialized across the `n` runs of the
-    /// multi-run batch modes (Section 7, "Minimizing repeated work").
-    /// The single-seed modes (ranked, approximate) have their own Fig. 3 /
-    /// Fig. 5 initializations and are unaffected.
+    /// sequential batch mode (Section 7, "Minimizing repeated work").
+    /// The reuse strategies seed run `i` from the results of runs `< i`,
+    /// which neither the single-seed modes (ranked, approximate — they
+    /// have their own Fig. 3 / Fig. 5 initializations) nor the parallel
+    /// plans (their runs are mutually independent) can honor; combining a
+    /// non-default strategy with `.ranked`/`.approx`/`.parallel` is a
+    /// typed [`FdError::Incompatible`] instead of a silent no-op.
     pub fn init(mut self, init: InitStrategy) -> Self {
         self.cfg.init = init;
         self
@@ -147,7 +156,10 @@ impl<'q> FdQuery<'q> {
     /// c-determined — the paper's tractability boundary (`f_sum` is
     /// excluded by the type system; Proposition 5.1 shows its top-1
     /// problem is NP-hard). Pass `&f` to keep ownership.
-    pub fn ranked(mut self, f: impl MonotoneCDetermined + 'q) -> Self {
+    ///
+    /// Emission is deterministic: answers of equal rank arrive in
+    /// canonical (member-id) order, for every engine and thread count.
+    pub fn ranked(mut self, f: impl MonotoneCDetermined + Sync + 'q) -> Self {
         self.ranking = Some(Box::new(f));
         self
     }
@@ -172,15 +184,18 @@ impl<'q> FdQuery<'q> {
     /// (`APPROXINCREMENTALFD`): maximal tuple sets with `A(T) ≥ τ`.
     /// Combines with [`ranked`](Self::ranked) for the ranked-approximate
     /// mode. Pass `&a` to keep ownership.
-    pub fn approx(mut self, a: impl ApproxJoin + 'q, tau: f64) -> Self {
+    pub fn approx(mut self, a: impl ApproxJoin + Sync + 'q, tau: f64) -> Self {
         self.approx = Some((Box::new(a), tau));
         self
     }
 
-    /// Computes the batch full disjunction with up to `threads` workers
-    /// (one or more `FDi` runs per worker). Incompatible with ranked and
-    /// approximate modes, whose globally ordered/merged emission has no
-    /// independent per-relation decomposition.
+    /// Executes with up to `threads` workers. Composes with every
+    /// enumeration family: the batch and approximate plans partition the
+    /// per-relation runs (a result is owned by its smallest member
+    /// relation), the ranked plans shard the priority queues and k-way
+    /// heap-merge the per-worker rank-ordered streams back into one
+    /// globally ordered stream. Output is identical to the sequential
+    /// plan — sets *and* order — for every `threads`.
     pub fn parallel(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
         self
@@ -238,38 +253,41 @@ impl<'q> FdQuery<'q> {
                 });
             }
         }
-        if self.threads.is_some() {
-            if self.ranking.is_some() {
-                return Err(FdError::Incompatible {
-                    left: ".parallel",
-                    right: ".ranked",
-                });
-            }
-            if self.approx.is_some() {
-                return Err(FdError::Incompatible {
-                    left: ".parallel",
-                    right: ".approx",
-                });
-            }
-            return Ok(Mode::Parallel);
-        }
-        Ok(match (&self.ranking, &self.approx) {
+        let mode = match (&self.ranking, &self.approx) {
             (None, None) => Mode::Batch,
             (Some(_), None) => Mode::Ranked,
             (None, Some(_)) => Mode::Approx,
             (Some(_), Some(_)) => Mode::RankedApprox,
-        })
+        };
+        if self.cfg.init != InitStrategy::Singletons {
+            // The reuse strategies seed run i from the results of runs
+            // < i; a single-seed or parallel execution has no such
+            // sequence of prior runs — reject instead of silently
+            // ignoring the setting.
+            let right = match mode {
+                Mode::Ranked | Mode::RankedApprox => Some(".ranked"),
+                Mode::Approx => Some(".approx"),
+                Mode::Batch => self.threads.is_some().then_some(".parallel"),
+            };
+            if let Some(right) = right {
+                return Err(FdError::Incompatible {
+                    left: ".init(ReuseResults/TrimExtend)",
+                    right,
+                });
+            }
+        }
+        Ok(mode)
     }
 
-    /// Ensures the query describes the plain batch full disjunction —
-    /// what delta maintenance and the live engine operate on.
+    /// Ensures the query describes the plain sequential batch full
+    /// disjunction — what delta maintenance operates on.
     pub fn require_batch(&self, context: &'static str) -> Result<(), FdError> {
         match self.mode()? {
-            Mode::Batch => Ok(()),
-            Mode::Parallel => Err(FdError::Incompatible {
+            Mode::Batch if self.threads.is_some() => Err(FdError::Incompatible {
                 left: context,
                 right: ".parallel",
             }),
+            Mode::Batch => Ok(()),
             Mode::Ranked => Err(FdError::Incompatible {
                 left: context,
                 right: ".ranked",
@@ -329,8 +347,11 @@ impl<'q> FdQuery<'q> {
     /// (the stream owns the ranking/approximate functions).
     ///
     /// Exception: a `.parallel(n)` query has no lazy form — its workers
-    /// materialize the whole result inside this call and the stream
-    /// drains the finished vector.
+    /// materialize their shards inside this call and the stream drains
+    /// the merged result. In particular, a parallel `.top_k` query
+    /// enumerates the whole shard per worker (split across cores) where
+    /// the sequential plan would stop after ~k answers; prefer the
+    /// sequential plan when k is small and the database is large.
     pub fn stream(self) -> Result<FdStream<'q>, FdError> {
         let mode = self.mode()?;
         let ing = Ingredients {
@@ -466,35 +487,76 @@ fn build_inner<'q>(
     mode: Mode,
     ing: Ingredients<'q>,
 ) -> StreamInner<'q> {
-    match mode {
-        Mode::Batch => StreamInner::Batch(FdIter::with_config(db, cfg)),
-        Mode::Parallel => {
-            let (sets, stats) = parallel_full_disjunction(db, cfg, ing.threads.unwrap_or(1));
+    let cut = RankedCut {
+        top_k: ing.top_k,
+        min_rank: ing.min_rank,
+    };
+    match (mode, ing.threads) {
+        (Mode::Batch, None) => StreamInner::Batch(FdIter::with_config(db, cfg)),
+        (Mode::Batch, Some(threads)) => {
+            let (sets, stats, pages) = parallel_full_disjunction(db, cfg, threads);
             StreamInner::Parallel {
                 sets: sets.into_iter(),
                 stats,
+                pages,
             }
         }
-        Mode::Ranked => {
+        (Mode::Ranked, None) => {
             let f = ing.ranking.expect("mode implies ranking");
             StreamInner::Ranked(Bounded {
-                it: RankedFdIter::with_config(db, f, cfg),
+                it: CanonicalTies::new(RankedFdIter::with_config(db, f, cfg)),
                 remaining: ing.top_k,
                 min_rank: ing.min_rank,
             })
         }
-        Mode::Approx => {
+        (Mode::Ranked, Some(threads)) => {
+            let f = ing.ranking.expect("mode implies ranking");
+            let (merge, stats, pages) = parallel_ranked(db, &f, cfg, threads, cut);
+            StreamInner::MergedRanked {
+                merge: Bounded {
+                    it: merge,
+                    remaining: ing.top_k,
+                    min_rank: ing.min_rank,
+                },
+                stats,
+                pages,
+            }
+        }
+        (Mode::Approx, None) => {
             let (a, tau) = ing.approx.expect("mode implies approx");
             StreamInner::Approx(ApproxAllIter::with_config(db, a, tau, cfg))
         }
-        Mode::RankedApprox => {
+        (Mode::Approx, Some(threads)) => {
+            let (a, tau) = ing.approx.expect("mode implies approx");
+            let (sets, stats, pages) = parallel_approx(db, &a, tau, cfg, threads);
+            StreamInner::Parallel {
+                sets: sets.into_iter(),
+                stats,
+                pages,
+            }
+        }
+        (Mode::RankedApprox, None) => {
             let f = ing.ranking.expect("mode implies ranking");
             let (a, tau) = ing.approx.expect("mode implies approx");
             StreamInner::RankedApprox(Bounded {
-                it: RankedApproxFdIter::with_config(db, a, tau, f, cfg),
+                it: CanonicalTies::new(RankedApproxFdIter::with_config(db, a, tau, f, cfg)),
                 remaining: ing.top_k,
                 min_rank: ing.min_rank,
             })
+        }
+        (Mode::RankedApprox, Some(threads)) => {
+            let f = ing.ranking.expect("mode implies ranking");
+            let (a, tau) = ing.approx.expect("mode implies approx");
+            let (merge, stats, pages) = parallel_ranked_approx(db, &a, tau, &f, cfg, threads, cut);
+            StreamInner::MergedRanked {
+                merge: Bounded {
+                    it: merge,
+                    remaining: ing.top_k,
+                    min_rank: ing.min_rank,
+                },
+                stats,
+                pages,
+            }
         }
     }
 }
@@ -515,10 +577,16 @@ enum StreamInner<'q> {
     Parallel {
         sets: std::vec::IntoIter<TupleSet>,
         stats: Stats,
+        pages: u64,
     },
-    Ranked(Bounded<RankedFdIter<'q, BoxedRanking<'q>>>),
+    Ranked(Bounded<CanonicalTies<RankedFdIter<'q, BoxedRanking<'q>>>>),
+    MergedRanked {
+        merge: Bounded<RankedMerge>,
+        stats: Stats,
+        pages: u64,
+    },
     Approx(ApproxAllIter<'q, BoxedApprox<'q>>),
-    RankedApprox(Bounded<RankedApproxFdIter<'q, BoxedApprox<'q>, BoxedRanking<'q>>>),
+    RankedApprox(Bounded<CanonicalTies<RankedApproxFdIter<'q, BoxedApprox<'q>, BoxedRanking<'q>>>>),
 }
 
 /// A ranked iterator with the `.top_k` / `.threshold` bounds applied.
@@ -552,6 +620,105 @@ impl<A: ApproxJoin, F: MonotoneCDetermined> RankedSource for RankedApproxFdIter<
 
     fn next_pair(&mut self) -> Option<(TupleSet, f64)> {
         self.next()
+    }
+}
+
+impl RankedSource for RankedMerge {
+    fn peek_rank(&mut self) -> Option<f64> {
+        RankedMerge::peek_rank(self)
+    }
+
+    fn next_pair(&mut self) -> Option<(TupleSet, f64)> {
+        RankedMerge::next_pair(self)
+    }
+}
+
+/// Deterministic tie order for the ranked plans: the underlying iterator
+/// delivers answers in non-increasing rank order (Lemma 5.4) but breaks
+/// ties in an arbitrary, engine-dependent order. This adapter buffers
+/// each maximal run of equal-rank answers and releases it sorted by
+/// member ids — the same canonical order the parallel k-way merge
+/// produces — so the sequential and parallel ranked plans are
+/// output-identical and every engine/page-size configuration emits the
+/// same sequence. The look-ahead is one tie group plus one answer, so
+/// the incremental polynomial delay bound survives (scaled by the tie
+/// group size).
+struct CanonicalTies<I> {
+    it: I,
+    group: VecDeque<(TupleSet, f64)>,
+    pending: Option<(TupleSet, f64)>,
+    done: bool,
+}
+
+impl<I: RankedSource> CanonicalTies<I> {
+    fn new(it: I) -> Self {
+        CanonicalTies {
+            it,
+            group: VecDeque::new(),
+            pending: None,
+            done: false,
+        }
+    }
+
+    /// The wrapped iterator (for stats/pages accessors).
+    fn inner(&self) -> &I {
+        &self.it
+    }
+
+    /// Pulls the next full tie group out of the underlying stream and
+    /// sorts it canonically.
+    fn refill(&mut self) {
+        if !self.group.is_empty() {
+            return;
+        }
+        let first = match self.pending.take() {
+            Some(first) => first,
+            None if self.done => return,
+            None => match self.it.next_pair() {
+                Some(first) => first,
+                None => {
+                    self.done = true;
+                    return;
+                }
+            },
+        };
+        let rank = first.1;
+        let mut group = vec![first];
+        loop {
+            match self.it.next_pair() {
+                Some(item) if item.1.total_cmp(&rank).is_eq() => group.push(item),
+                Some(item) => {
+                    self.pending = Some(item);
+                    break;
+                }
+                None => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        group.sort_by(|a, b| canonical_rank_order(a.1, &a.0, b.1, &b.0));
+        self.group = group.into();
+    }
+}
+
+impl<I: RankedSource> RankedSource for CanonicalTies<I> {
+    fn peek_rank(&mut self) -> Option<f64> {
+        if let Some((_, r)) = self.group.front() {
+            return Some(*r);
+        }
+        if let Some((_, r)) = &self.pending {
+            return Some(*r);
+        }
+        if self.done {
+            return None;
+        }
+        self.it.peek_rank()
+    }
+
+    fn next_pair(&mut self) -> Option<(TupleSet, f64)> {
+        self.refill();
+        self.group.pop_front()
     }
 }
 
@@ -590,31 +757,36 @@ impl FdStream<'_> {
             StreamInner::Batch(it) => it.next().map(|s| (s, None)),
             StreamInner::Parallel { sets, .. } => sets.next().map(|s| (s, None)),
             StreamInner::Ranked(b) => b.next().map(|(s, r)| (s, Some(r))),
+            StreamInner::MergedRanked { merge, .. } => merge.next().map(|(s, r)| (s, Some(r))),
             StreamInner::Approx(it) => it.next().map(|s| (s, None)),
             StreamInner::RankedApprox(b) => b.next().map(|(s, r)| (s, Some(r))),
         }
     }
 
-    /// Work counters accumulated so far (for the parallel mode: of the
-    /// already-finished computation).
+    /// Work counters accumulated so far (for the parallel plans: the
+    /// merged counters of all workers of the already-finished
+    /// computation).
     pub fn stats(&self) -> Stats {
         match &self.inner {
             StreamInner::Batch(it) => it.stats_total(),
             StreamInner::Parallel { stats, .. } => *stats,
-            StreamInner::Ranked(b) => *b.it.stats(),
+            StreamInner::Ranked(b) => *b.it.inner().stats(),
+            StreamInner::MergedRanked { stats, .. } => *stats,
             StreamInner::Approx(it) => it.stats_total(),
-            StreamInner::RankedApprox(b) => *b.it.stats(),
+            StreamInner::RankedApprox(b) => *b.it.inner().stats(),
         }
     }
 
-    /// Pages fetched so far (block-based execution only; the multi-run
-    /// batch driver accounts pages inside its per-run stats).
+    /// Pages fetched so far (block-based execution only). For the
+    /// parallel plans this is the sum over all workers; the sequential
+    /// multi-run batch driver accounts pages inside its per-run stats.
     pub fn pages_read(&self) -> u64 {
         match &self.inner {
-            StreamInner::Batch(_) | StreamInner::Parallel { .. } => 0,
-            StreamInner::Ranked(b) => b.it.pages_read(),
+            StreamInner::Batch(_) => 0,
+            StreamInner::Parallel { pages, .. } | StreamInner::MergedRanked { pages, .. } => *pages,
+            StreamInner::Ranked(b) => b.it.inner().pages_read(),
             StreamInner::Approx(it) => it.pages_read(),
-            StreamInner::RankedApprox(b) => b.it.pages_read(),
+            StreamInner::RankedApprox(b) => b.it.inner().pages_read(),
         }
     }
 }
@@ -630,18 +802,19 @@ impl Iterator for FdStream<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::incremental::{canonicalize, full_disjunction};
+    use crate::incremental::canonicalize;
+    use crate::priority::RankedFdIter;
     use crate::ranking::{FMax, ImpScores};
     use crate::sim::ExactSim;
-    use crate::{top_k, AMin, ProbScores};
+    use crate::{AMin, ProbScores};
     use fd_relational::tourist_database;
 
     #[test]
-    fn batch_run_matches_free_function() {
+    fn batch_run_matches_direct_iterator() {
         let db = tourist_database();
         let via_query = canonicalize(FdQuery::over(&db).run().unwrap().into_sets());
-        let via_free = canonicalize(full_disjunction(&db));
-        assert_eq!(via_query, via_free);
+        let via_iter = canonicalize(FdIter::new(&db).collect());
+        assert_eq!(via_query, via_iter);
     }
 
     #[test]
@@ -661,7 +834,7 @@ mod tests {
         let db = tourist_database();
         let imp = ImpScores::from_fn(&db, |t| t.0 as f64);
         let f = FMax::new(&imp);
-        let direct = top_k(&db, &f, 4);
+        let direct: Vec<_> = RankedFdIter::new(&db, &f).take(4).collect();
         let via_query = FdQuery::over(&db)
             .ranked(&f)
             .top_k(4)
@@ -712,14 +885,87 @@ mod tests {
         check("ranked", || {
             FdQuery::over(db).ranked(FMax::new(imp)).top_k(4)
         });
+        check("parallel_ranked", || {
+            FdQuery::over(db)
+                .ranked(FMax::new(imp))
+                .top_k(4)
+                .parallel(2)
+        });
         check("approx", || {
             FdQuery::over(db).approx(AMin::new(ExactSim, ProbScores::uniform(db, 1.0)), 0.9)
+        });
+        check("parallel_approx", || {
+            FdQuery::over(db)
+                .approx(AMin::new(ExactSim, ProbScores::uniform(db, 1.0)), 0.9)
+                .parallel(2)
         });
         check("ranked_approx", || {
             FdQuery::over(db)
                 .approx(AMin::new(ExactSim, ProbScores::uniform(db, 1.0)), 0.9)
                 .ranked(FMax::new(imp))
         });
+        check("parallel_ranked_approx", || {
+            FdQuery::over(db)
+                .approx(AMin::new(ExactSim, ProbScores::uniform(db, 1.0)), 0.9)
+                .ranked(FMax::new(imp))
+                .parallel(2)
+        });
+    }
+
+    #[test]
+    fn parallel_ranked_is_output_identical_to_sequential() {
+        let db = tourist_database();
+        // (t.0 % 3) gives heavy rank ties, stressing the canonical tie
+        // order on both sides of the comparison.
+        let imp = ImpScores::from_fn(&db, |t| (t.0 % 3) as f64);
+        let f = FMax::new(&imp);
+        let sequential = FdQuery::over(&db).ranked(&f).run().unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let parallel = FdQuery::over(&db)
+                .ranked(&f)
+                .parallel(threads)
+                .run()
+                .unwrap();
+            assert_eq!(sequential.sets(), parallel.sets(), "threads = {threads}");
+            assert_eq!(sequential.ranks(), parallel.ranks(), "threads = {threads}");
+        }
+        // Bounded forms agree too, including at tie boundaries.
+        for k in 0..=sequential.len() + 1 {
+            let seq_k = FdQuery::over(&db).ranked(&f).top_k(k).run().unwrap();
+            let par_k = FdQuery::over(&db)
+                .ranked(&f)
+                .top_k(k)
+                .parallel(3)
+                .run()
+                .unwrap();
+            assert_eq!(seq_k.sets(), par_k.sets(), "k = {k}");
+            assert_eq!(seq_k.ranks(), par_k.ranks(), "k = {k}");
+        }
+        let tau = 1.0;
+        let seq_t = FdQuery::over(&db).ranked(&f).threshold(tau).run().unwrap();
+        let par_t = FdQuery::over(&db)
+            .ranked(&f)
+            .threshold(tau)
+            .parallel(2)
+            .run()
+            .unwrap();
+        assert_eq!(seq_t.sets(), par_t.sets());
+        assert_eq!(seq_t.ranks(), par_t.ranks());
+    }
+
+    #[test]
+    fn parallel_ranked_aggregates_stats_and_pages() {
+        let db = tourist_database();
+        let imp = ImpScores::from_fn(&db, |t| t.0 as f64);
+        let mut s = FdQuery::over(&db)
+            .ranked(FMax::new(&imp))
+            .page_size(2)
+            .parallel(3)
+            .stream()
+            .unwrap();
+        while s.next().is_some() {}
+        assert!(s.pages_read() > 0, "worker pages must aggregate");
+        assert!(s.stats().results >= 6, "worker stats must merge");
     }
 
     #[test]
@@ -757,17 +1003,47 @@ mod tests {
             FdQuery::over(&db).page_size(0).run().unwrap_err(),
             FdError::InvalidPageSize
         );
+        // A non-default InitStrategy only makes sense for the sequential
+        // multi-run batch driver; elsewhere it is rejected, not ignored.
         assert_eq!(
             FdQuery::over(&db)
-                .parallel(2)
+                .init(crate::InitStrategy::ReuseResults)
                 .ranked(FMax::new(&imp))
                 .run()
                 .unwrap_err(),
             FdError::Incompatible {
-                left: ".parallel",
+                left: ".init(ReuseResults/TrimExtend)",
                 right: ".ranked"
             }
         );
+        assert_eq!(
+            FdQuery::over(&db)
+                .init(crate::InitStrategy::TrimExtend)
+                .approx(AMin::new(ExactSim, ProbScores::uniform(&db, 1.0)), 0.5)
+                .run()
+                .unwrap_err(),
+            FdError::Incompatible {
+                left: ".init(ReuseResults/TrimExtend)",
+                right: ".approx"
+            }
+        );
+        assert_eq!(
+            FdQuery::over(&db)
+                .init(crate::InitStrategy::ReuseResults)
+                .parallel(2)
+                .run()
+                .unwrap_err(),
+            FdError::Incompatible {
+                left: ".init(ReuseResults/TrimExtend)",
+                right: ".parallel"
+            }
+        );
+        // The former `.parallel × .ranked` rejection is gone.
+        assert!(FdQuery::over(&db)
+            .parallel(2)
+            .ranked(FMax::new(&imp))
+            .run()
+            .is_ok());
         assert_eq!(
             FdQuery::over(&db)
                 .ranked(FMax::new(&imp))
@@ -804,7 +1080,7 @@ mod tests {
     #[test]
     fn delta_round_trip_through_the_builder() {
         let mut db = tourist_database();
-        let before = canonicalize(full_disjunction(&db));
+        let before = canonicalize(FdQuery::over(&db).run().unwrap().into_sets());
         let t = db
             .insert_tuple(fd_relational::RelId(0), vec!["Chile".into(), "arid".into()])
             .unwrap();

@@ -20,6 +20,7 @@
 
 use crate::approx::ApproxJoin;
 use crate::incremental::FdConfig;
+use crate::priority::Rank;
 use crate::ranking::MonotoneCDetermined;
 use crate::stats::Stats;
 use crate::store::CompleteStore;
@@ -29,23 +30,6 @@ use fd_relational::storage::Pager;
 use fd_relational::{Database, RelId, TupleId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Rank(f64);
-
-impl Eq for Rank {}
-
-impl PartialOrd for Rank {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Rank {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.0.total_cmp(&other.0)
-    }
-}
 
 #[derive(Debug, PartialEq, Eq)]
 struct HeapItem {
@@ -131,6 +115,9 @@ pub struct RankedApproxFdIter<'db, A: ApproxJoin, F: MonotoneCDetermined> {
     a: A,
     f: F,
     tau: f64,
+    /// Index of the first seed relation covered by `queues` (0 for the
+    /// full run; the shard start for a parallel worker).
+    rel_lo: usize,
     queues: Vec<Queue>,
     /// Printed results; `contains_exact` is the "already printed?" check,
     /// member-indexed `contains_superset` the line-11 analog.
@@ -153,10 +140,27 @@ impl<'db, A: ApproxJoin, F: MonotoneCDetermined> RankedApproxFdIter<'db, A, F> {
     /// `engine` selects the `Complete` store structure, `page_size`
     /// switches the candidate scans to block-based execution.
     pub fn with_config(db: &'db Database, a: A, tau: f64, f: F, cfg: FdConfig) -> Self {
+        let n = db.num_relations();
+        Self::for_relations(db, a, tau, f, cfg, 0..n)
+    }
+
+    /// Builds a run restricted to the seed relations `rels` — the ranked-
+    /// approximate counterpart of `RankedFdIter::for_relations`: the
+    /// stream delivers, in rank order, exactly the acceptable maximal
+    /// sets containing a tuple of one of those relations.
+    pub(crate) fn for_relations(
+        db: &'db Database,
+        a: A,
+        tau: f64,
+        f: F,
+        cfg: FdConfig,
+        rels: std::ops::Range<usize>,
+    ) -> Self {
         let mut stats = Stats::new();
         let c = f.c().max(1);
-        let mut queues = Vec::with_capacity(db.num_relations());
-        for rel_idx in 0..db.num_relations() {
+        let rel_lo = rels.start;
+        let mut queues = Vec::with_capacity(rels.len());
+        for rel_idx in rels {
             let ri = RelId(rel_idx as u16);
             let seeds = enumerate_acceptable(db, ri, c, &a, tau, &mut stats);
             let merged = merge_acceptable(db, seeds, &a, tau, &mut stats);
@@ -173,6 +177,7 @@ impl<'db, A: ApproxJoin, F: MonotoneCDetermined> RankedApproxFdIter<'db, A, F> {
             a,
             f,
             tau,
+            rel_lo,
             queues,
             complete: CompleteStore::new(cfg.engine),
             pager: cfg.page_size.map(|ps| Pager::new(db, ps)),
@@ -328,7 +333,7 @@ impl<'db, A: ApproxJoin, F: MonotoneCDetermined> RankedApproxFdIter<'db, A, F> {
                 }
             }
             let (qi, _) = best?;
-            let ri = RelId(qi as u16);
+            let ri = RelId((self.rel_lo + qi) as u16);
             let (_, set) = self.queues[qi].pop(&mut self.stats)?;
             let set = self.extend_maximal(set);
 
@@ -358,17 +363,6 @@ impl<A: ApproxJoin, F: MonotoneCDetermined> Iterator for RankedApproxFdIter<'_, 
     fn next(&mut self) -> Option<Self::Item> {
         self.step()
     }
-}
-
-/// The top-(k, f) problem over the approximate full disjunction.
-pub fn approx_top_k<A: ApproxJoin, F: MonotoneCDetermined>(
-    db: &Database,
-    a: &A,
-    tau: f64,
-    f: &F,
-    k: usize,
-) -> Vec<(TupleSet, f64)> {
-    RankedApproxFdIter::new(db, a, tau, f).take(k).collect()
 }
 
 /// All acceptable connected sets of size ≤ c containing a tuple of `ri`,
@@ -478,7 +472,7 @@ fn merge_acceptable<A: ApproxJoin>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::approx::{approx_full_disjunction, AMin, ProbScores};
+    use crate::approx::{AMin, ApproxAllIter, ProbScores};
     use crate::ranking::{FMax, ImpScores};
     use crate::sim::{EditDistanceSim, ExactSim};
     use fd_relational::tourist_database;
@@ -498,7 +492,7 @@ mod tests {
         // Coverage = AFD.
         let mut got: Vec<TupleSet> = ranked.into_iter().map(|x| x.0).collect();
         got.sort();
-        let mut want = approx_full_disjunction(&db, &a, tau);
+        let mut want: Vec<TupleSet> = ApproxAllIter::new(&db, &a, tau).collect();
         want.sort();
         assert_eq!(got, want);
     }
@@ -511,12 +505,34 @@ mod tests {
         let f = FMax::new(&imp);
         let all: Vec<_> = RankedApproxFdIter::new(&db, &a, 0.8, &f).collect();
         for k in 0..=all.len() {
-            let got = approx_top_k(&db, &a, 0.8, &f, k);
+            let got: Vec<_> = RankedApproxFdIter::new(&db, &a, 0.8, &f).take(k).collect();
             assert_eq!(got.len(), k);
             for (g, w) in got.iter().zip(all.iter()) {
                 assert_eq!(g.1, w.1);
             }
         }
+    }
+
+    #[test]
+    fn sharded_runs_cover_the_ranked_approx_stream() {
+        let db = tourist_database();
+        let a = AMin::new(ExactSim, ProbScores::uniform(&db, 1.0));
+        let imp = ImpScores::from_fn(&db, |t| (t.0 % 5) as f64);
+        let f = FMax::new(&imp);
+        let full: Vec<TupleSet> = RankedApproxFdIter::new(&db, &a, 0.9, &f)
+            .map(|(s, _)| s)
+            .collect();
+        let mut union: Vec<TupleSet> = Vec::new();
+        for (lo, hi) in [(0usize, 2usize), (2, 3)] {
+            let shard =
+                RankedApproxFdIter::for_relations(&db, &a, 0.9, &f, FdConfig::default(), lo..hi);
+            union.extend(shard.map(|(s, _)| s));
+        }
+        union.sort();
+        union.dedup();
+        let mut want = full;
+        want.sort();
+        assert_eq!(union, want);
     }
 
     #[test]

@@ -78,6 +78,20 @@ impl ImpScores {
     }
 }
 
+/// The canonical ranked emission order shared by every ranked plan —
+/// the sequential stream, the parallel k-way merge, and the live top-k
+/// window: rank descending, member ids ascending within equal ranks.
+/// All cross-plan "output-identical" guarantees are stated against this
+/// one comparator.
+pub fn canonical_rank_order(
+    a_rank: f64,
+    a_set: &TupleSet,
+    b_rank: f64,
+    b_set: &TupleSet,
+) -> std::cmp::Ordering {
+    b_rank.total_cmp(&a_rank).then_with(|| a_set.cmp(b_set))
+}
+
 /// A ranking function `f` over tuple sets. Implementations must be
 /// computable in polynomial time in `|T|` (the paper's standing
 /// assumption).

@@ -109,11 +109,32 @@ impl LiveFd {
     /// Like [`new`](Self::new) with explicit engine/block configuration
     /// for the initial computation and every delta run.
     pub fn with_config(db: Database, cfg: FdConfig) -> Self {
-        let results = FdQuery::over(&db)
-            .with_config(cfg)
-            .run()
-            .expect("a bare configuration is always a valid batch query")
-            .into_sets();
+        Self::with_config_parallel(db, cfg, None)
+    }
+
+    /// Like [`with_config`](Self::with_config), additionally computing
+    /// the *initial* materialization with up to `threads` workers (the
+    /// parallel batch plan). Delta runs stay sequential — each one is a
+    /// single seeded `FDi` run, already proportional to the change.
+    ///
+    /// The parallel materialization always runs with
+    /// [`fd_core::InitStrategy::Singletons`] (the reuse strategies
+    /// describe a sequence of prior runs the independent workers do not
+    /// have; the computed set is identical either way); a non-default
+    /// `cfg.init` still applies to the sequential delta runs. Build
+    /// through [`from_query`](Self::from_query) to get the combination
+    /// reported as a typed error instead.
+    pub fn with_config_parallel(db: Database, cfg: FdConfig, threads: Option<usize>) -> Self {
+        let results = {
+            let mut query = FdQuery::over(&db).with_config(cfg);
+            if let Some(t) = threads {
+                query = query.init(fd_core::InitStrategy::Singletons).parallel(t);
+            }
+            query
+                .run()
+                .expect("a bare configuration is always a valid batch query")
+                .into_sets()
+        };
         let index = results
             .iter()
             .enumerate()
@@ -130,10 +151,11 @@ impl LiveFd {
 
     /// Builds the live engine from an [`FdQuery`]: the query's
     /// engine/page-size/init configuration drives the initial
-    /// materialization and every subsequent delta run. The database is
-    /// cloned out of the query (the live engine owns its snapshot).
+    /// materialization and every subsequent delta run, and `.parallel(n)`
+    /// parallelizes the initial materialization. The database is cloned
+    /// out of the query (the live engine owns its snapshot).
     ///
-    /// Ranked, approximate and parallel options are rejected with a typed
+    /// Ranked and approximate options are rejected with a typed
     /// [`FdError`] — live maintenance materializes the plain full
     /// disjunction ([`LiveRankedFd::from_query`] adds the ranked window).
     ///
@@ -143,13 +165,30 @@ impl LiveFd {
     /// use fd_relational::tourist_database;
     ///
     /// let db = tourist_database();
-    /// let live = LiveFd::from_query(FdQuery::over(&db).engine(StoreEngine::Scan))?;
+    /// let live = LiveFd::from_query(FdQuery::over(&db).engine(StoreEngine::Scan).parallel(2))?;
     /// assert_eq!(live.len(), 6);
     /// # Ok::<(), fd_core::FdError>(())
     /// ```
     pub fn from_query(query: FdQuery<'_>) -> Result<Self, FdError> {
-        query.require_batch("live maintenance")?;
-        Ok(Self::with_config(query.db().clone(), query.config()))
+        query.validate()?;
+        let parts = query.into_parts();
+        if parts.ranking.is_some() {
+            return Err(FdError::Incompatible {
+                left: "live maintenance",
+                right: ".ranked",
+            });
+        }
+        if parts.approx.is_some() {
+            return Err(FdError::Incompatible {
+                left: "live maintenance",
+                right: ".approx",
+            });
+        }
+        Ok(Self::with_config_parallel(
+            parts.db.clone(),
+            parts.config,
+            parts.threads,
+        ))
     }
 
     /// The query this engine re-derives for every delta run: same
@@ -384,11 +423,41 @@ mod tests {
                 right: ".ranked"
             }
         );
-        let err = LiveFd::from_query(FdQuery::over(&db).parallel(2)).unwrap_err();
+        // `.parallel` is accepted: it parallelizes the initial
+        // materialization (deltas stay sequential).
+        let live = LiveFd::from_query(FdQuery::over(&db).parallel(2)).unwrap();
+        assert_eq!(live.len(), 6);
+        assert!(live.verify_snapshot());
+    }
+
+    #[test]
+    fn parallel_materialization_tolerates_reuse_init() {
+        // The direct constructor must not panic on reuse-init + threads:
+        // the parallel materialization falls back to singleton init (the
+        // computed set is identical), while the strategy still applies
+        // to the sequential delta runs.
+        let cfg = FdConfig {
+            init: fd_core::InitStrategy::ReuseResults,
+            ..FdConfig::default()
+        };
+        let mut live = LiveFd::with_config_parallel(tourist_database(), cfg, Some(2));
+        assert_eq!(live.len(), 6);
+        live.insert(RelId(0), vec!["Chile".into(), "arid".into()])
+            .unwrap();
+        assert!(live.verify_snapshot());
+
+        // The validated builder path reports the combination instead.
+        let db = tourist_database();
+        let err = LiveFd::from_query(
+            FdQuery::over(&db)
+                .init(fd_core::InitStrategy::ReuseResults)
+                .parallel(2),
+        )
+        .unwrap_err();
         assert_eq!(
             err,
             FdError::Incompatible {
-                left: "live maintenance",
+                left: ".init(ReuseResults/TrimExtend)",
                 right: ".parallel"
             }
         );

@@ -7,8 +7,11 @@
 //! answers current, reporting window entries and exits per mutation.
 
 use crate::{FdEvent, LiveFd};
-use fd_core::{BoxedRanking, FdConfig, FdError, FdQuery, RankingFunction, TupleSet};
-use fd_relational::{Database, Delta, RelationalError};
+use fd_core::{
+    canonical_rank_order, BoxedRanking, FdConfig, FdError, FdQuery, RankingFunction, TupleSet,
+};
+use fd_relational::fxhash::FxHashMap;
+use fd_relational::{Database, Delta, RelationalError, TupleId};
 
 /// What one mutation did to the ranked view.
 #[derive(Debug, Clone)]
@@ -24,18 +27,30 @@ pub struct TopKUpdate {
 /// A maintained top-k window over a [`LiveFd`].
 ///
 /// The ranking function is evaluated once per result-set change, and the
-/// window is rebuilt from the maintained ranks — `O(m log m)` in the
-/// number of current results, independent of the database size. Tuples
-/// inserted after an importance assignment was built rank through its
-/// documented default (see [`fd_core::ImpScores::imp`]).
+/// ranked vector is maintained *incrementally*: one binary-search insert
+/// per entered set, one binary-search (positional) removal per retracted
+/// set — `O(log m + m)` vector work per change, no re-sort, no re-ranking
+/// of unaffected results. The only full sort happens at construction.
+/// Tuples inserted after an importance assignment was built rank through
+/// its documented default (see [`fd_core::ImpScores::imp`]).
 #[derive(Debug)]
 pub struct LiveRankedFd<F> {
     inner: LiveFd,
     f: F,
     k: usize,
     /// Current results with ranks, sorted by descending rank (ties in
-    /// canonical order); the window is the first `k` entries.
+    /// canonical member order); the window is the first `k` entries.
     ranked: Vec<(TupleSet, f64)>,
+    /// Member list → the rank stored in `ranked`, so a retraction can
+    /// binary-search by its recorded rank without re-evaluating the
+    /// ranking function against the already-mutated database.
+    rank_of: FxHashMap<Box<[TupleId]>, f64>,
+}
+
+/// The maintained order — [`fd_core::canonical_rank_order`], the same
+/// canonical emission order the ranked `FdQuery` plans produce.
+fn rank_order(a: &(TupleSet, f64), b: &(TupleSet, f64)) -> std::cmp::Ordering {
+    canonical_rank_order(a.1, &a.0, b.1, &b.0)
 }
 
 impl<F: RankingFunction> LiveRankedFd<F> {
@@ -47,18 +62,35 @@ impl<F: RankingFunction> LiveRankedFd<F> {
 
     /// Like [`new`](Self::new) with explicit engine/block configuration.
     pub fn with_config(db: Database, f: F, k: usize, cfg: FdConfig) -> Self {
-        let inner = LiveFd::with_config(db, cfg);
+        Self::with_config_parallel(db, f, k, cfg, None)
+    }
+
+    /// Like [`with_config`](Self::with_config), additionally computing
+    /// the initial materialization with up to `threads` workers.
+    pub fn with_config_parallel(
+        db: Database,
+        f: F,
+        k: usize,
+        cfg: FdConfig,
+        threads: Option<usize>,
+    ) -> Self {
+        let inner = LiveFd::with_config_parallel(db, cfg, threads);
         let mut ranked: Vec<(TupleSet, f64)> = inner
             .results()
             .iter()
             .map(|s| (s.clone(), f.rank(inner.db(), s)))
             .collect();
-        sort_ranked(&mut ranked);
+        ranked.sort_by(rank_order);
+        let rank_of = ranked
+            .iter()
+            .map(|(s, r)| (Box::<[TupleId]>::from(s.tuples()), *r))
+            .collect();
         LiveRankedFd {
             inner,
             f,
             k,
             ranked,
+            rank_of,
         }
     }
 
@@ -83,23 +115,65 @@ impl<F: RankingFunction> LiveRankedFd<F> {
         &self.ranked[..self.k.min(self.ranked.len())]
     }
 
+    /// The full maintained ranking (the window is its first `k` entries):
+    /// every current result with its rank, in non-increasing rank order
+    /// with ties in canonical member order.
+    pub fn ranking(&self) -> &[(TupleSet, f64)] {
+        &self.ranked
+    }
+
+    /// Removes a retracted set from the ranked vector by binary search
+    /// on its *recorded* rank — the ranking function is never re-invoked
+    /// on a retracted set (its member tuples may already be gone from
+    /// the mutated database).
+    fn remove_ranked(&mut self, set: &TupleSet) {
+        let Some(rank) = self.rank_of.remove(set.tuples()) else {
+            debug_assert!(false, "retracting unknown ranked result {set}");
+            return;
+        };
+        let found = self
+            .ranked
+            .binary_search_by(|e| canonical_rank_order(e.1, &e.0, rank, set));
+        match found {
+            Ok(pos) => {
+                self.ranked.remove(pos);
+            }
+            Err(_) => {
+                // Unreachable with a consistent map, but stay lossless.
+                debug_assert!(false, "recorded rank not found for {set}");
+                if let Some(pos) = self
+                    .ranked
+                    .iter()
+                    .position(|(s, _)| s.tuples() == set.tuples())
+                {
+                    self.ranked.remove(pos);
+                }
+            }
+        }
+    }
+
     /// Applies one mutation, maintaining both the result set and the
-    /// window, and reports what changed.
+    /// window, and reports what changed. The ranked vector is maintained
+    /// in place — binary-search insert for entered sets, positional
+    /// removal for retracted ones — never re-sorted or re-ranked.
     pub fn apply(&mut self, delta: Delta) -> Result<TopKUpdate, RelationalError> {
         let before: Vec<TupleSet> = self.top().iter().map(|(s, _)| s.clone()).collect();
         let events = self.inner.apply(delta)?;
         for event in &events {
             match event {
-                FdEvent::Retracted(set) => {
-                    self.ranked.retain(|(s, _)| s.tuples() != set.tuples());
-                }
+                FdEvent::Retracted(set) => self.remove_ranked(set),
                 FdEvent::Added(set) => {
                     let rank = self.f.rank(self.inner.db(), set);
-                    self.ranked.push((set.clone(), rank));
+                    self.rank_of.insert(set.tuples().into(), rank);
+                    let probe = (set.clone(), rank);
+                    let pos = self
+                        .ranked
+                        .binary_search_by(|e| rank_order(e, &probe))
+                        .unwrap_or_else(|p| p);
+                    self.ranked.insert(pos, probe);
                 }
             }
         }
-        sort_ranked(&mut self.ranked);
 
         let after = self.top();
         let entered = after
@@ -123,9 +197,10 @@ impl<'q> LiveRankedFd<BoxedRanking<'q>> {
     /// Builds the live top-k engine from an [`FdQuery`]: requires
     /// `.ranked(f)` and `.top_k(k)`; honors the query's
     /// engine/page-size/init configuration for the materialization and
-    /// every delta run; rejects `.approx`, `.parallel` and `.threshold`
-    /// with a typed [`FdError`]. The database is cloned out of the query
-    /// (the live engine owns its snapshot).
+    /// every delta run, and `.parallel(n)` for the initial
+    /// materialization; rejects `.approx` and `.threshold` with a typed
+    /// [`FdError`]. The database is cloned out of the query (the live
+    /// engine owns its snapshot).
     ///
     /// ```
     /// use fd_core::{FMax, FdQuery, ImpScores};
@@ -148,12 +223,6 @@ impl<'q> LiveRankedFd<BoxedRanking<'q>> {
                 right: ".approx",
             });
         }
-        if parts.threads.is_some() {
-            return Err(FdError::Incompatible {
-                left: "live top-k maintenance",
-                right: ".parallel",
-            });
-        }
         if parts.min_rank.is_some() {
             return Err(FdError::Incompatible {
                 left: "live top-k maintenance",
@@ -166,12 +235,14 @@ impl<'q> LiveRankedFd<BoxedRanking<'q>> {
         let k = parts.top_k.ok_or(FdError::TopKRequired {
             context: "live top-k maintenance",
         })?;
-        Ok(Self::with_config(parts.db.clone(), f, k, parts.config))
+        Ok(Self::with_config_parallel(
+            parts.db.clone(),
+            f,
+            k,
+            parts.config,
+            parts.threads,
+        ))
     }
-}
-
-fn sort_ranked(ranked: &mut [(TupleSet, f64)]) {
-    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 }
 
 #[cfg(test)]
@@ -194,7 +265,13 @@ mod tests {
         let imp = stars_imp(&db);
         let f = FMax::new(&imp);
         let live = LiveRankedFd::new(db.clone(), f, 2);
-        let batch = fd_core::top_k(&db, &FMax::new(&imp), 2);
+        let batch = FdQuery::over(&db)
+            .ranked(FMax::new(&imp))
+            .top_k(2)
+            .run()
+            .unwrap()
+            .into_ranked()
+            .unwrap();
         let live_ranks: Vec<f64> = live.top().iter().map(|(_, r)| *r).collect();
         let batch_ranks: Vec<f64> = batch.iter().map(|(_, r)| *r).collect();
         assert_eq!(live_ranks, batch_ranks);
@@ -235,6 +312,81 @@ mod tests {
                 context: "live top-k maintenance"
             })
         );
+    }
+
+    #[test]
+    fn ranking_function_is_never_evaluated_on_retracted_sets() {
+        // A ranking function may read the database; after a delete, the
+        // retracted sets reference tuples that are no longer live, so
+        // maintenance must locate them by their *recorded* rank instead
+        // of re-ranking them.
+        struct LivenessAsserting;
+        impl RankingFunction for LivenessAsserting {
+            fn rank(&self, db: &Database, set: &TupleSet) -> f64 {
+                for &t in set.tuples() {
+                    assert!(db.is_live(t), "rank evaluated on dead tuple {t}");
+                }
+                set.tuples().iter().map(|t| t.0 as f64).fold(0.0, f64::max)
+            }
+        }
+        let mut live = LiveRankedFd::new(tourist_database(), LivenessAsserting, 3);
+        live.apply(Delta::Delete { tuple: TupleId(3) }).unwrap();
+        live.apply(Delta::Delete { tuple: TupleId(0) }).unwrap();
+        assert!(live.inner().verify_snapshot());
+    }
+
+    #[test]
+    fn incremental_ranking_equals_a_from_scratch_sort_under_churn() {
+        let db = tourist_database();
+        let imp = stars_imp(&db);
+        let mut live = LiveRankedFd::new(db, FMax::new(&imp), 2);
+        let script: Vec<Delta> = vec![
+            Delta::Insert {
+                rel: RelId(1),
+                values: vec!["UK".into(), "London".into(), "Savoy".into(), 5.into()],
+            },
+            Delta::Delete { tuple: TupleId(3) },
+            Delta::Insert {
+                rel: RelId(2),
+                values: vec!["Canada".into(), "Toronto".into(), "CN Tower".into()],
+            },
+            Delta::Delete { tuple: TupleId(10) },
+            Delta::Delete { tuple: TupleId(0) },
+            Delta::Insert {
+                rel: RelId(0),
+                values: vec!["Chile".into(), "arid".into()],
+            },
+        ];
+        for delta in script {
+            live.apply(delta).unwrap();
+            // The incrementally maintained vector must equal what a full
+            // re-rank + re-sort of the current results would produce.
+            let mut scratch: Vec<(TupleSet, f64)> = live
+                .inner()
+                .results()
+                .iter()
+                .map(|s| (s.clone(), FMax::new(&imp).rank(live.db(), s)))
+                .collect();
+            scratch.sort_by(rank_order);
+            assert_eq!(live.ranking(), &scratch[..]);
+            assert!(live.inner().verify_snapshot());
+        }
+    }
+
+    #[test]
+    fn from_query_accepts_parallel_for_the_initial_materialization() {
+        let db = tourist_database();
+        let imp = stars_imp(&db);
+        let parallel = LiveRankedFd::from_query(
+            FdQuery::over(&db)
+                .ranked(FMax::new(&imp))
+                .top_k(3)
+                .parallel(2),
+        )
+        .unwrap();
+        let sequential =
+            LiveRankedFd::from_query(FdQuery::over(&db).ranked(FMax::new(&imp)).top_k(3)).unwrap();
+        assert_eq!(parallel.ranking(), sequential.ranking());
     }
 
     #[test]

@@ -68,7 +68,7 @@ mod tests {
     fn snowflake_fd_agrees_with_oracle_on_small_instances() {
         // Oracle-checked correctness on the deeper shape.
         let db = snowflake(2, &DataSpec::new(3, 2).seed(10));
-        let fd = fd_core::canonicalize(fd_core::full_disjunction(&db));
+        let fd = fd_core::canonicalize(fd_core::FdQuery::over(&db).run().unwrap().into_sets());
         // Axiom checks without the exponential oracle: JCC + coverage.
         for s in &fd {
             assert!(fd_core::jcc::is_jcc(&db, s.tuples()));

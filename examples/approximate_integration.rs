@@ -11,7 +11,7 @@
 //! ```
 
 use full_disjunction::core::sim::TableSim;
-use full_disjunction::core::{approx_full_disjunction, AMin, AProd, ApproxJoin, ProbScores};
+use full_disjunction::core::{AMin, AProd, ApproxJoin, ProbScores};
 use full_disjunction::core::{EditDistanceSim, ExactSim};
 use full_disjunction::prelude::*;
 
@@ -47,7 +47,11 @@ fn main() {
     // AFD under A_min for a sweep of thresholds: lower τ tolerates more
     // noise and produces larger combined answers.
     for tau in [0.9, 0.75, 0.5] {
-        let afd = approx_full_disjunction(&db, &amin, tau);
+        let afd = FdQuery::over(&db)
+            .approx(&amin, tau)
+            .run()
+            .unwrap()
+            .into_sets();
         println!("\nAFD(A_min, τ = {tau}): {} tuple sets", afd.len());
         for set in &afd {
             println!(
@@ -70,7 +74,11 @@ fn main() {
         .row(["UK", "Hyde Park"]);
     let noisy = b.build().unwrap();
     let auto = AMin::new(EditDistanceSim, ProbScores::uniform(&noisy, 1.0));
-    let afd = approx_full_disjunction(&noisy, &auto, 0.8);
+    let afd = FdQuery::over(&noisy)
+        .approx(&auto, 0.8)
+        .run()
+        .unwrap()
+        .into_sets();
     println!("\nEdit-distance AFD over the typo'd database (τ = 0.8):");
     for set in &afd {
         println!("  {}", set.label(&noisy));

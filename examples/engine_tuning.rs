@@ -9,9 +9,7 @@
 //! cargo run --release --example engine_tuning
 //! ```
 
-use full_disjunction::core::{
-    full_disjunction_with, parallel_full_disjunction, FdConfig, FdIter, InitStrategy, StoreEngine,
-};
+use full_disjunction::core::{FdConfig, FdIter, FdQuery, InitStrategy, StoreEngine};
 use full_disjunction::workloads::{chain, DataSpec};
 
 fn main() {
@@ -86,14 +84,18 @@ fn main() {
         assert_eq!(count, n1);
         println!("  page size {pages:3}: results {count}");
     }
-    let results = full_disjunction_with(&db, FdConfig::default());
+    let results = FdQuery::over(&db).run().unwrap().into_sets();
     assert_eq!(results.len(), n1);
 
     // 4. Parallel full disjunction: one worker per FDi run.
     println!("\nparallel execution:");
     for threads in [1usize, 2, 4] {
         let t0 = std::time::Instant::now();
-        let (out, _) = parallel_full_disjunction(&db, FdConfig::default(), threads);
+        let out = FdQuery::over(&db)
+            .parallel(threads)
+            .run()
+            .unwrap()
+            .into_sets();
         println!(
             "  {threads} thread(s): {} results in {:?}",
             out.len(),

@@ -8,7 +8,7 @@
 //! cargo run --release --example planner_statistics
 //! ```
 
-use full_disjunction::core::{approx_top_k, AMin, EditDistanceSim};
+use full_disjunction::core::{AMin, EditDistanceSim};
 use full_disjunction::prelude::*;
 use full_disjunction::relational::hypergraph::{join_tree, Hypergraph};
 use full_disjunction::relational::stats::{estimate_fd_pairs, CatalogStats};
@@ -83,7 +83,7 @@ fn main() {
     // 4. Execute: the actual full disjunction, then ranked approximate
     //    retrieval of the 5 best-rated combined answers, tolerant of the
     //    injected nulls and future typos.
-    let fd = full_disjunction(&db);
+    let fd = FdQuery::over(&db).run().unwrap().into_sets();
     println!("\nactual |FD| = {} tuple sets", fd.len());
 
     let stars = db.attr_id("Stars").expect("attribute exists");
@@ -94,7 +94,15 @@ fn main() {
     let f = FMax::new(&imp);
     let a = AMin::new(EditDistanceSim, ProbScores::uniform(&db, 1.0));
     println!("top-5 by star rating (approximate, τ = 0.9):");
-    for (set, rank) in approx_top_k(&db, &a, 0.9, &f, 5) {
+    let top5 = FdQuery::over(&db)
+        .approx(&a, 0.9)
+        .ranked(&f)
+        .top_k(5)
+        .run()
+        .unwrap()
+        .into_ranked()
+        .unwrap();
+    for (set, rank) in top5 {
         println!("  rank {rank:.0}  {} tuples: {}", set.len(), set.label(&db));
     }
 }

@@ -59,10 +59,24 @@ fn main() -> Result<(), FdError> {
         ranked_afd.ranks().expect("ranked mode")[0]
     );
 
-    // 6. Parallel batch execution across the independent FDi runs.
+    // 6. Parallel execution — batch across the independent FDi runs,
+    //    and *ranked*: sharded priority queues k-way merged into one
+    //    globally ordered stream, output-identical to the sequential
+    //    plan (sets and order) for any worker count.
     let par = FdQuery::over(&db).parallel(4).run()?;
     assert_eq!(par.len(), fd.len());
     println!("parallel: {} tuple sets across 4 workers", par.len());
+    let par_ranked = FdQuery::over(&db)
+        .ranked(FMax::new(&imp))
+        .top_k(3)
+        .parallel(4)
+        .run()?;
+    assert_eq!(top.sets(), par_ranked.sets());
+    assert_eq!(top.ranks(), par_ranked.ranks());
+    println!(
+        "parallel ranked: top-{} identical to the sequential plan across 4 workers",
+        par_ranked.len()
+    );
 
     // 7. Delta maintenance through the same builder (no bare FdConfig).
     let mut mutable = tourist_database();

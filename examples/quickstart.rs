@@ -21,7 +21,7 @@ fn main() {
 
     // The full disjunction maximally combines join-consistent connected
     // tuples while preserving every tuple of every relation.
-    let fd = full_disjunction::core::canonicalize(full_disjunction(&db));
+    let fd = full_disjunction::core::canonicalize(FdQuery::over(&db).run().unwrap().into_sets());
     println!(
         "{}",
         full_disjunction::core::format_results(

@@ -41,7 +41,7 @@ fn main() {
     println!("natural join: {} row(s) — information lost!", join.len());
 
     // The full disjunction keeps every product, maximally combined.
-    let fd = full_disjunction::core::canonicalize(full_disjunction(&db));
+    let fd = full_disjunction::core::canonicalize(FdQuery::over(&db).run().unwrap().into_sets());
     println!(
         "{}",
         full_disjunction::core::format_results(&db, "Full disjunction of the catalog", &fd)

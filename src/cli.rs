@@ -35,6 +35,8 @@ pub struct Options {
     pub engine: Option<StoreEngine>,
     /// Block-based execution page size (`--page-size`).
     pub page_size: Option<usize>,
+    /// Worker count for parallel execution (`--threads`).
+    pub threads: Option<usize>,
     /// Print the source tables before the result.
     pub show_sources: bool,
 }
@@ -81,11 +83,14 @@ OPTIONS:
                        combines with --rank-by for ranked-approximate output
     --engine ENGINE    store engine: scan | indexed (default indexed; all modes)
     --page-size N      block-based execution with N tuples per page (all modes)
+    --threads N        compute with up to N workers (all modes; ranked output
+                       is identical to the sequential run, sets and order)
     --sources          print the source relations first
     --help             this text
 
-Every mode is one FdQuery under the hood, so --engine/--page-size apply
-uniformly — including ranked, approximate and watch runs.
+Every mode is one FdQuery under the hood, so --engine/--page-size/--threads
+apply uniformly — including ranked, approximate and watch runs (watch
+parallelizes the initial materialization; deltas stay sequential).
 ";
 
 /// Parses argv (without the program name).
@@ -151,6 +156,17 @@ where
                 }
                 opts.page_size = Some(n);
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize = v
+                    .as_ref()
+                    .parse()
+                    .map_err(|_| format!("bad --threads value: {}", v.as_ref()))?;
+                if n == 0 {
+                    return Err("--threads must be positive".into());
+                }
+                opts.threads = Some(n);
+            }
             "watch" if !opts.watch && opts.input.is_none() => opts.watch = true,
             _ if arg.starts_with('-') => return Err(format!("unknown option: {arg}\n\n{USAGE}")),
             _ => {
@@ -211,6 +227,9 @@ fn build_query<'db>(
     imp: Option<&'db ImpScores>,
 ) -> FdQuery<'db> {
     let mut query = FdQuery::over(db).with_config(opts.fd_config());
+    if let Some(n) = opts.threads {
+        query = query.parallel(n);
+    }
     if let Some(tau) = opts.approx_tau {
         query = query.approx(
             AMin::new(EditDistanceSim, ProbScores::uniform(db, 1.0)),
@@ -298,16 +317,27 @@ pub fn run(opts: &Options) -> Result<String, String> {
 /// Errors on individual commands are reported and the loop continues;
 /// only I/O failures abort.
 pub fn run_watch(opts: &Options, input: impl BufRead, mut out: impl Write) -> Result<(), String> {
+    // `parse_args` already rejects these, but `run_watch` is a public
+    // entry point over public `Options` fields — guard here too so a
+    // programmatic caller gets an error, not a silently dropped option.
+    if opts.approx_tau.is_some()
+        || opts.rank_attr.is_some()
+        || opts.top.is_some()
+        || opts.min_rank.is_some()
+    {
+        return Err("watch mode does not combine with ranking/approx options".into());
+    }
     let db = load_database(opts)?;
     // Validate + derive the configuration through the query, then hand
     // the database over by move — `LiveFd::from_query` would clone it.
+    // `--threads` parallelizes the initial materialization only; the
+    // per-mutation delta runs are sequential.
     let query = build_query(opts, &db, None);
-    query
-        .require_batch("watch mode")
-        .map_err(|e| e.to_string())?;
+    query.validate().map_err(|e| e.to_string())?;
     let cfg = query.config();
+    let threads = opts.threads;
     drop(query); // release the borrow of `db` before moving it
-    let mut live = LiveFd::with_config(db, cfg);
+    let mut live = LiveFd::with_config_parallel(db, cfg, threads);
     let emit = |out: &mut dyn Write, line: &str| -> Result<(), String> {
         writeln!(out, "{line}").map_err(|e| format!("write failed: {e}"))
     };
@@ -450,6 +480,45 @@ mod tests {
     }
 
     #[test]
+    fn parse_threads_flag() {
+        let o = parse_args(["--threads", "4"]).unwrap();
+        assert_eq!(o.threads, Some(4));
+        // Valid together with ranked mode — the parallel × ranked
+        // rejection is gone.
+        let o = parse_args(["--threads", "2", "--top", "3", "--rank-by", "Stars"]).unwrap();
+        assert_eq!(o.threads, Some(2));
+        assert_eq!(o.top, Some(3));
+        // And with watch (parallel initial materialization).
+        let o = parse_args(["watch", "--threads", "2"]).unwrap();
+        assert!(o.watch);
+        assert_eq!(o.threads, Some(2));
+        assert!(parse_args(["--threads", "0"]).is_err());
+        assert!(parse_args(["--threads", "x"]).is_err());
+        assert!(parse_args(["--threads"]).is_err());
+    }
+
+    #[test]
+    fn run_parallel_output_is_identical_to_sequential() {
+        // Ranked, threshold, approx and plain batch runs must print the
+        // same bytes with and without --threads.
+        for base_args in [
+            vec![],
+            vec!["--top", "4", "--rank-by", "Stars"],
+            vec!["--min-rank", "3", "--rank-by", "Stars"],
+            vec!["--approx", "0.9"],
+            vec!["--approx", "0.9", "--rank-by", "Stars", "--top", "2"],
+        ] {
+            let sequential = run(&parse_args(base_args.clone()).unwrap()).unwrap();
+            for threads in ["1", "2", "4"] {
+                let mut args = base_args.clone();
+                args.extend(["--threads", threads]);
+                let parallel = run(&parse_args(args).unwrap()).unwrap();
+                assert_eq!(sequential, parallel, "{base_args:?} --threads {threads}");
+            }
+        }
+    }
+
+    #[test]
     fn engine_and_page_size_are_accepted_in_ranked_and_approx_modes() {
         // The FdQuery rewiring made every mode honor the execution
         // knobs — the old "refuse rather than silently ignore" parse
@@ -512,6 +581,47 @@ mod tests {
         assert!(text.contains("deleted c4"), "{text}");
         assert!(text.contains("- {c4}"), "{text}");
         assert!(text.contains("bye (6 results)"), "{text}");
+    }
+
+    #[test]
+    fn run_watch_rejects_ranking_and_approx_options_programmatically() {
+        // Bypassing parse_args must not silently drop the options.
+        for opts in [
+            Options {
+                watch: true,
+                approx_tau: Some(0.9),
+                ..Options::default()
+            },
+            Options {
+                watch: true,
+                rank_attr: Some("Stars".into()),
+                top: Some(2),
+                ..Options::default()
+            },
+        ] {
+            let mut out = Vec::new();
+            let err = run_watch(&opts, "quit\n".as_bytes(), &mut out).unwrap_err();
+            assert!(err.contains("watch mode"), "{err}");
+        }
+    }
+
+    #[test]
+    fn watch_repl_accepts_threads_for_the_initial_materialization() {
+        let script = "insert Climates | Chile | arid\nquit\n";
+        let mut out = Vec::new();
+        run_watch(
+            &Options {
+                watch: true,
+                threads: Some(2),
+                ..Options::default()
+            },
+            script.as_bytes(),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("(6 results)"), "{text}");
+        assert!(text.contains("+ {c4}"), "{text}");
     }
 
     #[test]

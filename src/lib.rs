@@ -47,31 +47,40 @@
 //!     .run()?;
 //! assert_eq!(top.len(), 2);
 //!
+//! // Parallel ranked enumeration: identical output — sets and order —
+//! // across any worker count.
+//! let par = FdQuery::over(&db)
+//!     .ranked(FMax::new(&imp))
+//!     .top_k(2)
+//!     .parallel(4)
+//!     .run()?;
+//! assert_eq!(top.sets(), par.sets());
+//! assert_eq!(top.ranks(), par.ranks());
+//!
 //! // Invalid combinations are typed errors, not panics:
 //! assert!(FdQuery::over(&db).top_k(3).run().is_err());
 //! # Ok::<(), FdError>(())
 //! ```
 //!
-//! ## Migrating from the free functions
+//! ## Migrating from the removed free functions
 //!
-//! The pre-builder free functions remain as thin wrappers for one
-//! release; each maps to a builder chain:
+//! The pre-builder free functions were kept as thin wrappers for one
+//! release and are now gone; each maps to a builder chain:
 //!
-//! | Old entry point | Builder equivalent |
+//! | Removed entry point | Builder equivalent |
 //! |---|---|
 //! | `full_disjunction(&db)` | `FdQuery::over(&db).run()?.into_sets()` |
 //! | `full_disjunction_with(&db, cfg)` | `FdQuery::over(&db).with_config(cfg).run()?` |
-//! | `FdIter::new(&db)` | `FdQuery::over(&db).stream()?` |
 //! | `top_k(&db, &f, k)` | `FdQuery::over(&db).ranked(&f).top_k(k).run()?` |
 //! | `threshold(&db, &f, t)` | `FdQuery::over(&db).ranked(&f).threshold(t).run()?` |
-//! | `RankedFdIter::new(&db, &f)` | `FdQuery::over(&db).ranked(&f).stream()?` |
 //! | `approx_full_disjunction(&db, &a, tau)` | `FdQuery::over(&db).approx(&a, tau).run()?` |
 //! | `approx_top_k(&db, &a, tau, &f, k)` | `FdQuery::over(&db).approx(&a, tau).ranked(&f).top_k(k).run()?` |
 //! | `parallel_full_disjunction(&db, cfg, n)` | `FdQuery::over(&db).with_config(cfg).parallel(n).run()?` |
 //! | `delta_insert(&db, t, prev, cfg)` | `FdQuery::over(&db).with_config(cfg).delta_insert(t, prev)?` |
 //! | `delta_delete(&db, t, prev, cfg)` | `FdQuery::over(&db).with_config(cfg).delta_delete(t, prev)?` |
-//! | `LiveFd::with_config(db, cfg)` | `LiveFd::from_query(FdQuery::over(&db).with_config(cfg))?` |
-//! | `LiveRankedFd::with_config(db, f, k, cfg)` | `LiveRankedFd::from_query(FdQuery::over(&db).ranked(f).top_k(k).with_config(cfg))?` |
+//!
+//! The streaming iterator types (`FdIter`, `RankedFdIter`, …) remain
+//! public — they are the engines the builder plans run on.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
@@ -86,11 +95,10 @@ pub mod cli;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use fd_core::{
-        approx_full_disjunction, delta_delete, delta_insert, fdi, full_disjunction, threshold,
-        top_k, AMin, AProd, ApproxAllIter, ApproxFdIter, DeleteDelta, FMax, FPairSum, FSum,
-        FTriple, FdConfig, FdError, FdIter, FdQuery, FdResult, FdStream, FdiIter, ImpScores,
-        InitStrategy, InsertDelta, MonotoneCDetermined, ProbScores, RankedFdIter, RankingFunction,
-        Stats, StoreEngine, TupleSet,
+        fdi, AMin, AProd, ApproxAllIter, ApproxFdIter, DeleteDelta, FMax, FPairSum, FSum, FTriple,
+        FdConfig, FdError, FdIter, FdQuery, FdResult, FdStream, FdiIter, ImpScores, InitStrategy,
+        InsertDelta, MonotoneCDetermined, ProbScores, RankedFdIter, RankingFunction, Stats,
+        StoreEngine, TupleSet,
     };
     pub use fd_live::{FdEvent, LiveFd, LiveRankedFd, TopKUpdate};
     pub use fd_relational::{

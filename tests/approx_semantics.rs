@@ -4,11 +4,17 @@
 
 use full_disjunction::baselines::oracle_afd;
 use full_disjunction::core::sim::EditDistanceSim;
-use full_disjunction::core::{
-    approx_full_disjunction, canonicalize, AMin, AProd, ApproxJoin, ExactSim,
-};
+use full_disjunction::core::{canonicalize, AMin, AProd, ApproxJoin, ExactSim};
 use full_disjunction::prelude::*;
 use full_disjunction::workloads::{chain, random_probability, DataSpec};
+
+fn approx_full_disjunction<A: ApproxJoin + Sync>(db: &Database, a: &A, tau: f64) -> Vec<TupleSet> {
+    FdQuery::over(db)
+        .approx(a, tau)
+        .run()
+        .expect("valid approx query")
+        .into_sets()
+}
 
 fn amin_edit(db: &Database) -> AMin<EditDistanceSim> {
     AMin::new(EditDistanceSim, ProbScores::uniform(db, 1.0))
@@ -58,7 +64,7 @@ fn afd_satisfies_definition_6_2() {
 fn edit_distance_recovers_typos_that_exact_matching_loses() {
     // A database with heavy typo noise on the join attribute.
     let db = chain(2, &DataSpec::new(12, 3).seed(5).typos(0.6));
-    let exact_fd = full_disjunction(&db);
+    let exact_fd = FdQuery::over(&db).run().unwrap().into_sets();
     let a = amin_edit(&db);
     let afd = approx_full_disjunction(&db, &a, 0.75);
     let pairs = |sets: &[TupleSet]| sets.iter().filter(|s| s.len() >= 2).count();
@@ -131,8 +137,13 @@ fn probability_threshold_excludes_uncertain_tuples() {
 fn tau_zero_is_everything_tau_above_one_is_nothing() {
     let db = chain(2, &DataSpec::new(4, 2).seed(11));
     let a = amin_edit(&db);
-    // τ > 1 can never be met.
-    assert!(approx_full_disjunction(&db, &a, 1.01).is_empty());
+    // τ > 1 can never be met — the builder reports it as a typed error
+    // (Definition 6.2 restricts τ to [0, 1]) instead of running to an
+    // empty answer.
+    assert_eq!(
+        FdQuery::over(&db).approx(&a, 1.01).run().unwrap_err(),
+        FdError::InvalidTau { tau: 1.01 }
+    );
     // τ = 0 is met by every connected set; results must cover all tuples.
     let afd = approx_full_disjunction(&db, &a, 0.0);
     for t in db.all_tuples() {

@@ -3,8 +3,15 @@
 //! checked against the brute-force oracle where feasible.
 
 use full_disjunction::baselines::oracle_fd;
-use full_disjunction::core::{canonicalize, full_disjunction, top_k};
+use full_disjunction::core::canonicalize;
 use full_disjunction::prelude::*;
+
+fn full_disjunction(db: &Database) -> Vec<TupleSet> {
+    FdQuery::over(db)
+        .run()
+        .expect("batch queries are valid")
+        .into_sets()
+}
 
 #[test]
 fn empty_database_yields_empty_fd() {
@@ -148,14 +155,25 @@ fn ranked_iteration_on_degenerate_databases() {
     let db = DatabaseBuilder::new().build().unwrap();
     let imp = ImpScores::uniform(&db, 1.0);
     let f = FMax::new(&imp);
-    assert!(top_k(&db, &f, 5).is_empty());
+    assert!(FdQuery::over(&db)
+        .ranked(&f)
+        .top_k(5)
+        .run()
+        .unwrap()
+        .is_empty());
 
     let mut b = DatabaseBuilder::new();
     b.relation("R", &["A"]).row([1]);
     let db = b.build().unwrap();
     let imp = ImpScores::uniform(&db, 2.5);
     let f = FMax::new(&imp);
-    let got = top_k(&db, &f, 5);
+    let got = FdQuery::over(&db)
+        .ranked(&f)
+        .top_k(5)
+        .run()
+        .unwrap()
+        .into_ranked()
+        .unwrap();
     assert_eq!(got.len(), 1);
     assert_eq!(got[0].1, 2.5);
 }

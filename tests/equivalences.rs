@@ -3,12 +3,17 @@
 //! compute exactly the same full disjunction, differing only in
 //! operation counts.
 
-use full_disjunction::core::{
-    canonicalize, full_disjunction_with, parallel_full_disjunction, FdConfig, FdIter, InitStrategy,
-    StoreEngine,
-};
+use full_disjunction::core::{canonicalize, FdConfig, FdIter, InitStrategy, StoreEngine};
 use full_disjunction::prelude::*;
 use full_disjunction::workloads::{chain, cycle, random_connected, star, DataSpec};
+
+fn full_disjunction_with(db: &Database, cfg: FdConfig) -> Vec<TupleSet> {
+    FdQuery::over(db)
+        .with_config(cfg)
+        .run()
+        .expect("batch queries are valid")
+        .into_sets()
+}
 
 fn workloads(seed: u64) -> Vec<(String, Database)> {
     vec![
@@ -56,7 +61,13 @@ fn parallel_agrees_for_all_thread_counts() {
     for (name, db) in workloads(23) {
         let base = canonicalize(full_disjunction_with(&db, FdConfig::default()));
         for threads in [1usize, 2, 4, 16] {
-            let (got, _) = parallel_full_disjunction(&db, FdConfig::default(), threads);
+            let got = canonicalize(
+                FdQuery::over(&db)
+                    .parallel(threads)
+                    .run()
+                    .unwrap()
+                    .into_sets(),
+            );
             assert_eq!(base, got, "{name} threads={threads}");
         }
     }

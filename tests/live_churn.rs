@@ -6,9 +6,9 @@
 //! duplicate or a non-maximal set.
 
 use full_disjunction::baselines::brute::oracle_fd;
-use full_disjunction::core::canonicalize;
-use full_disjunction::live::{FdEvent, LiveFd};
-use full_disjunction::relational::{TupleId, Value};
+use full_disjunction::core::{canonicalize, FMax, ImpScores, RankingFunction, TupleSet};
+use full_disjunction::live::{FdEvent, LiveFd, LiveRankedFd};
+use full_disjunction::relational::{RelId, TupleId, Value};
 use full_disjunction::workloads::{chain, star, DataSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -95,6 +95,63 @@ fn chain_churn_matches_oracle_every_step() {
 fn star_churn_matches_oracle_every_step() {
     let db = star(3, &DataSpec::new(3, 3).seed(0xBEEF));
     churn(LiveFd::new(db), 23, 2_000);
+}
+
+/// Ranked-window churn: `LiveRankedFd::apply` maintains its ranked
+/// vector incrementally (binary-search insert / positional remove —
+/// never a full-window re-sort); after every mutation the maintained
+/// order must equal a from-scratch rank + sort of the current results.
+#[test]
+fn ranked_window_incremental_order_equals_from_scratch_sort_under_churn() {
+    let db = chain(3, &DataSpec::new(3, 3).seed(0xFACE));
+    // `% 3` makes rank ties common, so the canonical tie order is
+    // exercised; tuples inserted later rank through the documented
+    // default (0.0), landing in one big tie group.
+    let imp = ImpScores::from_fn(&db, |t| (t.0 % 3) as f64);
+    let mut live = LiveRankedFd::new(db, FMax::new(&imp), 3);
+    let mut rng = StdRng::seed_from_u64(71);
+    let num_rels = live.db().num_relations();
+    for step in 0..STEPS {
+        let tuple_count = live.db().num_tuples();
+        let do_insert = tuple_count <= 4 || (tuple_count < MAX_TUPLES && rng.gen_bool(0.5));
+        if do_insert {
+            let rel = RelId(rng.gen_range(0..num_rels) as u16);
+            let arity = live.db().relation(rel).schema().arity();
+            let mut values: Vec<Value> =
+                (0..arity - 1).map(|_| random_value(&mut rng, 3)).collect();
+            values.push(Value::Int(9_000 + step as i64));
+            live.apply(full_disjunction::relational::Delta::Insert { rel, values })
+                .expect("insert");
+        } else {
+            let live_ids: Vec<TupleId> = live.db().all_tuples().collect();
+            let victim = live_ids[rng.gen_range(0..live_ids.len())];
+            live.apply(full_disjunction::relational::Delta::Delete { tuple: victim })
+                .expect("delete");
+        }
+
+        // From-scratch reference: rank every current result, sort by
+        // (rank desc, members asc) — must equal the maintained vector.
+        let f = FMax::new(&imp);
+        let mut scratch: Vec<(TupleSet, f64)> = live
+            .inner()
+            .results()
+            .iter()
+            .map(|s| (s.clone(), f.rank(live.db(), s)))
+            .collect();
+        scratch.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        assert_eq!(
+            live.ranking(),
+            &scratch[..],
+            "incremental ranking diverged at step {step}"
+        );
+        // The window is the prefix.
+        assert_eq!(
+            live.top(),
+            &scratch[..3.min(scratch.len())],
+            "window diverged at step {step}"
+        );
+    }
+    assert!(live.inner().verify_snapshot());
 }
 
 #[test]

@@ -4,8 +4,16 @@
 //! (γ-acyclic, connected, null-free).
 
 use full_disjunction::baselines::{oracle_fd, outerjoin_fd, pio_fd};
-use full_disjunction::core::{canonicalize, full_disjunction, padded_relation};
+use full_disjunction::core::{canonicalize, padded_relation};
 use full_disjunction::prelude::*;
+
+fn full_disjunction(db: &Database) -> Vec<TupleSet> {
+    FdQuery::over(db)
+        .run()
+        .expect("batch queries are valid")
+        .into_sets()
+}
+
 use full_disjunction::workloads::{chain, cycle, random_connected, star, DataSpec};
 
 fn assert_all_agree(db: &Database, ctx: &str) {

@@ -6,10 +6,25 @@
 use full_disjunction::baselines::{join_nonempty_direct, oracle_fd};
 use full_disjunction::core::sim::TableSim;
 use full_disjunction::core::{
-    approx_full_disjunction, canonicalize, AMin, AProd, ApproxJoin, ExactSim, FdConfig, ProbScores,
+    canonicalize, AMin, AProd, ApproxJoin, ExactSim, FdConfig, ProbScores,
 };
 use full_disjunction::prelude::*;
 use full_disjunction::relational::join::natural_join_all;
+
+fn full_disjunction(db: &Database) -> Vec<TupleSet> {
+    FdQuery::over(db)
+        .run()
+        .expect("batch queries are valid")
+        .into_sets()
+}
+
+fn approx_full_disjunction<A: ApproxJoin + Sync>(db: &Database, a: &A, tau: f64) -> Vec<TupleSet> {
+    FdQuery::over(db)
+        .approx(a, tau)
+        .run()
+        .expect("valid approx query")
+        .into_sets()
+}
 
 const C1: TupleId = TupleId(0);
 const C2: TupleId = TupleId(1);

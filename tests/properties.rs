@@ -5,13 +5,17 @@
 use full_disjunction::baselines::{all_jcc_sets, oracle_afd, oracle_fd, oracle_top_k, pio_fd};
 use full_disjunction::core::jcc::is_jcc;
 use full_disjunction::core::sim::EditDistanceSim;
-use full_disjunction::core::{
-    approx_full_disjunction, canonicalize, full_disjunction, full_disjunction_with,
-    parallel_full_disjunction, AMin, FdConfig, InitStrategy, StoreEngine,
-};
+use full_disjunction::core::{canonicalize, AMin, FdConfig, InitStrategy, StoreEngine};
 use full_disjunction::prelude::*;
 use full_disjunction::workloads::positional_importance;
 use proptest::prelude::*;
+
+fn full_disjunction(db: &Database) -> Vec<TupleSet> {
+    FdQuery::over(db)
+        .run()
+        .expect("batch queries are valid")
+        .into_sets()
+}
 
 /// One relation: a non-empty attribute subset of a 4-attribute pool and
 /// up to three rows of small values with nulls.
@@ -94,11 +98,12 @@ proptest! {
         for engine in [StoreEngine::Scan, StoreEngine::Indexed] {
             for init in [InitStrategy::Singletons, InitStrategy::ReuseResults, InitStrategy::TrimExtend] {
                 let cfg = FdConfig { engine, page_size: Some(2), init };
-                prop_assert_eq!(&base, &canonicalize(full_disjunction_with(&db, cfg)));
+                let got = FdQuery::over(&db).with_config(cfg).run().unwrap().into_sets();
+                prop_assert_eq!(&base, &canonicalize(got));
             }
         }
-        let (par, _) = parallel_full_disjunction(&db, FdConfig::default(), 3);
-        prop_assert_eq!(base, par);
+        let par = FdQuery::over(&db).parallel(3).run().unwrap().into_sets();
+        prop_assert_eq!(base, canonicalize(par));
     }
 
     /// The ranked stream is ordered, duplicate-free, complete, and its
@@ -131,7 +136,7 @@ proptest! {
     #[test]
     fn approx_agrees_with_oracle(db in arb_db(), tau in 0.3f64..=1.0) {
         let a = AMin::new(EditDistanceSim, ProbScores::uniform(&db, 1.0));
-        let got = canonicalize(approx_full_disjunction(&db, &a, tau));
+        let got = canonicalize(FdQuery::over(&db).approx(&a, tau).run().unwrap().into_sets());
         let want = oracle_afd(&db, &a, tau);
         prop_assert_eq!(got, want);
     }

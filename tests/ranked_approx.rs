@@ -5,7 +5,7 @@
 
 use full_disjunction::baselines::oracle_afd;
 use full_disjunction::core::sim::EditDistanceSim;
-use full_disjunction::core::{approx_top_k, AMin, RankedApproxFdIter};
+use full_disjunction::core::{AMin, RankedApproxFdIter};
 use full_disjunction::prelude::*;
 use full_disjunction::workloads::{chain, random_importance, DataSpec};
 
@@ -42,7 +42,7 @@ fn approx_top_k_is_a_prefix_and_respects_tau() {
     let tau = 0.8;
     let all: Vec<_> = RankedApproxFdIter::new(&db, &a, tau, &f).collect();
     for k in [0, 1, 3, all.len(), all.len() + 2] {
-        let got = approx_top_k(&db, &a, tau, &f, k);
+        let got: Vec<(TupleSet, f64)> = RankedApproxFdIter::new(&db, &a, tau, &f).take(k).collect();
         assert_eq!(got.len(), k.min(all.len()));
         for (g, w) in got.iter().zip(all.iter()) {
             assert_eq!(g.1, w.1, "k = {k}");

@@ -3,7 +3,6 @@
 //! threshold variant, and the c = 3 example function.
 
 use full_disjunction::baselines::{naive_top_k, oracle_top_k};
-use full_disjunction::core::threshold;
 use full_disjunction::prelude::*;
 use full_disjunction::workloads::{chain, random_connected, random_importance, star, DataSpec};
 
@@ -59,7 +58,7 @@ fn top_k_is_prefix_of_full_stream() {
     let f = FMax::new(&imp);
     let full: Vec<(TupleSet, f64)> = RankedFdIter::new(&db, &f).collect();
     for k in [0usize, 1, 2, 5, full.len(), full.len() + 3] {
-        let got = top_k(&db, &f, k);
+        let got: Vec<(TupleSet, f64)> = RankedFdIter::new(&db, &f).take(k).collect();
         assert_eq!(got.len(), k.min(full.len()));
         for (a, b) in got.iter().zip(full.iter()) {
             assert_eq!(a.0, b.0, "k={k}");
@@ -76,7 +75,7 @@ fn naive_baseline_agrees_with_ranked_algorithm() {
         let f = FMax::new(&imp);
         for k in [1usize, 3, 8] {
             let naive: Vec<f64> = naive_top_k(&db, &f, k).into_iter().map(|x| x.1).collect();
-            let ranked: Vec<f64> = top_k(&db, &f, k).into_iter().map(|x| x.1).collect();
+            let ranked: Vec<f64> = RankedFdIter::new(&db, &f).take(k).map(|x| x.1).collect();
             assert_eq!(naive, ranked, "seed {seed} k {k}");
         }
     }
@@ -87,9 +86,20 @@ fn threshold_equals_filtered_stream() {
     let db = chain(3, &DataSpec::new(6, 3).seed(9));
     let imp = random_importance(&db, 17);
     let f = FMax::new(&imp);
-    let all: Vec<(TupleSet, f64)> = RankedFdIter::new(&db, &f).collect();
+    let all: Vec<(TupleSet, f64)> = FdQuery::over(&db)
+        .ranked(&f)
+        .run()
+        .unwrap()
+        .into_ranked()
+        .unwrap();
     for tau in [0.0, 0.3, 0.6, 0.9, 1.1] {
-        let got = threshold(&db, &f, tau);
+        let got = FdQuery::over(&db)
+            .ranked(&f)
+            .threshold(tau)
+            .run()
+            .unwrap()
+            .into_ranked()
+            .unwrap();
         let expected: Vec<&(TupleSet, f64)> = all.iter().filter(|(_, r)| *r >= tau).collect();
         assert_eq!(got.len(), expected.len(), "τ = {tau}");
         for ((gs, gr), (es, er)) in got.iter().zip(expected) {
@@ -128,6 +138,6 @@ fn ranked_stream_covers_whole_fd_even_with_ties() {
     sorted.sort();
     sorted.dedup();
     assert_eq!(sorted.len(), ranked.len(), "duplicate emission");
-    let fd = full_disjunction::core::canonicalize(full_disjunction::core::full_disjunction(&db));
+    let fd = full_disjunction::core::canonicalize(FdQuery::over(&db).run().unwrap().into_sets());
     assert_eq!(sorted, fd);
 }

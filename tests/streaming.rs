@@ -52,7 +52,7 @@ fn prefixes_are_stable_across_repeated_runs() {
 #[test]
 fn iterator_and_collect_agree() {
     let db = big_chain();
-    let collected = full_disjunction::core::full_disjunction(&db);
+    let collected = FdQuery::over(&db).run().unwrap().into_sets();
     let streamed: Vec<TupleSet> = FdIter::new(&db).collect();
     assert_eq!(collected, streamed);
 }

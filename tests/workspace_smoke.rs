@@ -5,6 +5,13 @@
 use full_disjunction::core::sim::ExactSim;
 use full_disjunction::prelude::*;
 
+fn full_disjunction(db: &Database) -> Vec<TupleSet> {
+    FdQuery::over(db)
+        .run()
+        .expect("batch queries are valid")
+        .into_sets()
+}
+
 /// Table 2 of the paper: the tourist database has exactly six maximal
 /// join-consistent connected tuple sets.
 #[test]
@@ -54,7 +61,7 @@ fn approx_fd_iter_yields_a_first_answer() {
 fn approx_full_disjunction_degenerates_to_fd() {
     let db = tourist_database();
     let a = AMin::new(ExactSim, ProbScores::uniform(&db, 1.0));
-    assert_eq!(approx_full_disjunction(&db, &a, 0.9).len(), 6);
+    assert_eq!(FdQuery::over(&db).approx(&a, 0.9).run().unwrap().len(), 6);
 }
 
 /// The live subsystem round-trips a mutation through the facade prelude:
