@@ -9,8 +9,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fd_bench::bench_chain;
-use fd_core::delta::delta_insert;
-use fd_core::FdConfig;
+use fd_core::delta::{delta_batch, delta_insert};
+use fd_core::{FdConfig, TupleSet};
 use fd_relational::{Database, RelId, TupleId, Value};
 use std::hint::black_box;
 
@@ -64,5 +64,107 @@ fn delta_vs_recompute(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, delta_vs_recompute);
+/// A pre-batch snapshot plus the 32 rows a batched commit will insert.
+struct BatchScenario {
+    db: Database,
+    previous: Vec<TupleSet>,
+    /// `(relation, values)` pairs, round-robin across the chain.
+    rows: Vec<(RelId, Vec<Value>)>,
+}
+
+const BATCH_K: usize = 32;
+
+fn batch_scenario(rows: usize) -> BatchScenario {
+    let db = bench_chain(4, rows);
+    let previous = fd_core::FdIter::with_config(&db, FdConfig::default()).collect();
+    let domain = (rows / 4).max(2) as i64;
+    // The overlapping-insert shape batched commits exist for: each group
+    // of 4 rows spans the whole chain and joins *each other* through
+    // fresh values (1000+g·10+r — unseen in the base data), anchored to
+    // the existing rows through the group's first join column. A
+    // singleton replay derives every growing prefix of a group and then
+    // subsumes it one insert later; the batch's single multi-seed run
+    // derives only each group's final sets.
+    let rows = (0..BATCH_K)
+        .map(|i| {
+            let rel = (i % 4) as i64;
+            let group = (i / 4) as i64;
+            let left = if rel == 0 {
+                group % domain // anchor to the base join domain
+            } else {
+                1_000 + group * 10 + rel
+            };
+            (
+                RelId(rel as u16),
+                vec![
+                    Value::Int(left),
+                    Value::Int(1_000 + group * 10 + rel + 1),
+                    Value::Int(9_000_000 + i as i64),
+                ],
+            )
+        })
+        .collect();
+    BatchScenario { db, previous, rows }
+}
+
+/// The session's `commit` arithmetic for one singleton insert delta,
+/// applied to a materialized result list.
+fn apply_insert_delta(previous: &mut Vec<TupleSet>, d: fd_core::InsertDelta) {
+    previous.retain(|s| !d.subsumed.contains(s));
+    previous.extend(d.added);
+}
+
+/// E14b — `batch_commit`: one 32-mutation commit (single maintenance
+/// pass, multi-seed FDi run) vs 32 singleton applies vs recomputing the
+/// full disjunction of the post-batch database.
+fn batch_vs_singletons(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_batch_commit");
+    group.sample_size(10);
+    for rows in [16usize, 32, 64] {
+        let s = batch_scenario(rows);
+        group.bench_with_input(BenchmarkId::new("batch_commit", rows), &s, |b, s| {
+            b.iter(|| {
+                let mut db = s.db.clone();
+                let inserted: Vec<TupleId> = s
+                    .rows
+                    .iter()
+                    .map(|(rel, row)| db.insert_tuple(*rel, row.clone()).expect("insert"))
+                    .collect();
+                black_box(delta_batch(
+                    &db,
+                    &inserted,
+                    &[],
+                    &s.previous,
+                    FdConfig::default(),
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("singleton_applies", rows), &s, |b, s| {
+            b.iter(|| {
+                let mut db = s.db.clone();
+                let mut previous = s.previous.clone();
+                for (rel, row) in &s.rows {
+                    let t = db.insert_tuple(*rel, row.clone()).expect("insert");
+                    let d = delta_insert(&db, t, &previous, FdConfig::default());
+                    apply_insert_delta(&mut previous, d);
+                }
+                black_box(previous)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_recompute", rows), &s, |b, s| {
+            b.iter(|| {
+                let mut db = s.db.clone();
+                for (rel, row) in &s.rows {
+                    db.insert_tuple(*rel, row.clone()).expect("insert");
+                }
+                black_box(
+                    fd_core::FdIter::with_config(&db, FdConfig::default()).collect::<Vec<_>>(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, delta_vs_recompute, batch_vs_singletons);
 criterion_main!(benches);

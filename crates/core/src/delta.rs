@@ -81,17 +81,47 @@ pub fn delta_insert(
     previous: &[TupleSet],
     cfg: FdConfig,
 ) -> InsertDelta {
-    debug_assert!(db.is_live(t), "insert delta requires a live seed tuple");
+    delta_insert_many(db, &[t], previous, cfg)
+}
+
+/// Computes the full-disjunction delta of inserting `seeds` — the
+/// multi-seed generalization of [`delta_insert`], and the insert half of
+/// a batched commit's single maintenance pass.
+///
+/// `db` must already contain every seed (live); `previous` is the
+/// materialized full disjunction of the database *without* them. All `k`
+/// seeds drive **one** `FDi` run: `Incomplete` starts from the `k`
+/// singletons, the line-10 root filter accepts any seed, and emitted
+/// sets register in `Complete` under every contained seed — so a maximal
+/// set joining several fresh tuples is discovered (and its derivations
+/// suppressed) once, not once per seed.
+pub fn delta_insert_many(
+    db: &Database,
+    seeds: &[TupleId],
+    previous: &[TupleSet],
+    cfg: FdConfig,
+) -> InsertDelta {
+    debug_assert!(
+        seeds.iter().all(|&t| db.is_live(t)),
+        "insert delta requires live seed tuples"
+    );
     let mut stats = Stats::new();
+    if seeds.is_empty() {
+        return InsertDelta::default();
+    }
     let mut incomplete = IncompleteQueue::new(cfg.engine);
-    incomplete.push(t, TupleSet::singleton(db, t), &mut stats);
+    for &t in seeds {
+        incomplete.push(t, TupleSet::singleton(db, t), &mut stats);
+    }
     let mut complete = CompleteStore::new(cfg.engine);
     let pager = cfg.page_size.map(|ps| Pager::new(db, ps));
+    let memo = std::cell::RefCell::new(FxHashSet::default());
     let scope = ScanScope {
         db,
-        ri: db.rel_of(t),
+        ri: db.rel_of(seeds[0]),
         rel_min: 0,
-        seed: Some(t),
+        seeds,
+        memo: Some(&memo),
         pager: pager.as_ref(),
     };
 
@@ -99,9 +129,11 @@ pub fn delta_insert(
     let mut emitted: FxHashSet<Box<[TupleId]>> = FxHashSet::default();
     while let Some((_, set)) = get_next_result(&scope, &mut incomplete, &complete, &mut stats) {
         // The Complete store already suppresses subsets of printed sets;
-        // the canonical filter additionally drops exact re-derivations.
+        // the canonical filter additionally drops exact re-derivations
+        // (two seeds contained in one maximal set each derive it once).
         if emitted.insert(set.tuples().into()) {
-            complete.insert(set.clone(), &[t]);
+            let roots: Vec<TupleId> = seeds.iter().copied().filter(|&s| set.contains(s)).collect();
+            complete.insert(set.clone(), &roots);
             added.push(set);
         }
     }
@@ -110,7 +142,7 @@ pub fn delta_insert(
         .iter()
         .filter(|prev| {
             // A subsumed old set is a strict subset of a new one (never
-            // equal: it cannot contain the fresh tuple `t`).
+            // equal: it cannot contain a fresh seed tuple).
             added.iter().any(|new| prev.is_subset_of(new))
         })
         .cloned()
@@ -139,13 +171,41 @@ pub fn delta_delete(
     previous: &[TupleSet],
     cfg: FdConfig,
 ) -> DeleteDelta {
-    debug_assert!(!db.is_live(t), "delete delta runs after the tombstone");
+    delta_delete_many(db, &[t], previous, cfg)
+}
+
+/// Computes the full-disjunction delta of deleting all of `removed` —
+/// the grouped generalization of [`delta_delete`], and the delete half
+/// of a batched commit's single maintenance pass.
+///
+/// `db` must already have every removed tuple tombstoned; `previous` is
+/// the materialized full disjunction of the database *with* them. The
+/// dropped results (those touching **any** removed tuple) are collected
+/// in one scan, and the remnant components — each dropped set minus the
+/// whole removed group — are re-derived once, not once per deletion: a
+/// newly maximal set `M` has every old maximal superset dropped, so
+/// `M ⊆ S \ removed` for some dropped `S`, and being maximal and
+/// connected inside it, `M` is a connected component of `S \ removed`
+/// (the Theorem 4.8 argument applied to the group).
+pub fn delta_delete_many(
+    db: &Database,
+    removed: &[TupleId],
+    previous: &[TupleSet],
+    cfg: FdConfig,
+) -> DeleteDelta {
+    debug_assert!(
+        removed.iter().all(|&t| !db.is_live(t)),
+        "delete delta runs after the tombstones"
+    );
     let _ = cfg; // store engine choice does not affect this path (yet)
     let mut stats = Stats::new();
+    if removed.is_empty() {
+        return DeleteDelta::default();
+    }
     let mut dropped: Vec<TupleSet> = Vec::new();
     let mut survivors: FxHashSet<&[TupleId]> = FxHashSet::default();
     for prev in previous {
-        if prev.contains(t) {
+        if removed.iter().any(|&t| prev.contains(t)) {
             dropped.push(prev.clone());
         } else {
             survivors.insert(prev.tuples());
@@ -155,7 +215,12 @@ pub fn delta_delete(
     let mut restored: Vec<TupleSet> = Vec::new();
     let mut seen: FxHashSet<Box<[TupleId]>> = FxHashSet::default();
     for set in &dropped {
-        let remnant: Vec<TupleId> = set.tuples().iter().copied().filter(|&u| u != t).collect();
+        let remnant: Vec<TupleId> = set
+            .tuples()
+            .iter()
+            .copied()
+            .filter(|u| !removed.contains(u))
+            .collect();
         for component in connected_components(db, &remnant) {
             if !seen.insert(component.clone().into_boxed_slice()) {
                 continue;
@@ -167,7 +232,9 @@ pub fn delta_delete(
             // Maximality probe: a candidate that grows was (and remains)
             // subsumed by an existing result — extend_to_maximal reaches
             // a maximal superset, which either survives in `previous` or
-            // is itself a component of another dropped set.
+            // is itself a component of another dropped set (or, inside a
+            // batched commit, contains a freshly inserted tuple and is
+            // found by the batch's multi-seed insert run).
             let extended = extend_to_maximal(db, candidate.clone(), &mut stats);
             if extended.tuples() == candidate.tuples() {
                 restored.push(candidate);
@@ -177,6 +244,79 @@ pub fn delta_delete(
     DeleteDelta {
         dropped,
         restored,
+        stats,
+    }
+}
+
+/// The net effect of one batched commit (k mutations, one maintenance
+/// pass) on the full disjunction.
+#[derive(Debug, Clone, Default)]
+pub struct BatchDelta {
+    /// Previous results that must be retracted: sets touching a removed
+    /// tuple, plus sets subsumed by a new maximal set.
+    pub retracted: Vec<TupleSet>,
+    /// Sets entering the full disjunction: re-derived remnant components
+    /// of the retracted sets, plus the maximal sets containing at least
+    /// one inserted tuple.
+    pub added: Vec<TupleSet>,
+    /// Work counters of the (single) maintenance pass.
+    pub stats: Stats,
+}
+
+/// Computes the full-disjunction delta of one batched commit: all of
+/// `inserted` entered the database and all of `removed` left it, in one
+/// transaction. `db` must already reflect the whole batch (inserted
+/// tuples live, removed tuples tombstoned); `previous` is the
+/// materialized full disjunction from *before* the batch.
+///
+/// This is **one** maintenance pass, not `k`:
+///
+/// * the deletes are processed as a group ([`delta_delete_many`]) —
+///   results touching any removed tuple drop in one scan, remnant
+///   components re-derive once;
+/// * the inserts are seeded together ([`delta_insert_many`]) — one
+///   multi-seed `FDi` run discovers every maximal set containing a new
+///   tuple, so overlapping inserts combine without intermediate states;
+/// * the returned events are the *net* effect: a set that a singleton
+///   replay would have added and then retracted within the batch (say,
+///   an insert joining a tuple the same batch deletes) never surfaces,
+///   because the maintenance runs against the final database only.
+///
+/// The remnant-component probes run against the final database, so a
+/// component extendable only through an inserted tuple is correctly left
+/// to the insert run (which emits the extended maximal set instead).
+pub fn delta_batch(
+    db: &Database,
+    inserted: &[TupleId],
+    removed: &[TupleId],
+    previous: &[TupleSet],
+    cfg: FdConfig,
+) -> BatchDelta {
+    let del = delta_delete_many(db, removed, previous, cfg);
+    let mut stats = del.stats;
+
+    let ins = delta_insert_many(db, inserted, &[], cfg);
+    stats.merge(&ins.stats);
+
+    // Only results that survived the delete group can be subsumed by a
+    // new maximal set (dropped sets are already being retracted,
+    // restored components are maximal in the final database by
+    // construction). Computed here by reference — the common one-insert
+    // commit must not clone the whole materialized result just to run
+    // the subsumption filter.
+    let subsumed = previous
+        .iter()
+        .filter(|prev| !removed.iter().any(|&t| prev.contains(t)))
+        .filter(|prev| ins.added.iter().any(|new| prev.is_subset_of(new)))
+        .cloned();
+
+    let mut retracted = del.dropped;
+    retracted.extend(subsumed);
+    let mut added = del.restored;
+    added.extend(ins.added);
+    BatchDelta {
+        retracted,
+        added,
         stats,
     }
 }
@@ -363,6 +503,116 @@ mod tests {
         }
         assert_eq!(
             apply_insert(&before, &d),
+            canonicalize(full_disjunction(&db))
+        );
+    }
+
+    /// Applies a batch delta the way a session commit does.
+    fn apply_batch_delta(previous: &[TupleSet], d: &BatchDelta) -> Vec<TupleSet> {
+        let mut out: Vec<TupleSet> = previous
+            .iter()
+            .filter(|s| !d.retracted.contains(s))
+            .cloned()
+            .collect();
+        out.extend(d.added.iter().cloned());
+        canonicalize(out)
+    }
+
+    #[test]
+    fn multi_seed_insert_matches_recomputation() {
+        let mut db = tourist_database();
+        let before = full_disjunction(&db);
+        // Two overlapping fresh tuples: a new hotel and a new site that
+        // join each other (both in London, Canada) *and* existing tuples.
+        let t1 = db
+            .insert_tuple(
+                RelId(1),
+                vec![
+                    "Canada".into(),
+                    "London".into(),
+                    "Fairmont".into(),
+                    Value::Int(5),
+                ],
+            )
+            .unwrap();
+        let t2 = db
+            .insert_tuple(
+                RelId(2),
+                vec!["Canada".into(), "London".into(), "Storybook Gardens".into()],
+            )
+            .unwrap();
+        let d = delta_insert_many(&db, &[t1, t2], &before, FdConfig::default());
+        assert!(d.added.iter().all(|s| s.contains(t1) || s.contains(t2)));
+        assert!(
+            d.added.iter().any(|s| s.contains(t1) && s.contains(t2)),
+            "overlapping seeds must combine in one run"
+        );
+        // No duplicates, no non-maximal emissions.
+        for (i, a) in d.added.iter().enumerate() {
+            for (j, b) in d.added.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a.tuples(), b.tuples(), "duplicate emission");
+                    assert!(!a.is_subset_of(b), "non-maximal emission {a} ⊆ {b}");
+                }
+            }
+        }
+        assert_eq!(
+            apply_insert(&before, &d),
+            canonicalize(full_disjunction(&db))
+        );
+    }
+
+    #[test]
+    fn grouped_delete_matches_recomputation() {
+        let mut db = tourist_database();
+        let before = full_disjunction(&db);
+        // Delete a1 and a2 together: {c1, a1} and {c1, a2, s1} die;
+        // {c1, s1} resurfaces once (not once per delete).
+        db.remove_tuple(TupleId(3)).unwrap();
+        db.remove_tuple(TupleId(4)).unwrap();
+        let d = delta_delete_many(&db, &[TupleId(3), TupleId(4)], &before, FdConfig::default());
+        assert_eq!(d.dropped.len(), 2);
+        assert_eq!(
+            d.restored
+                .iter()
+                .filter(|s| s.tuples() == [TupleId(0), TupleId(6)])
+                .count(),
+            1
+        );
+        assert_eq!(
+            apply_delete(&before, &d),
+            canonicalize(full_disjunction(&db))
+        );
+    }
+
+    #[test]
+    fn batch_delta_matches_recomputation_and_nets_out_intermediates() {
+        let mut db = tourist_database();
+        let before = full_disjunction(&db);
+        // One transaction: delete c1, insert a hotel that would have
+        // joined c1. A singleton replay (insert first) would add a set
+        // containing both and retract it one step later; the batch's
+        // single pass must never surface it.
+        let t = db
+            .insert_tuple(
+                RelId(1),
+                vec![
+                    "Canada".into(),
+                    "London".into(),
+                    "Fairmont".into(),
+                    Value::Int(5),
+                ],
+            )
+            .unwrap();
+        db.remove_tuple(TupleId(0)).unwrap();
+        let d = delta_batch(&db, &[t], &[TupleId(0)], &before, FdConfig::default());
+        assert!(
+            d.added.iter().all(|s| !s.contains(TupleId(0))),
+            "no event may mention the deleted tuple"
+        );
+        assert!(d.added.iter().any(|s| s.contains(t)));
+        assert_eq!(
+            apply_batch_delta(&before, &d),
             canonicalize(full_disjunction(&db))
         );
     }

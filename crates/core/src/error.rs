@@ -7,6 +7,7 @@
 //! ranked/approx modes; the builder honors them, and only genuinely
 //! contradictory requests error).
 
+use fd_relational::RelationalError;
 use std::fmt;
 
 /// Why a full-disjunction query could not be executed.
@@ -49,6 +50,20 @@ pub enum FdError {
     },
     /// Block-based execution needs a positive page size.
     InvalidPageSize,
+    /// A mutation inside a session commit (or a live `apply`) was
+    /// rejected by the relational layer — unknown relation, arity
+    /// mismatch, dead tuple, id-space overflow. The whole batch was
+    /// rolled back; the session state is unchanged.
+    Mutation {
+        /// The relational layer's rejection.
+        source: RelationalError,
+    },
+}
+
+impl From<RelationalError> for FdError {
+    fn from(source: RelationalError) -> Self {
+        FdError::Mutation { source }
+    }
 }
 
 impl fmt::Display for FdError {
@@ -73,11 +88,19 @@ impl fmt::Display for FdError {
                 write!(f, "ranking threshold must not be NaN, got {value}")
             }
             FdError::InvalidPageSize => write!(f, "page size must be positive"),
+            FdError::Mutation { source } => write!(f, "mutation rejected: {source}"),
         }
     }
 }
 
-impl std::error::Error for FdError {}
+impl std::error::Error for FdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FdError::Mutation { source } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -100,5 +123,16 @@ mod tests {
     fn is_a_std_error() {
         fn assert_error<E: std::error::Error>() {}
         assert_error::<FdError>();
+    }
+
+    #[test]
+    fn absorbs_relational_errors() {
+        let rel = RelationalError::NoSuchTuple { id: 7 };
+        let e: FdError = rel.clone().into();
+        assert_eq!(e, FdError::Mutation { source: rel });
+        assert!(e.to_string().contains("mutation rejected"));
+        assert!(e.to_string().contains("t7"));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
     }
 }

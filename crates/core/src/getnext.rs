@@ -37,13 +37,28 @@ pub(crate) struct ScanScope<'db, 'p> {
     /// repeated-work optimization, which relies on a global `Complete`).
     pub rel_min: usize,
     /// Tightens line 10's root filter from "contains a tuple of `Ri`" to
-    /// "contains exactly this tuple". Used by the delta-maintenance run
-    /// seeded at a freshly inserted tuple `t`: that run is
-    /// `INCREMENTALFD(R', i)` over the database in which `Ri` is replaced
-    /// by `{t}` (Theorem 4.10 then says it emits exactly the maximal
-    /// join-consistent connected sets containing `t`), and the tighter
-    /// filter is what discards derivations rooted at `Ri`'s other tuples.
-    pub seed: Option<TupleId>,
+    /// "contains one of these tuples". Used by the delta-maintenance run
+    /// seeded at freshly inserted tuples: with a single seed `t` that run
+    /// is `INCREMENTALFD(R', i)` over the database in which `Ri` is
+    /// replaced by `{t}` (Theorem 4.10 then says it emits exactly the
+    /// maximal join-consistent connected sets containing `t`); with `k`
+    /// seeds it is the batched union of those runs — `Incomplete` starts
+    /// from all `k` singletons, a derivation's root is the first seed it
+    /// contains, and printed sets register under *every* contained seed
+    /// so the line-11 suppression stays root-complete. Empty means no
+    /// seed filter (the plain and ranked executions).
+    pub seeds: &'p [TupleId],
+    /// Derivation memo for seeded runs: the canonical member lists of
+    /// every `T′` already processed by lines 10–18. A re-derived exact
+    /// duplicate is a no-op — it is either still in `Incomplete` (the
+    /// line-14 merge with its own growth succeeds trivially), was merged
+    /// into an entry that still covers it, or is covered by a printed
+    /// superset (`Complete` only grows) — so it can skip the store scans
+    /// entirely. Seeded runs re-derive heavily (every pop scans every
+    /// candidate, and cross-seed derivations repeat per pop), which is
+    /// why they carry the memo; the plain runs keep the paper's exact
+    /// trace.
+    pub memo: Option<&'p std::cell::RefCell<fd_relational::fxhash::FxHashSet<Box<[TupleId]>>>>,
     /// Block-based execution (Section 7): scan through a pager, counting
     /// page fetches, instead of tuple at a time.
     pub pager: Option<&'p Pager<'db>>,
@@ -122,6 +137,17 @@ pub(crate) fn get_next_result(
     // Lines 2–6: maximal extension.
     let set = extend_to_maximal_from(db, set, scope.rel_min, stats);
 
+    // Multi-seed runs re-derive a maximal set once per contained seed
+    // (the singletons are all queued before any suppression can kick
+    // in). The candidate loop below depends only on (db, set), so a
+    // re-derivation of an already-printed set would regenerate exactly
+    // the T′ collection the first emission already processed — skip the
+    // scan and let the caller's canonical filter drop the duplicate.
+    if !scope.seeds.is_empty() && complete.contains_exact(set.tuples()) {
+        stats.results += 1;
+        return Some((root, set));
+    }
+
     // Lines 7–18: derive successor tuple sets.
     scope.for_each_candidate(stats, |tb, stats| {
         if set.contains(tb) {
@@ -129,20 +155,30 @@ pub(crate) fn get_next_result(
         }
         // Line 8 (footnote 3): unique maximal JCC subset containing tb.
         let t_prime = maximal_subset_with(db, &set, tb, stats);
-        // Line 10: must contain a tuple from Ri (the seed tuple itself in
-        // a delta-maintenance run).
-        let new_root = match scope.seed {
-            Some(seed) => {
-                if !t_prime.contains(seed) {
-                    return;
-                }
-                seed
-            }
-            None => match t_prime.tuple_from(db, scope.ri) {
+        // Line 10: must contain a tuple from Ri (one of the seed tuples
+        // in a delta-maintenance run). The any-seed filter is what makes
+        // the multi-seed run sound: printed sets suppress derivations of
+        // *every* contained seed, and in exchange each pop re-seeds the
+        // cross-root representatives that suppression removes. (A
+        // tighter "inherit the popped root" filter loses exactly those
+        // representatives and drops results.)
+        let new_root = if scope.seeds.is_empty() {
+            match t_prime.tuple_from(db, scope.ri) {
                 Some(root) => root,
                 None => return,
-            },
+            }
+        } else {
+            match scope.seeds.iter().copied().find(|&s| t_prime.contains(s)) {
+                Some(seed) => seed,
+                None => return,
+            }
         };
+        // Seeded runs: skip exact re-derivations (see `ScanScope::memo`).
+        if let Some(memo) = scope.memo {
+            if !memo.borrow_mut().insert(t_prime.tuples().into()) {
+                return;
+            }
+        }
         // Line 11: already represented in Complete?
         if complete.contains_superset(&t_prime, new_root, stats) {
             return;
@@ -188,7 +224,8 @@ mod tests {
             db: &db,
             ri: RelId(0),
             rel_min: 0,
-            seed: None,
+            seeds: &[],
+            memo: None,
             pager: None,
         };
         let (root, result) =
@@ -219,7 +256,8 @@ mod tests {
             db: &db,
             ri: RelId(0),
             rel_min: 0,
-            seed: None,
+            seeds: &[],
+            memo: None,
             pager: None,
         };
         let (_, r1) = get_next_result(&scope, &mut incomplete, &complete, &mut stats).unwrap();
@@ -247,7 +285,8 @@ mod tests {
             db: &db,
             ri: RelId(0),
             rel_min: 0,
-            seed: None,
+            seeds: &[],
+            memo: None,
             pager: None,
         };
         let mut count = 0;
@@ -281,7 +320,8 @@ mod tests {
                 db: &db,
                 ri: RelId(0),
                 rel_min: 0,
-                seed: None,
+                seeds: &[],
+                memo: None,
                 pager,
             };
             let mut out = Vec::new();

@@ -152,7 +152,8 @@ impl<'db> FdiIter<'db> {
                 db: self.db,
                 ri: self.ri,
                 rel_min: self.rel_min,
-                seed: None,
+                seeds: &[],
+                memo: None,
                 pager: self.pager.as_ref(),
             };
             let (root, set) = get_next_result(

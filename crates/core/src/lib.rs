@@ -61,10 +61,11 @@ pub mod priority;
 pub mod query;
 pub mod ranked_approx;
 pub mod ranking;
+pub mod session;
 pub mod sim;
 
 pub use approx::{AMin, AProd, ApproxAllIter, ApproxFdIter, ApproxJoin, ProbScores};
-pub use delta::{DeleteDelta, InsertDelta};
+pub use delta::{BatchDelta, DeleteDelta, InsertDelta};
 pub use error::FdError;
 pub use incremental::{canonicalize, fdi, FdConfig, FdIter, FdiIter};
 pub use init::InitStrategy;
@@ -75,6 +76,9 @@ pub use ranked_approx::RankedApproxFdIter;
 pub use ranking::{
     canonical_rank_order, FMax, FPairSum, FSum, FTriple, ImpScores, MonotoneCDetermined,
     RankingFunction,
+};
+pub use session::{
+    ChannelSink, Commit, DeltaBatch, EventSink, FdEvent, FdSession, TopKUpdate, VecSink,
 };
 pub use sim::{EditDistanceSim, ExactSim, Similarity, TableSim};
 pub use stats::Stats;

@@ -366,6 +366,78 @@ impl<'q> FdQuery<'q> {
         })
     }
 
+    /// Opens a transactional [`FdSession`](crate::session::FdSession)
+    /// over this query: the session
+    /// clones the database, materializes the result under the query's
+    /// configuration (`.parallel(n)` parallelizes that initial
+    /// materialization; maintenance passes stay sequential), and then
+    /// maintains it under batched, committed mutations with **one**
+    /// maintenance pass per commit.
+    ///
+    /// `.ranked(f).top_k(k)` opens a ranked session with a maintained
+    /// top-k window; `.ranked` without `.top_k` is a typed
+    /// [`FdError::TopKRequired`], and `.approx` / `.threshold` do not
+    /// combine with session maintenance ([`FdError::Incompatible`]).
+    ///
+    /// ```
+    /// use fd_core::{FMax, FdQuery, ImpScores, StoreEngine};
+    /// use fd_relational::{tourist_database, RelId};
+    ///
+    /// let db = tourist_database();
+    /// let mut session = FdQuery::over(&db).engine(StoreEngine::Scan).session()?;
+    /// let mut batch = session.begin();
+    /// batch.insert(RelId(0), vec!["Chile".into(), "arid".into()]);
+    /// assert_eq!(session.commit(batch)?.events.len(), 1);
+    ///
+    /// let imp = ImpScores::from_fn(&db, |t| t.0 as f64);
+    /// let ranked = FdQuery::over(&db).ranked(FMax::new(&imp)).top_k(2).session()?;
+    /// assert_eq!(ranked.window().unwrap().len(), 2);
+    /// # Ok::<(), fd_core::FdError>(())
+    /// ```
+    pub fn session(self) -> Result<crate::session::FdSession<'q>, FdError> {
+        self.validate()?;
+        let parts = self.into_parts();
+        if parts.approx.is_some() {
+            return Err(FdError::Incompatible {
+                left: "a session",
+                right: ".approx",
+            });
+        }
+        match parts.ranking {
+            None => {
+                if parts.top_k.is_some() || parts.min_rank.is_some() {
+                    // validate() already rejected these (ranking-less
+                    // top_k/threshold), so this is unreachable; keep the
+                    // match exhaustive for clarity.
+                    unreachable!("validate() rejects bounds without .ranked");
+                }
+                Ok(crate::session::FdSession::with_config_parallel(
+                    parts.db.clone(),
+                    parts.config,
+                    parts.threads,
+                ))
+            }
+            Some(f) => {
+                if parts.min_rank.is_some() {
+                    return Err(FdError::Incompatible {
+                        left: "a ranked session",
+                        right: ".threshold",
+                    });
+                }
+                let k = parts.top_k.ok_or(FdError::TopKRequired {
+                    context: "a ranked session",
+                })?;
+                Ok(crate::session::FdSession::ranked_with_config_parallel(
+                    parts.db.clone(),
+                    f,
+                    k,
+                    parts.config,
+                    parts.threads,
+                ))
+            }
+        }
+    }
+
     /// Delta maintenance: the effect of inserting tuple `t` on the
     /// materialized full disjunction `previous`, under this query's
     /// execution configuration. See [`crate::delta::delta_insert`].

@@ -1,0 +1,867 @@
+//! `FdSession` — the transactional session over a live full disjunction.
+//!
+//! The paper's incremental algorithm (Theorem 4.10) maintains the full
+//! disjunction one tuple at a time; the any-k line of work frames the
+//! consumer side as a *long-lived enumeration session* that stays
+//! incremental under demand. [`FdSession`] is that session: it owns the
+//! database snapshot and the materialized result (plus an optional
+//! ranked top-k window), accepts mutations in transactional
+//! [`DeltaBatch`]es, and per [`commit`](FdSession::commit) runs **one**
+//! maintenance pass — deletes processed as a group, inserts seeded
+//! together in one multi-seed `FDi` run ([`crate::delta::delta_batch`])
+//! — returning the consolidated, net-effect [`FdEvent`] list. Consumers
+//! that would rather be pushed than poll register an [`EventSink`]
+//! ([`subscribe`](FdSession::subscribe)); [`VecSink`] collects, a
+//! [`ChannelSink`] forwards into an `mpsc` channel a network front end
+//! can drain.
+//!
+//! ```
+//! use fd_core::{FdQuery, FdSession};
+//! use fd_relational::{tourist_database, RelId, TupleId};
+//!
+//! let db = tourist_database();
+//! let mut session = FdQuery::over(&db).session()?;
+//! assert_eq!(session.len(), 6); // Table 2 of the paper
+//!
+//! // Three mutations, one transaction, one maintenance pass.
+//! let mut batch = session.begin();
+//! batch
+//!     .insert(RelId(0), vec!["Chile".into(), "arid".into()])
+//!     .insert(RelId(0), vec!["Peru".into(), "arid".into()])
+//!     .delete(TupleId(3));
+//! let commit = session.commit(batch)?;
+//! assert_eq!(commit.changes.len(), 3);
+//! assert_eq!(session.maintenance_passes(), 1);
+//! assert!(session.verify_snapshot());
+//! # Ok::<(), fd_core::FdError>(())
+//! ```
+
+use crate::delta::delta_batch;
+use crate::error::FdError;
+use crate::incremental::{canonicalize, FdConfig};
+use crate::query::FdQuery;
+use crate::ranking::{canonical_rank_order, RankingFunction};
+use crate::stats::Stats;
+use crate::tupleset::TupleSet;
+use fd_relational::fxhash::FxHashMap;
+use fd_relational::{apply_batch, Change, ChangeLog, Database, Delta, TupleId};
+
+pub use fd_relational::DeltaBatch;
+
+/// One change to the materialized full disjunction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FdEvent {
+    /// A tuple set entered the full disjunction.
+    Added(TupleSet),
+    /// A tuple set left the full disjunction (it was subsumed by a new
+    /// result, or a member tuple was deleted).
+    Retracted(TupleSet),
+}
+
+impl FdEvent {
+    /// The tuple set the event concerns.
+    pub fn set(&self) -> &TupleSet {
+        match self {
+            FdEvent::Added(s) | FdEvent::Retracted(s) => s,
+        }
+    }
+
+    /// Renders the event the way `fd watch` prints it: `+ {c1, a1}` /
+    /// `- {c1, a1}`.
+    pub fn label(&self, db: &Database) -> String {
+        match self {
+            FdEvent::Added(s) => format!("+ {}", s.label(db)),
+            FdEvent::Retracted(s) => format!("- {}", s.label(db)),
+        }
+    }
+}
+
+/// What one commit did to the ranked top-k window.
+#[derive(Debug, Clone, Default)]
+pub struct TopKUpdate {
+    /// The underlying result-set changes (retractions first).
+    pub events: Vec<FdEvent>,
+    /// Sets that entered the top-k window, with their ranks.
+    pub entered: Vec<(TupleSet, f64)>,
+    /// Sets that left the top-k window (retracted or outranked).
+    pub left: Vec<TupleSet>,
+}
+
+/// A push subscriber of an [`FdSession`]: called once per [`FdEvent`]
+/// of every commit, in event order (retractions first), and — on ranked
+/// sessions — once per commit with the [`TopKUpdate`].
+///
+/// Sinks must not mutate the session (they receive `&mut self`, not the
+/// session); a sink whose consumer went away should ignore the
+/// notification rather than panic.
+pub trait EventSink {
+    /// One result-set change of a commit.
+    fn on_event(&mut self, event: &FdEvent);
+
+    /// The ranked window's net change of a commit (ranked sessions only;
+    /// also called when the window did not move, with empty
+    /// `entered`/`left`). Default: ignore.
+    fn on_topk(&mut self, update: &TopKUpdate) {
+        let _ = update;
+    }
+}
+
+/// An [`EventSink`] that collects into shared vectors. `Clone` hands out
+/// another handle to the same storage, so one clone can be subscribed
+/// while the other is drained:
+///
+/// ```
+/// use fd_core::{FdSession, VecSink};
+/// use fd_relational::{tourist_database, RelId};
+///
+/// let mut session = FdSession::new(tourist_database());
+/// let sink = VecSink::new();
+/// session.subscribe(sink.clone());
+/// let mut batch = session.begin();
+/// batch.insert(RelId(0), vec!["Chile".into(), "arid".into()]);
+/// session.commit(batch)?;
+/// assert_eq!(sink.events().len(), 1);
+/// # Ok::<(), fd_core::FdError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    inner: std::sync::Arc<std::sync::Mutex<VecSinkState>>,
+}
+
+#[derive(Debug, Default)]
+struct VecSinkState {
+    events: Vec<FdEvent>,
+    updates: Vec<TopKUpdate>,
+}
+
+impl VecSink {
+    /// A fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every event delivered so far, oldest first.
+    pub fn events(&self) -> Vec<FdEvent> {
+        self.inner.lock().expect("sink lock").events.clone()
+    }
+
+    /// Every ranked-window update delivered so far, oldest first.
+    pub fn updates(&self) -> Vec<TopKUpdate> {
+        self.inner.lock().expect("sink lock").updates.clone()
+    }
+
+    /// Drains and returns the collected events.
+    pub fn take_events(&self) -> Vec<FdEvent> {
+        std::mem::take(&mut self.inner.lock().expect("sink lock").events)
+    }
+}
+
+impl EventSink for VecSink {
+    fn on_event(&mut self, event: &FdEvent) {
+        self.inner
+            .lock()
+            .expect("sink lock")
+            .events
+            .push(event.clone());
+    }
+
+    fn on_topk(&mut self, update: &TopKUpdate) {
+        self.inner
+            .lock()
+            .expect("sink lock")
+            .updates
+            .push(update.clone());
+    }
+}
+
+/// An [`EventSink`] that forwards into `std::sync::mpsc` channels — the
+/// push-delivery half a network front end sits on. Send errors (the
+/// receiver hung up) are ignored: a departed subscriber must not take
+/// the session down.
+#[derive(Debug)]
+pub struct ChannelSink {
+    events: std::sync::mpsc::Sender<FdEvent>,
+    updates: Option<std::sync::mpsc::Sender<TopKUpdate>>,
+}
+
+impl ChannelSink {
+    /// A sink delivering every [`FdEvent`] to the returned receiver.
+    pub fn new() -> (Self, std::sync::mpsc::Receiver<FdEvent>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (
+            ChannelSink {
+                events: tx,
+                updates: None,
+            },
+            rx,
+        )
+    }
+
+    /// Like [`new`](Self::new), additionally delivering every
+    /// [`TopKUpdate`] of a ranked session to the second receiver.
+    pub fn with_topk() -> (
+        Self,
+        std::sync::mpsc::Receiver<FdEvent>,
+        std::sync::mpsc::Receiver<TopKUpdate>,
+    ) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let (utx, urx) = std::sync::mpsc::channel();
+        (
+            ChannelSink {
+                events: tx,
+                updates: Some(utx),
+            },
+            rx,
+            urx,
+        )
+    }
+}
+
+impl EventSink for ChannelSink {
+    fn on_event(&mut self, event: &FdEvent) {
+        let _ = self.events.send(event.clone());
+    }
+
+    fn on_topk(&mut self, update: &TopKUpdate) {
+        if let Some(tx) = &self.updates {
+            let _ = tx.send(update.clone());
+        }
+    }
+}
+
+/// The realized outcome of one [`FdSession::commit`].
+#[derive(Debug, Clone)]
+pub struct Commit {
+    /// The realized mutations, in application order, with the tuple ids
+    /// the database assigned.
+    pub changes: Vec<Change>,
+    /// The net effect on the full disjunction — retractions first, then
+    /// additions. A set the batch would have both added and retracted
+    /// under singleton replay never appears.
+    pub events: Vec<FdEvent>,
+    /// The ranked window's net change (ranked sessions only).
+    pub topk: Option<TopKUpdate>,
+    /// Work counters of the single maintenance pass.
+    pub stats: Stats,
+}
+
+impl Commit {
+    /// Tuple ids the commit's inserts received, in batch order.
+    pub fn inserted(&self) -> Vec<TupleId> {
+        self.changes
+            .iter()
+            .filter_map(|c| match c {
+                Change::Inserted { tuple, .. } => Some(*tuple),
+                Change::Removed { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Tuple ids the commit removed, in batch order.
+    pub fn removed(&self) -> Vec<TupleId> {
+        self.changes
+            .iter()
+            .filter_map(|c| match c {
+                Change::Removed { tuple, .. } => Some(*tuple),
+                Change::Inserted { .. } => None,
+            })
+            .collect()
+    }
+}
+
+/// The maintained ranked view of a ranked session: every current result
+/// with its rank, sorted by [`canonical_rank_order`]; the window is the
+/// first `k` entries. Maintained incrementally — binary-search insert
+/// per added set, binary-search removal (by *recorded* rank, so the
+/// ranking function never re-evaluates a retracted set against the
+/// mutated database) per retracted set; the only full sort happens at
+/// construction.
+struct RankedView<'q> {
+    f: Box<dyn RankingFunction + 'q>,
+    k: usize,
+    ranked: Vec<(TupleSet, f64)>,
+    rank_of: FxHashMap<Box<[TupleId]>, f64>,
+}
+
+impl std::fmt::Debug for RankedView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankedView")
+            .field("k", &self.k)
+            .field("len", &self.ranked.len())
+            .finish()
+    }
+}
+
+impl<'q> RankedView<'q> {
+    fn new(
+        db: &Database,
+        f: Box<dyn RankingFunction + 'q>,
+        k: usize,
+        results: &[TupleSet],
+    ) -> Self {
+        let mut ranked: Vec<(TupleSet, f64)> =
+            results.iter().map(|s| (s.clone(), f.rank(db, s))).collect();
+        ranked.sort_by(|a, b| canonical_rank_order(a.1, &a.0, b.1, &b.0));
+        let rank_of = ranked
+            .iter()
+            .map(|(s, r)| (Box::<[TupleId]>::from(s.tuples()), *r))
+            .collect();
+        RankedView {
+            f,
+            k,
+            ranked,
+            rank_of,
+        }
+    }
+
+    fn window(&self) -> &[(TupleSet, f64)] {
+        &self.ranked[..self.k.min(self.ranked.len())]
+    }
+
+    fn remove(&mut self, set: &TupleSet) {
+        let Some(rank) = self.rank_of.remove(set.tuples()) else {
+            debug_assert!(false, "retracting unknown ranked result {set}");
+            return;
+        };
+        let found = self
+            .ranked
+            .binary_search_by(|e| canonical_rank_order(e.1, &e.0, rank, set));
+        match found {
+            Ok(pos) => {
+                self.ranked.remove(pos);
+            }
+            Err(_) => {
+                // Unreachable with a consistent map, but stay lossless.
+                debug_assert!(false, "recorded rank not found for {set}");
+                if let Some(pos) = self
+                    .ranked
+                    .iter()
+                    .position(|(s, _)| s.tuples() == set.tuples())
+                {
+                    self.ranked.remove(pos);
+                }
+            }
+        }
+    }
+
+    fn add(&mut self, db: &Database, set: &TupleSet) {
+        let rank = self.f.rank(db, set);
+        self.rank_of.insert(set.tuples().into(), rank);
+        let probe = (set.clone(), rank);
+        let pos = self
+            .ranked
+            .binary_search_by(|e| canonical_rank_order(e.1, &e.0, probe.1, &probe.0))
+            .unwrap_or_else(|p| p);
+        self.ranked.insert(pos, probe);
+    }
+}
+
+/// A transactional session over a live full disjunction.
+///
+/// Build one with [`FdQuery::session`] (every execution knob of the
+/// builder — engine, page size, `.parallel(n)` for the initial
+/// materialization, `.ranked(f).top_k(k)` for a maintained window —
+/// carries over) or directly with [`new`](Self::new) /
+/// [`ranked`](Self::ranked). Then, per transaction:
+///
+/// 1. [`begin`](Self::begin) an empty [`DeltaBatch`];
+/// 2. queue mutations with [`DeltaBatch::insert`] / [`DeltaBatch::delete`];
+/// 3. [`commit`](Self::commit) — the whole batch lands atomically on the
+///    database (or none of it does, with a typed
+///    [`FdError::Mutation`]), **one** maintenance pass brings the
+///    materialized result up to date, and the consolidated events go to
+///    the caller and every subscribed [`EventSink`].
+///
+/// The lifetime `'q` bounds the borrows of the ranking function and the
+/// subscribed sinks; a plain session with owned sinks is
+/// `FdSession<'static>`.
+#[derive(Debug)]
+pub struct FdSession<'q> {
+    db: Database,
+    cfg: FdConfig,
+    /// Current results, in no particular order.
+    results: Vec<TupleSet>,
+    /// Canonical member list → position in `results`.
+    index: FxHashMap<Box<[TupleId]>, usize>,
+    log: ChangeLog,
+    ranked: Option<RankedView<'q>>,
+    sinks: Vec<Box<dyn EventSink + 'q>>,
+    passes: u64,
+}
+
+impl std::fmt::Debug for dyn EventSink + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("dyn EventSink")
+    }
+}
+
+impl<'q> FdSession<'q> {
+    /// Materializes the full disjunction of `db` and opens a plain
+    /// session over it.
+    pub fn new(db: Database) -> Self {
+        Self::with_config(db, FdConfig::default())
+    }
+
+    /// Like [`new`](Self::new) with explicit engine/block configuration
+    /// for the initial computation and every maintenance pass.
+    pub fn with_config(db: Database, cfg: FdConfig) -> Self {
+        Self::with_config_parallel(db, cfg, None)
+    }
+
+    /// Like [`with_config`](Self::with_config), additionally computing
+    /// the *initial* materialization with up to `threads` workers.
+    /// Maintenance passes stay sequential — each one is already
+    /// proportional to the change, not the database.
+    ///
+    /// The parallel materialization always runs with
+    /// [`crate::InitStrategy::Singletons`] (the reuse strategies describe
+    /// a sequence of prior runs the independent workers do not have; the
+    /// computed set is identical either way); a non-default `cfg.init`
+    /// still applies to the sequential maintenance runs.
+    pub fn with_config_parallel(db: Database, cfg: FdConfig, threads: Option<usize>) -> Self {
+        let results = materialize(&db, cfg, threads);
+        Self::assemble(db, cfg, results, None)
+    }
+
+    /// Materializes the full disjunction of `db` and opens a **ranked**
+    /// session: on top of the plain maintenance, the k highest-ranking
+    /// results under `f` are kept current and every commit reports the
+    /// window's net change ([`Commit::topk`]).
+    pub fn ranked(db: Database, f: impl RankingFunction + 'q, k: usize) -> Self {
+        Self::ranked_with_config_parallel(db, f, k, FdConfig::default(), None)
+    }
+
+    /// [`ranked`](Self::ranked) with explicit configuration and optional
+    /// parallel initial materialization.
+    pub fn ranked_with_config_parallel(
+        db: Database,
+        f: impl RankingFunction + 'q,
+        k: usize,
+        cfg: FdConfig,
+        threads: Option<usize>,
+    ) -> Self {
+        let results = materialize(&db, cfg, threads);
+        let f: Box<dyn RankingFunction + 'q> = Box::new(f);
+        Self::assemble(db, cfg, results, Some((f, k)))
+    }
+
+    fn assemble(
+        db: Database,
+        cfg: FdConfig,
+        results: Vec<TupleSet>,
+        ranking: Option<(Box<dyn RankingFunction + 'q>, usize)>,
+    ) -> Self {
+        let index = results
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Box::<[TupleId]>::from(s.tuples()), i))
+            .collect();
+        let ranked = ranking.map(|(f, k)| RankedView::new(&db, f, k, &results));
+        FdSession {
+            db,
+            cfg,
+            results,
+            index,
+            log: ChangeLog::new(),
+            ranked,
+            sinks: Vec::new(),
+            passes: 0,
+        }
+    }
+
+    /// The current database snapshot.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The execution configuration every maintenance pass uses.
+    pub fn config(&self) -> FdConfig {
+        self.cfg
+    }
+
+    /// Number of tuple sets currently in the full disjunction.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Is the full disjunction empty?
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// The current results in unspecified order; see
+    /// [`canonical_results`](Self::canonical_results) for a
+    /// deterministic view.
+    pub fn results(&self) -> &[TupleSet] {
+        &self.results
+    }
+
+    /// The current results in canonical (member-id) order.
+    pub fn canonical_results(&self) -> Vec<TupleSet> {
+        canonicalize(self.results.clone())
+    }
+
+    /// Is this exact tuple set currently a result?
+    pub fn contains(&self, tuples: &[TupleId]) -> bool {
+        self.index.contains_key(tuples)
+    }
+
+    /// The realized mutation history, grouped by commit, oldest first.
+    pub fn changelog(&self) -> &ChangeLog {
+        &self.log
+    }
+
+    /// Is this a ranked session (maintained top-k window)?
+    pub fn is_ranked(&self) -> bool {
+        self.ranked.is_some()
+    }
+
+    /// The ranked window size `k` (ranked sessions only).
+    pub fn k(&self) -> Option<usize> {
+        self.ranked.as_ref().map(|r| r.k)
+    }
+
+    /// The current top-k window — up to `k` `(set, rank)` pairs in
+    /// non-increasing rank order — or `None` on a plain session.
+    pub fn window(&self) -> Option<&[(TupleSet, f64)]> {
+        self.ranked.as_ref().map(|r| r.window())
+    }
+
+    /// The full maintained ranking (the window is its first `k`
+    /// entries), or `None` on a plain session.
+    pub fn ranking(&self) -> Option<&[(TupleSet, f64)]> {
+        self.ranked.as_ref().map(|r| &r.ranked[..])
+    }
+
+    /// Number of maintenance passes run so far — exactly one per
+    /// non-empty [`commit`](Self::commit), independent of how many
+    /// mutations each batch carried.
+    pub fn maintenance_passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// Registers a push subscriber. Every subsequent commit delivers its
+    /// events (and, on ranked sessions, its [`TopKUpdate`]) to the sink
+    /// after the session's own state is up to date.
+    pub fn subscribe(&mut self, sink: impl EventSink + 'q) {
+        self.sinks.push(Box::new(sink));
+    }
+
+    /// Opens an empty mutation batch. Purely a convenience —
+    /// [`DeltaBatch::new`] is the same thing — that reads well at call
+    /// sites: `let mut batch = session.begin();`.
+    pub fn begin(&self) -> DeltaBatch {
+        DeltaBatch::new()
+    }
+
+    /// Applies one mutation as a batch of one. See
+    /// [`commit`](Self::commit).
+    pub fn apply(&mut self, delta: Delta) -> Result<Commit, FdError> {
+        self.commit(DeltaBatch::from(delta))
+    }
+
+    /// Commits a batch: validates and applies all `k` mutations to the
+    /// database atomically, runs **one** maintenance pass over the net
+    /// change, updates the materialized result (and the ranked window),
+    /// notifies every subscriber, and returns the realized [`Commit`].
+    ///
+    /// On error (any mutation rejected by the relational layer) nothing
+    /// changes: not the database, not the results, not the pass counter.
+    /// An empty batch is a no-op commit: no maintenance pass, no events,
+    /// no changelog entry.
+    pub fn commit(&mut self, batch: DeltaBatch) -> Result<Commit, FdError> {
+        if batch.is_empty() {
+            return Ok(Commit {
+                changes: Vec::new(),
+                events: Vec::new(),
+                topk: self.ranked.as_ref().map(|_| TopKUpdate::default()),
+                stats: Stats::new(),
+            });
+        }
+        let changes = apply_batch(&mut self.db, batch)?;
+        self.log.record_batch(changes.iter().copied());
+
+        let mut inserted: Vec<TupleId> = Vec::new();
+        let mut removed: Vec<TupleId> = Vec::new();
+        for change in &changes {
+            match change {
+                Change::Inserted { tuple, .. } => inserted.push(*tuple),
+                Change::Removed { tuple, .. } => removed.push(*tuple),
+            }
+        }
+
+        // THE one maintenance pass of this commit.
+        let delta = delta_batch(&self.db, &inserted, &removed, &self.results, self.cfg);
+        self.passes += 1;
+
+        let window_before: Vec<TupleSet> = self
+            .ranked
+            .as_ref()
+            .map(|r| r.window().iter().map(|(s, _)| s.clone()).collect())
+            .unwrap_or_default();
+
+        let mut events = Vec::with_capacity(delta.retracted.len() + delta.added.len());
+        for set in delta.retracted {
+            self.remove_set(&set);
+            if let Some(r) = &mut self.ranked {
+                r.remove(&set);
+            }
+            events.push(FdEvent::Retracted(set));
+        }
+        for set in delta.added {
+            self.add_set(set.clone());
+            if let Some(r) = &mut self.ranked {
+                r.add(&self.db, &set);
+            }
+            events.push(FdEvent::Added(set));
+        }
+
+        let topk = self.ranked.as_ref().map(|r| {
+            let after = r.window();
+            let entered = after
+                .iter()
+                .filter(|(s, _)| !window_before.iter().any(|b| b.tuples() == s.tuples()))
+                .cloned()
+                .collect();
+            let left = window_before
+                .into_iter()
+                .filter(|b| !after.iter().any(|(s, _)| s.tuples() == b.tuples()))
+                .collect();
+            TopKUpdate {
+                events: events.clone(),
+                entered,
+                left,
+            }
+        });
+
+        for sink in &mut self.sinks {
+            for event in &events {
+                sink.on_event(event);
+            }
+            if let Some(update) = &topk {
+                sink.on_topk(update);
+            }
+        }
+
+        Ok(Commit {
+            changes,
+            events,
+            topk,
+            stats: delta.stats,
+        })
+    }
+
+    /// The oracle-checkable invariant: does the materialized state equal
+    /// the full disjunction of the current snapshot, recomputed from
+    /// scratch? (On ranked sessions, additionally: does the maintained
+    /// ranking equal a from-scratch rank + sort?)
+    pub fn verify_snapshot(&self) -> bool {
+        let fresh = FdQuery::over(&self.db)
+            .with_config(self.cfg)
+            .run()
+            .expect("a bare configuration is always a valid batch query")
+            .into_sets();
+        if self.canonical_results() != canonicalize(fresh) {
+            return false;
+        }
+        match &self.ranked {
+            None => true,
+            Some(r) => {
+                let mut scratch: Vec<(TupleSet, f64)> = self
+                    .results
+                    .iter()
+                    .map(|s| (s.clone(), r.f.rank(&self.db, s)))
+                    .collect();
+                scratch.sort_by(|a, b| canonical_rank_order(a.1, &a.0, b.1, &b.0));
+                r.ranked == scratch
+            }
+        }
+    }
+
+    fn add_set(&mut self, set: TupleSet) {
+        let key: Box<[TupleId]> = set.tuples().into();
+        debug_assert!(!self.index.contains_key(&key), "duplicate result {set}");
+        self.index.insert(key, self.results.len());
+        self.results.push(set);
+    }
+
+    fn remove_set(&mut self, set: &TupleSet) {
+        let Some(pos) = self.index.remove(set.tuples()) else {
+            debug_assert!(false, "retracting unknown result {set}");
+            return;
+        };
+        self.results.swap_remove(pos);
+        if pos < self.results.len() {
+            let moved_key: Box<[TupleId]> = self.results[pos].tuples().into();
+            self.index.insert(moved_key, pos);
+        }
+    }
+}
+
+/// The initial materialization every session constructor shares.
+fn materialize(db: &Database, cfg: FdConfig, threads: Option<usize>) -> Vec<TupleSet> {
+    let mut query = FdQuery::over(db).with_config(cfg);
+    if let Some(t) = threads {
+        query = query.init(crate::InitStrategy::Singletons).parallel(t);
+    }
+    query
+        .run()
+        .expect("a bare configuration is always a valid batch query")
+        .into_sets()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ranking::{FMax, ImpScores};
+    use fd_relational::{tourist_database, RelId};
+
+    #[test]
+    fn one_maintenance_pass_per_commit() {
+        let mut session = FdSession::new(tourist_database());
+        assert_eq!(session.maintenance_passes(), 0);
+
+        // A batch of 4 mutations: exactly one pass.
+        let mut batch = session.begin();
+        batch
+            .insert(RelId(0), vec!["Chile".into(), "arid".into()])
+            .insert(RelId(0), vec!["Peru".into(), "arid".into()])
+            .delete(TupleId(3))
+            .delete(TupleId(7));
+        let commit = session.commit(batch).unwrap();
+        assert_eq!(commit.changes.len(), 4);
+        assert_eq!(session.maintenance_passes(), 1);
+        assert!(session.verify_snapshot());
+
+        // Four singleton applies: four passes.
+        let mut singles = FdSession::new(tourist_database());
+        singles
+            .apply(Delta::Insert {
+                rel: RelId(0),
+                values: vec!["Chile".into(), "arid".into()],
+            })
+            .unwrap();
+        singles
+            .apply(Delta::Insert {
+                rel: RelId(0),
+                values: vec!["Peru".into(), "arid".into()],
+            })
+            .unwrap();
+        singles.apply(Delta::Delete { tuple: TupleId(3) }).unwrap();
+        singles.apply(Delta::Delete { tuple: TupleId(7) }).unwrap();
+        assert_eq!(singles.maintenance_passes(), 4);
+
+        // Same final state either way.
+        assert_eq!(session.canonical_results(), singles.canonical_results());
+
+        // An empty commit is free.
+        let empty = session.begin();
+        session.commit(empty).unwrap();
+        assert_eq!(session.maintenance_passes(), 1);
+        assert_eq!(session.changelog().num_batches(), 1);
+    }
+
+    #[test]
+    fn failed_commits_change_nothing() {
+        let mut session = FdSession::new(tourist_database());
+        let before = session.canonical_results();
+        let mut batch = session.begin();
+        batch
+            .insert(RelId(0), vec!["Chile".into(), "arid".into()])
+            .delete(TupleId(99)); // invalid: unknown tuple
+        let err = session.commit(batch).unwrap_err();
+        assert!(matches!(err, FdError::Mutation { .. }));
+        assert_eq!(session.canonical_results(), before);
+        assert_eq!(session.maintenance_passes(), 0);
+        assert_eq!(session.db().num_tuples(), 10, "insert must roll back");
+        assert!(session.changelog().is_empty());
+    }
+
+    #[test]
+    fn net_effect_events_skip_intra_batch_churn() {
+        // Insert a hotel that joins c1, and delete c1, in one batch: the
+        // singleton replay would add a {c1, hotel, …} set and retract it
+        // one step later; the batch commit must never surface it.
+        let mut session = FdSession::new(tourist_database());
+        let mut batch = session.begin();
+        batch
+            .insert(
+                RelId(1),
+                vec![
+                    "Canada".into(),
+                    "London".into(),
+                    "Fairmont".into(),
+                    5.into(),
+                ],
+            )
+            .delete(TupleId(0));
+        let commit = session.commit(batch).unwrap();
+        let inserted = commit.inserted();
+        assert_eq!(inserted.len(), 1);
+        assert_eq!(commit.removed(), vec![TupleId(0)]);
+        for event in &commit.events {
+            if let FdEvent::Added(s) = event {
+                assert!(
+                    !s.contains(TupleId(0)),
+                    "intra-batch churn surfaced: {s} references the deleted tuple"
+                );
+            }
+        }
+        assert!(session.verify_snapshot());
+    }
+
+    #[test]
+    fn subscribers_receive_pushed_events() {
+        let mut session = FdSession::new(tourist_database());
+        let sink = VecSink::new();
+        session.subscribe(sink.clone());
+        let (channel, rx) = ChannelSink::new();
+        session.subscribe(channel);
+
+        let mut batch = session.begin();
+        batch.insert(RelId(0), vec!["Chile".into(), "arid".into()]);
+        let commit = session.commit(batch).unwrap();
+        assert_eq!(sink.events(), commit.events);
+        let pushed: Vec<FdEvent> = rx.try_iter().collect();
+        assert_eq!(pushed, commit.events);
+
+        // A dropped receiver must not break later commits.
+        drop(rx);
+        session.apply(Delta::Delete { tuple: TupleId(3) }).unwrap();
+        assert!(sink.events().len() > commit.events.len());
+    }
+
+    #[test]
+    fn ranked_sessions_maintain_the_window_per_commit() {
+        let db = tourist_database();
+        let stars = db.attr_id("Stars").unwrap();
+        let imp = ImpScores::from_fn(&db, |t| match db.tuple_value(t, stars) {
+            Some(fd_relational::Value::Int(i)) => *i as f64,
+            _ => 0.0,
+        });
+        let mut session = FdSession::ranked(db, FMax::new(&imp), 2);
+        assert!(session.is_ranked());
+        assert_eq!(session.k(), Some(2));
+        assert_eq!(session.window().unwrap().len(), 2);
+        assert_eq!(session.window().unwrap()[0].1, 4.0); // the Plaza leads
+
+        // Delete the leader and a second tuple in one commit.
+        let mut batch = session.begin();
+        batch.delete(TupleId(3)).delete(TupleId(7));
+        let commit = session.commit(batch).unwrap();
+        let update = commit.topk.expect("ranked session");
+        assert!(!update.entered.is_empty() || !update.left.is_empty());
+        assert_eq!(session.window().unwrap()[0].1, 3.0); // Ramada now
+        assert!(session.verify_snapshot());
+    }
+
+    #[test]
+    fn plain_sessions_report_no_topk() {
+        let mut session = FdSession::new(tourist_database());
+        let commit = session.apply(Delta::Delete { tuple: TupleId(3) }).unwrap();
+        assert!(commit.topk.is_none());
+        assert!(session.window().is_none());
+        assert!(session.ranking().is_none());
+        assert!(!session.is_ranked());
+    }
+}

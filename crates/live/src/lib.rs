@@ -1,25 +1,26 @@
 //! # fd-live
 //!
-//! A live full disjunction: [`LiveFd`] owns a mutable [`Database`] and a
-//! materialized result set, keeps the two consistent under tuple inserts
-//! and deletes via the delta engine of `fd-core` ([`fd_core::delta`]),
-//! and reports every change to the result set as a stream of
-//! [`FdEvent`]s — the subscription view of the ROADMAP's live-serving
-//! goal, and the dynamic counterpart of the paper's incremental
-//! *delivery* (`INCREMENTALFD` froze the database before the first
-//! `GETNEXTRESULT`; `LiveFd` lets it keep changing).
+//! Dynamic full disjunctions, rebuilt on [`fd_core::FdSession`] — the
+//! transactional session that owns a mutable [`Database`] plus the
+//! materialized result, applies mutations in batched commits with one
+//! maintenance pass each, and pushes [`FdEvent`]s to subscribers.
 //!
-//! [`LiveRankedFd`] layers a ranking function on top and keeps a top-k
-//! window current, in the spirit of any-k ranked enumeration over a
-//! long-lived answer stream.
+//! This crate keeps the pre-session surface alive as **thin deprecated
+//! wrappers**: [`LiveFd`] (plain maintenance, one [`Delta`] per
+//! `apply`) and [`LiveRankedFd`] (maintained top-k window) both
+//! delegate every operation to an owned session. New code should build
+//! an [`FdSession`] directly — `FdQuery::over(&db).session()?` — and
+//! get batched commits, push subscribers and the unified
+//! [`fd_core::FdError`] in one type; see the README's
+//! `LiveFd`/`LiveRankedFd` → `FdSession` migration table.
 //!
 //! ## Invariant
 //!
-//! After any sequence of [`LiveFd::apply`] calls, the materialized state
-//! equals the full disjunction of the current database snapshot —
-//! checkable at any time with [`LiveFd::verify_snapshot`] and enforced
-//! against the brute-force oracle by the randomized churn suite in the
-//! workspace root.
+//! After any sequence of applies/commits, the materialized state equals
+//! the full disjunction of the current database snapshot — checkable at
+//! any time with [`LiveFd::verify_snapshot`] and enforced against the
+//! brute-force oracle by the randomized churn suite in the workspace
+//! root.
 //!
 //! ## Example
 //!
@@ -46,57 +47,27 @@
 
 mod ranked;
 
-pub use ranked::{LiveRankedFd, TopKUpdate};
+pub use ranked::LiveRankedFd;
 
-use fd_core::{canonicalize, FdConfig, FdError, FdQuery, TupleSet};
-use fd_relational::fxhash::FxHashMap;
-use fd_relational::{Change, ChangeLog, Database, Delta, RelId, RelationalError, TupleId, Value};
+pub use fd_core::session::{
+    ChannelSink, Commit, DeltaBatch, EventSink, FdEvent, FdSession, TopKUpdate, VecSink,
+};
 
-/// One change to the materialized full disjunction.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum FdEvent {
-    /// A tuple set entered the full disjunction.
-    Added(TupleSet),
-    /// A tuple set left the full disjunction (it was subsumed by a new
-    /// result, or a member tuple was deleted).
-    Retracted(TupleSet),
-}
+use fd_core::{FdConfig, FdError, FdQuery, TupleSet};
+use fd_relational::{ChangeLog, Database, Delta, RelId, TupleId, Value};
 
-impl FdEvent {
-    /// The tuple set the event concerns.
-    pub fn set(&self) -> &TupleSet {
-        match self {
-            FdEvent::Added(s) | FdEvent::Retracted(s) => s,
-        }
-    }
-
-    /// Renders the event the way `fd watch` prints it: `+ {c1, a1}` /
-    /// `- {c1, a1}`.
-    pub fn label(&self, db: &Database) -> String {
-        match self {
-            FdEvent::Added(s) => format!("+ {}", s.label(db)),
-            FdEvent::Retracted(s) => format!("- {}", s.label(db)),
-        }
-    }
-}
-
-/// A materialized full disjunction maintained under mutations.
+/// A materialized full disjunction maintained under singleton mutations
+/// — a thin wrapper over a plain [`FdSession`], kept for source
+/// compatibility.
 ///
-/// The result store reuses the workspace's [`StoreEngine`] choice through
-/// [`FdConfig`]: the engine configures the `Incomplete`/`Complete`
-/// structures of every internal delta run (scan vs. hash-indexed), the
-/// same ablation axis the batch algorithms expose.
-///
-/// [`StoreEngine`]: fd_core::StoreEngine
+/// **Deprecated in favor of [`FdSession`]**: the session adds batched
+/// commits (one maintenance pass per batch), push subscribers, and the
+/// grouped changelog; `LiveFd` forwards each `apply` as a batch of one.
+/// Migration: `LiveFd::from_query(q)` → `q.session()?`,
+/// `apply(delta)` → `session.apply(delta)?.events`.
 #[derive(Debug)]
 pub struct LiveFd {
-    db: Database,
-    cfg: FdConfig,
-    /// Current results, in no particular order.
-    results: Vec<TupleSet>,
-    /// Canonical member list → position in `results`.
-    index: FxHashMap<Box<[TupleId]>, usize>,
-    log: ChangeLog,
+    session: FdSession<'static>,
 }
 
 impl LiveFd {
@@ -116,36 +87,9 @@ impl LiveFd {
     /// the *initial* materialization with up to `threads` workers (the
     /// parallel batch plan). Delta runs stay sequential — each one is a
     /// single seeded `FDi` run, already proportional to the change.
-    ///
-    /// The parallel materialization always runs with
-    /// [`fd_core::InitStrategy::Singletons`] (the reuse strategies
-    /// describe a sequence of prior runs the independent workers do not
-    /// have; the computed set is identical either way); a non-default
-    /// `cfg.init` still applies to the sequential delta runs. Build
-    /// through [`from_query`](Self::from_query) to get the combination
-    /// reported as a typed error instead.
     pub fn with_config_parallel(db: Database, cfg: FdConfig, threads: Option<usize>) -> Self {
-        let results = {
-            let mut query = FdQuery::over(&db).with_config(cfg);
-            if let Some(t) = threads {
-                query = query.init(fd_core::InitStrategy::Singletons).parallel(t);
-            }
-            query
-                .run()
-                .expect("a bare configuration is always a valid batch query")
-                .into_sets()
-        };
-        let index = results
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (Box::<[TupleId]>::from(s.tuples()), i))
-            .collect();
         LiveFd {
-            db,
-            cfg,
-            results,
-            index,
-            log: ChangeLog::new(),
+            session: FdSession::with_config_parallel(db, cfg, threads),
         }
     }
 
@@ -191,56 +135,64 @@ impl LiveFd {
         ))
     }
 
-    /// The query this engine re-derives for every delta run: same
-    /// database snapshot, same execution configuration.
-    fn query(&self) -> FdQuery<'_> {
-        FdQuery::over(&self.db).with_config(self.cfg)
+    /// The underlying transactional session.
+    pub fn session(&self) -> &FdSession<'static> {
+        &self.session
+    }
+
+    /// Mutable access to the underlying session (e.g. to
+    /// [`subscribe`](FdSession::subscribe) a sink or commit a whole
+    /// [`DeltaBatch`]).
+    pub fn session_mut(&mut self) -> &mut FdSession<'static> {
+        &mut self.session
+    }
+
+    /// Consumes the wrapper, returning the session.
+    pub fn into_session(self) -> FdSession<'static> {
+        self.session
     }
 
     /// The current database snapshot.
     pub fn db(&self) -> &Database {
-        &self.db
+        self.session.db()
     }
 
     /// Number of tuple sets currently in the full disjunction.
     pub fn len(&self) -> usize {
-        self.results.len()
+        self.session.len()
     }
 
     /// Is the full disjunction empty?
     pub fn is_empty(&self) -> bool {
-        self.results.is_empty()
+        self.session.is_empty()
     }
 
     /// The current results in unspecified order; see
     /// [`canonical_results`](Self::canonical_results) for a deterministic
     /// view.
     pub fn results(&self) -> &[TupleSet] {
-        &self.results
+        self.session.results()
     }
 
     /// The current results in canonical (member-id) order.
     pub fn canonical_results(&self) -> Vec<TupleSet> {
-        canonicalize(self.results.clone())
+        self.session.canonical_results()
     }
 
     /// Is this exact tuple set currently a result?
     pub fn contains(&self, tuples: &[TupleId]) -> bool {
-        self.index.contains_key(tuples)
+        self.session.contains(tuples)
     }
 
     /// The realized mutation history, oldest first.
     pub fn changelog(&self) -> &ChangeLog {
-        &self.log
+        self.session.changelog()
     }
 
     /// Applies one mutation, returning the result-set changes it caused
     /// (retractions first, then additions).
-    pub fn apply(&mut self, delta: Delta) -> Result<Vec<FdEvent>, RelationalError> {
-        match delta {
-            Delta::Insert { rel, values } => self.insert(rel, values).map(|(_, ev)| ev),
-            Delta::Delete { tuple } => self.delete(tuple),
-        }
+    pub fn apply(&mut self, delta: Delta) -> Result<Vec<FdEvent>, FdError> {
+        Ok(self.session.apply(delta)?.events)
     }
 
     /// Inserts a tuple and maintains the result set. Returns the new
@@ -249,78 +201,22 @@ impl LiveFd {
         &mut self,
         rel: RelId,
         values: Vec<Value>,
-    ) -> Result<(TupleId, Vec<FdEvent>), RelationalError> {
-        let tuple = self.db.insert_tuple(rel, values)?;
-        self.log.record(Change::Inserted { rel, tuple });
-        let d = self
-            .query()
-            .delta_insert(tuple, &self.results)
-            .expect("the live engine only builds batch queries");
-        let mut events = Vec::with_capacity(d.subsumed.len() + d.added.len());
-        for set in d.subsumed {
-            self.remove_set(&set);
-            events.push(FdEvent::Retracted(set));
-        }
-        for set in d.added {
-            self.add_set(set.clone());
-            events.push(FdEvent::Added(set));
-        }
-        Ok((tuple, events))
+    ) -> Result<(TupleId, Vec<FdEvent>), FdError> {
+        let commit = self.session.apply(Delta::Insert { rel, values })?;
+        let tuple = commit.inserted()[0];
+        Ok((tuple, commit.events))
     }
 
     /// Deletes a tuple and maintains the result set.
-    pub fn delete(&mut self, tuple: TupleId) -> Result<Vec<FdEvent>, RelationalError> {
-        if !self.db.is_live(tuple) {
-            return Err(RelationalError::NoSuchTuple { id: tuple.0 });
-        }
-        let rel = self.db.rel_of(tuple);
-        self.db.remove_tuple(tuple)?;
-        self.log.record(Change::Removed { rel, tuple });
-        let d = self
-            .query()
-            .delta_delete(tuple, &self.results)
-            .expect("the live engine only builds batch queries");
-        let mut events = Vec::with_capacity(d.dropped.len() + d.restored.len());
-        for set in d.dropped {
-            self.remove_set(&set);
-            events.push(FdEvent::Retracted(set));
-        }
-        for set in d.restored {
-            self.add_set(set.clone());
-            events.push(FdEvent::Added(set));
-        }
-        Ok(events)
+    pub fn delete(&mut self, tuple: TupleId) -> Result<Vec<FdEvent>, FdError> {
+        Ok(self.session.apply(Delta::Delete { tuple })?.events)
     }
 
     /// The oracle-checkable invariant: does the materialized state equal
     /// the full disjunction of the current snapshot, recomputed from
     /// scratch?
     pub fn verify_snapshot(&self) -> bool {
-        let fresh = self
-            .query()
-            .run()
-            .expect("the live engine only builds batch queries")
-            .into_sets();
-        self.canonical_results() == canonicalize(fresh)
-    }
-
-    fn add_set(&mut self, set: TupleSet) {
-        let key: Box<[TupleId]> = set.tuples().into();
-        debug_assert!(!self.index.contains_key(&key), "duplicate result {set}");
-        self.index.insert(key, self.results.len());
-        self.results.push(set);
-    }
-
-    fn remove_set(&mut self, set: &TupleSet) {
-        let Some(pos) = self.index.remove(set.tuples()) else {
-            debug_assert!(false, "retracting unknown result {set}");
-            return;
-        };
-        self.results.swap_remove(pos);
-        if pos < self.results.len() {
-            let moved_key: Box<[TupleId]> = self.results[pos].tuples().into();
-            self.index.insert(moved_key, pos);
-        }
+        self.session.verify_snapshot()
     }
 }
 
@@ -381,9 +277,13 @@ mod tests {
     }
 
     #[test]
-    fn deleting_unknown_tuples_fails_cleanly() {
+    fn deleting_unknown_tuples_fails_with_a_typed_fd_error() {
         let mut live = LiveFd::new(tourist_database());
-        assert!(live.delete(TupleId(99)).is_err());
+        // RelationalError no longer leaks: the public error is FdError.
+        assert!(matches!(
+            live.delete(TupleId(99)),
+            Err(FdError::Mutation { .. })
+        ));
         live.delete(TupleId(0)).unwrap();
         assert!(live.delete(TupleId(0)).is_err());
         assert!(live.verify_snapshot());
@@ -397,7 +297,23 @@ mod tests {
             .unwrap();
         live.delete(t).unwrap();
         assert_eq!(live.changelog().len(), 2);
+        assert_eq!(live.changelog().num_batches(), 2);
         assert_eq!(live.changelog().changes()[0].tuple(), t);
+    }
+
+    #[test]
+    fn wrapped_session_supports_batches_and_subscribers() {
+        let mut live = LiveFd::new(tourist_database());
+        let sink = VecSink::new();
+        live.session_mut().subscribe(sink.clone());
+        let mut batch = live.session().begin();
+        batch
+            .insert(RelId(0), vec!["Chile".into(), "arid".into()])
+            .delete(TupleId(3));
+        live.session_mut().commit(batch).unwrap();
+        assert_eq!(live.session().maintenance_passes(), 1);
+        assert!(!sink.events().is_empty());
+        assert!(live.verify_snapshot());
     }
 
     #[test]
@@ -410,8 +326,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(live.len(), 6);
-        assert_eq!(live.cfg.engine, fd_core::StoreEngine::Scan);
-        assert_eq!(live.cfg.page_size, Some(3));
+        assert_eq!(live.session().config().engine, fd_core::StoreEngine::Scan);
+        assert_eq!(live.session().config().page_size, Some(3));
 
         let imp = fd_core::ImpScores::uniform(&db, 1.0);
         let err =

@@ -1,67 +1,44 @@
-//! A live top-k window over the maintained full disjunction.
+//! A live top-k window over the maintained full disjunction — a thin
+//! wrapper over a **ranked** [`FdSession`].
 //!
 //! Ranked enumeration (the paper's `PRIORITYINCREMENTALFD`, and the
-//! any-k literature's view of it) treats the answer stream as long-lived;
-//! [`LiveRankedFd`] extends that to a *changing* database: it maintains
-//! the full result set through [`LiveFd`] and keeps the k highest-ranked
-//! answers current, reporting window entries and exits per mutation.
+//! any-k literature's view of it) treats the answer stream as
+//! long-lived; a ranked session extends that to a *changing* database.
+//! [`LiveRankedFd`] keeps the pre-session surface (`apply` one
+//! [`Delta`], read `top()`) alive; new code should open the session
+//! directly: `FdQuery::over(&db).ranked(f).top_k(k).session()?`.
 
-use crate::{FdEvent, LiveFd};
-use fd_core::{
-    canonical_rank_order, BoxedRanking, FdConfig, FdError, FdQuery, RankingFunction, TupleSet,
-};
-use fd_relational::fxhash::FxHashMap;
-use fd_relational::{Database, Delta, RelationalError, TupleId};
+use crate::{FdSession, TopKUpdate};
+use fd_core::{FdError, FdQuery, RankingFunction, TupleSet};
+use fd_relational::{Database, Delta};
 
-/// What one mutation did to the ranked view.
-#[derive(Debug, Clone)]
-pub struct TopKUpdate {
-    /// The underlying result-set changes (retractions first).
-    pub events: Vec<FdEvent>,
-    /// Sets that entered the top-k window, with their ranks.
-    pub entered: Vec<(TupleSet, f64)>,
-    /// Sets that left the top-k window (retracted or outranked).
-    pub left: Vec<TupleSet>,
-}
-
-/// A maintained top-k window over a [`LiveFd`].
+/// A maintained top-k window over a live full disjunction — a thin
+/// wrapper over a ranked [`FdSession`], kept for source compatibility.
 ///
-/// The ranking function is evaluated once per result-set change, and the
-/// ranked vector is maintained *incrementally*: one binary-search insert
-/// per entered set, one binary-search (positional) removal per retracted
-/// set — `O(log m + m)` vector work per change, no re-sort, no re-ranking
-/// of unaffected results. The only full sort happens at construction.
-/// Tuples inserted after an importance assignment was built rank through
-/// its documented default (see [`fd_core::ImpScores::imp`]).
+/// **Deprecated in favor of [`FdSession`]** (build one with
+/// `FdQuery::over(&db).ranked(f).top_k(k).session()?`): the session
+/// adds batched commits and push subscribers, and its window is
+/// maintained identically — one ranking evaluation per added set, one
+/// binary-search insert/remove per change, never a full re-sort.
 #[derive(Debug)]
-pub struct LiveRankedFd<F> {
-    inner: LiveFd,
-    f: F,
-    k: usize,
-    /// Current results with ranks, sorted by descending rank (ties in
-    /// canonical member order); the window is the first `k` entries.
-    ranked: Vec<(TupleSet, f64)>,
-    /// Member list → the rank stored in `ranked`, so a retraction can
-    /// binary-search by its recorded rank without re-evaluating the
-    /// ranking function against the already-mutated database.
-    rank_of: FxHashMap<Box<[TupleId]>, f64>,
+pub struct LiveRankedFd<'q> {
+    session: FdSession<'q>,
 }
 
-/// The maintained order — [`fd_core::canonical_rank_order`], the same
-/// canonical emission order the ranked `FdQuery` plans produce.
-fn rank_order(a: &(TupleSet, f64), b: &(TupleSet, f64)) -> std::cmp::Ordering {
-    canonical_rank_order(a.1, &a.0, b.1, &b.0)
-}
-
-impl<F: RankingFunction> LiveRankedFd<F> {
+impl<'q> LiveRankedFd<'q> {
     /// Materializes the full disjunction of `db` and the initial top-k
     /// window under `f`.
-    pub fn new(db: Database, f: F, k: usize) -> Self {
-        Self::with_config(db, f, k, FdConfig::default())
+    pub fn new(db: Database, f: impl RankingFunction + 'q, k: usize) -> Self {
+        Self::with_config(db, f, k, fd_core::FdConfig::default())
     }
 
     /// Like [`new`](Self::new) with explicit engine/block configuration.
-    pub fn with_config(db: Database, f: F, k: usize, cfg: FdConfig) -> Self {
+    pub fn with_config(
+        db: Database,
+        f: impl RankingFunction + 'q,
+        k: usize,
+        cfg: fd_core::FdConfig,
+    ) -> Self {
         Self::with_config_parallel(db, f, k, cfg, None)
     }
 
@@ -69,131 +46,16 @@ impl<F: RankingFunction> LiveRankedFd<F> {
     /// the initial materialization with up to `threads` workers.
     pub fn with_config_parallel(
         db: Database,
-        f: F,
+        f: impl RankingFunction + 'q,
         k: usize,
-        cfg: FdConfig,
+        cfg: fd_core::FdConfig,
         threads: Option<usize>,
     ) -> Self {
-        let inner = LiveFd::with_config_parallel(db, cfg, threads);
-        let mut ranked: Vec<(TupleSet, f64)> = inner
-            .results()
-            .iter()
-            .map(|s| (s.clone(), f.rank(inner.db(), s)))
-            .collect();
-        ranked.sort_by(rank_order);
-        let rank_of = ranked
-            .iter()
-            .map(|(s, r)| (Box::<[TupleId]>::from(s.tuples()), *r))
-            .collect();
         LiveRankedFd {
-            inner,
-            f,
-            k,
-            ranked,
-            rank_of,
+            session: FdSession::ranked_with_config_parallel(db, f, k, cfg, threads),
         }
     }
 
-    /// The maintained full disjunction underneath.
-    pub fn inner(&self) -> &LiveFd {
-        &self.inner
-    }
-
-    /// The current database snapshot.
-    pub fn db(&self) -> &Database {
-        self.inner.db()
-    }
-
-    /// The window size `k`.
-    pub fn k(&self) -> usize {
-        self.k
-    }
-
-    /// The current top-k window: up to `k` `(set, rank)` pairs in
-    /// non-increasing rank order.
-    pub fn top(&self) -> &[(TupleSet, f64)] {
-        &self.ranked[..self.k.min(self.ranked.len())]
-    }
-
-    /// The full maintained ranking (the window is its first `k` entries):
-    /// every current result with its rank, in non-increasing rank order
-    /// with ties in canonical member order.
-    pub fn ranking(&self) -> &[(TupleSet, f64)] {
-        &self.ranked
-    }
-
-    /// Removes a retracted set from the ranked vector by binary search
-    /// on its *recorded* rank — the ranking function is never re-invoked
-    /// on a retracted set (its member tuples may already be gone from
-    /// the mutated database).
-    fn remove_ranked(&mut self, set: &TupleSet) {
-        let Some(rank) = self.rank_of.remove(set.tuples()) else {
-            debug_assert!(false, "retracting unknown ranked result {set}");
-            return;
-        };
-        let found = self
-            .ranked
-            .binary_search_by(|e| canonical_rank_order(e.1, &e.0, rank, set));
-        match found {
-            Ok(pos) => {
-                self.ranked.remove(pos);
-            }
-            Err(_) => {
-                // Unreachable with a consistent map, but stay lossless.
-                debug_assert!(false, "recorded rank not found for {set}");
-                if let Some(pos) = self
-                    .ranked
-                    .iter()
-                    .position(|(s, _)| s.tuples() == set.tuples())
-                {
-                    self.ranked.remove(pos);
-                }
-            }
-        }
-    }
-
-    /// Applies one mutation, maintaining both the result set and the
-    /// window, and reports what changed. The ranked vector is maintained
-    /// in place — binary-search insert for entered sets, positional
-    /// removal for retracted ones — never re-sorted or re-ranked.
-    pub fn apply(&mut self, delta: Delta) -> Result<TopKUpdate, RelationalError> {
-        let before: Vec<TupleSet> = self.top().iter().map(|(s, _)| s.clone()).collect();
-        let events = self.inner.apply(delta)?;
-        for event in &events {
-            match event {
-                FdEvent::Retracted(set) => self.remove_ranked(set),
-                FdEvent::Added(set) => {
-                    let rank = self.f.rank(self.inner.db(), set);
-                    self.rank_of.insert(set.tuples().into(), rank);
-                    let probe = (set.clone(), rank);
-                    let pos = self
-                        .ranked
-                        .binary_search_by(|e| rank_order(e, &probe))
-                        .unwrap_or_else(|p| p);
-                    self.ranked.insert(pos, probe);
-                }
-            }
-        }
-
-        let after = self.top();
-        let entered = after
-            .iter()
-            .filter(|(s, _)| !before.iter().any(|b| b.tuples() == s.tuples()))
-            .cloned()
-            .collect();
-        let left = before
-            .into_iter()
-            .filter(|b| !after.iter().any(|(s, _)| s.tuples() == b.tuples()))
-            .collect();
-        Ok(TopKUpdate {
-            events,
-            entered,
-            left,
-        })
-    }
-}
-
-impl<'q> LiveRankedFd<BoxedRanking<'q>> {
     /// Builds the live top-k engine from an [`FdQuery`]: requires
     /// `.ranked(f)` and `.top_k(k)`; honors the query's
     /// engine/page-size/init configuration for the materialization and
@@ -243,6 +105,63 @@ impl<'q> LiveRankedFd<BoxedRanking<'q>> {
             parts.threads,
         ))
     }
+
+    /// The underlying ranked session.
+    pub fn session(&self) -> &FdSession<'q> {
+        &self.session
+    }
+
+    /// Mutable access to the underlying session (e.g. to subscribe an
+    /// [`crate::EventSink`] or commit a whole [`crate::DeltaBatch`]).
+    pub fn session_mut(&mut self) -> &mut FdSession<'q> {
+        &mut self.session
+    }
+
+    /// The current database snapshot.
+    pub fn db(&self) -> &Database {
+        self.session.db()
+    }
+
+    /// The window size `k`.
+    pub fn k(&self) -> usize {
+        self.session.k().expect("ranked session")
+    }
+
+    /// The current results in unspecified order.
+    pub fn results(&self) -> &[TupleSet] {
+        self.session.results()
+    }
+
+    /// The current top-k window: up to `k` `(set, rank)` pairs in
+    /// non-increasing rank order.
+    pub fn top(&self) -> &[(TupleSet, f64)] {
+        self.session.window().expect("ranked session")
+    }
+
+    /// The full maintained ranking (the window is its first `k` entries):
+    /// every current result with its rank, in non-increasing rank order
+    /// with ties in canonical member order.
+    pub fn ranking(&self) -> &[(TupleSet, f64)] {
+        self.session.ranking().expect("ranked session")
+    }
+
+    /// Applies one mutation, maintaining both the result set and the
+    /// window, and reports what changed. The ranked vector is maintained
+    /// in place — binary-search insert for entered sets, positional
+    /// removal for retracted ones — never re-sorted or re-ranked.
+    pub fn apply(&mut self, delta: Delta) -> Result<TopKUpdate, FdError> {
+        Ok(self
+            .session
+            .apply(delta)?
+            .topk
+            .expect("ranked sessions always report a TopKUpdate"))
+    }
+
+    /// The oracle-checkable invariant of the wrapped session (results
+    /// *and* maintained ranking match a from-scratch recomputation).
+    pub fn verify_snapshot(&self) -> bool {
+        self.session.verify_snapshot()
+    }
 }
 
 #[cfg(test)]
@@ -289,7 +208,7 @@ mod tests {
         assert!(!update.left.is_empty());
         // Ramada (3 stars) leads now.
         assert_eq!(live.top()[0].1, 3.0);
-        assert!(live.inner().verify_snapshot());
+        assert!(live.verify_snapshot());
     }
 
     #[test]
@@ -332,7 +251,7 @@ mod tests {
         let mut live = LiveRankedFd::new(tourist_database(), LivenessAsserting, 3);
         live.apply(Delta::Delete { tuple: TupleId(3) }).unwrap();
         live.apply(Delta::Delete { tuple: TupleId(0) }).unwrap();
-        assert!(live.inner().verify_snapshot());
+        assert!(live.verify_snapshot());
     }
 
     #[test]
@@ -362,14 +281,13 @@ mod tests {
             // The incrementally maintained vector must equal what a full
             // re-rank + re-sort of the current results would produce.
             let mut scratch: Vec<(TupleSet, f64)> = live
-                .inner()
                 .results()
                 .iter()
                 .map(|s| (s.clone(), FMax::new(&imp).rank(live.db(), s)))
                 .collect();
-            scratch.sort_by(rank_order);
+            scratch.sort_by(|a, b| fd_core::canonical_rank_order(a.1, &a.0, b.1, &b.0));
             assert_eq!(live.ranking(), &scratch[..]);
-            assert!(live.inner().verify_snapshot());
+            assert!(live.verify_snapshot());
         }
     }
 
@@ -405,6 +323,23 @@ mod tests {
         for w in window.windows(2) {
             assert!(w[0].1 >= w[1].1);
         }
-        assert!(live.inner().verify_snapshot());
+        assert!(live.verify_snapshot());
+    }
+
+    #[test]
+    fn batched_commits_update_the_window_once() {
+        let db = tourist_database();
+        let imp = stars_imp(&db);
+        let mut live = LiveRankedFd::new(db, FMax::new(&imp), 2);
+        let mut batch = live.session().begin();
+        batch.delete(TupleId(3)).insert(
+            RelId(1),
+            vec!["UK".into(), "London".into(), "Savoy".into(), 5.into()],
+        );
+        let commit = live.session_mut().commit(batch).unwrap();
+        assert_eq!(live.session().maintenance_passes(), 1);
+        let update = commit.topk.expect("ranked session");
+        assert!(!update.entered.is_empty());
+        assert!(live.verify_snapshot());
     }
 }

@@ -1,10 +1,12 @@
 //! Mutation descriptions and histories for dynamic databases.
 //!
 //! A [`Delta`] describes one *pending* mutation — the unit the live
-//! maintenance engine applies; a [`Change`] records a mutation that
+//! maintenance engine applies; a [`DeltaBatch`] groups several pending
+//! mutations into one transactional unit (what a session commits with a
+//! single maintenance pass); a [`Change`] records a mutation that
 //! *happened* (with the tuple id the database assigned); a [`ChangeLog`]
-//! accumulates the realized history so replicas, audits and tests can
-//! replay it.
+//! accumulates the realized history — grouped by commit — so replicas,
+//! audits and tests can replay it batch by batch.
 
 use crate::database::Database;
 use crate::error::Result;
@@ -26,6 +28,83 @@ pub enum Delta {
         /// The tuple to remove.
         tuple: TupleId,
     },
+}
+
+/// An ordered group of pending mutations applied as one unit.
+///
+/// A batch is the argument of a transactional commit: every mutation is
+/// validated up front, then all of them are applied to the [`Database`]
+/// together ([`apply_batch`]) — either the whole batch lands or none of
+/// it does — and downstream maintenance (the full-disjunction session)
+/// runs **one** pass over the net change instead of one per mutation.
+///
+/// Deletes refer to tuple ids that are live *before* the batch; a tuple
+/// inserted by the batch has no id until commit and cannot be deleted in
+/// the same batch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaBatch {
+    deltas: Vec<Delta>,
+}
+
+impl DeltaBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a tuple insertion.
+    pub fn insert(&mut self, rel: RelId, values: Vec<Value>) -> &mut Self {
+        self.deltas.push(Delta::Insert { rel, values });
+        self
+    }
+
+    /// Queues a tuple deletion.
+    pub fn delete(&mut self, tuple: TupleId) -> &mut Self {
+        self.deltas.push(Delta::Delete { tuple });
+        self
+    }
+
+    /// Queues an already-built [`Delta`].
+    pub fn push(&mut self, delta: Delta) -> &mut Self {
+        self.deltas.push(delta);
+        self
+    }
+
+    /// Number of queued mutations.
+    pub fn len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.deltas.is_empty()
+    }
+
+    /// The queued mutations, in application order.
+    pub fn deltas(&self) -> &[Delta] {
+        &self.deltas
+    }
+
+    /// Consumes the batch, returning the queued mutations.
+    pub fn into_deltas(self) -> Vec<Delta> {
+        self.deltas
+    }
+}
+
+impl From<Delta> for DeltaBatch {
+    fn from(delta: Delta) -> Self {
+        DeltaBatch {
+            deltas: vec![delta],
+        }
+    }
+}
+
+impl FromIterator<Delta> for DeltaBatch {
+    fn from_iter<I: IntoIterator<Item = Delta>>(iter: I) -> Self {
+        DeltaBatch {
+            deltas: iter.into_iter().collect(),
+        }
+    }
 }
 
 /// A realized mutation: what a [`Delta`] became once applied.
@@ -56,10 +135,17 @@ impl Change {
     }
 }
 
-/// An append-only history of realized mutations.
+/// An append-only history of realized mutations, grouped by commit.
+///
+/// Singleton mutations recorded through [`record`](Self::record) are
+/// batches of one; a transactional commit records its whole group at
+/// once through [`record_batch`](Self::record_batch), so replicas can
+/// replay the history with the original commit boundaries intact.
 #[derive(Debug, Clone, Default)]
 pub struct ChangeLog {
     changes: Vec<Change>,
+    /// End offset (exclusive) of each recorded batch, ascending.
+    bounds: Vec<usize>,
 }
 
 impl ChangeLog {
@@ -68,12 +154,23 @@ impl ChangeLog {
         Self::default()
     }
 
-    /// Records a realized change.
+    /// Records a realized change as a batch of one.
     pub fn record(&mut self, change: Change) {
         self.changes.push(change);
+        self.bounds.push(self.changes.len());
     }
 
-    /// Number of recorded changes.
+    /// Records a group of realized changes as one batch. Empty groups
+    /// are not recorded (an empty commit leaves no history).
+    pub fn record_batch(&mut self, changes: impl IntoIterator<Item = Change>) {
+        let before = self.changes.len();
+        self.changes.extend(changes);
+        if self.changes.len() > before {
+            self.bounds.push(self.changes.len());
+        }
+    }
+
+    /// Number of recorded changes (across all batches).
     pub fn len(&self) -> usize {
         self.changes.len()
     }
@@ -83,9 +180,24 @@ impl ChangeLog {
         self.changes.is_empty()
     }
 
-    /// The recorded changes, oldest first.
+    /// Number of recorded batches (commits).
+    pub fn num_batches(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// The recorded changes, oldest first, flattened across batches.
     pub fn changes(&self) -> &[Change] {
         &self.changes
+    }
+
+    /// The recorded batches, oldest first — each item is one commit's
+    /// group of changes.
+    pub fn batches(&self) -> impl Iterator<Item = &[Change]> {
+        self.bounds.iter().scan(0usize, move |start, &end| {
+            let batch = &self.changes[*start..end];
+            *start = end;
+            Some(batch)
+        })
     }
 }
 
@@ -105,6 +217,57 @@ pub fn apply_delta(db: &mut Database, delta: Delta) -> Result<Change> {
             Ok(Change::Removed { rel, tuple })
         }
     }
+}
+
+/// Applies a whole batch to a database **atomically**: the batch is
+/// validated up front without touching the database, so either every
+/// mutation lands (returning the realized [`Change`]s, in order) or none
+/// does and the database is untouched.
+///
+/// Validation covers everything [`Database::insert_tuple`] /
+/// [`Database::remove_tuple`] can reject: unknown relations, arity
+/// mismatches, id-space capacity, deletes of dead or unknown tuples —
+/// including a tuple deleted *earlier in the same batch*.
+pub fn apply_batch(db: &mut Database, batch: DeltaBatch) -> Result<Vec<Change>> {
+    // Validation pass: pure reads only.
+    let mut pending_inserts: u64 = 0;
+    let mut pending_deletes: Vec<TupleId> = Vec::new();
+    for delta in batch.deltas() {
+        match delta {
+            Delta::Insert { rel, values } => {
+                if rel.index() >= db.num_relations() {
+                    return Err(crate::error::RelationalError::UnknownRelation {
+                        relation: rel.to_string(),
+                    });
+                }
+                let expected = db.relation(*rel).schema().arity();
+                if values.len() != expected {
+                    return Err(crate::error::RelationalError::ArityMismatch {
+                        relation: db.relation(*rel).name().to_owned(),
+                        expected,
+                        got: values.len(),
+                    });
+                }
+                pending_inserts += 1;
+                if u64::from(db.tuple_id_bound()) + pending_inserts > u64::from(u32::MAX) {
+                    return Err(crate::error::RelationalError::CapacityExceeded { what: "tuples" });
+                }
+            }
+            Delta::Delete { tuple } => {
+                if !db.is_live(*tuple) || pending_deletes.contains(tuple) {
+                    return Err(crate::error::RelationalError::NoSuchTuple { id: tuple.0 });
+                }
+                pending_deletes.push(*tuple);
+            }
+        }
+    }
+
+    // Application pass: cannot fail after validation.
+    let mut changes = Vec::with_capacity(batch.len());
+    for delta in batch.into_deltas() {
+        changes.push(apply_delta(db, delta).expect("validated batch mutations cannot fail"));
+    }
+    Ok(changes)
 }
 
 #[cfg(test)]
@@ -149,5 +312,78 @@ mod tests {
         let mut db = tourist_database();
         apply_delta(&mut db, Delta::Delete { tuple: TupleId(3) }).unwrap();
         assert!(apply_delta(&mut db, Delta::Delete { tuple: TupleId(3) }).is_err());
+    }
+
+    #[test]
+    fn batches_apply_atomically() {
+        let mut db = tourist_database();
+        let mut batch = DeltaBatch::new();
+        batch
+            .insert(RelId(0), vec!["Chile".into(), "arid".into()])
+            .delete(TupleId(0))
+            .insert(RelId(0), vec!["Peru".into(), "arid".into()]);
+        assert_eq!(batch.len(), 3);
+        let changes = apply_batch(&mut db, batch).unwrap();
+        assert_eq!(changes.len(), 3);
+        assert_eq!(
+            changes[0],
+            Change::Inserted {
+                rel: RelId(0),
+                tuple: TupleId(10)
+            }
+        );
+        assert_eq!(changes[2].tuple(), TupleId(11));
+        assert!(!db.is_live(TupleId(0)));
+        assert!(db.is_live(TupleId(11)));
+    }
+
+    #[test]
+    fn invalid_batches_leave_the_database_untouched() {
+        let mut db = tourist_database();
+        let before_bound = db.tuple_id_bound();
+
+        // A bad trailing mutation must roll back the whole batch.
+        for bad in [
+            Delta::Delete { tuple: TupleId(99) }, // unknown tuple
+            Delta::Delete { tuple: TupleId(0) },  // duplicate delete (queued below)
+            Delta::Insert {
+                rel: RelId(7),
+                values: vec![],
+            }, // unknown relation
+            Delta::Insert {
+                rel: RelId(0),
+                values: vec!["just-one".into()], // arity mismatch
+            },
+        ] {
+            let mut batch = DeltaBatch::new();
+            batch
+                .insert(RelId(0), vec!["Chile".into(), "arid".into()])
+                .delete(TupleId(0))
+                .push(bad);
+            assert!(apply_batch(&mut db, batch).is_err());
+            assert_eq!(db.tuple_id_bound(), before_bound, "insert leaked");
+            assert!(db.is_live(TupleId(0)), "delete leaked");
+        }
+    }
+
+    #[test]
+    fn changelog_groups_batches() {
+        let mut db = tourist_database();
+        let mut log = ChangeLog::new();
+        log.record(apply_delta(&mut db, Delta::Delete { tuple: TupleId(3) }).unwrap());
+        let mut batch = DeltaBatch::new();
+        batch
+            .insert(RelId(0), vec!["Chile".into(), "arid".into()])
+            .delete(TupleId(0));
+        log.record_batch(apply_batch(&mut db, batch).unwrap());
+        log.record_batch(Vec::new()); // empty commits leave no history
+
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.num_batches(), 2);
+        let batches: Vec<&[Change]> = log.batches().collect();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].len(), 1);
+        assert_eq!(batches[1].len(), 2);
+        assert_eq!(batches[1][0].tuple(), TupleId(10));
     }
 }

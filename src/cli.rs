@@ -5,12 +5,10 @@
 //! spawning processes. The binary in `src/bin/fd.rs` is a thin wrapper.
 
 use crate::core::{
-    canonicalize, format_results, AMin, EditDistanceSim, FMax, FdConfig, FdQuery, ImpScores,
-    ProbScores, RankedFdIter, StoreEngine,
+    canonicalize, format_results, AMin, EditDistanceSim, FMax, FdConfig, FdQuery, FdSession,
+    ImpScores, ProbScores, RankedFdIter, StoreEngine,
 };
-use crate::live::LiveFd;
-use crate::relational::textio;
-use crate::relational::Database;
+use crate::relational::{textio, Change, Database, DeltaBatch};
 use std::fmt::Write as _;
 use std::io::{BufRead, Write};
 
@@ -37,6 +35,9 @@ pub struct Options {
     pub page_size: Option<usize>,
     /// Worker count for parallel execution (`--threads`).
     pub threads: Option<usize>,
+    /// `fd watch --script FILE`: replay a mutation script from FILE
+    /// instead of reading commands interactively.
+    pub script: Option<String>,
     /// Print the source tables before the result.
     pub show_sources: bool,
 }
@@ -68,10 +69,15 @@ textual format:
     UK     | temperate
 
 `fd watch` maintains the full disjunction while you mutate the database
-from a REPL (one command per line on stdin):
+from a REPL (one command per line on stdin; `--script FILE` replays the
+same commands from FILE non-interactively):
 
     insert REL | V1 | V2 ...   add a tuple; prints +/- result events
     delete tN                  remove tuple N; prints +/- result events
+    begin                      open a transaction: queue instead of apply
+    commit                     apply every queued mutation atomically in
+                               ONE maintenance pass; prints net events
+    abort                      discard the queued mutations
     show                       print the current results
     quit                       exit
 
@@ -85,6 +91,8 @@ OPTIONS:
     --page-size N      block-based execution with N tuples per page (all modes)
     --threads N        compute with up to N workers (all modes; ranked output
                        is identical to the sequential run, sets and order)
+    --script FILE      watch mode only: replay mutation commands from FILE
+                       instead of stdin and print the resulting events
     --sources          print the source relations first
     --help             this text
 
@@ -167,6 +175,10 @@ where
                 }
                 opts.threads = Some(n);
             }
+            "--script" => {
+                let v = it.next().ok_or("--script needs a file path")?;
+                opts.script = Some(v.as_ref().to_owned());
+            }
             "watch" if !opts.watch && opts.input.is_none() => opts.watch = true,
             _ if arg.starts_with('-') => return Err(format!("unknown option: {arg}\n\n{USAGE}")),
             _ => {
@@ -190,6 +202,9 @@ where
             || opts.approx_tau.is_some())
     {
         return Err("watch mode does not combine with ranking/approx options".into());
+    }
+    if opts.script.is_some() && !opts.watch {
+        return Err("--script only applies to watch mode".into());
     }
     Ok(opts)
 }
@@ -307,12 +322,19 @@ pub fn run(opts: &Options) -> Result<String, String> {
 }
 
 /// The `fd watch` REPL: maintains the full disjunction of the loaded
-/// database while mutation commands arrive on `input`, writing result
+/// database through an [`FdSession`] while mutation commands arrive on
+/// `input` (or, with `--script FILE`, from the file), writing result
 /// events (`+ {…}` / `- {…}`) to `out`. Line protocol:
 ///
 /// ```text
-/// insert REL | V1 | V2 ...   delete tN (or: delete N)   show   quit
+/// insert REL | V1 | V2 ...   delete tN (or: delete N)
+/// begin   commit   abort     show   quit
 /// ```
+///
+/// Outside a transaction every `insert`/`delete` commits immediately
+/// (a batch of one). Between `begin` and `commit` mutations queue up and
+/// land atomically in **one** maintenance pass; a rejected commit
+/// discards the whole batch and changes nothing.
 ///
 /// Errors on individual commands are reported and the loop continues;
 /// only I/O failures abort.
@@ -329,27 +351,41 @@ pub fn run_watch(opts: &Options, input: impl BufRead, mut out: impl Write) -> Re
     }
     let db = load_database(opts)?;
     // Validate + derive the configuration through the query, then hand
-    // the database over by move — `LiveFd::from_query` would clone it.
+    // the database over by move — `FdQuery::session` would clone it.
     // `--threads` parallelizes the initial materialization only; the
-    // per-mutation delta runs are sequential.
+    // per-commit maintenance passes are sequential.
     let query = build_query(opts, &db, None);
     query.validate().map_err(|e| e.to_string())?;
     let cfg = query.config();
     let threads = opts.threads;
     drop(query); // release the borrow of `db` before moving it
-    let mut live = LiveFd::with_config_parallel(db, cfg, threads);
+    let mut state = WatchState {
+        session: FdSession::with_config_parallel(db, cfg, threads),
+        pending: None,
+    };
+    // Non-interactive mode: replay the script file instead of `input`.
+    let script_text = match &opts.script {
+        Some(path) => {
+            Some(std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?)
+        }
+        None => None,
+    };
+    let reader: Box<dyn BufRead> = match &script_text {
+        Some(text) => Box::new(text.as_bytes()),
+        None => Box::new(input),
+    };
     let emit = |out: &mut dyn Write, line: &str| -> Result<(), String> {
         writeln!(out, "{line}").map_err(|e| format!("write failed: {e}"))
     };
     emit(
         &mut out,
         &format!(
-            "watching {} ({} results); insert REL | V.. / delete tN / show / quit",
+            "watching {} ({} results); insert REL | V.. / delete tN / begin / commit / show / quit",
             opts.input.as_deref().unwrap_or("the tourist example"),
-            live.len()
+            state.session.len()
         ),
     )?;
-    for line in input.lines() {
+    for line in reader.lines() {
         let line = line.map_err(|e| format!("read failed: {e}"))?;
         let cmd = line.trim();
         if cmd.is_empty() || cmd.starts_with('#') {
@@ -359,12 +395,12 @@ pub fn run_watch(opts: &Options, input: impl BufRead, mut out: impl Write) -> Re
             break;
         }
         if cmd == "show" {
-            for set in live.canonical_results() {
-                emit(&mut out, &format!("  {}", set.label(live.db())))?;
+            for set in state.session.canonical_results() {
+                emit(&mut out, &format!("  {}", set.label(state.session.db())))?;
             }
             continue;
         }
-        match watch_command(&mut live, cmd) {
+        match state.command(cmd) {
             Ok(lines) => {
                 for l in lines {
                     emit(&mut out, &l)?;
@@ -373,49 +409,129 @@ pub fn run_watch(opts: &Options, input: impl BufRead, mut out: impl Write) -> Re
             Err(msg) => emit(&mut out, &format!("error: {msg}"))?,
         }
     }
-    emit(&mut out, &format!("bye ({} results)", live.len()))?;
+    emit(&mut out, &format!("bye ({} results)", state.session.len()))?;
     Ok(())
 }
 
-/// Executes one mutation command against the live engine, returning the
-/// lines to print (status first, then one `+`/`-` line per event).
-fn watch_command(live: &mut LiveFd, cmd: &str) -> Result<Vec<String>, String> {
-    if let Some(rest) = cmd.strip_prefix("insert ") {
-        let (rel_name, row) = rest
-            .split_once('|')
-            .ok_or("usage: insert REL | V1 | V2 ...")?;
-        let rel_name = rel_name.trim();
-        let rel = live
-            .db()
-            .relation_by_name(rel_name)
-            .map_err(|e| e.to_string())?
-            .id();
-        let values = textio::parse_row(row);
-        let (tuple, events) = live.insert(rel, values).map_err(|e| e.to_string())?;
-        let mut lines = vec![format!(
-            "inserted {} into {rel_name}",
-            live.db().tuple_label(tuple)
-        )];
-        lines.extend(events.iter().map(|e| e.label(live.db())));
-        return Ok(lines);
+/// The watch REPL's mutable state: the session plus the open
+/// transaction, if any.
+struct WatchState {
+    session: FdSession<'static>,
+    pending: Option<DeltaBatch>,
+}
+
+impl WatchState {
+    /// Executes one command, returning the lines to print (status first,
+    /// then one `+`/`-` line per event).
+    fn command(&mut self, cmd: &str) -> Result<Vec<String>, String> {
+        match cmd {
+            "begin" => {
+                if self.pending.is_some() {
+                    return Err("a batch is already open (commit or abort first)".into());
+                }
+                self.pending = Some(self.session.begin());
+                return Ok(vec!["begin (mutations now queue until commit)".into()]);
+            }
+            "commit" => {
+                let batch = self.pending.take().ok_or("no open batch (begin first)")?;
+                let n = batch.len();
+                // A rejected commit discards the batch: transactional
+                // all-or-nothing, nothing to retry piecemeal.
+                let commit = self
+                    .session
+                    .commit(batch)
+                    .map_err(|e| format!("{e} (batch of {n} discarded)"))?;
+                let mut lines = vec![format!(
+                    "committed {} mutation(s) in 1 maintenance pass",
+                    commit.changes.len()
+                )];
+                for change in &commit.changes {
+                    lines.push(self.change_line(change));
+                }
+                lines.extend(commit.events.iter().map(|e| e.label(self.session.db())));
+                return Ok(lines);
+            }
+            "abort" => {
+                let batch = self.pending.take().ok_or("no open batch (begin first)")?;
+                return Ok(vec![format!(
+                    "aborted ({} queued mutation(s) discarded)",
+                    batch.len()
+                )]);
+            }
+            _ => {}
+        }
+        if let Some(rest) = cmd.strip_prefix("insert ") {
+            let (rel_name, row) = rest
+                .split_once('|')
+                .ok_or("usage: insert REL | V1 | V2 ...")?;
+            let rel_name = rel_name.trim();
+            let rel = self
+                .session
+                .db()
+                .relation_by_name(rel_name)
+                .map_err(|e| e.to_string())?
+                .id();
+            let values = textio::parse_row(row);
+            if let Some(batch) = &mut self.pending {
+                batch.insert(rel, values);
+                return Ok(vec![format!(
+                    "queued insert into {rel_name} ({} pending)",
+                    batch.len()
+                )]);
+            }
+            let commit = self
+                .session
+                .apply(crate::relational::Delta::Insert { rel, values })
+                .map_err(|e| e.to_string())?;
+            let tuple = commit.inserted()[0];
+            let mut lines = vec![format!(
+                "inserted {} into {rel_name}",
+                self.session.db().tuple_label(tuple)
+            )];
+            lines.extend(commit.events.iter().map(|e| e.label(self.session.db())));
+            return Ok(lines);
+        }
+        if let Some(rest) = cmd.strip_prefix("delete ") {
+            let tok = rest.trim();
+            let raw: u32 = tok
+                .strip_prefix('t')
+                .unwrap_or(tok)
+                .parse()
+                .map_err(|_| format!("bad tuple id: {tok}"))?;
+            let tuple = crate::relational::TupleId(raw);
+            if let Some(batch) = &mut self.pending {
+                batch.delete(tuple);
+                return Ok(vec![format!(
+                    "queued delete t{raw} ({} pending)",
+                    batch.len()
+                )]);
+            }
+            let commit = self
+                .session
+                .apply(crate::relational::Delta::Delete { tuple })
+                .map_err(|e| e.to_string())?;
+            // Tombstones retain row data, so the label still renders.
+            let mut lines = vec![format!("deleted {}", self.session.db().tuple_label(tuple))];
+            lines.extend(commit.events.iter().map(|e| e.label(self.session.db())));
+            return Ok(lines);
+        }
+        Err(format!(
+            "unknown command: {cmd} (insert / delete / begin / commit / abort / show / quit)"
+        ))
     }
-    if let Some(rest) = cmd.strip_prefix("delete ") {
-        let tok = rest.trim();
-        let raw: u32 = tok
-            .strip_prefix('t')
-            .unwrap_or(tok)
-            .parse()
-            .map_err(|_| format!("bad tuple id: {tok}"))?;
-        let tuple = crate::relational::TupleId(raw);
-        let events = live.delete(tuple).map_err(|e| e.to_string())?;
-        // Tombstones retain row data, so the label still renders.
-        let mut lines = vec![format!("deleted {}", live.db().tuple_label(tuple))];
-        lines.extend(events.iter().map(|e| e.label(live.db())));
-        return Ok(lines);
+
+    /// Renders one realized change the way the singleton path prints it.
+    fn change_line(&self, change: &Change) -> String {
+        let db = self.session.db();
+        match change {
+            Change::Inserted { rel, tuple } => format!(
+                "inserted {} into {}",
+                db.tuple_label(*tuple),
+                db.relation(*rel).name()
+            ),
+            Change::Removed { tuple, .. } => format!("deleted {}", db.tuple_label(*tuple)),
+        }
     }
-    Err(format!(
-        "unknown command: {cmd} (insert / delete / show / quit)"
-    ))
 }
 
 /// Convenience: full ranked stream used by tests.
@@ -622,6 +738,153 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("(6 results)"), "{text}");
         assert!(text.contains("+ {c4}"), "{text}");
+    }
+
+    #[test]
+    fn parse_script_flag_requires_watch() {
+        let o = parse_args(["watch", "--script", "muts.txt"]).unwrap();
+        assert!(o.watch);
+        assert_eq!(o.script.as_deref(), Some("muts.txt"));
+        assert!(parse_args(["--script", "muts.txt"]).is_err());
+        assert!(parse_args(["watch", "--script"]).is_err());
+    }
+
+    #[test]
+    fn watch_repl_batches_mutations_into_one_commit() {
+        let script = "\
+begin
+insert Climates | Chile | arid
+insert Climates | Peru | arid
+delete t3
+commit
+quit
+";
+        let mut out = Vec::new();
+        run_watch(
+            &Options {
+                watch: true,
+                ..Options::default()
+            },
+            script.as_bytes(),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("begin (mutations now queue until commit)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("queued insert into Climates (1 pending)"),
+            "{text}"
+        );
+        assert!(
+            text.contains("queued insert into Climates (2 pending)"),
+            "{text}"
+        );
+        assert!(text.contains("queued delete t3 (3 pending)"), "{text}");
+        assert!(
+            text.contains("committed 3 mutation(s) in 1 maintenance pass"),
+            "{text}"
+        );
+        assert!(text.contains("inserted c4 into Climates"), "{text}");
+        assert!(text.contains("inserted c5 into Climates"), "{text}");
+        assert!(text.contains("deleted a1"), "{text}");
+        assert!(text.contains("+ {c4}"), "{text}");
+        assert!(text.contains("+ {c5}"), "{text}");
+        assert!(text.contains("- {c1, a1}"), "{text}");
+    }
+
+    #[test]
+    fn watch_repl_rejects_stray_transaction_commands() {
+        let script = "commit\nabort\nbegin\nbegin\nabort\nquit\n";
+        let mut out = Vec::new();
+        run_watch(
+            &Options {
+                watch: true,
+                ..Options::default()
+            },
+            script.as_bytes(),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text.matches("error: no open batch (begin first)").count(),
+            2,
+            "{text}"
+        );
+        assert!(text.contains("error: a batch is already open"), "{text}");
+        assert!(
+            text.contains("aborted (0 queued mutation(s) discarded)"),
+            "{text}"
+        );
+        assert!(text.contains("bye (6 results)"), "{text}");
+    }
+
+    #[test]
+    fn watch_repl_failed_commit_discards_the_batch_atomically() {
+        // The delete of t99 is invalid: the whole batch (including the
+        // valid insert) must be rolled back, and the session must stay
+        // usable.
+        let script = "\
+begin
+insert Climates | Chile | arid
+delete t99
+commit
+show
+quit
+";
+        let mut out = Vec::new();
+        run_watch(
+            &Options {
+                watch: true,
+                ..Options::default()
+            },
+            script.as_bytes(),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("mutation rejected"), "{text}");
+        assert!(text.contains("(batch of 2 discarded)"), "{text}");
+        assert!(!text.contains("{c4}"), "rolled-back insert leaked: {text}");
+        assert!(text.contains("bye (6 results)"), "{text}");
+    }
+
+    #[test]
+    fn watch_script_file_replays_non_interactively() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("fd-cli-watch-script-{}", std::process::id()));
+        std::fs::write(
+            &path,
+            "begin\ninsert Climates | Chile | arid\ncommit\nquit\n",
+        )
+        .unwrap();
+        let opts = Options {
+            watch: true,
+            script: Some(path.to_string_lossy().into_owned()),
+            ..Options::default()
+        };
+        let mut out = Vec::new();
+        // Stdin content is ignored when a script is given.
+        run_watch(&opts, "delete t0\nquit\n".as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("committed 1 mutation(s)"), "{text}");
+        assert!(
+            !text.contains("deleted c1"),
+            "stdin leaked into script mode: {text}"
+        );
+        assert!(text.contains("bye (7 results)"), "{text}");
+        std::fs::remove_file(path).ok();
+
+        let missing = Options {
+            watch: true,
+            script: Some("/definitely/not/here.txt".into()),
+            ..Options::default()
+        };
+        let err = run_watch(&missing, "quit\n".as_bytes(), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
     }
 
     #[test]

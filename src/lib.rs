@@ -14,9 +14,11 @@
 //! * [`baselines`] — brute-force oracle, Rajaraman–Ullman outerjoin
 //!   sequences, and a Kanza–Sagiv-2003-style batch algorithm;
 //! * [`workloads`] — synthetic schema/data generators for experiments;
-//! * [`live`] — dynamic full disjunctions: delta maintenance under tuple
-//!   inserts/deletes with a watch/subscribe event stream (the `fd watch`
-//!   REPL drives it from the command line).
+//! * [`live`] — dynamic full disjunctions: the transactional
+//!   [`FdSession`](crate::core::FdSession) (batched `DeltaBatch` commits,
+//!   one maintenance pass per commit, push `EventSink` subscribers) plus
+//!   the deprecated `LiveFd`/`LiveRankedFd` wrappers; the `fd watch`
+//!   REPL (`begin`/`commit`/`--script`) drives it from the command line.
 //!
 //! ## Quickstart
 //!
@@ -95,14 +97,15 @@ pub mod cli;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use fd_core::{
-        fdi, AMin, AProd, ApproxAllIter, ApproxFdIter, DeleteDelta, FMax, FPairSum, FSum, FTriple,
-        FdConfig, FdError, FdIter, FdQuery, FdResult, FdStream, FdiIter, ImpScores, InitStrategy,
-        InsertDelta, MonotoneCDetermined, ProbScores, RankedFdIter, RankingFunction, Stats,
-        StoreEngine, TupleSet,
+        fdi, AMin, AProd, ApproxAllIter, ApproxFdIter, BatchDelta, ChannelSink, Commit,
+        DeleteDelta, EventSink, FMax, FPairSum, FSum, FTriple, FdConfig, FdError, FdIter, FdQuery,
+        FdResult, FdSession, FdStream, FdiIter, ImpScores, InitStrategy, InsertDelta,
+        MonotoneCDetermined, ProbScores, RankedFdIter, RankingFunction, Stats, StoreEngine,
+        TupleSet, VecSink,
     };
     pub use fd_live::{FdEvent, LiveFd, LiveRankedFd, TopKUpdate};
     pub use fd_relational::{
-        tourist_database, AttrId, Change, ChangeLog, Database, DatabaseBuilder, Delta, RelId,
-        TupleId, Value, NULL,
+        tourist_database, AttrId, Change, ChangeLog, Database, DatabaseBuilder, Delta, DeltaBatch,
+        RelId, TupleId, Value, NULL,
     };
 }

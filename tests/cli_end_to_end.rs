@@ -238,6 +238,70 @@ quit
     std::fs::remove_file(path).ok();
 }
 
+/// Transactional watch: `begin` queues mutations, `commit` lands them
+/// atomically in one maintenance pass with net-effect events.
+#[test]
+fn watch_repl_begin_commit_batches_from_a_file() {
+    let path = write_temp("watch-batch", CATALOG);
+    let opts = parse_args(["watch", path.to_string_lossy().as_ref()]).unwrap();
+
+    // Tuple ids in CATALOG: v1 = t0 (laptop), v2 = t1 (phone),
+    // p1 = t2 (laptop 999), p2 = t3 (camera 450).
+    // One transaction: add the phone price AND delete the phone vendor.
+    // A singleton replay would surface {v2, p3} and retract it one step
+    // later; the batch must emit only the net change.
+    let script = "\
+begin
+insert Prices | phone | 650
+delete t1
+commit
+show
+quit
+";
+    let mut out = Vec::new();
+    run_watch(&opts, script.as_bytes(), &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+
+    assert!(
+        text.contains("queued insert into Prices (1 pending)"),
+        "{text}"
+    );
+    assert!(text.contains("queued delete t1 (2 pending)"), "{text}");
+    assert!(
+        text.contains("committed 2 mutation(s) in 1 maintenance pass"),
+        "{text}"
+    );
+    assert!(text.contains("inserted p3 into Prices"), "{text}");
+    assert!(text.contains("deleted v2"), "{text}");
+    // Net effect: {v2} leaves, the orphaned price {p3} enters; the
+    // transient {v2, p3} pair never surfaces.
+    assert!(text.contains("- {v2}"), "{text}");
+    assert!(text.contains("+ {p3}"), "{text}");
+    assert!(!text.contains("{v2, p3}"), "transient set surfaced: {text}");
+    assert!(text.contains("bye (3 results)"), "{text}");
+    std::fs::remove_file(path).ok();
+}
+
+/// `fd watch --script FILE` replays a mutation script non-interactively
+/// and must reproduce the checked-in golden transcript byte for byte
+/// (CI re-runs the same diff through the real binary).
+#[test]
+fn watch_script_matches_golden_transcript() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let script = root.join("tests/golden/watch_session.script");
+    let golden = root.join("tests/golden/watch_session.golden");
+    let opts = parse_args(["watch", "--script", script.to_string_lossy().as_ref()]).unwrap();
+    let mut out = Vec::new();
+    // Stdin is ignored in script mode.
+    run_watch(&opts, "delete t0\nquit\n".as_bytes(), &mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    let expected = std::fs::read_to_string(golden).expect("golden transcript");
+    assert_eq!(
+        text, expected,
+        "watch --script diverged from the golden transcript"
+    );
+}
+
 #[test]
 fn watch_repl_handles_quoted_values_and_bad_input() {
     let path = write_temp("watch-quoted", CATALOG);

@@ -133,7 +133,6 @@ fn ranked_window_incremental_order_equals_from_scratch_sort_under_churn() {
         // (rank desc, members asc) — must equal the maintained vector.
         let f = FMax::new(&imp);
         let mut scratch: Vec<(TupleSet, f64)> = live
-            .inner()
             .results()
             .iter()
             .map(|s| (s.clone(), f.rank(live.db(), s)))
@@ -151,7 +150,67 @@ fn ranked_window_incremental_order_equals_from_scratch_sort_under_churn() {
             "window diverged at step {step}"
         );
     }
-    assert!(live.inner().verify_snapshot());
+    assert!(live.verify_snapshot());
+}
+
+/// Batched churn through the session API: every step commits a batch of
+/// up to 3 mutations in ONE maintenance pass and must stay equal to the
+/// brute-force oracle — the transactional counterpart of the singleton
+/// churn above, on the null-heavy workload the other suites don't use.
+#[test]
+fn nully_chain_batched_commits_match_oracle_every_step() {
+    use full_disjunction::core::FdSession;
+    use full_disjunction::relational::Delta;
+
+    let db = chain(
+        3,
+        &DataSpec {
+            null_rate: 0.3,
+            ..DataSpec::new(3, 2)
+        },
+    );
+    let mut session = FdSession::new(db);
+    let mut rng = StdRng::seed_from_u64(59);
+    let num_rels = session.db().num_relations();
+    const BATCHES: usize = 60;
+    for step in 0..BATCHES {
+        let mut batch = session.begin();
+        let mut blocked: Vec<TupleId> = Vec::new();
+        for _ in 0..rng.gen_range(1..=3usize) {
+            let candidates: Vec<TupleId> = session
+                .db()
+                .all_tuples()
+                .filter(|t| !blocked.contains(t))
+                .collect();
+            let do_insert =
+                candidates.len() <= 4 || (candidates.len() < MAX_TUPLES && rng.gen_bool(0.5));
+            if do_insert {
+                let rel = RelId(rng.gen_range(0..num_rels) as u16);
+                let arity = session.db().relation(rel).schema().arity();
+                let mut values: Vec<Value> =
+                    (0..arity - 1).map(|_| random_value(&mut rng, 3)).collect();
+                values.push(Value::Int(7_000 + step as i64));
+                batch.push(Delta::Insert { rel, values });
+            } else {
+                let victim = candidates[rng.gen_range(0..candidates.len())];
+                blocked.push(victim);
+                batch.push(Delta::Delete { tuple: victim });
+            }
+        }
+        session.commit(batch).expect("valid batch");
+        assert_eq!(
+            session.maintenance_passes(),
+            (step + 1) as u64,
+            "exactly one maintenance pass per commit"
+        );
+        assert_eq!(
+            canonicalize(session.results().to_vec()),
+            oracle_fd(session.db()),
+            "batched session diverged from the oracle at step {step}"
+        );
+    }
+    assert_eq!(session.changelog().num_batches(), BATCHES);
+    assert!(session.verify_snapshot());
 }
 
 #[test]

@@ -1,0 +1,353 @@
+//! Batched-commit equivalence: `FdSession::commit` over a batch of `k`
+//! mutations must land on **exactly** the same state as `k` singleton
+//! applies — identical final snapshot (checked against the brute-force
+//! oracle) and the same *net-effect* event set (a set a singleton replay
+//! adds and then retracts inside one batch cancels out) — across
+//! chain/star workloads, plain and ranked sessions, while running only
+//! **one** maintenance pass per batch.
+
+use std::collections::BTreeMap;
+
+use full_disjunction::baselines::brute::oracle_fd;
+use full_disjunction::core::{
+    canonical_rank_order, canonicalize, FMax, FdEvent, FdSession, ImpScores, RankingFunction,
+    TupleSet, VecSink,
+};
+use full_disjunction::relational::{Database, Delta, TupleId, Value};
+use full_disjunction::workloads::{chain, star, DataSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Caps the live database size so the exponential oracle stays fast.
+const MAX_TUPLES: usize = 14;
+
+fn random_value(rng: &mut StdRng, domain: i64) -> Value {
+    if rng.gen_bool(0.12) {
+        Value::Null
+    } else {
+        Value::Int(rng.gen_range(0..domain))
+    }
+}
+
+/// Generates one valid mutation against the given snapshot. `blocked`
+/// holds tuples already deleted earlier in the same pending batch (they
+/// are dead by commit time, so a second delete would poison the whole
+/// transaction).
+fn random_delta(
+    db: &Database,
+    rng: &mut StdRng,
+    payload: i64,
+    blocked: &[TupleId],
+) -> Option<Delta> {
+    let candidates: Vec<TupleId> = db.all_tuples().filter(|t| !blocked.contains(t)).collect();
+    let tuple_count = candidates.len();
+    let do_insert = tuple_count <= 4 || (tuple_count < MAX_TUPLES && rng.gen_bool(0.5));
+    if do_insert {
+        let rel = full_disjunction::relational::RelId(rng.gen_range(0..db.num_relations()) as u16);
+        let arity = db.relation(rel).schema().arity();
+        let mut values: Vec<Value> = (0..arity - 1).map(|_| random_value(rng, 3)).collect();
+        values.push(Value::Int(payload));
+        Some(Delta::Insert { rel, values })
+    } else if tuple_count > 0 {
+        Some(Delta::Delete {
+            tuple: candidates[rng.gen_range(0..tuple_count)],
+        })
+    } else {
+        None
+    }
+}
+
+/// Consolidates an event stream to its net effect: member list → +1 for
+/// a final addition, −1 for a final retraction; add/retract pairs on the
+/// same set cancel.
+fn net_effect(events: &[FdEvent]) -> BTreeMap<Vec<TupleId>, i32> {
+    let mut net: BTreeMap<Vec<TupleId>, i32> = BTreeMap::new();
+    for event in events {
+        let key = event.set().tuples().to_vec();
+        let delta = match event {
+            FdEvent::Added(_) => 1,
+            FdEvent::Retracted(_) => -1,
+        };
+        *net.entry(key).or_insert(0) += delta;
+    }
+    net.retain(|_, v| *v != 0);
+    assert!(
+        net.values().all(|v| v.abs() == 1),
+        "an event stream may move a set by at most one net step"
+    );
+    net
+}
+
+/// The shared churn driver: `steps` batches of up to `batch_k` mutations
+/// each, committed in one pass on `batched` and replayed as singletons
+/// on `singles`; every step checks snapshot equality, the oracle, and
+/// net-effect event equivalence.
+fn batched_churn(
+    mut batched: FdSession<'_>,
+    mut singles: FdSession<'_>,
+    seed: u64,
+    steps: usize,
+    batch_k: usize,
+) {
+    let sink = VecSink::new();
+    batched.subscribe(sink.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut payload = 10_000;
+    let mut pushed_total = 0usize;
+    for step in 0..steps {
+        // Build one batch against the pre-commit snapshot.
+        let k = rng.gen_range(1..=batch_k);
+        let mut batch = batched.begin();
+        let mut deltas: Vec<Delta> = Vec::new();
+        let mut blocked: Vec<TupleId> = Vec::new();
+        for _ in 0..k {
+            let Some(delta) = random_delta(batched.db(), &mut rng, payload, &blocked) else {
+                continue;
+            };
+            payload += 1;
+            if let Delta::Delete { tuple } = delta {
+                blocked.push(tuple);
+            }
+            batch.push(delta.clone());
+            deltas.push(delta);
+        }
+
+        // One pass on the batched session…
+        let commit = batched.commit(batch).expect("valid batch");
+        assert_eq!(
+            batched.maintenance_passes(),
+            (step + 1) as u64,
+            "one pass per commit"
+        );
+
+        // …k passes on the singleton mirror.
+        let mut single_events: Vec<FdEvent> = Vec::new();
+        for delta in deltas {
+            single_events.extend(singles.apply(delta).expect("valid singleton").events);
+        }
+
+        // Identical final snapshot, on both sessions and vs the oracle.
+        assert_eq!(
+            batched.canonical_results(),
+            singles.canonical_results(),
+            "batch and singleton states diverged at step {step}"
+        );
+        assert_eq!(
+            batched.canonical_results(),
+            oracle_fd(batched.db()),
+            "batched state diverged from the oracle at step {step}"
+        );
+
+        // The commit's events are already net (no add+retract pairs)…
+        let batch_net = net_effect(&commit.events);
+        assert_eq!(
+            batch_net.len(),
+            commit.events.len(),
+            "a batched commit must not emit canceling event pairs (step {step})"
+        );
+        // …and equal the singleton stream's consolidation.
+        assert_eq!(
+            batch_net,
+            net_effect(&single_events),
+            "net-effect event sets diverged at step {step}"
+        );
+
+        // Push delivery saw exactly the commit's events, in order.
+        pushed_total += commit.events.len();
+        assert_eq!(sink.events().len(), pushed_total);
+
+        // Ranked sessions: the maintained ranking must equal a
+        // from-scratch rank + sort, and both windows must agree.
+        if let (Some(a), Some(b)) = (batched.ranking(), singles.ranking()) {
+            assert_eq!(a, b, "rankings diverged at step {step}");
+            assert_eq!(batched.window(), singles.window());
+        }
+    }
+    assert!(batched.verify_snapshot());
+    assert!(singles.verify_snapshot());
+}
+
+fn ties_imp(db: &Database) -> ImpScores {
+    // `% 3` makes rank ties common, exercising the canonical tie order;
+    // tuples inserted later rank through the documented default (0.0).
+    ImpScores::from_fn(db, |t| (t.0 % 3) as f64)
+}
+
+#[test]
+fn chain_batch_commit_equals_singleton_applies() {
+    let db = chain(3, &DataSpec::new(3, 3).seed(0xC0FFEE));
+    batched_churn(FdSession::new(db.clone()), FdSession::new(db), 41, 40, 4);
+}
+
+#[test]
+fn star_batch_commit_equals_singleton_applies() {
+    let db = star(3, &DataSpec::new(3, 3).seed(0xBEEF));
+    batched_churn(FdSession::new(db.clone()), FdSession::new(db), 43, 40, 4);
+}
+
+#[test]
+fn ranked_chain_batch_commit_equals_singleton_applies() {
+    let db = chain(3, &DataSpec::new(3, 3).seed(0xFACE));
+    let imp = ties_imp(&db);
+    batched_churn(
+        FdSession::ranked(db.clone(), FMax::new(&imp), 3),
+        FdSession::ranked(db, FMax::new(&imp), 3),
+        47,
+        30,
+        4,
+    );
+}
+
+#[test]
+fn ranked_star_batch_commit_equals_singleton_applies() {
+    let db = star(3, &DataSpec::new(3, 3).seed(0xF00D));
+    let imp = ties_imp(&db);
+    batched_churn(
+        FdSession::ranked(db.clone(), FMax::new(&imp), 3),
+        FdSession::ranked(db, FMax::new(&imp), 3),
+        53,
+        30,
+        4,
+    );
+}
+
+/// A ranked session's window arithmetic, spot-checked end to end: after
+/// a batch that deletes the leader's witness and inserts a higher-ranked
+/// tuple, the window equals the from-scratch top-k of the final state.
+#[test]
+fn ranked_batch_window_matches_from_scratch_sort() {
+    let db = chain(3, &DataSpec::new(4, 2).seed(7));
+    let imp = ties_imp(&db);
+    let mut session = FdSession::ranked(db, FMax::new(&imp), 2);
+    let victims: Vec<TupleId> = session.db().all_tuples().take(2).collect();
+    let mut batch = session.begin();
+    for v in victims {
+        batch.delete(v);
+    }
+    let rel = full_disjunction::relational::RelId(0);
+    let arity = session.db().relation(rel).schema().arity();
+    batch.insert(rel, (0..arity).map(|i| Value::Int(i as i64 % 3)).collect());
+    session.commit(batch).unwrap();
+
+    let f = FMax::new(&imp);
+    let mut scratch: Vec<(TupleSet, f64)> = session
+        .results()
+        .iter()
+        .map(|s| (s.clone(), f.rank(session.db(), s)))
+        .collect();
+    scratch.sort_by(|a, b| canonical_rank_order(a.1, &a.0, b.1, &b.0));
+    assert_eq!(session.ranking().unwrap(), &scratch[..]);
+    assert_eq!(session.window().unwrap(), &scratch[..2.min(scratch.len())]);
+    assert!(session.verify_snapshot());
+}
+
+/// The net-effect guarantee in isolation: one batch whose singleton
+/// replay would add a set and retract it again must surface neither.
+#[test]
+fn intra_batch_churn_cancels_out() {
+    let db = full_disjunction::relational::tourist_database();
+    let mut batched = FdSession::new(db.clone());
+    let mut singles = FdSession::new(db);
+
+    let mut batch = batched.begin();
+    batch
+        .insert(
+            full_disjunction::relational::RelId(1),
+            vec![
+                "Canada".into(),
+                "London".into(),
+                "Fairmont".into(),
+                5.into(),
+            ],
+        )
+        .delete(TupleId(0));
+    let commit = batched.commit(batch).unwrap();
+
+    let mut single_events = Vec::new();
+    single_events.extend(
+        singles
+            .apply(Delta::Insert {
+                rel: full_disjunction::relational::RelId(1),
+                values: vec![
+                    "Canada".into(),
+                    "London".into(),
+                    "Fairmont".into(),
+                    5.into(),
+                ],
+            })
+            .unwrap()
+            .events,
+    );
+    single_events.extend(
+        singles
+            .apply(Delta::Delete { tuple: TupleId(0) })
+            .unwrap()
+            .events,
+    );
+
+    // The singleton replay surfaced at least one set containing c1 + the
+    // Fairmont and retracted it again; the batch never mentions it.
+    let transient = single_events
+        .iter()
+        .any(|e| e.set().contains(TupleId(0)) && e.set().contains(TupleId(10)));
+    assert!(transient, "scenario must actually produce transient sets");
+    assert!(commit
+        .events
+        .iter()
+        .all(|e| !(e.set().contains(TupleId(0)) && e.set().contains(TupleId(10)))));
+    assert_eq!(net_effect(&commit.events), net_effect(&single_events));
+    assert_eq!(batched.canonical_results(), singles.canonical_results());
+    assert_eq!(batched.canonical_results(), oracle_fd(batched.db()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Randomized batch-vs-singleton equivalence over generated chain
+    /// workloads, plain sessions.
+    #[test]
+    fn prop_batch_commit_equals_singleton_applies(
+        seed in 1u64..10_000,
+        rows in 2usize..4,
+        batch_k in 1usize..6,
+    ) {
+        let db = chain(3, &DataSpec::new(rows, 3).seed(seed));
+        batched_churn(
+            FdSession::new(db.clone()),
+            FdSession::new(db),
+            seed ^ 0x5e55,
+            10,
+            batch_k,
+        );
+    }
+
+    /// The same equivalence on star workloads with a maintained ranked
+    /// window.
+    #[test]
+    fn prop_ranked_batch_commit_equals_singleton_applies(
+        seed in 1u64..10_000,
+        batch_k in 1usize..6,
+    ) {
+        let db = star(3, &DataSpec::new(3, 3).seed(seed));
+        let imp = ties_imp(&db);
+        batched_churn(
+            FdSession::ranked(db.clone(), FMax::new(&imp), 3),
+            FdSession::ranked(db, FMax::new(&imp), 3),
+            seed ^ 0xA11,
+            8,
+            batch_k,
+        );
+    }
+}
+
+/// `canonicalize` is pulled in for the oracle comparison helpers above;
+/// keep a direct sanity use so the import carries its weight.
+#[test]
+fn canonicalize_is_idempotent_on_session_results() {
+    let db = chain(3, &DataSpec::new(3, 3).seed(1));
+    let session = FdSession::new(db);
+    let once = canonicalize(session.results().to_vec());
+    let twice = canonicalize(once.clone());
+    assert_eq!(once, twice);
+}
