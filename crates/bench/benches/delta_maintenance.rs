@@ -1,6 +1,6 @@
 //! E14 — delta maintenance vs. full recomputation.
 //!
-//! The `fd-live` pitch in one number: applying one tuple insert through
+//! The live-session pitch in one number: applying one tuple insert through
 //! `delta_insert` (an `FDi` run seeded at `{t}`, Theorem 4.10) must beat
 //! recomputing the entire full disjunction from scratch, and the gap must
 //! widen with database size. Both sides see the identical post-insert

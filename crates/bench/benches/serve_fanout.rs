@@ -1,0 +1,128 @@
+//! E15 — `fd serve` fan-out latency: commit-to-event delivery time.
+//!
+//! The daemon's pitch: a commit lands in one maintenance pass and its
+//! net events are *pushed* to every subscribed client — no polling.
+//! This harness measures that push path end to end over real sockets:
+//! from just before the committing client sends its mutation line to
+//! the instant each subscribed client reads the fanned-out `event`
+//! line, at 1, 8 and 32 subscribers. Inserts use unique join values, so
+//! every commit yields exactly one event and the numbers isolate the
+//! serve/fan-out overhead rather than maintenance-pass cost (E14 covers
+//! that axis).
+//!
+//! Run once and commit the output:
+//!
+//! ```sh
+//! cargo bench --bench serve_fanout > BENCH_serve.json
+//! ```
+
+use fd_core::serve::{Client, Server};
+use fd_core::FdSession;
+use fd_relational::tourist_database;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Commits measured per subscriber count (after warmup).
+const COMMITS: usize = 100;
+
+/// Commits discarded up front (thread spin-up, allocator warmup).
+const WARMUP: usize = 5;
+
+fn percentile(sorted_nanos: &[u128], p: f64) -> f64 {
+    let idx = ((sorted_nanos.len() as f64 * p).ceil() as usize)
+        .saturating_sub(1)
+        .min(sorted_nanos.len() - 1);
+    sorted_nanos[idx] as f64 / 1_000.0 // µs
+}
+
+/// One configuration: a fresh daemon, `clients` subscribed connections,
+/// one committer issuing singleton inserts. Returns the sorted
+/// commit-to-event latencies (nanoseconds), one sample per subscriber
+/// per measured commit — the committer waits for every subscriber's
+/// stamp before the next commit, so samples never cross commits.
+fn fanout_latencies(clients: usize) -> Vec<u128> {
+    let server = Server::start(FdSession::new(tourist_database()), "127.0.0.1:0")
+        .expect("bind ephemeral port");
+    let addr = server.addr();
+
+    let (tx, rx) = mpsc::channel::<Instant>();
+    let mut subscribers = Vec::with_capacity(clients);
+    for _ in 0..clients {
+        let mut client = Client::connect(addr).expect("connect");
+        client.read_response().expect("greeting");
+        client.request("subscribe").expect("subscribe");
+        let tx = tx.clone();
+        subscribers.push(std::thread::spawn(move || {
+            // Stamp every pushed event line on receipt; EOF (daemon
+            // shutdown) ends the loop.
+            while let Ok(Some(line)) = client.read_line() {
+                if line.starts_with("event ") {
+                    let _ = tx.send(Instant::now());
+                }
+            }
+        }));
+    }
+    drop(tx);
+
+    let mut committer = Client::connect(addr).expect("connect");
+    committer.read_response().expect("greeting");
+    let mut latencies = Vec::with_capacity(COMMITS * clients);
+    for i in 0..WARMUP + COMMITS {
+        let sent = Instant::now();
+        let reply = committer
+            .request(&format!("insert Climates | Bench-{i} | arid"))
+            .expect("insert");
+        assert!(reply[0].starts_with("ok inserted"), "{reply:?}");
+        for _ in 0..clients {
+            let stamp = rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("event delivery");
+            if i >= WARMUP {
+                latencies.push(stamp.saturating_duration_since(sent).as_nanos());
+            }
+        }
+    }
+
+    committer.request("shutdown").expect("shutdown");
+    server.wait().expect("clean daemon exit");
+    for sub in subscribers {
+        sub.join().expect("subscriber thread");
+    }
+    latencies.sort_unstable();
+    latencies
+}
+
+fn main() {
+    // harness = false: cargo's --bench flag (and friends) need no parsing.
+    let mut rows = Vec::new();
+    for &clients in &[1usize, 8, 32] {
+        let lat = fanout_latencies(clients);
+        let p50 = percentile(&lat, 0.50);
+        let p99 = percentile(&lat, 0.99);
+        let max = *lat.last().expect("samples") as f64 / 1_000.0;
+        eprintln!(
+            "serve_fanout: {clients:>2} client(s)  p50 {p50:>8.1} µs  p99 {p99:>8.1} µs  \
+             max {max:>8.1} µs  ({} samples)",
+            lat.len()
+        );
+        rows.push(format!(
+            "    {{ \"clients\": {clients}, \"samples\": {}, \"p50_us\": {p50:.1}, \
+             \"p99_us\": {p99:.1}, \"max_us\": {max:.1} }}",
+            lat.len()
+        ));
+    }
+    println!("{{");
+    println!("  \"bench\": \"serve_fanout\",");
+    println!(
+        "  \"description\": \"fd serve commit-to-event latency: from the committing client \
+         sending a singleton insert to each subscribed client reading the pushed event line, \
+         over loopback TCP\","
+    );
+    println!("  \"database\": \"tourist example + unique singleton inserts\",");
+    println!("  \"warmup_commits\": {WARMUP},");
+    println!("  \"measured_commits\": {COMMITS},");
+    println!("  \"configs\": [");
+    println!("{}", rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

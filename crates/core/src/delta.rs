@@ -25,7 +25,7 @@
 //!   non-extendable and not already present.
 //!
 //! Both functions are pure: database + previous results in, delta out.
-//! The `fd-live` crate layers the stateful subscription engine on top.
+//! The session layer (`crate::session`) builds the stateful subscription engine on top.
 
 use crate::getnext::{get_next_result, ScanScope};
 use crate::incremental::FdConfig;
@@ -361,7 +361,7 @@ mod tests {
         FdIter::new(db).collect()
     }
 
-    /// Applies a delta to a materialized result list the way `fd-live`
+    /// Applies a delta to a materialized result list the way a live session
     /// does, so the invariant `apply(delta(FD_old)) == FD_new` is checked
     /// against a from-scratch recomputation.
     fn apply_insert(previous: &[TupleSet], d: &InsertDelta) -> Vec<TupleSet> {

@@ -61,6 +61,7 @@ pub mod priority;
 pub mod query;
 pub mod ranked_approx;
 pub mod ranking;
+pub mod serve;
 pub mod session;
 pub mod sim;
 
@@ -77,8 +78,9 @@ pub use ranking::{
     canonical_rank_order, FMax, FPairSum, FSum, FTriple, ImpScores, MonotoneCDetermined,
     RankingFunction,
 };
+pub use serve::{AttrMax, ServeError, Server, SessionHandle};
 pub use session::{
-    ChannelSink, Commit, DeltaBatch, EventSink, FdEvent, FdSession, TopKUpdate, VecSink,
+    ChannelSink, Commit, DeltaBatch, EventSink, FdEvent, FdSession, SinkId, TopKUpdate, VecSink,
 };
 pub use sim::{EditDistanceSim, ExactSim, Similarity, TableSim};
 pub use stats::Stats;

@@ -4,7 +4,8 @@
 //! `INCREMENTALFD`, `PRIORITYINCREMENTALFD` and `APPROXINCREMENTALFD`
 //! share one `GETNEXTRESULT` core; [`FdQuery`] exposes them — batch,
 //! streaming, ranked top-k/threshold, approximate, ranked-approximate,
-//! parallel, and (through `fd-live`) delta/live maintenance — behind a
+//! parallel, and (through [`FdSession`](crate::session::FdSession))
+//! delta/live maintenance — behind a
 //! single chainable builder, the way ranked-enumeration systems expose
 //! one parameterized interface over many strategies:
 //!
@@ -67,8 +68,10 @@ use fd_relational::{Database, TupleId};
 use std::collections::VecDeque;
 
 /// A dynamically dispatched ranking function, as stored by [`FdQuery`].
-/// `Sync` so the parallel ranked plan can share it across workers.
-pub type BoxedRanking<'q> = Box<dyn MonotoneCDetermined + Sync + 'q>;
+/// `Sync` so the parallel ranked plan can share it across workers, and
+/// `Send` so a ranked session built from a query can cross threads (the
+/// `fd serve` daemon shares one session among all its connections).
+pub type BoxedRanking<'q> = Box<dyn MonotoneCDetermined + Send + Sync + 'q>;
 
 /// A dynamically dispatched approximate join function, as stored by
 /// [`FdQuery`]. `Sync` so the parallel plans can share it across workers.
@@ -159,7 +162,7 @@ impl<'q> FdQuery<'q> {
     ///
     /// Emission is deterministic: answers of equal rank arrive in
     /// canonical (member-id) order, for every engine and thread count.
-    pub fn ranked(mut self, f: impl MonotoneCDetermined + Sync + 'q) -> Self {
+    pub fn ranked(mut self, f: impl MonotoneCDetermined + Send + Sync + 'q) -> Self {
         self.ranking = Some(Box::new(f));
         self
     }
@@ -216,7 +219,7 @@ impl<'q> FdQuery<'q> {
         self.mode().map(|_| ())
     }
 
-    /// Deconstructs the builder for downstream engines (`fd-live`).
+    /// Deconstructs the builder for downstream engines (session assembly).
     pub fn into_parts(self) -> QueryParts<'q> {
         QueryParts {
             db: self.db,
@@ -477,7 +480,7 @@ impl std::fmt::Debug for FdQuery<'_> {
 }
 
 /// The deconstructed fields of an [`FdQuery`], for engines that layer on
-/// top of the builder (e.g. `fd-live`'s `LiveFd::from_query`).
+/// top of the builder (e.g. [`FdQuery::session`]'s session assembly).
 pub struct QueryParts<'q> {
     /// The database the query was built over.
     pub db: &'q Database,

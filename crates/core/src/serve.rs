@@ -1,0 +1,1222 @@
+//! `fd serve` — the network daemon over [`FdSession`].
+//!
+//! PR 5 collapsed the live surface into one transactional session with
+//! push-based [`EventSink`] subscribers precisely so a server could sit
+//! directly on it; this module is that server. The ranked-enumeration
+//! line of work frames the consumer side as a *query-serving* primitive
+//! — first results in milliseconds over a long-lived connection — and
+//! the pieces here map onto that frame one-to-one:
+//!
+//! * [`SessionHandle`] — a poison-safe `Arc<Mutex<FdSession<'static>>>`
+//!   every connection thread shares. Commits serialize through the one
+//!   session, so each lands in exactly **one** maintenance pass and all
+//!   subscribers observe the same commit order.
+//! * [`Server`] — a std-`TcpListener` daemon, one thread per connection
+//!   plus per-subscriber forwarding threads; no runtime dependencies.
+//! * The wire protocol — line-oriented text, a superset of the `fd
+//!   watch` REPL grammar ([`parse_command`]), framed by
+//!   [`fd_relational::textio`]'s quote/escape discipline (one value, one
+//!   line — a row never contains a raw newline).
+//! * [`Client`] — a small blocking client the CLI's `fd connect`
+//!   subcommand and the integration tests drive.
+//!
+//! ## Wire protocol
+//!
+//! Every request is one line; every reply is a block of zero or more
+//! payload lines (indented two spaces) terminated by exactly one status
+//! line, `ok …` or `error …`. Commits additionally fan out to every
+//! subscribed connection as asynchronous `event + {…}` / `event - {…}`
+//! lines, which may interleave *between* reply blocks but never inside
+//! one (replies and events go through one per-connection writer lock).
+//!
+//! ```text
+//! insert REL | V1 | V2 ...   apply (or queue) an insert
+//! delete tN                  apply (or queue) a delete
+//! begin / commit / abort     transaction control, as in fd watch
+//! show                       every current result, canonical order
+//! top                        the ranked top-k window (ranked daemons)
+//! stats                      result/pass/subscriber counters
+//! subscribe / unsubscribe    start/stop the event feed to this client
+//! quit                       close this connection
+//! shutdown                   stop the daemon (flushes in-flight events)
+//! ```
+//!
+//! A malformed line earns an `error protocol: …` reply — never a panic,
+//! never a disconnect of *other* clients. A subscriber whose socket died
+//! is reaped via [`FdSession::unsubscribe`] on the first failed write.
+
+use crate::error::FdError;
+use crate::ranking::RankingFunction;
+use crate::session::{Commit, EventSink, FdSession, SinkId};
+use crate::tupleset::TupleSet;
+use fd_relational::{textio, AttrId, Database, DeltaBatch, TupleId, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a connection thread blocks in `read` before re-checking the
+/// shutdown flag. Bounds both shutdown latency and the cost of idle
+/// connections (one wakeup per interval).
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// The one-line command summary quoted in protocol error replies and
+/// the connection greeting.
+pub const GRAMMAR: &str =
+    "insert REL | V.. / delete tN / begin / commit / abort / show / top / stats / \
+     subscribe / unsubscribe / quit / shutdown";
+
+// ---------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------
+
+/// Why a serve-side operation failed. Wraps [`FdError`] so query/session
+/// failures keep their typed cause ([`std::error::Error::source`]);
+/// the transport and protocol layers get variants of their own instead
+/// of stringly-typed formatting.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket operation failed.
+    Io {
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A peer (or a config value) violated the wire protocol.
+    Protocol {
+        /// What was malformed.
+        reason: String,
+    },
+    /// The shared session mutex was poisoned — a thread panicked while
+    /// holding the session. The daemon refuses to touch the state
+    /// rather than unwrap and propagate the panic.
+    SessionPoisoned,
+    /// The session rejected the operation (e.g. a bad mutation batch).
+    Query {
+        /// The session's typed rejection.
+        source: FdError,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io { source } => write!(f, "i/o: {source}"),
+            ServeError::Protocol { reason } => write!(f, "protocol: {reason}"),
+            ServeError::SessionPoisoned => {
+                write!(f, "session poisoned: a server thread panicked mid-commit")
+            }
+            ServeError::Query { source } => write!(f, "{source}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io { source } => Some(source),
+            ServeError::Query { source } => Some(source),
+            ServeError::Protocol { .. } | ServeError::SessionPoisoned => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(source: std::io::Error) -> Self {
+        ServeError::Io { source }
+    }
+}
+
+impl From<FdError> for ServeError {
+    fn from(source: FdError) -> Self {
+        ServeError::Query { source }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------
+
+/// One parsed wire command. The grammar is a superset of the `fd watch`
+/// REPL (`fd watch` scripts are valid `fd connect` scripts).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `insert REL | V1 | V2 ...`
+    Insert {
+        /// The target relation, by name (resolved against the session).
+        rel: String,
+        /// The row, parsed under [`textio`]'s quoting rules.
+        values: Vec<Value>,
+    },
+    /// `delete tN` (or `delete N`).
+    Delete(TupleId),
+    /// `begin` — open a transaction; mutations queue until `commit`.
+    Begin,
+    /// `commit` — land the queued batch in one maintenance pass.
+    Commit,
+    /// `abort` — discard the queued batch.
+    Abort,
+    /// `show` — every current result, canonical order.
+    Show,
+    /// `top` — the ranked window (ranked daemons only).
+    Top,
+    /// `stats` — result/pass/subscriber counters.
+    Stats,
+    /// `subscribe` — start the event feed to this connection.
+    Subscribe,
+    /// `unsubscribe` — stop the event feed.
+    Unsubscribe,
+    /// `quit` / `exit` — close this connection.
+    Quit,
+    /// `shutdown` — stop the whole daemon.
+    Shutdown,
+}
+
+/// Why a line failed to parse as a [`Command`]. Structured so each front
+/// end renders its own wording: `fd watch` keeps its historical
+/// (golden-pinned) messages, the daemon replies `error protocol: …`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The first word is not a command.
+    Unknown {
+        /// The offending line.
+        cmd: String,
+    },
+    /// A known command with malformed arguments.
+    Usage {
+        /// The expected form.
+        usage: &'static str,
+    },
+    /// `delete` with a token that is not `tN` or `N`.
+    BadTupleId {
+        /// The offending token.
+        token: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Unknown { cmd } => write!(f, "unknown command: {cmd}"),
+            ParseError::Usage { usage } => write!(f, "usage: {usage}"),
+            ParseError::BadTupleId { token } => write!(f, "bad tuple id: {token}"),
+        }
+    }
+}
+
+/// Parses one line of the wire protocol (also the `fd watch` REPL
+/// grammar). Leading/trailing whitespace is ignored; blank lines and
+/// `#` comments are the caller's business (both front ends skip them
+/// before parsing).
+pub fn parse_command(line: &str) -> Result<Command, ParseError> {
+    let cmd = line.trim();
+    match cmd {
+        "begin" => return Ok(Command::Begin),
+        "commit" => return Ok(Command::Commit),
+        "abort" => return Ok(Command::Abort),
+        "show" => return Ok(Command::Show),
+        "top" => return Ok(Command::Top),
+        "stats" => return Ok(Command::Stats),
+        "subscribe" => return Ok(Command::Subscribe),
+        "unsubscribe" => return Ok(Command::Unsubscribe),
+        "quit" | "exit" => return Ok(Command::Quit),
+        "shutdown" => return Ok(Command::Shutdown),
+        _ => {}
+    }
+    if let Some(rest) = cmd.strip_prefix("insert ") {
+        let (rel, row) = rest.split_once('|').ok_or(ParseError::Usage {
+            usage: "insert REL | V1 | V2 ...",
+        })?;
+        return Ok(Command::Insert {
+            rel: rel.trim().to_owned(),
+            values: textio::parse_row(row),
+        });
+    }
+    if let Some(rest) = cmd.strip_prefix("delete ") {
+        let token = rest.trim();
+        let raw: u32 = token
+            .strip_prefix('t')
+            .unwrap_or(token)
+            .parse()
+            .map_err(|_| ParseError::BadTupleId {
+                token: token.to_owned(),
+            })?;
+        return Ok(Command::Delete(TupleId(raw)));
+    }
+    Err(ParseError::Unknown {
+        cmd: cmd.to_owned(),
+    })
+}
+
+/// Is this reply line a status line (the terminator of a reply block)?
+pub fn is_status(line: &str) -> bool {
+    line == "ok" || line == "error" || line.starts_with("ok ") || line.starts_with("error ")
+}
+
+// ---------------------------------------------------------------------
+// SessionHandle — the shared-state core
+// ---------------------------------------------------------------------
+
+/// The shared, thread-safe handle every server component works through:
+/// a clonable `Arc<Mutex<FdSession<'static>>>` whose lock acquisition is
+/// poison-safe — a panicking holder turns later calls into
+/// [`ServeError::SessionPoisoned`] instead of a propagated panic.
+#[derive(Debug, Clone)]
+pub struct SessionHandle {
+    inner: Arc<Mutex<FdSession<'static>>>,
+}
+
+impl SessionHandle {
+    /// Wraps an owned session for sharing across threads.
+    pub fn new(session: FdSession<'static>) -> Self {
+        SessionHandle {
+            inner: Arc::new(Mutex::new(session)),
+        }
+    }
+
+    /// Runs `f` under the session lock. The building block of every
+    /// other method; exposed so callers (tests, the CLI) can read any
+    /// session state without a per-accessor wrapper.
+    pub fn with<R>(&self, f: impl FnOnce(&mut FdSession<'static>) -> R) -> Result<R, ServeError> {
+        let mut guard = self.inner.lock().map_err(|_| ServeError::SessionPoisoned)?;
+        Ok(f(&mut guard))
+    }
+
+    /// Commits a batch through the shared session: one maintenance pass,
+    /// subscribers notified under the lock (so every subscriber sees
+    /// every commit exactly once, in commit order).
+    pub fn commit(&self, batch: DeltaBatch) -> Result<Commit, ServeError> {
+        self.with(|s| s.commit(batch))?.map_err(ServeError::from)
+    }
+
+    /// Registers a per-client event queue: a [`Subscription`] whose
+    /// receiver yields one [`CommitLabels`] per subsequent commit, with
+    /// the events already rendered (`+ {…}` / `- {…}`) — the consumer
+    /// never needs the session lock to format its feed.
+    pub fn subscribe(&self) -> Result<Subscription, ServeError> {
+        let (tx, rx) = mpsc::channel();
+        let id = self.with(|s| s.subscribe(LabelSink { tx }))?;
+        Ok(Subscription { id, rx })
+    }
+
+    /// Deregisters a subscriber, closing its channel (the receiver loop
+    /// ends after draining). Double-unsubscribe is not an error, so a
+    /// departing client and its forwarding thread can both reap.
+    pub fn unsubscribe(&self, id: SinkId) -> Result<bool, ServeError> {
+        self.with(|s| s.unsubscribe(id))
+    }
+}
+
+/// The rendered net effect of one commit, as delivered to a
+/// [`Subscription`]: one `+ {…}` / `- {…}` label per [`FdEvent`]
+/// (retractions first), rendered against the post-commit database.
+///
+/// [`FdEvent`]: crate::session::FdEvent
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitLabels {
+    /// The event labels, in event order.
+    pub labels: Vec<String>,
+}
+
+/// A per-client event queue created by [`SessionHandle::subscribe`].
+#[derive(Debug)]
+pub struct Subscription {
+    id: SinkId,
+    rx: mpsc::Receiver<CommitLabels>,
+}
+
+impl Subscription {
+    /// The sink id to pass to [`SessionHandle::unsubscribe`].
+    pub fn id(&self) -> SinkId {
+        self.id
+    }
+
+    /// The receiving end of the queue.
+    pub fn receiver(&self) -> &mpsc::Receiver<CommitLabels> {
+        &self.rx
+    }
+
+    /// Splits the subscription for a forwarding thread that owns the
+    /// receiver while the connection keeps the id.
+    pub fn into_parts(self) -> (SinkId, mpsc::Receiver<CommitLabels>) {
+        (self.id, self.rx)
+    }
+}
+
+/// The [`EventSink`] behind a [`Subscription`]: renders each commit's
+/// events under the session lock (where the post-commit database is at
+/// hand) and queues the labels. Send errors are ignored — a hung-up
+/// receiver must not take the commit down; the forwarder reaps itself.
+struct LabelSink {
+    tx: mpsc::Sender<CommitLabels>,
+}
+
+impl EventSink for LabelSink {
+    fn on_event(&mut self, _event: &crate::session::FdEvent) {}
+
+    fn on_commit(&mut self, commit: &Commit, db: &Database) {
+        let labels = commit.events.iter().map(|e| e.label(db)).collect();
+        let _ = self.tx.send(CommitLabels { labels });
+    }
+}
+
+// ---------------------------------------------------------------------
+// AttrMax — an owned ranking function for 'static sessions
+// ---------------------------------------------------------------------
+
+/// `f_max` over one numeric attribute, evaluated **live**: the rank of a
+/// set is the maximum of the attribute's value over its member tuples
+/// (missing / non-numeric ⇒ 0). Unlike [`FMax`] — which borrows a
+/// frozen [`ImpScores`] table and therefore cannot outlive it — this
+/// ranking owns its state, so a ranked [`FdSession`] built from it is
+/// `'static` and can be served across threads; tuples inserted later
+/// rank by their real attribute value instead of a frozen default.
+///
+/// [`FMax`]: crate::ranking::FMax
+/// [`ImpScores`]: crate::ranking::ImpScores
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttrMax {
+    attr: AttrId,
+}
+
+impl AttrMax {
+    /// Ranks by the attribute named `attr` of `db`.
+    pub fn new(db: &Database, attr: &str) -> Result<Self, ServeError> {
+        let attr = db.attr_id(attr).map_err(|_| ServeError::Protocol {
+            reason: format!("unknown attribute '{attr}'"),
+        })?;
+        Ok(AttrMax { attr })
+    }
+
+    /// The ranked attribute.
+    pub fn attr(&self) -> AttrId {
+        self.attr
+    }
+}
+
+impl RankingFunction for AttrMax {
+    fn rank(&self, db: &Database, set: &TupleSet) -> f64 {
+        set.tuples()
+            .iter()
+            .map(|&t| match db.tuple_value(t, self.attr) {
+                Some(Value::Int(i)) => *i as f64,
+                Some(Value::Float(f)) => *f,
+                _ => 0.0,
+            })
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+/// What the accept loop and every connection thread share.
+struct Shared {
+    handle: SessionHandle,
+    shutdown: AtomicBool,
+}
+
+/// The `fd serve` daemon: accepts connections on a TCP address and
+/// speaks the wire protocol over each, all against one shared session.
+///
+/// ```no_run
+/// use fd_core::serve::{Client, Server};
+/// use fd_core::FdSession;
+/// use fd_relational::tourist_database;
+///
+/// let server = Server::start(FdSession::new(tourist_database()), "127.0.0.1:0")?;
+/// let mut client = Client::connect(server.addr())?;
+/// client.send("show")?;
+/// server.stop()?;
+/// # Ok::<(), fd_core::serve::ServeError>(())
+/// ```
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("shutdown", &self.shared.shutdown.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port — [`addr`](Self::addr)
+    /// reports the bound one) and starts accepting connections against
+    /// `session`.
+    pub fn start(
+        session: FdSession<'static>,
+        addr: impl ToSocketAddrs,
+    ) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            handle: SessionHandle::new(session),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        Ok(Server {
+            addr,
+            shared,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves `:0` requests to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A clone of the shared session handle (for in-process inspection —
+    /// e.g. comparing the served state against an oracle).
+    pub fn handle(&self) -> SessionHandle {
+        self.shared.handle.clone()
+    }
+
+    /// Has a `shutdown` command (or [`trigger_shutdown`](Self::trigger_shutdown))
+    /// been issued?
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Asks the daemon to stop, as the `shutdown` wire command does.
+    /// Returns immediately; [`wait`](Self::wait) observes the exit.
+    pub fn trigger_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until the daemon exits (a `shutdown` command arrived), then
+    /// joins every connection thread — in-flight replies and subscriber
+    /// queues are flushed, not dropped.
+    pub fn wait(mut self) -> Result<(), ServeError> {
+        if let Some(h) = self.accept.take() {
+            h.join().map_err(|_| ServeError::SessionPoisoned)?;
+        }
+        Ok(())
+    }
+
+    /// [`trigger_shutdown`](Self::trigger_shutdown) + [`wait`](Self::wait).
+    pub fn stop(self) -> Result<(), ServeError> {
+        self.trigger_shutdown();
+        self.wait()
+    }
+}
+
+/// The accept loop: non-blocking accept + shutdown polling, one spawned
+/// thread per connection; joins the live ones on exit so shutdown
+/// flushes every connection.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(&shared);
+                conns.push(std::thread::spawn(move || {
+                    // Connection errors end that connection only.
+                    let _ = serve_connection(stream, &shared);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+        // Detach finished threads so a long-lived daemon doesn't hoard
+        // handles; live ones are joined below on shutdown.
+        conns.retain(|h| !h.is_finished());
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// A connection's writer: shared between the command loop (reply
+/// blocks) and the forwarding thread (event lines). Lock poisoning is
+/// deliberately forgiven — a panicking writer leaves bytes, not broken
+/// invariants.
+type SharedWriter = Arc<Mutex<TcpStream>>;
+
+fn write_block(writer: &SharedWriter, text: &str) -> std::io::Result<()> {
+    let mut w = writer.lock().unwrap_or_else(|p| p.into_inner());
+    w.write_all(text.as_bytes())
+}
+
+/// Per-connection protocol state.
+struct Conn<'s> {
+    shared: &'s Shared,
+    writer: SharedWriter,
+    pending: Option<DeltaBatch>,
+    sub: Option<(SinkId, JoinHandle<()>)>,
+}
+
+/// What the command loop should do after a reply.
+enum Flow {
+    Continue,
+    Close,
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) -> Result<(), ServeError> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    // Replies and event fan-out are latency-sensitive small writes;
+    // Nagle + delayed ACK would park each behind a ~40 ms timer.
+    stream.set_nodelay(true)?;
+    let writer: SharedWriter = Arc::new(Mutex::new(stream.try_clone()?));
+    let mut reader = BufReader::new(stream);
+    let mut conn = Conn {
+        shared,
+        writer,
+        pending: None,
+        sub: None,
+    };
+
+    let greeting = conn
+        .shared
+        .handle
+        .with(|s| format!("ok fd serve ({} results); commands: {GRAMMAR}\n", s.len()));
+    match greeting {
+        Ok(text) => write_block(&conn.writer, &text)?,
+        Err(_) => {
+            let _ = write_block(&conn.writer, "error session poisoned\n");
+            return Err(ServeError::SessionPoisoned);
+        }
+    }
+
+    // The line reader: bytes accumulate in `buf` across read timeouts
+    // (a timeout mid-line must not drop the partial line), and every
+    // timeout re-checks the shutdown flag.
+    let mut buf: Vec<u8> = Vec::new();
+    let outcome = loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            break Ok(());
+        }
+        match reader.read_until(b'\n', &mut buf) {
+            Ok(0) => break Ok(()), // EOF
+            Ok(_) => {
+                let at_eof = buf.last() != Some(&b'\n');
+                let line = String::from_utf8_lossy(&buf).trim().to_string();
+                buf.clear();
+                if !(line.is_empty() || line.starts_with('#')) {
+                    match conn.execute(&line) {
+                        Ok(Flow::Continue) => {}
+                        Ok(Flow::Close) => break Ok(()),
+                        Err(e) => break Err(e),
+                    }
+                }
+                if at_eof {
+                    break Ok(()); // final line arrived without a newline
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle (or mid-line) poll tick; loop re-checks shutdown.
+            }
+            Err(e) => break Err(ServeError::from(e)),
+        }
+    };
+
+    conn.cleanup();
+    outcome
+}
+
+impl Conn<'_> {
+    /// Executes one command line: writes exactly one reply block and
+    /// says whether the connection stays open. `Err` means the reply
+    /// could not be written (or the session is poisoned) — only then
+    /// does the connection die.
+    fn execute(&mut self, line: &str) -> Result<Flow, ServeError> {
+        let cmd = match parse_command(line) {
+            Ok(cmd) => cmd,
+            Err(ParseError::Unknown { cmd }) => {
+                self.reply(&format!(
+                    "error protocol: unknown command: {cmd} ({GRAMMAR})"
+                ))?;
+                return Ok(Flow::Continue);
+            }
+            Err(e) => {
+                self.reply(&format!("error protocol: {e}"))?;
+                return Ok(Flow::Continue);
+            }
+        };
+        match cmd {
+            Command::Insert { rel, values } => self.insert(&rel, values),
+            Command::Delete(tuple) => self.delete(tuple),
+            Command::Begin => {
+                if self.pending.is_some() {
+                    self.reply("error transaction already open (commit or abort first)")?;
+                } else {
+                    self.pending = Some(DeltaBatch::new());
+                    self.reply("ok begin (mutations now queue until commit)")?;
+                }
+                Ok(Flow::Continue)
+            }
+            Command::Commit => self.commit(),
+            Command::Abort => {
+                match self.pending.take() {
+                    None => self.reply("error no open transaction (begin first)")?,
+                    Some(batch) => self.reply(&format!(
+                        "ok aborted ({} queued mutation(s) discarded)",
+                        batch.len()
+                    ))?,
+                }
+                Ok(Flow::Continue)
+            }
+            Command::Show => {
+                let lines = self.session(|s| {
+                    s.canonical_results()
+                        .iter()
+                        .map(|set| format!("  {}", set.label(s.db())))
+                        .collect::<Vec<_>>()
+                })?;
+                let n = lines.len();
+                self.reply_block(lines, &format!("ok {n} result(s)"))?;
+                Ok(Flow::Continue)
+            }
+            Command::Top => {
+                let window = self.session(|s| {
+                    s.window().map(|w| {
+                        (
+                            w.iter()
+                                .map(|(set, rank)| {
+                                    format!("  rank {rank:>8.3}  {}", set.label(s.db()))
+                                })
+                                .collect::<Vec<_>>(),
+                            s.len(),
+                        )
+                    })
+                })?;
+                match window {
+                    None => self.reply(
+                        "error not a ranked session (start fd serve with --rank-by/--top)",
+                    )?,
+                    Some((lines, total)) => {
+                        let k = lines.len();
+                        self.reply_block(lines, &format!("ok top {k} of {total}"))?;
+                    }
+                }
+                Ok(Flow::Continue)
+            }
+            Command::Stats => {
+                let (n, passes, subs) =
+                    self.session(|s| (s.len(), s.maintenance_passes(), s.num_subscribers()))?;
+                self.reply(&format!(
+                    "ok results={n} passes={passes} subscribers={subs}"
+                ))?;
+                Ok(Flow::Continue)
+            }
+            Command::Subscribe => self.subscribe(),
+            Command::Unsubscribe => {
+                match self.sub.take() {
+                    None => self.reply("error not subscribed")?,
+                    Some((id, forwarder)) => {
+                        // Dropping the sink closes the channel; the
+                        // forwarder drains what's queued, then exits —
+                        // unsubscribe never loses an already-committed
+                        // event.
+                        let _ = self.shared.handle.unsubscribe(id)?;
+                        let _ = forwarder.join();
+                        self.reply(&format!("ok unsubscribed {id}"))?;
+                    }
+                }
+                Ok(Flow::Continue)
+            }
+            Command::Quit => {
+                self.reply("ok bye")?;
+                Ok(Flow::Close)
+            }
+            Command::Shutdown => {
+                self.reply("ok shutting down")?;
+                self.shared.shutdown.store(true, Ordering::Relaxed);
+                Ok(Flow::Close)
+            }
+        }
+    }
+
+    /// Runs `f` under the session lock, rendering a poisoned session as
+    /// a terminal reply.
+    fn session<R>(&self, f: impl FnOnce(&mut FdSession<'static>) -> R) -> Result<R, ServeError> {
+        match self.shared.handle.with(f) {
+            Ok(r) => Ok(r),
+            Err(e) => {
+                let _ = write_block(&self.writer, &format!("error {e}\n"));
+                Err(e)
+            }
+        }
+    }
+
+    fn reply(&self, status: &str) -> Result<(), ServeError> {
+        write_block(&self.writer, &format!("{status}\n")).map_err(ServeError::from)
+    }
+
+    /// Writes payload lines + status as ONE block under the writer lock,
+    /// so concurrent event fan-out never interleaves into a reply.
+    fn reply_block(&self, lines: Vec<String>, status: &str) -> Result<(), ServeError> {
+        let mut text = String::new();
+        for line in &lines {
+            text.push_str(line);
+            text.push('\n');
+        }
+        text.push_str(status);
+        text.push('\n');
+        write_block(&self.writer, &text).map_err(ServeError::from)
+    }
+
+    fn insert(&mut self, rel_name: &str, values: Vec<Value>) -> Result<Flow, ServeError> {
+        let resolved = self.session(|s| {
+            s.db()
+                .relation_by_name(rel_name)
+                .map(|r| (r.id(), r.name().to_owned()))
+                .map_err(|e| e.to_string())
+        })?;
+        let (rel, rel_name) = match resolved {
+            Ok(pair) => pair,
+            Err(msg) => {
+                self.reply(&format!("error {msg}"))?;
+                return Ok(Flow::Continue);
+            }
+        };
+        if let Some(batch) = &mut self.pending {
+            batch.insert(rel, values);
+            let n = batch.len();
+            self.reply(&format!("ok queued insert into {rel_name} ({n} pending)"))?;
+            return Ok(Flow::Continue);
+        }
+        let applied = self.session(|s| {
+            s.apply(fd_relational::Delta::Insert { rel, values })
+                .map(|commit| {
+                    let label = s.db().tuple_label(commit.inserted()[0]);
+                    (label, commit.events.len())
+                })
+        })?;
+        match applied {
+            Ok((label, events)) => self.reply(&format!(
+                "ok inserted {label} into {rel_name}; {events} event(s)"
+            ))?,
+            Err(e) => self.reply(&format!("error {e}"))?,
+        }
+        Ok(Flow::Continue)
+    }
+
+    fn delete(&mut self, tuple: TupleId) -> Result<Flow, ServeError> {
+        if let Some(batch) = &mut self.pending {
+            batch.delete(tuple);
+            let n = batch.len();
+            self.reply(&format!("ok queued delete t{} ({n} pending)", tuple.0))?;
+            return Ok(Flow::Continue);
+        }
+        let applied = self.session(|s| {
+            s.apply(fd_relational::Delta::Delete { tuple })
+                .map(|commit| {
+                    // Tombstones retain row data, so the label still renders.
+                    (s.db().tuple_label(tuple), commit.events.len())
+                })
+        })?;
+        match applied {
+            Ok((label, events)) => self.reply(&format!("ok deleted {label}; {events} event(s)"))?,
+            Err(e) => self.reply(&format!("error {e}"))?,
+        }
+        Ok(Flow::Continue)
+    }
+
+    fn commit(&mut self) -> Result<Flow, ServeError> {
+        let Some(batch) = self.pending.take() else {
+            self.reply("error no open transaction (begin first)")?;
+            return Ok(Flow::Continue);
+        };
+        let n = batch.len();
+        let committed = self.session(|s| s.commit(batch))?;
+        match committed {
+            Ok(commit) => self.reply(&format!(
+                "ok committed {} mutation(s) in 1 maintenance pass; {} event(s)",
+                commit.changes.len(),
+                commit.events.len()
+            ))?,
+            Err(e) => self.reply(&format!("error {e} (batch of {n} discarded)"))?,
+        }
+        Ok(Flow::Continue)
+    }
+
+    fn subscribe(&mut self) -> Result<Flow, ServeError> {
+        if let Some((id, _)) = &self.sub {
+            let id = *id;
+            self.reply(&format!("error already subscribed ({id})"))?;
+            return Ok(Flow::Continue);
+        }
+        let sub = match self.shared.handle.subscribe() {
+            Ok(sub) => sub,
+            Err(e) => {
+                let _ = write_block(&self.writer, &format!("error {e}\n"));
+                return Err(e);
+            }
+        };
+        let id = sub.id();
+        let writer = Arc::clone(&self.writer);
+        let handle = self.shared.handle.clone();
+        let forwarder = std::thread::spawn(move || forward_events(sub, writer, handle));
+        self.sub = Some((id, forwarder));
+        self.reply(&format!("ok subscribed {id}"))?;
+        Ok(Flow::Continue)
+    }
+
+    /// Disconnect path: reap the subscription (if any) and flush its
+    /// queue by joining the forwarder.
+    fn cleanup(&mut self) {
+        if let Some((id, forwarder)) = self.sub.take() {
+            let _ = self.shared.handle.unsubscribe(id);
+            let _ = forwarder.join();
+        }
+    }
+}
+
+/// The per-subscriber forwarding thread: drains the subscription queue
+/// onto the connection's writer as `event …` lines — one write per
+/// commit, so a commit's events reach the socket contiguously. A failed
+/// write means the peer is gone: the forwarder unsubscribes itself
+/// (dead-subscriber reaping) and exits.
+fn forward_events(sub: Subscription, writer: SharedWriter, handle: SessionHandle) {
+    let (id, rx) = sub.into_parts();
+    for commit in rx.iter() {
+        if commit.labels.is_empty() {
+            continue;
+        }
+        let mut text = String::new();
+        for label in &commit.labels {
+            text.push_str("event ");
+            text.push_str(label);
+            text.push('\n');
+        }
+        if write_block(&writer, &text).is_err() {
+            let _ = handle.unsubscribe(id);
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// A small blocking client of the wire protocol — what `fd connect` and
+/// the integration tests are built on.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects once.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        // Command lines are tiny; don't let Nagle batch them against
+        // the peer's delayed ACKs.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Connects, retrying until `timeout` elapses — for scripts that
+    /// race a just-spawned daemon (e.g. the CI smoke test).
+    pub fn connect_retry(addr: &str, timeout: Duration) -> Result<Self, ServeError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Self::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    /// Bounds how long reads block (`None` restores blocking reads).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ServeError> {
+        self.writer
+            .set_read_timeout(timeout)
+            .map_err(ServeError::from)
+    }
+
+    /// Sends one command line (as a single write — two small writes
+    /// would invite Nagle to park the tail behind a delayed ACK).
+    pub fn send(&mut self, line: &str) -> Result<(), ServeError> {
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes())?;
+        Ok(())
+    }
+
+    /// Reads one line (without the newline); `None` on EOF.
+    pub fn read_line(&mut self) -> Result<Option<String>, ServeError> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Ok(None),
+            Ok(_) => Ok(Some(line.trim_end_matches(['\n', '\r']).to_owned())),
+            Err(e) => Err(ServeError::from(e)),
+        }
+    }
+
+    /// Reads one reply block: every line up to and including the next
+    /// status line. Event lines that arrive between replies are included
+    /// in arrival order (they precede the block they interleaved with).
+    pub fn read_response(&mut self) -> Result<Vec<String>, ServeError> {
+        let mut lines = Vec::new();
+        loop {
+            match self.read_line()? {
+                None => {
+                    return Err(ServeError::Protocol {
+                        reason: "connection closed mid-reply".into(),
+                    })
+                }
+                Some(line) => {
+                    let done = is_status(&line);
+                    lines.push(line);
+                    if done {
+                        return Ok(lines);
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`send`](Self::send) + [`read_response`](Self::read_response).
+    pub fn request(&mut self, line: &str) -> Result<Vec<String>, ServeError> {
+        self.send(line)?;
+        self.read_response()
+    }
+
+    /// Reads until EOF, returning whatever lines were still in flight
+    /// (e.g. trailing events after `quit`).
+    pub fn drain(&mut self) -> Result<Vec<String>, ServeError> {
+        let mut lines = Vec::new();
+        while let Some(line) = self.read_line()? {
+            lines.push(line);
+        }
+        Ok(lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::FdSession;
+    use fd_relational::tourist_database;
+
+    #[test]
+    fn parse_commands_cover_the_grammar() {
+        assert_eq!(parse_command(" begin "), Ok(Command::Begin));
+        assert_eq!(parse_command("commit"), Ok(Command::Commit));
+        assert_eq!(parse_command("abort"), Ok(Command::Abort));
+        assert_eq!(parse_command("show"), Ok(Command::Show));
+        assert_eq!(parse_command("top"), Ok(Command::Top));
+        assert_eq!(parse_command("stats"), Ok(Command::Stats));
+        assert_eq!(parse_command("subscribe"), Ok(Command::Subscribe));
+        assert_eq!(parse_command("unsubscribe"), Ok(Command::Unsubscribe));
+        assert_eq!(parse_command("quit"), Ok(Command::Quit));
+        assert_eq!(parse_command("exit"), Ok(Command::Quit));
+        assert_eq!(parse_command("shutdown"), Ok(Command::Shutdown));
+        assert_eq!(parse_command("delete t7"), Ok(Command::Delete(TupleId(7))));
+        assert_eq!(parse_command("delete 7"), Ok(Command::Delete(TupleId(7))));
+        let Ok(Command::Insert { rel, values }) = parse_command("insert Climates | Chile | arid")
+        else {
+            panic!("insert must parse");
+        };
+        assert_eq!(rel, "Climates");
+        assert_eq!(values, vec![Value::from("Chile"), Value::from("arid")]);
+    }
+
+    #[test]
+    fn parse_errors_are_structured() {
+        assert_eq!(
+            parse_command("frobnicate"),
+            Err(ParseError::Unknown {
+                cmd: "frobnicate".into()
+            })
+        );
+        assert_eq!(
+            parse_command("insert NoPipe"),
+            Err(ParseError::Usage {
+                usage: "insert REL | V1 | V2 ..."
+            })
+        );
+        assert_eq!(
+            parse_command("delete xyz"),
+            Err(ParseError::BadTupleId {
+                token: "xyz".into()
+            })
+        );
+        // Displays match the watch REPL's historical wording.
+        assert_eq!(
+            parse_command("delete xyz").unwrap_err().to_string(),
+            "bad tuple id: xyz"
+        );
+        assert_eq!(
+            parse_command("insert X").unwrap_err().to_string(),
+            "usage: insert REL | V1 | V2 ..."
+        );
+    }
+
+    #[test]
+    fn serve_error_sources_chain() {
+        use std::error::Error as _;
+        let io = ServeError::from(std::io::Error::other("boom"));
+        assert!(io.source().is_some());
+        assert!(io.to_string().contains("boom"));
+        let q = ServeError::from(FdError::InvalidPageSize);
+        assert!(q.source().is_some());
+        let p = ServeError::Protocol {
+            reason: "junk".into(),
+        };
+        assert!(p.source().is_none());
+        assert_eq!(p.to_string(), "protocol: junk");
+        assert!(ServeError::SessionPoisoned.source().is_none());
+    }
+
+    #[test]
+    fn attr_max_ranks_live_values() {
+        let db = tourist_database();
+        let f = AttrMax::new(&db, "Stars").unwrap();
+        let plaza = crate::query::FdQuery::over(&db)
+            .run()
+            .unwrap()
+            .into_sets()
+            .into_iter()
+            .find(|s| s.label(&db) == "{c1, a1}")
+            .unwrap();
+        assert_eq!(f.rank(&db, &plaza), 4.0); // the Plaza's Stars
+        assert!(AttrMax::new(&db, "Nope").is_err());
+    }
+
+    #[test]
+    fn session_handle_serializes_commits_and_feeds_subscribers() {
+        let handle = SessionHandle::new(FdSession::new(tourist_database()));
+        let sub = handle.subscribe().unwrap();
+        let mut batch = DeltaBatch::new();
+        batch.insert(fd_relational::RelId(0), vec!["Chile".into(), "arid".into()]);
+        let commit = handle.commit(batch).unwrap();
+        assert_eq!(commit.events.len(), 1);
+        let pushed = sub.receiver().recv().unwrap();
+        assert_eq!(pushed.labels, vec!["+ {c4}".to_owned()]);
+        assert!(handle.unsubscribe(sub.id()).unwrap());
+        assert!(!handle.unsubscribe(sub.id()).unwrap());
+    }
+
+    #[test]
+    fn server_round_trip_over_a_real_socket() {
+        let server = Server::start(FdSession::new(tourist_database()), "127.0.0.1:0").unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let greeting = client.read_response().unwrap();
+        assert!(greeting
+            .last()
+            .unwrap()
+            .starts_with("ok fd serve (6 results)"));
+
+        let show = client.request("show").unwrap();
+        assert_eq!(show.len(), 7);
+        assert_eq!(show[0], "  {c1, a1}");
+        assert_eq!(show.last().unwrap(), "ok 6 result(s)");
+
+        // Malformed lines earn protocol errors, not disconnects.
+        let bad = client.request("frobnicate").unwrap();
+        assert!(bad[0].starts_with("error protocol: unknown command: frobnicate"));
+        let bad = client.request("delete nope").unwrap();
+        assert_eq!(bad, vec!["error protocol: bad tuple id: nope"]);
+
+        // A transaction through the wire.
+        assert_eq!(
+            client.request("begin").unwrap(),
+            vec!["ok begin (mutations now queue until commit)"]
+        );
+        assert_eq!(
+            client.request("insert Climates | Chile | arid").unwrap(),
+            vec!["ok queued insert into Climates (1 pending)"]
+        );
+        let commit = client.request("commit").unwrap();
+        assert_eq!(
+            commit,
+            vec!["ok committed 1 mutation(s) in 1 maintenance pass; 1 event(s)"]
+        );
+        assert_eq!(
+            client.request("stats").unwrap(),
+            vec!["ok results=7 passes=1 subscribers=0"]
+        );
+        assert_eq!(client.request("quit").unwrap(), vec!["ok bye"]);
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn subscriber_feed_and_shutdown_flush() {
+        let server = Server::start(FdSession::new(tourist_database()), "127.0.0.1:0").unwrap();
+        let mut watcher = Client::connect(server.addr()).unwrap();
+        watcher.read_response().unwrap();
+        let reply = watcher.request("subscribe").unwrap();
+        assert!(reply[0].starts_with("ok subscribed s"));
+        assert_eq!(
+            watcher.request("subscribe").unwrap(),
+            vec!["error already subscribed (s0)"]
+        );
+
+        let mut actor = Client::connect(server.addr()).unwrap();
+        actor.read_response().unwrap();
+        let reply = actor.request("insert Climates | Chile | arid").unwrap();
+        assert_eq!(reply, vec!["ok inserted c4 into Climates; 1 event(s)"]);
+
+        // The watcher receives the fan-out without polling commands.
+        assert_eq!(watcher.read_line().unwrap().unwrap(), "event + {c4}");
+
+        // Unsubscribe stops the feed.
+        assert_eq!(
+            watcher.request("unsubscribe").unwrap(),
+            vec!["ok unsubscribed s0"]
+        );
+        actor.request("delete t10").unwrap();
+        assert_eq!(actor.request("quit").unwrap(), vec!["ok bye"]);
+        let quit = watcher.request("quit").unwrap();
+        assert_eq!(quit, vec!["ok bye"], "no event may leak after unsubscribe");
+        server.stop().unwrap();
+    }
+
+    #[test]
+    fn shutdown_command_stops_the_daemon() {
+        let server = Server::start(FdSession::new(tourist_database()), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let mut client = Client::connect(addr).unwrap();
+        client.read_response().unwrap();
+        assert_eq!(
+            client.request("shutdown").unwrap(),
+            vec!["ok shutting down"]
+        );
+        assert_eq!(client.drain().unwrap(), Vec::<String>::new());
+        server.wait().unwrap();
+        // The listener is gone (allow the OS a moment to tear down).
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(TcpStream::connect(addr).is_err());
+    }
+}

@@ -88,13 +88,16 @@ pub struct TopKUpdate {
 }
 
 /// A push subscriber of an [`FdSession`]: called once per [`FdEvent`]
-/// of every commit, in event order (retractions first), and — on ranked
-/// sessions — once per commit with the [`TopKUpdate`].
+/// of every commit, in event order (retractions first), then once per
+/// commit with the whole [`Commit`] (and — on ranked sessions — once
+/// with the [`TopKUpdate`]).
 ///
 /// Sinks must not mutate the session (they receive `&mut self`, not the
 /// session); a sink whose consumer went away should ignore the
-/// notification rather than panic.
-pub trait EventSink {
+/// notification rather than panic. Sinks are `Send` so a session can be
+/// shared across threads (the `fd serve` daemon wraps one in
+/// [`crate::serve::SessionHandle`]).
+pub trait EventSink: Send {
     /// One result-set change of a commit.
     fn on_event(&mut self, event: &FdEvent);
 
@@ -103,6 +106,26 @@ pub trait EventSink {
     /// `entered`/`left`). Default: ignore.
     fn on_topk(&mut self, update: &TopKUpdate) {
         let _ = update;
+    }
+
+    /// The consolidated commit, delivered once per commit after its
+    /// per-event [`on_event`](Self::on_event) calls, together with the
+    /// post-commit database (so a sink can render labels without holding
+    /// a reference into the session). Default: ignore.
+    fn on_commit(&mut self, commit: &Commit, db: &Database) {
+        let _ = (commit, db);
+    }
+}
+
+/// Identifies one subscribed [`EventSink`] of a session, as returned by
+/// [`FdSession::subscribe`]; pass it to [`FdSession::unsubscribe`] to
+/// deregister (e.g. when a network subscriber disconnects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SinkId(u64);
+
+impl std::fmt::Display for SinkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
     }
 }
 
@@ -277,7 +300,7 @@ impl Commit {
 /// mutated database) per retracted set; the only full sort happens at
 /// construction.
 struct RankedView<'q> {
-    f: Box<dyn RankingFunction + 'q>,
+    f: Box<dyn RankingFunction + Send + 'q>,
     k: usize,
     ranked: Vec<(TupleSet, f64)>,
     rank_of: FxHashMap<Box<[TupleId]>, f64>,
@@ -295,7 +318,7 @@ impl std::fmt::Debug for RankedView<'_> {
 impl<'q> RankedView<'q> {
     fn new(
         db: &Database,
-        f: Box<dyn RankingFunction + 'q>,
+        f: Box<dyn RankingFunction + Send + 'q>,
         k: usize,
         results: &[TupleSet],
     ) -> Self {
@@ -385,7 +408,8 @@ pub struct FdSession<'q> {
     index: FxHashMap<Box<[TupleId]>, usize>,
     log: ChangeLog,
     ranked: Option<RankedView<'q>>,
-    sinks: Vec<Box<dyn EventSink + 'q>>,
+    sinks: Vec<(SinkId, Box<dyn EventSink + 'q>)>,
+    next_sink: u64,
     passes: u64,
 }
 
@@ -427,7 +451,7 @@ impl<'q> FdSession<'q> {
     /// session: on top of the plain maintenance, the k highest-ranking
     /// results under `f` are kept current and every commit reports the
     /// window's net change ([`Commit::topk`]).
-    pub fn ranked(db: Database, f: impl RankingFunction + 'q, k: usize) -> Self {
+    pub fn ranked(db: Database, f: impl RankingFunction + Send + 'q, k: usize) -> Self {
         Self::ranked_with_config_parallel(db, f, k, FdConfig::default(), None)
     }
 
@@ -435,13 +459,13 @@ impl<'q> FdSession<'q> {
     /// parallel initial materialization.
     pub fn ranked_with_config_parallel(
         db: Database,
-        f: impl RankingFunction + 'q,
+        f: impl RankingFunction + Send + 'q,
         k: usize,
         cfg: FdConfig,
         threads: Option<usize>,
     ) -> Self {
         let results = materialize(&db, cfg, threads);
-        let f: Box<dyn RankingFunction + 'q> = Box::new(f);
+        let f: Box<dyn RankingFunction + Send + 'q> = Box::new(f);
         Self::assemble(db, cfg, results, Some((f, k)))
     }
 
@@ -449,7 +473,7 @@ impl<'q> FdSession<'q> {
         db: Database,
         cfg: FdConfig,
         results: Vec<TupleSet>,
-        ranking: Option<(Box<dyn RankingFunction + 'q>, usize)>,
+        ranking: Option<(Box<dyn RankingFunction + Send + 'q>, usize)>,
     ) -> Self {
         let index = results
             .iter()
@@ -465,6 +489,7 @@ impl<'q> FdSession<'q> {
             log: ChangeLog::new(),
             ranked,
             sinks: Vec::new(),
+            next_sink: 0,
             passes: 0,
         }
     }
@@ -542,9 +567,30 @@ impl<'q> FdSession<'q> {
 
     /// Registers a push subscriber. Every subsequent commit delivers its
     /// events (and, on ranked sessions, its [`TopKUpdate`]) to the sink
-    /// after the session's own state is up to date.
-    pub fn subscribe(&mut self, sink: impl EventSink + 'q) {
-        self.sinks.push(Box::new(sink));
+    /// after the session's own state is up to date. The returned
+    /// [`SinkId`] deregisters the sink via
+    /// [`unsubscribe`](Self::unsubscribe).
+    pub fn subscribe(&mut self, sink: impl EventSink + 'q) -> SinkId {
+        let id = SinkId(self.next_sink);
+        self.next_sink += 1;
+        self.sinks.push((id, Box::new(sink)));
+        id
+    }
+
+    /// Deregisters a subscriber, dropping its sink (for a
+    /// [`ChannelSink`] that closes the channel, ending any receiver
+    /// loop). Returns whether the id was subscribed — unsubscribing
+    /// twice is not an error, so a departing network client and its
+    /// forwarding thread can both reap without coordination.
+    pub fn unsubscribe(&mut self, id: SinkId) -> bool {
+        let before = self.sinks.len();
+        self.sinks.retain(|(sid, _)| *sid != id);
+        self.sinks.len() < before
+    }
+
+    /// Number of currently subscribed sinks.
+    pub fn num_subscribers(&self) -> usize {
+        self.sinks.len()
     }
 
     /// Opens an empty mutation batch. Purely a convenience —
@@ -634,21 +680,23 @@ impl<'q> FdSession<'q> {
             }
         });
 
-        for sink in &mut self.sinks {
-            for event in &events {
-                sink.on_event(event);
-            }
-            if let Some(update) = &topk {
-                sink.on_topk(update);
-            }
-        }
-
-        Ok(Commit {
+        let commit = Commit {
             changes,
             events,
             topk,
             stats: delta.stats,
-        })
+        };
+        for (_, sink) in &mut self.sinks {
+            for event in &commit.events {
+                sink.on_event(event);
+            }
+            if let Some(update) = &commit.topk {
+                sink.on_topk(update);
+            }
+            sink.on_commit(&commit, &self.db);
+        }
+
+        Ok(commit)
     }
 
     /// The oracle-checkable invariant: does the materialized state equal
@@ -863,5 +911,161 @@ mod tests {
         assert!(session.window().is_none());
         assert!(session.ranking().is_none());
         assert!(!session.is_ranked());
+    }
+
+    /// Records the call sequence a sink observes: one `event` marker per
+    /// `on_event`, one `commit:N` marker per `on_commit` (N = the
+    /// commit's event count, rendered against the delivered database to
+    /// prove the post-commit snapshot arrives with it).
+    struct OrderSink {
+        calls: std::sync::Arc<std::sync::Mutex<Vec<String>>>,
+    }
+
+    impl EventSink for OrderSink {
+        fn on_event(&mut self, _event: &FdEvent) {
+            self.calls.lock().unwrap().push("event".into());
+        }
+
+        fn on_commit(&mut self, commit: &Commit, db: &Database) {
+            // Rendering must not panic: every event's tuples resolve in
+            // the post-commit database (tombstones keep row data).
+            for event in &commit.events {
+                let _ = event.label(db);
+            }
+            self.calls
+                .lock()
+                .unwrap()
+                .push(format!("commit:{}", commit.events.len()));
+        }
+    }
+
+    /// Every subscriber observes every commit exactly once, in commit
+    /// order, with identical event sequences — and `on_commit` lands
+    /// after the commit's per-event calls. The serve fan-out builds on
+    /// exactly this contract.
+    #[test]
+    fn multiple_sinks_observe_identical_ordered_feeds() {
+        let mut session = FdSession::new(tourist_database());
+        let first = VecSink::new();
+        session.subscribe(first.clone());
+        let calls = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        session.subscribe(OrderSink {
+            calls: calls.clone(),
+        });
+        let last = VecSink::new();
+        session.subscribe(last.clone());
+
+        session
+            .apply(Delta::Insert {
+                rel: RelId(0),
+                values: vec!["Chile".into(), "arid".into()],
+            })
+            .unwrap();
+        let mut batch = session.begin();
+        batch
+            .insert(
+                RelId(1),
+                vec![
+                    "Canada".into(),
+                    "London".into(),
+                    "Fairmont".into(),
+                    5.into(),
+                ],
+            )
+            .delete(TupleId(4));
+        session.commit(batch).unwrap();
+
+        assert_eq!(first.events(), last.events());
+        assert_eq!(first.events().len(), 3); // 1 + 2 net events
+        assert!(
+            matches!(first.events()[1], FdEvent::Retracted(_)),
+            "retractions precede additions within a commit"
+        );
+        assert_eq!(
+            calls.lock().unwrap().clone(),
+            vec!["event", "commit:1", "event", "event", "commit:2"]
+        );
+    }
+
+    /// Subscribe-then-abort delivers nothing: a dropped batch, an empty
+    /// commit and a failed commit all skip the sinks entirely.
+    #[test]
+    fn aborted_empty_and_failed_commits_deliver_nothing() {
+        let mut session = FdSession::new(tourist_database());
+        let sink = VecSink::new();
+        let id = session.subscribe(sink.clone());
+
+        let mut batch = session.begin();
+        batch.insert(RelId(0), vec!["Chile".into(), "arid".into()]);
+        drop(batch); // abort: the queued mutation is discarded
+
+        let empty = session.begin();
+        session.commit(empty).unwrap();
+
+        let mut bad = session.begin();
+        bad.delete(TupleId(99)); // unknown tuple: the commit fails whole
+        assert!(session.commit(bad).is_err());
+
+        assert!(sink.events().is_empty(), "no commit realized, no events");
+        assert!(session.unsubscribe(id));
+        assert_eq!(session.num_subscribers(), 0);
+    }
+
+    /// Drops a shared receiver from *inside* the notification fan-out,
+    /// so a later sink's sends in the same commit hit a hung-up channel.
+    struct MidCommitDropper {
+        rx: Option<std::sync::mpsc::Receiver<FdEvent>>,
+    }
+
+    impl EventSink for MidCommitDropper {
+        fn on_event(&mut self, _event: &FdEvent) {
+            self.rx.take(); // the consumer vanishes mid-commit
+        }
+    }
+
+    /// A receiver hung up mid-commit must not take the commit down, and
+    /// subscribers after the dead one keep their feeds intact.
+    #[test]
+    fn dropped_receiver_mid_commit_leaves_other_sinks_intact() {
+        let mut session = FdSession::new(tourist_database());
+        let (channel, rx) = ChannelSink::new();
+        // The dropper is notified first; the ChannelSink's sends in the
+        // same commit then hit a closed channel.
+        session.subscribe(MidCommitDropper { rx: Some(rx) });
+        session.subscribe(channel);
+        let survivor = VecSink::new();
+        session.subscribe(survivor.clone());
+
+        let commit = session
+            .apply(Delta::Insert {
+                rel: RelId(0),
+                values: vec!["Chile".into(), "arid".into()],
+            })
+            .unwrap();
+        assert_eq!(survivor.events(), commit.events);
+        assert!(session.verify_snapshot());
+
+        // And the next commit still flows to the survivor.
+        let commit = session.apply(Delta::Delete { tuple: TupleId(10) }).unwrap();
+        assert_eq!(survivor.events().len(), 1 + commit.events.len());
+    }
+
+    /// Unsubscribing stops delivery immediately; the feed up to that
+    /// point is untouched, and double-unsubscribe is not an error.
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mut session = FdSession::new(tourist_database());
+        let sink = VecSink::new();
+        let id = session.subscribe(sink.clone());
+        let commit = session
+            .apply(Delta::Insert {
+                rel: RelId(0),
+                values: vec!["Chile".into(), "arid".into()],
+            })
+            .unwrap();
+        assert!(session.unsubscribe(id));
+        session.apply(Delta::Delete { tuple: TupleId(10) }).unwrap();
+        assert_eq!(sink.events(), commit.events, "nothing after unsubscribe");
+        assert!(!session.unsubscribe(id), "double-unsubscribe is benign");
     }
 }

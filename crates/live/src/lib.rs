@@ -1,418 +1,74 @@
 //! # fd-live
 //!
-//! Dynamic full disjunctions, rebuilt on [`fd_core::FdSession`] — the
-//! transactional session that owns a mutable [`Database`] plus the
-//! materialized result, applies mutations in batched commits with one
-//! maintenance pass each, and pushes [`FdEvent`]s to subscribers.
+//! **Re-export shim.** Dynamic full disjunctions live in
+//! [`fd_core::session`]: the transactional [`FdSession`] owns a mutable
+//! database plus the materialized result, applies mutations in batched
+//! [`DeltaBatch`] commits with one maintenance pass each, and pushes
+//! [`FdEvent`]s to subscribed [`EventSink`]s. The `fd serve` daemon
+//! ([`fd_core::serve`]) exposes the same session over TCP.
 //!
-//! This crate keeps the pre-session surface alive as **thin deprecated
-//! wrappers**: [`LiveFd`] (plain maintenance, one [`Delta`] per
-//! `apply`) and [`LiveRankedFd`] (maintained top-k window) both
-//! delegate every operation to an owned session. New code should build
-//! an [`FdSession`] directly — `FdQuery::over(&db).session()?` — and
-//! get batched commits, push subscribers and the unified
-//! [`fd_core::FdError`] in one type; see the README's
-//! `LiveFd`/`LiveRankedFd` → `FdSession` migration table.
+//! The deprecated `LiveFd`/`LiveRankedFd` wrappers this crate used to
+//! define are **gone** (they were kept for exactly one release, per the
+//! roadmap). Their replacement table, in short:
 //!
-//! ## Invariant
+//! | Removed | Session equivalent |
+//! |---|---|
+//! | `LiveFd::new(db)` | `FdSession::new(db)` (or `FdQuery::over(&db).session()?`) |
+//! | `LiveRankedFd::new(db, f, k)` | `FdSession::ranked(db, f, k)` |
+//! | `live.insert(rel, values)` | `session.apply(Delta::Insert { rel, values })?` |
+//! | `live.delete(t)` | `session.apply(Delta::Delete { tuple: t })?` |
+//! | `live.apply(delta)` | `session.apply(delta)?` (events in `commit.events`) |
+//! | `live.results()` / `live.len()` | `session.results()` / `session.len()` |
+//! | `live.ranking()` / `live.top()` | `session.ranking()` / `session.window()` |
+//! | `live.changelog()` | `session.changelog()` (grouped by commit) |
+//! | `live.verify_snapshot()` | `session.verify_snapshot()` |
 //!
-//! After any sequence of applies/commits, the materialized state equals
-//! the full disjunction of the current database snapshot — checkable at
-//! any time with [`LiveFd::verify_snapshot`] and enforced against the
-//! brute-force oracle by the randomized churn suite in the workspace
-//! root.
+//! See the README's "watch"/"Serving over the network" sections for the
+//! CLI and network front ends over the same API.
 //!
 //! ## Example
 //!
 //! ```
-//! use fd_live::{FdEvent, LiveFd};
+//! use fd_live::{FdEvent, FdSession};
 //! use fd_relational::{tourist_database, Delta, RelId};
 //!
-//! let mut live = LiveFd::new(tourist_database());
-//! assert_eq!(live.len(), 6); // Table 2 of the paper
+//! let mut session = FdSession::new(tourist_database());
+//! assert_eq!(session.len(), 6); // Table 2 of the paper
 //!
 //! // A new hotel in London joins c1 (Country) and s1 (City):
-//! let events = live
+//! let commit = session
 //!     .apply(Delta::Insert {
 //!         rel: RelId(1),
 //!         values: vec!["Canada".into(), "London".into(), "Fairmont".into(), 5.into()],
 //!     })
 //!     .unwrap();
-//! assert!(events.iter().any(|e| matches!(e, FdEvent::Added(_))));
-//! assert!(live.verify_snapshot());
+//! assert!(commit.events.iter().any(|e| matches!(e, FdEvent::Added(_))));
+//! assert!(session.verify_snapshot());
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-mod ranked;
-
-pub use ranked::LiveRankedFd;
-
 pub use fd_core::session::{
-    ChannelSink, Commit, DeltaBatch, EventSink, FdEvent, FdSession, TopKUpdate, VecSink,
+    ChannelSink, Commit, DeltaBatch, EventSink, FdEvent, FdSession, SinkId, TopKUpdate, VecSink,
 };
-
-use fd_core::{FdConfig, FdError, FdQuery, TupleSet};
-use fd_relational::{ChangeLog, Database, Delta, RelId, TupleId, Value};
-
-/// A materialized full disjunction maintained under singleton mutations
-/// — a thin wrapper over a plain [`FdSession`], kept for source
-/// compatibility.
-///
-/// **Deprecated in favor of [`FdSession`]**: the session adds batched
-/// commits (one maintenance pass per batch), push subscribers, and the
-/// grouped changelog; `LiveFd` forwards each `apply` as a batch of one.
-/// Migration: `LiveFd::from_query(q)` → `q.session()?`,
-/// `apply(delta)` → `session.apply(delta)?.events`.
-#[derive(Debug)]
-pub struct LiveFd {
-    session: FdSession<'static>,
-}
-
-impl LiveFd {
-    /// Materializes the full disjunction of `db` and starts maintaining
-    /// it.
-    pub fn new(db: Database) -> Self {
-        Self::with_config(db, FdConfig::default())
-    }
-
-    /// Like [`new`](Self::new) with explicit engine/block configuration
-    /// for the initial computation and every delta run.
-    pub fn with_config(db: Database, cfg: FdConfig) -> Self {
-        Self::with_config_parallel(db, cfg, None)
-    }
-
-    /// Like [`with_config`](Self::with_config), additionally computing
-    /// the *initial* materialization with up to `threads` workers (the
-    /// parallel batch plan). Delta runs stay sequential — each one is a
-    /// single seeded `FDi` run, already proportional to the change.
-    pub fn with_config_parallel(db: Database, cfg: FdConfig, threads: Option<usize>) -> Self {
-        LiveFd {
-            session: FdSession::with_config_parallel(db, cfg, threads),
-        }
-    }
-
-    /// Builds the live engine from an [`FdQuery`]: the query's
-    /// engine/page-size/init configuration drives the initial
-    /// materialization and every subsequent delta run, and `.parallel(n)`
-    /// parallelizes the initial materialization. The database is cloned
-    /// out of the query (the live engine owns its snapshot).
-    ///
-    /// Ranked and approximate options are rejected with a typed
-    /// [`FdError`] — live maintenance materializes the plain full
-    /// disjunction ([`LiveRankedFd::from_query`] adds the ranked window).
-    ///
-    /// ```
-    /// use fd_core::{FdQuery, StoreEngine};
-    /// use fd_live::LiveFd;
-    /// use fd_relational::tourist_database;
-    ///
-    /// let db = tourist_database();
-    /// let live = LiveFd::from_query(FdQuery::over(&db).engine(StoreEngine::Scan).parallel(2))?;
-    /// assert_eq!(live.len(), 6);
-    /// # Ok::<(), fd_core::FdError>(())
-    /// ```
-    pub fn from_query(query: FdQuery<'_>) -> Result<Self, FdError> {
-        query.validate()?;
-        let parts = query.into_parts();
-        if parts.ranking.is_some() {
-            return Err(FdError::Incompatible {
-                left: "live maintenance",
-                right: ".ranked",
-            });
-        }
-        if parts.approx.is_some() {
-            return Err(FdError::Incompatible {
-                left: "live maintenance",
-                right: ".approx",
-            });
-        }
-        Ok(Self::with_config_parallel(
-            parts.db.clone(),
-            parts.config,
-            parts.threads,
-        ))
-    }
-
-    /// The underlying transactional session.
-    pub fn session(&self) -> &FdSession<'static> {
-        &self.session
-    }
-
-    /// Mutable access to the underlying session (e.g. to
-    /// [`subscribe`](FdSession::subscribe) a sink or commit a whole
-    /// [`DeltaBatch`]).
-    pub fn session_mut(&mut self) -> &mut FdSession<'static> {
-        &mut self.session
-    }
-
-    /// Consumes the wrapper, returning the session.
-    pub fn into_session(self) -> FdSession<'static> {
-        self.session
-    }
-
-    /// The current database snapshot.
-    pub fn db(&self) -> &Database {
-        self.session.db()
-    }
-
-    /// Number of tuple sets currently in the full disjunction.
-    pub fn len(&self) -> usize {
-        self.session.len()
-    }
-
-    /// Is the full disjunction empty?
-    pub fn is_empty(&self) -> bool {
-        self.session.is_empty()
-    }
-
-    /// The current results in unspecified order; see
-    /// [`canonical_results`](Self::canonical_results) for a deterministic
-    /// view.
-    pub fn results(&self) -> &[TupleSet] {
-        self.session.results()
-    }
-
-    /// The current results in canonical (member-id) order.
-    pub fn canonical_results(&self) -> Vec<TupleSet> {
-        self.session.canonical_results()
-    }
-
-    /// Is this exact tuple set currently a result?
-    pub fn contains(&self, tuples: &[TupleId]) -> bool {
-        self.session.contains(tuples)
-    }
-
-    /// The realized mutation history, oldest first.
-    pub fn changelog(&self) -> &ChangeLog {
-        self.session.changelog()
-    }
-
-    /// Applies one mutation, returning the result-set changes it caused
-    /// (retractions first, then additions).
-    pub fn apply(&mut self, delta: Delta) -> Result<Vec<FdEvent>, FdError> {
-        Ok(self.session.apply(delta)?.events)
-    }
-
-    /// Inserts a tuple and maintains the result set. Returns the new
-    /// tuple's id along with the events.
-    pub fn insert(
-        &mut self,
-        rel: RelId,
-        values: Vec<Value>,
-    ) -> Result<(TupleId, Vec<FdEvent>), FdError> {
-        let commit = self.session.apply(Delta::Insert { rel, values })?;
-        let tuple = commit.inserted()[0];
-        Ok((tuple, commit.events))
-    }
-
-    /// Deletes a tuple and maintains the result set.
-    pub fn delete(&mut self, tuple: TupleId) -> Result<Vec<FdEvent>, FdError> {
-        Ok(self.session.apply(Delta::Delete { tuple })?.events)
-    }
-
-    /// The oracle-checkable invariant: does the materialized state equal
-    /// the full disjunction of the current snapshot, recomputed from
-    /// scratch?
-    pub fn verify_snapshot(&self) -> bool {
-        self.session.verify_snapshot()
-    }
-}
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fd_relational::tourist_database;
+    use fd_relational::{tourist_database, Delta, TupleId};
 
+    /// The shim's exports are the session API, verbatim: a session built
+    /// through this crate behaves identically to one from fd-core.
     #[test]
-    fn starts_from_the_batch_full_disjunction() {
-        let live = LiveFd::new(tourist_database());
-        assert_eq!(live.len(), 6);
-        assert!(live.verify_snapshot());
-        assert!(live.contains(&[TupleId(0), TupleId(3)])); // {c1, a1}
-    }
-
-    #[test]
-    fn insert_emits_additions_and_keeps_the_invariant() {
-        let mut live = LiveFd::new(tourist_database());
-        let (t, events) = live
-            .insert(RelId(0), vec!["Chile".into(), "arid".into()])
-            .unwrap();
-        // A fresh country matches nothing: exactly one new singleton set.
-        assert_eq!(
-            events,
-            vec![FdEvent::Added(TupleSet::singleton(live.db(), t))]
-        );
-        assert_eq!(live.len(), 7);
-        assert!(live.verify_snapshot());
-    }
-
-    #[test]
-    fn insert_that_subsumes_retracts_first() {
-        let mut b = fd_relational::DatabaseBuilder::new();
-        b.relation("P", &["A"]).row([1]);
-        b.relation("Q", &["A", "B"]);
-        let mut live = LiveFd::new(b.build().unwrap());
-        assert_eq!(live.len(), 1);
-        let (_, events) = live.insert(RelId(1), vec![1.into(), 2.into()]).unwrap();
-        assert!(matches!(events[0], FdEvent::Retracted(_)));
-        assert!(matches!(events[1], FdEvent::Added(_)));
-        assert_eq!(live.len(), 1);
-        assert!(live.verify_snapshot());
-    }
-
-    #[test]
-    fn delete_emits_retractions_and_restorations() {
-        let mut live = LiveFd::new(tourist_database());
-        // Deleting a2 kills {c1, a2, s1} and restores {c1, s1}.
-        let events = live.delete(TupleId(4)).unwrap();
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, FdEvent::Retracted(s) if s.tuples() == [TupleId(0), TupleId(4), TupleId(6)])));
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, FdEvent::Added(s) if s.tuples() == [TupleId(0), TupleId(6)])));
-        assert!(live.verify_snapshot());
-    }
-
-    #[test]
-    fn deleting_unknown_tuples_fails_with_a_typed_fd_error() {
-        let mut live = LiveFd::new(tourist_database());
-        // RelationalError no longer leaks: the public error is FdError.
-        assert!(matches!(
-            live.delete(TupleId(99)),
-            Err(FdError::Mutation { .. })
-        ));
-        live.delete(TupleId(0)).unwrap();
-        assert!(live.delete(TupleId(0)).is_err());
-        assert!(live.verify_snapshot());
-    }
-
-    #[test]
-    fn changelog_records_realized_mutations() {
-        let mut live = LiveFd::new(tourist_database());
-        let (t, _) = live
-            .insert(RelId(0), vec!["Chile".into(), "arid".into()])
-            .unwrap();
-        live.delete(t).unwrap();
-        assert_eq!(live.changelog().len(), 2);
-        assert_eq!(live.changelog().num_batches(), 2);
-        assert_eq!(live.changelog().changes()[0].tuple(), t);
-    }
-
-    #[test]
-    fn wrapped_session_supports_batches_and_subscribers() {
-        let mut live = LiveFd::new(tourist_database());
+    fn shim_reexports_the_session_api() {
+        let mut session = FdSession::new(tourist_database());
         let sink = VecSink::new();
-        live.session_mut().subscribe(sink.clone());
-        let mut batch = live.session().begin();
-        batch
-            .insert(RelId(0), vec!["Chile".into(), "arid".into()])
-            .delete(TupleId(3));
-        live.session_mut().commit(batch).unwrap();
-        assert_eq!(live.session().maintenance_passes(), 1);
-        assert!(!sink.events().is_empty());
-        assert!(live.verify_snapshot());
-    }
-
-    #[test]
-    fn from_query_honors_config_and_rejects_nonbatch_options() {
-        let db = tourist_database();
-        let live = LiveFd::from_query(
-            FdQuery::over(&db)
-                .engine(fd_core::StoreEngine::Scan)
-                .page_size(3),
-        )
-        .unwrap();
-        assert_eq!(live.len(), 6);
-        assert_eq!(live.session().config().engine, fd_core::StoreEngine::Scan);
-        assert_eq!(live.session().config().page_size, Some(3));
-
-        let imp = fd_core::ImpScores::uniform(&db, 1.0);
-        let err =
-            LiveFd::from_query(FdQuery::over(&db).ranked(fd_core::FMax::new(&imp))).unwrap_err();
-        assert_eq!(
-            err,
-            FdError::Incompatible {
-                left: "live maintenance",
-                right: ".ranked"
-            }
-        );
-        // `.parallel` is accepted: it parallelizes the initial
-        // materialization (deltas stay sequential).
-        let live = LiveFd::from_query(FdQuery::over(&db).parallel(2)).unwrap();
-        assert_eq!(live.len(), 6);
-        assert!(live.verify_snapshot());
-    }
-
-    #[test]
-    fn parallel_materialization_tolerates_reuse_init() {
-        // The direct constructor must not panic on reuse-init + threads:
-        // the parallel materialization falls back to singleton init (the
-        // computed set is identical), while the strategy still applies
-        // to the sequential delta runs.
-        let cfg = FdConfig {
-            init: fd_core::InitStrategy::ReuseResults,
-            ..FdConfig::default()
-        };
-        let mut live = LiveFd::with_config_parallel(tourist_database(), cfg, Some(2));
-        assert_eq!(live.len(), 6);
-        live.insert(RelId(0), vec!["Chile".into(), "arid".into()])
-            .unwrap();
-        assert!(live.verify_snapshot());
-
-        // The validated builder path reports the combination instead.
-        let db = tourist_database();
-        let err = LiveFd::from_query(
-            FdQuery::over(&db)
-                .init(fd_core::InitStrategy::ReuseResults)
-                .parallel(2),
-        )
-        .unwrap_err();
-        assert_eq!(
-            err,
-            FdError::Incompatible {
-                left: ".init(ReuseResults/TrimExtend)",
-                right: ".parallel"
-            }
-        );
-    }
-
-    #[test]
-    fn from_query_engine_stays_consistent_under_mutations() {
-        let db = tourist_database();
-        let mut live = LiveFd::from_query(FdQuery::over(&db).page_size(2)).unwrap();
-        live.insert(RelId(0), vec!["Chile".into(), "arid".into()])
-            .unwrap();
-        assert!(live.verify_snapshot());
-    }
-
-    #[test]
-    fn scripted_churn_matches_recomputation_for_both_engines() {
-        for engine in [fd_core::StoreEngine::Scan, fd_core::StoreEngine::Indexed] {
-            let cfg = FdConfig {
-                engine,
-                ..FdConfig::default()
-            };
-            let mut live = LiveFd::with_config(tourist_database(), cfg);
-            let script: Vec<Delta> = vec![
-                Delta::Insert {
-                    rel: RelId(1),
-                    values: vec!["UK".into(), "London".into(), "Savoy".into(), 5.into()],
-                },
-                Delta::Delete { tuple: TupleId(6) },
-                Delta::Insert {
-                    rel: RelId(2),
-                    values: vec!["Canada".into(), "Toronto".into(), "CN Tower".into()],
-                },
-                Delta::Delete { tuple: TupleId(0) },
-                Delta::Delete { tuple: TupleId(10) },
-            ];
-            for delta in script {
-                live.apply(delta).unwrap();
-                assert!(live.verify_snapshot(), "engine {engine:?}");
-            }
-        }
+        let id = session.subscribe(sink.clone());
+        let commit = session.apply(Delta::Delete { tuple: TupleId(3) }).unwrap();
+        assert!(!commit.events.is_empty());
+        assert_eq!(sink.events(), commit.events);
+        assert!(session.unsubscribe(id));
+        assert!(session.verify_snapshot());
     }
 }

@@ -129,6 +129,20 @@ pub fn parse_row(line: &str) -> Vec<Value> {
     split_cells(line).iter().map(|c| parse_value(c)).collect()
 }
 
+/// Renders one row of values as a single `|`-separated line that
+/// [`parse_row`] maps back to it — the inverse of the row grammar, and
+/// the framing guarantee line-oriented wire protocols rely on: every
+/// value (including strings with embedded newlines, pipes or quotes)
+/// formats onto ONE line, via [`format_value`]'s quoting and escapes.
+/// `fd serve`/`fd connect` compose `insert REL | …` commands with it.
+pub fn format_row(values: &[Value]) -> String {
+    values
+        .iter()
+        .map(format_value)
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
 /// Splits a row line on `|`, leaving quoted sections (and their escapes)
 /// intact for [`parse_value`] to decode.
 fn split_cells(line: &str) -> Vec<String> {
@@ -336,6 +350,26 @@ mod tests {
         relation Sites(Country, City, Site)\n\
         Canada | London | Air Show\n\
         Canada | ⊥ | Mount Logan\n";
+
+    #[test]
+    fn format_row_round_trips_through_parse_row() {
+        let rows: Vec<Vec<Value>> = vec![
+            vec![Value::Int(1), Value::Null, Value::str("Air Show")],
+            vec![Value::float(4.5), Value::Bool(true), Value::str("42")],
+            vec![
+                Value::str("pipes | and \"quotes\""),
+                Value::str("new\nline"),
+                Value::str(" padded "),
+            ],
+        ];
+        for row in rows {
+            let line = format_row(&row);
+            // Wire framing: one row, ONE line, whatever the values hold.
+            assert!(!line.contains('\n'), "embedded newline leaked: {line:?}");
+            assert_eq!(parse_row(&line), row, "row diverged through {line:?}");
+        }
+        assert_eq!(format_row(&[]), "");
+    }
 
     #[test]
     fn parse_round_trip() {

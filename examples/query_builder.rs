@@ -92,12 +92,16 @@ fn main() -> Result<(), FdError> {
         mutable.tuple_label(t)
     );
 
-    // 8. Live maintenance is built from a query too.
-    let mut live = LiveFd::from_query(FdQuery::over(&db).engine(StoreEngine::Indexed))?;
-    let (_, events) = live
-        .insert(RelId(0), vec!["Iceland".into(), "arctic".into()])
+    // 8. Live maintenance is built from a query too: `.session()` turns
+    // the configured builder into a transactional FdSession.
+    let mut session = FdQuery::over(&db).engine(StoreEngine::Indexed).session()?;
+    let commit = session
+        .apply(Delta::Insert {
+            rel: RelId(0),
+            values: vec!["Iceland".into(), "arctic".into()],
+        })
         .expect("valid row");
-    println!("live: {} event(s) from one insert", events.len());
+    println!("live: {} event(s) from one insert", commit.events.len());
 
     // 9. Invalid combinations are typed errors, not panics.
     let err = FdQuery::over(&db).top_k(3).run().unwrap_err();

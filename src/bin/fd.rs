@@ -6,6 +6,8 @@
 //! fd catalog.txt --top 5 --rank-by Price
 //! fd catalog.txt --approx 0.85
 //! fd watch catalog.txt                # live maintenance REPL
+//! fd serve catalog.txt --addr :7433   # network daemon over one session
+//! fd connect --addr :7433             # wire-protocol client
 //! ```
 
 use full_disjunction::cli;
@@ -22,6 +24,24 @@ fn main() -> ExitCode {
     };
     if opts.watch {
         return match cli::run_watch(&opts, std::io::stdin().lock(), std::io::stdout()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if opts.serve {
+        return match cli::run_serve(&opts, std::io::stdout()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if opts.connect {
+        return match cli::run_connect(&opts, std::io::stdin().lock(), std::io::stdout()) {
             Ok(()) => ExitCode::SUCCESS,
             Err(msg) => {
                 eprintln!("error: {msg}");

@@ -4,6 +4,7 @@
 //! argument parser and command dispatch are unit-testable without
 //! spawning processes. The binary in `src/bin/fd.rs` is a thin wrapper.
 
+use crate::core::serve::{self, AttrMax, Client, Command, ParseError, ServeError, Server};
 use crate::core::{
     canonicalize, format_results, AMin, EditDistanceSim, FMax, FdConfig, FdQuery, FdSession,
     ImpScores, ProbScores, RankedFdIter, StoreEngine,
@@ -11,12 +12,22 @@ use crate::core::{
 use crate::relational::{textio, Change, Database, DeltaBatch};
 use std::fmt::Write as _;
 use std::io::{BufRead, Write};
+use std::time::Duration;
+
+/// Where `fd serve`/`fd connect` bind/dial when `--addr` is not given.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7433";
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Options {
     /// `fd watch`: maintain the full disjunction under a mutation REPL.
     pub watch: bool,
+    /// `fd serve`: run the network daemon over a shared session.
+    pub serve: bool,
+    /// `fd connect`: attach a wire-protocol client to a running daemon.
+    pub connect: bool,
+    /// `--addr HOST:PORT` for serve/connect (default [`DEFAULT_ADDR`]).
+    pub addr: Option<String>,
     /// Path of the input database (textual format), or `None` for the
     /// built-in tourist example.
     pub input: Option<String>,
@@ -43,6 +54,11 @@ pub struct Options {
 }
 
 impl Options {
+    /// Has a subcommand (watch/serve/connect) already been selected?
+    fn mode_chosen(&self) -> bool {
+        self.watch || self.serve || self.connect
+    }
+
     /// The execution configuration the flags describe.
     pub fn fd_config(&self) -> FdConfig {
         FdConfig {
@@ -60,6 +76,8 @@ fd — full disjunctions from the command line
 USAGE:
     fd [FILE] [OPTIONS]
     fd watch [FILE] [OPTIONS]
+    fd serve [FILE] [OPTIONS]
+    fd connect [OPTIONS]
 
 With no FILE, runs on the paper's built-in tourist example. FILE uses the
 textual format:
@@ -81,7 +99,16 @@ same commands from FILE non-interactively):
     show                       print the current results
     quit                       exit
 
+`fd serve` exposes the same session over TCP: a line-oriented protocol
+that is a superset of the watch grammar (adds top / stats / subscribe /
+unsubscribe / shutdown), with commit events fanned out to every
+subscribed client. `fd connect` is the matching client (interactive on
+stdin, or scripted via --script). Pass --rank-by ATTR --top K to serve a
+ranked daemon whose `top` command reports the maintained window.
+
 OPTIONS:
+    --addr HOST:PORT   serve/connect: bind/dial this address
+                       (default 127.0.0.1:7433; port 0 picks one)
     --top K            emit only the K best results (requires --rank-by)
     --rank-by ATTR     rank by the numeric attribute ATTR (f_max semantics)
     --min-rank X       emit every result ranking at least X (requires --rank-by)
@@ -91,7 +118,7 @@ OPTIONS:
     --page-size N      block-based execution with N tuples per page (all modes)
     --threads N        compute with up to N workers (all modes; ranked output
                        is identical to the sequential run, sets and order)
-    --script FILE      watch mode only: replay mutation commands from FILE
+    --script FILE      watch/connect modes: replay commands from FILE
                        instead of stdin and print the resulting events
     --sources          print the source relations first
     --help             this text
@@ -179,7 +206,13 @@ where
                 let v = it.next().ok_or("--script needs a file path")?;
                 opts.script = Some(v.as_ref().to_owned());
             }
-            "watch" if !opts.watch && opts.input.is_none() => opts.watch = true,
+            "--addr" => {
+                let v = it.next().ok_or("--addr needs HOST:PORT")?;
+                opts.addr = Some(v.as_ref().to_owned());
+            }
+            "watch" if !opts.mode_chosen() && opts.input.is_none() => opts.watch = true,
+            "serve" if !opts.mode_chosen() && opts.input.is_none() => opts.serve = true,
+            "connect" if !opts.mode_chosen() && opts.input.is_none() => opts.connect = true,
             _ if arg.starts_with('-') => return Err(format!("unknown option: {arg}\n\n{USAGE}")),
             _ => {
                 if opts.input.is_some() {
@@ -203,8 +236,29 @@ where
     {
         return Err("watch mode does not combine with ranking/approx options".into());
     }
-    if opts.script.is_some() && !opts.watch {
-        return Err("--script only applies to watch mode".into());
+    if opts.script.is_some() && !(opts.watch || opts.connect) {
+        return Err("--script only applies to watch/connect modes".into());
+    }
+    if opts.addr.is_some() && !(opts.serve || opts.connect) {
+        return Err("--addr only applies to serve/connect modes".into());
+    }
+    if opts.serve && (opts.min_rank.is_some() || opts.approx_tau.is_some()) {
+        return Err(
+            "serve mode ranks via --rank-by ATTR --top K only (no --min-rank/--approx)".into(),
+        );
+    }
+    if opts.connect
+        && (opts.input.is_some()
+            || opts.top.is_some()
+            || opts.rank_attr.is_some()
+            || opts.min_rank.is_some()
+            || opts.approx_tau.is_some()
+            || opts.engine.is_some()
+            || opts.page_size.is_some()
+            || opts.threads.is_some()
+            || opts.show_sources)
+    {
+        return Err("connect mode only combines with --addr and --script".into());
     }
     Ok(opts)
 }
@@ -422,17 +476,26 @@ struct WatchState {
 
 impl WatchState {
     /// Executes one command, returning the lines to print (status first,
-    /// then one `+`/`-` line per event).
+    /// then one `+`/`-` line per event). The grammar is
+    /// [`serve::parse_command`] — the same parser the daemon uses, so a
+    /// watch script is a valid `fd connect` script — rendered with the
+    /// REPL's historical wording.
     fn command(&mut self, cmd: &str) -> Result<Vec<String>, String> {
-        match cmd {
-            "begin" => {
+        let parsed = serve::parse_command(cmd).map_err(|e| match e {
+            ParseError::Unknown { cmd } => format!(
+                "unknown command: {cmd} (insert / delete / begin / commit / abort / show / quit)"
+            ),
+            other => other.to_string(),
+        })?;
+        match parsed {
+            Command::Begin => {
                 if self.pending.is_some() {
                     return Err("a batch is already open (commit or abort first)".into());
                 }
                 self.pending = Some(self.session.begin());
-                return Ok(vec!["begin (mutations now queue until commit)".into()]);
+                Ok(vec!["begin (mutations now queue until commit)".into()])
             }
-            "commit" => {
+            Command::Commit => {
                 let batch = self.pending.take().ok_or("no open batch (begin first)")?;
                 let n = batch.len();
                 // A rejected commit discards the batch: transactional
@@ -449,75 +512,77 @@ impl WatchState {
                     lines.push(self.change_line(change));
                 }
                 lines.extend(commit.events.iter().map(|e| e.label(self.session.db())));
-                return Ok(lines);
+                Ok(lines)
             }
-            "abort" => {
+            Command::Abort => {
                 let batch = self.pending.take().ok_or("no open batch (begin first)")?;
-                return Ok(vec![format!(
+                Ok(vec![format!(
                     "aborted ({} queued mutation(s) discarded)",
                     batch.len()
-                )]);
+                )])
             }
-            _ => {}
-        }
-        if let Some(rest) = cmd.strip_prefix("insert ") {
-            let (rel_name, row) = rest
-                .split_once('|')
-                .ok_or("usage: insert REL | V1 | V2 ...")?;
-            let rel_name = rel_name.trim();
-            let rel = self
-                .session
-                .db()
-                .relation_by_name(rel_name)
-                .map_err(|e| e.to_string())?
-                .id();
-            let values = textio::parse_row(row);
-            if let Some(batch) = &mut self.pending {
-                batch.insert(rel, values);
-                return Ok(vec![format!(
-                    "queued insert into {rel_name} ({} pending)",
-                    batch.len()
-                )]);
+            Command::Insert {
+                rel: rel_name,
+                values,
+            } => {
+                let rel = self
+                    .session
+                    .db()
+                    .relation_by_name(&rel_name)
+                    .map_err(|e| e.to_string())?
+                    .id();
+                if let Some(batch) = &mut self.pending {
+                    batch.insert(rel, values);
+                    return Ok(vec![format!(
+                        "queued insert into {rel_name} ({} pending)",
+                        batch.len()
+                    )]);
+                }
+                let commit = self
+                    .session
+                    .apply(crate::relational::Delta::Insert { rel, values })
+                    .map_err(|e| e.to_string())?;
+                let tuple = commit.inserted()[0];
+                let mut lines = vec![format!(
+                    "inserted {} into {rel_name}",
+                    self.session.db().tuple_label(tuple)
+                )];
+                lines.extend(commit.events.iter().map(|e| e.label(self.session.db())));
+                Ok(lines)
             }
-            let commit = self
-                .session
-                .apply(crate::relational::Delta::Insert { rel, values })
-                .map_err(|e| e.to_string())?;
-            let tuple = commit.inserted()[0];
-            let mut lines = vec![format!(
-                "inserted {} into {rel_name}",
-                self.session.db().tuple_label(tuple)
-            )];
-            lines.extend(commit.events.iter().map(|e| e.label(self.session.db())));
-            return Ok(lines);
-        }
-        if let Some(rest) = cmd.strip_prefix("delete ") {
-            let tok = rest.trim();
-            let raw: u32 = tok
-                .strip_prefix('t')
-                .unwrap_or(tok)
-                .parse()
-                .map_err(|_| format!("bad tuple id: {tok}"))?;
-            let tuple = crate::relational::TupleId(raw);
-            if let Some(batch) = &mut self.pending {
-                batch.delete(tuple);
-                return Ok(vec![format!(
-                    "queued delete t{raw} ({} pending)",
-                    batch.len()
-                )]);
+            Command::Delete(tuple) => {
+                if let Some(batch) = &mut self.pending {
+                    batch.delete(tuple);
+                    return Ok(vec![format!(
+                        "queued delete t{} ({} pending)",
+                        tuple.0,
+                        batch.len()
+                    )]);
+                }
+                let commit = self
+                    .session
+                    .apply(crate::relational::Delta::Delete { tuple })
+                    .map_err(|e| e.to_string())?;
+                // Tombstones retain row data, so the label still renders.
+                let mut lines = vec![format!("deleted {}", self.session.db().tuple_label(tuple))];
+                lines.extend(commit.events.iter().map(|e| e.label(self.session.db())));
+                Ok(lines)
             }
-            let commit = self
-                .session
-                .apply(crate::relational::Delta::Delete { tuple })
-                .map_err(|e| e.to_string())?;
-            // Tombstones retain row data, so the label still renders.
-            let mut lines = vec![format!("deleted {}", self.session.db().tuple_label(tuple))];
-            lines.extend(commit.events.iter().map(|e| e.label(self.session.db())));
-            return Ok(lines);
+            // `show`/`quit` are intercepted by the REPL loop before
+            // parsing; nothing to do if a caller routes them here.
+            Command::Show | Command::Quit => Ok(vec![]),
+            // The serve-only extensions of the shared grammar.
+            Command::Top
+            | Command::Stats
+            | Command::Subscribe
+            | Command::Unsubscribe
+            | Command::Shutdown => {
+                let word = cmd.trim();
+                Err(format!(
+                    "{word} is only available over fd serve (use fd connect)"
+                ))
+            }
         }
-        Err(format!(
-            "unknown command: {cmd} (insert / delete / begin / commit / abort / show / quit)"
-        ))
     }
 
     /// Renders one realized change the way the singleton path prints it.
@@ -532,6 +597,121 @@ impl WatchState {
             Change::Removed { tuple, .. } => format!("deleted {}", db.tuple_label(*tuple)),
         }
     }
+}
+
+/// Builds the session a `fd serve` daemon exposes: plain, or — with
+/// `--rank-by ATTR --top K` — ranked under the owned [`AttrMax`]
+/// function (a frozen [`ImpScores`] table would pin the session's
+/// lifetime and default later-inserted tuples to rank 0; `AttrMax`
+/// evaluates the live attribute value instead).
+pub fn build_serve_session(opts: &Options) -> Result<FdSession<'static>, String> {
+    let db = load_database(opts)?;
+    let cfg = opts.fd_config();
+    let threads = opts.threads;
+    match &opts.rank_attr {
+        None => Ok(FdSession::with_config_parallel(db, cfg, threads)),
+        Some(attr) => {
+            let k = opts
+                .top
+                .ok_or("a ranked daemon needs a window: --rank-by requires --top K")?;
+            let f = AttrMax::new(&db, attr).map_err(|e| serve_error(&e))?;
+            Ok(FdSession::ranked_with_config_parallel(
+                db, f, k, cfg, threads,
+            ))
+        }
+    }
+}
+
+/// Renders a [`ServeError`] for the CLI (drops the `protocol:` prefix on
+/// config-level complaints like an unknown attribute).
+fn serve_error(e: &ServeError) -> String {
+    match e {
+        ServeError::Protocol { reason } => reason.clone(),
+        other => other.to_string(),
+    }
+}
+
+/// The `fd serve` daemon: binds `--addr` (default [`DEFAULT_ADDR`]),
+/// prints the bound address, and blocks until a client issues
+/// `shutdown`. Stop it from any client — plain process kill works too,
+/// but skips the event-queue flush the `shutdown` path performs.
+pub fn run_serve(opts: &Options, mut out: impl Write) -> Result<(), String> {
+    let session = build_serve_session(opts)?;
+    let addr = opts.addr.as_deref().unwrap_or(DEFAULT_ADDR);
+    let server = Server::start(session, addr).map_err(|e| serve_error(&e))?;
+    let bound = server.addr();
+    let n = server
+        .handle()
+        .with(|s| s.len())
+        .map_err(|e| serve_error(&e))?;
+    writeln!(
+        out,
+        "fd serve: listening on {bound} ({n} results); attach with: fd connect --addr {bound}"
+    )
+    .map_err(|e| format!("write failed: {e}"))?;
+    // Piped stdout is block-buffered: push the line out before blocking,
+    // so a supervising script can read the bound address.
+    out.flush().map_err(|e| format!("flush failed: {e}"))?;
+    server.wait().map_err(|e| serve_error(&e))
+}
+
+/// The `fd connect` client: dials the daemon (retrying briefly, so a
+/// script can race a just-spawned `fd serve`), prints the greeting, then
+/// runs commands from `--script FILE` (or `input`) in lockstep — send a
+/// line, print the reply block. Asynchronous `event` lines print in
+/// arrival order, with the first reply block read after they land. A
+/// session not ending in `quit`/`shutdown` is closed with a `quit`.
+pub fn run_connect(opts: &Options, input: impl BufRead, mut out: impl Write) -> Result<(), String> {
+    let addr = opts.addr.as_deref().unwrap_or(DEFAULT_ADDR);
+    let mut client = Client::connect_retry(addr, Duration::from_secs(10))
+        .map_err(|e| format!("cannot connect to {addr}: {}", serve_error(&e)))?;
+    let emit = |out: &mut dyn Write, lines: &[String]| -> Result<(), String> {
+        for line in lines {
+            writeln!(out, "{line}").map_err(|e| format!("write failed: {e}"))?;
+        }
+        Ok(())
+    };
+    let greeting = client.read_response().map_err(|e| serve_error(&e))?;
+    emit(&mut out, &greeting)?;
+
+    let script_text = match &opts.script {
+        Some(path) => {
+            Some(std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?)
+        }
+        None => None,
+    };
+    let reader: Box<dyn BufRead> = match &script_text {
+        Some(text) => Box::new(text.as_bytes()),
+        None => Box::new(input),
+    };
+    let mut closed = false;
+    for line in reader.lines() {
+        let line = line.map_err(|e| format!("read failed: {e}"))?;
+        let cmd = line.trim();
+        if cmd.is_empty() || cmd.starts_with('#') {
+            continue;
+        }
+        client.send(cmd).map_err(|e| serve_error(&e))?;
+        let reply = client.read_response().map_err(|e| serve_error(&e))?;
+        emit(&mut out, &reply)?;
+        let status = reply.last().map(String::as_str).unwrap_or_default();
+        if status == "ok bye" || status == "ok shutting down" {
+            closed = true;
+            break;
+        }
+    }
+    if !closed {
+        // Input ran dry (ctrl-d / script without quit): close cleanly.
+        if client.send("quit").is_ok() {
+            if let Ok(reply) = client.read_response() {
+                emit(&mut out, &reply)?;
+            }
+        }
+    }
+    // Trailing event lines that raced the close.
+    let rest = client.drain().map_err(|e| serve_error(&e))?;
+    emit(&mut out, &rest)?;
+    Ok(())
 }
 
 /// Convenience: full ranked stream used by tests.
@@ -611,6 +791,43 @@ mod tests {
         assert!(parse_args(["--threads", "0"]).is_err());
         assert!(parse_args(["--threads", "x"]).is_err());
         assert!(parse_args(["--threads"]).is_err());
+    }
+
+    #[test]
+    fn parse_serve_and_connect_modes() {
+        let o = parse_args(["serve"]).unwrap();
+        assert!(o.serve && !o.connect && !o.watch);
+        assert!(o.addr.is_none(), "default address resolves at run time");
+
+        let o = parse_args(["serve", "db.txt", "--addr", "0.0.0.0:9999"]).unwrap();
+        assert!(o.serve);
+        assert_eq!(o.input.as_deref(), Some("db.txt"));
+        assert_eq!(o.addr.as_deref(), Some("0.0.0.0:9999"));
+
+        // A ranked daemon: --rank-by + --top build an AttrMax window.
+        let o = parse_args(["serve", "--rank-by", "Stars", "--top", "3"]).unwrap();
+        assert_eq!(o.rank_attr.as_deref(), Some("Stars"));
+        assert_eq!(o.top, Some(3));
+
+        let o = parse_args(["connect", "--addr", "127.0.0.1:7000", "--script", "s.txt"]).unwrap();
+        assert!(o.connect && !o.serve);
+        assert_eq!(o.addr.as_deref(), Some("127.0.0.1:7000"));
+        assert_eq!(o.script.as_deref(), Some("s.txt"));
+    }
+
+    #[test]
+    fn parse_rejects_inconsistent_serve_connect_options() {
+        // --addr and --script are mode-scoped flags.
+        assert!(parse_args(["--addr", "127.0.0.1:7000"]).is_err());
+        assert!(parse_args(["watch", "--addr", "127.0.0.1:7000"]).is_err());
+        assert!(parse_args(["serve", "--script", "s.txt"]).is_err());
+        // Serve ranks via --rank-by/--top only.
+        assert!(parse_args(["serve", "--rank-by", "Stars", "--min-rank", "3"]).is_err());
+        assert!(parse_args(["serve", "--approx", "0.9"]).is_err());
+        // Connect is a pure client: no local query options.
+        assert!(parse_args(["connect", "db.txt"]).is_err());
+        assert!(parse_args(["connect", "--threads", "2"]).is_err());
+        assert!(parse_args(["connect", "--rank-by", "Stars", "--top", "2"]).is_err());
     }
 
     #[test]

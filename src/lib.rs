@@ -14,11 +14,13 @@
 //! * [`baselines`] — brute-force oracle, Rajaraman–Ullman outerjoin
 //!   sequences, and a Kanza–Sagiv-2003-style batch algorithm;
 //! * [`workloads`] — synthetic schema/data generators for experiments;
-//! * [`live`] — dynamic full disjunctions: the transactional
-//!   [`FdSession`](crate::core::FdSession) (batched `DeltaBatch` commits,
-//!   one maintenance pass per commit, push `EventSink` subscribers) plus
-//!   the deprecated `LiveFd`/`LiveRankedFd` wrappers; the `fd watch`
-//!   REPL (`begin`/`commit`/`--script`) drives it from the command line.
+//! * [`live`] — a re-export shim over the dynamic surface, which lives
+//!   in [`core`]: the transactional [`FdSession`](crate::core::FdSession)
+//!   (batched `DeltaBatch` commits, one maintenance pass per commit,
+//!   push `EventSink` subscribers). The `fd watch` REPL drives it from
+//!   the command line, and `fd serve` / `fd connect`
+//!   ([`core::serve`]) expose one shared session
+//!   over TCP with commit events fanned out to subscribed clients.
 //!
 //! ## Quickstart
 //!
@@ -97,13 +99,12 @@ pub mod cli;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use fd_core::{
-        fdi, AMin, AProd, ApproxAllIter, ApproxFdIter, BatchDelta, ChannelSink, Commit,
-        DeleteDelta, EventSink, FMax, FPairSum, FSum, FTriple, FdConfig, FdError, FdIter, FdQuery,
-        FdResult, FdSession, FdStream, FdiIter, ImpScores, InitStrategy, InsertDelta,
-        MonotoneCDetermined, ProbScores, RankedFdIter, RankingFunction, Stats, StoreEngine,
-        TupleSet, VecSink,
+        fdi, AMin, AProd, ApproxAllIter, ApproxFdIter, AttrMax, BatchDelta, ChannelSink, Commit,
+        DeleteDelta, EventSink, FMax, FPairSum, FSum, FTriple, FdConfig, FdError, FdEvent, FdIter,
+        FdQuery, FdResult, FdSession, FdStream, FdiIter, ImpScores, InitStrategy, InsertDelta,
+        MonotoneCDetermined, ProbScores, RankedFdIter, RankingFunction, ServeError, Server,
+        SessionHandle, SinkId, Stats, StoreEngine, TopKUpdate, TupleSet, VecSink,
     };
-    pub use fd_live::{FdEvent, LiveFd, LiveRankedFd, TopKUpdate};
     pub use fd_relational::{
         tourist_database, AttrId, Change, ChangeLog, Database, DatabaseBuilder, Delta, DeltaBatch,
         RelId, TupleId, Value, NULL,

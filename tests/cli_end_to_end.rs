@@ -1,7 +1,7 @@
 //! End-to-end tests of the `fd` command-line front end: file loading,
 //! every mode, the `fd watch` maintenance REPL, and error paths.
 
-use full_disjunction::cli::{parse_args, run, run_watch, Options};
+use full_disjunction::cli::{parse_args, run, run_connect, run_serve, run_watch, Options};
 use std::io::Write;
 
 fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
@@ -299,6 +299,81 @@ fn watch_script_matches_golden_transcript() {
     assert_eq!(
         text, expected,
         "watch --script diverged from the golden transcript"
+    );
+}
+
+/// A `Write` target a daemon thread and the test can share: `run_serve`
+/// announces its ephemeral bound address through it.
+#[derive(Clone, Default)]
+struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedBuf {
+    fn text(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().unwrap()).into_owned()
+    }
+}
+
+/// `fd serve` + `fd connect --script FILE` reproduce the serve golden
+/// transcript byte for byte through the real CLI entry points (CI
+/// re-runs the same diff through the released binary, across two
+/// processes).
+#[test]
+fn serve_script_matches_golden_transcript() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let script = root.join("tests/golden/serve_session.script");
+    let golden = root.join("tests/golden/serve_session.golden");
+
+    // Port 0 keeps the test parallel-safe; the daemon announces the
+    // resolved address on its output before blocking in `wait`.
+    let serve_opts = parse_args(["serve", "--addr", "127.0.0.1:0"]).unwrap();
+    let daemon_out = SharedBuf::default();
+    let daemon = {
+        let out = daemon_out.clone();
+        std::thread::spawn(move || run_serve(&serve_opts, out))
+    };
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let addr = loop {
+        let text = daemon_out.text();
+        if let Some(rest) = text.strip_prefix("fd serve: listening on ") {
+            break rest.split_whitespace().next().unwrap().to_owned();
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon never announced its address: {text:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+
+    let connect_opts = parse_args([
+        "connect",
+        "--addr",
+        addr.as_str(),
+        "--script",
+        script.to_string_lossy().as_ref(),
+    ])
+    .unwrap();
+    let mut out = Vec::new();
+    // Stdin is ignored in script mode.
+    run_connect(&connect_opts, std::io::empty(), &mut out).unwrap();
+    // The script ends in `shutdown`, so the daemon exits on its own.
+    daemon.join().unwrap().unwrap();
+
+    let text = String::from_utf8(out).unwrap();
+    let expected = std::fs::read_to_string(golden).expect("golden transcript");
+    assert_eq!(
+        text, expected,
+        "connect --script diverged from the golden transcript"
     );
 }
 

@@ -6,9 +6,9 @@
 //! duplicate or a non-maximal set.
 
 use full_disjunction::baselines::brute::oracle_fd;
-use full_disjunction::core::{canonicalize, FMax, ImpScores, RankingFunction, TupleSet};
-use full_disjunction::live::{FdEvent, LiveFd, LiveRankedFd};
-use full_disjunction::relational::{RelId, TupleId, Value};
+use full_disjunction::core::{canonicalize, FMax, FdSession, ImpScores, RankingFunction, TupleSet};
+use full_disjunction::live::FdEvent;
+use full_disjunction::relational::{Delta, RelId, TupleId, Value};
 use full_disjunction::workloads::{chain, star, DataSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,22 +25,26 @@ fn random_value(rng: &mut StdRng, domain: i64) -> Value {
     }
 }
 
-/// One churn run over `live`, asserting the invariant after every step.
-fn churn(mut live: LiveFd, seed: u64, payload_base: i64) {
+/// One churn run over `session` (singleton commits), asserting the
+/// invariant after every step.
+fn churn(mut session: FdSession<'static>, seed: u64, payload_base: i64) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let num_rels = live.db().num_relations();
+    let num_rels = session.db().num_relations();
     for step in 0..STEPS {
-        let tuple_count = live.db().num_tuples();
+        let tuple_count = session.db().num_tuples();
         let do_insert = tuple_count <= 4 || (tuple_count < MAX_TUPLES && rng.gen_bool(0.5));
         let events = if do_insert {
-            let rel = full_disjunction::relational::RelId(rng.gen_range(0..num_rels) as u16);
-            let arity = live.db().relation(rel).schema().arity();
+            let rel = RelId(rng.gen_range(0..num_rels) as u16);
+            let arity = session.db().relation(rel).schema().arity();
             // Last column is the relation's payload; the ones before are
             // join columns over a small shared domain.
             let mut values: Vec<Value> =
                 (0..arity - 1).map(|_| random_value(&mut rng, 3)).collect();
             values.push(Value::Int(payload_base + step as i64));
-            let (_, events) = live.insert(rel, values).expect("insert");
+            let events = session
+                .apply(Delta::Insert { rel, values })
+                .expect("insert")
+                .events;
             // Acceptance: delta_insert emits no duplicate and no
             // non-maximal set.
             let added: Vec<_> = events
@@ -63,41 +67,44 @@ fn churn(mut live: LiveFd, seed: u64, payload_base: i64) {
             }
             events
         } else {
-            let live_ids: Vec<TupleId> = live.db().all_tuples().collect();
+            let live_ids: Vec<TupleId> = session.db().all_tuples().collect();
             let victim = live_ids[rng.gen_range(0..live_ids.len())];
-            live.delete(victim).expect("delete")
+            session
+                .apply(Delta::Delete { tuple: victim })
+                .expect("delete")
+                .events
         };
 
         // Events must describe a consistent transition: retractions of
         // known sets, additions of new ones (checked by the store), and
         // the end state must match ground truth.
         drop(events);
-        let oracle = oracle_fd(live.db());
+        let oracle = oracle_fd(session.db());
         assert_eq!(
-            canonicalize(live.results().to_vec()),
+            canonicalize(session.results().to_vec()),
             oracle,
             "live state diverged from the oracle at step {step}"
         );
     }
-    // Every step really happened…
-    assert_eq!(live.changelog().len(), STEPS);
+    // Every step really happened (one commit per step)…
+    assert_eq!(session.changelog().num_batches(), STEPS);
     // …and the cheaper FdIter-based invariant must agree as well.
-    assert!(live.verify_snapshot());
+    assert!(session.verify_snapshot());
 }
 
 #[test]
 fn chain_churn_matches_oracle_every_step() {
     let db = chain(3, &DataSpec::new(3, 3).seed(0xC0FFEE));
-    churn(LiveFd::new(db), 11, 1_000);
+    churn(FdSession::new(db), 11, 1_000);
 }
 
 #[test]
 fn star_churn_matches_oracle_every_step() {
     let db = star(3, &DataSpec::new(3, 3).seed(0xBEEF));
-    churn(LiveFd::new(db), 23, 2_000);
+    churn(FdSession::new(db), 23, 2_000);
 }
 
-/// Ranked-window churn: `LiveRankedFd::apply` maintains its ranked
+/// Ranked-window churn: a ranked `FdSession` maintains its ranked
 /// vector incrementally (binary-search insert / positional remove —
 /// never a full-window re-sort); after every mutation the maintained
 /// order must equal a from-scratch rank + sort of the current results.
@@ -108,49 +115,51 @@ fn ranked_window_incremental_order_equals_from_scratch_sort_under_churn() {
     // exercised; tuples inserted later rank through the documented
     // default (0.0), landing in one big tie group.
     let imp = ImpScores::from_fn(&db, |t| (t.0 % 3) as f64);
-    let mut live = LiveRankedFd::new(db, FMax::new(&imp), 3);
+    let mut session = FdSession::ranked(db, FMax::new(&imp), 3);
     let mut rng = StdRng::seed_from_u64(71);
-    let num_rels = live.db().num_relations();
+    let num_rels = session.db().num_relations();
     for step in 0..STEPS {
-        let tuple_count = live.db().num_tuples();
+        let tuple_count = session.db().num_tuples();
         let do_insert = tuple_count <= 4 || (tuple_count < MAX_TUPLES && rng.gen_bool(0.5));
         if do_insert {
             let rel = RelId(rng.gen_range(0..num_rels) as u16);
-            let arity = live.db().relation(rel).schema().arity();
+            let arity = session.db().relation(rel).schema().arity();
             let mut values: Vec<Value> =
                 (0..arity - 1).map(|_| random_value(&mut rng, 3)).collect();
             values.push(Value::Int(9_000 + step as i64));
-            live.apply(full_disjunction::relational::Delta::Insert { rel, values })
+            session
+                .apply(Delta::Insert { rel, values })
                 .expect("insert");
         } else {
-            let live_ids: Vec<TupleId> = live.db().all_tuples().collect();
+            let live_ids: Vec<TupleId> = session.db().all_tuples().collect();
             let victim = live_ids[rng.gen_range(0..live_ids.len())];
-            live.apply(full_disjunction::relational::Delta::Delete { tuple: victim })
+            session
+                .apply(Delta::Delete { tuple: victim })
                 .expect("delete");
         }
 
         // From-scratch reference: rank every current result, sort by
         // (rank desc, members asc) — must equal the maintained vector.
         let f = FMax::new(&imp);
-        let mut scratch: Vec<(TupleSet, f64)> = live
+        let mut scratch: Vec<(TupleSet, f64)> = session
             .results()
             .iter()
-            .map(|s| (s.clone(), f.rank(live.db(), s)))
+            .map(|s| (s.clone(), f.rank(session.db(), s)))
             .collect();
         scratch.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         assert_eq!(
-            live.ranking(),
+            session.ranking().expect("ranked session"),
             &scratch[..],
             "incremental ranking diverged at step {step}"
         );
         // The window is the prefix.
         assert_eq!(
-            live.top(),
+            session.window().expect("ranked session"),
             &scratch[..3.min(scratch.len())],
             "window diverged at step {step}"
         );
     }
-    assert!(live.verify_snapshot());
+    assert!(session.verify_snapshot());
 }
 
 /// Batched churn through the session API: every step commits a batch of
@@ -159,9 +168,6 @@ fn ranked_window_incremental_order_equals_from_scratch_sort_under_churn() {
 /// churn above, on the null-heavy workload the other suites don't use.
 #[test]
 fn nully_chain_batched_commits_match_oracle_every_step() {
-    use full_disjunction::core::FdSession;
-    use full_disjunction::relational::Delta;
-
     let db = chain(
         3,
         &DataSpec {
@@ -222,5 +228,5 @@ fn nully_chain_churn_matches_oracle_every_step() {
             ..DataSpec::new(3, 2)
         },
     );
-    churn(LiveFd::new(db), 37, 3_000);
+    churn(FdSession::new(db), 37, 3_000);
 }

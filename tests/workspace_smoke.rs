@@ -67,14 +67,18 @@ fn approx_full_disjunction_degenerates_to_fd() {
 /// The live subsystem round-trips a mutation through the facade prelude:
 /// insert + delete leaves the materialized state where it started.
 #[test]
-fn live_fd_round_trips_through_the_prelude() {
-    let mut live = LiveFd::new(tourist_database());
-    let before = live.canonical_results();
-    let (t, _) = live
-        .insert(RelId(0), vec!["Chile".into(), "arid".into()])
+fn live_session_round_trips_through_the_prelude() {
+    let mut session = FdSession::new(tourist_database());
+    let before = session.canonical_results();
+    let commit = session
+        .apply(Delta::Insert {
+            rel: RelId(0),
+            values: vec!["Chile".into(), "arid".into()],
+        })
         .expect("insert");
-    assert_eq!(live.len(), 7);
-    live.apply(Delta::Delete { tuple: t }).expect("delete");
-    assert_eq!(live.canonical_results(), before);
-    assert!(live.verify_snapshot());
+    let t = commit.inserted()[0];
+    assert_eq!(session.len(), 7);
+    session.apply(Delta::Delete { tuple: t }).expect("delete");
+    assert_eq!(session.canonical_results(), before);
+    assert!(session.verify_snapshot());
 }
