@@ -57,6 +57,7 @@ pub mod approx;
 pub mod delta;
 pub mod error;
 pub mod jcc;
+pub mod obs;
 pub mod priority;
 pub mod query;
 pub mod ranked_approx;
@@ -70,6 +71,7 @@ pub use delta::{BatchDelta, DeleteDelta, InsertDelta};
 pub use error::FdError;
 pub use incremental::{canonicalize, fdi, FdConfig, FdIter, FdiIter};
 pub use init::InitStrategy;
+pub use obs::{Counter, EventLog, Gauge, Histogram, MetricsServer, QueryTimings, Registry, Span};
 pub use padded::{format_results, padded_relation, padded_tuple, padded_tuple_over};
 pub use priority::RankedFdIter;
 pub use query::{BoxedApprox, BoxedRanking, FdQuery, FdResult, FdStream, QueryParts};
@@ -78,9 +80,10 @@ pub use ranking::{
     canonical_rank_order, FMax, FPairSum, FSum, FTriple, ImpScores, MonotoneCDetermined,
     RankingFunction,
 };
-pub use serve::{AttrMax, ServeError, Server, SessionHandle};
+pub use serve::{AttrMax, ServeError, ServeOptions, Server, SessionHandle};
 pub use session::{
-    ChannelSink, Commit, DeltaBatch, EventSink, FdEvent, FdSession, SinkId, TopKUpdate, VecSink,
+    ChannelSink, Commit, CommitTimings, DeltaBatch, EventSink, FdEvent, FdSession, SinkId,
+    TopKUpdate, VecSink,
 };
 pub use sim::{EditDistanceSim, ExactSim, Similarity, TableSim};
 pub use stats::Stats;

@@ -54,6 +54,7 @@ use crate::approx::{ApproxAllIter, ApproxJoin};
 use crate::error::FdError;
 use crate::incremental::{FdConfig, FdIter};
 use crate::init::InitStrategy;
+use crate::obs::QueryTimings;
 use crate::parallel::{
     parallel_approx, parallel_full_disjunction, parallel_ranked, parallel_ranked_approx, RankedCut,
     RankedMerge,
@@ -325,9 +326,15 @@ impl<'q> FdQuery<'q> {
             min_rank: self.min_rank,
             threads: self.threads,
         };
-        let mut stream = FdStream {
-            inner: build_inner(self.db, self.cfg, mode, ing),
-        };
+        // The clock starts *before* plan construction: the parallel
+        // plans materialize inside `build_inner`, and that work belongs
+        // in the wall / time-to-first measurements.
+        let started = std::time::Instant::now();
+        let mut stream = FdStream::new(
+            started,
+            build_inner(self.db, self.cfg, mode, ing),
+            self.top_k,
+        );
         let ranked_mode = matches!(mode, Mode::Ranked | Mode::RankedApprox);
         let mut sets = Vec::new();
         let mut ranks = Vec::new();
@@ -338,10 +345,12 @@ impl<'q> FdQuery<'q> {
             sets.push(set);
         }
         let stats = stream.stats();
+        let timings = stream.timings();
         Ok(FdResult {
             sets,
             ranks: ranked_mode.then_some(ranks),
             stats,
+            timings,
         })
     }
 
@@ -357,16 +366,20 @@ impl<'q> FdQuery<'q> {
     /// sequential plan when k is small and the database is large.
     pub fn stream(self) -> Result<FdStream<'q>, FdError> {
         let mode = self.mode()?;
+        let top_k = self.top_k;
         let ing = Ingredients {
             ranking: self.ranking,
             approx: self.approx,
-            top_k: self.top_k,
+            top_k,
             min_rank: self.min_rank,
             threads: self.threads,
         };
-        Ok(FdStream {
-            inner: build_inner(self.db, self.cfg, mode, ing),
-        })
+        let started = std::time::Instant::now();
+        Ok(FdStream::new(
+            started,
+            build_inner(self.db, self.cfg, mode, ing),
+            top_k,
+        ))
     }
 
     /// Opens a transactional [`FdSession`](crate::session::FdSession)
@@ -504,6 +517,7 @@ pub struct FdResult {
     sets: Vec<TupleSet>,
     ranks: Option<Vec<f64>>,
     stats: Stats,
+    timings: QueryTimings,
 }
 
 impl FdResult {
@@ -544,6 +558,13 @@ impl FdResult {
     /// Work counters of the execution.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Wall-clock milestones of the execution: total time,
+    /// time-to-first-result, and (for `.top_k(k)` queries that yielded
+    /// k answers) time-to-k-th-result.
+    pub fn timings(&self) -> QueryTimings {
+        self.timings
     }
 }
 
@@ -645,6 +666,11 @@ fn build_inner<'q>(
 /// remote backends) without breaking the interface.
 pub struct FdStream<'q> {
     inner: StreamInner<'q>,
+    started: std::time::Instant,
+    emitted: usize,
+    top_k: Option<usize>,
+    first: Option<std::time::Duration>,
+    kth: Option<std::time::Duration>,
 }
 
 enum StreamInner<'q> {
@@ -824,17 +850,49 @@ impl<I: RankedSource> Bounded<I> {
     }
 }
 
-impl FdStream<'_> {
+impl<'q> FdStream<'q> {
+    fn new(started: std::time::Instant, inner: StreamInner<'q>, top_k: Option<usize>) -> Self {
+        FdStream {
+            inner,
+            started,
+            emitted: 0,
+            top_k,
+            first: None,
+            kth: None,
+        }
+    }
+
     /// The next answer together with its rank (`None` rank outside the
     /// ranked modes).
     pub fn next_ranked(&mut self) -> Option<(TupleSet, Option<f64>)> {
-        match &mut self.inner {
+        let item = match &mut self.inner {
             StreamInner::Batch(it) => it.next().map(|s| (s, None)),
             StreamInner::Parallel { sets, .. } => sets.next().map(|s| (s, None)),
             StreamInner::Ranked(b) => b.next().map(|(s, r)| (s, Some(r))),
             StreamInner::MergedRanked { merge, .. } => merge.next().map(|(s, r)| (s, Some(r))),
             StreamInner::Approx(it) => it.next().map(|s| (s, None)),
             StreamInner::RankedApprox(b) => b.next().map(|(s, r)| (s, Some(r))),
+        };
+        if item.is_some() {
+            self.emitted += 1;
+            if self.emitted == 1 {
+                self.first = Some(self.started.elapsed());
+            }
+            if self.top_k == Some(self.emitted) {
+                self.kth = Some(self.started.elapsed());
+            }
+        }
+        item
+    }
+
+    /// Wall-clock milestones so far: elapsed time since the stream was
+    /// built, time-to-first-result, and time-to-k-th-result (for
+    /// `.top_k(k)` plans, once the k-th answer has been emitted).
+    pub fn timings(&self) -> QueryTimings {
+        QueryTimings {
+            wall: self.started.elapsed(),
+            first_result: self.first,
+            kth_result: self.kth,
         }
     }
 

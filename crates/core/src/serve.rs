@@ -35,7 +35,8 @@
 //! begin / commit / abort     transaction control, as in fd watch
 //! show                       every current result, canonical order
 //! top                        the ranked top-k window (ranked daemons)
-//! stats                      result/pass/subscriber counters
+//! stats                      result/pass/subscriber counters + work totals
+//! metrics                    Prometheus-style text exposition
 //! subscribe / unsubscribe    start/stop the event feed to this client
 //! quit                       close this connection
 //! shutdown                   stop the daemon (flushes in-flight events)
@@ -43,11 +44,26 @@
 //!
 //! A malformed line earns an `error protocol: …` reply — never a panic,
 //! never a disconnect of *other* clients. A subscriber whose socket died
-//! is reaped via [`FdSession::unsubscribe`] on the first failed write.
+//! is reaped via [`FdSession::unsubscribe`] on the first failed write —
+//! counted in `fd_serve_reaps_total`, no longer silently.
+//!
+//! ## Observability
+//!
+//! The daemon instruments itself into the session's
+//! [`Registry`] (per-command request counters,
+//! reply latency, connection/subscriber gauges, queue depth, protocol
+//! errors, reaps) alongside the session's own commit metrics. Three ways
+//! out: the `metrics` wire command returns the text exposition as a
+//! reply block; [`ServeOptions::metrics_addr`] additionally serves it
+//! over plain HTTP (`GET /metrics`, scrapeable by Prometheus or `curl`,
+//! zero new dependencies); [`ServeOptions::log`] emits structured
+//! `key=value` event lines on stderr (connection open/close, commit
+//! summaries with phase timings, reap and backpressure warnings).
 
 use crate::error::FdError;
+use crate::obs::{Counter, EventLog, Gauge, Histogram, MetricsServer, Registry, Span};
 use crate::ranking::RankingFunction;
-use crate::session::{Commit, EventSink, FdSession, SinkId};
+use crate::session::{Commit, CommitTimings, EventSink, FdSession, SinkId};
 use crate::tupleset::TupleSet;
 use fd_relational::{textio, AttrId, Database, DeltaBatch, TupleId, Value};
 use std::io::{BufRead, BufReader, Write};
@@ -69,8 +85,14 @@ const ACCEPT_POLL: Duration = Duration::from_millis(20);
 /// The one-line command summary quoted in protocol error replies and
 /// the connection greeting.
 pub const GRAMMAR: &str =
-    "insert REL | V.. / delete tN / begin / commit / abort / show / top / stats / \
+    "insert REL | V.. / delete tN / begin / commit / abort / show / top / stats / metrics / \
      subscribe / unsubscribe / quit / shutdown";
+
+/// When the cross-subscriber commit-queue depth reaches this many
+/// undelivered batches, `--log` emits a backpressure warning per
+/// delivery (the metric `fd_serve_queue_depth` carries the exact value
+/// at all times).
+const BACKPRESSURE_WARN_DEPTH: i64 = 64;
 
 // ---------------------------------------------------------------------
 // Errors
@@ -165,8 +187,12 @@ pub enum Command {
     Show,
     /// `top` — the ranked window (ranked daemons only).
     Top,
-    /// `stats` — result/pass/subscriber counters.
+    /// `stats` — result/pass/subscriber counters plus the cumulative
+    /// [`Stats`](crate::Stats) work counters.
     Stats,
+    /// `metrics` — the full Prometheus-style text exposition of the
+    /// session + daemon registry, as an indented reply block.
+    Metrics,
     /// `subscribe` — start the event feed to this connection.
     Subscribe,
     /// `unsubscribe` — stop the event feed.
@@ -222,6 +248,7 @@ pub fn parse_command(line: &str) -> Result<Command, ParseError> {
         "show" => return Ok(Command::Show),
         "top" => return Ok(Command::Top),
         "stats" => return Ok(Command::Stats),
+        "metrics" => return Ok(Command::Metrics),
         "subscribe" => return Ok(Command::Subscribe),
         "unsubscribe" => return Ok(Command::Unsubscribe),
         "quit" | "exit" => return Ok(Command::Quit),
@@ -300,7 +327,10 @@ impl SessionHandle {
     /// never needs the session lock to format its feed.
     pub fn subscribe(&self) -> Result<Subscription, ServeError> {
         let (tx, rx) = mpsc::channel();
-        let id = self.with(|s| s.subscribe(LabelSink { tx }))?;
+        let id = self.with(|s| {
+            let depth = s.registry().gauge(QUEUE_DEPTH_METRIC, QUEUE_DEPTH_HELP);
+            s.subscribe(LabelSink { tx, depth })
+        })?;
         Ok(Subscription { id, rx })
     }
 
@@ -348,12 +378,21 @@ impl Subscription {
     }
 }
 
+/// Metric name/help of the cross-subscriber commit-queue depth gauge:
+/// batches queued by [`LabelSink`]s but not yet written out by their
+/// forwarding threads. Shared between the sink (increments) and the
+/// forwarder (decrements) via the session registry.
+const QUEUE_DEPTH_METRIC: &str = "fd_serve_queue_depth";
+const QUEUE_DEPTH_HELP: &str =
+    "Commit batches queued to subscriber forwarders but not yet written to their sockets.";
+
 /// The [`EventSink`] behind a [`Subscription`]: renders each commit's
 /// events under the session lock (where the post-commit database is at
 /// hand) and queues the labels. Send errors are ignored — a hung-up
 /// receiver must not take the commit down; the forwarder reaps itself.
 struct LabelSink {
     tx: mpsc::Sender<CommitLabels>,
+    depth: Arc<Gauge>,
 }
 
 impl EventSink for LabelSink {
@@ -361,7 +400,9 @@ impl EventSink for LabelSink {
 
     fn on_commit(&mut self, commit: &Commit, db: &Database) {
         let labels = commit.events.iter().map(|e| e.label(db)).collect();
-        let _ = self.tx.send(CommitLabels { labels });
+        if self.tx.send(CommitLabels { labels }).is_ok() {
+            self.depth.add(1);
+        }
     }
 }
 
@@ -416,10 +457,137 @@ impl RankingFunction for AttrMax {
 // Server
 // ---------------------------------------------------------------------
 
+/// Wire-command spellings, in [`Command`] declaration order — the
+/// labels of the `fd_serve_requests_total{command=…}` series.
+const COMMAND_NAMES: [&str; 13] = [
+    "insert",
+    "delete",
+    "begin",
+    "commit",
+    "abort",
+    "show",
+    "top",
+    "stats",
+    "metrics",
+    "subscribe",
+    "unsubscribe",
+    "quit",
+    "shutdown",
+];
+
+fn command_index(cmd: &Command) -> usize {
+    match cmd {
+        Command::Insert { .. } => 0,
+        Command::Delete(_) => 1,
+        Command::Begin => 2,
+        Command::Commit => 3,
+        Command::Abort => 4,
+        Command::Show => 5,
+        Command::Top => 6,
+        Command::Stats => 7,
+        Command::Metrics => 8,
+        Command::Subscribe => 9,
+        Command::Unsubscribe => 10,
+        Command::Quit => 11,
+        Command::Shutdown => 12,
+    }
+}
+
+/// Pre-bound handles into the (session-owned) registry for the daemon's
+/// own metrics — resolved once at server start so the per-request path
+/// never takes the registry lock.
+struct ServeMetrics {
+    connections: Arc<Counter>,
+    active: Arc<Gauge>,
+    requests: [Arc<Counter>; COMMAND_NAMES.len()],
+    reply: Arc<Histogram>,
+    protocol_errors: Arc<Counter>,
+    reaps: Arc<Counter>,
+    pushed: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+}
+
+impl ServeMetrics {
+    fn new(registry: &Registry) -> Self {
+        ServeMetrics {
+            connections: registry.counter(
+                "fd_serve_connections_total",
+                "Connections accepted over the daemon's lifetime.",
+            ),
+            active: registry.gauge("fd_serve_connections_active", "Currently open connections."),
+            requests: std::array::from_fn(|i| {
+                registry.counter(
+                    &format!(
+                        "fd_serve_requests_total{{command=\"{}\"}}",
+                        COMMAND_NAMES[i]
+                    ),
+                    "Requests received, by wire command.",
+                )
+            }),
+            reply: registry.histogram(
+                "fd_serve_reply_seconds",
+                "Request-to-reply latency of one wire command.",
+            ),
+            protocol_errors: registry.counter(
+                "fd_serve_protocol_errors_total",
+                "Lines that failed to parse as a wire command.",
+            ),
+            reaps: registry.counter(
+                "fd_serve_reaps_total",
+                "Dead subscribers reaped after a failed event write.",
+            ),
+            pushed: registry.counter(
+                "fd_events_pushed_total",
+                "Event lines written to subscriber sockets.",
+            ),
+            queue_depth: registry.gauge(QUEUE_DEPTH_METRIC, QUEUE_DEPTH_HELP),
+        }
+    }
+}
+
+/// Optional daemon features, for [`Server::start_with`].
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Also serve the metrics registry over HTTP: `GET /metrics` on
+    /// this address (e.g. `"127.0.0.1:9434"`, port 0 for ephemeral)
+    /// returns the same Prometheus-style text exposition as the
+    /// `metrics` wire command. `None` disables the endpoint.
+    pub metrics_addr: Option<String>,
+    /// Emit structured `key=value` event lines on stderr: connection
+    /// open/close, per-commit summaries with phase timings, reap and
+    /// backpressure warnings.
+    pub log: bool,
+}
+
 /// What the accept loop and every connection thread share.
 struct Shared {
     handle: SessionHandle,
     shutdown: AtomicBool,
+    registry: Arc<Registry>,
+    metrics: ServeMetrics,
+    log: EventLog,
+}
+
+impl Shared {
+    /// One `event=commit …` log line with the phase breakdown — the
+    /// stderr twin of the `fd_commit_*_seconds` histograms.
+    fn log_commit(&self, mutations: usize, events: usize, t: CommitTimings) {
+        if !self.log.is_enabled() {
+            return;
+        }
+        self.log.emit(
+            "commit",
+            &[
+                ("mutations", mutations.to_string()),
+                ("events", events.to_string()),
+                ("validate_us", t.validate.as_micros().to_string()),
+                ("maintain_us", t.maintain.as_micros().to_string()),
+                ("window_us", t.window.as_micros().to_string()),
+                ("fanout_us", t.fanout.as_micros().to_string()),
+                ("total_us", t.total.as_micros().to_string()),
+            ],
+        );
+    }
 }
 
 /// The `fd serve` daemon: accepts connections on a TCP address and
@@ -440,6 +608,7 @@ pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
+    metrics_server: Option<MetricsServer>,
 }
 
 impl std::fmt::Debug for Server {
@@ -459,12 +628,36 @@ impl Server {
         session: FdSession<'static>,
         addr: impl ToSocketAddrs,
     ) -> Result<Self, ServeError> {
+        Self::start_with(session, addr, ServeOptions::default())
+    }
+
+    /// [`start`](Self::start) with optional observability features: an
+    /// HTTP metrics scrape endpoint and/or structured event logging.
+    pub fn start_with(
+        session: FdSession<'static>,
+        addr: impl ToSocketAddrs,
+        options: ServeOptions,
+    ) -> Result<Self, ServeError> {
+        let registry = Arc::clone(session.registry());
+        let metrics = ServeMetrics::new(&registry);
+        let metrics_server = match &options.metrics_addr {
+            Some(maddr) => Some(MetricsServer::start(Arc::clone(&registry), maddr.as_str())?),
+            None => None,
+        };
+        let log = if options.log {
+            EventLog::stderr()
+        } else {
+            EventLog::disabled()
+        };
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             handle: SessionHandle::new(session),
             shutdown: AtomicBool::new(false),
+            registry,
+            metrics,
+            log,
         });
         let accept = {
             let shared = Arc::clone(&shared);
@@ -474,12 +667,25 @@ impl Server {
             addr,
             shared,
             accept: Some(accept),
+            metrics_server,
         })
     }
 
     /// The bound address (resolves `:0` requests to the actual port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound address of the HTTP metrics endpoint, if one was
+    /// requested via [`ServeOptions::metrics_addr`].
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_server.as_ref().map(MetricsServer::addr)
+    }
+
+    /// The metrics registry behind the daemon (and its session) — the
+    /// in-process way to read what `/metrics` exposes.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.registry)
     }
 
     /// A clone of the shared session handle (for in-process inspection —
@@ -506,6 +712,9 @@ impl Server {
     pub fn wait(mut self) -> Result<(), ServeError> {
         if let Some(h) = self.accept.take() {
             h.join().map_err(|_| ServeError::SessionPoisoned)?;
+        }
+        if let Some(m) = self.metrics_server.take() {
+            m.stop();
         }
         Ok(())
     }
@@ -578,6 +787,11 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> Result<(), ServeError
     // Replies and event fan-out are latency-sensitive small writes;
     // Nagle + delayed ACK would park each behind a ~40 ms timer.
     stream.set_nodelay(true)?;
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown".to_owned());
+    shared.metrics.connections.inc();
     let writer: SharedWriter = Arc::new(Mutex::new(stream.try_clone()?));
     let mut reader = BufReader::new(stream);
     let mut conn = Conn {
@@ -598,6 +812,8 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> Result<(), ServeError
             return Err(ServeError::SessionPoisoned);
         }
     }
+    shared.metrics.active.add(1);
+    shared.log.emit("conn.open", &[("peer", peer.clone())]);
 
     // The line reader: bytes accumulate in `buf` across read timeouts
     // (a timeout mid-line must not drop the partial line), and every
@@ -637,6 +853,8 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> Result<(), ServeError
     };
 
     conn.cleanup();
+    shared.metrics.active.add(-1);
+    shared.log.emit("conn.close", &[("peer", peer)]);
     outcome
 }
 
@@ -646,19 +864,23 @@ impl Conn<'_> {
     /// could not be written (or the session is poisoned) — only then
     /// does the connection die.
     fn execute(&mut self, line: &str) -> Result<Flow, ServeError> {
+        let _reply_span = Span::timed(&self.shared.metrics.reply);
         let cmd = match parse_command(line) {
             Ok(cmd) => cmd,
             Err(ParseError::Unknown { cmd }) => {
+                self.protocol_error(line);
                 self.reply(&format!(
                     "error protocol: unknown command: {cmd} ({GRAMMAR})"
                 ))?;
                 return Ok(Flow::Continue);
             }
             Err(e) => {
+                self.protocol_error(line);
                 self.reply(&format!("error protocol: {e}"))?;
                 return Ok(Flow::Continue);
             }
         };
+        self.shared.metrics.requests[command_index(&cmd)].inc();
         match cmd {
             Command::Insert { rel, values } => self.insert(&rel, values),
             Command::Delete(tuple) => self.delete(tuple),
@@ -718,11 +940,29 @@ impl Conn<'_> {
                 Ok(Flow::Continue)
             }
             Command::Stats => {
-                let (n, passes, subs) =
-                    self.session(|s| (s.len(), s.maintenance_passes(), s.num_subscribers()))?;
-                self.reply(&format!(
-                    "ok results={n} passes={passes} subscribers={subs}"
-                ))?;
+                let (n, passes, subs, totals) = self.session(|s| {
+                    (
+                        s.len(),
+                        s.maintenance_passes(),
+                        s.num_subscribers(),
+                        *s.stats(),
+                    )
+                })?;
+                let lines = totals
+                    .to_string()
+                    .lines()
+                    .map(|l| format!("  {l}"))
+                    .collect();
+                self.reply_block(
+                    lines,
+                    &format!("ok results={n} passes={passes} subscribers={subs}"),
+                )?;
+                Ok(Flow::Continue)
+            }
+            Command::Metrics => {
+                let text = self.shared.registry.render();
+                let lines = text.lines().map(|l| format!("  {l}")).collect();
+                self.reply_block(lines, "ok metrics")?;
                 Ok(Flow::Continue)
             }
             Command::Subscribe => self.subscribe(),
@@ -751,6 +991,14 @@ impl Conn<'_> {
                 Ok(Flow::Close)
             }
         }
+    }
+
+    /// Counts (and, under `--log`, reports) one malformed request line.
+    fn protocol_error(&self, line: &str) {
+        self.shared.metrics.protocol_errors.inc();
+        self.shared
+            .log
+            .emit("protocol.error", &[("line", line.to_string())]);
     }
 
     /// Runs `f` under the session lock, rendering a poisoned session as
@@ -806,13 +1054,16 @@ impl Conn<'_> {
             s.apply(fd_relational::Delta::Insert { rel, values })
                 .map(|commit| {
                     let label = s.db().tuple_label(commit.inserted()[0]);
-                    (label, commit.events.len())
+                    (label, commit.events.len(), commit.timings)
                 })
         })?;
         match applied {
-            Ok((label, events)) => self.reply(&format!(
-                "ok inserted {label} into {rel_name}; {events} event(s)"
-            ))?,
+            Ok((label, events, timings)) => {
+                self.shared.log_commit(1, events, timings);
+                self.reply(&format!(
+                    "ok inserted {label} into {rel_name}; {events} event(s)"
+                ))?;
+            }
             Err(e) => self.reply(&format!("error {e}"))?,
         }
         Ok(Flow::Continue)
@@ -829,11 +1080,18 @@ impl Conn<'_> {
             s.apply(fd_relational::Delta::Delete { tuple })
                 .map(|commit| {
                     // Tombstones retain row data, so the label still renders.
-                    (s.db().tuple_label(tuple), commit.events.len())
+                    (
+                        s.db().tuple_label(tuple),
+                        commit.events.len(),
+                        commit.timings,
+                    )
                 })
         })?;
         match applied {
-            Ok((label, events)) => self.reply(&format!("ok deleted {label}; {events} event(s)"))?,
+            Ok((label, events, timings)) => {
+                self.shared.log_commit(1, events, timings);
+                self.reply(&format!("ok deleted {label}; {events} event(s)"))?;
+            }
             Err(e) => self.reply(&format!("error {e}"))?,
         }
         Ok(Flow::Continue)
@@ -847,11 +1105,15 @@ impl Conn<'_> {
         let n = batch.len();
         let committed = self.session(|s| s.commit(batch))?;
         match committed {
-            Ok(commit) => self.reply(&format!(
-                "ok committed {} mutation(s) in 1 maintenance pass; {} event(s)",
-                commit.changes.len(),
-                commit.events.len()
-            ))?,
+            Ok(commit) => {
+                self.shared
+                    .log_commit(commit.changes.len(), commit.events.len(), commit.timings);
+                self.reply(&format!(
+                    "ok committed {} mutation(s) in 1 maintenance pass; {} event(s)",
+                    commit.changes.len(),
+                    commit.events.len()
+                ))?;
+            }
             Err(e) => self.reply(&format!("error {e} (batch of {n} discarded)"))?,
         }
         Ok(Flow::Continue)
@@ -873,7 +1135,13 @@ impl Conn<'_> {
         let id = sub.id();
         let writer = Arc::clone(&self.writer);
         let handle = self.shared.handle.clone();
-        let forwarder = std::thread::spawn(move || forward_events(sub, writer, handle));
+        let ctx = ForwarderCtx {
+            pushed: Arc::clone(&self.shared.metrics.pushed),
+            reaps: Arc::clone(&self.shared.metrics.reaps),
+            depth: Arc::clone(&self.shared.metrics.queue_depth),
+            log: self.shared.log,
+        };
+        let forwarder = std::thread::spawn(move || forward_events(sub, writer, handle, ctx));
         self.sub = Some((id, forwarder));
         self.reply(&format!("ok subscribed {id}"))?;
         Ok(Flow::Continue)
@@ -889,14 +1157,38 @@ impl Conn<'_> {
     }
 }
 
+/// The observability handles a forwarding thread carries: delivered
+/// event and reap counters, the shared queue-depth gauge, and the
+/// structured log for reap/backpressure warnings.
+struct ForwarderCtx {
+    pushed: Arc<Counter>,
+    reaps: Arc<Counter>,
+    depth: Arc<Gauge>,
+    log: EventLog,
+}
+
 /// The per-subscriber forwarding thread: drains the subscription queue
 /// onto the connection's writer as `event …` lines — one write per
 /// commit, so a commit's events reach the socket contiguously. A failed
 /// write means the peer is gone: the forwarder unsubscribes itself
-/// (dead-subscriber reaping) and exits.
-fn forward_events(sub: Subscription, writer: SharedWriter, handle: SessionHandle) {
+/// (dead-subscriber reaping — counted in `fd_serve_reaps_total` and
+/// reported under `--log`) and exits.
+fn forward_events(
+    sub: Subscription,
+    writer: SharedWriter,
+    handle: SessionHandle,
+    ctx: ForwarderCtx,
+) {
     let (id, rx) = sub.into_parts();
     for commit in rx.iter() {
+        ctx.depth.add(-1);
+        let backlog = ctx.depth.get();
+        if backlog >= BACKPRESSURE_WARN_DEPTH {
+            ctx.log.emit(
+                "backpressure",
+                &[("sink", id.to_string()), ("queued", backlog.to_string())],
+            );
+        }
         if commit.labels.is_empty() {
             continue;
         }
@@ -908,8 +1200,11 @@ fn forward_events(sub: Subscription, writer: SharedWriter, handle: SessionHandle
         }
         if write_block(&writer, &text).is_err() {
             let _ = handle.unsubscribe(id);
+            ctx.reaps.inc();
+            ctx.log.emit("subscriber.reap", &[("sink", id.to_string())]);
             break;
         }
+        ctx.pushed.add(commit.labels.len() as u64);
     }
 }
 
@@ -1037,6 +1332,7 @@ mod tests {
         assert_eq!(parse_command("show"), Ok(Command::Show));
         assert_eq!(parse_command("top"), Ok(Command::Top));
         assert_eq!(parse_command("stats"), Ok(Command::Stats));
+        assert_eq!(parse_command("metrics"), Ok(Command::Metrics));
         assert_eq!(parse_command("subscribe"), Ok(Command::Subscribe));
         assert_eq!(parse_command("unsubscribe"), Ok(Command::Unsubscribe));
         assert_eq!(parse_command("quit"), Ok(Command::Quit));
@@ -1163,10 +1459,26 @@ mod tests {
             commit,
             vec!["ok committed 1 mutation(s) in 1 maintenance pass; 1 event(s)"]
         );
-        assert_eq!(
-            client.request("stats").unwrap(),
-            vec!["ok results=7 passes=1 subscribers=0"]
-        );
+        // `stats` replies with the cumulative work counters as payload
+        // lines and the headline counters as the status line.
+        let stats = client.request("stats").unwrap();
+        assert_eq!(stats.last().unwrap(), "ok results=7 passes=1 subscribers=0");
+        assert!(stats.iter().any(|l| l.starts_with("  jcc_checks=")));
+        assert_eq!(stats.len(), 15, "14 counters + 1 status line");
+
+        // `metrics` replies with the Prometheus exposition, indented.
+        let metrics = client.request("metrics").unwrap();
+        assert_eq!(metrics.last().unwrap(), "ok metrics");
+        assert!(metrics
+            .iter()
+            .any(|l| l.starts_with("  fd_commits_total 1")));
+        assert!(metrics
+            .iter()
+            .any(|l| l.starts_with("  # TYPE fd_commit_maintain_seconds summary")));
+        assert!(metrics
+            .iter()
+            .any(|l| *l == "  fd_serve_protocol_errors_total 2"));
+
         assert_eq!(client.request("quit").unwrap(), vec!["ok bye"]);
         server.stop().unwrap();
     }

@@ -39,12 +39,15 @@
 use crate::delta::delta_batch;
 use crate::error::FdError;
 use crate::incremental::{canonicalize, FdConfig};
+use crate::obs::{Counter, Gauge, Histogram, Registry};
 use crate::query::FdQuery;
 use crate::ranking::{canonical_rank_order, RankingFunction};
 use crate::stats::Stats;
 use crate::tupleset::TupleSet;
 use fd_relational::fxhash::FxHashMap;
 use fd_relational::{apply_batch, Change, ChangeLog, Database, Delta, TupleId};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 pub use fd_relational::DeltaBatch;
 
@@ -252,6 +255,30 @@ impl EventSink for ChannelSink {
     }
 }
 
+/// Wall-clock breakdown of one [`FdSession::commit`], phase by phase.
+///
+/// The same durations land in the session registry's
+/// `fd_commit_*_seconds` histograms; carrying them on the [`Commit`] as
+/// well lets per-commit consumers (`fd serve --log`, tests) report a
+/// single commit without reading aggregates. `fanout` (and therefore
+/// the portion of `total` after the sink loop) is measured *after* the
+/// subscribers ran, so sinks themselves observe it as zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitTimings {
+    /// Validating and applying the batch to the database atomically.
+    pub validate: Duration,
+    /// The single delta-maintenance pass ([`crate::delta::delta_batch`]).
+    pub maintain: Duration,
+    /// Folding retractions/additions into the materialized result and
+    /// the ranked window, and diffing the top-k window.
+    pub window: Duration,
+    /// Delivering events to the subscribed sinks.
+    pub fanout: Duration,
+    /// End-to-end commit time (validate + maintain + window + fanout,
+    /// plus bookkeeping).
+    pub total: Duration,
+}
+
 /// The realized outcome of one [`FdSession::commit`].
 #[derive(Debug, Clone)]
 pub struct Commit {
@@ -266,6 +293,10 @@ pub struct Commit {
     pub topk: Option<TopKUpdate>,
     /// Work counters of the single maintenance pass.
     pub stats: Stats,
+    /// Wall-clock phase breakdown of this commit (zero on the empty
+    /// no-op commit; `fanout`/post-fanout `total` are zero as seen *by*
+    /// sinks).
+    pub timings: CommitTimings,
 }
 
 impl Commit {
@@ -379,6 +410,90 @@ impl<'q> RankedView<'q> {
     }
 }
 
+/// Pre-bound handles into the session's [`Registry`] — resolved once at
+/// construction so the commit hot path touches only atomics, never the
+/// registry lock.
+#[derive(Debug)]
+struct SessionMetrics {
+    registry: Arc<Registry>,
+    commits: Arc<Counter>,
+    aborts: Arc<Counter>,
+    events: Arc<Counter>,
+    results: Arc<Gauge>,
+    subscribers: Arc<Gauge>,
+    materialize: Arc<Histogram>,
+    validate: Arc<Histogram>,
+    maintain: Arc<Histogram>,
+    window: Arc<Histogram>,
+    fanout: Arc<Histogram>,
+    total: Arc<Histogram>,
+    /// One counter per [`Stats`] field, in [`Stats::fields`] order.
+    ops: Vec<Arc<Counter>>,
+}
+
+impl SessionMetrics {
+    fn new() -> Self {
+        let registry = Arc::new(Registry::new());
+        let ops = Stats::new()
+            .fields()
+            .iter()
+            .map(|(name, _)| {
+                registry.counter(
+                    &format!("fd_ops_total{{op=\"{name}\"}}"),
+                    "Cumulative maintenance work counters (the paper's Section 7 operation counts).",
+                )
+            })
+            .collect();
+        SessionMetrics {
+            commits: registry.counter("fd_commits_total", "Successful non-empty session commits."),
+            aborts: registry.counter(
+                "fd_commit_aborts_total",
+                "Commits rejected by batch validation (nothing changed).",
+            ),
+            events: registry.counter(
+                "fd_events_total",
+                "Net result changes (added + retracted) across all commits.",
+            ),
+            results: registry.gauge(
+                "fd_results",
+                "Tuple sets currently in the full disjunction.",
+            ),
+            subscribers: registry.gauge("fd_subscribers", "Currently subscribed event sinks."),
+            materialize: registry.histogram(
+                "fd_materialize_seconds",
+                "Initial full-disjunction materialization time.",
+            ),
+            validate: registry.histogram(
+                "fd_commit_validate_seconds",
+                "Commit phase: batch validation and atomic apply.",
+            ),
+            maintain: registry.histogram(
+                "fd_commit_maintain_seconds",
+                "Commit phase: the single delta-maintenance pass.",
+            ),
+            window: registry.histogram(
+                "fd_commit_window_seconds",
+                "Commit phase: materialized-result and ranked-window update.",
+            ),
+            fanout: registry.histogram(
+                "fd_commit_fanout_seconds",
+                "Commit phase: subscriber event fan-out.",
+            ),
+            total: registry.histogram("fd_commit_seconds", "End-to-end commit latency."),
+            ops,
+            registry,
+        }
+    }
+
+    /// Folds one commit's operation counters into the monotone
+    /// `fd_ops_total{op=…}` series.
+    fn record_ops(&self, stats: &Stats) {
+        for ((_, value), counter) in stats.fields().iter().zip(&self.ops) {
+            counter.add(*value);
+        }
+    }
+}
+
 /// A transactional session over a live full disjunction.
 ///
 /// Build one with [`FdQuery::session`] (every execution knob of the
@@ -411,6 +526,10 @@ pub struct FdSession<'q> {
     sinks: Vec<(SinkId, Box<dyn EventSink + 'q>)>,
     next_sink: u64,
     passes: u64,
+    metrics: SessionMetrics,
+    /// [`Stats`] summed over every maintenance pass — the monotone
+    /// counters behind `fd_ops_total` and the serve `stats` reply.
+    total_stats: Stats,
 }
 
 impl std::fmt::Debug for dyn EventSink + '_ {
@@ -443,8 +562,11 @@ impl<'q> FdSession<'q> {
     /// computed set is identical either way); a non-default `cfg.init`
     /// still applies to the sequential maintenance runs.
     pub fn with_config_parallel(db: Database, cfg: FdConfig, threads: Option<usize>) -> Self {
+        let metrics = SessionMetrics::new();
+        let start = Instant::now();
         let results = materialize(&db, cfg, threads);
-        Self::assemble(db, cfg, results, None)
+        metrics.materialize.record(start.elapsed());
+        Self::assemble(db, cfg, results, None, metrics)
     }
 
     /// Materializes the full disjunction of `db` and opens a **ranked**
@@ -464,9 +586,12 @@ impl<'q> FdSession<'q> {
         cfg: FdConfig,
         threads: Option<usize>,
     ) -> Self {
+        let metrics = SessionMetrics::new();
+        let start = Instant::now();
         let results = materialize(&db, cfg, threads);
+        metrics.materialize.record(start.elapsed());
         let f: Box<dyn RankingFunction + Send + 'q> = Box::new(f);
-        Self::assemble(db, cfg, results, Some((f, k)))
+        Self::assemble(db, cfg, results, Some((f, k)), metrics)
     }
 
     fn assemble(
@@ -474,6 +599,7 @@ impl<'q> FdSession<'q> {
         cfg: FdConfig,
         results: Vec<TupleSet>,
         ranking: Option<(Box<dyn RankingFunction + Send + 'q>, usize)>,
+        metrics: SessionMetrics,
     ) -> Self {
         let index = results
             .iter()
@@ -481,6 +607,7 @@ impl<'q> FdSession<'q> {
             .map(|(i, s)| (Box::<[TupleId]>::from(s.tuples()), i))
             .collect();
         let ranked = ranking.map(|(f, k)| RankedView::new(&db, f, k, &results));
+        metrics.results.set(results.len() as i64);
         FdSession {
             db,
             cfg,
@@ -491,6 +618,8 @@ impl<'q> FdSession<'q> {
             sinks: Vec::new(),
             next_sink: 0,
             passes: 0,
+            metrics,
+            total_stats: Stats::new(),
         }
     }
 
@@ -565,6 +694,24 @@ impl<'q> FdSession<'q> {
         self.passes
     }
 
+    /// The session's metrics registry: commit/abort/event counters,
+    /// per-phase commit latency histograms, result/subscriber gauges and
+    /// the monotone `fd_ops_total{op=…}` work counters. Per session, not
+    /// global — concurrent sessions never share a registry. The serve
+    /// daemon ([`crate::serve::Server`]) adds its own metrics here and
+    /// exposes the combined registry over the `metrics` wire command and
+    /// the optional HTTP scrape endpoint.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.metrics.registry
+    }
+
+    /// [`Stats`] work counters summed over every maintenance pass so
+    /// far — the session-lifetime analogue of the per-commit
+    /// [`Commit::stats`].
+    pub fn stats(&self) -> &Stats {
+        &self.total_stats
+    }
+
     /// Registers a push subscriber. Every subsequent commit delivers its
     /// events (and, on ranked sessions, its [`TopKUpdate`]) to the sink
     /// after the session's own state is up to date. The returned
@@ -574,6 +721,7 @@ impl<'q> FdSession<'q> {
         let id = SinkId(self.next_sink);
         self.next_sink += 1;
         self.sinks.push((id, Box::new(sink)));
+        self.metrics.subscribers.set(self.sinks.len() as i64);
         id
     }
 
@@ -585,6 +733,7 @@ impl<'q> FdSession<'q> {
     pub fn unsubscribe(&mut self, id: SinkId) -> bool {
         let before = self.sinks.len();
         self.sinks.retain(|(sid, _)| *sid != id);
+        self.metrics.subscribers.set(self.sinks.len() as i64);
         self.sinks.len() < before
     }
 
@@ -622,9 +771,18 @@ impl<'q> FdSession<'q> {
                 events: Vec::new(),
                 topk: self.ranked.as_ref().map(|_| TopKUpdate::default()),
                 stats: Stats::new(),
+                timings: CommitTimings::default(),
             });
         }
-        let changes = apply_batch(&mut self.db, batch)?;
+        let commit_start = Instant::now();
+        let changes = match apply_batch(&mut self.db, batch) {
+            Ok(changes) => changes,
+            Err(e) => {
+                self.metrics.aborts.inc();
+                return Err(e.into());
+            }
+        };
+        let validate = commit_start.elapsed();
         self.log.record_batch(changes.iter().copied());
 
         let mut inserted: Vec<TupleId> = Vec::new();
@@ -637,9 +795,12 @@ impl<'q> FdSession<'q> {
         }
 
         // THE one maintenance pass of this commit.
+        let maintain_start = Instant::now();
         let delta = delta_batch(&self.db, &inserted, &removed, &self.results, self.cfg);
+        let maintain = maintain_start.elapsed();
         self.passes += 1;
 
+        let window_start = Instant::now();
         let window_before: Vec<TupleSet> = self
             .ranked
             .as_ref()
@@ -680,12 +841,21 @@ impl<'q> FdSession<'q> {
             }
         });
 
-        let commit = Commit {
+        let window = window_start.elapsed();
+
+        let mut commit = Commit {
             changes,
             events,
             topk,
             stats: delta.stats,
+            timings: CommitTimings {
+                validate,
+                maintain,
+                window,
+                ..CommitTimings::default()
+            },
         };
+        let fanout_start = Instant::now();
         for (_, sink) in &mut self.sinks {
             for event in &commit.events {
                 sink.on_event(event);
@@ -695,6 +865,20 @@ impl<'q> FdSession<'q> {
             }
             sink.on_commit(&commit, &self.db);
         }
+        commit.timings.fanout = fanout_start.elapsed();
+        commit.timings.total = commit_start.elapsed();
+
+        let m = &self.metrics;
+        m.commits.inc();
+        m.events.add(commit.events.len() as u64);
+        m.results.set(self.results.len() as i64);
+        m.validate.record(commit.timings.validate);
+        m.maintain.record(commit.timings.maintain);
+        m.window.record(commit.timings.window);
+        m.fanout.record(commit.timings.fanout);
+        m.total.record(commit.timings.total);
+        m.record_ops(&commit.stats);
+        self.total_stats.merge(&commit.stats);
 
         Ok(commit)
     }

@@ -69,6 +69,43 @@ impl Stats {
     pub fn total_store_scans(&self) -> u64 {
         self.complete_scans + self.incomplete_scans
     }
+
+    /// Every counter as a stable `(name, value)` list, in declaration
+    /// order. This is the single source of truth for the counter names:
+    /// [`Display`](std::fmt::Display), the `fd --stats` CLI output, the
+    /// serve `stats` reply and the Prometheus `fd_ops_total{op=…}`
+    /// series all derive from it, so the spellings can never drift
+    /// apart.
+    pub fn fields(&self) -> [(&'static str, u64); 14] {
+        [
+            ("jcc_checks", self.jcc_checks),
+            ("extension_scans", self.extension_scans),
+            ("extension_passes", self.extension_passes),
+            ("candidate_scans", self.candidate_scans),
+            ("subset_computations", self.subset_computations),
+            ("complete_scans", self.complete_scans),
+            ("incomplete_scans", self.incomplete_scans),
+            ("merges", self.merges),
+            ("inserts", self.inserts),
+            ("results", self.results),
+            ("heap_pushes", self.heap_pushes),
+            ("heap_pops", self.heap_pops),
+            ("rank_evals", self.rank_evals),
+            ("approx_evals", self.approx_evals),
+        ]
+    }
+}
+
+/// One `name=value` line per counter, in declaration order — the stable
+/// rendering shared by `fd --stats`, the serve `stats` reply and the
+/// metrics exposition.
+impl std::fmt::Display for Stats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (name, value) in self.fields() {
+            writeln!(f, "{name}={value}")?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -101,5 +138,24 @@ mod tests {
             ..Stats::new()
         };
         assert_eq!(s.total_store_scans(), 7);
+    }
+
+    #[test]
+    fn display_is_one_name_value_line_per_counter() {
+        let s = Stats {
+            jcc_checks: 12,
+            merges: 3,
+            ..Stats::new()
+        };
+        let text = s.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), s.fields().len());
+        assert_eq!(lines[0], "jcc_checks=12");
+        assert!(lines.contains(&"merges=3"));
+        assert!(lines.contains(&"approx_evals=0"));
+        // Display and fields() must agree exactly.
+        for ((name, value), line) in s.fields().iter().zip(&lines) {
+            assert_eq!(*line, format!("{name}={value}"));
+        }
     }
 }

@@ -4,7 +4,9 @@
 //! argument parser and command dispatch are unit-testable without
 //! spawning processes. The binary in `src/bin/fd.rs` is a thin wrapper.
 
-use crate::core::serve::{self, AttrMax, Client, Command, ParseError, ServeError, Server};
+use crate::core::serve::{
+    self, AttrMax, Client, Command, ParseError, ServeError, ServeOptions, Server,
+};
 use crate::core::{
     canonicalize, format_results, AMin, EditDistanceSim, FMax, FdConfig, FdQuery, FdSession,
     ImpScores, ProbScores, RankedFdIter, StoreEngine,
@@ -51,6 +53,15 @@ pub struct Options {
     pub script: Option<String>,
     /// Print the source tables before the result.
     pub show_sources: bool,
+    /// `fd serve --metrics-addr HOST:PORT`: also expose a plain-text
+    /// HTTP metrics endpoint (`GET /metrics`) at this address.
+    pub metrics_addr: Option<String>,
+    /// `fd serve --log`: emit structured `key=value` event lines to
+    /// stderr (connections, commits, reaps, protocol errors).
+    pub log: bool,
+    /// Batch modes: append the operation counters and query timings
+    /// after the results (`--stats`).
+    pub stats: bool,
 }
 
 impl Options {
@@ -100,8 +111,8 @@ same commands from FILE non-interactively):
     quit                       exit
 
 `fd serve` exposes the same session over TCP: a line-oriented protocol
-that is a superset of the watch grammar (adds top / stats / subscribe /
-unsubscribe / shutdown), with commit events fanned out to every
+that is a superset of the watch grammar (adds top / stats / metrics /
+subscribe / unsubscribe / shutdown), with commit events fanned out to every
 subscribed client. `fd connect` is the matching client (interactive on
 stdin, or scripted via --script). Pass --rank-by ATTR --top K to serve a
 ranked daemon whose `top` command reports the maintained window.
@@ -120,6 +131,11 @@ OPTIONS:
                        is identical to the sequential run, sets and order)
     --script FILE      watch/connect modes: replay commands from FILE
                        instead of stdin and print the resulting events
+    --metrics-addr H:P serve: also expose Prometheus-style metrics over
+                       HTTP at this address (GET /metrics; port 0 picks one)
+    --log              serve: structured key=value event lines on stderr
+    --stats            batch modes: append the operation counters and
+                       query timings after the results
     --sources          print the source relations first
     --help             this text
 
@@ -210,6 +226,12 @@ where
                 let v = it.next().ok_or("--addr needs HOST:PORT")?;
                 opts.addr = Some(v.as_ref().to_owned());
             }
+            "--metrics-addr" => {
+                let v = it.next().ok_or("--metrics-addr needs HOST:PORT")?;
+                opts.metrics_addr = Some(v.as_ref().to_owned());
+            }
+            "--log" => opts.log = true,
+            "--stats" => opts.stats = true,
             "watch" if !opts.mode_chosen() && opts.input.is_none() => opts.watch = true,
             "serve" if !opts.mode_chosen() && opts.input.is_none() => opts.serve = true,
             "connect" if !opts.mode_chosen() && opts.input.is_none() => opts.connect = true,
@@ -241,6 +263,15 @@ where
     }
     if opts.addr.is_some() && !(opts.serve || opts.connect) {
         return Err("--addr only applies to serve/connect modes".into());
+    }
+    if (opts.metrics_addr.is_some() || opts.log) && !opts.serve {
+        return Err("--metrics-addr/--log only apply to serve mode".into());
+    }
+    if opts.stats && (opts.watch || opts.serve || opts.connect) {
+        return Err(
+            "--stats only applies to the batch query modes (serve exposes `stats`/`metrics`)"
+                .into(),
+        );
     }
     if opts.serve && (opts.min_rank.is_some() || opts.approx_tau.is_some()) {
         return Err(
@@ -356,6 +387,8 @@ pub fn run(opts: &Options) -> Result<String, String> {
         .map_err(|e| e.to_string())?;
 
     let ranked = result.ranks().map(|r| r.to_vec());
+    let run_stats = *result.stats();
+    let timings = result.timings();
     let sets = if ranked.is_some() {
         // Ranked modes: keep the emission (rank) order.
         result.into_sets()
@@ -370,6 +403,17 @@ pub fn run(opts: &Options) -> Result<String, String> {
     if let Some(ranks) = ranked {
         for (set, rank) in sets.iter().zip(ranks) {
             let _ = writeln!(out, "rank {rank:>8.3}  {}", set.label(&db));
+        }
+    }
+    if opts.stats {
+        let _ = writeln!(out, "\nstats:");
+        let _ = write!(out, "{run_stats}");
+        let _ = writeln!(out, "wall_us={}", timings.wall.as_micros());
+        if let Some(d) = timings.first_result {
+            let _ = writeln!(out, "first_result_us={}", d.as_micros());
+        }
+        if let Some(d) = timings.kth_result {
+            let _ = writeln!(out, "kth_result_us={}", d.as_micros());
         }
     }
     Ok(out)
@@ -574,6 +618,7 @@ impl WatchState {
             // The serve-only extensions of the shared grammar.
             Command::Top
             | Command::Stats
+            | Command::Metrics
             | Command::Subscribe
             | Command::Unsubscribe
             | Command::Shutdown => {
@@ -638,7 +683,11 @@ fn serve_error(e: &ServeError) -> String {
 pub fn run_serve(opts: &Options, mut out: impl Write) -> Result<(), String> {
     let session = build_serve_session(opts)?;
     let addr = opts.addr.as_deref().unwrap_or(DEFAULT_ADDR);
-    let server = Server::start(session, addr).map_err(|e| serve_error(&e))?;
+    let options = ServeOptions {
+        metrics_addr: opts.metrics_addr.clone(),
+        log: opts.log,
+    };
+    let server = Server::start_with(session, addr, options).map_err(|e| serve_error(&e))?;
     let bound = server.addr();
     let n = server
         .handle()
@@ -649,6 +698,10 @@ pub fn run_serve(opts: &Options, mut out: impl Write) -> Result<(), String> {
         "fd serve: listening on {bound} ({n} results); attach with: fd connect --addr {bound}"
     )
     .map_err(|e| format!("write failed: {e}"))?;
+    if let Some(maddr) = server.metrics_addr() {
+        writeln!(out, "fd serve: metrics on http://{maddr}/metrics")
+            .map_err(|e| format!("write failed: {e}"))?;
+    }
     // Piped stdout is block-buffered: push the line out before blocking,
     // so a supervising script can read the bound address.
     out.flush().map_err(|e| format!("flush failed: {e}"))?;
@@ -813,6 +866,28 @@ mod tests {
         assert!(o.connect && !o.serve);
         assert_eq!(o.addr.as_deref(), Some("127.0.0.1:7000"));
         assert_eq!(o.script.as_deref(), Some("s.txt"));
+    }
+
+    #[test]
+    fn parse_observability_flags() {
+        let o = parse_args(["serve", "--metrics-addr", "127.0.0.1:9434", "--log"]).unwrap();
+        assert!(o.serve && o.log);
+        assert_eq!(o.metrics_addr.as_deref(), Some("127.0.0.1:9434"));
+
+        let o = parse_args(["--stats"]).unwrap();
+        assert!(o.stats);
+        let o = parse_args(["--stats", "--top", "2", "--rank-by", "Stars"]).unwrap();
+        assert!(o.stats);
+
+        // Mode-scoped: metrics/log are serve-only, stats is batch-only.
+        assert!(parse_args(["--metrics-addr", "127.0.0.1:9434"]).is_err());
+        assert!(parse_args(["--log"]).is_err());
+        assert!(parse_args(["watch", "--log"]).is_err());
+        assert!(parse_args(["connect", "--metrics-addr", "127.0.0.1:9434"]).is_err());
+        assert!(parse_args(["serve", "--stats"]).is_err());
+        assert!(parse_args(["watch", "--stats"]).is_err());
+        assert!(parse_args(["connect", "--stats"]).is_err());
+        assert!(parse_args(["serve", "--metrics-addr"]).is_err());
     }
 
     #[test]

@@ -100,10 +100,12 @@ pub mod cli;
 pub mod prelude {
     pub use fd_core::{
         fdi, AMin, AProd, ApproxAllIter, ApproxFdIter, AttrMax, BatchDelta, ChannelSink, Commit,
-        DeleteDelta, EventSink, FMax, FPairSum, FSum, FTriple, FdConfig, FdError, FdEvent, FdIter,
-        FdQuery, FdResult, FdSession, FdStream, FdiIter, ImpScores, InitStrategy, InsertDelta,
-        MonotoneCDetermined, ProbScores, RankedFdIter, RankingFunction, ServeError, Server,
-        SessionHandle, SinkId, Stats, StoreEngine, TopKUpdate, TupleSet, VecSink,
+        CommitTimings, Counter, DeleteDelta, EventLog, EventSink, FMax, FPairSum, FSum, FTriple,
+        FdConfig, FdError, FdEvent, FdIter, FdQuery, FdResult, FdSession, FdStream, FdiIter, Gauge,
+        Histogram, ImpScores, InitStrategy, InsertDelta, MetricsServer, MonotoneCDetermined,
+        ProbScores, QueryTimings, RankedFdIter, RankingFunction, Registry, ServeError,
+        ServeOptions, Server, SessionHandle, SinkId, Span, Stats, StoreEngine, TopKUpdate,
+        TupleSet, VecSink,
     };
     pub use fd_relational::{
         tourist_database, AttrId, Change, ChangeLog, Database, DatabaseBuilder, Delta, DeltaBatch,

@@ -72,6 +72,32 @@ laptop | 999
 }
 
 #[test]
+fn stats_flag_appends_counters_and_timings() {
+    let path = write_temp("stats", CATALOG);
+    let file = path.to_string_lossy().into_owned();
+
+    // Plain batch run: the counters and the wall time, no k-th marker.
+    let out = run(&parse_args([file.as_str(), "--stats"]).unwrap()).unwrap();
+    assert!(out.contains("\nstats:\n"), "{out}");
+    assert!(out.contains("jcc_checks="), "{out}");
+    assert!(out.contains("approx_evals=0"), "{out}");
+    assert!(out.contains("wall_us="), "{out}");
+    assert!(!out.contains("kth_result_us="), "{out}");
+    // The stats block must not disturb the results themselves.
+    let base = run(&parse_args([file.as_str()]).unwrap()).unwrap();
+    assert!(out.starts_with(&base), "{out}");
+
+    // Ranked top-k: heap work counted, k-th-result timing reported.
+    let out =
+        run(&parse_args([file.as_str(), "--stats", "--top", "1", "--rank-by", "Price"]).unwrap())
+            .unwrap();
+    assert!(out.contains("heap_pushes="), "{out}");
+    assert!(out.contains("first_result_us="), "{out}");
+    assert!(out.contains("kth_result_us="), "{out}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
 fn missing_file_reports_an_error() {
     let opts = Options {
         input: Some("/definitely/not/here.txt".into()),

@@ -1,0 +1,112 @@
+//! Golden-pinned metrics exposition format: the metric names, kinds and
+//! help strings are a public, scrapeable surface, so the metadata lines
+//! are checked in byte for byte (`tests/golden/metrics_names.golden`).
+//! Timing-dependent sample values are asserted structurally instead —
+//! every sample must parse, and families must render sorted.
+//!
+//! Regenerate the golden after an intentional change with:
+//! `UPDATE_GOLDEN=1 cargo test --test metrics_exposition`.
+
+use full_disjunction::core::serve::{Client, ServeOptions, Server};
+use full_disjunction::core::FdSession;
+use full_disjunction::relational::tourist_database;
+
+/// Drives one of everything through a daemon so every metric family
+/// registers (serve counters at startup, the queue-depth gauge at
+/// subscribe, the commit pipeline at insert, the protocol-error counter
+/// at a malformed line), then returns the rendered exposition.
+fn full_exposition() -> String {
+    let server = Server::start_with(
+        FdSession::new(tourist_database()),
+        "127.0.0.1:0",
+        ServeOptions::default(),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let mut sub = Client::connect(addr).unwrap();
+    sub.read_response().unwrap();
+    sub.request("subscribe").unwrap();
+
+    let mut actor = Client::connect(addr).unwrap();
+    actor.read_response().unwrap();
+    actor.request("insert Climates | Chile | arid").unwrap();
+    let err = actor.request("not-a-command").unwrap();
+    assert!(err[0].starts_with("error protocol:"), "{err:?}");
+
+    sub.request("unsubscribe").unwrap();
+    let body = server.registry().render();
+    actor.request("shutdown").unwrap();
+    server.wait().unwrap();
+    body
+}
+
+#[test]
+fn exposition_is_parseable_sorted_and_matches_the_golden_metadata() {
+    let body = full_exposition();
+
+    // Every sample line is `name[{labels}] value` with a finite f64.
+    for line in body.lines().filter(|l| !l.starts_with('#')) {
+        let (name, value) = line
+            .split_once(' ')
+            .unwrap_or_else(|| panic!("unparseable sample line: {line}"));
+        assert!(!name.is_empty(), "{line}");
+        let value: f64 = value
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("non-numeric sample value: {line}"));
+        assert!(value.is_finite(), "{line}");
+    }
+
+    // Families render sorted, each with `# HELP` immediately before its
+    // `# TYPE`, and every sample attributed to the declared family.
+    let mut families: Vec<&str> = Vec::new();
+    let mut pending_help: Option<&str> = None;
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            assert!(pending_help.is_none(), "two HELP lines in a row: {line}");
+            pending_help = Some(rest.split(' ').next().unwrap());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let family = rest.split(' ').next().unwrap();
+            assert_eq!(pending_help.take(), Some(family), "HELP/TYPE mismatch");
+            families.push(family);
+        } else {
+            assert!(pending_help.is_none(), "HELP without TYPE before {line}");
+            let sample_family = line.split(['{', ' ']).next().unwrap();
+            let family = families.last().expect("sample before any TYPE line");
+            assert!(
+                sample_family == *family
+                    || sample_family
+                        .strip_prefix(family)
+                        .is_some_and(|s| matches!(s, "_sum" | "_count")),
+                "sample {sample_family} under family {family}"
+            );
+        }
+    }
+    let mut sorted = families.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(families, sorted, "families must render sorted and unique");
+
+    // The metadata lines are the stable surface: pinned byte for byte.
+    let metadata: String =
+        body.lines()
+            .filter(|l| l.starts_with('#'))
+            .fold(String::new(), |mut acc, l| {
+                acc.push_str(l);
+                acc.push('\n');
+                acc
+            });
+    let golden =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/metrics_names.golden");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden, &metadata).expect("rewrite golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden).expect("golden metadata file");
+    assert_eq!(
+        metadata, expected,
+        "exposition metadata diverged from tests/golden/metrics_names.golden \
+         (regenerate with UPDATE_GOLDEN=1 if intentional)"
+    );
+}

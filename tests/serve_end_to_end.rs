@@ -3,9 +3,10 @@
 //! replay identity — the served state must be byte-identical to a
 //! single-process `FdSession` fed the same batches.
 
-use full_disjunction::core::serve::{Client, Server};
+use full_disjunction::core::serve::{Client, ServeOptions, Server};
 use full_disjunction::core::{FdEvent, FdSession};
 use full_disjunction::relational::{tourist_database, Database, Delta, RelId, TupleId};
+use std::io::{Read as _, Write as _};
 
 /// Renders a commit's events exactly as the daemon's fan-out does.
 fn event_lines(events: &[FdEvent], db: &Database) -> Vec<String> {
@@ -133,12 +134,15 @@ fn three_subscribers_see_identical_feeds_matching_an_in_process_replay() {
         .collect();
     assert_eq!(show, want, "served `show` diverged from the replay");
     assert_eq!(status, format!("ok {} result(s)", want.len()));
+    let stats = actor.request("stats").unwrap();
     assert_eq!(
-        actor.request("stats").unwrap(),
-        vec![format!(
-            "ok results={} passes=3 subscribers=0",
-            replay.len()
-        )]
+        stats.last().unwrap(),
+        &format!("ok results={} passes=3 subscribers=0", replay.len())
+    );
+    // The enriched reply carries the session's operation counters.
+    assert!(
+        stats.iter().any(|l| l.starts_with("  jcc_checks=")),
+        "{stats:?}"
     );
 
     // The wire shutdown path flushes and stops the daemon.
@@ -184,9 +188,10 @@ fn concurrent_commits_serialize_through_one_session() {
     // 12 commits, 12 maintenance passes — commits serialized, none
     // coalesced, none double-processed.
     let mut probe = connect(addr);
+    let stats = probe.request("stats").unwrap();
     assert_eq!(
-        probe.request("stats").unwrap(),
-        vec!["ok results=18 passes=12 subscribers=1"]
+        stats.last().unwrap(),
+        "ok results=18 passes=12 subscribers=1"
     );
 
     // The watcher received exactly one event line per commit.
@@ -222,7 +227,161 @@ fn dead_subscribers_are_reaped() {
         assert!(reply[0].starts_with("ok inserted"), "{reply:?}");
     }
     let reply = actor.request("stats").unwrap();
-    assert!(reply[0].starts_with("ok results=9 passes=3"), "{reply:?}");
+    assert!(
+        reply.last().unwrap().starts_with("ok results=9 passes=3"),
+        "{reply:?}"
+    );
     assert_eq!(actor.request("quit").unwrap(), vec!["ok bye"]);
+    server.stop().unwrap();
+}
+
+/// Issues one HTTP/1.0 `GET path` against the metrics endpoint and
+/// returns `(status_line, body)`.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut sock = std::net::TcpStream::connect(addr).expect("dial metrics endpoint");
+    write!(sock, "GET {path} HTTP/1.0\r\n\r\n").expect("send request");
+    let mut raw = String::new();
+    sock.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status = head.lines().next().unwrap_or_default().to_owned();
+    (status, body.to_owned())
+}
+
+/// The value of an exposition sample line `name value` (exact family
+/// name or name-with-labels match).
+fn sample_value(body: &str, name: &str) -> Option<f64> {
+    body.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find_map(|l| match l.split_once(' ') {
+            Some((n, v)) if n == name => v.trim().parse().ok(),
+            _ => None,
+        })
+}
+
+/// The ISSUE acceptance scenario for the scrape path: a daemon with
+/// `--metrics-addr`, a subscribed client, one commit. The HTTP endpoint
+/// must serve a parseable exposition where `fd_commits_total`, the
+/// per-phase commit histograms and `fd_events_pushed_total` all moved.
+#[test]
+fn metrics_endpoint_reflects_commits_over_real_sockets() {
+    let server = Server::start_with(
+        FdSession::new(tourist_database()),
+        "127.0.0.1:0",
+        ServeOptions {
+            metrics_addr: Some("127.0.0.1:0".into()),
+            log: false,
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let maddr = server.metrics_addr().expect("metrics endpoint bound");
+
+    let mut sub = connect(addr);
+    assert_eq!(sub.request("subscribe").unwrap(), vec!["ok subscribed s0"]);
+    let mut actor = connect(addr);
+    assert_eq!(
+        actor.request("insert Climates | Chile | arid").unwrap(),
+        vec!["ok inserted c4 into Climates; 1 event(s)"]
+    );
+    // Unsubscribe joins the forwarder after it drained the queue, so
+    // the push counter below is settled, not racing the scrape.
+    let mut feed = sub.request("unsubscribe").unwrap();
+    assert_eq!(feed.pop().unwrap(), "ok unsubscribed s0");
+    assert_eq!(feed.len(), 1, "{feed:?}");
+
+    let (status, body) = http_get(maddr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(sample_value(&body, "fd_commits_total"), Some(1.0));
+    assert_eq!(sample_value(&body, "fd_events_pushed_total"), Some(1.0));
+    // Every commit phase recorded exactly one observation.
+    for phase in ["validate", "maintain", "window", "fanout"] {
+        let name = format!("fd_commit_{phase}_seconds_count");
+        assert_eq!(sample_value(&body, &name), Some(1.0), "{name}\n{body}");
+    }
+    assert_eq!(sample_value(&body, "fd_commit_seconds_count"), Some(1.0));
+    assert_eq!(
+        sample_value(&body, "fd_serve_requests_total{command=\"insert\"}"),
+        Some(1.0)
+    );
+
+    // Wrong path and wrong method are rejected, not served.
+    let (status, _) = http_get(maddr, "/nope");
+    assert!(status.contains("404"), "{status}");
+
+    assert_eq!(actor.request("shutdown").unwrap(), vec!["ok shutting down"]);
+    server.wait().unwrap();
+}
+
+/// Counters aggregate correctly across concurrent connections, and the
+/// latency summaries stay internally consistent: p50 ≤ p99 ≤ max.
+#[test]
+fn metrics_aggregate_across_concurrent_connections() {
+    let server = Server::start_with(
+        FdSession::new(tourist_database()),
+        "127.0.0.1:0",
+        ServeOptions {
+            metrics_addr: Some("127.0.0.1:0".into()),
+            log: false,
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+    let maddr = server.metrics_addr().expect("metrics endpoint bound");
+
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.read_response().unwrap();
+                for j in 0..3 {
+                    client
+                        .request(&format!("insert Climates | Land-{w}-{j} | arid"))
+                        .unwrap();
+                }
+                client.request("quit").unwrap();
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().unwrap();
+    }
+
+    let (status, body) = http_get(maddr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    assert_eq!(sample_value(&body, "fd_commits_total"), Some(12.0));
+    assert_eq!(
+        sample_value(&body, "fd_serve_requests_total{command=\"insert\"}"),
+        Some(12.0)
+    );
+    assert_eq!(
+        sample_value(&body, "fd_serve_requests_total{command=\"quit\"}"),
+        Some(4.0)
+    );
+    assert_eq!(sample_value(&body, "fd_serve_connections_total"), Some(4.0));
+    assert_eq!(
+        sample_value(&body, "fd_serve_connections_active"),
+        Some(0.0)
+    );
+    // 12 inserts + 4 quits replied to (greetings are not requests).
+    assert_eq!(
+        sample_value(&body, "fd_serve_reply_seconds_count"),
+        Some(16.0)
+    );
+
+    // Quantiles of every summary are monotone by construction.
+    for family in [
+        "fd_commit_maintain_seconds",
+        "fd_commit_seconds",
+        "fd_serve_reply_seconds",
+    ] {
+        let q = |quantile: &str| {
+            sample_value(&body, &format!("{family}{{quantile=\"{quantile}\"}}"))
+                .unwrap_or_else(|| panic!("{family} quantile {quantile} missing\n{body}"))
+        };
+        let (p50, p99, max) = (q("0.5"), q("0.99"), q("1"));
+        assert!(p50 <= p99 && p99 <= max, "{family}: {p50} {p99} {max}");
+        assert!(max > 0.0, "{family} recorded nothing");
+    }
+
     server.stop().unwrap();
 }
