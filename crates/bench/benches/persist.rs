@@ -1,0 +1,211 @@
+//! E17 — durability overhead and recovery time.
+//!
+//! Two questions the durability subsystem must answer with numbers:
+//!
+//! 1. **WAL-append overhead per commit.** The same churn workload as
+//!    E16 (commit_phases) runs once in memory and once per fsync policy
+//!    (`off` / `on-commit` / `always`), each durable run against a
+//!    fresh data directory with compaction disabled so every commit
+//!    pays exactly one append. The p50 commit latency comes from the
+//!    session's own `fd_commit_seconds` histogram, the append+flush
+//!    cost from `fd_wal_fsync_us` — production counters, not an
+//!    external stopwatch.
+//! 2. **Recovery time vs WAL length.** A durable session commits `n`
+//!    batches without a checkpoint, drops, and reopening the directory
+//!    is timed (snapshot load + `n` replayed maintenance passes) on
+//!    chain and star workloads.
+//!
+//! Run once and commit the output:
+//!
+//! ```sh
+//! cargo bench --bench persist > BENCH_persist.json
+//! ```
+
+use fd_bench::{bench_chain, bench_star, fmt_duration, time_once};
+use fd_core::session::{DeltaBatch, FdSession};
+use fd_core::store::FsyncPolicy;
+use fd_relational::{Database, RelId, TupleId, Value};
+use std::path::PathBuf;
+
+/// Measured insert+delete rounds (two commits per round).
+const ROUNDS: usize = 50;
+
+/// Rows per inserted batch.
+const BATCH_K: usize = 8;
+
+/// Chain relations / base rows per relation (E16's shape).
+const CHAIN_N: usize = 4;
+const CHAIN_ROWS: usize = 64;
+
+/// WAL lengths the recovery scenario replays.
+const REPLAY_BATCHES: [usize; 3] = [16, 64, 256];
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("fd-bench-persist-{tag}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clearing stale bench dir");
+    }
+    dir
+}
+
+/// E16's churn batch: well-connected rows round-robin across the chain.
+fn churn_rows(round: usize) -> Vec<(RelId, Vec<Value>)> {
+    let domain = (CHAIN_ROWS / CHAIN_N).max(2) as i64;
+    (0..BATCH_K)
+        .map(|i| {
+            let rel = (i % CHAIN_N) as i64;
+            let group = (round * BATCH_K + i / CHAIN_N) as i64;
+            let left = if rel == 0 {
+                group % domain
+            } else {
+                1_000 + group * 10 + rel
+            };
+            (
+                RelId(rel as u16),
+                vec![
+                    Value::Int(left),
+                    Value::Int(1_000 + group * 10 + rel + 1),
+                    Value::Int(9_000_000 + (round * BATCH_K + i) as i64),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Runs the churn workload on `session`, returning
+/// (commits, commit p50 µs, commit p99 µs, wal-append p50 µs).
+fn run_churn(session: &mut FdSession<'static>) -> (usize, f64, f64, f64) {
+    let base_results = session.len();
+    let mut commits = 0usize;
+    for round in 0..ROUNDS {
+        let mut batch = DeltaBatch::new();
+        for (rel, values) in churn_rows(round) {
+            batch.insert(rel, values);
+        }
+        let commit = session.commit(batch).expect("insert commit");
+        let inserted: Vec<TupleId> = commit.inserted().to_vec();
+        let mut batch = DeltaBatch::new();
+        for tuple in inserted {
+            batch.delete(tuple);
+        }
+        session.commit(batch).expect("delete commit");
+        commits += 2;
+    }
+    assert_eq!(session.len(), base_results, "churn must round-trip");
+    let registry = session.registry().clone();
+    let commit_hist = registry.histogram("fd_commit_seconds", "");
+    let wal_hist = registry.histogram("fd_wal_fsync_us", "");
+    (
+        commits,
+        commit_hist.quantile(0.5) * 1e6,
+        commit_hist.quantile(0.99) * 1e6,
+        wal_hist.quantile(0.5) * 1e6,
+    )
+}
+
+/// One durable churn run under `policy`; `None` is the in-memory
+/// baseline. Returns a JSON row.
+fn overhead_row(policy: Option<FsyncPolicy>) -> String {
+    let mut session = FdSession::new(bench_chain(CHAIN_N, CHAIN_ROWS));
+    let label = match policy {
+        None => "in-memory".to_owned(),
+        Some(p) => {
+            let dir = fresh_dir(&format!("overhead-{p}"));
+            session.persist_to(&dir, p).expect("persist");
+            // Every commit must pay exactly one append: no compaction.
+            session.set_wal_compaction_threshold(u64::MAX);
+            p.to_string()
+        }
+    };
+    let (commits, p50, p99, wal_p50) = run_churn(&mut session);
+    let dir = session.data_dir().map(PathBuf::from);
+    drop(session);
+    if let Some(dir) = dir {
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    eprintln!(
+        "persist: commit {label:>9}  p50 {p50:>8.1} µs  p99 {p99:>8.1} µs  \
+         wal-append p50 {wal_p50:>8.1} µs"
+    );
+    format!(
+        "    {{ \"mode\": \"{label}\", \"commits\": {commits}, \"commit_p50_us\": {p50:.1}, \
+         \"commit_p99_us\": {p99:.1}, \"wal_append_p50_us\": {wal_p50:.1} }}"
+    )
+}
+
+/// Times recovery of a directory whose WAL holds `batches` singleton
+/// commits on `db`. Returns a JSON row.
+fn recovery_row(workload: &str, db: Database, batches: usize) -> String {
+    let dir = fresh_dir(&format!("recover-{workload}-{batches}"));
+    {
+        let mut session = FdSession::new(db);
+        session.persist_to(&dir, FsyncPolicy::Off).expect("persist");
+        session.set_wal_compaction_threshold(u64::MAX);
+        let arity = session.db().relation(RelId(0)).schema().arity();
+        for i in 0..batches {
+            let mut batch = DeltaBatch::new();
+            // First column joins a small shared domain; the rest are
+            // fresh values, the last one a unique payload.
+            let mut values = vec![Value::Int((i % 7) as i64)];
+            values.extend((1..arity - 1).map(|c| Value::Int(5_000 + (i * 8 + c) as i64)));
+            values.push(Value::Int(9_000_000 + i as i64));
+            batch.insert(RelId(0), values);
+            session.commit(batch).expect("commit");
+        }
+    }
+    let (session, elapsed) = time_once(|| FdSession::open(&dir).expect("recovery"));
+    assert_eq!(session.replayed_batches(), batches as u64);
+    let results = session.len();
+    drop(session);
+    std::fs::remove_dir_all(&dir).ok();
+    eprintln!(
+        "persist: recover {workload:>5} x{batches:<4} {:>10}  ({results} results)",
+        fmt_duration(elapsed)
+    );
+    format!(
+        "    {{ \"workload\": \"{workload}\", \"replayed_batches\": {batches}, \
+         \"recovery_us\": {:.1}, \"results\": {results} }}",
+        elapsed.as_secs_f64() * 1e6
+    )
+}
+
+fn main() {
+    // harness = false: cargo's --bench flag (and friends) need no parsing.
+    let overhead: Vec<String> = [
+        None,
+        Some(FsyncPolicy::Off),
+        Some(FsyncPolicy::OnCommit),
+        Some(FsyncPolicy::Always),
+    ]
+    .into_iter()
+    .map(overhead_row)
+    .collect();
+
+    let mut recovery = Vec::new();
+    for n in REPLAY_BATCHES {
+        recovery.push(recovery_row("chain", bench_chain(CHAIN_N, CHAIN_ROWS), n));
+        recovery.push(recovery_row("star", bench_star(CHAIN_N, CHAIN_ROWS), n));
+    }
+
+    println!("{{");
+    println!("  \"bench\": \"persist\",");
+    println!(
+        "  \"description\": \"durability overhead per commit (in-memory baseline vs WAL append \
+         under each fsync policy; latencies from the session's own fd_commit_seconds / \
+         fd_wal_fsync_us histograms) and recovery wall time vs WAL length (snapshot load + \
+         replay, no FD recomputation)\","
+    );
+    println!(
+        "  \"database\": \"chain({CHAIN_N}) x {CHAIN_ROWS} rows, {ROUNDS} rounds of \
+         insert-{BATCH_K}/delete-{BATCH_K} commits; recovery on chain/star with \
+         {REPLAY_BATCHES:?} replayed singleton batches\","
+    );
+    println!("  \"commit_overhead\": [");
+    println!("{}", overhead.join(",\n"));
+    println!("  ],");
+    println!("  \"recovery\": [");
+    println!("{}", recovery.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

@@ -20,9 +20,9 @@
 //! for [`AMin`] (Prop. 6.5), possibly many for [`AProd`] (Example 6.3).
 
 use crate::incremental::FdConfig;
+use crate::lists::CompleteStore;
 use crate::sim::Similarity;
 use crate::stats::Stats;
-use crate::store::CompleteStore;
 use crate::tupleset::TupleSet;
 use fd_relational::fxhash::FxHashSet;
 use fd_relational::storage::Pager;

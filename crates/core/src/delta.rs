@@ -30,8 +30,8 @@
 use crate::getnext::{get_next_result, ScanScope};
 use crate::incremental::FdConfig;
 use crate::jcc::{extend_to_maximal, rebuild};
+use crate::lists::{CompleteStore, IncompleteQueue};
 use crate::stats::Stats;
-use crate::store::{CompleteStore, IncompleteQueue};
 use crate::tupleset::TupleSet;
 use fd_relational::fxhash::FxHashSet;
 use fd_relational::storage::Pager;

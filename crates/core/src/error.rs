@@ -58,6 +58,14 @@ pub enum FdError {
         /// The relational layer's rejection.
         source: RelationalError,
     },
+    /// The durability layer failed — a snapshot or write-ahead-log
+    /// operation hit an I/O error or found a corrupt file. The reason is
+    /// carried as text (`std::io::Error` is neither `Clone` nor
+    /// `PartialEq`, which this type is).
+    Storage {
+        /// What went wrong, human-readable.
+        reason: String,
+    },
 }
 
 impl From<RelationalError> for FdError {
@@ -89,6 +97,7 @@ impl fmt::Display for FdError {
             }
             FdError::InvalidPageSize => write!(f, "page size must be positive"),
             FdError::Mutation { source } => write!(f, "mutation rejected: {source}"),
+            FdError::Storage { reason } => write!(f, "storage failure: {reason}"),
         }
     }
 }

@@ -20,8 +20,8 @@
 //! executions; a [`ScanScope`] carries the run-dependent knobs.
 
 use crate::jcc::{extend_to_maximal_from, maximal_subset_with};
+use crate::lists::{CompleteStore, IncompleteQueue};
 use crate::stats::Stats;
-use crate::store::{CompleteStore, IncompleteQueue};
 use crate::tupleset::TupleSet;
 use fd_relational::storage::Pager;
 use fd_relational::{Database, RelId, TupleId};
@@ -198,7 +198,7 @@ pub(crate) fn get_next_result(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::store::StoreEngine;
+    use crate::lists::StoreEngine;
     use fd_relational::tourist_database;
 
     const C1: TupleId = TupleId(0);

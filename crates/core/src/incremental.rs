@@ -11,8 +11,8 @@
 
 use crate::getnext::{get_next_result, ScanScope};
 use crate::init::InitStrategy;
+use crate::lists::{CompleteStore, IncompleteQueue, StoreEngine};
 use crate::stats::Stats;
-use crate::store::{CompleteStore, IncompleteQueue, StoreEngine};
 use crate::tupleset::TupleSet;
 use fd_relational::fxhash::FxHashSet;
 use fd_relational::storage::Pager;

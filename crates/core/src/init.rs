@@ -21,8 +21,8 @@
 
 use crate::incremental::{FdConfig, FdiIter};
 use crate::jcc::{extend_to_maximal_from, rebuild};
+use crate::lists::{CompleteStore, IncompleteQueue};
 use crate::stats::Stats;
-use crate::store::{CompleteStore, IncompleteQueue};
 use crate::tupleset::TupleSet;
 use fd_relational::fxhash::FxHashSet;
 use fd_relational::{Database, RelId, TupleId};

@@ -47,10 +47,10 @@
 mod getnext;
 mod incremental;
 mod init;
+mod lists;
 mod padded;
 mod parallel;
 mod stats;
-mod store;
 mod tupleset;
 
 pub mod approx;
@@ -65,12 +65,14 @@ pub mod ranking;
 pub mod serve;
 pub mod session;
 pub mod sim;
+pub mod store;
 
 pub use approx::{AMin, AProd, ApproxAllIter, ApproxFdIter, ApproxJoin, ProbScores};
 pub use delta::{BatchDelta, DeleteDelta, InsertDelta};
 pub use error::FdError;
 pub use incremental::{canonicalize, fdi, FdConfig, FdIter, FdiIter};
 pub use init::InitStrategy;
+pub use lists::{CompleteStore, IncompleteQueue, StoreEngine};
 pub use obs::{Counter, EventLog, Gauge, Histogram, MetricsServer, QueryTimings, Registry, Span};
 pub use padded::{format_results, padded_relation, padded_tuple, padded_tuple_over};
 pub use priority::RankedFdIter;
@@ -80,12 +82,15 @@ pub use ranking::{
     canonical_rank_order, FMax, FPairSum, FSum, FTriple, ImpScores, MonotoneCDetermined,
     RankingFunction,
 };
-pub use serve::{AttrMax, ServeError, ServeOptions, Server, SessionHandle};
+pub use serve::{
+    trigger_shutdown_on_signals, AttrMax, ServeError, ServeOptions, Server, SessionHandle,
+    ShutdownHandle,
+};
 pub use session::{
     ChannelSink, Commit, CommitTimings, DeltaBatch, EventSink, FdEvent, FdSession, SinkId,
     TopKUpdate, VecSink,
 };
 pub use sim::{EditDistanceSim, ExactSim, Similarity, TableSim};
 pub use stats::Stats;
-pub use store::{CompleteStore, IncompleteQueue, StoreEngine};
+pub use store::{FsyncPolicy, StoreError};
 pub use tupleset::TupleSet;

@@ -29,9 +29,9 @@
 
 use crate::incremental::FdConfig;
 use crate::jcc::{can_add, extend_to_maximal, maximal_subset_with, try_union};
+use crate::lists::{CompleteStore, StoreEngine};
 use crate::ranking::MonotoneCDetermined;
 use crate::stats::Stats;
-use crate::store::{CompleteStore, StoreEngine};
 use crate::tupleset::TupleSet;
 use fd_relational::fxhash::{FxHashMap, FxHashSet};
 use fd_relational::storage::Pager;

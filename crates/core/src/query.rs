@@ -54,6 +54,7 @@ use crate::approx::{ApproxAllIter, ApproxJoin};
 use crate::error::FdError;
 use crate::incremental::{FdConfig, FdIter};
 use crate::init::InitStrategy;
+use crate::lists::StoreEngine;
 use crate::obs::QueryTimings;
 use crate::parallel::{
     parallel_approx, parallel_full_disjunction, parallel_ranked, parallel_ranked_approx, RankedCut,
@@ -63,7 +64,6 @@ use crate::priority::RankedFdIter;
 use crate::ranked_approx::RankedApproxFdIter;
 use crate::ranking::{canonical_rank_order, MonotoneCDetermined};
 use crate::stats::Stats;
-use crate::store::StoreEngine;
 use crate::tupleset::TupleSet;
 use fd_relational::{Database, TupleId};
 use std::collections::VecDeque;

@@ -20,10 +20,10 @@
 
 use crate::approx::ApproxJoin;
 use crate::incremental::FdConfig;
+use crate::lists::CompleteStore;
 use crate::priority::Rank;
 use crate::ranking::MonotoneCDetermined;
 use crate::stats::Stats;
-use crate::store::CompleteStore;
 use crate::tupleset::TupleSet;
 use fd_relational::fxhash::{FxHashMap, FxHashSet};
 use fd_relational::storage::Pager;

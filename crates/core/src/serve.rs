@@ -94,6 +94,17 @@ pub const GRAMMAR: &str =
 /// at all times).
 const BACKPRESSURE_WARN_DEPTH: i64 = 64;
 
+/// Capacity of each subscriber's commit-label queue. A consumer more
+/// than this many commits behind starts losing events (counted in
+/// `fd_events_dropped_total`) instead of growing the queue without
+/// bound.
+const SUBSCRIBER_QUEUE_CAP: usize = 256;
+
+/// The slow-consumer policy: after this many dropped sends the
+/// subscriber is disconnected and reaped — a client that can't keep up
+/// gets a closed feed it can re-establish, not a silently gappy one.
+const SLOW_CONSUMER_MAX_DROPS: u64 = 64;
+
 // ---------------------------------------------------------------------
 // Errors
 // ---------------------------------------------------------------------
@@ -326,12 +337,23 @@ impl SessionHandle {
     /// the events already rendered (`+ {…}` / `- {…}`) — the consumer
     /// never needs the session lock to format its feed.
     pub fn subscribe(&self) -> Result<Subscription, ServeError> {
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = mpsc::sync_channel(SUBSCRIBER_QUEUE_CAP);
+        let gave_up = Arc::new(AtomicBool::new(false));
+        let sink_gave_up = Arc::clone(&gave_up);
         let id = self.with(|s| {
             let depth = s.registry().gauge(QUEUE_DEPTH_METRIC, QUEUE_DEPTH_HELP);
-            s.subscribe(LabelSink { tx, depth })
+            let dropped = s
+                .registry()
+                .counter(EVENTS_DROPPED_METRIC, EVENTS_DROPPED_HELP);
+            s.subscribe(LabelSink {
+                tx: Some(tx),
+                depth,
+                dropped,
+                drops: 0,
+                gave_up: sink_gave_up,
+            })
         })?;
-        Ok(Subscription { id, rx })
+        Ok(Subscription { id, rx, gave_up })
     }
 
     /// Deregisters a subscriber, closing its channel (the receiver loop
@@ -354,10 +376,16 @@ pub struct CommitLabels {
 }
 
 /// A per-client event queue created by [`SessionHandle::subscribe`].
+/// The queue is bounded (`SUBSCRIBER_QUEUE_CAP` commits): a consumer
+/// that falls further behind loses events, and one that keeps losing
+/// them (`SLOW_CONSUMER_MAX_DROPS` drops) is cut off — the channel
+/// closes and the flag returned by [`Subscription::into_parts`]
+/// reports why.
 #[derive(Debug)]
 pub struct Subscription {
     id: SinkId,
     rx: mpsc::Receiver<CommitLabels>,
+    gave_up: Arc<AtomicBool>,
 }
 
 impl Subscription {
@@ -372,9 +400,11 @@ impl Subscription {
     }
 
     /// Splits the subscription for a forwarding thread that owns the
-    /// receiver while the connection keeps the id.
-    pub fn into_parts(self) -> (SinkId, mpsc::Receiver<CommitLabels>) {
-        (self.id, self.rx)
+    /// receiver while the connection keeps the id. The flag turns true
+    /// when the sink abandoned this subscriber as a slow consumer
+    /// (checked after the receiver drains).
+    pub fn into_parts(self) -> (SinkId, mpsc::Receiver<CommitLabels>, Arc<AtomicBool>) {
+        (self.id, self.rx, self.gave_up)
     }
 }
 
@@ -386,22 +416,51 @@ const QUEUE_DEPTH_METRIC: &str = "fd_serve_queue_depth";
 const QUEUE_DEPTH_HELP: &str =
     "Commit batches queued to subscriber forwarders but not yet written to their sockets.";
 
+/// Metric name/help of the slow-consumer drop counter: commit batches a
+/// [`LabelSink`] discarded because the subscriber's bounded queue was
+/// full. Shared between the sink (increments) and [`ServeMetrics`].
+const EVENTS_DROPPED_METRIC: &str = "fd_events_dropped_total";
+const EVENTS_DROPPED_HELP: &str =
+    "Commit batches dropped because a subscriber's bounded queue was full.";
+
 /// The [`EventSink`] behind a [`Subscription`]: renders each commit's
 /// events under the session lock (where the post-commit database is at
-/// hand) and queues the labels. Send errors are ignored — a hung-up
-/// receiver must not take the commit down; the forwarder reaps itself.
+/// hand) and queues the labels. The queue is bounded: a full queue drops
+/// the batch (counted in `fd_events_dropped_total`), and a subscriber
+/// that accumulates [`SLOW_CONSUMER_MAX_DROPS`] drops is abandoned —
+/// the sink closes the channel and raises `gave_up`, so the forwarder
+/// disconnects the client once the queue drains. Hang-ups are likewise
+/// absorbed here; a dead receiver must never take the commit down.
 struct LabelSink {
-    tx: mpsc::Sender<CommitLabels>,
+    tx: Option<mpsc::SyncSender<CommitLabels>>,
     depth: Arc<Gauge>,
+    dropped: Arc<Counter>,
+    drops: u64,
+    gave_up: Arc<AtomicBool>,
 }
 
 impl EventSink for LabelSink {
     fn on_event(&mut self, _event: &crate::session::FdEvent) {}
 
     fn on_commit(&mut self, commit: &Commit, db: &Database) {
+        let Some(tx) = self.tx.as_ref() else {
+            return;
+        };
         let labels = commit.events.iter().map(|e| e.label(db)).collect();
-        if self.tx.send(CommitLabels { labels }).is_ok() {
-            self.depth.add(1);
+        match tx.try_send(CommitLabels { labels }) {
+            Ok(()) => self.depth.add(1),
+            Err(mpsc::TrySendError::Full(_)) => {
+                self.dropped.inc();
+                self.drops += 1;
+                if self.drops >= SLOW_CONSUMER_MAX_DROPS {
+                    self.gave_up.store(true, Ordering::Release);
+                    // Dropping the sender closes the channel: the
+                    // forwarder drains what's queued, sees `gave_up`,
+                    // and reaps the connection.
+                    self.tx = None;
+                }
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => {}
         }
     }
 }
@@ -505,6 +564,7 @@ struct ServeMetrics {
     reaps: Arc<Counter>,
     pushed: Arc<Counter>,
     queue_depth: Arc<Gauge>,
+    dropped: Arc<Counter>,
 }
 
 impl ServeMetrics {
@@ -541,6 +601,7 @@ impl ServeMetrics {
                 "Event lines written to subscriber sockets.",
             ),
             queue_depth: registry.gauge(QUEUE_DEPTH_METRIC, QUEUE_DEPTH_HELP),
+            dropped: registry.counter(EVENTS_DROPPED_METRIC, EVENTS_DROPPED_HELP),
         }
     }
 }
@@ -706,15 +767,35 @@ impl Server {
         self.shared.shutdown.store(true, Ordering::Relaxed);
     }
 
+    /// A detached handle that can stop this daemon from anywhere — a
+    /// signal watcher, another thread, a test harness. Cloneable and
+    /// `'static`; triggering after the server exited is a no-op.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// Blocks until the daemon exits (a `shutdown` command arrived), then
     /// joins every connection thread — in-flight replies and subscriber
-    /// queues are flushed, not dropped.
+    /// queues are flushed, not dropped. A durable session additionally
+    /// gets a final [`checkpoint`](FdSession::checkpoint), so graceful
+    /// exits (wire `shutdown` and handled signals alike) leave a fresh
+    /// snapshot and an empty write-ahead log.
     pub fn wait(mut self) -> Result<(), ServeError> {
         if let Some(h) = self.accept.take() {
             h.join().map_err(|_| ServeError::SessionPoisoned)?;
         }
         if let Some(m) = self.metrics_server.take() {
             m.stop();
+        }
+        // Best-effort: a failed final snapshot must not turn a clean
+        // shutdown into an error exit — the WAL still holds every
+        // committed batch, so recovery replays them on next open.
+        match self.shared.handle.with(|s| s.checkpoint()) {
+            Ok(Ok(_)) => {}
+            Ok(Err(e)) => eprintln!("fd serve: shutdown checkpoint failed: {e}"),
+            Err(e) => eprintln!("fd serve: shutdown checkpoint failed: {e}"),
         }
         Ok(())
     }
@@ -724,6 +805,107 @@ impl Server {
         self.trigger_shutdown();
         self.wait()
     }
+}
+
+/// A cloneable, `'static` way to stop a [`Server`] from outside —
+/// obtained via [`Server::shutdown_handle`], handed to signal watchers
+/// or supervisor threads. Triggering is idempotent and equivalent to
+/// the `shutdown` wire command: the accept loop exits, connections are
+/// joined, and [`Server::wait`] runs its final checkpoint.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Asks the daemon to stop.
+    pub fn trigger(&self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for ShutdownHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShutdownHandle")
+            .field("triggered", &self.shared.shutdown.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Installs handlers for `SIGTERM` and `SIGINT` that trigger `handle`,
+/// so killing the daemon is as safe as the `shutdown` wire command:
+/// subscriber queues are flushed, forwarders joined, and a durable
+/// session writes a final snapshot before the process exits. On
+/// non-Unix platforms this is a no-op (Ctrl-C simply terminates).
+///
+/// The handler itself only stores an atomic flag (the only thing that
+/// is async-signal-safe); a small watcher thread polls the flag and
+/// performs the actual trigger. Call once per process — later calls
+/// replace which handle the signals stop.
+pub fn trigger_shutdown_on_signals(handle: ShutdownHandle) {
+    signals::install(handle);
+}
+
+#[cfg(unix)]
+mod signals {
+    use super::ShutdownHandle;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    /// Set by the signal handler; drained by the watcher thread.
+    static SIGNALLED: AtomicBool = AtomicBool::new(false);
+    /// The handle the watcher triggers; replaced by later installs.
+    static TARGET: Mutex<Option<ShutdownHandle>> = Mutex::new(None);
+
+    extern "C" fn on_signal(_sig: i32) {
+        // Async-signal-safe: one atomic store, nothing else.
+        SIGNALLED.store(true, Ordering::Release);
+    }
+
+    extern "C" {
+        // POSIX signal(2), straight from libc — the process already
+        // links it; no crate needed for two classic signals.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub(super) fn install(handle: ShutdownHandle) {
+        let mut target = TARGET.lock().unwrap_or_else(|p| p.into_inner());
+        let first = target.is_none();
+        *target = Some(handle);
+        drop(target);
+        if !first {
+            return;
+        }
+        unsafe {
+            #[allow(clippy::fn_to_numeric_cast_any)]
+            let h = on_signal as extern "C" fn(i32) as usize;
+            signal(SIGTERM, h);
+            signal(SIGINT, h);
+        }
+        std::thread::Builder::new()
+            .name("fd-signal-watch".into())
+            .spawn(|| loop {
+                if SIGNALLED.swap(false, Ordering::Acquire) {
+                    let target = TARGET.lock().unwrap_or_else(|p| p.into_inner());
+                    if let Some(h) = target.as_ref() {
+                        h.trigger();
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            })
+            .expect("spawning the signal watcher thread");
+    }
+}
+
+#[cfg(not(unix))]
+mod signals {
+    use super::ShutdownHandle;
+
+    pub(super) fn install(_handle: ShutdownHandle) {}
 }
 
 /// The accept loop: non-blocking accept + shutdown polling, one spawned
@@ -1139,6 +1321,7 @@ impl Conn<'_> {
             pushed: Arc::clone(&self.shared.metrics.pushed),
             reaps: Arc::clone(&self.shared.metrics.reaps),
             depth: Arc::clone(&self.shared.metrics.queue_depth),
+            dropped: Arc::clone(&self.shared.metrics.dropped),
             log: self.shared.log,
         };
         let forwarder = std::thread::spawn(move || forward_events(sub, writer, handle, ctx));
@@ -1158,12 +1341,13 @@ impl Conn<'_> {
 }
 
 /// The observability handles a forwarding thread carries: delivered
-/// event and reap counters, the shared queue-depth gauge, and the
+/// event, reap and drop counters, the shared queue-depth gauge, and the
 /// structured log for reap/backpressure warnings.
 struct ForwarderCtx {
     pushed: Arc<Counter>,
     reaps: Arc<Counter>,
     depth: Arc<Gauge>,
+    dropped: Arc<Counter>,
     log: EventLog,
 }
 
@@ -1172,14 +1356,17 @@ struct ForwarderCtx {
 /// commit, so a commit's events reach the socket contiguously. A failed
 /// write means the peer is gone: the forwarder unsubscribes itself
 /// (dead-subscriber reaping — counted in `fd_serve_reaps_total` and
-/// reported under `--log`) and exits.
+/// reported under `--log`) and exits. A subscriber the sink abandoned
+/// as a slow consumer (`gave_up`) is reaped the same way once its queue
+/// drains, and its socket is shut down so the client observes the
+/// disconnect instead of a silently gappy feed.
 fn forward_events(
     sub: Subscription,
     writer: SharedWriter,
     handle: SessionHandle,
     ctx: ForwarderCtx,
 ) {
-    let (id, rx) = sub.into_parts();
+    let (id, rx, gave_up) = sub.into_parts();
     for commit in rx.iter() {
         ctx.depth.add(-1);
         let backlog = ctx.depth.get();
@@ -1202,9 +1389,27 @@ fn forward_events(
             let _ = handle.unsubscribe(id);
             ctx.reaps.inc();
             ctx.log.emit("subscriber.reap", &[("sink", id.to_string())]);
-            break;
+            return;
         }
         ctx.pushed.add(commit.labels.len() as u64);
+    }
+    // The sender side is gone. If the sink gave the subscriber up as a
+    // slow consumer (rather than us unsubscribing on hang-up), finish
+    // the disconnect: reap the sink registration and close the socket.
+    if gave_up.load(Ordering::Acquire) {
+        let _ = handle.unsubscribe(id);
+        ctx.reaps.inc();
+        ctx.log.emit(
+            "subscriber.reap",
+            &[
+                ("sink", id.to_string()),
+                ("reason", "slow-consumer".to_string()),
+                ("dropped_total", ctx.dropped.get().to_string()),
+            ],
+        );
+        if let Ok(w) = writer.lock() {
+            let _ = w.shutdown(std::net::Shutdown::Both);
+        }
     }
 }
 

@@ -43,9 +43,11 @@ use crate::obs::{Counter, Gauge, Histogram, Registry};
 use crate::query::FdQuery;
 use crate::ranking::{canonical_rank_order, RankingFunction};
 use crate::stats::Stats;
+use crate::store::{FsyncPolicy, Store, StoreError, Wal};
 use crate::tupleset::TupleSet;
 use fd_relational::fxhash::FxHashMap;
-use fd_relational::{apply_batch, Change, ChangeLog, Database, Delta, TupleId};
+use fd_relational::{apply_batch, validate_batch, Change, ChangeLog, Database, Delta, TupleId};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -427,6 +429,11 @@ struct SessionMetrics {
     window: Arc<Histogram>,
     fanout: Arc<Histogram>,
     total: Arc<Histogram>,
+    wal_appends: Arc<Counter>,
+    wal_bytes: Arc<Counter>,
+    wal_fsync: Arc<Histogram>,
+    snapshot: Arc<Histogram>,
+    recovery_replayed: Arc<Counter>,
     /// One counter per [`Stats`] field, in [`Stats::fields`] order.
     ops: Vec<Arc<Counter>>,
 }
@@ -480,6 +487,26 @@ impl SessionMetrics {
                 "Commit phase: subscriber event fan-out.",
             ),
             total: registry.histogram("fd_commit_seconds", "End-to-end commit latency."),
+            wal_appends: registry.counter(
+                "fd_wal_appends_total",
+                "Committed batches appended to the write-ahead log.",
+            ),
+            wal_bytes: registry.counter(
+                "fd_wal_bytes_total",
+                "Bytes appended to the write-ahead log.",
+            ),
+            wal_fsync: registry.histogram(
+                "fd_wal_fsync_us",
+                "WAL append + flush latency per commit, under the session's fsync policy.",
+            ),
+            snapshot: registry.histogram(
+                "fd_snapshot_us",
+                "Snapshot write + WAL truncation latency per checkpoint.",
+            ),
+            recovery_replayed: registry.counter(
+                "fd_recovery_replayed_batches",
+                "WAL-tail batches replayed through maintenance during recovery.",
+            ),
             ops,
             registry,
         }
@@ -491,6 +518,32 @@ impl SessionMetrics {
         for ((_, value), counter) in stats.fields().iter().zip(&self.ops) {
             counter.add(*value);
         }
+    }
+}
+
+/// WAL size at which a durable commit triggers an automatic checkpoint
+/// (snapshot + log truncation). Override per session with
+/// [`FdSession::set_wal_compaction_threshold`].
+const DEFAULT_WAL_COMPACTION_BYTES: u64 = 1 << 20;
+
+/// The durable half of a session: the data directory, the open log, and
+/// the policy knobs. Present only after
+/// [`persist_to`](FdSession::persist_to) or [`open`](FdSession::open).
+#[derive(Debug)]
+struct Durability {
+    store: Store,
+    wal: Wal,
+    policy: FsyncPolicy,
+    /// WAL bytes that trigger truncate-on-snapshot compaction.
+    threshold: u64,
+    /// Commits folded into the snapshot this session recovered from —
+    /// the session's own [`ChangeLog`] continues the count from here.
+    base_seq: u64,
+}
+
+fn storage_err(e: StoreError) -> FdError {
+    FdError::Storage {
+        reason: e.to_string(),
     }
 }
 
@@ -530,6 +583,8 @@ pub struct FdSession<'q> {
     /// [`Stats`] summed over every maintenance pass — the monotone
     /// counters behind `fd_ops_total` and the serve `stats` reply.
     total_stats: Stats,
+    /// Durable state, when this session is backed by a data directory.
+    durability: Option<Durability>,
 }
 
 impl std::fmt::Debug for dyn EventSink + '_ {
@@ -620,6 +675,7 @@ impl<'q> FdSession<'q> {
             passes: 0,
             metrics,
             total_stats: Stats::new(),
+            durability: None,
         }
     }
 
@@ -775,6 +831,27 @@ impl<'q> FdSession<'q> {
             });
         }
         let commit_start = Instant::now();
+        // WAL-before-apply: a durable session logs the *pending* batch
+        // (tuple-id allocation is deterministic, so replaying it through
+        // this same path reproduces identical ids) before touching any
+        // in-memory state — a batch is acked only once it is on disk.
+        // Validation runs first so a batch the database would reject
+        // never reaches the log.
+        if let Some(d) = self.durability.as_mut() {
+            if let Err(e) = validate_batch(&self.db, &batch) {
+                self.metrics.aborts.inc();
+                return Err(e.into());
+            }
+            let append_start = Instant::now();
+            match d.wal.append(&batch, d.policy) {
+                Ok(bytes) => {
+                    self.metrics.wal_fsync.record(append_start.elapsed());
+                    self.metrics.wal_appends.inc();
+                    self.metrics.wal_bytes.add(bytes);
+                }
+                Err(e) => return Err(storage_err(e)),
+            }
+        }
         let changes = match apply_batch(&mut self.db, batch) {
             Ok(changes) => changes,
             Err(e) => {
@@ -880,6 +957,16 @@ impl<'q> FdSession<'q> {
         m.record_ops(&commit.stats);
         self.total_stats.merge(&commit.stats);
 
+        // Truncate-on-snapshot compaction once the log outgrows the
+        // threshold: the commit above is already durable either way.
+        if self
+            .durability
+            .as_ref()
+            .is_some_and(|d| d.wal.bytes() >= d.threshold)
+        {
+            self.checkpoint()?;
+        }
+
         Ok(commit)
     }
 
@@ -907,6 +994,171 @@ impl<'q> FdSession<'q> {
                 scratch.sort_by(|a, b| canonical_rank_order(a.1, &a.0, b.1, &b.0));
                 r.ranked == scratch
             }
+        }
+    }
+
+    /// Makes this session durable in `dir`: writes an initial snapshot
+    /// of the current state, opens a fresh write-ahead log, and from now
+    /// on appends every committed batch (under `policy`) *before* the
+    /// commit is acknowledged. Errors if the session is already durable.
+    pub fn persist_to(
+        &mut self,
+        dir: impl AsRef<Path>,
+        policy: FsyncPolicy,
+    ) -> Result<(), FdError> {
+        if self.durability.is_some() {
+            return Err(FdError::Storage {
+                reason: "session is already durable".into(),
+            });
+        }
+        let store = Store::create(dir.as_ref()).map_err(storage_err)?;
+        let mut opened = Wal::open(store.wal_path()).map_err(storage_err)?;
+        // A fresh persist starts a fresh history: whatever log the
+        // directory held describes some other session's tail.
+        opened.wal.truncate().map_err(storage_err)?;
+        self.durability = Some(Durability {
+            store,
+            wal: opened.wal,
+            policy,
+            threshold: DEFAULT_WAL_COMPACTION_BYTES,
+            base_seq: 0,
+        });
+        self.checkpoint()?;
+        Ok(())
+    }
+
+    /// Recovers a plain session from a data directory: loads the latest
+    /// snapshot, replays the WAL tail through the regular commit path
+    /// (one maintenance pass per record; no sinks are subscribed yet, so
+    /// the net-effect events of replayed batches go nowhere), and keeps
+    /// the session durable in the same directory. Default configuration
+    /// and fsync policy; see
+    /// [`open_with_config`](Self::open_with_config).
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, FdError> {
+        Self::open_with_config(dir, FdConfig::default(), FsyncPolicy::default())
+    }
+
+    /// [`open`](Self::open) with explicit maintenance configuration and
+    /// fsync policy for the recovered session's future commits.
+    pub fn open_with_config(
+        dir: impl AsRef<Path>,
+        cfg: FdConfig,
+        policy: FsyncPolicy,
+    ) -> Result<Self, FdError> {
+        type NoRanking<'q> = fn(&Database) -> Result<Box<dyn RankingFunction + Send + 'q>, FdError>;
+        Self::open_inner(dir.as_ref(), cfg, policy, None::<(usize, NoRanking<'q>)>)
+    }
+
+    /// Recovers a **ranked** session from a data directory. The ranking
+    /// function is built by `ranking` against the snapshot's database
+    /// (before WAL replay — live-value rankings like
+    /// [`AttrMax`](crate::serve::AttrMax) read the database at rank
+    /// time, so replayed inserts rank correctly).
+    pub fn open_ranked_with_config<F>(
+        dir: impl AsRef<Path>,
+        cfg: FdConfig,
+        policy: FsyncPolicy,
+        k: usize,
+        ranking: F,
+    ) -> Result<Self, FdError>
+    where
+        F: FnOnce(&Database) -> Result<Box<dyn RankingFunction + Send + 'q>, FdError>,
+    {
+        Self::open_inner(dir.as_ref(), cfg, policy, Some((k, ranking)))
+    }
+
+    fn open_inner<F>(
+        dir: &Path,
+        cfg: FdConfig,
+        policy: FsyncPolicy,
+        ranked: Option<(usize, F)>,
+    ) -> Result<Self, FdError>
+    where
+        F: FnOnce(&Database) -> Result<Box<dyn RankingFunction + Send + 'q>, FdError>,
+    {
+        let store = Store::create(dir).map_err(storage_err)?;
+        if !store.has_snapshot() {
+            return Err(FdError::Storage {
+                reason: format!("no snapshot in {}", dir.display()),
+            });
+        }
+        let snap = store.read_snapshot().map_err(storage_err)?;
+        // The snapshot is id-exact, so the materialized results rebuild
+        // from their member ids — no full FD recomputation on recovery.
+        let results: Vec<TupleSet> = snap
+            .results
+            .iter()
+            .map(|ids| crate::jcc::rebuild(&snap.db, ids.clone()))
+            .collect();
+        let ranking = match ranked {
+            Some((k, make)) => Some((make(&snap.db)?, k)),
+            None => None,
+        };
+        let mut session = Self::assemble(snap.db, cfg, results, ranking, SessionMetrics::new());
+        let opened = Wal::open(store.wal_path()).map_err(storage_err)?;
+        for batch in opened.batches {
+            // Durability is attached only after replay, so these commits
+            // do not re-append to the log they came from.
+            session.commit(batch)?;
+            session.metrics.recovery_replayed.inc();
+        }
+        session.durability = Some(Durability {
+            store,
+            wal: opened.wal,
+            policy,
+            threshold: DEFAULT_WAL_COMPACTION_BYTES,
+            base_seq: snap.seq,
+        });
+        Ok(session)
+    }
+
+    /// Snapshots the current state and truncates the WAL (the records
+    /// are now folded into the snapshot). Returns `false` as a no-op on
+    /// a non-durable session. Runs automatically when the log exceeds
+    /// the compaction threshold; call it explicitly for a graceful
+    /// shutdown or an offline `fd snapshot`.
+    pub fn checkpoint(&mut self) -> Result<bool, FdError> {
+        let seq = match &self.durability {
+            Some(d) => d.base_seq + self.log.num_batches() as u64,
+            None => return Ok(false),
+        };
+        let start = Instant::now();
+        let ids: Vec<Vec<TupleId>> = self.results.iter().map(|s| s.tuples().to_vec()).collect();
+        let d = self.durability.as_mut().expect("checked above");
+        d.store
+            .write_snapshot(&self.db, &ids, seq)
+            .map_err(storage_err)?;
+        d.wal.truncate().map_err(storage_err)?;
+        self.metrics.snapshot.record(start.elapsed());
+        Ok(true)
+    }
+
+    /// Is this session backed by a data directory?
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The data directory, when durable.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|d| d.store.dir())
+    }
+
+    /// Current WAL size in bytes, when durable.
+    pub fn wal_bytes(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.wal.bytes())
+    }
+
+    /// Batches replayed from the WAL when this session was recovered.
+    pub fn replayed_batches(&self) -> u64 {
+        self.metrics.recovery_replayed.get()
+    }
+
+    /// Overrides the WAL size at which a commit triggers automatic
+    /// truncate-on-snapshot compaction (default 1 MiB). No-op on a
+    /// non-durable session.
+    pub fn set_wal_compaction_threshold(&mut self, bytes: u64) {
+        if let Some(d) = self.durability.as_mut() {
+            d.threshold = bytes;
         }
     }
 

@@ -1,368 +1,819 @@
-//! The `Complete` and `Incomplete` lists of `INCREMENTALFD` (Fig. 1).
+//! Durability: snapshots, a write-ahead log, and crash recovery.
 //!
-//! The paper stores both as linked lists and scans them linearly; its
-//! Section 7 then recommends hashing the tuple sets by their tuple from
-//! `Ri` — every merge or containment candidate necessarily shares that
-//! *root tuple*, because a valid tuple set holds at most one tuple per
-//! relation. Both engines are provided behind one interface so the
-//! ablation benchmark (experiment E10) can compare them; they produce
-//! identical results and differ only in scan work.
+//! The paper's incremental maintenance is exactly what makes a
+//! *persistent* full-disjunction service cheap: instead of recomputing
+//! `FD(R)` from scratch after a restart, a session reloads the last
+//! [snapshot](Store::write_snapshot) and replays the tail of committed
+//! [`DeltaBatch`]es through the same one-pass `delta_batch` machinery.
+//! This module owns the on-disk primitives; the session integration
+//! ([`FdSession::open`](crate::FdSession::open) /
+//! [`persist_to`](crate::FdSession::persist_to)) lives in
+//! [`session`](crate::session).
+//!
+//! A data directory holds two files:
+//!
+//! * `snapshot.fd` — the database (**id-exact**: base rows, dynamic
+//!   inserts, tombstones) plus the materialized result sets as member-id
+//!   lists, behind a versioned, CRC-checked header. Written atomically
+//!   (temp file + rename).
+//! * `wal.fd` — an append-only log of committed batches, one
+//!   length-and-CRC-framed record per commit. A torn final record (a
+//!   crash mid-append) is detected on open and truncated with a logged
+//!   warning — never a panic.
+//!
+//! Everything is plain text built from [`textio`](fd_relational::textio)
+//! tokens, so a data directory is inspectable with `cat` and the value
+//! round-trip guarantees are inherited from the wire format.
 
-use crate::jcc::try_union;
-use crate::stats::Stats;
-use crate::tupleset::TupleSet;
-use fd_relational::fxhash::{FxHashMap, FxHashSet};
-use fd_relational::{Database, TupleId};
-use std::collections::VecDeque;
+use fd_relational::textio::{format_row, parse_row};
+use fd_relational::{Database, DatabaseBuilder, Delta, DeltaBatch, RelId, TupleId, Value};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
 
-/// Which store implementation to use.
+/// Snapshot file name inside a data directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.fd";
+/// Write-ahead-log file name inside a data directory.
+pub const WAL_FILE: &str = "wal.fd";
+
+/// How eagerly WAL appends reach stable storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum StoreEngine {
-    /// Linear scans over a list — the paper's Fig. 1/2 data structure.
-    Scan,
-    /// Hash index keyed by the root (`Ri`) tuple — Section 7's refinement.
+pub enum FsyncPolicy {
+    /// `fsync` (data + metadata) after every record — survives power loss.
+    Always,
+    /// `fdatasync` after every record (one record *is* one commit) —
+    /// survives process crashes and, on most filesystems, power loss,
+    /// without the metadata flush. The default.
     #[default]
-    Indexed,
+    OnCommit,
+    /// Buffered writes only — survives process crashes (the kernel holds
+    /// the pages), not power loss. The fast lane for bulk loads.
+    Off,
 }
 
-/// The `Complete` list: results already printed.
+impl FromStr for FsyncPolicy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "always" => Ok(FsyncPolicy::Always),
+            "on-commit" => Ok(FsyncPolicy::OnCommit),
+            "off" => Ok(FsyncPolicy::Off),
+            other => Err(format!(
+                "unknown fsync policy '{other}' (expected always, on-commit or off)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::OnCommit => "on-commit",
+            FsyncPolicy::Off => "off",
+        })
+    }
+}
+
+/// Why a storage operation failed.
 #[derive(Debug)]
-pub struct CompleteStore {
-    engine: StoreEngine,
-    sets: Vec<TupleSet>,
-    /// Indexed engine: root tuple → indices into `sets`.
-    by_root: FxHashMap<TupleId, Vec<u32>>,
-    /// Exact-membership fingerprints (used by the ranked variant's
-    /// "already printed?" check, Fig. 3 line 17).
-    canon: FxHashSet<Box<[TupleId]>>,
+pub enum StoreError {
+    /// An OS-level I/O failure.
+    Io {
+        /// What the store was doing.
+        op: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A file failed validation (bad header, checksum, or structure).
+    Corrupt {
+        /// What was wrong.
+        what: String,
+    },
 }
 
-impl CompleteStore {
-    /// An empty store.
-    pub fn new(engine: StoreEngine) -> Self {
-        CompleteStore {
-            engine,
-            sets: Vec::new(),
-            by_root: FxHashMap::default(),
-            canon: FxHashSet::default(),
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { op, source } => write!(f, "{op}: {source}"),
+            StoreError::Corrupt { what } => write!(f, "corrupt store: {what}"),
         }
-    }
-
-    /// Number of stored results.
-    pub fn len(&self) -> usize {
-        self.sets.len()
-    }
-
-    /// Is the store empty?
-    pub fn is_empty(&self) -> bool {
-        self.sets.is_empty()
-    }
-
-    /// The stored results, in print order.
-    pub fn sets(&self) -> &[TupleSet] {
-        &self.sets
-    }
-
-    /// Inserts a printed result. `roots` are the tuples under which the
-    /// set should be discoverable — for `INCREMENTALFD(R, i)` that is the
-    /// set's `Ri` tuple; the ranked variant registers every member (its
-    /// `Complete` list is shared by all `n` queues).
-    pub fn insert(&mut self, set: TupleSet, roots: &[TupleId]) {
-        let idx = self.sets.len() as u32;
-        self.canon.insert(set.tuples().into());
-        if self.engine == StoreEngine::Indexed {
-            for &r in roots {
-                self.by_root.entry(r).or_default().push(idx);
-            }
-        }
-        self.sets.push(set);
-    }
-
-    /// Fig. 2 line 11: is `t` contained in some stored result? `root` is
-    /// `t`'s tuple from `Ri`; any superset must also contain it.
-    pub fn contains_superset(&self, t: &TupleSet, root: TupleId, stats: &mut Stats) -> bool {
-        match self.engine {
-            StoreEngine::Scan => self.sets.iter().any(|s| {
-                stats.complete_scans += 1;
-                t.is_subset_of(s)
-            }),
-            StoreEngine::Indexed => match self.by_root.get(&root) {
-                Some(idxs) => idxs.iter().any(|&i| {
-                    stats.complete_scans += 1;
-                    t.is_subset_of(&self.sets[i as usize])
-                }),
-                None => false,
-            },
-        }
-    }
-
-    /// Fig. 3 line 17: has exactly this set been printed already?
-    pub fn contains_exact(&self, tuples: &[TupleId]) -> bool {
-        self.canon.contains(tuples)
     }
 }
 
-/// The `Incomplete` list: tuple sets awaiting extension.
-///
-/// **Ordering.** Table 3 of the paper pins the list discipline down: the
-/// sets created during one `GETNEXTRESULT` call are placed *in front of*
-/// the older entries, preserving their creation order (Iteration 2 pops
-/// `{c1,a2,s1}` — created in Iteration 1 — while `{c2}` from the
-/// initialization still waits). We reproduce that exactly: pushes
-/// accumulate in a batch; the batch is spliced onto the front of the list
-/// when the next `pop` happens. Correctness does not depend on the order
-/// (Theorem 4.2 holds for any), but the trace and the delay profile do.
-#[derive(Debug)]
-pub struct IncompleteQueue {
-    engine: StoreEngine,
-    /// Slot storage; `None` marks popped slots (stable indices keep the
-    /// root index valid without rebuilds).
-    slots: Vec<Option<(TupleId, TupleSet)>>,
-    /// Older entries, front to back.
-    order: VecDeque<u32>,
-    /// Entries pushed since the last pop, in creation order; logically
-    /// these precede `order`.
-    batch: Vec<u32>,
-    /// Indexed engine: root tuple → slots (live or dead; filtered on use).
-    by_root: FxHashMap<TupleId, Vec<u32>>,
-    live: usize,
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Corrupt { .. } => None,
+        }
+    }
 }
 
-impl IncompleteQueue {
-    /// An empty queue.
-    pub fn new(engine: StoreEngine) -> Self {
-        IncompleteQueue {
-            engine,
-            slots: Vec::new(),
-            order: VecDeque::new(),
-            batch: Vec::new(),
-            by_root: FxHashMap::default(),
-            live: 0,
-        }
-    }
+fn io_err(op: impl Into<String>) -> impl FnOnce(std::io::Error) -> StoreError {
+    let op = op.into();
+    move |source| StoreError::Io { op, source }
+}
 
-    /// Number of pending tuple sets.
-    pub fn len(&self) -> usize {
-        self.live
-    }
+fn corrupt(what: impl Into<String>) -> StoreError {
+    StoreError::Corrupt { what: what.into() }
+}
 
-    /// Is the queue empty?
-    pub fn is_empty(&self) -> bool {
-        self.live == 0
-    }
-
-    /// Adds a tuple set rooted at `root` (its tuple from `Ri`) to the
-    /// current batch.
-    pub fn push(&mut self, root: TupleId, set: TupleSet, stats: &mut Stats) {
-        stats.inserts += 1;
-        let slot = self.slots.len() as u32;
-        self.slots.push(Some((root, set)));
-        self.batch.push(slot);
-        if self.engine == StoreEngine::Indexed {
-            self.by_root.entry(root).or_default().push(slot);
-        }
-        self.live += 1;
-    }
-
-    /// Fig. 2 line 1: removes the first tuple set (splicing the pending
-    /// batch to the front first).
-    pub fn pop(&mut self) -> Option<(TupleId, TupleSet)> {
-        for slot in self.batch.drain(..).rev() {
-            self.order.push_front(slot);
-        }
-        while let Some(slot) = self.order.pop_front() {
-            if let Some(entry) = self.slots[slot as usize].take() {
-                self.live -= 1;
-                return Some(entry);
-            }
-        }
-        None
-    }
-
-    /// Fig. 2 lines 14–15: finds a stored `S` with `JCC(S ∪ T′)` and
-    /// replaces it by the union, preserving its queue position. Returns
-    /// true when a merge happened. Merge partners must share the root
-    /// tuple, which the indexed engine exploits.
-    pub fn try_merge(
-        &mut self,
-        db: &Database,
-        root: TupleId,
-        t_prime: &TupleSet,
-        stats: &mut Stats,
-    ) -> bool {
-        match self.engine {
-            StoreEngine::Scan => {
-                // Logical order: pending batch first, then older entries.
-                let slots: Vec<u32> = self
-                    .batch
-                    .iter()
-                    .copied()
-                    .chain(self.order.iter().copied())
-                    .collect();
-                for slot in slots {
-                    if let Some((_, s)) = &self.slots[slot as usize] {
-                        stats.incomplete_scans += 1;
-                        if let Some(u) = try_union(db, s, t_prime, stats) {
-                            stats.merges += 1;
-                            self.slots[slot as usize].as_mut().expect("live slot").1 = u;
-                            return true;
-                        }
-                    }
-                }
-                false
-            }
-            StoreEngine::Indexed => {
-                let Some(slots) = self.by_root.get(&root) else {
-                    return false;
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/`cksum -o3` variant) over a
+/// byte slice. Hand-rolled: the build is offline, no `crc32fast` here.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 == 1 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
                 };
-                for &slot in slots {
-                    if let Some((_, s)) = &self.slots[slot as usize] {
-                        stats.incomplete_scans += 1;
-                        if let Some(u) = try_union(db, s, t_prime, stats) {
-                            stats.merges += 1;
-                            self.slots[slot as usize].as_mut().expect("live slot").1 = u;
-                            return true;
-                        }
-                    }
-                }
-                false
+                k += 1;
             }
+            t[i] = c;
+            i += 1;
         }
+        t
+    }
+    const TABLE: [u32; 256] = table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// A decoded snapshot: the reconstructed database (ids, tombstones and
+/// dynamic inserts exactly as persisted) plus the materialized results
+/// as member-id lists and the commit sequence number the snapshot folds
+/// in.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Committed batches folded into this snapshot.
+    pub seq: u64,
+    /// The database, id-exact.
+    pub db: Database,
+    /// Each materialized result's member tuple ids, ascending.
+    pub results: Vec<Vec<TupleId>>,
+}
+
+/// A durable data directory: one snapshot plus one write-ahead log.
+#[derive(Debug, Clone)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Opens (creating the directory if needed) a data directory.
+    pub fn create(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(io_err(format!("create {}", dir.display())))?;
+        Ok(Store { dir })
     }
 
-    /// Iterates live entries in logical (pop) order — pending batch first,
-    /// then older entries. Used by trace snapshots and the initialization
-    /// strategies.
-    pub fn iter(&self) -> impl Iterator<Item = &TupleSet> {
-        self.batch
-            .iter()
-            .chain(self.order.iter())
-            .filter_map(move |&slot| self.slots[slot as usize].as_ref().map(|(_, s)| s))
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
     }
+
+    /// Path of the snapshot file.
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join(SNAPSHOT_FILE)
+    }
+
+    /// Path of the write-ahead log.
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join(WAL_FILE)
+    }
+
+    /// Does the directory hold a snapshot to recover from?
+    pub fn has_snapshot(&self) -> bool {
+        self.snapshot_path().is_file()
+    }
+
+    /// Writes a snapshot of `db` + `results` atomically (temp file +
+    /// rename + directory-entry durability via `sync_all`), returning the
+    /// body size in bytes.
+    pub fn write_snapshot(
+        &self,
+        db: &Database,
+        results: &[Vec<TupleId>],
+        seq: u64,
+    ) -> Result<u64, StoreError> {
+        let body = encode_snapshot(db, results, seq);
+        let header = format!("fdsnap v1 len={} crc={:08x}\n", body.len(), crc32(&body));
+        let tmp = self.dir.join(".snapshot.fd.tmp");
+        let path = self.snapshot_path();
+        let mut f = File::create(&tmp).map_err(io_err(format!("create {}", tmp.display())))?;
+        f.write_all(header.as_bytes())
+            .and_then(|()| f.write_all(&body))
+            .and_then(|()| f.sync_all())
+            .map_err(io_err(format!("write {}", tmp.display())))?;
+        drop(f);
+        std::fs::rename(&tmp, &path).map_err(io_err(format!(
+            "rename {} -> {}",
+            tmp.display(),
+            path.display()
+        )))?;
+        Ok(body.len() as u64)
+    }
+
+    /// Loads and validates the snapshot, reconstructing the database
+    /// id-exactly (every [`TupleId`] means what it meant when written).
+    pub fn read_snapshot(&self) -> Result<Snapshot, StoreError> {
+        let path = self.snapshot_path();
+        let raw = std::fs::read(&path).map_err(io_err(format!("read {}", path.display())))?;
+        let nl = raw
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| corrupt("snapshot: missing header line"))?;
+        let header =
+            std::str::from_utf8(&raw[..nl]).map_err(|_| corrupt("snapshot: non-utf8 header"))?;
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some("fdsnap") || parts.next() != Some("v1") {
+            return Err(corrupt(format!("snapshot: bad magic in header {header:?}")));
+        }
+        let len: usize = parts
+            .next()
+            .and_then(|p| p.strip_prefix("len="))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| corrupt("snapshot: bad len field"))?;
+        let crc: u32 = parts
+            .next()
+            .and_then(|p| p.strip_prefix("crc="))
+            .and_then(|v| u32::from_str_radix(v, 16).ok())
+            .ok_or_else(|| corrupt("snapshot: bad crc field"))?;
+        let body = &raw[nl + 1..];
+        if body.len() != len {
+            return Err(corrupt(format!(
+                "snapshot: body is {} bytes, header says {len}",
+                body.len()
+            )));
+        }
+        if crc32(body) != crc {
+            return Err(corrupt("snapshot: checksum mismatch"));
+        }
+        let body = std::str::from_utf8(body).map_err(|_| corrupt("snapshot: non-utf8 body"))?;
+        decode_snapshot(body)
+    }
+}
+
+fn encode_snapshot(db: &Database, results: &[Vec<TupleId>], seq: u64) -> Vec<u8> {
+    let mut out = String::new();
+    out.push_str(&format!("seq {seq}\n"));
+    out.push_str(&format!("relations {}\n", db.num_relations()));
+    for rel in db.relations() {
+        let mut header: Vec<Value> = vec![Value::str(rel.name())];
+        header.extend(
+            rel.schema()
+                .attrs()
+                .iter()
+                .map(|&a| Value::str(db.attr_name(a))),
+        );
+        out.push_str(&format!("rel {}\n", format_row(&header)));
+        let band = db.base_tuples(rel.id());
+        out.push_str(&format!("rows {}\n", band.len()));
+        for raw in band {
+            // Tombstoned rows too: their data is retained and their slot
+            // keeps every later id meaningful.
+            out.push_str(&format!(
+                "row {}\n",
+                format_row(db.tuple_values(TupleId(raw)))
+            ));
+        }
+    }
+    let base = db.base_tuple_count();
+    let bound = db.tuple_id_bound();
+    out.push_str(&format!("overflow {}\n", bound - base));
+    for raw in base..bound {
+        // Ascending id order == original insertion order, so replaying
+        // `insert_tuple` re-allocates the identical ids.
+        let (rel, _) = db.locate(TupleId(raw));
+        let mut line: Vec<Value> = vec![Value::Int(rel.index() as i64)];
+        line.extend(db.tuple_values(TupleId(raw)).iter().cloned());
+        out.push_str(&format!("add {}\n", format_row(&line)));
+    }
+    let dead: Vec<u32> = (0..bound)
+        .filter(|&raw| !db.is_live(TupleId(raw)))
+        .collect();
+    out.push_str(&format!("dead {}\n", dead.len()));
+    for raw in dead {
+        out.push_str(&format!("gone {raw}\n"));
+    }
+    out.push_str(&format!("results {}\n", results.len()));
+    for set in results {
+        out.push_str("set");
+        for t in set {
+            out.push_str(&format!(" {}", t.0));
+        }
+        out.push('\n');
+    }
+    out.push_str("end\n");
+    out.into_bytes()
+}
+
+fn decode_snapshot(body: &str) -> Result<Snapshot, StoreError> {
+    let mut lines = body.lines();
+    let mut next = |tag: &str| -> Result<String, StoreError> {
+        let line = lines
+            .next()
+            .ok_or_else(|| corrupt(format!("snapshot: unexpected end before '{tag}'")))?;
+        line.strip_prefix(tag)
+            .map(|rest| rest.trim_start().to_owned())
+            .ok_or_else(|| corrupt(format!("snapshot: expected '{tag} …', got {line:?}")))
+    };
+    let seq: u64 = next("seq")?
+        .parse()
+        .map_err(|_| corrupt("snapshot: bad seq"))?;
+    let num_rels: usize = next("relations")?
+        .parse()
+        .map_err(|_| corrupt("snapshot: bad relation count"))?;
+
+    let mut builder = DatabaseBuilder::new();
+    for _ in 0..num_rels {
+        let header = parse_row(&next("rel")?);
+        let mut names = Vec::with_capacity(header.len());
+        for v in &header {
+            match v {
+                Value::Str(s) => names.push(s.to_string()),
+                other => {
+                    return Err(corrupt(format!(
+                        "snapshot: non-string name token {other:?}"
+                    )))
+                }
+            }
+        }
+        let (name, attrs) = names
+            .split_first()
+            .ok_or_else(|| corrupt("snapshot: empty relation header"))?;
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let mut rb = builder.relation(name, &attr_refs);
+        let rows: usize = next("rows")?
+            .parse()
+            .map_err(|_| corrupt("snapshot: bad row count"))?;
+        for _ in 0..rows {
+            rb.row_values(parse_row(&next("row")?));
+        }
+    }
+    let mut db = builder
+        .build()
+        .map_err(|e| corrupt(format!("snapshot: rebuild rejected: {e}")))?;
+
+    let overflow: usize = next("overflow")?
+        .parse()
+        .map_err(|_| corrupt("snapshot: bad overflow count"))?;
+    for _ in 0..overflow {
+        let mut values = parse_row(&next("add")?);
+        if values.is_empty() {
+            return Err(corrupt("snapshot: empty overflow entry"));
+        }
+        let rel = match values.remove(0) {
+            Value::Int(i) if (0..u64::from(u16::MAX)).contains(&(i as u64)) => RelId(i as u16),
+            other => {
+                return Err(corrupt(format!(
+                    "snapshot: bad overflow relation {other:?}"
+                )))
+            }
+        };
+        db.insert_tuple(rel, values)
+            .map_err(|e| corrupt(format!("snapshot: overflow replay rejected: {e}")))?;
+    }
+    let dead: usize = next("dead")?
+        .parse()
+        .map_err(|_| corrupt("snapshot: bad dead count"))?;
+    for _ in 0..dead {
+        let raw: u32 = next("gone")?
+            .parse()
+            .map_err(|_| corrupt("snapshot: bad dead id"))?;
+        db.remove_tuple(TupleId(raw))
+            .map_err(|e| corrupt(format!("snapshot: tombstone replay rejected: {e}")))?;
+    }
+
+    let num_results: usize = next("results")?
+        .parse()
+        .map_err(|_| corrupt("snapshot: bad result count"))?;
+    let mut results = Vec::with_capacity(num_results);
+    for _ in 0..num_results {
+        let ids = next("set")?;
+        let mut set = Vec::new();
+        for tok in ids.split_whitespace() {
+            let raw: u32 = tok
+                .parse()
+                .map_err(|_| corrupt(format!("snapshot: bad member id {tok:?}")))?;
+            if !db.is_live(TupleId(raw)) {
+                return Err(corrupt(format!(
+                    "snapshot: result member t{raw} is not live"
+                )));
+            }
+            set.push(TupleId(raw));
+        }
+        if set.is_empty() {
+            return Err(corrupt("snapshot: empty result set"));
+        }
+        results.push(set);
+    }
+    next("end")?;
+    Ok(Snapshot { seq, db, results })
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug)]
+pub struct WalOpen {
+    /// The log, positioned for appending.
+    pub wal: Wal,
+    /// Every intact record, oldest first — the tail to replay.
+    pub batches: Vec<DeltaBatch>,
+    /// Bytes cut off the end (a torn final record), if any.
+    pub truncated: Option<u64>,
+}
+
+/// The append-only write-ahead log: one framed record per committed
+/// [`DeltaBatch`].
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+    records: u64,
+}
+
+impl Wal {
+    /// Opens (creating if missing) the log, scanning every record. A
+    /// torn final record — short payload or checksum mismatch, the
+    /// signature of a crash mid-append — is truncated away with a logged
+    /// warning; anything before it is returned for replay.
+    pub fn open(path: impl AsRef<Path>) -> Result<WalOpen, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(io_err(format!("open {}", path.display())))?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)
+            .map_err(io_err(format!("read {}", path.display())))?;
+
+        let mut batches = Vec::new();
+        let mut good = 0usize;
+        let mut torn: Option<String> = None;
+        let mut offset = 0usize;
+        while offset < raw.len() {
+            match scan_record(&raw[offset..]) {
+                Ok((batch, consumed)) => {
+                    batches.push(batch);
+                    offset += consumed;
+                    good = offset;
+                }
+                Err(why) => {
+                    torn = Some(why);
+                    break;
+                }
+            }
+        }
+        let truncated = if torn.is_some() {
+            Some((raw.len() - good) as u64)
+        } else {
+            None
+        };
+        if let (Some(why), Some(cut)) = (&torn, truncated) {
+            eprintln!(
+                "fd store: warning: truncating torn WAL tail of {} ({cut} bytes after record {}): {why}",
+                path.display(),
+                batches.len(),
+            );
+            file.set_len(good as u64)
+                .map_err(io_err(format!("truncate {}", path.display())))?;
+            file.sync_all()
+                .map_err(io_err(format!("sync {}", path.display())))?;
+        }
+        file.seek(SeekFrom::Start(good as u64))
+            .map_err(io_err(format!("seek {}", path.display())))?;
+        let records = batches.len() as u64;
+        Ok(WalOpen {
+            wal: Wal {
+                file,
+                path,
+                bytes: good as u64,
+                records,
+            },
+            batches,
+            truncated,
+        })
+    }
+
+    /// Current log size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of records in the log.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Appends one committed batch as a framed record, then makes it as
+    /// durable as `policy` asks. Returns the bytes written.
+    pub fn append(&mut self, batch: &DeltaBatch, policy: FsyncPolicy) -> Result<u64, StoreError> {
+        let payload = encode_batch(batch);
+        let header = format!("rec {} {:08x}\n", payload.len(), crc32(&payload));
+        let write = |f: &mut File| -> std::io::Result<()> {
+            f.write_all(header.as_bytes())?;
+            f.write_all(&payload)?;
+            f.flush()?;
+            match policy {
+                FsyncPolicy::Always => f.sync_all(),
+                FsyncPolicy::OnCommit => f.sync_data(),
+                FsyncPolicy::Off => Ok(()),
+            }
+        };
+        write(&mut self.file).map_err(io_err(format!("append {}", self.path.display())))?;
+        let wrote = (header.len() + payload.len()) as u64;
+        self.bytes += wrote;
+        self.records += 1;
+        Ok(wrote)
+    }
+
+    /// Empties the log (after a snapshot folded its records in) and
+    /// syncs the truncation.
+    pub fn truncate(&mut self) -> Result<(), StoreError> {
+        self.file
+            .set_len(0)
+            .and_then(|()| self.file.seek(SeekFrom::Start(0)).map(|_| ()))
+            .and_then(|()| self.file.sync_all())
+            .map_err(io_err(format!("truncate {}", self.path.display())))?;
+        self.bytes = 0;
+        self.records = 0;
+        Ok(())
+    }
+}
+
+/// Parses one record at the head of `raw`, returning the decoded batch
+/// and the bytes consumed, or a reason the record is torn/invalid.
+fn scan_record(raw: &[u8]) -> Result<(DeltaBatch, usize), String> {
+    let nl = raw
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or("record header has no newline")?;
+    let header =
+        std::str::from_utf8(&raw[..nl]).map_err(|_| "record header is not utf8".to_owned())?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("rec") {
+        return Err(format!("bad record magic in {header:?}"));
+    }
+    let len: usize = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("bad record length in {header:?}"))?;
+    let crc: u32 = parts
+        .next()
+        .and_then(|v| u32::from_str_radix(v, 16).ok())
+        .ok_or_else(|| format!("bad record crc in {header:?}"))?;
+    let start = nl + 1;
+    let payload = raw
+        .get(start..start + len)
+        .ok_or_else(|| format!("record payload short: {} of {len} bytes", raw.len() - start))?;
+    if crc32(payload) != crc {
+        return Err("record checksum mismatch".to_owned());
+    }
+    let payload =
+        std::str::from_utf8(payload).map_err(|_| "record payload is not utf8".to_owned())?;
+    let batch = decode_batch(payload)?;
+    Ok((batch, start + len))
+}
+
+fn encode_batch(batch: &DeltaBatch) -> Vec<u8> {
+    let mut out = String::new();
+    for delta in batch.deltas() {
+        match delta {
+            Delta::Insert { rel, values } => {
+                let mut line: Vec<Value> = vec![Value::Int(rel.index() as i64)];
+                line.extend(values.iter().cloned());
+                out.push_str(&format!("i {}\n", format_row(&line)));
+            }
+            Delta::Delete { tuple } => out.push_str(&format!("d {}\n", tuple.0)),
+        }
+    }
+    out.into_bytes()
+}
+
+fn decode_batch(payload: &str) -> Result<DeltaBatch, String> {
+    let mut batch = DeltaBatch::new();
+    for line in payload.lines() {
+        if let Some(rest) = line.strip_prefix("i ") {
+            let mut values = parse_row(rest);
+            if values.is_empty() {
+                return Err("empty insert record".to_owned());
+            }
+            let rel = match values.remove(0) {
+                Value::Int(i) if (0..i64::from(u16::MAX)).contains(&i) => RelId(i as u16),
+                other => return Err(format!("bad insert relation {other:?}")),
+            };
+            batch.insert(rel, values);
+        } else if let Some(rest) = line.strip_prefix('d') {
+            let raw: u32 = rest
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad delete id {rest:?}"))?;
+            batch.delete(TupleId(raw));
+        } else {
+            return Err(format!("unknown delta line {line:?}"));
+        }
+    }
+    Ok(batch)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::jcc::rebuild;
     use fd_relational::tourist_database;
 
-    const C1: TupleId = TupleId(0);
-    const C2: TupleId = TupleId(1);
-    const A2: TupleId = TupleId(4);
-    const S1: TupleId = TupleId(6);
-
-    fn both_engines() -> [StoreEngine; 2] {
-        [StoreEngine::Scan, StoreEngine::Indexed]
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fd-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     #[test]
-    fn complete_superset_lookup() {
-        let db = tourist_database();
-        for engine in both_engines() {
-            let mut stats = Stats::new();
-            let mut complete = CompleteStore::new(engine);
-            let big = rebuild(&db, vec![C1, A2, S1]);
-            complete.insert(big, &[C1]);
+    fn crc32_matches_the_ieee_check_value() {
+        // The standard check vector for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
 
-            let small = rebuild(&db, vec![C1, S1]);
-            assert!(complete.contains_superset(&small, C1, &mut stats));
-
-            let other = rebuild(&db, vec![C2]);
-            assert!(!complete.contains_superset(&other, C2, &mut stats));
+    #[test]
+    fn fsync_policy_parses_and_displays() {
+        for p in [FsyncPolicy::Always, FsyncPolicy::OnCommit, FsyncPolicy::Off] {
+            assert_eq!(p.to_string().parse::<FsyncPolicy>().unwrap(), p);
         }
+        assert!("sometimes".parse::<FsyncPolicy>().is_err());
     }
 
     #[test]
-    fn complete_exact_lookup() {
-        let db = tourist_database();
-        let mut complete = CompleteStore::new(StoreEngine::Indexed);
-        let set = rebuild(&db, vec![C1, A2]);
-        complete.insert(set, &[C1]);
-        assert!(complete.contains_exact(&[C1, A2]));
-        assert!(!complete.contains_exact(&[C1]));
-    }
+    fn snapshot_round_trips_ids_tombstones_and_results() {
+        let dir = temp_dir("snap");
+        let mut db = tourist_database();
+        let rel = RelId(0);
+        let t = db
+            .insert_tuple(rel, vec![Value::str("Chile"), Value::str("arid")])
+            .unwrap();
+        db.remove_tuple(TupleId(0)).unwrap();
+        let results = vec![vec![TupleId(3)], vec![t, TupleId(6)]];
 
-    #[test]
-    fn queue_is_fifo() {
-        let db = tourist_database();
-        for engine in both_engines() {
-            let mut stats = Stats::new();
-            let mut q = IncompleteQueue::new(engine);
-            q.push(C1, TupleSet::singleton(&db, C1), &mut stats);
-            q.push(C2, TupleSet::singleton(&db, C2), &mut stats);
-            assert_eq!(q.len(), 2);
-            assert_eq!(q.pop().unwrap().0, C1);
-            assert_eq!(q.pop().unwrap().0, C2);
-            assert!(q.pop().is_none());
-            assert!(q.is_empty());
+        let store = Store::create(&dir).unwrap();
+        store.write_snapshot(&db, &results, 7).unwrap();
+        let snap = store.read_snapshot().unwrap();
+
+        assert_eq!(snap.seq, 7);
+        assert_eq!(snap.results, results);
+        assert_eq!(snap.db.tuple_id_bound(), db.tuple_id_bound());
+        assert_eq!(snap.db.base_tuple_count(), db.base_tuple_count());
+        for raw in 0..db.tuple_id_bound() {
+            let t = TupleId(raw);
+            assert_eq!(snap.db.is_live(t), db.is_live(t), "liveness of t{raw}");
+            assert_eq!(
+                snap.db.tuple_values(t),
+                db.tuple_values(t),
+                "values of t{raw}"
+            );
+            assert_eq!(snap.db.rel_of(t), db.rel_of(t), "relation of t{raw}");
         }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn merge_replaces_in_place_keeping_order() {
+    fn snapshot_checksum_mismatch_is_detected() {
+        let dir = temp_dir("snapcrc");
         let db = tourist_database();
-        for engine in both_engines() {
-            let mut stats = Stats::new();
-            let mut q = IncompleteQueue::new(engine);
-            // Example 4.1: Incomplete holds {c1,a2}, {c2}; merging
-            // T′ = {c1,s1} replaces {c1,a2} with {c1,a2,s1} in place.
-            q.push(C1, rebuild(&db, vec![C1, A2]), &mut stats);
-            q.push(C2, TupleSet::singleton(&db, C2), &mut stats);
-
-            let t_prime = rebuild(&db, vec![C1, S1]);
-            assert!(q.try_merge(&db, C1, &t_prime, &mut stats));
-            assert_eq!(stats.merges, 1);
-
-            let (root, merged) = q.pop().unwrap();
-            assert_eq!(root, C1);
-            assert_eq!(merged.tuples(), &[C1, A2, S1]);
-            assert_eq!(q.pop().unwrap().0, C2);
-        }
+        let store = Store::create(&dir).unwrap();
+        store.write_snapshot(&db, &[], 0).unwrap();
+        let path = store.snapshot_path();
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 2;
+        raw[last] ^= 0x01;
+        std::fs::write(&path, &raw).unwrap();
+        assert!(matches!(
+            store.read_snapshot(),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn merge_fails_without_candidates() {
-        let db = tourist_database();
-        for engine in both_engines() {
-            let mut stats = Stats::new();
-            let mut q = IncompleteQueue::new(engine);
-            q.push(C2, TupleSet::singleton(&db, C2), &mut stats);
-            let t_prime = rebuild(&db, vec![C1, S1]);
-            assert!(!q.try_merge(&db, C1, &t_prime, &mut stats));
-        }
+    fn wal_round_trips_batches() {
+        let dir = temp_dir("wal");
+        let path = dir.join(WAL_FILE);
+        let mut batch = DeltaBatch::new();
+        batch
+            .insert(RelId(0), vec![Value::str("Chile"), Value::Null])
+            .insert(
+                RelId(2),
+                vec![Value::Int(1), Value::float(0.5), Value::Bool(true)],
+            )
+            .delete(TupleId(4));
+
+        let mut wal = Wal::open(&path).unwrap().wal;
+        wal.append(&batch, FsyncPolicy::Off).unwrap();
+        wal.append(
+            &DeltaBatch::from(Delta::Delete { tuple: TupleId(1) }),
+            FsyncPolicy::OnCommit,
+        )
+        .unwrap();
+        assert_eq!(wal.records(), 2);
+        drop(wal);
+
+        let opened = Wal::open(&path).unwrap();
+        assert!(opened.truncated.is_none());
+        assert_eq!(opened.batches.len(), 2);
+        assert_eq!(opened.batches[0], batch);
+        assert_eq!(
+            opened.batches[1],
+            DeltaBatch::from(Delta::Delete { tuple: TupleId(1) })
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn indexed_engine_scans_fewer_entries() {
-        let db = tourist_database();
-        let mut scan_stats = Stats::new();
-        let mut idx_stats = Stats::new();
-        let t_prime = rebuild(&db, vec![C1, S1]);
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = temp_dir("torn");
+        let path = dir.join(WAL_FILE);
+        let mut wal = Wal::open(&path).unwrap().wal;
+        let good = DeltaBatch::from(Delta::Delete { tuple: TupleId(0) });
+        wal.append(&good, FsyncPolicy::Off).unwrap();
+        wal.append(
+            &DeltaBatch::from(Delta::Delete { tuple: TupleId(1) }),
+            FsyncPolicy::Off,
+        )
+        .unwrap();
+        drop(wal);
 
-        let mut q = IncompleteQueue::new(StoreEngine::Scan);
-        q.push(C2, TupleSet::singleton(&db, C2), &mut scan_stats);
-        q.push(C1, rebuild(&db, vec![C1, A2]), &mut scan_stats);
-        assert!(q.try_merge(&db, C1, &t_prime, &mut scan_stats));
+        // Chop bytes off the final record: a crash mid-append.
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 3]).unwrap();
 
-        let mut q = IncompleteQueue::new(StoreEngine::Indexed);
-        q.push(C2, TupleSet::singleton(&db, C2), &mut idx_stats);
-        q.push(C1, rebuild(&db, vec![C1, A2]), &mut idx_stats);
-        assert!(q.try_merge(&db, C1, &t_prime, &mut idx_stats));
-
-        assert!(idx_stats.incomplete_scans < scan_stats.incomplete_scans);
+        let opened = Wal::open(&path).unwrap();
+        assert_eq!(opened.batches, vec![good.clone()]);
+        assert!(opened.truncated.is_some());
+        // The file is now clean: reopening sees one intact record.
+        let reopened = Wal::open(&path).unwrap();
+        assert!(reopened.truncated.is_none());
+        assert_eq!(reopened.batches, vec![good]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn popped_slots_are_skipped() {
-        let db = tourist_database();
-        let mut stats = Stats::new();
-        let mut q = IncompleteQueue::new(StoreEngine::Indexed);
-        q.push(C1, rebuild(&db, vec![C1, A2]), &mut stats);
-        let _ = q.pop();
-        // Merge must not resurrect the popped slot.
-        let t_prime = rebuild(&db, vec![C1, S1]);
-        assert!(!q.try_merge(&db, C1, &t_prime, &mut stats));
-        assert_eq!(q.iter().count(), 0);
+    fn corrupt_crc_in_tail_is_truncated() {
+        let dir = temp_dir("badcrc");
+        let path = dir.join(WAL_FILE);
+        let mut wal = Wal::open(&path).unwrap().wal;
+        wal.append(
+            &DeltaBatch::from(Delta::Delete { tuple: TupleId(2) }),
+            FsyncPolicy::Off,
+        )
+        .unwrap();
+        drop(wal);
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 2;
+        raw[last] ^= 0x40;
+        std::fs::write(&path, &raw).unwrap();
+
+        let opened = Wal::open(&path).unwrap();
+        assert!(opened.batches.is_empty());
+        assert!(opened.truncated.is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_empties_the_log() {
+        let dir = temp_dir("trunc");
+        let path = dir.join(WAL_FILE);
+        let mut wal = Wal::open(&path).unwrap().wal;
+        wal.append(
+            &DeltaBatch::from(Delta::Delete { tuple: TupleId(0) }),
+            FsyncPolicy::Off,
+        )
+        .unwrap();
+        assert!(wal.bytes() > 0);
+        wal.truncate().unwrap();
+        assert_eq!(wal.bytes(), 0);
+        wal.append(
+            &DeltaBatch::from(Delta::Delete { tuple: TupleId(1) }),
+            FsyncPolicy::Off,
+        )
+        .unwrap();
+        drop(wal);
+        let opened = Wal::open(&path).unwrap();
+        assert_eq!(opened.batches.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

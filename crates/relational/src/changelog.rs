@@ -229,7 +229,21 @@ pub fn apply_delta(db: &mut Database, delta: Delta) -> Result<Change> {
 /// mismatches, id-space capacity, deletes of dead or unknown tuples —
 /// including a tuple deleted *earlier in the same batch*.
 pub fn apply_batch(db: &mut Database, batch: DeltaBatch) -> Result<Vec<Change>> {
-    // Validation pass: pure reads only.
+    validate_batch(db, &batch)?;
+
+    // Application pass: cannot fail after validation.
+    let mut changes = Vec::with_capacity(batch.len());
+    for delta in batch.into_deltas() {
+        changes.push(apply_delta(db, delta).expect("validated batch mutations cannot fail"));
+    }
+    Ok(changes)
+}
+
+/// The validation pass of [`apply_batch`], as pure reads: succeeds iff
+/// applying `batch` to `db` would succeed. Durable sessions call it
+/// before appending the batch to a write-ahead log, so a batch that
+/// would be rejected never reaches the log.
+pub fn validate_batch(db: &Database, batch: &DeltaBatch) -> Result<()> {
     let mut pending_inserts: u64 = 0;
     let mut pending_deletes: Vec<TupleId> = Vec::new();
     for delta in batch.deltas() {
@@ -261,13 +275,7 @@ pub fn apply_batch(db: &mut Database, batch: DeltaBatch) -> Result<Vec<Change>> 
             }
         }
     }
-
-    // Application pass: cannot fail after validation.
-    let mut changes = Vec::with_capacity(batch.len());
-    for delta in batch.into_deltas() {
-        changes.push(apply_delta(db, delta).expect("validated batch mutations cannot fail"));
-    }
-    Ok(changes)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -43,7 +43,9 @@ pub mod stats;
 pub mod storage;
 pub mod textio;
 
-pub use changelog::{apply_batch, apply_delta, Change, ChangeLog, Delta, DeltaBatch};
+pub use changelog::{
+    apply_batch, apply_delta, validate_batch, Change, ChangeLog, Delta, DeltaBatch,
+};
 pub use database::{
     universal_positions, universal_schema, Database, DatabaseBuilder, RelationBuilder,
 };

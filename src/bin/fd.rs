@@ -49,6 +49,24 @@ fn main() -> ExitCode {
             }
         };
     }
+    if opts.snapshot {
+        return match cli::run_snapshot(&opts, std::io::stdout()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if opts.recover {
+        return match cli::run_recover(&opts, std::io::stdout()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match cli::run(&opts) {
         Ok(out) => {
             print!("{out}");

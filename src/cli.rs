@@ -7,9 +7,11 @@
 use crate::core::serve::{
     self, AttrMax, Client, Command, ParseError, ServeError, ServeOptions, Server,
 };
+use crate::core::store::SNAPSHOT_FILE;
 use crate::core::{
-    canonicalize, format_results, AMin, EditDistanceSim, FMax, FdConfig, FdQuery, FdSession,
-    ImpScores, ProbScores, RankedFdIter, StoreEngine,
+    canonicalize, format_results, trigger_shutdown_on_signals, AMin, EditDistanceSim, FMax,
+    FdConfig, FdError, FdQuery, FdSession, FsyncPolicy, ImpScores, ProbScores, RankedFdIter,
+    RankingFunction, StoreEngine,
 };
 use crate::relational::{textio, Change, Database, DeltaBatch};
 use std::fmt::Write as _;
@@ -28,6 +30,12 @@ pub struct Options {
     pub serve: bool,
     /// `fd connect`: attach a wire-protocol client to a running daemon.
     pub connect: bool,
+    /// `fd snapshot DIR`: offline checkpoint — fold the WAL into a fresh
+    /// snapshot and truncate it.
+    pub snapshot: bool,
+    /// `fd recover DIR`: open a data directory, verify the recovered
+    /// state against a from-scratch recomputation, print the results.
+    pub recover: bool,
     /// `--addr HOST:PORT` for serve/connect (default [`DEFAULT_ADDR`]).
     pub addr: Option<String>,
     /// Path of the input database (textual format), or `None` for the
@@ -59,15 +67,23 @@ pub struct Options {
     /// `fd serve --log`: emit structured `key=value` event lines to
     /// stderr (connections, commits, reaps, protocol errors).
     pub log: bool,
+    /// `fd serve --data-dir DIR`: durable session backed by DIR — every
+    /// commit is WAL-appended before it is acknowledged, and an existing
+    /// snapshot in DIR is recovered instead of reloading FILE.
+    pub data_dir: Option<String>,
+    /// `fd serve --fsync POLICY` (`always` | `on-commit` | `off`): how
+    /// eagerly WAL appends reach stable storage. Requires `--data-dir`.
+    pub fsync: Option<FsyncPolicy>,
     /// Batch modes: append the operation counters and query timings
     /// after the results (`--stats`).
     pub stats: bool,
 }
 
 impl Options {
-    /// Has a subcommand (watch/serve/connect) already been selected?
+    /// Has a subcommand (watch/serve/connect/snapshot/recover) already
+    /// been selected?
     fn mode_chosen(&self) -> bool {
-        self.watch || self.serve || self.connect
+        self.watch || self.serve || self.connect || self.snapshot || self.recover
     }
 
     /// The execution configuration the flags describe.
@@ -89,6 +105,8 @@ USAGE:
     fd watch [FILE] [OPTIONS]
     fd serve [FILE] [OPTIONS]
     fd connect [OPTIONS]
+    fd snapshot DIR
+    fd recover DIR
 
 With no FILE, runs on the paper's built-in tourist example. FILE uses the
 textual format:
@@ -117,6 +135,16 @@ subscribed client. `fd connect` is the matching client (interactive on
 stdin, or scripted via --script). Pass --rank-by ATTR --top K to serve a
 ranked daemon whose `top` command reports the maintained window.
 
+With --data-dir DIR the served session is durable: every commit is
+appended to a write-ahead log in DIR before it is acknowledged, and
+restarting against the same DIR recovers the exact pre-crash state
+(snapshot + WAL replay — FILE is ignored once DIR holds a snapshot).
+Graceful exits (the `shutdown` command, SIGTERM, SIGINT) fold the log
+into a fresh snapshot; a SIGKILL loses nothing that was acknowledged.
+`fd snapshot DIR` performs that compaction offline; `fd recover DIR`
+opens DIR, verifies the recovered state against a from-scratch
+recomputation, and prints the results.
+
 OPTIONS:
     --addr HOST:PORT   serve/connect: bind/dial this address
                        (default 127.0.0.1:7433; port 0 picks one)
@@ -134,6 +162,10 @@ OPTIONS:
     --metrics-addr H:P serve: also expose Prometheus-style metrics over
                        HTTP at this address (GET /metrics; port 0 picks one)
     --log              serve: structured key=value event lines on stderr
+    --data-dir DIR     serve: durable session backed by DIR (snapshot +
+                       write-ahead log; recovers from DIR on restart)
+    --fsync POLICY     serve: WAL flush policy: always | on-commit | off
+                       (default on-commit; requires --data-dir)
     --stats            batch modes: append the operation counters and
                        query timings after the results
     --sources          print the source relations first
@@ -232,9 +264,24 @@ where
             }
             "--log" => opts.log = true,
             "--stats" => opts.stats = true,
+            "--data-dir" => {
+                let v = it.next().ok_or("--data-dir needs a directory path")?;
+                opts.data_dir = Some(v.as_ref().to_owned());
+            }
+            "--fsync" => {
+                let v = it.next().ok_or("--fsync needs always, on-commit or off")?;
+                opts.fsync = Some(v.as_ref().parse().map_err(|_| {
+                    format!(
+                        "bad --fsync value: {} (always | on-commit | off)",
+                        v.as_ref()
+                    )
+                })?);
+            }
             "watch" if !opts.mode_chosen() && opts.input.is_none() => opts.watch = true,
             "serve" if !opts.mode_chosen() && opts.input.is_none() => opts.serve = true,
             "connect" if !opts.mode_chosen() && opts.input.is_none() => opts.connect = true,
+            "snapshot" if !opts.mode_chosen() && opts.input.is_none() => opts.snapshot = true,
+            "recover" if !opts.mode_chosen() && opts.input.is_none() => opts.recover = true,
             _ if arg.starts_with('-') => return Err(format!("unknown option: {arg}\n\n{USAGE}")),
             _ => {
                 if opts.input.is_some() {
@@ -266,6 +313,28 @@ where
     }
     if (opts.metrics_addr.is_some() || opts.log) && !opts.serve {
         return Err("--metrics-addr/--log only apply to serve mode".into());
+    }
+    if (opts.data_dir.is_some() || opts.fsync.is_some()) && !opts.serve {
+        return Err("--data-dir/--fsync only apply to serve mode".into());
+    }
+    if opts.fsync.is_some() && opts.data_dir.is_none() {
+        return Err("--fsync requires --data-dir DIR".into());
+    }
+    if opts.snapshot || opts.recover {
+        let mode = if opts.snapshot { "snapshot" } else { "recover" };
+        if opts.input.is_none() {
+            return Err(format!("fd {mode} needs a data directory"));
+        }
+        if opts.top.is_some()
+            || opts.rank_attr.is_some()
+            || opts.min_rank.is_some()
+            || opts.approx_tau.is_some()
+            || opts.threads.is_some()
+            || opts.show_sources
+            || opts.stats
+        {
+            return Err(format!("fd {mode} takes only a data directory"));
+        }
     }
     if opts.stats && (opts.watch || opts.serve || opts.connect) {
         return Err(
@@ -650,6 +719,15 @@ impl WatchState {
 /// lifetime and default later-inserted tuples to rank 0; `AttrMax`
 /// evaluates the live attribute value instead).
 pub fn build_serve_session(opts: &Options) -> Result<FdSession<'static>, String> {
+    if let Some(dir) = &opts.data_dir {
+        return build_durable_serve_session(opts, dir);
+    }
+    build_fresh_serve_session(opts)
+}
+
+/// The non-durable session: FILE (or the tourist example) materialized
+/// in memory.
+fn build_fresh_serve_session(opts: &Options) -> Result<FdSession<'static>, String> {
     let db = load_database(opts)?;
     let cfg = opts.fd_config();
     let threads = opts.threads;
@@ -667,6 +745,36 @@ pub fn build_serve_session(opts: &Options) -> Result<FdSession<'static>, String>
     }
 }
 
+/// The durable session behind `fd serve --data-dir DIR`: recover from
+/// an existing snapshot (FILE is then ignored — the directory *is* the
+/// database), or materialize FILE and start a fresh history in DIR.
+fn build_durable_serve_session(opts: &Options, dir: &str) -> Result<FdSession<'static>, String> {
+    let policy = opts.fsync.unwrap_or_default();
+    let cfg = opts.fd_config();
+    if std::path::Path::new(dir).join(SNAPSHOT_FILE).exists() {
+        return match &opts.rank_attr {
+            None => FdSession::open_with_config(dir, cfg, policy).map_err(|e| e.to_string()),
+            Some(attr) => {
+                let k = opts
+                    .top
+                    .ok_or("a ranked daemon needs a window: --rank-by requires --top K")?;
+                let attr = attr.clone();
+                FdSession::open_ranked_with_config(dir, cfg, policy, k, move |db| {
+                    AttrMax::new(db, &attr)
+                        .map(|f| Box::new(f) as Box<dyn RankingFunction + Send>)
+                        .map_err(|e| FdError::Storage {
+                            reason: serve_error(&e),
+                        })
+                })
+                .map_err(|e| e.to_string())
+            }
+        };
+    }
+    let mut session = build_fresh_serve_session(opts)?;
+    session.persist_to(dir, policy).map_err(|e| e.to_string())?;
+    Ok(session)
+}
+
 /// Renders a [`ServeError`] for the CLI (drops the `protocol:` prefix on
 /// config-level complaints like an unknown attribute).
 fn serve_error(e: &ServeError) -> String {
@@ -678,8 +786,10 @@ fn serve_error(e: &ServeError) -> String {
 
 /// The `fd serve` daemon: binds `--addr` (default [`DEFAULT_ADDR`]),
 /// prints the bound address, and blocks until a client issues
-/// `shutdown`. Stop it from any client — plain process kill works too,
-/// but skips the event-queue flush the `shutdown` path performs.
+/// `shutdown` — or, equivalently, the process receives SIGTERM/SIGINT:
+/// both paths flush subscriber queues, join forwarders, and (with
+/// `--data-dir`) write a final snapshot. With `--data-dir`, even a
+/// SIGKILL loses nothing acknowledged: the WAL replays on restart.
 pub fn run_serve(opts: &Options, mut out: impl Write) -> Result<(), String> {
     let session = build_serve_session(opts)?;
     let addr = opts.addr.as_deref().unwrap_or(DEFAULT_ADDR);
@@ -688,16 +798,25 @@ pub fn run_serve(opts: &Options, mut out: impl Write) -> Result<(), String> {
         log: opts.log,
     };
     let server = Server::start_with(session, addr, options).map_err(|e| serve_error(&e))?;
+    trigger_shutdown_on_signals(server.shutdown_handle());
     let bound = server.addr();
-    let n = server
+    let (n, replayed) = server
         .handle()
-        .with(|s| s.len())
+        .with(|s| (s.len(), s.replayed_batches()))
         .map_err(|e| serve_error(&e))?;
     writeln!(
         out,
         "fd serve: listening on {bound} ({n} results); attach with: fd connect --addr {bound}"
     )
     .map_err(|e| format!("write failed: {e}"))?;
+    if let Some(dir) = &opts.data_dir {
+        writeln!(
+            out,
+            "fd serve: durable in {dir} (fsync {}, {replayed} WAL batches replayed)",
+            opts.fsync.unwrap_or_default()
+        )
+        .map_err(|e| format!("write failed: {e}"))?;
+    }
     if let Some(maddr) = server.metrics_addr() {
         writeln!(out, "fd serve: metrics on http://{maddr}/metrics")
             .map_err(|e| format!("write failed: {e}"))?;
@@ -706,6 +825,60 @@ pub fn run_serve(opts: &Options, mut out: impl Write) -> Result<(), String> {
     // so a supervising script can read the bound address.
     out.flush().map_err(|e| format!("flush failed: {e}"))?;
     server.wait().map_err(|e| serve_error(&e))
+}
+
+/// The `fd snapshot DIR` command: offline compaction — recover the
+/// session from DIR, fold the WAL tail into a fresh snapshot, truncate
+/// the log. A daemon restarting against DIR then replays zero batches.
+pub fn run_snapshot(opts: &Options, mut out: impl Write) -> Result<(), String> {
+    let dir = opts
+        .input
+        .as_deref()
+        .ok_or("fd snapshot needs a data directory")?;
+    let mut session = FdSession::open_with_config(dir, opts.fd_config(), FsyncPolicy::default())
+        .map_err(|e| e.to_string())?;
+    let replayed = session.replayed_batches();
+    session.checkpoint().map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "fd snapshot: {dir} compacted ({} results, {replayed} WAL batches folded in)",
+        session.len()
+    )
+    .map_err(|e| format!("write failed: {e}"))
+}
+
+/// The `fd recover DIR` command: open the data directory as a recovery
+/// would, verify the recovered state against a from-scratch
+/// recomputation of the full disjunction, and print the results.
+pub fn run_recover(opts: &Options, mut out: impl Write) -> Result<(), String> {
+    let dir = opts
+        .input
+        .as_deref()
+        .ok_or("fd recover needs a data directory")?;
+    let session = FdSession::open_with_config(dir, opts.fd_config(), FsyncPolicy::default())
+        .map_err(|e| e.to_string())?;
+    let emit = |out: &mut dyn Write, line: &str| -> Result<(), String> {
+        writeln!(out, "{line}").map_err(|e| format!("write failed: {e}"))
+    };
+    emit(
+        &mut out,
+        &format!(
+            "fd recover: {dir} opened ({} results, {} WAL batches replayed)",
+            session.len(),
+            session.replayed_batches()
+        ),
+    )?;
+    if !session.verify_snapshot() {
+        return Err("recovered state does not match a from-scratch recomputation".into());
+    }
+    emit(
+        &mut out,
+        "verified: recovered state equals the full disjunction recomputed from scratch",
+    )?;
+    for set in session.canonical_results() {
+        emit(&mut out, &format!("  {}", set.label(session.db())))?;
+    }
+    Ok(())
 }
 
 /// The `fd connect` client: dials the daemon (retrying briefly, so a
@@ -888,6 +1061,46 @@ mod tests {
         assert!(parse_args(["watch", "--stats"]).is_err());
         assert!(parse_args(["connect", "--stats"]).is_err());
         assert!(parse_args(["serve", "--metrics-addr"]).is_err());
+    }
+
+    #[test]
+    fn parse_durability_flags_and_modes() {
+        let o = parse_args([
+            "serve",
+            "db.txt",
+            "--data-dir",
+            "/tmp/d",
+            "--fsync",
+            "always",
+        ])
+        .unwrap();
+        assert!(o.serve);
+        assert_eq!(o.data_dir.as_deref(), Some("/tmp/d"));
+        assert_eq!(o.fsync, Some(FsyncPolicy::Always));
+
+        let o = parse_args(["serve", "--data-dir", "/tmp/d"]).unwrap();
+        assert_eq!(o.fsync, None, "policy defaults at run time");
+
+        let o = parse_args(["snapshot", "/tmp/d"]).unwrap();
+        assert!(o.snapshot && !o.recover && !o.serve);
+        assert_eq!(o.input.as_deref(), Some("/tmp/d"));
+        let o = parse_args(["recover", "/tmp/d"]).unwrap();
+        assert!(o.recover && !o.snapshot);
+        assert_eq!(o.input.as_deref(), Some("/tmp/d"));
+
+        // Flag scoping and required arguments.
+        assert!(parse_args(["--data-dir", "/tmp/d"]).is_err());
+        assert!(parse_args(["watch", "--data-dir", "/tmp/d"]).is_err());
+        assert!(
+            parse_args(["serve", "--fsync", "off"]).is_err(),
+            "--fsync needs --data-dir"
+        );
+        assert!(parse_args(["serve", "--data-dir", "/tmp/d", "--fsync", "sometimes"]).is_err());
+        assert!(parse_args(["serve", "--data-dir"]).is_err());
+        assert!(parse_args(["snapshot"]).is_err(), "needs a directory");
+        assert!(parse_args(["recover"]).is_err(), "needs a directory");
+        assert!(parse_args(["snapshot", "/tmp/d", "--stats"]).is_err());
+        assert!(parse_args(["recover", "/tmp/d", "--top", "2", "--rank-by", "Stars"]).is_err());
     }
 
     #[test]
