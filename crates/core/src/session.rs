@@ -433,6 +433,7 @@ struct SessionMetrics {
     wal_bytes: Arc<Counter>,
     wal_fsync: Arc<Histogram>,
     snapshot: Arc<Histogram>,
+    checkpoint_errors: Arc<Counter>,
     recovery_replayed: Arc<Counter>,
     /// One counter per [`Stats`] field, in [`Stats::fields`] order.
     ops: Vec<Arc<Counter>>,
@@ -502,6 +503,10 @@ impl SessionMetrics {
             snapshot: registry.histogram(
                 "fd_snapshot_us",
                 "Snapshot write + WAL truncation latency per checkpoint.",
+            ),
+            checkpoint_errors: registry.counter(
+                "fd_checkpoint_errors_total",
+                "Failed automatic compaction checkpoints (the commits stayed durable in the WAL).",
             ),
             recovery_replayed: registry.counter(
                 "fd_recovery_replayed_batches",
@@ -842,8 +847,13 @@ impl<'q> FdSession<'q> {
                 self.metrics.aborts.inc();
                 return Err(e.into());
             }
+            // This commit's global sequence number: the snapshot's
+            // fold-in point plus every batch committed since. Recovery
+            // replays only records past the snapshot's seq, so a stale
+            // log left by a crash mid-checkpoint is never double-applied.
+            let seq = d.base_seq + self.log.num_batches() as u64 + 1;
             let append_start = Instant::now();
-            match d.wal.append(&batch, d.policy) {
+            match d.wal.append(seq, &batch, d.policy) {
                 Ok(bytes) => {
                     self.metrics.wal_fsync.record(append_start.elapsed());
                     self.metrics.wal_appends.inc();
@@ -958,13 +968,20 @@ impl<'q> FdSession<'q> {
         self.total_stats.merge(&commit.stats);
 
         // Truncate-on-snapshot compaction once the log outgrows the
-        // threshold: the commit above is already durable either way.
+        // threshold. Best-effort, like the serve shutdown checkpoint:
+        // the batch is already durable in the WAL and applied in memory,
+        // so a failed snapshot must not report this committed batch as
+        // failed (a retry would double-apply it). Compaction retries on
+        // the next commit while the log stays over the threshold.
         if self
             .durability
             .as_ref()
             .is_some_and(|d| d.wal.bytes() >= d.threshold)
         {
-            self.checkpoint()?;
+            if let Err(e) = self.checkpoint() {
+                self.metrics.checkpoint_errors.inc();
+                eprintln!("fd session: warning: auto-checkpoint failed (the commit itself is durable in the WAL): {e}");
+            }
         }
 
         Ok(commit)
@@ -1096,10 +1113,30 @@ impl<'q> FdSession<'q> {
         };
         let mut session = Self::assemble(snap.db, cfg, results, ranking, SessionMetrics::new());
         let opened = Wal::open(store.wal_path()).map_err(storage_err)?;
-        for batch in opened.batches {
+        // The log must reach back at least to the snapshot's fold-in
+        // point — a first record further ahead means commits between the
+        // two were lost, and replaying across the gap would corrupt.
+        if let Some(first) = opened.records.first() {
+            if first.seq > snap.seq + 1 {
+                return Err(FdError::Storage {
+                    reason: format!(
+                        "wal starts at seq {} but the snapshot folds in only {} — records missing",
+                        first.seq, snap.seq
+                    ),
+                });
+            }
+        }
+        for record in opened.records {
+            // Records at or below the snapshot's seq are already folded
+            // in — the leftovers of a crash between the checkpoint's
+            // snapshot rename and its WAL truncation. Replaying them
+            // would double-apply inserts and re-delete dead tuples.
+            if record.seq <= snap.seq {
+                continue;
+            }
             // Durability is attached only after replay, so these commits
             // do not re-append to the log they came from.
-            session.commit(batch)?;
+            session.commit(record.batch)?;
             session.metrics.recovery_replayed.inc();
         }
         session.durability = Some(Durability {
@@ -1117,6 +1154,11 @@ impl<'q> FdSession<'q> {
     /// a non-durable session. Runs automatically when the log exceeds
     /// the compaction threshold; call it explicitly for a graceful
     /// shutdown or an offline `fd snapshot`.
+    ///
+    /// The two steps are not atomic, but a crash between them is safe:
+    /// the snapshot records the sequence number it folds in, and
+    /// recovery skips every WAL record at or below it, so the stale log
+    /// is ignored rather than double-applied.
     pub fn checkpoint(&mut self) -> Result<bool, FdError> {
         let seq = match &self.durability {
             Some(d) => d.base_seq + self.log.num_batches() as u64,

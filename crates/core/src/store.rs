@@ -17,9 +17,20 @@
 //!   lists, behind a versioned, CRC-checked header. Written atomically
 //!   (temp file + rename).
 //! * `wal.fd` — an append-only log of committed batches, one
-//!   length-and-CRC-framed record per commit. A torn final record (a
-//!   crash mid-append) is detected on open and truncated with a logged
-//!   warning — never a panic.
+//!   seq-, length- and CRC-framed record per commit. A torn final
+//!   record (a crash mid-append) is detected on open and truncated with
+//!   a logged warning — never a panic. A damaged record with intact
+//!   records *after* it is a different animal — bit rot over
+//!   acknowledged commits — and refuses to open rather than silently
+//!   dropping them.
+//!
+//! Each WAL record carries the commit's global sequence number and the
+//! snapshot records the sequence it folds in, so recovery replays
+//! exactly the records the snapshot does not cover. That makes the
+//! checkpoint pair (write snapshot, then truncate the log) crash-safe
+//! without being atomic: a crash between the two leaves a fresh
+//! snapshot plus a stale log, and every stale record is skipped by its
+//! sequence number instead of being double-applied.
 //!
 //! Everything is plain text built from [`textio`](fd_relational::textio)
 //! tokens, so a data directory is inspectable with `cat` and the value
@@ -121,6 +132,24 @@ fn corrupt(what: impl Into<String>) -> StoreError {
     StoreError::Corrupt { what: what.into() }
 }
 
+/// Makes a directory-entry change (a rename or file creation) durable.
+/// `sync_all` on the file covers its *contents*; the entry pointing at
+/// it lives in the directory, which needs its own fsync or a power loss
+/// can undo the rename while later writes survive.
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()
+    }
+    #[cfg(not(unix))]
+    {
+        // Directories cannot be opened for syncing here; the rename is
+        // as durable as the platform makes it.
+        let _ = dir;
+        Ok(())
+    }
+}
+
 /// CRC-32 (IEEE 802.3 polynomial, the zlib/`cksum -o3` variant) over a
 /// byte slice. Hand-rolled: the build is offline, no `crc32fast` here.
 pub fn crc32(bytes: &[u8]) -> u32 {
@@ -199,9 +228,10 @@ impl Store {
         self.snapshot_path().is_file()
     }
 
-    /// Writes a snapshot of `db` + `results` atomically (temp file +
-    /// rename + directory-entry durability via `sync_all`), returning the
-    /// body size in bytes.
+    /// Writes a snapshot of `db` + `results` atomically: temp file +
+    /// `sync_all` + rename, then an fsync of the data directory so the
+    /// rename itself survives power loss. Returns the body size in
+    /// bytes.
     pub fn write_snapshot(
         &self,
         db: &Database,
@@ -223,6 +253,7 @@ impl Store {
             tmp.display(),
             path.display()
         )))?;
+        sync_dir(&self.dir).map_err(io_err(format!("sync {}", self.dir.display())))?;
         Ok(body.len() as u64)
     }
 
@@ -424,13 +455,25 @@ fn decode_snapshot(body: &str) -> Result<Snapshot, StoreError> {
     Ok(Snapshot { seq, db, results })
 }
 
+/// One intact WAL record: a committed batch and its global commit
+/// sequence number (the snapshot stores the sequence it folds in, so
+/// recovery replays only records with `seq > snapshot.seq`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// The commit's position in the session's global history, 1-based.
+    pub seq: u64,
+    /// The committed batch.
+    pub batch: DeltaBatch,
+}
+
 /// What [`Wal::open`] found on disk.
 #[derive(Debug)]
 pub struct WalOpen {
     /// The log, positioned for appending.
     pub wal: Wal,
-    /// Every intact record, oldest first — the tail to replay.
-    pub batches: Vec<DeltaBatch>,
+    /// Every intact record, oldest first, with consecutive sequence
+    /// numbers (a gap fails the open as corruption).
+    pub records: Vec<WalRecord>,
     /// Bytes cut off the end (a torn final record), if any.
     pub truncated: Option<u64>,
 }
@@ -443,15 +486,22 @@ pub struct Wal {
     path: PathBuf,
     bytes: u64,
     records: u64,
+    /// Sequence number of the newest record on disk (0 = empty log);
+    /// appends must move strictly forward.
+    last_seq: u64,
 }
 
 impl Wal {
     /// Opens (creating if missing) the log, scanning every record. A
-    /// torn final record — short payload or checksum mismatch, the
-    /// signature of a crash mid-append — is truncated away with a logged
-    /// warning; anything before it is returned for replay.
+    /// torn *final* record — short payload or checksum mismatch with
+    /// nothing decodable after it, the signature of a crash mid-append —
+    /// is truncated away with a logged warning; anything before it is
+    /// returned for replay. A damaged record *followed by* intact
+    /// records is mid-file corruption over acknowledged commits and
+    /// fails the open instead of silently dropping them.
     pub fn open(path: impl AsRef<Path>) -> Result<WalOpen, StoreError> {
         let path = path.as_ref().to_path_buf();
+        let created = !path.exists();
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -459,22 +509,45 @@ impl Wal {
             .truncate(false)
             .open(&path)
             .map_err(io_err(format!("open {}", path.display())))?;
+        if created {
+            if let Some(dir) = path.parent() {
+                sync_dir(dir).map_err(io_err(format!("sync {}", dir.display())))?;
+            }
+        }
         let mut raw = Vec::new();
         file.read_to_end(&mut raw)
             .map_err(io_err(format!("read {}", path.display())))?;
 
-        let mut batches = Vec::new();
+        let mut records: Vec<WalRecord> = Vec::new();
         let mut good = 0usize;
         let mut torn: Option<String> = None;
         let mut offset = 0usize;
         while offset < raw.len() {
             match scan_record(&raw[offset..]) {
-                Ok((batch, consumed)) => {
-                    batches.push(batch);
+                Ok((record, consumed)) => {
+                    if let Some(last) = records.last() {
+                        if record.seq != last.seq + 1 {
+                            return Err(corrupt(format!(
+                                "{}: record seq jumps from {} to {} — the log lost commits",
+                                path.display(),
+                                last.seq,
+                                record.seq
+                            )));
+                        }
+                    }
+                    records.push(record);
                     offset += consumed;
                     good = offset;
                 }
                 Err(why) => {
+                    if intact_record_follows(&raw[offset..]) {
+                        return Err(corrupt(format!(
+                            "{}: record {} is damaged but intact records follow — refusing to \
+                             truncate acknowledged commits (repair or remove the file manually): {why}",
+                            path.display(),
+                            records.len() + 1,
+                        )));
+                    }
                     torn = Some(why);
                     break;
                 }
@@ -489,7 +562,7 @@ impl Wal {
             eprintln!(
                 "fd store: warning: truncating torn WAL tail of {} ({cut} bytes after record {}): {why}",
                 path.display(),
-                batches.len(),
+                records.len(),
             );
             file.set_len(good as u64)
                 .map_err(io_err(format!("truncate {}", path.display())))?;
@@ -498,15 +571,17 @@ impl Wal {
         }
         file.seek(SeekFrom::Start(good as u64))
             .map_err(io_err(format!("seek {}", path.display())))?;
-        let records = batches.len() as u64;
+        let last_seq = records.last().map_or(0, |r| r.seq);
+        let num = records.len() as u64;
         Ok(WalOpen {
             wal: Wal {
                 file,
                 path,
                 bytes: good as u64,
-                records,
+                records: num,
+                last_seq,
             },
-            batches,
+            records,
             truncated,
         })
     }
@@ -521,11 +596,30 @@ impl Wal {
         self.records
     }
 
-    /// Appends one committed batch as a framed record, then makes it as
-    /// durable as `policy` asks. Returns the bytes written.
-    pub fn append(&mut self, batch: &DeltaBatch, policy: FsyncPolicy) -> Result<u64, StoreError> {
+    /// Sequence number of the newest record on disk (0 = empty log).
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Appends one committed batch as a framed record stamped with its
+    /// global commit sequence number, then makes it as durable as
+    /// `policy` asks. Returns the bytes written. `seq` must move
+    /// strictly forward from the last record on disk.
+    pub fn append(
+        &mut self,
+        seq: u64,
+        batch: &DeltaBatch,
+        policy: FsyncPolicy,
+    ) -> Result<u64, StoreError> {
+        if seq <= self.last_seq {
+            return Err(corrupt(format!(
+                "{}: append seq {seq} does not advance past record {}",
+                self.path.display(),
+                self.last_seq
+            )));
+        }
         let payload = encode_batch(batch);
-        let header = format!("rec {} {:08x}\n", payload.len(), crc32(&payload));
+        let header = format!("rec {seq} {} {:08x}\n", payload.len(), crc32(&payload));
         let write = |f: &mut File| -> std::io::Result<()> {
             f.write_all(header.as_bytes())?;
             f.write_all(&payload)?;
@@ -540,6 +634,7 @@ impl Wal {
         let wrote = (header.len() + payload.len()) as u64;
         self.bytes += wrote;
         self.records += 1;
+        self.last_seq = seq;
         Ok(wrote)
     }
 
@@ -553,13 +648,14 @@ impl Wal {
             .map_err(io_err(format!("truncate {}", self.path.display())))?;
         self.bytes = 0;
         self.records = 0;
+        self.last_seq = 0;
         Ok(())
     }
 }
 
-/// Parses one record at the head of `raw`, returning the decoded batch
+/// Parses one record at the head of `raw`, returning the decoded record
 /// and the bytes consumed, or a reason the record is torn/invalid.
-fn scan_record(raw: &[u8]) -> Result<(DeltaBatch, usize), String> {
+fn scan_record(raw: &[u8]) -> Result<(WalRecord, usize), String> {
     let nl = raw
         .iter()
         .position(|&b| b == b'\n')
@@ -570,6 +666,10 @@ fn scan_record(raw: &[u8]) -> Result<(DeltaBatch, usize), String> {
     if parts.next() != Some("rec") {
         return Err(format!("bad record magic in {header:?}"));
     }
+    let seq: u64 = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("bad record seq in {header:?}"))?;
     let len: usize = parts
         .next()
         .and_then(|v| v.parse().ok())
@@ -588,7 +688,28 @@ fn scan_record(raw: &[u8]) -> Result<(DeltaBatch, usize), String> {
     let payload =
         std::str::from_utf8(payload).map_err(|_| "record payload is not utf8".to_owned())?;
     let batch = decode_batch(payload)?;
-    Ok((batch, start + len))
+    Ok((WalRecord { seq, batch }, start + len))
+}
+
+/// After a scan failure, is there still an intact record further along?
+/// A torn final record (crash mid-append) is followed by nothing
+/// decodable; mid-file bit rot leaves the later, acknowledged records
+/// intact, and truncating those would silently lose commits. Candidate
+/// positions are line starts — a record header always follows a
+/// newline — and each must pass the full frame check (CRC included), so
+/// payload text cannot masquerade as a surviving record.
+fn intact_record_follows(raw: &[u8]) -> bool {
+    let mut pos = 0usize;
+    while let Some(nl) = raw[pos..].iter().position(|&b| b == b'\n') {
+        pos += nl + 1;
+        if pos >= raw.len() {
+            return false;
+        }
+        if raw[pos..].starts_with(b"rec ") && scan_record(&raw[pos..]).is_ok() {
+            return true;
+        }
+    }
+    false
 }
 
 fn encode_batch(batch: &DeltaBatch) -> Vec<u8> {
@@ -723,23 +844,48 @@ mod tests {
             .delete(TupleId(4));
 
         let mut wal = Wal::open(&path).unwrap().wal;
-        wal.append(&batch, FsyncPolicy::Off).unwrap();
+        wal.append(1, &batch, FsyncPolicy::Off).unwrap();
         wal.append(
+            2,
             &DeltaBatch::from(Delta::Delete { tuple: TupleId(1) }),
             FsyncPolicy::OnCommit,
         )
         .unwrap();
         assert_eq!(wal.records(), 2);
+        assert_eq!(wal.last_seq(), 2);
         drop(wal);
 
         let opened = Wal::open(&path).unwrap();
         assert!(opened.truncated.is_none());
-        assert_eq!(opened.batches.len(), 2);
-        assert_eq!(opened.batches[0], batch);
+        assert_eq!(opened.wal.last_seq(), 2);
+        assert_eq!(opened.records.len(), 2);
+        assert_eq!(opened.records[0], WalRecord { seq: 1, batch });
         assert_eq!(
-            opened.batches[1],
-            DeltaBatch::from(Delta::Delete { tuple: TupleId(1) })
+            opened.records[1],
+            WalRecord {
+                seq: 2,
+                batch: DeltaBatch::from(Delta::Delete { tuple: TupleId(1) })
+            }
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_seq_must_advance_and_gaps_fail_the_open() {
+        let dir = temp_dir("seq");
+        let path = dir.join(WAL_FILE);
+        let one = DeltaBatch::from(Delta::Delete { tuple: TupleId(0) });
+        let mut wal = Wal::open(&path).unwrap().wal;
+        wal.append(1, &one, FsyncPolicy::Off).unwrap();
+        // Stale or repeated seqs are rejected before touching the file…
+        assert!(matches!(
+            wal.append(1, &one, FsyncPolicy::Off),
+            Err(StoreError::Corrupt { .. })
+        ));
+        // …but a forward jump only shows up as corruption on open.
+        wal.append(5, &one, FsyncPolicy::Off).unwrap();
+        drop(wal);
+        assert!(matches!(Wal::open(&path), Err(StoreError::Corrupt { .. })));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -749,8 +895,9 @@ mod tests {
         let path = dir.join(WAL_FILE);
         let mut wal = Wal::open(&path).unwrap().wal;
         let good = DeltaBatch::from(Delta::Delete { tuple: TupleId(0) });
-        wal.append(&good, FsyncPolicy::Off).unwrap();
+        wal.append(1, &good, FsyncPolicy::Off).unwrap();
         wal.append(
+            2,
             &DeltaBatch::from(Delta::Delete { tuple: TupleId(1) }),
             FsyncPolicy::Off,
         )
@@ -762,12 +909,24 @@ mod tests {
         std::fs::write(&path, &raw[..raw.len() - 3]).unwrap();
 
         let opened = Wal::open(&path).unwrap();
-        assert_eq!(opened.batches, vec![good.clone()]);
+        assert_eq!(
+            opened.records,
+            vec![WalRecord {
+                seq: 1,
+                batch: good.clone()
+            }]
+        );
         assert!(opened.truncated.is_some());
         // The file is now clean: reopening sees one intact record.
         let reopened = Wal::open(&path).unwrap();
         assert!(reopened.truncated.is_none());
-        assert_eq!(reopened.batches, vec![good]);
+        assert_eq!(
+            reopened.records,
+            vec![WalRecord {
+                seq: 1,
+                batch: good
+            }]
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -777,6 +936,7 @@ mod tests {
         let path = dir.join(WAL_FILE);
         let mut wal = Wal::open(&path).unwrap().wal;
         wal.append(
+            1,
             &DeltaBatch::from(Delta::Delete { tuple: TupleId(2) }),
             FsyncPolicy::Off,
         )
@@ -788,8 +948,45 @@ mod tests {
         std::fs::write(&path, &raw).unwrap();
 
         let opened = Wal::open(&path).unwrap();
-        assert!(opened.batches.is_empty());
+        assert!(opened.records.is_empty());
         assert!(opened.truncated.is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_with_intact_tail_refuses_to_open() {
+        let dir = temp_dir("midrot");
+        let path = dir.join(WAL_FILE);
+        let mut wal = Wal::open(&path).unwrap().wal;
+        wal.append(
+            1,
+            &DeltaBatch::from(Delta::Delete { tuple: TupleId(0) }),
+            FsyncPolicy::Off,
+        )
+        .unwrap();
+        let first_end = wal.bytes() as usize;
+        wal.append(
+            2,
+            &DeltaBatch::from(Delta::Delete { tuple: TupleId(1) }),
+            FsyncPolicy::Off,
+        )
+        .unwrap();
+        drop(wal);
+
+        // Bit rot inside the *first* record, second record intact:
+        // truncating here would drop an acknowledged commit, so the
+        // open must fail instead.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[first_end - 2] ^= 0x04;
+        std::fs::write(&path, &raw).unwrap();
+        match Wal::open(&path) {
+            Err(StoreError::Corrupt { what }) => {
+                assert!(what.contains("intact records follow"), "got: {what}")
+            }
+            other => panic!("expected corrupt-store error, got {other:?}"),
+        }
+        // Nothing was truncated by the refused open.
+        assert_eq!(std::fs::read(&path).unwrap(), raw);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -799,6 +996,7 @@ mod tests {
         let path = dir.join(WAL_FILE);
         let mut wal = Wal::open(&path).unwrap().wal;
         wal.append(
+            1,
             &DeltaBatch::from(Delta::Delete { tuple: TupleId(0) }),
             FsyncPolicy::Off,
         )
@@ -806,14 +1004,19 @@ mod tests {
         assert!(wal.bytes() > 0);
         wal.truncate().unwrap();
         assert_eq!(wal.bytes(), 0);
+        assert_eq!(wal.last_seq(), 0);
+        // A fresh history may restart anywhere forward of zero, e.g. at
+        // the seq after the snapshot that emptied the log.
         wal.append(
+            2,
             &DeltaBatch::from(Delta::Delete { tuple: TupleId(1) }),
             FsyncPolicy::Off,
         )
         .unwrap();
         drop(wal);
         let opened = Wal::open(&path).unwrap();
-        assert_eq!(opened.batches.len(), 1);
+        assert_eq!(opened.records.len(), 1);
+        assert_eq!(opened.records[0].seq, 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

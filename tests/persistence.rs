@@ -195,7 +195,7 @@ fn torn_wal_tail_is_truncated_not_fatal() {
 }
 
 #[test]
-fn corrupt_wal_record_drops_the_tail_from_there() {
+fn corrupt_wal_record_with_intact_tail_refuses_recovery() {
     let dir = fresh_dir("corrupt");
     let batches = tourist_batches(17, 5);
     {
@@ -207,17 +207,71 @@ fn corrupt_wal_record_drops_the_tail_from_there() {
             durable.commit(batch.clone()).expect("durable commit");
         }
     }
-    // Flip a payload byte in the middle of the log: every record from
-    // the damaged one on is untrusted and must be dropped.
+    // Flip a byte inside the *first* record's payload. Unlike a torn
+    // tail, intact acknowledged records follow the damage, so recovery
+    // must refuse to open rather than silently truncate them away.
     let wal = dir.join(WAL_FILE);
     let mut bytes = std::fs::read(&wal).expect("wal readable");
-    let mid = bytes.len() / 2;
-    bytes[mid] ^= 0x41;
+    let second = bytes
+        .windows(5)
+        .enumerate()
+        .skip(1)
+        .find(|(_, w)| *w == b"\nrec ")
+        .map(|(i, _)| i)
+        .expect("at least two records");
+    bytes[second - 2] ^= 0x41;
     std::fs::write(&wal, &bytes).expect("wal writable");
 
-    let recovered = FdSession::open(&dir).expect("corrupt record must not be fatal");
-    assert!(recovered.replayed_batches() < batches.len() as u64);
-    assert!(recovered.verify_snapshot());
+    let err = FdSession::open(&dir).expect_err("mid-file corruption must refuse recovery");
+    assert!(
+        err.to_string().contains("intact records follow"),
+        "unexpected error: {err}"
+    );
+    // The refused open left the log untouched for manual repair.
+    assert_eq!(std::fs::read(&wal).expect("wal readable"), bytes);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crash_between_snapshot_and_truncation_replays_nothing_twice() {
+    // A checkpoint is two non-atomic steps: rename the fresh snapshot
+    // in, then truncate the WAL. Simulate a crash exactly between them
+    // by restoring the pre-checkpoint log next to the new snapshot; the
+    // snapshot's seq must make recovery skip every stale record.
+    let dir = fresh_dir("midcheckpoint");
+    let batches = tourist_batches(23, 9);
+    let mut live = FdSession::new(tourist_database());
+    {
+        let mut durable = FdSession::new(tourist_database());
+        durable.persist_to(&dir, FsyncPolicy::Off).expect("persist");
+        for batch in &batches {
+            commit_both(&mut durable, &mut live, batch.clone());
+        }
+        let stale_wal = std::fs::read(dir.join(WAL_FILE)).expect("wal readable");
+        assert!(durable.checkpoint().expect("checkpoint"));
+        std::fs::write(dir.join(WAL_FILE), &stale_wal).expect("wal writable");
+    }
+    let recovered = FdSession::open(&dir).expect("recovery");
+    assert_eq!(
+        recovered.replayed_batches(),
+        0,
+        "stale WAL records were double-applied"
+    );
+    assert_equivalent(&recovered, &live);
+
+    // And the session keeps going: a new commit appends past the stale
+    // records and a further recovery replays exactly that one.
+    let mut recovered = recovered;
+    let mut batch = DeltaBatch::default();
+    batch.insert(RelId(0), vec![Value::str("Chile"), Value::str("arid")]);
+    recovered
+        .commit(batch.clone())
+        .expect("post-recovery commit");
+    live.commit(batch).expect("live commit");
+    drop(recovered);
+    let again = FdSession::open(&dir).expect("second recovery");
+    assert_eq!(again.replayed_batches(), 1);
+    assert_equivalent(&again, &live);
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -240,10 +294,12 @@ fn wal_append_without_ack_is_recovered() {
     {
         // Append the batch straight to the log, bypassing the session —
         // exactly the on-disk state of a crash between append and apply.
+        // The snapshot written by persist_to folds in seq 0, so the
+        // first logged commit is seq 1.
         let mut opened = Wal::open(dir.join(WAL_FILE)).expect("wal opens");
         opened
             .wal
-            .append(&batch, FsyncPolicy::Always)
+            .append(1, &batch, FsyncPolicy::Always)
             .expect("manual append");
     }
     let recovered = FdSession::open(&dir).expect("recovery");
