@@ -1,0 +1,107 @@
+//! E17 — the indexed-access-path A/B: total batch full-disjunction
+//! runtime under three configurations of the same enumeration:
+//!
+//! * **scan** — the paper-faithful baseline: linked-list `Complete`
+//!   scans (`StoreEngine::Scan`) and the join-column indexes disabled,
+//!   so every candidate lookup is a full liveness-aware relation scan;
+//! * **store-indexed** — `StoreEngine::Indexed` membership structures
+//!   but the join-column indexes still off (the pre-index default);
+//! * **indexed** — the current default: indexed store *and* posting-list
+//!   probes on the shared join attributes.
+//!
+//! All three enumerate byte-identical output (asserted before timing);
+//! the reported `speedup` is indexed over scan — the gate is ≥2× at the
+//! largest size — and `speedup_vs_store` isolates the join-index
+//! increment on top of the indexed store.
+//!
+//! Run once and commit the output:
+//!
+//! ```sh
+//! cargo bench --bench scaling_index > BENCH_scaling.json
+//! ```
+
+use fd_core::{FdConfig, FdQuery};
+use fd_workloads::{chain, DataSpec};
+use std::time::Instant;
+
+/// Chain length; sets reach this many members, so both the subset
+/// computations and the extension loops have real work per candidate.
+const CHAIN_N: usize = 5;
+
+fn run_once(db: &fd_relational::Database, cfg: FdConfig) -> Vec<Vec<fd_relational::TupleId>> {
+    FdQuery::over(db)
+        .with_config(cfg)
+        .run()
+        .unwrap()
+        .into_sets()
+        .iter()
+        .map(|s| s.tuples().to_vec())
+        .collect()
+}
+
+/// Median of `runs` wall-clock measurements of one batch run, in ms.
+fn median_ms(db: &fd_relational::Database, cfg: FdConfig, runs: usize) -> f64 {
+    let mut times = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let start = Instant::now();
+        let out = FdQuery::over(db)
+            .with_config(cfg)
+            .run()
+            .unwrap()
+            .into_sets();
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(out);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn main() {
+    let indexed_cfg = FdConfig::default();
+    let scan_cfg = FdConfig::paper_faithful();
+    let mut rows_out = Vec::new();
+    for rows in [16usize, 32, 64, 128] {
+        let db = chain(CHAIN_N, &DataSpec::new(rows, rows).seed(0xFD));
+        let mut twin = db.clone();
+        twin.set_index_enabled(false);
+
+        // Outputs must be identical before timing means anything.
+        let a = run_once(&db, indexed_cfg);
+        let b = run_once(&twin, indexed_cfg);
+        let c = run_once(&twin, scan_cfg);
+        assert_eq!(a, b, "join-index A/B diverges at {rows} rows");
+        assert_eq!(a, c, "store-engine A/B diverges at {rows} rows");
+        let f = a.len();
+
+        let runs = if rows >= 128 { 3 } else { 5 };
+        let indexed_ms = median_ms(&db, indexed_cfg, runs);
+        let store_ms = median_ms(&twin, indexed_cfg, runs);
+        let scan_ms = median_ms(&twin, scan_cfg, runs);
+        let speedup = scan_ms / indexed_ms;
+        let vs_store = store_ms / indexed_ms;
+        let probes = db.index_probes();
+        let hits = db.index_hits();
+        eprintln!(
+            "scaling_index: chain({CHAIN_N}) rows={rows:>4} f={f:>5}  \
+             scan {scan_ms:>9.2} ms  store {store_ms:>9.2} ms  indexed {indexed_ms:>9.2} ms  \
+             {speedup:>6.2}x vs scan, {vs_store:>5.2}x vs store  ({hits}/{probes} probes hit)"
+        );
+        rows_out.push(format!(
+            "    {{ \"rows\": {rows}, \"f\": {f}, \"scan_ms\": {scan_ms:.2}, \
+             \"store_indexed_ms\": {store_ms:.2}, \"indexed_ms\": {indexed_ms:.2}, \
+             \"speedup\": {speedup:.2}, \"speedup_vs_store\": {vs_store:.2} }}"
+        ));
+    }
+    println!("{{");
+    println!("  \"bench\": \"scaling_index\",");
+    println!(
+        "  \"description\": \"total batch full-disjunction runtime: paper-faithful scan \
+         baseline vs indexed Complete store vs indexed store + join-column posting-list \
+         probes (the default); identical output asserted, median wall time\","
+    );
+    println!("  \"database\": \"chain({CHAIN_N}) x rows, join domain = rows (sparse joins)\",");
+    println!("  \"sizes\": [");
+    println!("{}", rows_out.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

@@ -64,27 +64,30 @@ pub(crate) struct ScanScope<'db, 'p> {
     pub pager: Option<&'p Pager<'db>>,
 }
 
-/// Applies `f` to every live tuple, honoring block-based execution when a
-/// pager is configured — the Fig. 2 line-7 candidate scan shared by the
-/// ranked and approximate iterators (whole-database scope). The plain
-/// `GETNEXTRESULT` path uses [`ScanScope::for_each_candidate`] below,
-/// which restricts the scan to relations `≥ rel_min` for the Section 7
-/// reuse strategies; a change to the block-scan mechanics must be applied
-/// to both.
-pub(crate) fn scan_candidates(
+/// The single block-scan code path (previously two near-identical twins):
+/// applies `f` to every live tuple of relations `rel_min..n`, each
+/// relation in ascending id order — base band then that relation's
+/// dynamic inserts — honoring block-based execution when a pager is
+/// configured (page granularity is what makes this scan inherently
+/// unindexable: every page must be fetched and counted, so the line-7
+/// candidate scan stays on this path while the extension loops use
+/// [`Database::probe`]).
+pub(crate) fn scan_tuples_from(
     db: &Database,
+    rel_min: usize,
     pager: Option<&Pager<'_>>,
     mut f: impl FnMut(TupleId),
 ) {
-    match pager {
-        None => {
-            for t in db.all_tuples() {
-                f(t);
+    for rel_idx in rel_min..db.num_relations() {
+        let rel = RelId(rel_idx as u16);
+        match pager {
+            None => {
+                for t in db.tuples_of(rel) {
+                    f(t);
+                }
             }
-        }
-        Some(pager) => {
-            for rel_idx in 0..db.num_relations() {
-                for block in pager.scan(RelId(rel_idx as u16)) {
+            Some(pager) => {
+                for block in pager.scan(rel) {
                     for t in block {
                         f(t);
                     }
@@ -94,30 +97,22 @@ pub(crate) fn scan_candidates(
     }
 }
 
+/// Whole-database candidate scan (the Fig. 2 line-7 scan as the ranked
+/// and approximate iterators run it): [`scan_tuples_from`] at
+/// `rel_min = 0`.
+pub(crate) fn scan_candidates(db: &Database, pager: Option<&Pager<'_>>, f: impl FnMut(TupleId)) {
+    scan_tuples_from(db, 0, pager, f)
+}
+
 impl ScanScope<'_, '_> {
-    /// Applies `f` to every candidate tuple in scan scope, honoring
-    /// block-based execution when a pager is configured.
+    /// Applies `f` to every candidate tuple in scan scope — the same
+    /// shared scan, restricted to relations `≥ rel_min` and counted in
+    /// the run's stats.
     fn for_each_candidate(&self, stats: &mut Stats, mut f: impl FnMut(TupleId, &mut Stats)) {
-        match self.pager {
-            None => {
-                for rel_idx in self.rel_min..self.db.num_relations() {
-                    for t in self.db.tuples_of(RelId(rel_idx as u16)) {
-                        stats.candidate_scans += 1;
-                        f(t, stats);
-                    }
-                }
-            }
-            Some(pager) => {
-                for rel_idx in self.rel_min..self.db.num_relations() {
-                    for block in pager.scan(RelId(rel_idx as u16)) {
-                        for t in block {
-                            stats.candidate_scans += 1;
-                            f(t, stats);
-                        }
-                    }
-                }
-            }
-        }
+        scan_tuples_from(self.db, self.rel_min, self.pager, |t| {
+            stats.candidate_scans += 1;
+            f(t, stats);
+        });
     }
 }
 

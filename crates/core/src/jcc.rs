@@ -345,6 +345,15 @@ pub fn extend_to_maximal(db: &Database, set: TupleSet, stats: &mut Stats) -> Tup
 /// with index `≥ rel_min` — Section 7's "iterate only over tuples in
 /// `R_{i+1}, …, R_n`" refinement for the repeated-work-minimizing
 /// initialization strategies.
+///
+/// Candidates come from [`Database::probe`] rather than a relation scan:
+/// a connected relation always shares at least one attribute with some
+/// member's schema, and every member-schema attribute is bound, so the
+/// probe intersects posting lists on those bindings and yields — in
+/// ascending id order, the same first-match order as the scan it
+/// replaces — exactly the tuples agreeing with the set on every shared
+/// attribute. [`can_add`] stays as the authoritative `JCC` check on each
+/// candidate (it also keeps the operation counts meaningful).
 pub fn extend_to_maximal_from(
     db: &Database,
     mut set: TupleSet,
@@ -368,7 +377,7 @@ pub fn extend_to_maximal_from(
             {
                 continue;
             }
-            for t in db.tuples_of(rel) {
+            for t in db.probe(rel, set.bindings()) {
                 stats.extension_scans += 1;
                 if can_add(db, &set, t, stats) {
                     set = add_tuple(db, &set, t);

@@ -419,7 +419,17 @@ fn grow(
     if set.len() >= c {
         return;
     }
-    for t in db.all_tuples() {
+    // Candidate enumeration via the join-column indexes: union the
+    // per-relation probes and sort back into ascending id order, which is
+    // exactly the order the former `all_tuples` scan visited. The probe
+    // only skips tuples whose bound shared attribute already disagrees
+    // with `set`; `can_add` stays the authoritative check.
+    let mut candidates: Vec<TupleId> = Vec::new();
+    for rel_idx in 0..db.num_relations() {
+        candidates.extend(db.probe(RelId(rel_idx as u16), set.bindings()));
+    }
+    candidates.sort_unstable();
+    for t in candidates {
         if set.contains(t) {
             continue;
         }

@@ -48,6 +48,7 @@ use crate::tupleset::TupleSet;
 use fd_relational::fxhash::FxHashMap;
 use fd_relational::{apply_batch, validate_batch, Change, ChangeLog, Database, Delta, TupleId};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -435,6 +436,13 @@ struct SessionMetrics {
     snapshot: Arc<Histogram>,
     checkpoint_errors: Arc<Counter>,
     recovery_replayed: Arc<Counter>,
+    index_probes: Arc<Counter>,
+    index_hits: Arc<Counter>,
+    intern_symbols: Arc<Gauge>,
+    /// Last-seen cumulative [`Database`] probe counters, so each fold
+    /// adds only the delta to the monotone registry families.
+    seen_probes: AtomicU64,
+    seen_hits: AtomicU64,
     /// One counter per [`Stats`] field, in [`Stats::fields`] order.
     ops: Vec<Arc<Counter>>,
 }
@@ -512,6 +520,22 @@ impl SessionMetrics {
                 "fd_recovery_replayed_batches",
                 "WAL-tail batches replayed through maintenance during recovery.",
             ),
+            // Registered eagerly (not on first probe) so a scrape taken
+            // before any commit already shows the families at zero.
+            index_probes: registry.counter(
+                "fd_index_probes_total",
+                "Join-column index probes (candidate lookups by bound shared attributes).",
+            ),
+            index_hits: registry.counter(
+                "fd_index_hits_total",
+                "Index probes answered from posting lists (the rest fell back to a scan).",
+            ),
+            intern_symbols: registry.gauge(
+                "fd_intern_symbols",
+                "Distinct strings in the process-wide intern catalog.",
+            ),
+            seen_probes: AtomicU64::new(0),
+            seen_hits: AtomicU64::new(0),
             ops,
             registry,
         }
@@ -523,6 +547,20 @@ impl SessionMetrics {
         for ((_, value), counter) in stats.fields().iter().zip(&self.ops) {
             counter.add(*value);
         }
+    }
+
+    /// Folds the database's cumulative join-index probe counters (as
+    /// deltas since the last fold) and the current intern-catalog size
+    /// into the registry.
+    fn record_index(&self, db: &Database) {
+        let probes = db.index_probes();
+        let hits = db.index_hits();
+        let prev_probes = self.seen_probes.swap(probes, Ordering::Relaxed);
+        let prev_hits = self.seen_hits.swap(hits, Ordering::Relaxed);
+        self.index_probes.add(probes.saturating_sub(prev_probes));
+        self.index_hits.add(hits.saturating_sub(prev_hits));
+        self.intern_symbols
+            .set(fd_relational::interner::symbol_count() as i64);
     }
 }
 
@@ -668,6 +706,7 @@ impl<'q> FdSession<'q> {
             .collect();
         let ranked = ranking.map(|(f, k)| RankedView::new(&db, f, k, &results));
         metrics.results.set(results.len() as i64);
+        metrics.record_index(&db);
         FdSession {
             db,
             cfg,
@@ -965,6 +1004,7 @@ impl<'q> FdSession<'q> {
         m.fanout.record(commit.timings.fanout);
         m.total.record(commit.timings.total);
         m.record_ops(&commit.stats);
+        m.record_index(&self.db);
         self.total_stats.merge(&commit.stats);
 
         // Truncate-on-snapshot compaction once the log outgrows the

@@ -36,7 +36,7 @@
 //! tokens, so a data directory is inspectable with `cat` and the value
 //! round-trip guarantees are inherited from the wire format.
 
-use fd_relational::textio::{format_row, parse_row};
+use fd_relational::textio::{format_row, format_value, parse_row, parse_value};
 use fd_relational::{Database, DatabaseBuilder, Delta, DeltaBatch, RelId, TupleId, Value};
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -48,6 +48,10 @@ use std::str::FromStr;
 pub const SNAPSHOT_FILE: &str = "snapshot.fd";
 /// Write-ahead-log file name inside a data directory.
 pub const WAL_FILE: &str = "wal.fd";
+/// Snapshot format version this build writes and reads. `v2` added the
+/// intern-catalog (`syms`) section; `v1` files (no catalog) are rejected
+/// with [`StoreError::UnsupportedVersion`] rather than guessed at.
+pub const SNAPSHOT_VERSION: &str = "v2";
 
 /// How eagerly WAL appends reach stable storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -103,6 +107,12 @@ pub enum StoreError {
         /// What was wrong.
         what: String,
     },
+    /// The snapshot is intact but carries a format version this build
+    /// does not read (e.g. a pre-interning `v1` file).
+    UnsupportedVersion {
+        /// The version token found in the snapshot header.
+        found: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -110,6 +120,11 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::Io { op, source } => write!(f, "{op}: {source}"),
             StoreError::Corrupt { what } => write!(f, "corrupt store: {what}"),
+            StoreError::UnsupportedVersion { found } => write!(
+                f,
+                "snapshot format {found:?} is not supported (this build reads \
+                 {SNAPSHOT_VERSION}); re-materialize the store to upgrade"
+            ),
         }
     }
 }
@@ -118,7 +133,7 @@ impl std::error::Error for StoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             StoreError::Io { source, .. } => Some(source),
-            StoreError::Corrupt { .. } => None,
+            StoreError::Corrupt { .. } | StoreError::UnsupportedVersion { .. } => None,
         }
     }
 }
@@ -239,7 +254,11 @@ impl Store {
         seq: u64,
     ) -> Result<u64, StoreError> {
         let body = encode_snapshot(db, results, seq);
-        let header = format!("fdsnap v1 len={} crc={:08x}\n", body.len(), crc32(&body));
+        let header = format!(
+            "fdsnap {SNAPSHOT_VERSION} len={} crc={:08x}\n",
+            body.len(),
+            crc32(&body)
+        );
         let tmp = self.dir.join(".snapshot.fd.tmp");
         let path = self.snapshot_path();
         let mut f = File::create(&tmp).map_err(io_err(format!("create {}", tmp.display())))?;
@@ -269,8 +288,17 @@ impl Store {
         let header =
             std::str::from_utf8(&raw[..nl]).map_err(|_| corrupt("snapshot: non-utf8 header"))?;
         let mut parts = header.split_whitespace();
-        if parts.next() != Some("fdsnap") || parts.next() != Some("v1") {
+        if parts.next() != Some("fdsnap") {
             return Err(corrupt(format!("snapshot: bad magic in header {header:?}")));
+        }
+        match parts.next() {
+            Some(v) if v == SNAPSHOT_VERSION => {}
+            Some(v) => {
+                return Err(StoreError::UnsupportedVersion {
+                    found: v.to_owned(),
+                })
+            }
+            None => return Err(corrupt(format!("snapshot: bad magic in header {header:?}"))),
         }
         let len: usize = parts
             .next()
@@ -300,6 +328,20 @@ impl Store {
 fn encode_snapshot(db: &Database, results: &[Vec<TupleId>], seq: u64) -> Vec<u8> {
     let mut out = String::new();
     out.push_str(&format!("seq {seq}\n"));
+    // The intern catalog, ascending by symbol id, before any data rows:
+    // a fresh process decoding the snapshot re-interns these texts in
+    // order and so allocates the writer's symbols — recovery is
+    // symbol-exact, not just value-exact. The body CRC covers it like
+    // every other section.
+    let syms = fd_relational::interner::catalog();
+    out.push_str(&format!("syms {}\n", syms.len()));
+    for s in &syms {
+        out.push_str(&format!(
+            "sym {} {}\n",
+            s.sym(),
+            format_value(&Value::Str(s.clone()))
+        ));
+    }
     out.push_str(&format!("relations {}\n", db.num_relations()));
     for rel in db.relations() {
         let mut header: Vec<Value> = vec![Value::str(rel.name())];
@@ -364,6 +406,34 @@ fn decode_snapshot(body: &str) -> Result<Snapshot, StoreError> {
     let seq: u64 = next("seq")?
         .parse()
         .map_err(|_| corrupt("snapshot: bad seq"))?;
+    let num_syms: usize = next("syms")?
+        .parse()
+        .map_err(|_| corrupt("snapshot: bad symbol count"))?;
+    for i in 0..num_syms {
+        let line = next("sym")?;
+        let (id, tok) = line
+            .split_once(' ')
+            .ok_or_else(|| corrupt(format!("snapshot: bad symbol line {line:?}")))?;
+        let id: usize = id
+            .parse()
+            .map_err(|_| corrupt(format!("snapshot: bad symbol id {id:?}")))?;
+        if id != i {
+            return Err(corrupt(format!(
+                "snapshot: symbol ids are not dense-ascending (got {id} at position {i})"
+            )));
+        }
+        // parse_value interns as a side effect — exactly the point: in a
+        // fresh process this allocates symbol `i`, reproducing the
+        // writer's id space before any data row is parsed.
+        match parse_value(tok) {
+            Value::Str(_) => {}
+            other => {
+                return Err(corrupt(format!(
+                    "snapshot: symbol {i} is not a string token: {other:?}"
+                )))
+            }
+        }
+    }
     let num_rels: usize = next("relations")?
         .parse()
         .map_err(|_| corrupt("snapshot: bad relation count"))?;
@@ -808,6 +878,41 @@ mod tests {
                 "values of t{raw}"
             );
             assert_eq!(snap.db.rel_of(t), db.rel_of(t), "relation of t{raw}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_carries_the_intern_catalog() {
+        let dir = temp_dir("syms");
+        let db = tourist_database();
+        let store = Store::create(&dir).unwrap();
+        store.write_snapshot(&db, &[], 0).unwrap();
+        let raw = String::from_utf8(std::fs::read(store.snapshot_path()).unwrap()).unwrap();
+        assert!(raw.starts_with("fdsnap v2 "), "header: {raw:.40}");
+        assert!(raw.contains("\nsyms "), "missing catalog section");
+        assert!(raw.contains("\nsym 0 "), "catalog is not zero-based");
+        // Every string in the database appears in the persisted catalog.
+        let canada = format!(" {}\n", format_value(&Value::str("Canada")));
+        assert!(raw.contains(&canada), "catalog lacks a live db string");
+        let snap = store.read_snapshot().unwrap();
+        assert_eq!(snap.db.num_tuples(), db.num_tuples());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pre_catalog_v1_snapshot_is_rejected_with_a_versioned_error() {
+        let dir = temp_dir("v1");
+        let db = tourist_database();
+        let store = Store::create(&dir).unwrap();
+        store.write_snapshot(&db, &[], 0).unwrap();
+        // Rewrite the header's version token only; body and CRC intact.
+        let raw = String::from_utf8(std::fs::read(store.snapshot_path()).unwrap()).unwrap();
+        let downgraded = raw.replacen("fdsnap v2 ", "fdsnap v1 ", 1);
+        std::fs::write(store.snapshot_path(), downgraded).unwrap();
+        match store.read_snapshot() {
+            Err(StoreError::UnsupportedVersion { found }) => assert_eq!(found, "v1"),
+            other => panic!("expected a versioned rejection, got {other:?}"),
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -9,6 +9,24 @@ use crate::schema::Schema;
 use crate::value::Value;
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Probe instrumentation, shared behind `&Database` across threads.
+/// Cloning a database snapshots the counter values.
+#[derive(Debug, Default)]
+struct ProbeCounters {
+    probes: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl Clone for ProbeCounters {
+    fn clone(&self) -> Self {
+        ProbeCounters {
+            probes: AtomicU64::new(self.probes.load(Ordering::Relaxed)),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+        }
+    }
+}
 
 /// A set of relations `R = {R1, …, Rn}` plus every derived index the
 /// paper's algorithms need:
@@ -52,6 +70,21 @@ pub struct Database {
     shared: Vec<Vec<AttrId>>,
     /// Relations containing each attribute, ascending.
     attr_rels: Vec<Vec<RelId>>,
+    /// Per relation: the *join columns* — attributes of its schema shared
+    /// with at least one other relation's schema — as `(attr, column)`
+    /// pairs ascending by attribute. Only these can carry a binding a
+    /// probe needs to match, so only these are indexed.
+    indexed_attrs: Vec<Vec<(AttrId, u16)>>,
+    /// Per (relation, join-column slot): value → ascending **live**
+    /// global tuple ids of that relation holding the value. Nulls are
+    /// never indexed (`⊥` is join-consistent with nothing). Maintained by
+    /// [`insert_tuple`](Database::insert_tuple) /
+    /// [`remove_tuple`](Database::remove_tuple).
+    postings: Vec<Vec<FxHashMap<Value, Vec<u32>>>>,
+    /// When false, [`probe`](Database::probe) always takes the fallback
+    /// scan — the A/B lever the scaling bench uses to price the index.
+    index_enabled: bool,
+    probe_counters: ProbeCounters,
 }
 
 impl Database {
@@ -230,6 +263,16 @@ impl Database {
         self.overflow_by_rel[rel.index()].push(id);
         self.alive.push(true);
         self.live += 1;
+        // Maintain the join-column postings: `id` is above every existing
+        // id, so appending keeps each list ascending.
+        let r = rel.index();
+        for (slot, &(_, col)) in self.indexed_attrs[r].iter().enumerate() {
+            let v = &self.relations[r].row(row as usize)[col as usize];
+            if !v.is_null() {
+                let v = v.clone();
+                self.postings[r][slot].entry(v).or_default().push(id);
+            }
+        }
         Ok(TupleId(id))
     }
 
@@ -242,6 +285,24 @@ impl Database {
         }
         self.alive[t.index()] = false;
         self.live -= 1;
+        // Drop the tombstoned id from its relation's posting lists so
+        // probes never surface dead tuples.
+        let (rel, row) = self.locate(t);
+        let r = rel.index();
+        for (slot, &(_, col)) in self.indexed_attrs[r].iter().enumerate() {
+            let v = &self.relations[r].row(row)[col as usize];
+            if v.is_null() {
+                continue;
+            }
+            if let Some(list) = self.postings[r][slot].get_mut(v) {
+                if let Ok(pos) = list.binary_search(&t.0) {
+                    list.remove(pos);
+                }
+                if list.is_empty() {
+                    self.postings[r][slot].remove(v);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -301,6 +362,161 @@ impl Database {
     #[inline]
     pub fn relations_with_attr(&self, attr: AttrId) -> &[RelId] {
         &self.attr_rels[attr.index()]
+    }
+
+    /// The join columns of `rel`: attributes of its schema shared with at
+    /// least one other relation (the indexed attributes), ascending.
+    pub fn join_columns(&self, rel: RelId) -> impl ExactSizeIterator<Item = AttrId> + '_ {
+        self.indexed_attrs[rel.index()].iter().map(|&(a, _)| a)
+    }
+
+    /// Candidate tuples of `rel` matching a sorted binding list — the
+    /// probe primitive of the paper's maximal-extension loops (Fig. 2
+    /// lines 2–6): "the tuples of `rel` that could be join-consistent
+    /// with these bindings".
+    ///
+    /// `bindings` is a `(attribute, value, owner)` list ascending by
+    /// attribute — exactly a
+    /// `TupleSet::bindings()` slice. Bindings on attributes outside
+    /// `rel`'s schema are ignored (they constrain nothing here). When at
+    /// least one binding lands on a join column, the posting lists are
+    /// intersected and the result is *exact*: every returned tuple is
+    /// live and agrees with every applicable binding, in ascending id
+    /// order — the same first-match order as
+    /// [`tuples_of`](Self::tuples_of). A null binding on a join column
+    /// returns no candidates (`⊥` is join-consistent with nothing).
+    ///
+    /// When no binding applies (an empty binding list, an all-null set,
+    /// score-based approximate matching, or block-granular `Pager`
+    /// scans), this falls back to the liveness-aware scan, i.e. exactly
+    /// `tuples_of(rel)`.
+    pub fn probe(&self, rel: RelId, bindings: &[(AttrId, Value, TupleId)]) -> Vec<TupleId> {
+        debug_assert!(
+            bindings.windows(2).all(|w| w[0].0 < w[1].0),
+            "probe bindings must be ascending by attribute"
+        );
+        self.probe_counters.probes.fetch_add(1, Ordering::Relaxed);
+        if self.index_enabled {
+            if let Some(ids) = self.probe_indexed(rel, bindings) {
+                self.probe_counters.hits.fetch_add(1, Ordering::Relaxed);
+                return ids;
+            }
+        }
+        self.tuples_of(rel).collect()
+    }
+
+    /// The indexed arm of [`probe`](Self::probe): `None` when no binding
+    /// lands on a join column of `rel` (the caller falls back to a scan).
+    fn probe_indexed(
+        &self,
+        rel: RelId,
+        bindings: &[(AttrId, Value, TupleId)],
+    ) -> Option<Vec<TupleId>> {
+        let slots = &self.indexed_attrs[rel.index()];
+        let maps = &self.postings[rel.index()];
+        let mut lists: Vec<&[u32]> = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        let mut applicable = false;
+        while i < slots.len() && j < bindings.len() {
+            match slots[i].0.cmp(&bindings[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    applicable = true;
+                    let v = &bindings[j].1;
+                    if v.is_null() {
+                        // A null binding on a shared attribute conflicts
+                        // with every candidate: zero results, decisively.
+                        return Some(Vec::new());
+                    }
+                    match maps[i].get(v) {
+                        Some(list) => lists.push(list),
+                        None => return Some(Vec::new()),
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        if !applicable {
+            return None;
+        }
+        // Intersect ascending posting lists: walk the smallest, binary-
+        // search the rest. Output stays ascending — `tuples_of` order.
+        lists.sort_unstable_by_key(|l| l.len());
+        let (first, rest) = lists.split_first().expect("applicable ⇒ non-empty");
+        let mut out = Vec::with_capacity(first.len());
+        'ids: for &id in *first {
+            for l in rest {
+                if l.binary_search(&id).is_err() {
+                    continue 'ids;
+                }
+            }
+            out.push(TupleId(id));
+        }
+        Some(out)
+    }
+
+    /// Total [`probe`](Self::probe) calls since construction (or clone).
+    pub fn index_probes(&self) -> u64 {
+        self.probe_counters.probes.load(Ordering::Relaxed)
+    }
+
+    /// Probes answered from posting lists (the rest fell back to scans).
+    pub fn index_hits(&self) -> u64 {
+        self.probe_counters.hits.load(Ordering::Relaxed)
+    }
+
+    /// Is the indexed probe arm enabled? (Defaults to true.)
+    pub fn index_enabled(&self) -> bool {
+        self.index_enabled
+    }
+
+    /// Enables or disables the indexed probe arm. With the index off,
+    /// every probe takes the fallback scan — the A/B lever the scaling
+    /// bench uses to price the index against linear scans.
+    pub fn set_index_enabled(&mut self, enabled: bool) {
+        self.index_enabled = enabled;
+    }
+
+    /// Audits every posting list against a from-scratch scan: each
+    /// (relation, join column, value) must list exactly the live tuples
+    /// holding that value, ascending. Used by recovery verification and
+    /// the churn tests; returns a description of the first divergence.
+    pub fn verify_indexes(&self) -> std::result::Result<(), String> {
+        for rel in &self.relations {
+            let r = rel.id().index();
+            for (slot, &(attr, col)) in self.indexed_attrs[r].iter().enumerate() {
+                let mut expected: FxHashMap<Value, Vec<u32>> = FxHashMap::default();
+                for t in self.tuples_of(rel.id()) {
+                    let (_, row) = self.locate(t);
+                    let v = &rel.row(row)[col as usize];
+                    if !v.is_null() {
+                        expected.entry(v.clone()).or_default().push(t.0);
+                    }
+                }
+                let actual = &self.postings[r][slot];
+                if actual.len() != expected.len() {
+                    return Err(format!(
+                        "index {}.{}: {} posting keys, scan finds {}",
+                        rel.name(),
+                        self.attr_names[attr.index()],
+                        actual.len(),
+                        expected.len()
+                    ));
+                }
+                for (v, ids) in &expected {
+                    if actual.get(v).map(Vec::as_slice) != Some(ids.as_slice()) {
+                        return Err(format!(
+                            "index {}.{}: postings for {v} diverge from scan",
+                            rel.name(),
+                            self.attr_names[attr.index()],
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Is the whole set of relations connected, in the paper's sense of the
@@ -530,6 +746,39 @@ impl DatabaseBuilder {
             v.dedup();
         }
 
+        // Join-column indexes: one posting map per (relation, shared
+        // attribute). Base rows are dense and ascending, so pushing in
+        // row order yields sorted posting lists directly.
+        let mut indexed_attrs: Vec<Vec<(AttrId, u16)>> = Vec::with_capacity(n);
+        for rel in &relations {
+            indexed_attrs.push(
+                rel.schema()
+                    .columns_by_attr()
+                    .iter()
+                    .filter(|&&(a, _)| attr_rels[a.index()].len() >= 2)
+                    .copied()
+                    .collect(),
+            );
+        }
+        let mut postings: Vec<Vec<FxHashMap<Value, Vec<u32>>>> = indexed_attrs
+            .iter()
+            .map(|slots| vec![FxHashMap::default(); slots.len()])
+            .collect();
+        for (r, rel) in relations.iter().enumerate() {
+            let start = tuple_start[r];
+            for (slot, &(_, col)) in indexed_attrs[r].iter().enumerate() {
+                for (row, values) in rel.rows().enumerate() {
+                    let v = &values[col as usize];
+                    if !v.is_null() {
+                        postings[r][slot]
+                            .entry(v.clone())
+                            .or_default()
+                            .push(start + row as u32);
+                    }
+                }
+            }
+        }
+
         Ok(Database {
             attr_names: self.attr_names,
             attr_ids: self.attr_ids,
@@ -543,6 +792,10 @@ impl DatabaseBuilder {
             adjacency,
             shared,
             attr_rels,
+            indexed_attrs,
+            postings,
+            index_enabled: true,
+            probe_counters: ProbeCounters::default(),
         })
     }
 }
@@ -830,6 +1083,106 @@ mod tests {
             b.build(),
             Err(RelationalError::DuplicateRelation { .. })
         ));
+    }
+
+    #[test]
+    fn join_columns_are_the_shared_attrs() {
+        let db = tourist_db();
+        let country = db.attr_id("Country").unwrap();
+        let city = db.attr_id("City").unwrap();
+        // Climates: only Country is shared; Climate is private.
+        assert_eq!(db.join_columns(RelId(0)).collect::<Vec<_>>(), vec![country]);
+        // Accommodations shares Country and City, not Hotel/Stars.
+        let mut acc: Vec<AttrId> = db.join_columns(RelId(1)).collect();
+        acc.sort_unstable();
+        let mut want = vec![country, city];
+        want.sort_unstable();
+        assert_eq!(acc, want);
+    }
+
+    #[test]
+    fn probe_matches_the_scan_it_replaces() {
+        let db = tourist_db();
+        let country = db.attr_id("Country").unwrap();
+        let canada = (country, Value::str("Canada"), TupleId(0));
+        // Sites tuples bound to Country=Canada: s1 (t6), s2 (t7).
+        assert_eq!(
+            db.probe(RelId(2), std::slice::from_ref(&canada)),
+            vec![TupleId(6), TupleId(7)]
+        );
+        // An unbound probe falls back to the full live scan.
+        assert_eq!(
+            db.probe(RelId(2), &[]),
+            db.tuples_of(RelId(2)).collect::<Vec<_>>()
+        );
+        // A null binding on a shared attribute joins nothing.
+        assert_eq!(
+            db.probe(RelId(2), &[(country, Value::Null, TupleId(0))]),
+            Vec::<TupleId>::new()
+        );
+        // One probe hit the index (fallback + null-binding also count
+        // as probes; only index-answered ones are hits).
+        assert_eq!(db.index_probes(), 3);
+        assert_eq!(db.index_hits(), 2);
+    }
+
+    #[test]
+    fn probe_multi_attr_intersection() {
+        let db = tourist_db();
+        let country = db.attr_id("Country").unwrap();
+        let city = db.attr_id("City").unwrap();
+        let mut bindings = vec![
+            (country, Value::str("Canada"), TupleId(0)),
+            (city, Value::str("London"), TupleId(0)),
+        ];
+        bindings.sort_by_key(|b| b.0);
+        // Sites with Country=Canada ∧ City=London: only s1 (t6).
+        assert_eq!(db.probe(RelId(2), &bindings), vec![TupleId(6)]);
+    }
+
+    #[test]
+    fn indexes_track_inserts_and_tombstones() {
+        let mut db = tourist_db();
+        let country = db.attr_id("Country").unwrap();
+        let canada = (country, Value::str("Canada"), TupleId(0));
+        let t = db
+            .insert_tuple(RelId(0), vec!["Canada".into(), "arctic".into()])
+            .unwrap();
+        assert_eq!(
+            db.probe(RelId(0), std::slice::from_ref(&canada)),
+            vec![TupleId(0), t]
+        );
+        db.remove_tuple(TupleId(0)).unwrap();
+        assert_eq!(db.probe(RelId(0), std::slice::from_ref(&canada)), vec![t]);
+        db.remove_tuple(t).unwrap();
+        assert_eq!(
+            db.probe(RelId(0), std::slice::from_ref(&canada)),
+            Vec::<TupleId>::new()
+        );
+        db.verify_indexes().unwrap();
+    }
+
+    #[test]
+    fn disabling_the_index_forces_the_scan_path() {
+        let mut db = tourist_db();
+        db.set_index_enabled(false);
+        assert!(!db.index_enabled());
+        let country = db.attr_id("Country").unwrap();
+        let uk = (country, Value::str("UK"), TupleId(1));
+        // Scan fallback over-approximates (every live tuple of the
+        // relation); the caller's JCC check filters, so enumeration
+        // stays correct — just slower.
+        assert_eq!(
+            db.probe(RelId(2), std::slice::from_ref(&uk)),
+            db.tuples_of(RelId(2)).collect::<Vec<_>>()
+        );
+        assert_eq!(db.index_hits(), 0);
+        assert_eq!(db.index_probes(), 1);
+    }
+
+    #[test]
+    fn verify_indexes_accepts_a_fresh_build() {
+        tourist_db().verify_indexes().unwrap();
     }
 
     #[test]

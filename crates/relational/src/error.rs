@@ -54,6 +54,11 @@ pub enum RelationalError {
         /// The raw tuple id.
         id: u32,
     },
+    /// A NaN reached a value constructor ([`Value::try_float`]): NaN has
+    /// no consistent equality, so it cannot be an attribute value.
+    ///
+    /// [`Value::try_float`]: crate::Value::try_float
+    NanValue,
 }
 
 impl fmt::Display for RelationalError {
@@ -93,6 +98,9 @@ impl fmt::Display for RelationalError {
             }
             RelationalError::NoSuchTuple { id } => {
                 write!(f, "no live tuple with id t{id}")
+            }
+            RelationalError::NanValue => {
+                write!(f, "NaN is not a valid attribute value")
             }
         }
     }

@@ -1,0 +1,241 @@
+//! Process-wide string interning for [`Value::Str`](crate::Value).
+//!
+//! Join consistency (`t1[A] = t2[A] ≠ ⊥`) is evaluated millions of times
+//! in the paper's inner loops, and before this module every string
+//! comparison was a byte-wise `Arc<str>` walk. Interning maps each
+//! distinct string to a dense `u32` *symbol* exactly once, so equality
+//! and hashing of [`IStr`] are single word-sized integer operations.
+//!
+//! The interner is **process-global** (a lazily initialized, append-only
+//! table behind an `RwLock`) rather than per-`Database` on purpose:
+//! `Value`s constructed outside any database — literals in tests, wire
+//! input being parsed, rows in a [`DeltaBatch`](crate::DeltaBatch) not
+//! yet applied — must compare equal to the same strings stored inside a
+//! database, which a per-database symbol space cannot guarantee. Symbols
+//! are never freed; the catalog only grows, which keeps `IStr` handles
+//! valid for the life of the process and makes the table safe to share
+//! across threads.
+//!
+//! Each [`IStr`] carries both its symbol and an `Arc` of its text, so
+//! resolving a symbol for display never takes the lock.
+
+use crate::fxhash::FxHashMap;
+use std::borrow::Borrow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// An interned string: a dense symbol plus a shared copy of the text.
+///
+/// Equality and hashing use only the symbol (word-sized); ordering
+/// falls back to lexicographic comparison of the text so `Value`'s
+/// total order is unchanged by interning.
+#[derive(Clone)]
+pub struct IStr {
+    sym: u32,
+    text: Arc<str>,
+}
+
+impl IStr {
+    /// The dense symbol the global interner assigned to this text.
+    #[inline]
+    pub fn sym(&self) -> u32 {
+        self.sym
+    }
+
+    /// The interned text.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    /// The shared text allocation (cheap to clone).
+    #[inline]
+    pub fn arc(&self) -> &Arc<str> {
+        &self.text
+    }
+}
+
+impl PartialEq for IStr {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        // One global symbol space: equal symbols ⇔ equal text.
+        self.sym == other.sym
+    }
+}
+
+impl Eq for IStr {}
+
+impl Hash for IStr {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u32(self.sym);
+    }
+}
+
+impl Ord for IStr {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.sym == other.sym {
+            Ordering::Equal
+        } else {
+            self.text.cmp(&other.text)
+        }
+    }
+}
+
+impl PartialOrd for IStr {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Deref for IStr {
+    type Target = str;
+    #[inline]
+    fn deref(&self) -> &str {
+        &self.text
+    }
+}
+
+impl AsRef<str> for IStr {
+    #[inline]
+    fn as_ref(&self) -> &str {
+        &self.text
+    }
+}
+
+impl Borrow<str> for IStr {
+    #[inline]
+    fn borrow(&self) -> &str {
+        &self.text
+    }
+}
+
+impl fmt::Debug for IStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.text, f)
+    }
+}
+
+impl fmt::Display for IStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// The append-only symbol table.
+#[derive(Default)]
+struct Table {
+    by_text: FxHashMap<Arc<str>, u32>,
+    catalog: Vec<Arc<str>>,
+}
+
+fn table() -> &'static RwLock<Table> {
+    static TABLE: OnceLock<RwLock<Table>> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(Table::default()))
+}
+
+/// Interns `text`, returning its [`IStr`]. The same text always yields
+/// the same symbol for the life of the process.
+pub fn intern(text: &str) -> IStr {
+    {
+        let t = table().read().expect("interner lock");
+        if let Some(&sym) = t.by_text.get(text) {
+            return IStr {
+                sym,
+                text: Arc::clone(&t.catalog[sym as usize]),
+            };
+        }
+    }
+    let mut t = table().write().expect("interner lock");
+    // Double-check: another thread may have interned between the locks.
+    if let Some(&sym) = t.by_text.get(text) {
+        return IStr {
+            sym,
+            text: Arc::clone(&t.catalog[sym as usize]),
+        };
+    }
+    let sym = t.catalog.len() as u32;
+    let arc: Arc<str> = Arc::from(text);
+    t.catalog.push(Arc::clone(&arc));
+    t.by_text.insert(Arc::clone(&arc), sym);
+    IStr { sym, text: arc }
+}
+
+/// Resolves a symbol back to its interned string, or `None` if the
+/// symbol was never allocated.
+pub fn resolve(sym: u32) -> Option<IStr> {
+    let t = table().read().expect("interner lock");
+    t.catalog.get(sym as usize).map(|text| IStr {
+        sym,
+        text: Arc::clone(text),
+    })
+}
+
+/// Number of distinct symbols interned so far (process-wide).
+pub fn symbol_count() -> usize {
+    table().read().expect("interner lock").catalog.len()
+}
+
+/// A point-in-time copy of the whole catalog, ascending by symbol id.
+/// Snapshot encoding persists this so a fresh process re-interns the
+/// same texts to the same symbols before replaying any data rows.
+pub fn catalog() -> Vec<IStr> {
+    let t = table().read().expect("interner lock");
+    t.catalog
+        .iter()
+        .enumerate()
+        .map(|(i, text)| IStr {
+            sym: i as u32,
+            text: Arc::clone(text),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_text_same_symbol() {
+        let a = intern("interner-test-alpha");
+        let b = intern("interner-test-alpha");
+        assert_eq!(a.sym(), b.sym());
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "interner-test-alpha");
+    }
+
+    #[test]
+    fn distinct_text_distinct_symbols_and_lexicographic_order() {
+        let a = intern("interner-test-aa");
+        let b = intern("interner-test-bb");
+        assert_ne!(a.sym(), b.sym());
+        assert_ne!(a, b);
+        assert!(a < b);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let a = intern("interner-test-resolve");
+        let back = resolve(a.sym()).expect("allocated symbol");
+        assert_eq!(back, a);
+        assert_eq!(back.as_str(), "interner-test-resolve");
+        assert!(resolve(u32::MAX).is_none());
+    }
+
+    #[test]
+    fn symbol_count_grows_monotonically() {
+        let before = symbol_count();
+        intern("interner-test-count-probe");
+        let after = symbol_count();
+        assert!(after >= before);
+        // Re-interning allocates nothing.
+        intern("interner-test-count-probe");
+        assert_eq!(symbol_count(), after);
+    }
+}

@@ -5,7 +5,8 @@
 //!
 //! * [`Value`] — atomic values with the null `⊥` and the paper's
 //!   join-consistency semantics (shared attributes must be equal **and**
-//!   non-null);
+//!   non-null); strings are interned ([`interner`]) so the check is a
+//!   word-sized symbol comparison;
 //! * [`Database`] / [`DatabaseBuilder`] — interned catalogs with a global
 //!   tuple id space and the relation connectivity graph;
 //! * [`join`] / [`outerjoin`] — null-aware natural joins, binary full
@@ -37,6 +38,7 @@ mod value;
 pub mod changelog;
 pub mod fxhash;
 pub mod hypergraph;
+pub mod interner;
 pub mod join;
 pub mod outerjoin;
 pub mod stats;
@@ -51,6 +53,7 @@ pub use database::{
 };
 pub use error::{RelationalError, Result};
 pub use ids::{AttrId, RelId, TupleId};
+pub use interner::IStr;
 pub use relation::Relation;
 pub use schema::Schema;
 pub use value::{Value, NULL};

@@ -41,11 +41,10 @@ pub fn parse_value(tok: &str) -> Value {
             if let Ok(i) = t.parse::<i64>() {
                 Value::Int(i)
             } else if let Ok(f) = t.parse::<f64>() {
-                if f.is_nan() {
-                    Value::str(t)
-                } else {
-                    Value::float(f)
-                }
+                // NaN spellings ("nan", "-NaN", …) are kept as strings:
+                // NaN is not a valid attribute value, and the fallible
+                // constructor keeps wire input from aborting the process.
+                Value::try_float(f).unwrap_or_else(|_| Value::str(t))
             } else {
                 Value::str(t)
             }
@@ -391,6 +390,17 @@ mod tests {
         assert_eq!(parse_value("_"), Value::Null);
         assert_eq!(parse_value("Plaza"), Value::str("Plaza"));
         assert_eq!(parse_value(" padded "), Value::str("padded"));
+    }
+
+    #[test]
+    fn nan_tokens_become_strings_instead_of_panicking() {
+        // "nan" parses as an f64 NaN, which `Value::try_float` rejects;
+        // the token stays a string and the daemon's parse paths never
+        // hit the panicking constructor.
+        for s in ["nan", "NaN", "-nan", "+NaN"] {
+            assert_eq!(parse_value(s), Value::str(s), "token {s:?}");
+        }
+        assert_eq!(parse_row("nan | 1"), vec![Value::str("nan"), Value::Int(1)]);
     }
 
     #[test]

@@ -5,17 +5,25 @@
 //! consistency requires shared attributes to be **equal and non-null**, so
 //! `Value` needs total equality, ordering and hashing — including for
 //! floating-point values, which we canonicalize at construction time.
+//!
+//! Strings are interned ([`interner`](crate::interner)): `Value::Str`
+//! carries an [`IStr`] whose equality and hash are a single word-sized
+//! symbol comparison, which is what makes `join_consistent_with` cheap in
+//! the maximal-extension inner loops.
 
+use crate::error::RelationalError;
+use crate::interner::{self, IStr};
 use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
 
 /// An atomic attribute value.
 ///
-/// `Null` is the paper's `⊥`. Strings are reference counted so that tuples,
-/// tuple sets and padded output rows can share them without copying.
+/// `Null` is the paper's `⊥`. Strings are interned so that equality,
+/// hashing and join-consistency checks are word-sized integer operations,
+/// and tuples, tuple sets and padded output rows share one text
+/// allocation per distinct string.
 #[derive(Debug, Clone)]
 pub enum Value {
     /// The null value `⊥`: missing or unknown information.
@@ -26,25 +34,37 @@ pub enum Value {
     /// canonicalized to `0.0` so `Eq`/`Hash` are consistent.
     Float(f64),
     /// An interned UTF-8 string.
-    Str(Arc<str>),
+    Str(IStr),
     /// A boolean.
     Bool(bool),
 }
 
 impl Value {
-    /// Builds a string value.
+    /// Builds a string value, interning the text.
     pub fn str(s: impl AsRef<str>) -> Self {
-        Value::Str(Arc::from(s.as_ref()))
+        Value::Str(interner::intern(s.as_ref()))
     }
 
     /// Builds a float value, canonicalizing `-0.0` and rejecting NaN.
     ///
     /// # Panics
     /// Panics if `f` is NaN — NaN has no consistent equality and would break
-    /// join semantics.
+    /// join semantics. Parse and wire paths must use
+    /// [`try_float`](Self::try_float) instead, which reports the rejection
+    /// as an error.
     pub fn float(f: f64) -> Self {
         assert!(!f.is_nan(), "NaN is not a valid attribute value");
         Value::Float(if f == 0.0 { 0.0 } else { f })
+    }
+
+    /// Fallible [`float`](Self::float): returns
+    /// [`RelationalError::NanValue`] instead of panicking, so parse and
+    /// serve-protocol paths can reject NaN without aborting the process.
+    pub fn try_float(f: f64) -> Result<Self, RelationalError> {
+        if f.is_nan() {
+            return Err(RelationalError::NanValue);
+        }
+        Ok(Value::Float(if f == 0.0 { 0.0 } else { f }))
     }
 
     /// Is this the null value `⊥`?
@@ -55,6 +75,7 @@ impl Value {
 
     /// The paper's join-consistency test on a single shared attribute:
     /// both values must be equal **and** non-null (`t1[A] = t2[A] ≠ ⊥`).
+    /// With interned strings this is a tag plus one word comparison.
     #[inline]
     pub fn join_consistent_with(&self, other: &Value) -> bool {
         !self.is_null() && !other.is_null() && self == other
@@ -77,7 +98,7 @@ impl Value {
             Value::Null => Cow::Borrowed("⊥"),
             Value::Int(i) => Cow::Owned(i.to_string()),
             Value::Float(f) => Cow::Owned(format!("{f}")),
-            Value::Str(s) => Cow::Borrowed(s),
+            Value::Str(s) => Cow::Borrowed(s.as_str()),
             Value::Bool(b) => Cow::Borrowed(if *b { "true" } else { "false" }),
         }
     }
@@ -89,6 +110,7 @@ impl PartialEq for Value {
             (Value::Null, Value::Null) => true,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            // Interned: one symbol comparison, no byte walk.
             (Value::Str(a), Value::Str(b)) => a == b,
             (Value::Bool(a), Value::Bool(b)) => a == b,
             _ => false,
@@ -117,6 +139,7 @@ impl Ord for Value {
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
             // Floats are finite by construction, so partial_cmp never fails.
             (Value::Float(a), Value::Float(b)) => a.partial_cmp(b).expect("finite floats"),
+            // Equal symbols short-circuit; otherwise lexicographic.
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             _ => self.tag().cmp(&other.tag()),
@@ -156,7 +179,7 @@ impl From<&str> for Value {
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(Arc::from(v.as_str()))
+        Value::str(v)
     }
 }
 
@@ -202,6 +225,19 @@ mod tests {
     }
 
     #[test]
+    fn interned_strings_compare_by_symbol() {
+        let (a, b) = (Value::str("Toronto"), Value::str("Toronto"));
+        match (&a, &b) {
+            (Value::Str(x), Value::Str(y)) => assert_eq!(x.sym(), y.sym()),
+            _ => unreachable!(),
+        }
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        // Independently constructed values still order lexicographically.
+        assert!(Value::str("Nassau") < Value::str("Toronto"));
+    }
+
+    #[test]
     fn cross_type_values_are_unequal_but_ordered() {
         assert_ne!(Value::Int(1), Value::str("1"));
         assert!(Value::Null < Value::Int(i64::MIN));
@@ -221,6 +257,13 @@ mod tests {
     }
 
     #[test]
+    fn try_float_reports_nan_as_an_error() {
+        assert_eq!(Value::try_float(f64::NAN), Err(RelationalError::NanValue));
+        assert_eq!(Value::try_float(1.5), Ok(Value::float(1.5)));
+        assert_eq!(Value::try_float(-0.0), Ok(Value::float(0.0)));
+    }
+
+    #[test]
     fn float_ordering_is_total_over_finite_values() {
         assert!(Value::float(-1.5) < Value::float(0.0));
         assert!(Value::float(0.0) < Value::float(2.25));
@@ -237,6 +280,7 @@ mod tests {
     fn conversions() {
         assert_eq!(Value::from(3i32), Value::Int(3));
         assert_eq!(Value::from("a"), Value::str("a"));
+        assert_eq!(Value::from(String::from("a")), Value::str("a"));
         assert_eq!(Value::from(true), Value::Bool(true));
         assert_eq!(Value::from(1.5f64), Value::float(1.5));
     }
