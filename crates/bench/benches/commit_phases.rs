@@ -17,6 +17,10 @@
 //! cargo bench --bench commit_phases > BENCH_commit_phases.json
 //! ```
 
+// A bench binary: progress notes go to stderr so stdout stays a clean,
+// committable results table.
+#![allow(clippy::print_stderr)]
+
 use fd_bench::bench_chain;
 use fd_core::session::{DeltaBatch, FdSession, VecSink};
 use fd_relational::{RelId, TupleId, Value};

@@ -21,6 +21,10 @@
 //! cargo bench --bench persist > BENCH_persist.json
 //! ```
 
+// A bench binary: progress notes go to stderr so stdout stays a clean,
+// committable results table.
+#![allow(clippy::print_stderr)]
+
 use fd_bench::{bench_chain, bench_star, fmt_duration, time_once};
 use fd_core::session::{DeltaBatch, FdSession};
 use fd_core::store::FsyncPolicy;

@@ -20,6 +20,10 @@
 //! cargo bench --bench scaling_index > BENCH_scaling.json
 //! ```
 
+// A bench binary: progress notes go to stderr so stdout stays a clean,
+// committable results table.
+#![allow(clippy::print_stderr)]
+
 use fd_core::{FdConfig, FdQuery};
 use fd_workloads::{chain, DataSpec};
 use std::time::Instant;

@@ -16,6 +16,10 @@
 //! cargo bench --bench serve_fanout > BENCH_serve.json
 //! ```
 
+// A bench binary: progress notes go to stderr so stdout stays a clean,
+// committable results table.
+#![allow(clippy::print_stderr)]
+
 use fd_core::serve::{Client, Server};
 use fd_core::FdSession;
 use fd_relational::tourist_database;

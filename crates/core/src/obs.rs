@@ -22,7 +22,15 @@
 //! * [`EventLog`] — structured `key=value` event lines on stderr for
 //!   `fd serve --log`;
 //! * [`QueryTimings`] — wall-clock, time-to-first-result, and
-//!   time-to-k-th-result for one query run, the axes any-k papers plot.
+//!   time-to-k-th-result for one query run, the axes any-k papers plot;
+//! * [`lockcheck`] — named `Mutex`/`RwLock` wrappers (re-exported from
+//!   [`fd_relational::lockcheck`]) that record per-thread acquisition
+//!   order into a global graph and panic, with both back-traces, on a
+//!   detected lock-order inversion. Active under `debug_assertions` or
+//!   the `lockcheck` cargo feature; transparent in release. The serve
+//!   session lock, the interner table, and the per-connection writer
+//!   locks all go through it — see `LOCK_ORDER.md` for the declared
+//!   order.
 //!
 //! Everything is thread-safe behind `Arc`; recording is a handful of
 //! relaxed atomic ops, cheap enough for the commit hot path. Registries
@@ -46,6 +54,8 @@
 //! assert!(text.contains("cache_hits_total 1"));
 //! assert!(text.contains("lookup_seconds_count 1"));
 //! ```
+
+pub use fd_relational::lockcheck;
 
 use std::collections::BTreeMap;
 use std::fmt::{self, Write as _};
@@ -534,6 +544,9 @@ impl EventLog {
     }
 
     /// Emits one event line with the given fields.
+    // stderr IS this log's sink: the daemon's structured events stream
+    // there so stdout stays free for query results.
+    #[allow(clippy::print_stderr)]
     pub fn emit(&self, event: &str, fields: &[(&str, String)]) {
         if !self.enabled {
             return;

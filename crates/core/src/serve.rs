@@ -61,6 +61,7 @@
 //! summaries with phase timings, reap and backpressure warnings).
 
 use crate::error::FdError;
+use crate::obs::lockcheck::TrackedMutex;
 use crate::obs::{Counter, EventLog, Gauge, Histogram, MetricsServer, Registry, Span};
 use crate::ranking::RankingFunction;
 use crate::session::{Commit, CommitTimings, EventSink, FdSession, SinkId};
@@ -70,7 +71,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -306,14 +307,24 @@ pub fn is_status(line: &str) -> bool {
 /// [`ServeError::SessionPoisoned`] instead of a propagated panic.
 #[derive(Debug, Clone)]
 pub struct SessionHandle {
-    inner: Arc<Mutex<FdSession<'static>>>,
+    inner: Arc<TrackedMutex<FdSession<'static>>>,
 }
+
+/// Lock-order role of the shared session mutex (rank 1 in
+/// `LOCK_ORDER.md`: commits intern strings and checkpoints read the
+/// intern catalog, so the session is always taken *before* the
+/// interner table).
+const SESSION_LOCK: &str = "serve.session";
+
+/// Lock-order role of each connection's writer mutex (rank 3: a leaf —
+/// nothing is acquired while holding it).
+const WRITER_LOCK: &str = "serve.conn_writer";
 
 impl SessionHandle {
     /// Wraps an owned session for sharing across threads.
     pub fn new(session: FdSession<'static>) -> Self {
         SessionHandle {
-            inner: Arc::new(Mutex::new(session)),
+            inner: Arc::new(TrackedMutex::new(SESSION_LOCK, session)),
         }
     }
 
@@ -792,6 +803,9 @@ impl Server {
         // Best-effort: a failed final snapshot must not turn a clean
         // shutdown into an error exit — the WAL still holds every
         // committed batch, so recovery replays them on next open.
+        // stderr directly: the event log may already be torn down at
+        // this point in shutdown, and the warning must still land.
+        #[allow(clippy::print_stderr)]
         match self.shared.handle.with(|s| s.checkpoint()) {
             Ok(Ok(_)) => {}
             Ok(Err(e)) => eprintln!("fd serve: shutdown checkpoint failed: {e}"),
@@ -849,8 +863,8 @@ pub fn trigger_shutdown_on_signals(handle: ShutdownHandle) {
 #[cfg(unix)]
 mod signals {
     use super::ShutdownHandle;
+    use crate::obs::lockcheck::TrackedMutex;
     use std::sync::atomic::{AtomicBool, Ordering};
-    use std::sync::Mutex;
     use std::time::Duration;
 
     const SIGINT: i32 = 2;
@@ -859,7 +873,9 @@ mod signals {
     /// Set by the signal handler; drained by the watcher thread.
     static SIGNALLED: AtomicBool = AtomicBool::new(false);
     /// The handle the watcher triggers; replaced by later installs.
-    static TARGET: Mutex<Option<ShutdownHandle>> = Mutex::new(None);
+    /// (A lock-order leaf, like the writers — rank 3 in LOCK_ORDER.md.)
+    static TARGET: TrackedMutex<Option<ShutdownHandle>> =
+        TrackedMutex::new("serve.signal_target", None);
 
     extern "C" fn on_signal(_sig: i32) {
         // Async-signal-safe: one atomic store, nothing else.
@@ -943,10 +959,10 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 /// blocks) and the forwarding thread (event lines). Lock poisoning is
 /// deliberately forgiven — a panicking writer leaves bytes, not broken
 /// invariants.
-type SharedWriter = Arc<Mutex<TcpStream>>;
+type SharedWriter = Arc<TrackedMutex<TcpStream>>;
 
 fn write_block(writer: &SharedWriter, text: &str) -> std::io::Result<()> {
-    let mut w = writer.lock().unwrap_or_else(|p| p.into_inner());
+    let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
     w.write_all(text.as_bytes())
 }
 
@@ -974,7 +990,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> Result<(), ServeError
         .map(|a| a.to_string())
         .unwrap_or_else(|_| "unknown".to_owned());
     shared.metrics.connections.inc();
-    let writer: SharedWriter = Arc::new(Mutex::new(stream.try_clone()?));
+    let writer: SharedWriter = Arc::new(TrackedMutex::new(WRITER_LOCK, stream.try_clone()?));
     let mut reader = BufReader::new(stream);
     let mut conn = Conn {
         shared,

@@ -49,7 +49,7 @@ use fd_relational::fxhash::FxHashMap;
 use fd_relational::{apply_batch, validate_batch, Change, ChangeLog, Database, Delta, TupleId};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError};
 use std::time::{Duration, Instant};
 
 pub use fd_relational::DeltaBatch;
@@ -170,18 +170,37 @@ impl VecSink {
     }
 
     /// Every event delivered so far, oldest first.
+    ///
+    /// Poisoning is recovered, not propagated: each push below is a
+    /// single `Vec::push` with no unwind point mid-update, so a
+    /// poisoned sink still holds a consistent event list and a reader
+    /// must not die over an unrelated writer's panic.
     pub fn events(&self) -> Vec<FdEvent> {
-        self.inner.lock().expect("sink lock").events.clone()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .events
+            .clone()
     }
 
     /// Every ranked-window update delivered so far, oldest first.
     pub fn updates(&self) -> Vec<TopKUpdate> {
-        self.inner.lock().expect("sink lock").updates.clone()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .updates
+            .clone()
     }
 
     /// Drains and returns the collected events.
     pub fn take_events(&self) -> Vec<FdEvent> {
-        std::mem::take(&mut self.inner.lock().expect("sink lock").events)
+        std::mem::take(
+            &mut self
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .events,
+        )
     }
 }
 
@@ -189,7 +208,7 @@ impl EventSink for VecSink {
     fn on_event(&mut self, event: &FdEvent) {
         self.inner
             .lock()
-            .expect("sink lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .events
             .push(event.clone());
     }
@@ -197,7 +216,7 @@ impl EventSink for VecSink {
     fn on_topk(&mut self, update: &TopKUpdate) {
         self.inner
             .lock()
-            .expect("sink lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .updates
             .push(update.clone());
     }
@@ -1020,7 +1039,12 @@ impl<'q> FdSession<'q> {
         {
             if let Err(e) = self.checkpoint() {
                 self.metrics.checkpoint_errors.inc();
-                eprintln!("fd session: warning: auto-checkpoint failed (the commit itself is durable in the WAL): {e}");
+                // stderr directly: the session owns no event log, and a
+                // swallowed compaction failure must surface somewhere.
+                #[allow(clippy::print_stderr)]
+                {
+                    eprintln!("fd session: warning: auto-checkpoint failed (the commit itself is durable in the WAL): {e}");
+                }
             }
         }
 

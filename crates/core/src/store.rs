@@ -628,6 +628,9 @@ impl Wal {
         } else {
             None
         };
+        // stderr directly: WAL repair happens during recovery, before
+        // any event log exists to report through.
+        #[allow(clippy::print_stderr)]
         if let (Some(why), Some(cut)) = (&torn, truncated) {
             eprintln!(
                 "fd store: warning: truncating torn WAL tail of {} ({cut} bytes after record {}): {why}",

@@ -1,0 +1,75 @@
+//! The runtime lock-order detector, exercised against the real
+//! subsystems it guards.
+//!
+//! Tracking is compiled in under `debug_assertions` (any default test
+//! run) or `--features lockcheck` (CI pins it on explicitly so the
+//! check survives profile changes); in a release build without the
+//! feature these tests compile to nothing.
+#![cfg(any(debug_assertions, feature = "lockcheck"))]
+
+use fd_core::obs::lockcheck::{self, TrackedMutex};
+use fd_core::serve::SessionHandle;
+use fd_core::FdSession;
+use fd_relational::{interner, tourist_database};
+use std::sync::Arc;
+
+/// The declared order (`LOCK_ORDER.md`): the serve session lock ranks
+/// above the interner table. Interning under the session lock — what
+/// every commit with string values and every durable checkpoint does —
+/// must record exactly that edge and nothing reversed.
+#[test]
+fn session_then_interner_matches_the_declared_order() {
+    let handle = SessionHandle::new(FdSession::new(tourist_database()));
+    handle
+        .with(|_s| {
+            // A commit's WAL encode / event rendering interns under the
+            // session lock; do the same, explicitly.
+            interner::intern("lockcheck-session-then-interner");
+        })
+        .unwrap();
+    let edges = lockcheck::recorded_edges();
+    assert!(
+        edges.contains(&("serve.session", "relational.interner")),
+        "expected the session->interner edge, got {edges:?}"
+    );
+    assert!(
+        !edges.contains(&("relational.interner", "serve.session")),
+        "the reverse edge must never exist: {edges:?}"
+    );
+}
+
+/// A seeded AB/BA inversion must fire the detector even though the two
+/// acquisitions happen on different threads at different times and no
+/// actual deadlock occurs — and the panic must name both locks.
+#[test]
+fn seeded_inversion_is_detected_and_names_both_locks() {
+    let a = Arc::new(TrackedMutex::new("core.seeded.first", 0u32));
+    let b = Arc::new(TrackedMutex::new("core.seeded.second", 0u32));
+
+    // Establish first -> second.
+    {
+        let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+        std::thread::spawn(move || {
+            let _ga = a.lock().unwrap();
+            let _gb = b.lock().unwrap();
+        })
+        .join()
+        .unwrap();
+    }
+
+    // Violate it: second -> first.
+    let err = std::thread::spawn(move || {
+        let _gb = b.lock().unwrap();
+        let _ga = a.lock().unwrap();
+    })
+    .join()
+    .expect_err("the seeded inversion must panic");
+
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "non-string panic payload".to_owned());
+    assert!(msg.contains("lock-order inversion"), "{msg}");
+    assert!(msg.contains("core.seeded.first"), "{msg}");
+    assert!(msg.contains("core.seeded.second"), "{msg}");
+}

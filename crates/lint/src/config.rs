@@ -1,0 +1,203 @@
+//! The two checked-in inputs fd-lint reads besides the source tree:
+//! the lock-order manifest (`LOCK_ORDER.md`) and the suppression file
+//! (`LINT_ALLOW.txt`).
+
+use std::path::Path;
+
+/// One declared lock-acquisition site: acquiring `lock` happens where
+/// the joined token text of `file` ends with `pattern`.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// Manifest lock name (also the runtime `TrackedMutex` name).
+    pub lock: String,
+    /// Root-relative source file holding the acquisition.
+    pub file: String,
+    /// Whitespace-free token-text pattern, e.g. `self.inner.lock(`.
+    pub pattern: String,
+}
+
+/// The parsed `LOCK_ORDER.md` manifest.
+#[derive(Debug, Default)]
+pub struct LockManifest {
+    /// Lock name -> rank. Lower ranks must be acquired first; a lock's
+    /// rank is its first appearance in the manifest block.
+    pub ranks: Vec<(String, usize)>,
+    /// Every declared acquisition site.
+    pub sites: Vec<LockSite>,
+}
+
+impl LockManifest {
+    /// The declared rank of `lock`, if the manifest names it.
+    pub fn rank(&self, lock: &str) -> Option<usize> {
+        self.ranks.iter().find(|(n, _)| n == lock).map(|(_, r)| *r)
+    }
+
+    /// Parses the fenced ```` ```lock-order ```` block out of the
+    /// manifest's markdown. Each non-comment line is
+    /// `lock-name  file  pattern` (whitespace-separated); a lock may
+    /// list several sites, and its rank is its first line's position.
+    pub fn parse(markdown: &str) -> Result<LockManifest, String> {
+        let mut manifest = LockManifest::default();
+        let mut in_block = false;
+        for (lineno, line) in markdown.lines().enumerate() {
+            let trimmed = line.trim();
+            if !in_block {
+                in_block = trimmed == "```lock-order";
+                continue;
+            }
+            if trimmed == "```" {
+                in_block = false;
+                continue;
+            }
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = trimmed.split_whitespace().collect();
+            let [lock, file, pattern] = fields[..] else {
+                return Err(format!(
+                    "LOCK_ORDER.md line {}: expected `lock-name file pattern`, got {trimmed:?}",
+                    lineno + 1
+                ));
+            };
+            if manifest.rank(lock).is_none() {
+                let next = manifest.ranks.len();
+                manifest.ranks.push((lock.to_owned(), next));
+            }
+            manifest.sites.push(LockSite {
+                lock: lock.to_owned(),
+                file: file.to_owned(),
+                pattern: pattern.to_owned(),
+            });
+        }
+        if manifest.sites.is_empty() {
+            return Err("LOCK_ORDER.md: no ```lock-order block with entries found".to_owned());
+        }
+        Ok(manifest)
+    }
+}
+
+/// One `LINT_ALLOW.txt` entry: suppress `rule` findings in `path`,
+/// either for one function or (`*`) for the whole file.
+#[derive(Debug)]
+pub struct AllowEntry {
+    /// Rule code, e.g. `L001`.
+    pub rule: String,
+    /// Root-relative file path the suppression applies to.
+    pub path: String,
+    /// Function name, or `*` for any location in the file.
+    pub func: String,
+    /// The source line, echoed back for stale-entry reporting.
+    pub display: String,
+}
+
+/// The parsed suppression file. Entries record whether they matched
+/// anything so unused ones can be reported as stale.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// All parsed entries, in file order.
+    pub entries: Vec<AllowEntry>,
+    used: std::cell::RefCell<Vec<bool>>,
+}
+
+impl Allowlist {
+    /// Parses `LINT_ALLOW.txt` content: one `RULE path func` entry per
+    /// line; `#` comments (inline or whole-line) and blanks ignored.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let body = line.split('#').next().unwrap_or("").trim();
+            if body.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = body.split_whitespace().collect();
+            let [rule, path, func] = fields[..] else {
+                return Err(format!(
+                    "LINT_ALLOW.txt line {}: expected `RULE path func`, got {body:?}",
+                    lineno + 1
+                ));
+            };
+            entries.push(AllowEntry {
+                rule: rule.to_owned(),
+                path: path.to_owned(),
+                func: func.to_owned(),
+                display: body.to_owned(),
+            });
+        }
+        let used = std::cell::RefCell::new(vec![false; entries.len()]);
+        Ok(Allowlist { entries, used })
+    }
+
+    /// Does an entry suppress this finding? Marks the entry used.
+    pub fn allows(&self, rule: &str, path: &str, func: &str) -> bool {
+        let mut hit = false;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.rule == rule && e.path == path && (e.func == "*" || e.func == func) {
+                self.used.borrow_mut()[i] = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Entries that never matched a finding — stale suppressions.
+    pub fn stale(&self) -> Vec<String> {
+        let used = self.used.borrow();
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !used[*i])
+            .map(|(_, e)| e.display.clone())
+            .collect()
+    }
+}
+
+/// Reads and parses the manifest from `root`.
+pub fn load_manifest(root: &Path) -> Result<LockManifest, String> {
+    let path = root.join("LOCK_ORDER.md");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    LockManifest::parse(&text)
+}
+
+/// Reads and parses the allowlist from `root`; a missing file is an
+/// empty allowlist.
+pub fn load_allowlist(root: &Path) -> Result<Allowlist, String> {
+    let path = root.join("LINT_ALLOW.txt");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Allowlist::parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Allowlist::default()),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_ranks_follow_first_appearance() {
+        let md = "intro\n```lock-order\n# comment\na f1.rs a.lock(\nb f1.rs b.lock(\na f2.rs a2.lock(\n```\noutro";
+        let m = LockManifest::parse(md).unwrap();
+        assert_eq!(m.rank("a"), Some(0));
+        assert_eq!(m.rank("b"), Some(1));
+        assert_eq!(m.sites.len(), 3);
+    }
+
+    #[test]
+    fn manifest_rejects_malformed_lines() {
+        let md = "```lock-order\njust-two fields\n```";
+        assert!(LockManifest::parse(md).is_err());
+    }
+
+    #[test]
+    fn allowlist_matches_and_tracks_staleness() {
+        let a = Allowlist::parse("L001 src/x.rs foo # reason\nL002 src/y.rs *\n").unwrap();
+        assert!(a.allows("L001", "src/x.rs", "foo"));
+        assert!(!a.allows("L001", "src/x.rs", "bar"));
+        assert!(a.allows("L002", "src/y.rs", "anything"));
+        assert!(a.stale().is_empty());
+
+        let b = Allowlist::parse("L003 src/z.rs *\n").unwrap();
+        assert_eq!(b.stale(), vec!["L003 src/z.rs *".to_owned()]);
+    }
+}

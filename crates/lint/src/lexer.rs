@@ -1,0 +1,342 @@
+//! A small hand-rolled Rust lexer: comments and whitespace are
+//! stripped, string/char literals become single tokens carrying their
+//! raw content, everything else becomes identifier / number /
+//! punctuation tokens with line numbers. This is not a full Rust
+//! grammar — it is exactly enough structure for token-pattern lint
+//! rules, with the two properties they depend on:
+//!
+//! * nothing inside a comment or a string literal can ever be mistaken
+//!   for code, and
+//! * nothing inside a string literal is ever split (so metric-name and
+//!   magic-constant literals survive intact for inspection).
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (also raw identifiers, `r#fn`).
+    Ident,
+    /// A string literal (`"…"`, `r"…"`, `r#"…"#`, `b"…"`); `text` holds
+    /// the raw content between the delimiters, escapes unprocessed.
+    Str,
+    /// A char literal (`'a'`, `'\n'`); `text` holds the raw content.
+    Char,
+    /// A lifetime (`'a`, `'static`); `text` holds the name.
+    Lifetime,
+    /// A numeric literal.
+    Num,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The token class.
+    pub kind: TokKind,
+    /// Identifier text, literal content, or the punctuation character.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// Is this a punctuation token with exactly this character?
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == ch.len_utf8() && self.text.starts_with(ch)
+    }
+}
+
+/// Lexes `src` (one Rust source file) into tokens.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    self.bump();
+                    self.cooked_string(line);
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.bump();
+                    self.cooked_string(line);
+                }
+                'r' | 'b' if self.raw_string_ahead() => self.raw_string(line),
+                '\'' => self.quote(line),
+                c if c.is_alphabetic() || c == '_' => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    let c = self.bump().expect("peeked");
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(c) = self.bump() {
+            if c == '\n' {
+                break;
+            }
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Reads a `"…"` body (opening quote already consumed).
+    fn cooked_string(&mut self, line: u32) {
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                None | Some('"') => break,
+                Some('\\') => {
+                    text.push('\\');
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                Some(c) => text.push(c),
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Is the cursor at `r"`, `r#…#"`, `br"` or `br#…#"`?
+    fn raw_string_ahead(&self) -> bool {
+        let mut i = 1;
+        if self.peek(0) == Some('b') {
+            if self.peek(1) != Some('r') {
+                return false;
+            }
+            i = 2;
+        }
+        loop {
+            match self.peek(i) {
+                Some('#') => i += 1,
+                Some('"') => return true,
+                _ => return false,
+            }
+        }
+    }
+
+    fn raw_string(&mut self, line: u32) {
+        if self.peek(0) == Some('b') {
+            self.bump();
+        }
+        self.bump(); // 'r'
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'body: while let Some(c) = self.bump() {
+            if c == '"' {
+                // A closing quote must be followed by `hashes` hashes.
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        text.push('"');
+                        continue 'body;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// A `'`: lifetime or char literal.
+    fn quote(&mut self, line: u32) {
+        // `'ident` not followed by a closing quote is a lifetime.
+        if let Some(c1) = self.peek(1) {
+            if (c1.is_alphabetic() || c1 == '_') && self.peek(2) != Some('\'') {
+                self.bump(); // '
+                let mut name = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, name, line);
+                return;
+            }
+        }
+        self.bump(); // '
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                None | Some('\'') => break,
+                Some('\\') => {
+                    text.push('\\');
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                Some(c) => text.push(c),
+            }
+        }
+        self.push(TokKind::Char, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        // Raw identifier prefix.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_handled() {
+        let toks = lex("fn a() { // lock().unwrap()\n  /* \"x\" /* nested */ */ b(\"s\\\"1\") }");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["fn", "a", "b"]);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["s\\\"1"]);
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let toks =
+            lex(r####"const M: &str = r#"fd_ops_total{op="x"}"#; fn f<'a>(x: &'a str) {}"####);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec![r#"fd_ops_total{op="x"}"#]);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+    }
+
+    #[test]
+    fn char_literals_do_not_eat_code() {
+        let toks = lex("let c = 'x'; let n = '\\n'; m.lock()");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(idents.contains(&"lock"));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n  c");
+        let lines: Vec<_> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+}

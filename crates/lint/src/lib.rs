@@ -1,0 +1,153 @@
+//! fd-lint — the workspace invariant analyzer.
+//!
+//! A zero-dependency static-analysis pass over the workspace's Rust
+//! sources: a hand-rolled lexer strips comments and strings
+//! ([`lexer`]), light structure is recovered per file ([`source`]),
+//! and five token-pattern rules ([`rules`]) enforce invariants the
+//! compiler cannot see:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | L001 | no `.unwrap()`/`.expect()` on lock-guard results outside tests |
+//! | L002 | lock acquisitions conform to the `LOCK_ORDER.md` manifest |
+//! | L003 | `fd_*` metric names ↔ `tests/golden/metrics_names.golden`, both ways |
+//! | L004 | WAL/snapshot format constants live in exactly one module |
+//! | L005 | no wall-clock reads in recovery/replay paths |
+//!
+//! Suppressions live in `LINT_ALLOW.txt` (`RULE path func`, `*` for
+//! any function); unused entries are reported as stale so the file
+//! cannot accumulate dead exemptions. CI runs
+//! `cargo run -p fd-lint -- --deny`, which exits non-zero on any
+//! active finding or stale suppression.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use source::SourceFile;
+use std::path::Path;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule code, e.g. `L001`.
+    pub rule: &'static str,
+    /// Root-relative path of the offending file (or config artifact).
+    pub path: String,
+    /// 1-based line, `0` when the finding has no single line.
+    pub line: u32,
+    /// Enclosing function, `*` outside any function.
+    pub func: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub fixit: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, w: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            w,
+            "{} {}:{} ({}): {}\n      fix: {}",
+            self.rule, self.path, self.line, self.func, self.message, self.fixit
+        )
+    }
+}
+
+/// The outcome of linting a workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Active findings — these fail `--deny`.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by `LINT_ALLOW.txt` entries.
+    pub suppressed: Vec<Finding>,
+    /// Allowlist entries that suppressed nothing — also fail `--deny`.
+    pub stale_allow: Vec<String>,
+}
+
+impl Report {
+    /// Does the report demand a non-zero `--deny` exit?
+    pub fn is_dirty(&self) -> bool {
+        !self.findings.is_empty() || !self.stale_allow.is_empty()
+    }
+}
+
+/// Directories scanned under the workspace root.
+const SCAN_DIRS: [&str; 4] = ["crates", "src", "tests", "examples"];
+
+/// Root-relative prefixes never scanned: fd-lint itself (its fixtures
+/// are deliberately bad), the vendored dependency shims, and build
+/// output.
+const SKIP: [&str; 3] = ["crates/lint", "shims", "target"];
+
+/// Runs every rule over the workspace at `root`.
+///
+/// Errors are configuration problems (unreadable/malformed
+/// `LOCK_ORDER.md`, `LINT_ALLOW.txt`, or metrics golden) — callers
+/// should treat them as distinct from findings (the CLI exits 2).
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let manifest = config::load_manifest(root)?;
+    let allow = config::load_allowlist(root)?;
+    let golden_path = root.join("tests/golden/metrics_names.golden");
+    let golden = std::fs::read_to_string(&golden_path)
+        .map_err(|e| format!("cannot read {}: {e}", golden_path.display()))?;
+
+    let mut files = Vec::new();
+    for rel in source::collect_rs_files(root, &SCAN_DIRS, &SKIP) {
+        let src = std::fs::read_to_string(root.join(&rel))
+            .map_err(|e| format!("cannot read {}: {e}", rel.display()))?;
+        files.push(SourceFile::parse(&rel, &src));
+    }
+    if files.is_empty() {
+        return Err(format!("no Rust sources under {}", root.display()));
+    }
+
+    let mut raw = Vec::new();
+    rules::l001(&files, &mut raw);
+    rules::l002(&files, &manifest, &mut raw);
+    rules::l003(&files, &golden, &mut raw);
+    rules::l004(&files, &mut raw);
+    rules::l005(&files, &mut raw);
+
+    let mut report = Report::default();
+    for f in raw {
+        if allow.allows(f.rule, &f.path, &f.func) {
+            report.suppressed.push(f);
+        } else {
+            report.findings.push(f);
+        }
+    }
+    report.stale_allow = allow.stale();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The meta-test: fd-lint must run clean on the workspace it lives
+    /// in. Any rule violation introduced into the real sources — or any
+    /// suppression that stops matching — fails this test before CI's
+    /// dedicated `--deny` job even runs.
+    #[test]
+    fn workspace_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let report = lint_workspace(&root).expect("lint config loads");
+        assert!(
+            report.findings.is_empty(),
+            "active findings:\n{}",
+            report
+                .findings
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(
+            report.stale_allow.is_empty(),
+            "stale allowlist entries: {:?}",
+            report.stale_allow
+        );
+    }
+}

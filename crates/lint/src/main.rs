@@ -1,0 +1,70 @@
+//! The fd-lint CLI. `cargo run -p fd-lint -- --deny` is the CI
+//! invocation; without `--deny` findings are printed but the exit code
+//! stays 0 (advisory mode for local iteration).
+//!
+//! Exit codes: 0 clean (or advisory), 1 active findings or stale
+//! suppressions under `--deny`, 2 configuration/usage errors.
+
+// The CLI's whole job is printing a report; stdout/stderr are its API.
+#![allow(clippy::print_stderr, clippy::print_stdout)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("fd-lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "fd-lint: workspace invariant analyzer\n\n\
+                     usage: fd-lint [--root DIR] [--deny]\n\n\
+                     --root DIR  workspace root to lint (default: .)\n\
+                     --deny      exit 1 on active findings or stale LINT_ALLOW.txt entries"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("fd-lint: unknown argument {other:?} (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match fd_lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("fd-lint: config error: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    for s in &report.stale_allow {
+        println!("STALE LINT_ALLOW.txt entry suppresses nothing: {s}");
+    }
+    println!(
+        "fd-lint: {} finding(s), {} suppressed, {} stale allow entr(ies)",
+        report.findings.len(),
+        report.suppressed.len(),
+        report.stale_allow.len()
+    );
+
+    if deny && report.is_dirty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

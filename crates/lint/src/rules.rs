@@ -1,0 +1,408 @@
+//! The five rule passes. Each walks lexed [`SourceFile`]s and emits
+//! [`Finding`]s; the allowlist is applied by the caller so every rule
+//! stays a pure function of the sources.
+
+use crate::config::LockManifest;
+use crate::source::SourceFile;
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn finding(
+    rule: &'static str,
+    f: &SourceFile,
+    tok: usize,
+    message: String,
+    fixit: &str,
+) -> Finding {
+    Finding {
+        rule,
+        path: f.path.clone(),
+        line: f.toks.get(tok).map(|t| t.line).unwrap_or(0),
+        func: f.enclosing_fn(tok).to_owned(),
+        message,
+        fixit: fixit.to_owned(),
+    }
+}
+
+/// L001 — `.lock()/.read()/.write()` results must not be `.unwrap()`ed
+/// or `.expect()`ed outside test code: a panic on another thread
+/// poisons the lock, and unwrapping the poison error turns one panic
+/// into a cascade. Recover (`unwrap_or_else(PoisonError::into_inner)`)
+/// or map to a typed error instead.
+pub fn l001(files: &[SourceFile], out: &mut Vec<Finding>) {
+    const ACQUIRERS: [&str; 4] = ["lock", "read", "write", "try_lock"];
+    for f in files {
+        for i in 5..f.toks.len() {
+            let t = &f.toks[i];
+            if !(t.is_ident("unwrap") || t.is_ident("expect")) {
+                continue;
+            }
+            // `.` acquirer `(` `)` `.` unwrap|expect `(` — the empty
+            // argument list distinguishes lock acquisition from
+            // io::Read/Write calls, which take arguments.
+            let shape = f.toks[i - 1].is_punct('.')
+                && f.toks[i - 2].is_punct(')')
+                && f.toks[i - 3].is_punct('(')
+                && ACQUIRERS.iter().any(|a| f.toks[i - 4].is_ident(a))
+                && f.toks[i - 5].is_punct('.')
+                && f.toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+            if shape && !f.is_test(i) {
+                out.push(finding(
+                    "L001",
+                    f,
+                    i,
+                    format!(
+                        ".{}().{}() on a lock guard panics on poison and cascades the failure",
+                        f.toks[i - 4].text, t.text
+                    ),
+                    "recover with .unwrap_or_else(PoisonError::into_inner) or map_err to a typed error",
+                ));
+            }
+        }
+    }
+}
+
+/// L002 — lock acquisitions must conform to the `LOCK_ORDER.md` total
+/// order. Acquisition sites are found textually from the manifest's
+/// declared patterns; within each function, acquiring a lower-ranked
+/// lock after a higher-ranked one is an inversion. A pattern that no
+/// longer matches any code fails closed: the manifest is stale.
+///
+/// This is the static half of the check — it cannot see cross-function
+/// nesting (the runtime `lockcheck` wrappers cover that); it keeps the
+/// manifest honest and catches same-function inversions before they run.
+pub fn l002(files: &[SourceFile], manifest: &LockManifest, out: &mut Vec<Finding>) {
+    // Joined-token suffix match: the pattern `self.inner.lock(` matches
+    // at a `(` token when the concatenated text of the preceding tokens
+    // ends with it.
+    const WINDOW: usize = 12;
+    for f in files {
+        // (token index, lock name) acquisition events, source order.
+        let mut events: Vec<(usize, &str)> = Vec::new();
+        for site in manifest.sites.iter().filter(|s| s.file == f.path) {
+            for i in 0..f.toks.len() {
+                if !f.toks[i].is_punct('(') {
+                    continue;
+                }
+                let start = i.saturating_sub(WINDOW);
+                let joined: String = f.toks[start..=i].iter().map(|t| t.text.as_str()).collect();
+                if joined.ends_with(&site.pattern) && !f.is_test(i) {
+                    events.push((i, site.lock.as_str()));
+                }
+            }
+        }
+        events.sort_by_key(|(i, _)| *i);
+        // Compare every ordered pair within the same function.
+        for (a_pos, (ai, a_lock)) in events.iter().enumerate() {
+            for (bi, b_lock) in events.iter().skip(a_pos + 1) {
+                if a_lock == b_lock || f.enclosing_fn(*ai) != f.enclosing_fn(*bi) {
+                    continue;
+                }
+                let (ra, rb) = (manifest.rank(a_lock), manifest.rank(b_lock));
+                if let (Some(ra), Some(rb)) = (ra, rb) {
+                    if ra > rb {
+                        out.push(finding(
+                            "L002",
+                            f,
+                            *bi,
+                            format!(
+                                "'{b_lock}' (rank {rb}) acquired after '{a_lock}' (rank {ra}) — \
+                                 LOCK_ORDER.md requires the reverse",
+                            ),
+                            "acquire locks in manifest order, or split the critical sections",
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    // Stale manifest entries: every declared site must still match.
+    for site in &manifest.sites {
+        let file = files.iter().find(|f| f.path == site.file);
+        let matched = file.is_some_and(|f| {
+            (0..f.toks.len()).any(|i| {
+                f.toks[i].is_punct('(') && {
+                    let start = i.saturating_sub(WINDOW);
+                    let joined: String =
+                        f.toks[start..=i].iter().map(|t| t.text.as_str()).collect();
+                    joined.ends_with(&site.pattern)
+                }
+            })
+        });
+        if !matched {
+            out.push(Finding {
+                rule: "L002",
+                path: "LOCK_ORDER.md".to_owned(),
+                line: 0,
+                func: "*".to_owned(),
+                message: format!(
+                    "stale manifest entry: pattern {:?} for lock '{}' matches nothing in {}",
+                    site.pattern, site.lock, site.file
+                ),
+                fixit: "update LOCK_ORDER.md to the current acquisition sites".to_owned(),
+            });
+        }
+    }
+}
+
+/// Extracts a Prometheus metric-family name from a string literal, if
+/// it looks like one: `fd_`-prefixed, `[a-z0-9_]`, label block (and
+/// anything after `{`) stripped. Format fragments like
+/// `fd_commit_{p}_seconds` strip to a trailing `_` and are rejected.
+pub fn metric_name(literal: &str) -> Option<&str> {
+    let name = literal.split('{').next().unwrap_or("");
+    let ok = name.strip_prefix("fd_").is_some_and(|rest| {
+        !rest.is_empty()
+            && rest
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+    }) && !name.ends_with('_');
+    ok.then_some(name)
+}
+
+/// L003 — every `fd_*` metric-name literal in live code must appear in
+/// `tests/golden/metrics_names.golden`, and every golden family must
+/// still exist in code. Drift in either direction is a finding, so the
+/// golden cannot silently rot.
+pub fn l003(files: &[SourceFile], golden: &str, out: &mut Vec<Finding>) {
+    // Golden families: `# HELP <name> <help>` lines.
+    let mut golden_names: BTreeMap<&str, u32> = BTreeMap::new();
+    for (lineno, line) in golden.lines().enumerate() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            if let Some(name) = rest.split_whitespace().next() {
+                golden_names.entry(name).or_insert(lineno as u32 + 1);
+            }
+        }
+    }
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for f in files {
+        for (i, t) in f.toks.iter().enumerate() {
+            if t.kind != crate::lexer::TokKind::Str || f.is_test(i) {
+                continue;
+            }
+            let Some(name) = metric_name(&t.text) else {
+                continue;
+            };
+            seen.insert(name);
+            if !golden_names.contains_key(name) {
+                out.push(finding(
+                    "L003",
+                    f,
+                    i,
+                    format!("metric '{name}' is not in tests/golden/metrics_names.golden"),
+                    "add a # HELP/# TYPE pair to the golden (or rename the metric)",
+                ));
+            }
+        }
+    }
+    for (name, line) in &golden_names {
+        if !seen.contains(name) {
+            out.push(Finding {
+                rule: "L003",
+                path: "tests/golden/metrics_names.golden".to_owned(),
+                line: *line,
+                func: "*".to_owned(),
+                message: format!("golden metric '{name}' no longer appears in live code"),
+                fixit: "remove the stale golden entry (or restore the metric)".to_owned(),
+            });
+        }
+    }
+}
+
+/// L004 — the on-disk format constants (WAL/snapshot file names,
+/// version, magic) are defined in exactly one module, so the format can
+/// never fork. Consts named `WAL_*`/`SNAPSHOT_*` and literals carrying
+/// the snapshot magic may only live in the owner file; everyone else
+/// imports them.
+pub fn l004(files: &[SourceFile], out: &mut Vec<Finding>) {
+    const OWNER: &str = "crates/core/src/store.rs";
+    const PREFIXES: [&str; 2] = ["WAL_", "SNAPSHOT_"];
+    const MAGIC: &str = "fdsnap";
+    for f in files {
+        if f.path == OWNER {
+            continue;
+        }
+        for (i, t) in f.toks.iter().enumerate() {
+            if f.is_test(i) {
+                continue;
+            }
+            let is_format_const = i > 0
+                && f.toks[i - 1].is_ident("const")
+                && t.kind == crate::lexer::TokKind::Ident
+                && PREFIXES.iter().any(|p| t.text.starts_with(p));
+            if is_format_const {
+                out.push(finding(
+                    "L004",
+                    f,
+                    i,
+                    format!("format constant '{}' declared outside {OWNER}", t.text),
+                    "import the constant from the owning module instead of redefining it",
+                ));
+            }
+            if t.kind == crate::lexer::TokKind::Str && t.text.contains(MAGIC) {
+                out.push(finding(
+                    "L004",
+                    f,
+                    i,
+                    format!("snapshot magic {MAGIC:?} hard-coded outside {OWNER}"),
+                    "use the owning module's constants to build/parse headers",
+                ));
+            }
+        }
+    }
+}
+
+/// L005 — recovery and replay paths must be deterministic: no
+/// `Instant::now`/`SystemTime::now` in the store module, in any
+/// function whose name mentions replay/recover, or in the session
+/// `open*` recovery entry points. Wall-clock reads there make recovery
+/// depend on when it runs, not on the log.
+pub fn l005(files: &[SourceFile], out: &mut Vec<Finding>) {
+    const STORE: &str = "crates/core/src/store.rs";
+    const SESSION: &str = "crates/core/src/session.rs";
+    for f in files {
+        for i in 0..f.toks.len() {
+            let clock = (f.toks[i].is_ident("Instant") || f.toks[i].is_ident("SystemTime"))
+                && f.toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && f.toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && f.toks.get(i + 3).is_some_and(|t| t.is_ident("now"));
+            if !clock || f.is_test(i) {
+                continue;
+            }
+            let func = f.enclosing_fn(i);
+            let in_recovery = f.path == STORE
+                || func.contains("replay")
+                || func.contains("recover")
+                || (f.path == SESSION && func.starts_with("open"));
+            if in_recovery {
+                out.push(finding(
+                    "L005",
+                    f,
+                    i,
+                    format!("{}::now() in recovery/replay path '{func}'", f.toks[i].text),
+                    "thread a timestamp in from the caller or derive it from the log record",
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn parse(path: &str, src: &str) -> SourceFile {
+        SourceFile::parse(Path::new(path), src)
+    }
+
+    #[test]
+    fn l001_flags_live_guard_unwrap_but_not_tests_or_io() {
+        let files = vec![parse(
+            "crates/x/src/a.rs",
+            r#"
+            fn bad() { let g = m.lock().unwrap(); let h = t.read().expect("x"); }
+            fn ok() { let g = m.lock().unwrap_or_else(PoisonError::into_inner); }
+            fn io_ok(r: &mut impl Read) { r.read(&mut buf).unwrap(); }
+            #[cfg(test)]
+            mod tests { fn t() { m.lock().unwrap(); } }
+            "#,
+        )];
+        let mut out = Vec::new();
+        l001(&files, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().all(|f| f.func == "bad"));
+    }
+
+    #[test]
+    fn l002_flags_inversion_and_stale_entries() {
+        let manifest = LockManifest::parse(
+            "```lock-order\nfirst a.rs one.lock(\nsecond a.rs two.lock(\nghost a.rs gone.lock(\n```",
+        )
+        .unwrap();
+        let files = vec![parse(
+            "a.rs",
+            "fn ok() { one.lock(); two.lock(); }\nfn bad() { two.lock(); one.lock(); }",
+        )];
+        let mut out = Vec::new();
+        l002(&files, &manifest, &mut out);
+        let inversions: Vec<_> = out.iter().filter(|f| f.func == "bad").collect();
+        assert_eq!(inversions.len(), 1, "{out:?}");
+        assert!(inversions[0].message.contains("'first'"));
+        assert!(inversions[0].message.contains("'second'"));
+        let stale: Vec<_> = out.iter().filter(|f| f.message.contains("stale")).collect();
+        assert_eq!(stale.len(), 1, "{out:?}");
+        assert!(stale[0].message.contains("ghost"));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn metric_name_extraction() {
+        assert_eq!(metric_name("fd_commits_total"), Some("fd_commits_total"));
+        assert_eq!(
+            metric_name(r#"fd_ops_total{{op="{op}"}} {n}"#),
+            Some("fd_ops_total")
+        );
+        assert_eq!(metric_name("fd_commit_{p}_seconds"), None);
+        assert_eq!(metric_name("not_fd"), None);
+        assert_eq!(metric_name("fd_Bad"), None);
+        assert_eq!(metric_name("fd_"), None);
+    }
+
+    #[test]
+    fn l003_flags_drift_both_ways() {
+        let golden = "# HELP fd_known_total known\n# TYPE fd_known_total counter\n\
+                      # HELP fd_gone_total gone\n# TYPE fd_gone_total counter\n";
+        let files = vec![parse(
+            "crates/x/src/a.rs",
+            r#"fn f() { reg("fd_known_total"); reg("fd_new_total"); }"#,
+        )];
+        let mut out = Vec::new();
+        l003(&files, golden, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().any(|f| f.message.contains("'fd_new_total'")));
+        assert!(out
+            .iter()
+            .any(|f| f.message.contains("'fd_gone_total'") && f.path.ends_with(".golden")));
+    }
+
+    #[test]
+    fn l004_flags_foreign_definitions_only() {
+        let files = vec![
+            parse(
+                "crates/core/src/store.rs",
+                r#"pub const WAL_FILE: &str = "wal.fd"; const M: &str = "fdsnap";"#,
+            ),
+            parse(
+                "crates/x/src/b.rs",
+                r#"const WAL_FILE: &str = "copy.fd"; fn f() { parse("fdsnap v2"); }
+                   use store::SNAPSHOT_FILE; const DEFAULT_WAL_COMPACTION: u64 = 1;"#,
+            ),
+        ];
+        let mut out = Vec::new();
+        l004(&files, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().all(|f| f.path == "crates/x/src/b.rs"));
+    }
+
+    #[test]
+    fn l005_flags_clocks_only_in_recovery_paths() {
+        let files = vec![
+            parse("crates/core/src/store.rs", "fn any() { Instant::now(); }"),
+            parse(
+                "crates/core/src/session.rs",
+                "fn open_inner() { SystemTime::now(); }\nfn commit() { Instant::now(); }",
+            ),
+            parse(
+                "crates/x/src/c.rs",
+                "fn replay_wal() { Instant::now(); }\nfn f() { Instant::now(); }",
+            ),
+        ];
+        let mut out = Vec::new();
+        l005(&files, &mut out);
+        assert_eq!(out.len(), 3, "{out:?}");
+        assert!(out.iter().any(|f| f.func == "any"));
+        assert!(out.iter().any(|f| f.func == "open_inner"));
+        assert!(out.iter().any(|f| f.func == "replay_wal"));
+    }
+}

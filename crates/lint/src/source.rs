@@ -1,0 +1,306 @@
+//! Lexed source files plus the two structural facts every rule needs:
+//! which tokens sit inside `#[cfg(test)]` / `#[test]` items, and which
+//! function encloses a given token.
+
+use crate::lexer::{lex, Tok, TokKind};
+use std::path::{Path, PathBuf};
+
+/// One function item: its name and the token span of its body.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the body's opening `{`.
+    pub open: usize,
+    /// Token index of the matching `}` (inclusive).
+    pub close: usize,
+}
+
+/// A lexed workspace file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub path: String,
+    /// The token stream (comments and whitespace already gone).
+    pub toks: Vec<Tok>,
+    /// `test_mask[i]` — token `i` belongs to a `#[cfg(test)]`/`#[test]`
+    /// item (or one of its attributes).
+    pub test_mask: Vec<bool>,
+    /// Every function item, in source order (nested functions appear
+    /// after their parent; lookup takes the innermost).
+    pub fns: Vec<FnSpan>,
+    /// Does the path put the whole file in test/bench/example land?
+    pub is_test_path: bool,
+}
+
+impl SourceFile {
+    /// Lexes and analyzes one file. `rel` is the root-relative path.
+    pub fn parse(rel: &Path, src: &str) -> SourceFile {
+        let path = rel
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let toks = lex(src);
+        let test_mask = compute_test_mask(&toks);
+        let fns = compute_fns(&toks);
+        let is_test_path = {
+            let p = format!("/{path}");
+            p.contains("/tests/") || p.contains("/benches/") || p.contains("/examples/")
+        };
+        SourceFile {
+            path,
+            toks,
+            test_mask,
+            fns,
+            is_test_path,
+        }
+    }
+
+    /// Is token `i` test-only code (by path or by `cfg(test)` region)?
+    pub fn is_test(&self, i: usize) -> bool {
+        self.is_test_path || self.test_mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// Name of the innermost function whose body contains token `i`
+    /// (`*` when outside any function — consts, statics, impl headers).
+    pub fn enclosing_fn(&self, i: usize) -> &str {
+        let mut best: Option<&FnSpan> = None;
+        for f in &self.fns {
+            if f.open <= i && i <= f.close {
+                let tighter = match best {
+                    Some(b) => f.close - f.open < b.close - b.open,
+                    None => true,
+                };
+                if tighter {
+                    best = Some(f);
+                }
+            }
+        }
+        best.map(|f| f.name.as_str()).unwrap_or("*")
+    }
+}
+
+/// Marks tokens covered by items carrying a `test` attribute:
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]` — any attribute
+/// whose token stream mentions the identifier `test`. The mark covers
+/// the attribute itself, any stacked attributes that follow, and the
+/// item body up to its closing `}` (or terminating `;`).
+fn compute_test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            let attr_start = i;
+            let (attr_end, mentions_test) = scan_attr(toks, i + 1);
+            if mentions_test {
+                // Skip any further stacked attributes, then mark
+                // through the item's body.
+                let mut j = attr_end + 1;
+                while j + 1 < toks.len() && toks[j].is_punct('#') && toks[j + 1].is_punct('[') {
+                    let (e, _) = scan_attr(toks, j + 1);
+                    j = e + 1;
+                }
+                let item_end = item_end_from(toks, j);
+                for m in mask
+                    .iter_mut()
+                    .take(item_end.min(toks.len() - 1) + 1)
+                    .skip(attr_start)
+                {
+                    *m = true;
+                }
+                i = item_end + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Scans an attribute starting at its `[` token; returns the index of
+/// the matching `]` and whether the identifier `test` occurs inside.
+fn scan_attr(toks: &[Tok], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut mentions = false;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct('[') {
+            depth += 1;
+        } else if toks[i].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return (i, mentions);
+            }
+        } else if toks[i].is_ident("test") {
+            mentions = true;
+        }
+        i += 1;
+    }
+    (toks.len() - 1, mentions)
+}
+
+/// From the first token of an item, finds where the item ends: the `}`
+/// matching its first `{`, or a `;` met before any `{`.
+fn item_end_from(toks: &[Tok], start: usize) -> usize {
+    let mut i = start;
+    while i < toks.len() {
+        if toks[i].is_punct(';') {
+            return i;
+        }
+        if toks[i].is_punct('{') {
+            return match_brace(toks, i);
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct('{') {
+            depth += 1;
+        } else if toks[i].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Finds every `fn name … { … }` item (trait-method declarations ending
+/// in `;` have no body and are skipped).
+fn compute_fns(toks: &[Tok]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Ident {
+            continue;
+        }
+        // Walk to the body's `{`, or a `;` (no body). Generic bounds,
+        // where clauses and return types contain no braces, so the
+        // first `{` after the signature is the body.
+        let mut j = i + 2;
+        let mut open = None;
+        while j < toks.len() {
+            if toks[j].is_punct(';') {
+                break;
+            }
+            if toks[j].is_punct('{') {
+                open = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        if let Some(open) = open {
+            fns.push(FnSpan {
+                name: name_tok.text.clone(),
+                open,
+                close: match_brace(toks, open),
+            });
+        }
+    }
+    fns
+}
+
+/// Recursively collects `.rs` files under `root/<dir>` for each given
+/// scan dir, returning root-relative paths in sorted order. `skip`
+/// prefixes (root-relative, `/`-separated) are pruned.
+pub fn collect_rs_files(root: &Path, scan_dirs: &[&str], skip: &[&str]) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for dir in scan_dirs {
+        walk(root, &root.join(dir), skip, &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn walk(root: &Path, dir: &Path, skip: &[&str], out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        if skip
+            .iter()
+            .any(|s| rel == *s || rel.starts_with(&format!("{s}/")))
+        {
+            continue;
+        }
+        if path.is_dir() {
+            walk(root, &path, skip, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src = "fn live() { a.lock().unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n fn t() { b.lock().unwrap(); }\n}\n\
+                   fn live2() {}";
+        let f = SourceFile::parse(Path::new("x.rs"), src);
+        let unwraps: Vec<bool> = f
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| f.is_test(i))
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+        // Code after the test mod is live again.
+        let live2 = f.toks.iter().position(|t| t.is_ident("live2")).unwrap();
+        assert!(!f.is_test(live2));
+    }
+
+    #[test]
+    fn test_attr_marks_single_fn() {
+        let src = "#[test]\nfn check() { x.lock().unwrap(); }\nfn live() {}";
+        let f = SourceFile::parse(Path::new("x.rs"), src);
+        let unwrap = f.toks.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(f.is_test(unwrap));
+        let live = f.toks.iter().position(|t| t.is_ident("live")).unwrap();
+        assert!(!f.is_test(live));
+    }
+
+    #[test]
+    fn enclosing_fn_prefers_innermost() {
+        let src = "fn outer() { fn inner() { marker(); } }";
+        let f = SourceFile::parse(Path::new("x.rs"), src);
+        let marker = f.toks.iter().position(|t| t.is_ident("marker")).unwrap();
+        assert_eq!(f.enclosing_fn(marker), "inner");
+    }
+
+    #[test]
+    fn tests_dir_paths_are_test_code() {
+        let f = SourceFile::parse(Path::new("crates/x/tests/y.rs"), "fn a() {}");
+        assert!(f.is_test_path);
+        let f = SourceFile::parse(Path::new("crates/x/src/y.rs"), "fn a() {}");
+        assert!(!f.is_test_path);
+    }
+}

@@ -1,0 +1,165 @@
+//! fd-lint end-to-end: every rule against its known-bad/known-good
+//! fixture workspace, the allowlist semantics, and the CLI's `--deny`
+//! exit-code contract.
+
+use fd_lint::{lint_workspace, Report};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint(name: &str) -> Report {
+    lint_workspace(&fixture(name)).expect("fixture config loads")
+}
+
+fn rules(report: &Report) -> Vec<&str> {
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    let r = lint("clean");
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert!(r.suppressed.is_empty());
+    assert!(r.stale_allow.is_empty());
+}
+
+#[test]
+fn l001_fires_once_on_the_bad_guard_only() {
+    let r = lint("bad_l001");
+    assert_eq!(rules(&r), vec!["L001"], "{:?}", r.findings);
+    let f = &r.findings[0];
+    assert_eq!(f.path, "src/guard.rs");
+    assert_eq!(f.func, "bad");
+    assert!(f.fixit.contains("PoisonError::into_inner"), "{f}");
+}
+
+#[test]
+fn l002_fires_on_the_reversed_acquisition() {
+    let r = lint("bad_l002");
+    assert_eq!(rules(&r), vec!["L002"], "{:?}", r.findings);
+    let f = &r.findings[0];
+    assert_eq!(f.func, "reversed");
+    assert!(
+        f.message.contains("'first'") && f.message.contains("'second'"),
+        "{f}"
+    );
+}
+
+#[test]
+fn l002_fails_closed_on_a_stale_manifest_entry() {
+    let r = lint("stale_manifest");
+    assert_eq!(rules(&r), vec!["L002"], "{:?}", r.findings);
+    assert!(r.findings[0].message.contains("stale manifest entry"));
+    assert!(r.findings[0].message.contains("ghost"));
+}
+
+#[test]
+fn l003_reports_drift_in_both_directions() {
+    let r = lint("bad_l003_drift");
+    assert_eq!(rules(&r), vec!["L003", "L003"], "{:?}", r.findings);
+    assert!(r
+        .findings
+        .iter()
+        .any(|f| f.message.contains("'fd_drifted_total'") && f.path == "src/metrics.rs"));
+    assert!(r.findings.iter().any(|f| {
+        f.message.contains("'fd_missing_total'") && f.path.ends_with("metrics_names.golden")
+    }));
+}
+
+#[test]
+fn l004_flags_foreign_const_and_magic_but_not_lookalikes() {
+    let r = lint("bad_l004");
+    assert_eq!(rules(&r), vec!["L004", "L004"], "{:?}", r.findings);
+    assert!(r.findings.iter().any(|f| f.message.contains("WAL_FILE")));
+    assert!(r.findings.iter().any(|f| f.message.contains("fdsnap")));
+    // DEFAULT_WAL_LIMIT must not be mistaken for a format constant.
+    assert!(!r
+        .findings
+        .iter()
+        .any(|f| f.message.contains("DEFAULT_WAL_LIMIT")));
+}
+
+#[test]
+fn l005_fires_in_replay_functions_only() {
+    let r = lint("bad_l005");
+    assert_eq!(rules(&r), vec!["L005"], "{:?}", r.findings);
+    assert_eq!(r.findings[0].func, "replay_log");
+}
+
+#[test]
+fn allowlist_suppresses_and_records() {
+    let r = lint("allowed");
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.suppressed.len(), 1);
+    assert_eq!(r.suppressed[0].rule, "L001");
+    assert!(r.stale_allow.is_empty());
+    assert!(!r.is_dirty());
+}
+
+#[test]
+fn stale_allow_entries_make_the_report_dirty() {
+    let r = lint("stale_allow");
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+    assert_eq!(r.stale_allow.len(), 1);
+    assert!(r.is_dirty());
+}
+
+// ---- CLI exit-code contract -----------------------------------------
+
+fn run_cli(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_fd-lint"))
+        .args(args)
+        .output()
+        .expect("fd-lint binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    (out.status.code().unwrap_or(-1), stdout)
+}
+
+#[test]
+fn cli_deny_exits_zero_on_clean() {
+    let root = fixture("clean");
+    let (code, out) = run_cli(&["--root", root.to_str().unwrap(), "--deny"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("0 finding(s)"), "{out}");
+}
+
+#[test]
+fn cli_deny_exits_one_on_findings_and_names_the_rule() {
+    let root = fixture("bad_l003_drift");
+    let (code, out) = run_cli(&["--root", root.to_str().unwrap(), "--deny"]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("L003"), "{out}");
+    assert!(out.contains("fix:"), "{out}");
+}
+
+#[test]
+fn cli_without_deny_reports_but_exits_zero() {
+    let root = fixture("bad_l001");
+    let (code, out) = run_cli(&["--root", root.to_str().unwrap()]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("L001"), "{out}");
+}
+
+#[test]
+fn cli_deny_exits_one_on_stale_allow() {
+    let root = fixture("stale_allow");
+    let (code, out) = run_cli(&["--root", root.to_str().unwrap(), "--deny"]);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("STALE"), "{out}");
+}
+
+#[test]
+fn cli_exits_two_on_config_errors() {
+    // A directory with no LOCK_ORDER.md at all.
+    let root = fixture("clean").join("src");
+    let (code, _) = run_cli(&["--root", root.to_str().unwrap(), "--deny"]);
+    assert_eq!(code, 2);
+    // Unknown flags are usage errors, not findings.
+    let (code, _) = run_cli(&["--frobnicate"]);
+    assert_eq!(code, 2);
+}

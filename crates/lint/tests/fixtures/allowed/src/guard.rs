@@ -1,0 +1,15 @@
+pub fn bad() {
+    let g = m.lock().unwrap();
+}
+pub fn recovered() {
+    let g = m.lock().unwrap_or_else(PoisonError::into_inner);
+}
+pub fn io_ok(r: &mut impl Read) {
+    r.read(&mut buf).unwrap();
+}
+#[cfg(test)]
+mod tests {
+    fn in_test() {
+        m.lock().unwrap();
+    }
+}

@@ -1,0 +1,4 @@
+pub fn ordered() {
+    one.lock();
+    two.lock();
+}

@@ -1,0 +1,3 @@
+pub fn register() {
+    r("fd_fixture_total");
+}

@@ -1,0 +1,8 @@
+pub fn ordered() {
+    one.lock();
+    two.lock();
+}
+pub fn reversed() {
+    two.lock();
+    one.lock();
+}

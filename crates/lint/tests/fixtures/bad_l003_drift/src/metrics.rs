@@ -1,0 +1,4 @@
+pub fn register() {
+    r("fd_fixture_total");
+    r("fd_drifted_total");
+}

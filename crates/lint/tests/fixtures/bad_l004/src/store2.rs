@@ -1,0 +1,5 @@
+pub const WAL_FILE: &str = "wal-copy.fd";
+pub fn parse(h: &str) {
+    check(h, "fdsnap v2");
+}
+pub const DEFAULT_WAL_LIMIT: u64 = 1;

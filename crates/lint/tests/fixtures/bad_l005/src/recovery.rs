@@ -1,0 +1,6 @@
+pub fn replay_log() {
+    let t = Instant::now();
+}
+pub fn unrelated() {
+    let t = Instant::now();
+}

@@ -20,12 +20,13 @@
 //! resolving a symbol for display never takes the lock.
 
 use crate::fxhash::FxHashMap;
+use crate::lockcheck::{TrackedReadGuard, TrackedRwLock, TrackedWriteGuard};
 use std::borrow::Borrow;
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::ops::Deref;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, PoisonError};
 
 /// An interned string: a dense symbol plus a shared copy of the text.
 ///
@@ -134,16 +135,35 @@ struct Table {
     catalog: Vec<Arc<str>>,
 }
 
-fn table() -> &'static RwLock<Table> {
-    static TABLE: OnceLock<RwLock<Table>> = OnceLock::new();
-    TABLE.get_or_init(|| RwLock::new(Table::default()))
+/// The name under which the table participates in lock-order detection
+/// (see `LOCK_ORDER.md` at the repo root: the interner ranks *below*
+/// the serve session lock — commit paths intern under the session).
+const LOCK_NAME: &str = "relational.interner";
+
+fn table() -> &'static TrackedRwLock<Table> {
+    static TABLE: OnceLock<TrackedRwLock<Table>> = OnceLock::new();
+    TABLE.get_or_init(|| TrackedRwLock::new(LOCK_NAME, Table::default()))
+}
+
+/// Shared access to the table. Poisoning is recovered rather than
+/// propagated: the two-step append in [`intern`] has no unwind point
+/// between its writes (plain `Vec`/map pushes), so a poisoned table is
+/// still internally consistent and read-only users must not panic over
+/// a writer's unrelated death.
+fn read_table() -> TrackedReadGuard<'static, Table> {
+    table().read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Exclusive access to the table, with the same poison recovery.
+fn write_table() -> TrackedWriteGuard<'static, Table> {
+    table().write().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Interns `text`, returning its [`IStr`]. The same text always yields
 /// the same symbol for the life of the process.
 pub fn intern(text: &str) -> IStr {
     {
-        let t = table().read().expect("interner lock");
+        let t = read_table();
         if let Some(&sym) = t.by_text.get(text) {
             return IStr {
                 sym,
@@ -151,7 +171,7 @@ pub fn intern(text: &str) -> IStr {
             };
         }
     }
-    let mut t = table().write().expect("interner lock");
+    let mut t = write_table();
     // Double-check: another thread may have interned between the locks.
     if let Some(&sym) = t.by_text.get(text) {
         return IStr {
@@ -169,7 +189,7 @@ pub fn intern(text: &str) -> IStr {
 /// Resolves a symbol back to its interned string, or `None` if the
 /// symbol was never allocated.
 pub fn resolve(sym: u32) -> Option<IStr> {
-    let t = table().read().expect("interner lock");
+    let t = read_table();
     t.catalog.get(sym as usize).map(|text| IStr {
         sym,
         text: Arc::clone(text),
@@ -178,14 +198,14 @@ pub fn resolve(sym: u32) -> Option<IStr> {
 
 /// Number of distinct symbols interned so far (process-wide).
 pub fn symbol_count() -> usize {
-    table().read().expect("interner lock").catalog.len()
+    read_table().catalog.len()
 }
 
 /// A point-in-time copy of the whole catalog, ascending by symbol id.
 /// Snapshot encoding persists this so a fresh process re-interns the
 /// same texts to the same symbols before replaying any data rows.
 pub fn catalog() -> Vec<IStr> {
-    let t = table().read().expect("interner lock");
+    let t = read_table();
     t.catalog
         .iter()
         .enumerate()

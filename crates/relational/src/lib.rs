@@ -17,6 +17,9 @@
 //! * [`storage`] — simulated paged access with I/O accounting for the
 //!   paper's Section 7 block-based execution;
 //! * [`textio`] — a tiny textual table format for examples and docs;
+//! * [`lockcheck`] — named `Mutex`/`RwLock` wrappers that detect
+//!   lock-order inversions at runtime (on under `debug_assertions` or
+//!   the `lockcheck` feature; transparent in release);
 //! * [`changelog`] — [`Delta`]/[`Change`]/[`ChangeLog`]: the mutation
 //!   vocabulary of the dynamic-maintenance layer
 //!   ([`Database::insert_tuple`] / [`Database::remove_tuple`]).
@@ -40,6 +43,7 @@ pub mod fxhash;
 pub mod hypergraph;
 pub mod interner;
 pub mod join;
+pub mod lockcheck;
 pub mod outerjoin;
 pub mod stats;
 pub mod storage;

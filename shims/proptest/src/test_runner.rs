@@ -53,6 +53,9 @@ pub struct CaseGuard {
 }
 
 impl Drop for CaseGuard {
+    // stderr directly: this runs mid-panic, where the harness's normal
+    // capture is the only thing that will show the failing case.
+    #[allow(clippy::print_stderr)]
     fn drop(&mut self) {
         if std::thread::panicking() {
             eprintln!(

@@ -10,6 +10,10 @@
 //! fd connect --addr :7433             # wire-protocol client
 //! ```
 
+// The CLI entry point: usage and error reporting on stderr is its
+// interface, so the workspace-wide print_stderr deny stops here.
+#![allow(clippy::print_stderr)]
+
 use full_disjunction::cli;
 use std::process::ExitCode;
 
